@@ -1,0 +1,36 @@
+"""Shared configuration and result persistence for the benchmarks."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.config import EPOCConfig, QOCConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: QOC settings for benchmarking: 1 ns segments, 99.5% fidelity target.
+BENCH_QOC = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.995,
+    max_iterations=80,
+    min_segments=2,
+    max_segments=300,
+)
+
+#: EPOC settings for benchmarking (3-qubit blocks and regroups).
+BENCH_EPOC = EPOCConfig(
+    partition_qubit_limit=3,
+    partition_gate_limit=16,
+    synthesis_max_layers=8,
+    regroup_qubit_limit=3,
+    regroup_gate_limit=12,
+    qoc=BENCH_QOC,
+)
+
+
+def save_results(name: str, payload) -> None:
+    """Persist a benchmark's data series for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)

@@ -1,0 +1,62 @@
+"""Ablation: regroup size limit sweep (1, 2, 3 qubits).
+
+The regrouping limit trades classical QOC compute for quantum latency:
+larger groups shorten the schedule but each GRAPE problem grows.  The
+paper fixes the limit by cluster budget; this ablation shows the
+latency/compile-time trade-off curve on our substrate.
+"""
+
+from __future__ import annotations
+
+from repro.core import EPOCPipeline
+from repro.qoc import PulseLibrary
+from repro.workloads import get_benchmark
+
+from _bench_common import BENCH_EPOC, BENCH_QOC, save_results
+
+_CIRCUITS = ("qaoa", "decod24")
+
+
+def test_ablation_regroup_size(benchmark):
+    """Latency and compile time as the regroup qubit limit grows."""
+
+    def sweep():
+        rows = []
+        for limit in (1, 2, 3):
+            config = BENCH_EPOC.with_updates(
+                regroup_qubit_limit=max(limit, 2) if limit > 1 else 2,
+                regroup_gate_limit=1 if limit == 1 else BENCH_EPOC.regroup_gate_limit,
+            )
+            library = PulseLibrary(config=BENCH_QOC, match_global_phase=True)
+            pipe = EPOCPipeline(
+                config, library=library, use_regrouping=limit > 1
+            )
+            for name in _CIRCUITS:
+                report = pipe.compile(get_benchmark(name), name)
+                rows.append(
+                    {
+                        "limit": limit,
+                        "circuit": name,
+                        "latency_ns": report.latency_ns,
+                        "compile_s": report.compile_seconds,
+                        "qoc_items": report.stats["qoc_items"],
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation — regroup qubit limit sweep")
+    print(f"{'limit':<7}{'circuit':<10}{'latency':>10}{'compile':>9}{'items':>7}")
+    for row in rows:
+        print(
+            f"{row['limit']:<7}{row['circuit']:<10}{row['latency_ns']:>10.1f}"
+            f"{row['compile_s']:>9.2f}{row['qoc_items']:>7.0f}"
+        )
+    save_results("ablation_group_size", {"rows": rows})
+
+    # shape: latency is monotone non-increasing in the group limit, up to
+    # the 10% binary-search granularity of the pulse-duration search
+    for name in _CIRCUITS:
+        series = [r["latency_ns"] for r in rows if r["circuit"] == name]
+        assert series[1] <= 1.10 * series[0] + 1e-6, (name, series)
+        assert series[2] <= 1.10 * series[1] + 1e-6, (name, series)

@@ -1,0 +1,59 @@
+"""Ablation: the ZX optimization stage on vs off inside the pipeline.
+
+ZX optimization shortens the circuit before partitioning, which the rest
+of the pipeline converts into fewer/smaller QOC items and lower latency
+(never higher: the pass keeps the original circuit when rewriting does
+not help).
+"""
+
+from __future__ import annotations
+
+from repro.core import EPOCPipeline
+from repro.qoc import PulseLibrary
+from repro.workloads import get_benchmark
+
+from _bench_common import BENCH_EPOC, BENCH_QOC, save_results
+
+_CIRCUITS = ("vqe", "grover", "qft")
+
+
+def test_ablation_zx_stage(benchmark):
+    """Latency with and without the ZX stage, shared pulse library."""
+
+    def sweep():
+        rows = []
+        library = PulseLibrary(config=BENCH_QOC, match_global_phase=True)
+        with_zx = EPOCPipeline(BENCH_EPOC, library=library)
+        without_zx = EPOCPipeline(
+            BENCH_EPOC.with_updates(use_zx=False), library=library
+        )
+        for name in _CIRCUITS:
+            circuit = get_benchmark(name)
+            on = with_zx.compile(circuit, name)
+            off = without_zx.compile(circuit, name)
+            rows.append(
+                {
+                    "circuit": name,
+                    "latency_zx_ns": on.latency_ns,
+                    "latency_nozx_ns": off.latency_ns,
+                    "depth_before": on.stats.get("zx_depth_before"),
+                    "depth_after": on.stats.get("zx_depth_after"),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation — ZX stage on/off")
+    print(f"{'circuit':<10}{'with zx':>10}{'without':>10}{'depth':>12}")
+    for row in rows:
+        print(
+            f"{row['circuit']:<10}{row['latency_zx_ns']:>10.1f}"
+            f"{row['latency_nozx_ns']:>10.1f}"
+            f"{row['depth_before']:>6.0f}->{row['depth_after']:<5.0f}"
+        )
+    save_results("ablation_zx", {"rows": rows})
+
+    # shape: zx never hurts latency materially (shared cache; 15% slack
+    # covers partition-boundary and duration-search granularity effects)
+    for row in rows:
+        assert row["latency_zx_ns"] <= 1.15 * row["latency_nozx_ns"] + 1e-6, row

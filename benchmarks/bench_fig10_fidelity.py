@@ -1,0 +1,62 @@
+"""Figure 10: circuit fidelity (ESP) with vs without the regrouping step.
+
+Paper result: fidelities with grouping are generally higher (avg +33.77%)
+because the no-grouping flow runs QOC at very fine granularity and the
+per-pulse errors accumulate multiplicatively (Eq. 3), while grouping
+plays fewer, larger pulses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_common import save_results
+
+
+def test_fig10_fidelity_grouping(benchmark, grouping_sweep):
+    """Per-program ESP fidelity: grouped vs ungrouped (Figure 10 bars)."""
+    rows = benchmark.pedantic(
+        lambda: [
+            {
+                "circuit": name,
+                "fidelity_grouped": pair["grouped"].fidelity,
+                "fidelity_ungrouped": pair["ungrouped"].fidelity,
+                "pulses_grouped": pair["grouped"].pulse_count,
+                "pulses_ungrouped": pair["ungrouped"].pulse_count,
+            }
+            for name, pair in grouping_sweep.items()
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 10 — ESP fidelity with vs without grouping")
+    print(f"{'circuit':<14}{'grouped':>9}{'no group':>10}{'pulses':>14}")
+    for row in rows:
+        print(
+            f"{row['circuit']:<14}{row['fidelity_grouped']:>9.4f}"
+            f"{row['fidelity_ungrouped']:>10.4f}"
+            f"{row['pulses_grouped']:>7}/{row['pulses_ungrouped']:<6}"
+        )
+    gain = float(
+        np.mean(
+            [
+                100.0
+                * (row["fidelity_grouped"] - row["fidelity_ungrouped"])
+                / max(row["fidelity_ungrouped"], 1e-9)
+                for row in rows
+            ]
+        )
+    )
+    print(f"MEAN FIDELITY GAIN: {gain:+.2f}%   (paper: +33.77%)")
+    save_results("fig10_fidelity", {"rows": rows, "mean_gain_pct": gain})
+
+    # shape assertions: grouping plays fewer pulses and wins on average
+    for row in rows:
+        assert row["pulses_grouped"] <= row["pulses_ungrouped"], row
+    wins = sum(
+        1
+        for row in rows
+        if row["fidelity_grouped"] >= row["fidelity_ungrouped"] - 1e-9
+    )
+    assert wins >= int(0.7 * len(rows))
+    assert gain > 0.0

@@ -1,0 +1,115 @@
+"""Figure 5: ZX-calculus depth optimization over 34 random circuits.
+
+Paper result: an average depth reduction of 1.48x across 34 randomly
+selected circuits, with a deep VQE as the extreme case (7656 -> 1110,
+~6.9x).  This benchmark regenerates the full series: 34 random circuits
+drawn from Clifford+T-heavy and mixed-rotation families at 4-8 qubits,
+plus the deep UCCSD-style VQE extreme case, and reports the per-circuit
+reduction ratios and their mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import random_circuit, random_clifford_t_circuit
+from repro.workloads import clifford_vqe_ansatz
+from repro.zx import optimize_circuit
+
+from _bench_common import save_results
+
+
+def _fig5_circuits():
+    """The 34-circuit population.
+
+    Mirrors the paper's "34 randomly selected circuits": Clifford+T-heavy
+    randoms, mixed-rotation randoms, and a few deep warm-started
+    (Clifford-point) VQE ansatz instances — the family behind the paper's
+    extreme data point.
+    """
+    circuits = []
+    for seed in range(18):
+        n = 4 + seed % 5
+        circuits.append(
+            (f"cliffT-{n}q-{seed}", random_clifford_t_circuit(n, 12 * n, seed=seed))
+        )
+    for seed in range(10):
+        n = 4 + seed % 4
+        circuits.append(
+            (
+                f"mixed-{n}q-{seed}",
+                random_circuit(n, 10 * n, two_qubit_fraction=0.35, seed=100 + seed),
+            )
+        )
+    for seed in range(6):
+        n = 4 + seed % 3
+        circuits.append(
+            (f"cliffVQE-{n}q-{seed}", clifford_vqe_ansatz(n, 20 + 10 * seed, seed=seed))
+        )
+    return circuits
+
+
+def test_fig5_average_reduction(benchmark):
+    """The headline Figure 5 series: depth reduction over 34 circuits."""
+
+    def sweep():
+        rows = []
+        for name, circuit in _fig5_circuits():
+            result = optimize_circuit(circuit)
+            rows.append(
+                {
+                    "circuit": name,
+                    "depth_before": result.depth_before,
+                    "depth_after": result.depth_after,
+                    "reduction": result.depth_reduction,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = [row["reduction"] for row in rows]
+    mean = float(np.mean(ratios))
+    print("\nFigure 5 — ZX optimization depth reduction (34 random circuits)")
+    print(f"{'circuit':<18}{'before':>8}{'after':>8}{'ratio':>8}")
+    for row in rows:
+        print(
+            f"{row['circuit']:<18}{row['depth_before']:>8}"
+            f"{row['depth_after']:>8}{row['reduction']:>8.2f}"
+        )
+    print(f"{'MEAN':<18}{'':>8}{'':>8}{mean:>8.2f}   (paper: 1.48)")
+    save_results("fig5_zx_depth", {"rows": rows, "mean": mean})
+    # shape assertions: never worse, and a meaningful average reduction
+    assert all(r >= 1.0 for r in ratios)
+    assert mean >= 1.2
+
+
+def test_fig5_vqe_extreme_case(benchmark):
+    """The paper's extreme case: a deep VQE collapses by a large factor.
+
+    The substrate analogue of the paper's depth-7656 VQE is a deep
+    hardware-efficient ansatz at Clifford angle points (a warm-started
+    VQE), which ZX-calculus collapses to near-constant depth.
+    """
+    deep = clifford_vqe_ansatz(6, layers=150, seed=3)
+
+    result = benchmark.pedantic(lambda: optimize_circuit(deep), rounds=1, iterations=1)
+    print(
+        f"\nVQE extreme case: depth {result.depth_before} -> "
+        f"{result.depth_after} ({result.depth_reduction:.2f}x; paper: 7656 -> 1110)"
+    )
+    save_results(
+        "fig5_vqe_extreme",
+        {
+            "depth_before": result.depth_before,
+            "depth_after": result.depth_after,
+            "reduction": result.depth_reduction,
+        },
+    )
+    assert result.depth_reduction >= 2.0
+
+
+def test_fig5_optimization_speed(benchmark):
+    """Timed kernel: one ZX optimization pass on a 5-qubit circuit."""
+    circuit = random_clifford_t_circuit(5, 60, seed=0)
+    result = benchmark(lambda: optimize_circuit(circuit))
+    assert result.depth_after <= result.depth_before

@@ -1,0 +1,54 @@
+"""Figure 8: pulse latency with vs without the regrouping step.
+
+Paper result: across 17 QASMBench programs, regrouping the synthesized
+VUGs before QOC always shortens total circuit latency — an average 51.11%
+reduction.  This benchmark runs both settings of the EPOC pipeline over
+the same 17-program suite and prints the per-program latency pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_common import save_results
+
+
+def test_fig8_latency_grouping(benchmark, grouping_sweep):
+    """Per-program latency: grouped vs ungrouped (the Figure 8 bars)."""
+    rows = benchmark.pedantic(
+        lambda: [
+            {
+                "circuit": name,
+                "latency_grouped_ns": pair["grouped"].latency_ns,
+                "latency_ungrouped_ns": pair["ungrouped"].latency_ns,
+                "reduction_pct": 100.0
+                * (1.0 - pair["grouped"].latency_ns / pair["ungrouped"].latency_ns)
+                if pair["ungrouped"].latency_ns
+                else 0.0,
+            }
+            for name, pair in grouping_sweep.items()
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 8 — latency with vs without grouping (ns)")
+    print(f"{'circuit':<14}{'grouped':>10}{'no group':>10}{'saving':>9}")
+    for row in rows:
+        print(
+            f"{row['circuit']:<14}{row['latency_grouped_ns']:>10.1f}"
+            f"{row['latency_ungrouped_ns']:>10.1f}{row['reduction_pct']:>8.1f}%"
+        )
+    mean_saving = float(np.mean([row["reduction_pct"] for row in rows]))
+    print(f"{'MEAN SAVING':<14}{'':>10}{'':>10}{mean_saving:>8.1f}%   (paper: 51.11%)")
+    save_results("fig8_latency", {"rows": rows, "mean_saving_pct": mean_saving})
+
+    # shape assertions: grouping never hurts beyond binary-search
+    # granularity (10%), and the average saving is large
+    for row in rows:
+        assert (
+            row["latency_grouped_ns"] <= 1.10 * row["latency_ungrouped_ns"] + 1e-6
+        ), row
+    # the paper reports 51% with 8-qubit regrouped blocks on a cluster;
+    # at our 3-qubit regroup limit the saving is smaller but must stay
+    # clearly positive on average (see EXPERIMENTS.md for the measurement)
+    assert mean_saving >= 10.0

@@ -1,0 +1,95 @@
+"""Table 1: EPOC vs PAQOC vs gate-based on the seven named circuits.
+
+Paper result (Table 1): on simon, bb84, bv, qaoa, decod24, dnn and ham7,
+EPOC reduces latency by 31.74% on average vs PAQOC and by 76.80% vs the
+gate-based flow, with generally higher fidelity.  Absolute nanoseconds
+depend on the hardware model; the asserted *shape* is the ordering
+EPOC < PAQOC < gate-based on average and per-circuit EPOC wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import GateBasedFlow, PAQOCFlow
+from repro.core import EPOCPipeline
+from repro.qoc import PulseLibrary
+from repro.workloads import table1_suite
+
+from _bench_common import BENCH_EPOC, BENCH_QOC, save_results
+
+
+def test_table1_comparison(benchmark):
+    """Regenerate Table 1's latency and fidelity columns."""
+
+    def sweep():
+        suite = table1_suite()
+        gate_flow = GateBasedFlow(BENCH_EPOC)
+        paqoc_flow = PAQOCFlow(
+            BENCH_EPOC,
+            library=PulseLibrary(config=BENCH_QOC, match_global_phase=False),
+        )
+        epoc_pipe = EPOCPipeline(
+            BENCH_EPOC,
+            library=PulseLibrary(config=BENCH_QOC, match_global_phase=True),
+        )
+        rows = []
+        for name, circuit in suite.items():
+            gate = gate_flow.compile(circuit, name)
+            paqoc = paqoc_flow.compile(circuit, name)
+            epoc = epoc_pipe.compile(circuit, name)
+            rows.append(
+                {
+                    "circuit": name,
+                    "gate_latency_ns": gate.latency_ns,
+                    "paqoc_latency_ns": paqoc.latency_ns,
+                    "epoc_latency_ns": epoc.latency_ns,
+                    "paqoc_fidelity": paqoc.fidelity,
+                    "epoc_fidelity": epoc.fidelity,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nTable 1 — latency (ns) and fidelity per flow")
+    print(
+        f"{'circuit':<10}{'gate-based':>11}{'paqoc':>9}{'epoc':>9}"
+        f"{'fid paqoc':>11}{'fid epoc':>10}"
+    )
+    for row in rows:
+        print(
+            f"{row['circuit']:<10}{row['gate_latency_ns']:>11.1f}"
+            f"{row['paqoc_latency_ns']:>9.1f}{row['epoc_latency_ns']:>9.1f}"
+            f"{row['paqoc_fidelity']:>11.3f}{row['epoc_fidelity']:>10.3f}"
+        )
+    vs_paqoc = float(
+        np.mean(
+            [
+                100.0 * (1.0 - row["epoc_latency_ns"] / row["paqoc_latency_ns"])
+                for row in rows
+            ]
+        )
+    )
+    vs_gate = float(
+        np.mean(
+            [
+                100.0 * (1.0 - row["epoc_latency_ns"] / row["gate_latency_ns"])
+                for row in rows
+            ]
+        )
+    )
+    print(
+        f"\nEPOC latency reduction: {vs_paqoc:.2f}% vs PAQOC (paper: 31.74%), "
+        f"{vs_gate:.2f}% vs gate-based (paper: 76.80%)"
+    )
+    save_results(
+        "table1_comparison",
+        {"rows": rows, "reduction_vs_paqoc_pct": vs_paqoc, "reduction_vs_gate_pct": vs_gate},
+    )
+
+    # shape assertions: the ordering the paper reports
+    for row in rows:
+        assert row["epoc_latency_ns"] < row["gate_latency_ns"], row
+    assert vs_paqoc > 10.0
+    assert vs_gate > 50.0

@@ -1,0 +1,43 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The figure benchmarks (8, 9, 10) all consume the same grouping-ablation
+sweep over the 17-program suite, so it is computed once per session here
+and cached.  Results are also dumped as JSON under
+``benchmarks/results/`` so EXPERIMENTS.md can cite exact numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core import EPOCPipeline
+from repro.qoc import PulseLibrary
+from repro.workloads import benchmark_suite
+
+from _bench_common import BENCH_EPOC, BENCH_QOC
+
+
+@pytest.fixture(scope="session")
+def grouping_sweep() -> Dict[str, Dict[str, object]]:
+    """EPOC with vs without the regrouping step on the 17-program suite.
+
+    Each setting keeps its own persistent pulse library across the suite
+    (the realistic deployment mode: the library is reused between
+    programs, as in AccQOC/PAQOC/EPOC).
+    """
+    suite = benchmark_suite()
+    grouped_library = PulseLibrary(config=BENCH_QOC, match_global_phase=True)
+    ungrouped_library = PulseLibrary(config=BENCH_QOC, match_global_phase=True)
+    grouped_pipe = EPOCPipeline(BENCH_EPOC, library=grouped_library)
+    ungrouped_pipe = EPOCPipeline(
+        BENCH_EPOC, library=ungrouped_library, use_regrouping=False
+    )
+    results: Dict[str, Dict[str, object]] = {}
+    for name, circuit in suite.items():
+        results[name] = {
+            "grouped": grouped_pipe.compile(circuit, name),
+            "ungrouped": ungrouped_pipe.compile(circuit, name),
+        }
+    return results

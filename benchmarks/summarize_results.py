@@ -1,0 +1,72 @@
+"""Summarize benchmarks/results/*.json into the EXPERIMENTS.md numbers.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/summarize_results.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+RESULTS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def _load(name):
+    path = os.path.join(RESULTS, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main() -> None:
+    fig5 = _load("fig5_zx_depth")
+    if fig5:
+        print(f"Fig 5  mean depth reduction : {fig5['mean']:.2f}x (paper 1.48x)")
+    extreme = _load("fig5_vqe_extreme")
+    if extreme:
+        print(
+            f"Fig 5  extreme VQE case     : {extreme['depth_before']:.0f} -> "
+            f"{extreme['depth_after']:.0f} ({extreme['reduction']:.1f}x; paper 6.9x)"
+        )
+    fig8 = _load("fig8_latency")
+    if fig8:
+        print(
+            f"Fig 8  mean latency saving  : {fig8['mean_saving_pct']:.1f}% "
+            f"(paper 51.11%)"
+        )
+    fig9 = _load("fig9_compile_time")
+    if fig9:
+        print(
+            f"Fig 9  grouping overhead    : {fig9['grouping_overhead_pct']:+.1f}% "
+            f"(paper +7.11%)"
+        )
+    fig10 = _load("fig10_fidelity")
+    if fig10:
+        print(
+            f"Fig 10 mean fidelity gain   : {fig10['mean_gain_pct']:+.2f}% "
+            f"(paper +33.77%)"
+        )
+    table1 = _load("table1_comparison")
+    if table1:
+        print(
+            f"Table 1 EPOC vs PAQOC       : -{table1['reduction_vs_paqoc_pct']:.2f}% "
+            f"(paper -31.74%)"
+        )
+        print(
+            f"Table 1 EPOC vs gate-based  : -{table1['reduction_vs_gate_pct']:.2f}% "
+            f"(paper -76.80%)"
+        )
+    cache = _load("ablation_cache")
+    if cache:
+        for mode, stats in cache.items():
+            print(
+                f"Cache ablation [{mode:<12}] : hit rate "
+                f"{stats['hit_rate']:.2%} ({stats['entries']:.0f} entries)"
+            )
+
+
+if __name__ == "__main__":
+    main()

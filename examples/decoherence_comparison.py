@@ -1,0 +1,55 @@
+"""Why latency matters: the four flows under NISQ decoherence.
+
+Compiles one workload with every flow and scores each schedule with the
+coherence-aware ESP: pulse-level fidelity (Eq. 3) times T1/T2 decay over
+the schedule.  On short-coherence hardware the latency savings of EPOC
+translate directly into higher end-to-end fidelity — the paper's core
+motivation, quantified.
+
+Run:  python examples/decoherence_comparison.py
+"""
+
+from repro.baselines import GateBasedFlow, PAQOCFlow
+from repro.config import EPOCConfig, QOCConfig
+from repro.core import CoherenceModel, EPOCPipeline, esp_with_decoherence
+from repro.workloads import qaoa_maxcut
+
+
+def main() -> None:
+    circuit = qaoa_maxcut(4, layers=1)
+    config = EPOCConfig(
+        partition_qubit_limit=3,
+        regroup_qubit_limit=3,
+        qoc=QOCConfig(dt=1.0, fidelity_threshold=0.995, max_iterations=100),
+    )
+    flows = [GateBasedFlow(config), PAQOCFlow(config), EPOCPipeline(config)]
+    print("compiling (GRAPE runs take a minute)...\n")
+    reports = [flow.compile(circuit, "qaoa") for flow in flows]
+
+    # sweep hardware quality: generous to harsh coherence windows
+    models = {
+        "T1=100us": CoherenceModel(t1_ns=100_000.0, t2_ns=80_000.0),
+        "T1=20us": CoherenceModel(t1_ns=20_000.0, t2_ns=15_000.0),
+        "T1=5us": CoherenceModel(t1_ns=5_000.0, t2_ns=4_000.0),
+    }
+    header = f"{'flow':<12}{'latency':>9}{'pulse ESP':>11}" + "".join(
+        f"{name:>12}" for name in models
+    )
+    print(header)
+    for report in reports:
+        cells = "".join(
+            f"{esp_with_decoherence(report.fidelity, report.schedule, m):>12.4f}"
+            for m in models.values()
+        )
+        print(
+            f"{report.method:<12}{report.latency_ns:>9.1f}"
+            f"{report.fidelity:>11.4f}{cells}"
+        )
+    print(
+        "\nThe harsher the coherence window, the more EPOC's latency "
+        "reduction dominates end-to-end fidelity."
+    )
+
+
+if __name__ == "__main__":
+    main()

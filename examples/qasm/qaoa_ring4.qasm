@@ -1,0 +1,10 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// one QAOA MaxCut round on a 4-node ring (gamma=0.7, beta=0.4)
+qreg q[4];
+h q;
+rzz(0.7) q[0], q[1];
+rzz(0.7) q[1], q[2];
+rzz(0.7) q[2], q[3];
+rzz(0.7) q[3], q[0];
+rx(2*0.4) q;

@@ -1,0 +1,13 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// coherent teleportation core (no mid-circuit measurement):
+// entangle q1-q2, Bell-rotate q0-q1, classically-controlled fixups
+// replaced by their coherent controlled versions
+qreg q[3];
+gate bellpair a, b { h a; cx a, b; }
+bellpair q[1], q[2];
+u3(pi/5, 0.3, -0.2) q[0];   // the state to teleport
+cx q[0], q[1];
+h q[0];
+cx q[1], q[2];
+cz q[0], q[2];

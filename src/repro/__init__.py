@@ -1,0 +1,22 @@
+"""repro — a full reproduction of EPOC (DAC 2025).
+
+EPOC is a pulse-generation framework that combines ZX-calculus
+optimization, greedy circuit partitioning, VUG-based circuit synthesis and
+GRAPE quantum optimal control to produce low-latency microwave pulse
+schedules for quantum circuits.
+
+Public API highlights
+---------------------
+* :class:`repro.circuits.QuantumCircuit` — circuit IR with QASM I/O.
+* :func:`repro.zx.full_reduce` / :func:`repro.zx.optimize_circuit` — the
+  ZX-calculus optimizer.
+* :func:`repro.partition.greedy_partition` — Algorithm 1.
+* :func:`repro.synthesis.synthesize_unitary` — Algorithm 2 (QSearch-style).
+* :class:`repro.core.EPOCPipeline` — the end-to-end EPOC flow.
+* :mod:`repro.baselines` — gate-based, AccQOC-like and PAQOC-like flows.
+"""
+
+from repro._version import __version__
+from repro.config import EPOCConfig
+
+__all__ = ["__version__", "EPOCConfig"]

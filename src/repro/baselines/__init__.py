@@ -1,0 +1,7 @@
+"""Comparator flows: gate-based, AccQOC-like and PAQOC-like pipelines."""
+
+from repro.baselines.gate_based import GateBasedFlow
+from repro.baselines.accqoc import AccQOCFlow
+from repro.baselines.paqoc import PAQOCFlow
+
+__all__ = ["GateBasedFlow", "AccQOCFlow", "PAQOCFlow"]

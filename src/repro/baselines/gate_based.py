@@ -1,0 +1,61 @@
+"""The traditional gate-based pulse flow (paper Figure 3, left path).
+
+Decompose to the native basis ({u3, cx}), then play one pre-calibrated
+pulse per gate.  Latency comes from the calibrated duration table and
+fidelity from per-gate calibrated error rates — no optimal control at all.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.config import EPOCConfig
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.transpile import decompose_to_cx_u3
+from repro.core.metrics import CompilationReport, esp_fidelity
+from repro.pulse.hardware import GateLatencyModel
+from repro.pulse.schedule import PulseSchedule
+
+__all__ = ["GateBasedFlow"]
+
+
+class GateBasedFlow:
+    """Calibrated-pulse-per-gate compilation."""
+
+    def __init__(self, config: Optional[EPOCConfig] = None):
+        self.config = config or EPOCConfig()
+        self.latency_model = GateLatencyModel(self.config.hardware)
+
+    def compile(
+        self, circuit: QuantumCircuit, name: str = "circuit"
+    ) -> CompilationReport:
+        start = time.perf_counter()
+        native = decompose_to_cx_u3(circuit.without_pseudo_ops())
+        schedule = PulseSchedule(circuit.num_qubits)
+        errors: List[float] = []
+        hw = self.config.hardware
+        for gate in native.gates:
+            duration = self.latency_model.duration(gate)
+            schedule.add_interval(gate.qubits, duration, label=gate.name)
+            if gate.num_qubits == 1:
+                errors.append(hw.one_qubit_gate_error)
+            elif gate.num_qubits == 2:
+                errors.append(hw.two_qubit_gate_error)
+            else:
+                errors.append(hw.three_qubit_gate_error)
+        elapsed = time.perf_counter() - start
+        return CompilationReport(
+            method="gate-based",
+            circuit_name=name,
+            num_qubits=circuit.num_qubits,
+            schedule=schedule,
+            latency_ns=schedule.latency,
+            fidelity=esp_fidelity(errors),
+            compile_seconds=elapsed,
+            pulse_count=len(native),
+            stats={
+                "native_gates": float(len(native)),
+                "native_depth": float(native.depth()),
+            },
+        )

@@ -1,0 +1,30 @@
+"""Circuit intermediate representation: gates, circuits, DAGs, QASM I/O."""
+
+from repro.circuits.gates import Gate, GateSpec, GATE_SPECS, gate_matrix
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG, circuit_to_dag
+from repro.circuits.qasm import parse_qasm, circuit_to_qasm
+from repro.circuits.routing import RoutingResult, line_coupling_map, route_to_line
+from repro.circuits.random_circuits import (
+    random_circuit,
+    random_clifford_t_circuit,
+    random_layered_ansatz,
+)
+
+__all__ = [
+    "Gate",
+    "GateSpec",
+    "GATE_SPECS",
+    "gate_matrix",
+    "QuantumCircuit",
+    "CircuitDAG",
+    "circuit_to_dag",
+    "parse_qasm",
+    "circuit_to_qasm",
+    "random_circuit",
+    "random_clifford_t_circuit",
+    "random_layered_ansatz",
+    "RoutingResult",
+    "line_coupling_map",
+    "route_to_line",
+]

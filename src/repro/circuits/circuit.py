@@ -1,0 +1,307 @@
+"""The circuit intermediate representation used throughout the library."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.circuits.gates import Gate, GATE_SPECS, NON_UNITARY_OPS
+from repro.linalg.tensor import apply_gate_to_state
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered list of gates on ``num_qubits`` qubits.
+
+    Qubit ordering is big-endian (qubit 0 is the most-significant bit of a
+    basis index) — see :mod:`repro.linalg.tensor`.  The class is a plain IR:
+    it stores gates in program order and offers structural queries (depth,
+    layers, counts), unitary/statevector simulation for moderate qubit
+    counts, and composition utilities.
+    """
+
+    def __init__(self, num_qubits: int, gates: Optional[Iterable[Gate]] = None):
+        if num_qubits < 0:
+            raise CircuitError("num_qubits must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self.gates: List[Gate] = []
+        for gate in gates or ():
+            self.append(gate)
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a :class:`Gate`, validating its qubit indices."""
+        if any(q < 0 or q >= self.num_qubits for q in gate.qubits):
+            raise CircuitError(
+                f"gate {gate.name!r} on {gate.qubits} is out of range for "
+                f"{self.num_qubits} qubits"
+            )
+        self.gates.append(gate)
+        return self
+
+    def add(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[float] = (),
+        matrix: Optional[np.ndarray] = None,
+    ) -> "QuantumCircuit":
+        """Append a gate by name; ``matrix`` only for ``name='unitary'``."""
+        return self.append(
+            Gate(name, tuple(qubits), tuple(params), matrix_override=matrix)
+        )
+
+    # Convenience constructors for the common gates keep example and
+    # workload code readable: ``qc.h(0); qc.cx(0, 1)``.
+
+    def x(self, q: int):
+        return self.add("x", [q])
+
+    def y(self, q: int):
+        return self.add("y", [q])
+
+    def z(self, q: int):
+        return self.add("z", [q])
+
+    def h(self, q: int):
+        return self.add("h", [q])
+
+    def s(self, q: int):
+        return self.add("s", [q])
+
+    def sdg(self, q: int):
+        return self.add("sdg", [q])
+
+    def t(self, q: int):
+        return self.add("t", [q])
+
+    def tdg(self, q: int):
+        return self.add("tdg", [q])
+
+    def sx(self, q: int):
+        return self.add("sx", [q])
+
+    def rx(self, theta: float, q: int):
+        return self.add("rx", [q], [theta])
+
+    def ry(self, theta: float, q: int):
+        return self.add("ry", [q], [theta])
+
+    def rz(self, theta: float, q: int):
+        return self.add("rz", [q], [theta])
+
+    def p(self, lam: float, q: int):
+        return self.add("p", [q], [lam])
+
+    def u3(self, theta: float, phi: float, lam: float, q: int):
+        return self.add("u3", [q], [theta, phi, lam])
+
+    def cx(self, control: int, target: int):
+        return self.add("cx", [control, target])
+
+    def cy(self, control: int, target: int):
+        return self.add("cy", [control, target])
+
+    def cz(self, control: int, target: int):
+        return self.add("cz", [control, target])
+
+    def ch(self, control: int, target: int):
+        return self.add("ch", [control, target])
+
+    def swap(self, a: int, b: int):
+        return self.add("swap", [a, b])
+
+    def crz(self, theta: float, control: int, target: int):
+        return self.add("crz", [control, target], [theta])
+
+    def cp(self, lam: float, control: int, target: int):
+        return self.add("cp", [control, target], [lam])
+
+    def rzz(self, theta: float, a: int, b: int):
+        return self.add("rzz", [a, b], [theta])
+
+    def rxx(self, theta: float, a: int, b: int):
+        return self.add("rxx", [a, b], [theta])
+
+    def ccx(self, c1: int, c2: int, target: int):
+        return self.add("ccx", [c1, c2, target])
+
+    def cswap(self, control: int, a: int, b: int):
+        return self.add("cswap", [control, a, b])
+
+    def barrier(self, *qubits: int):
+        qs = tuple(qubits) if qubits else tuple(range(self.num_qubits))
+        return self.add("barrier", qs)
+
+    def measure_all(self):
+        for q in range(self.num_qubits):
+            self.add("measure", [q])
+        return self
+
+    def unitary_gate(self, matrix: np.ndarray, qubits: Sequence[int], label=None):
+        """Append an explicit-matrix gate."""
+        return self.append(
+            Gate("unitary", tuple(qubits), matrix_override=np.asarray(matrix, complex), label=label)
+        )
+
+    # -- protocol ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{n}:{c}" for n, c in sorted(self.count_ops().items()))
+        return (
+            f"QuantumCircuit(num_qubits={self.num_qubits}, "
+            f"gates={len(self.gates)} [{counts}])"
+        )
+
+    def copy(self) -> "QuantumCircuit":
+        return QuantumCircuit(self.num_qubits, list(self.gates))
+
+    # -- structure -----------------------------------------------------------
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        return dict(Counter(g.name for g in self.gates))
+
+    @property
+    def two_qubit_count(self) -> int:
+        """Number of unitary gates touching >= 2 qubits."""
+        return sum(1 for g in self.gates if g.is_unitary_op and g.num_qubits >= 2)
+
+    def unitary_gates(self) -> List[Gate]:
+        """Gates that carry a unitary (drops barrier/measure/reset)."""
+        return [g for g in self.gates if g.is_unitary_op]
+
+    def layers(self) -> List[List[Gate]]:
+        """ASAP layering: each gate goes in the earliest layer where all of
+        its qubits are free.  Barriers synchronize their qubits but occupy
+        no layer themselves."""
+        frontier = [0] * self.num_qubits
+        layers: List[List[Gate]] = []
+        for gate in self.gates:
+            if gate.name == "barrier":
+                level = max((frontier[q] for q in gate.qubits), default=0)
+                for q in gate.qubits:
+                    frontier[q] = level
+                continue
+            if not gate.qubits:
+                continue
+            level = max(frontier[q] for q in gate.qubits)
+            while len(layers) <= level:
+                layers.append([])
+            layers[level].append(gate)
+            for q in gate.qubits:
+                frontier[q] = level + 1
+        return layers
+
+    def depth(self) -> int:
+        """Circuit depth (number of ASAP layers of unitary gates)."""
+        return len(self.layers())
+
+    # -- semantics -----------------------------------------------------------
+
+    def unitary(self, max_qubits: int = 12) -> np.ndarray:
+        """The full ``2**n x 2**n`` unitary of the circuit.
+
+        Guarded by ``max_qubits`` because memory grows as ``4**n``.
+        """
+        if self.num_qubits > max_qubits:
+            raise CircuitError(
+                f"refusing to build a {self.num_qubits}-qubit unitary "
+                f"(limit {max_qubits}); raise max_qubits explicitly if intended"
+            )
+        dim = 2**self.num_qubits
+        state = np.eye(dim, dtype=complex)
+        for gate in self.gates:
+            if not gate.is_unitary_op:
+                continue
+            state = apply_gate_to_state(
+                gate.matrix(), state, gate.qubits, self.num_qubits
+            )
+        return state
+
+    def statevector(self, initial: Optional[np.ndarray] = None) -> np.ndarray:
+        """Simulate the circuit on ``initial`` (default ``|0...0>``)."""
+        dim = 2**self.num_qubits
+        if initial is None:
+            state = np.zeros(dim, dtype=complex)
+            state[0] = 1.0
+        else:
+            state = np.asarray(initial, dtype=complex).copy()
+            if state.shape != (dim,):
+                raise CircuitError(f"initial state must have shape ({dim},)")
+        for gate in self.gates:
+            if not gate.is_unitary_op:
+                continue
+            state = apply_gate_to_state(
+                gate.matrix(), state, gate.qubits, self.num_qubits
+            )
+        return state
+
+    # -- composition -----------------------------------------------------------
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit (reversed gate order, inverted gates)."""
+        inv = QuantumCircuit(self.num_qubits)
+        for gate in reversed(self.unitary_gates()):
+            inv.append(gate.inverse())
+        return inv
+
+    def compose(
+        self, other: "QuantumCircuit", qubits: Optional[Sequence[int]] = None
+    ) -> "QuantumCircuit":
+        """Return ``self`` followed by ``other`` (mapped onto ``qubits``)."""
+        if qubits is None:
+            qubits = list(range(other.num_qubits))
+        if len(qubits) != other.num_qubits:
+            raise CircuitError(
+                f"qubit map has {len(qubits)} entries for a "
+                f"{other.num_qubits}-qubit circuit"
+            )
+        out = self.copy()
+        for gate in other.gates:
+            out.append(gate.with_qubits(tuple(qubits[q] for q in gate.qubits)))
+        return out
+
+    def remapped(self, qubit_map: Sequence[int], num_qubits: int) -> "QuantumCircuit":
+        """Rebuild the circuit on a larger register via ``qubit_map``."""
+        out = QuantumCircuit(num_qubits)
+        for gate in self.gates:
+            out.append(gate.with_qubits(tuple(qubit_map[q] for q in gate.qubits)))
+        return out
+
+    def without_pseudo_ops(self) -> "QuantumCircuit":
+        """Copy with barriers/measures/resets removed."""
+        return QuantumCircuit(self.num_qubits, self.unitary_gates())
+
+    def active_qubits(self) -> List[int]:
+        """Qubits touched by at least one gate, sorted."""
+        used = set()
+        for gate in self.gates:
+            used.update(gate.qubits)
+        return sorted(used)
+
+    # -- io --------------------------------------------------------------------
+
+    def to_qasm(self) -> str:
+        """Serialize to OpenQASM 2.0 (see :mod:`repro.circuits.qasm`)."""
+        from repro.circuits.qasm import circuit_to_qasm
+
+        return circuit_to_qasm(self)
+
+    @classmethod
+    def from_qasm(cls, text: str) -> "QuantumCircuit":
+        """Parse an OpenQASM 2.0 program (see :mod:`repro.circuits.qasm`)."""
+        from repro.circuits.qasm import parse_qasm
+
+        return parse_qasm(text)

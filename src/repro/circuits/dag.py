@@ -1,0 +1,95 @@
+"""Dependency DAG over circuit gates.
+
+Used by the partitioner (to pull the next schedulable gate), by PAQOC's
+criticality analysis (critical-path weights) and by the pulse scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+__all__ = ["CircuitDAG", "circuit_to_dag"]
+
+
+class CircuitDAG:
+    """A networkx DiGraph whose nodes are gate indices into the circuit.
+
+    An edge ``i -> j`` means gate ``j`` shares a qubit with gate ``i`` and
+    appears later in program order with no intervening gate on that qubit.
+    """
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_qubit: Dict[int, int] = {}
+        for index, gate in enumerate(circuit.gates):
+            self.graph.add_node(index, gate=gate)
+            for q in gate.qubits:
+                if q in last_on_qubit:
+                    self.graph.add_edge(last_on_qubit[q], index)
+                last_on_qubit[q] = index
+
+    def gate(self, index: int) -> Gate:
+        return self.circuit.gates[index]
+
+    def predecessors(self, index: int) -> List[int]:
+        return list(self.graph.predecessors(index))
+
+    def successors(self, index: int) -> List[int]:
+        return list(self.graph.successors(index))
+
+    def topological_order(self) -> List[int]:
+        return list(nx.topological_sort(self.graph))
+
+    def front_layer(self) -> List[int]:
+        """Gates with no unfinished predecessors (in-degree zero)."""
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+    def layers(self) -> List[List[int]]:
+        """Topological generations: the DAG analogue of ASAP layers."""
+        return [sorted(gen) for gen in nx.topological_generations(self.graph)]
+
+    def critical_path_weights(
+        self, weight_fn: Optional[Callable[[Gate], float]] = None
+    ) -> Dict[int, float]:
+        """Per-gate criticality: length of the longest weighted path through
+        each gate, divided by the overall critical-path length.
+
+        ``weight_fn`` maps a gate to a duration (default: 1 per gate).  A
+        gate with criticality 1.0 lies on the circuit's critical path; PAQOC
+        prioritizes pulse optimization for such gates.
+        """
+        weight_fn = weight_fn or (lambda gate: 1.0)
+        order = self.topological_order()
+        longest_to: Dict[int, float] = {}
+        for node in order:
+            w = weight_fn(self.gate(node))
+            preds = self.predecessors(node)
+            longest_to[node] = w + max(
+                (longest_to[p] for p in preds), default=0.0
+            )
+        longest_from: Dict[int, float] = {}
+        for node in reversed(order):
+            w = weight_fn(self.gate(node))
+            succs = self.successors(node)
+            longest_from[node] = w + max(
+                (longest_from[s] for s in succs), default=0.0
+            )
+        if not order:
+            return {}
+        total = max(longest_to.values())
+        return {
+            node: (longest_to[node] + longest_from[node] - weight_fn(self.gate(node)))
+            / total
+            for node in order
+        }
+
+
+def circuit_to_dag(circuit: QuantumCircuit) -> CircuitDAG:
+    """Build the dependency DAG of ``circuit``."""
+    return CircuitDAG(circuit)

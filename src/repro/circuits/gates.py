@@ -1,0 +1,313 @@
+"""Gate definitions: matrices, arities and inverse rules.
+
+The registry in :data:`GATE_SPECS` names every gate the OpenQASM parser and
+the circuit IR understand.  Matrices follow the OpenQASM 2.0 / qelib1
+conventions; rotation gates are ``exp(-i * angle * P / 2)`` for Pauli ``P``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+__all__ = [
+    "Gate",
+    "GateSpec",
+    "GATE_SPECS",
+    "gate_matrix",
+    "u3_matrix",
+    "rx_matrix",
+    "ry_matrix",
+    "rz_matrix",
+    "controlled",
+]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+# -- matrix builders ---------------------------------------------------------
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """OpenQASM ``u3`` gate matrix."""
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """``exp(-i * theta * X / 2)``."""
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """``exp(-i * theta * Y / 2)``."""
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """``exp(-i * theta * Z / 2)``."""
+    phase = cmath.exp(1j * theta / 2.0)
+    return np.array([[1.0 / phase, 0.0], [0.0, phase]], dtype=complex)
+
+
+def _p_matrix(lam: float) -> np.ndarray:
+    return np.array([[1.0, 0.0], [0.0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def controlled(matrix: np.ndarray) -> np.ndarray:
+    """Add one control qubit (most significant) to ``matrix``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = matrix.shape[0]
+    out = np.eye(2 * dim, dtype=complex)
+    out[dim:, dim:] = matrix
+    return out
+
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = _S.conj().T
+_T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+_TDG = _T.conj().T
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_SXDG = _SX.conj().T
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def _rxx_matrix(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    isin = -1j * math.sin(theta / 2.0)
+    out = np.eye(4, dtype=complex) * cos
+    out[0, 3] = out[3, 0] = out[1, 2] = out[2, 1] = isin
+    return out
+
+
+def _ryy_matrix(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    isin = 1j * math.sin(theta / 2.0)
+    out = np.eye(4, dtype=complex) * cos
+    out[0, 3] = out[3, 0] = isin
+    out[1, 2] = out[2, 1] = -isin
+    return out
+
+
+def _rzz_matrix(theta: float) -> np.ndarray:
+    phase = cmath.exp(1j * theta / 2.0)
+    return np.diag([1.0 / phase, phase, phase, 1.0 / phase]).astype(complex)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a named gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray]
+    #: inverse rule: ("self",), ("name", other) or ("negate",)
+    inverse: Tuple = ("dagger",)
+
+    def matrix(self, params: Tuple[float, ...]) -> np.ndarray:
+        if len(params) != self.num_params:
+            raise CircuitError(
+                f"gate {self.name!r} takes {self.num_params} parameters, "
+                f"got {len(params)}"
+            )
+        return self.matrix_fn(*params)
+
+
+GATE_SPECS: Dict[str, GateSpec] = {}
+
+
+def _register(spec: GateSpec) -> None:
+    GATE_SPECS[spec.name] = spec
+
+
+_register(GateSpec("id", 1, 0, lambda: _I, ("self",)))
+_register(GateSpec("x", 1, 0, lambda: _X, ("self",)))
+_register(GateSpec("y", 1, 0, lambda: _Y, ("self",)))
+_register(GateSpec("z", 1, 0, lambda: _Z, ("self",)))
+_register(GateSpec("h", 1, 0, lambda: _H, ("self",)))
+_register(GateSpec("s", 1, 0, lambda: _S, ("name", "sdg")))
+_register(GateSpec("sdg", 1, 0, lambda: _SDG, ("name", "s")))
+_register(GateSpec("t", 1, 0, lambda: _T, ("name", "tdg")))
+_register(GateSpec("tdg", 1, 0, lambda: _TDG, ("name", "t")))
+_register(GateSpec("sx", 1, 0, lambda: _SX, ("name", "sxdg")))
+_register(GateSpec("sxdg", 1, 0, lambda: _SXDG, ("name", "sx")))
+_register(GateSpec("rx", 1, 1, rx_matrix, ("negate",)))
+_register(GateSpec("ry", 1, 1, ry_matrix, ("negate",)))
+_register(GateSpec("rz", 1, 1, rz_matrix, ("negate",)))
+_register(GateSpec("p", 1, 1, _p_matrix, ("negate",)))
+_register(GateSpec("u1", 1, 1, _p_matrix, ("negate",)))
+_register(
+    GateSpec(
+        "u2",
+        1,
+        2,
+        lambda phi, lam: u3_matrix(math.pi / 2.0, phi, lam),
+    )
+)
+_register(GateSpec("u3", 1, 3, u3_matrix))
+_register(GateSpec("u", 1, 3, u3_matrix))
+_register(GateSpec("cx", 2, 0, lambda: controlled(_X), ("self",)))
+_register(GateSpec("cy", 2, 0, lambda: controlled(_Y), ("self",)))
+_register(GateSpec("cz", 2, 0, lambda: controlled(_Z), ("self",)))
+_register(GateSpec("ch", 2, 0, lambda: controlled(_H), ("self",)))
+_register(GateSpec("swap", 2, 0, lambda: _SWAP, ("self",)))
+_register(GateSpec("iswap", 2, 0, lambda: _ISWAP))
+_register(GateSpec("crx", 2, 1, lambda t: controlled(rx_matrix(t)), ("negate",)))
+_register(GateSpec("cry", 2, 1, lambda t: controlled(ry_matrix(t)), ("negate",)))
+_register(GateSpec("crz", 2, 1, lambda t: controlled(rz_matrix(t)), ("negate",)))
+_register(GateSpec("cp", 2, 1, lambda t: controlled(_p_matrix(t)), ("negate",)))
+_register(GateSpec("cu1", 2, 1, lambda t: controlled(_p_matrix(t)), ("negate",)))
+_register(
+    GateSpec(
+        "cu3",
+        2,
+        3,
+        lambda t, p, l: controlled(u3_matrix(t, p, l)),
+    )
+)
+_register(GateSpec("rxx", 2, 1, _rxx_matrix, ("negate",)))
+_register(GateSpec("ryy", 2, 1, _ryy_matrix, ("negate",)))
+_register(GateSpec("rzz", 2, 1, _rzz_matrix, ("negate",)))
+_register(GateSpec("ccx", 3, 0, lambda: controlled(controlled(_X)), ("self",)))
+_register(GateSpec("ccz", 3, 0, lambda: controlled(controlled(_Z)), ("self",)))
+_register(GateSpec("cswap", 3, 0, lambda: controlled(_SWAP), ("self",)))
+
+#: Pseudo-operations the QASM parser accepts but that carry no unitary.
+NON_UNITARY_OPS = frozenset({"barrier", "measure", "reset"})
+
+
+def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Matrix of the named gate with the given parameters."""
+    try:
+        spec = GATE_SPECS[name]
+    except KeyError:
+        raise CircuitError(f"unknown gate {name!r}") from None
+    return spec.matrix(tuple(params))
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One circuit instruction: a named gate or a raw-unitary gate.
+
+    A ``Gate`` with ``name == "unitary"`` carries its matrix explicitly in
+    ``matrix_override`` (used for partition blocks and VUGs); every other
+    gate derives its matrix from :data:`GATE_SPECS`.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+    matrix_override: Optional[np.ndarray] = field(default=None, compare=False)
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"gate {self.name!r} repeats qubits: {self.qubits}")
+        if self.name == "unitary":
+            if self.matrix_override is None:
+                raise CircuitError("unitary gate requires an explicit matrix")
+            dim = 2 ** len(self.qubits)
+            if self.matrix_override.shape != (dim, dim):
+                raise CircuitError(
+                    f"unitary gate on {len(self.qubits)} qubits needs a "
+                    f"{dim}x{dim} matrix, got {self.matrix_override.shape}"
+                )
+        elif self.name in NON_UNITARY_OPS:
+            pass
+        else:
+            spec = GATE_SPECS.get(self.name)
+            if spec is None:
+                raise CircuitError(f"unknown gate {self.name!r}")
+            if spec.num_qubits != len(self.qubits):
+                raise CircuitError(
+                    f"gate {self.name!r} acts on {spec.num_qubits} qubits, "
+                    f"got {len(self.qubits)}"
+                )
+            if spec.num_params != len(self.params):
+                raise CircuitError(
+                    f"gate {self.name!r} takes {spec.num_params} parameters, "
+                    f"got {len(self.params)}"
+                )
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_unitary_op(self) -> bool:
+        """False only for barrier/measure/reset pseudo-ops."""
+        return self.name not in NON_UNITARY_OPS
+
+    def matrix(self) -> np.ndarray:
+        """The gate's matrix in its own qubit ordering (qubits[0] = MSB)."""
+        if self.name == "unitary":
+            return self.matrix_override
+        if not self.is_unitary_op:
+            raise CircuitError(f"{self.name!r} has no matrix")
+        return gate_matrix(self.name, self.params)
+
+    def inverse(self) -> "Gate":
+        """A gate implementing the inverse unitary."""
+        if self.name == "unitary":
+            return Gate(
+                "unitary",
+                self.qubits,
+                matrix_override=self.matrix_override.conj().T,
+                label=self.label,
+            )
+        if not self.is_unitary_op:
+            raise CircuitError(f"{self.name!r} has no inverse")
+        rule = GATE_SPECS[self.name].inverse
+        if rule[0] == "self":
+            return self
+        if rule[0] == "name":
+            return Gate(rule[1], self.qubits, self.params)
+        if rule[0] == "negate":
+            return Gate(self.name, self.qubits, tuple(-p for p in self.params))
+        return Gate(
+            "unitary", self.qubits, matrix_override=self.matrix().conj().T
+        )
+
+    def with_qubits(self, qubits: Tuple[int, ...]) -> "Gate":
+        """The same gate applied to different qubits."""
+        return Gate(
+            self.name,
+            tuple(qubits),
+            self.params,
+            matrix_override=self.matrix_override,
+            label=self.label,
+        )

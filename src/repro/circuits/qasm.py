@@ -1,0 +1,480 @@
+"""OpenQASM 2.0 parser and writer.
+
+Covers the subset used by QASMBench-style programs: register declarations,
+the qelib1 gate vocabulary, custom ``gate`` definitions (expanded inline),
+register broadcasting, ``barrier``/``measure``/``reset``, and constant
+arithmetic expressions (``pi``, ``+ - * / ^``, parentheses and the common
+unary functions) in gate parameters.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QasmError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_SPECS, NON_UNITARY_OPS
+from repro.linalg.decompose import euler_decompose_u3
+
+__all__ = ["parse_qasm", "circuit_to_qasm"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*)
+  | (?P<NUMBER>(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ARROW>->)
+  | (?P<EQ>==)
+  | (?P<SYM>[\[\]{}();,+\-*/^])
+  | (?P<STRING>"[^"]*")
+    """,
+    re.VERBOSE,
+)
+
+_FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QasmError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        if kind == "NUMBER":
+            tokens.append(_Token("NUMBER", match.group("NUMBER"), pos))
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, match.group(0), pos))
+        pos = match.end()
+    tokens.append(_Token("EOF", "", pos))
+    return tokens
+
+
+@dataclass
+class _GateDef:
+    """A user-defined ``gate`` macro: parameter names, qubit names, body."""
+
+    name: str
+    params: List[str]
+    qubits: List[str]
+    body: List[Tuple[str, List["_Expr"], List[str]]] = field(default_factory=list)
+
+
+# Parameter expressions in gate bodies may reference the macro's formal
+# parameters, so expressions are kept as small ASTs and evaluated at
+# expansion time with an environment.
+class _Expr:
+    def eval(self, env: Dict[str, float]) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class _Num(_Expr):
+    value: float
+
+    def eval(self, env):
+        return self.value
+
+
+@dataclass
+class _Var(_Expr):
+    name: str
+
+    def eval(self, env):
+        if self.name == "pi":
+            return math.pi
+        if self.name not in env:
+            raise QasmError(f"unknown identifier {self.name!r} in expression")
+        return env[self.name]
+
+
+@dataclass
+class _Unary(_Expr):
+    op: str
+    operand: _Expr
+
+    def eval(self, env):
+        value = self.operand.eval(env)
+        if self.op == "-":
+            return -value
+        if self.op in _FUNCTIONS:
+            return _FUNCTIONS[self.op](value)
+        raise QasmError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass
+class _Binary(_Expr):
+    op: str
+    left: _Expr
+    right: _Expr
+
+    def eval(self, env):
+        a = self.left.eval(env)
+        b = self.right.eval(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            return a / b
+        if self.op == "^":
+            return a**b
+        raise QasmError(f"unknown operator {self.op!r}")
+
+
+class _Parser:
+    """Recursive-descent parser producing a :class:`QuantumCircuit`."""
+
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, int] = {}
+        self.gate_defs: Dict[str, _GateDef] = {}
+        self.num_qubits = 0
+        self.circuit: Optional[QuantumCircuit] = None
+        self.pending_ops: List[Tuple[str, List[float], List[int]]] = []
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.advance()
+        if token.text != text:
+            raise QasmError(f"expected {text!r}, got {token.text!r} at {token.pos}")
+        return token
+
+    def expect_kind(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise QasmError(f"expected {kind}, got {token.text!r} at {token.pos}")
+        return token
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> QuantumCircuit:
+        if self.peek().text == "OPENQASM":
+            self.advance()
+            self.expect_kind("NUMBER")
+            self.expect(";")
+        while self.peek().kind != "EOF":
+            self.statement()
+        self.circuit = QuantumCircuit(self.num_qubits)
+        for name, params, qubits in self.pending_ops:
+            if name in NON_UNITARY_OPS:
+                self.circuit.add(name, qubits)
+            else:
+                self.circuit.add(name, qubits, params)
+        return self.circuit
+
+    def statement(self) -> None:
+        token = self.peek()
+        if token.text == "include":
+            self.advance()
+            self.expect_kind("STRING")
+            self.expect(";")
+        elif token.text == "qreg":
+            self.advance()
+            name = self.expect_kind("ID").text
+            self.expect("[")
+            size = int(self.expect_kind("NUMBER").text)
+            self.expect("]")
+            self.expect(";")
+            self.qregs[name] = (self.num_qubits, size)
+            self.num_qubits += size
+        elif token.text == "creg":
+            self.advance()
+            name = self.expect_kind("ID").text
+            self.expect("[")
+            size = int(self.expect_kind("NUMBER").text)
+            self.expect("]")
+            self.expect(";")
+            self.cregs[name] = size
+        elif token.text == "gate":
+            self.gate_definition()
+        elif token.text == "opaque":
+            # opaque declarations have no body; skip to the semicolon.
+            while self.advance().text != ";":
+                pass
+        elif token.text == "if":
+            raise QasmError("classically-controlled operations are not supported")
+        elif token.text == "measure":
+            self.advance()
+            qubits = self.qubit_operands_single()
+            self.expect("->")
+            self.creg_operand()
+            self.expect(";")
+            for q in qubits:
+                self.pending_ops.append(("measure", [], [q]))
+        elif token.text == "reset":
+            self.advance()
+            qubits = self.qubit_operands_single()
+            self.expect(";")
+            for q in qubits:
+                self.pending_ops.append(("reset", [], [q]))
+        elif token.text == "barrier":
+            self.advance()
+            operands = self.qubit_operand_list()
+            self.expect(";")
+            flat = [q for group in operands for q in group]
+            self.pending_ops.append(("barrier", [], flat))
+        elif token.kind == "ID":
+            self.gate_call()
+        else:
+            raise QasmError(f"unexpected token {token.text!r} at {token.pos}")
+
+    def gate_definition(self) -> None:
+        self.expect("gate")
+        name = self.expect_kind("ID").text
+        params: List[str] = []
+        if self.peek().text == "(":
+            self.advance()
+            if self.peek().text != ")":
+                params.append(self.expect_kind("ID").text)
+                while self.peek().text == ",":
+                    self.advance()
+                    params.append(self.expect_kind("ID").text)
+            self.expect(")")
+        qubits = [self.expect_kind("ID").text]
+        while self.peek().text == ",":
+            self.advance()
+            qubits.append(self.expect_kind("ID").text)
+        definition = _GateDef(name, params, qubits)
+        self.expect("{")
+        while self.peek().text != "}":
+            if self.peek().text == "barrier":
+                # barriers inside macro bodies are dropped on expansion
+                while self.advance().text != ";":
+                    pass
+                continue
+            op_name = self.expect_kind("ID").text
+            op_params: List[_Expr] = []
+            if self.peek().text == "(":
+                self.advance()
+                if self.peek().text != ")":
+                    op_params.append(self.expression())
+                    while self.peek().text == ",":
+                        self.advance()
+                        op_params.append(self.expression())
+                self.expect(")")
+            op_qubits = [self.expect_kind("ID").text]
+            while self.peek().text == ",":
+                self.advance()
+                op_qubits.append(self.expect_kind("ID").text)
+            self.expect(";")
+            definition.body.append((op_name, op_params, op_qubits))
+        self.expect("}")
+        self.gate_defs[name] = definition
+
+    def gate_call(self) -> None:
+        name = self.expect_kind("ID").text
+        params: List[float] = []
+        if self.peek().text == "(":
+            self.advance()
+            if self.peek().text != ")":
+                params.append(self.expression().eval({}))
+                while self.peek().text == ",":
+                    self.advance()
+                    params.append(self.expression().eval({}))
+            self.expect(")")
+        operands = self.qubit_operand_list()
+        self.expect(";")
+        self.emit_broadcast(name, params, operands)
+
+    def emit_broadcast(
+        self, name: str, params: List[float], operands: List[List[int]]
+    ) -> None:
+        """Expand register broadcasting, then emit (or expand a macro)."""
+        lengths = {len(group) for group in operands if len(group) > 1}
+        if len(lengths) > 1:
+            raise QasmError(f"mismatched register sizes in {name!r} call")
+        repeat = lengths.pop() if lengths else 1
+        for i in range(repeat):
+            qubits = [group[i] if len(group) > 1 else group[0] for group in operands]
+            self.emit_gate(name, params, qubits)
+
+    def emit_gate(self, name: str, params: List[float], qubits: List[int]) -> None:
+        if name in self.gate_defs:
+            definition = self.gate_defs[name]
+            if len(params) != len(definition.params):
+                raise QasmError(
+                    f"gate {name!r} takes {len(definition.params)} parameters"
+                )
+            if len(qubits) != len(definition.qubits):
+                raise QasmError(f"gate {name!r} takes {len(definition.qubits)} qubits")
+            env = dict(zip(definition.params, params))
+            qubit_env = dict(zip(definition.qubits, qubits))
+            for op_name, op_params, op_qubits in definition.body:
+                values = [expr.eval(env) for expr in op_params]
+                targets = []
+                for qname in op_qubits:
+                    if qname not in qubit_env:
+                        raise QasmError(
+                            f"gate {name!r} body references unknown qubit {qname!r}"
+                        )
+                    targets.append(qubit_env[qname])
+                self.emit_gate(op_name, values, targets)
+        elif name in GATE_SPECS:
+            self.pending_ops.append((name, params, qubits))
+        elif name == "CX":
+            self.pending_ops.append(("cx", params, qubits))
+        elif name == "U":
+            self.pending_ops.append(("u3", params, qubits))
+        else:
+            raise QasmError(f"unknown gate {name!r}")
+
+    # -- operands ------------------------------------------------------------
+
+    def qubit_operand_list(self) -> List[List[int]]:
+        operands = [self.qubit_operand()]
+        while self.peek().text == ",":
+            self.advance()
+            operands.append(self.qubit_operand())
+        return operands
+
+    def qubit_operand(self) -> List[int]:
+        """One operand: ``name`` (whole register) or ``name[i]``."""
+        name = self.expect_kind("ID").text
+        if name not in self.qregs:
+            raise QasmError(f"unknown quantum register {name!r}")
+        offset, size = self.qregs[name]
+        if self.peek().text == "[":
+            self.advance()
+            index = int(self.expect_kind("NUMBER").text)
+            self.expect("]")
+            if index >= size:
+                raise QasmError(f"index {index} out of range for {name}[{size}]")
+            return [offset + index]
+        return [offset + i for i in range(size)]
+
+    def qubit_operands_single(self) -> List[int]:
+        return self.qubit_operand()
+
+    def creg_operand(self) -> None:
+        name = self.expect_kind("ID").text
+        if name not in self.cregs:
+            raise QasmError(f"unknown classical register {name!r}")
+        if self.peek().text == "[":
+            self.advance()
+            self.expect_kind("NUMBER")
+            self.expect("]")
+
+    # -- expressions -----------------------------------------------------------
+
+    def expression(self) -> _Expr:
+        return self.additive()
+
+    def additive(self) -> _Expr:
+        node = self.multiplicative()
+        while self.peek().text in ("+", "-"):
+            op = self.advance().text
+            node = _Binary(op, node, self.multiplicative())
+        return node
+
+    def multiplicative(self) -> _Expr:
+        node = self.power()
+        while self.peek().text in ("*", "/"):
+            op = self.advance().text
+            node = _Binary(op, node, self.power())
+        return node
+
+    def power(self) -> _Expr:
+        node = self.unary()
+        if self.peek().text == "^":
+            self.advance()
+            return _Binary("^", node, self.power())
+        return node
+
+    def unary(self) -> _Expr:
+        token = self.peek()
+        if token.text == "-":
+            self.advance()
+            return _Unary("-", self.unary())
+        if token.text == "+":
+            self.advance()
+            return self.unary()
+        if token.kind == "NUMBER":
+            self.advance()
+            return _Num(float(token.text))
+        if token.kind == "ID":
+            self.advance()
+            if token.text in _FUNCTIONS:
+                self.expect("(")
+                inner = self.expression()
+                self.expect(")")
+                return _Unary(token.text, inner)
+            return _Var(token.text)
+        if token.text == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect(")")
+            return inner
+        raise QasmError(f"unexpected token {token.text!r} in expression")
+
+
+def parse_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+    return _Parser(text).parse()
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0.
+
+    Raw-unitary gates are representable only on a single qubit (emitted as
+    ``u3`` via Euler decomposition); larger explicit unitaries must be
+    synthesized to named gates first.
+    """
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";', f"qreg q[{circuit.num_qubits}];"]
+    if any(g.name == "measure" for g in circuit.gates):
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit.gates:
+        operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            q = gate.qubits[0]
+            lines.append(f"measure q[{q}] -> c[{q}];")
+        elif gate.name == "barrier":
+            lines.append(f"barrier {operands};")
+        elif gate.name == "reset":
+            lines.append(f"reset {operands};")
+        elif gate.name == "unitary":
+            if gate.num_qubits != 1:
+                raise QasmError(
+                    "cannot serialize a multi-qubit raw unitary to QASM; "
+                    "synthesize it to named gates first"
+                )
+            theta, phi, lam, _ = euler_decompose_u3(gate.matrix())
+            lines.append(f"u3({theta!r},{phi!r},{lam!r}) {operands};")
+        elif gate.params:
+            params = ",".join(repr(p) for p in gate.params)
+            lines.append(f"{gate.name}({params}) {operands};")
+        else:
+            lines.append(f"{gate.name} {operands};")
+    return "\n".join(lines) + "\n"

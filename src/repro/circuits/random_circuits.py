@@ -1,0 +1,90 @@
+"""Random-circuit generators used by the Figure 5 experiment and by tests."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+__all__ = [
+    "random_circuit",
+    "random_clifford_t_circuit",
+    "random_layered_ansatz",
+]
+
+#: Default mixed gate set mirroring the paper's "rotation + SX + CNOT" basis.
+DEFAULT_ONE_QUBIT = ("rx", "ry", "rz", "h", "sx", "t", "s", "x")
+DEFAULT_TWO_QUBIT = ("cx", "cz")
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    two_qubit_fraction: float = 0.3,
+    one_qubit_gates: Sequence[str] = DEFAULT_ONE_QUBIT,
+    two_qubit_gates: Sequence[str] = DEFAULT_TWO_QUBIT,
+    seed: Optional[int] = None,
+) -> QuantumCircuit:
+    """Sample a random circuit with a given two-qubit gate fraction.
+
+    Rotation gates get uniformly random angles in ``[0, 2*pi)``.
+    """
+    if num_qubits < 1:
+        raise CircuitError("random_circuit needs at least one qubit")
+    if num_qubits < 2:
+        two_qubit_fraction = 0.0
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        if rng.random() < two_qubit_fraction:
+            name = str(rng.choice(list(two_qubit_gates)))
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.add(name, [int(a), int(b)])
+        else:
+            name = str(rng.choice(list(one_qubit_gates)))
+            q = int(rng.integers(num_qubits))
+            if name in ("rx", "ry", "rz", "p"):
+                circuit.add(name, [q], [float(rng.uniform(0.0, 2.0 * math.pi))])
+            else:
+                circuit.add(name, [q])
+    return circuit
+
+
+def random_clifford_t_circuit(
+    num_qubits: int, num_gates: int, seed: Optional[int] = None
+) -> QuantumCircuit:
+    """Random Clifford+T circuit — the natural habitat of ZX optimization."""
+    return random_circuit(
+        num_qubits,
+        num_gates,
+        two_qubit_fraction=0.35,
+        one_qubit_gates=("h", "s", "sdg", "t", "tdg", "x", "z"),
+        two_qubit_gates=("cx", "cz"),
+        seed=seed,
+    )
+
+
+def random_layered_ansatz(
+    num_qubits: int,
+    num_layers: int,
+    seed: Optional[int] = None,
+    entangler: str = "cx",
+) -> QuantumCircuit:
+    """Hardware-efficient VQE-style ansatz: RY/RZ layers + linear entangling.
+
+    Deep instances of this family are what the paper's Figure 5 text calls
+    the extreme case (VQE depth 7656 -> 1110 after ZX optimization).
+    """
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_layers):
+        for q in range(num_qubits):
+            circuit.ry(float(rng.uniform(0, 2 * math.pi)), q)
+            circuit.rz(float(rng.uniform(0, 2 * math.pi)), q)
+        for q in range(num_qubits - 1):
+            circuit.add(entangler, [q, q + 1])
+    return circuit

@@ -1,0 +1,112 @@
+"""Qubit mapping and routing for linear-chain topologies.
+
+The compilation workflow in the paper's Figure 1/3 includes a mapping
+pass ("mapped according to the target quantum computer's architecture");
+our QOC substrate is a nearest-neighbour transmon chain, so this module
+provides the matching router: a greedy SWAP-insertion pass that makes
+every two-qubit gate act on adjacent physical qubits.
+
+The router returns the final layout so callers can undo the permutation
+(or simply relabel measurement results, as hardware stacks do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import CircuitError
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["RoutingResult", "line_coupling_map", "route_to_line"]
+
+
+def line_coupling_map(num_qubits: int) -> List[Tuple[int, int]]:
+    """Nearest-neighbour couplings of a chain."""
+    return [(q, q + 1) for q in range(num_qubits - 1)]
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """A routed circuit plus its qubit bookkeeping."""
+
+    circuit: QuantumCircuit
+    #: physical wire currently holding each logical qubit
+    final_layout: Tuple[int, ...]
+    swap_count: int
+
+    def layout_correction(self) -> QuantumCircuit:
+        """SWAP circuit mapping the routed output back to logical order.
+
+        Appending this to ``circuit`` yields a circuit equivalent to the
+        original on identically-ordered wires (used by the tests; real
+        stacks relabel classical results instead).
+        """
+        n = self.circuit.num_qubits
+        correction = QuantumCircuit(n)
+        logical_at = [0] * n
+        for logical, phys in enumerate(self.final_layout):
+            logical_at[phys] = logical
+        for wire in range(n):
+            while logical_at[wire] != wire:
+                target = logical_at[wire]
+                correction.swap(wire, target)
+                logical_at[wire], logical_at[target] = (
+                    logical_at[target],
+                    logical_at[wire],
+                )
+        return correction
+
+
+def route_to_line(circuit: QuantumCircuit) -> RoutingResult:
+    """Insert SWAPs so every 2-qubit gate is nearest-neighbour.
+
+    Greedy strategy: for each two-qubit gate, walk the farther operand
+    toward the other one SWAP at a time.  Gates wider than two qubits must
+    be decomposed first (:func:`repro.circuits.transpile.decompose_to_cx_u3`).
+    """
+    n = circuit.num_qubits
+    routed = QuantumCircuit(n)
+    phys_of_logical = list(range(n))
+    swap_count = 0
+
+    def do_swap(p: int, q: int) -> None:
+        nonlocal swap_count
+        routed.swap(p, q)
+        swap_count += 1
+        a = phys_of_logical.index(p)
+        b = phys_of_logical.index(q)
+        phys_of_logical[a], phys_of_logical[b] = (
+            phys_of_logical[b],
+            phys_of_logical[a],
+        )
+
+    for gate in circuit.gates:
+        if not gate.is_unitary_op:
+            routed.append(
+                gate.with_qubits(
+                    tuple(phys_of_logical[q] for q in gate.qubits)
+                )
+            )
+            continue
+        if gate.num_qubits == 1:
+            routed.append(gate.with_qubits((phys_of_logical[gate.qubits[0]],)))
+        elif gate.num_qubits == 2:
+            pa = phys_of_logical[gate.qubits[0]]
+            pb = phys_of_logical[gate.qubits[1]]
+            while abs(pa - pb) > 1:
+                step = 1 if pb > pa else -1
+                do_swap(pb, pb - step)
+                pa = phys_of_logical[gate.qubits[0]]
+                pb = phys_of_logical[gate.qubits[1]]
+            routed.append(gate.with_qubits((pa, pb)))
+        else:
+            raise CircuitError(
+                f"route_to_line handles gates up to 2 qubits; decompose "
+                f"{gate.name!r} first"
+            )
+    return RoutingResult(
+        circuit=routed,
+        final_layout=tuple(phys_of_logical),
+        swap_count=swap_count,
+    )

@@ -1,0 +1,322 @@
+"""Basis-gate decomposition passes.
+
+Two target bases are supported:
+
+* ``"zx"`` — {rz, rx, h, cx, cz}: the vocabulary the ZX converter consumes.
+* ``"cx_u3"`` — {u3, cx}: the calibrated native set of the gate-based
+  pulse baseline.
+
+Both passes are purely local rewrites; unitary equivalence (up to global
+phase) is property-tested.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.linalg.decompose import zyz_angles
+
+__all__ = ["decompose_to_zx_basis", "decompose_to_cx_u3", "decompose_gate_zx"]
+
+
+def _is_identity_angles(
+    theta: float, phi: float, lam: float, tol: float = 1e-10
+) -> bool:
+    """True when u3(theta, phi, lam) is the identity up to global phase."""
+    if abs(theta) > tol:
+        return False
+    total = (phi + lam) % (2.0 * math.pi)
+    return total < tol or 2.0 * math.pi - total < tol
+
+_ZX_BASIS = {"rz", "rx", "h", "cx", "cz"}
+
+
+def decompose_to_zx_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite every gate into the {rz, rx, h, cx, cz} basis.
+
+    Pseudo-ops (barrier/measure/reset) are dropped: ZX optimization works
+    on the unitary part of the circuit.
+    """
+    out = QuantumCircuit(circuit.num_qubits)
+    for gate in circuit.unitary_gates():
+        for name, qubits, params in decompose_gate_zx(gate):
+            out.add(name, qubits, params)
+    return out
+
+
+def decompose_gate_zx(gate: Gate):
+    """Yield (name, qubits, params) triples in the ZX basis for ``gate``."""
+    name = gate.name
+    qs = gate.qubits
+    ps = gate.params
+    if name in _ZX_BASIS:
+        yield name, list(qs), list(ps)
+        return
+    handler = _ZX_HANDLERS.get(name)
+    if handler is not None:
+        yield from handler(qs, ps)
+        return
+    if name == "unitary":
+        if gate.num_qubits == 1:
+            yield from _one_qubit_unitary(gate.matrix(), qs[0])
+            return
+        raise CircuitError(
+            "multi-qubit raw unitaries must be synthesized before basis "
+            "decomposition"
+        )
+    raise CircuitError(f"no ZX-basis decomposition for gate {name!r}")
+
+
+def _one_qubit_unitary(matrix: np.ndarray, q: int):
+    theta, phi, lam, _ = zyz_angles(matrix)
+    yield from _u3(q, theta, phi, lam)
+
+
+def _u3(q: int, theta: float, phi: float, lam: float):
+    # U3 = (phase) Rz(phi) Ry(theta) Rz(lam); circuits apply left-to-right.
+    yield "rz", [q], [lam]
+    yield from _ry(q, theta)
+    yield "rz", [q], [phi]
+
+
+def _ry(q: int, theta: float):
+    # Ry(t) = S Rx(t) Sdg  (as matrices), i.e. apply rz(-pi/2), rx, rz(pi/2).
+    yield "rz", [q], [-math.pi / 2.0]
+    yield "rx", [q], [theta]
+    yield "rz", [q], [math.pi / 2.0]
+
+
+def _controlled_u(control: int, target: int, matrix: np.ndarray):
+    """ABC decomposition of a controlled single-qubit unitary."""
+    theta, phi, lam, phase = zyz_angles(matrix)
+    # U = e^{i*phase} Rz(phi) Ry(theta) Rz(lam)
+    # C = Rz((lam - phi)/2); B = Ry(-theta/2) Rz(-(phi + lam)/2);
+    # A = Rz(phi) Ry(theta/2); then CU = (P(phase) on c) . A X B X C.
+    yield "rz", [target], [(lam - phi) / 2.0]
+    yield "cx", [control, target], []
+    yield "rz", [target], [-(phi + lam) / 2.0]
+    yield from _ry(target, -theta / 2.0)
+    yield "cx", [control, target], []
+    yield from _ry(target, theta / 2.0)
+    yield "rz", [target], [phi]
+    # P(phase) on the control: rz is enough because we work up to a global
+    # phase and the relative |0>/|1> phase is what matters.
+    yield "rz", [control], [phase]
+
+
+def _make_simple(sequence):
+    def handler(qs, ps):
+        for name, rel_qubits, params in sequence(qs, ps):
+            yield name, rel_qubits, params
+
+    return handler
+
+
+def _handler_table() -> Dict[str, Callable]:
+    from repro.circuits.gates import gate_matrix
+
+    table: Dict[str, Callable] = {}
+
+    table["id"] = lambda qs, ps: iter(())
+    table["x"] = lambda qs, ps: iter([("rx", [qs[0]], [math.pi])])
+    table["z"] = lambda qs, ps: iter([("rz", [qs[0]], [math.pi])])
+    table["y"] = lambda qs, ps: iter(
+        [("rz", [qs[0]], [math.pi]), ("rx", [qs[0]], [math.pi])]
+    )
+    table["s"] = lambda qs, ps: iter([("rz", [qs[0]], [math.pi / 2])])
+    table["sdg"] = lambda qs, ps: iter([("rz", [qs[0]], [-math.pi / 2])])
+    table["t"] = lambda qs, ps: iter([("rz", [qs[0]], [math.pi / 4])])
+    table["tdg"] = lambda qs, ps: iter([("rz", [qs[0]], [-math.pi / 4])])
+    table["sx"] = lambda qs, ps: iter([("rx", [qs[0]], [math.pi / 2])])
+    table["sxdg"] = lambda qs, ps: iter([("rx", [qs[0]], [-math.pi / 2])])
+    table["p"] = lambda qs, ps: iter([("rz", [qs[0]], [ps[0]])])
+    table["u1"] = table["p"]
+    table["ry"] = lambda qs, ps: _ry(qs[0], ps[0])
+    table["u2"] = lambda qs, ps: _u3(qs[0], math.pi / 2, ps[0], ps[1])
+    table["u3"] = lambda qs, ps: _u3(qs[0], *ps)
+    table["u"] = table["u3"]
+
+    def swap(qs, ps):
+        a, b = qs
+        yield "cx", [a, b], []
+        yield "cx", [b, a], []
+        yield "cx", [a, b], []
+
+    table["swap"] = swap
+
+    def iswap(qs, ps):
+        a, b = qs
+        yield "rz", [a], [math.pi / 2]
+        yield "rz", [b], [math.pi / 2]
+        yield "h", [a], []
+        yield "cx", [a, b], []
+        yield "cx", [b, a], []
+        yield "h", [b], []
+
+    table["iswap"] = iswap
+
+    def crz(qs, ps):
+        c, t = qs
+        yield "rz", [t], [ps[0] / 2]
+        yield "cx", [c, t], []
+        yield "rz", [t], [-ps[0] / 2]
+        yield "cx", [c, t], []
+
+    table["crz"] = crz
+
+    def cp(qs, ps):
+        c, t = qs
+        yield "rz", [c], [ps[0] / 2]
+        yield "rz", [t], [ps[0] / 2]
+        yield "cx", [c, t], []
+        yield "rz", [t], [-ps[0] / 2]
+        yield "cx", [c, t], []
+
+    table["cp"] = cp
+    table["cu1"] = cp
+
+    def rzz(qs, ps):
+        a, b = qs
+        yield "cx", [a, b], []
+        yield "rz", [b], [ps[0]]
+        yield "cx", [a, b], []
+
+    table["rzz"] = rzz
+
+    def rxx(qs, ps):
+        a, b = qs
+        yield "h", [a], []
+        yield "h", [b], []
+        yield from rzz(qs, ps)
+        yield "h", [a], []
+        yield "h", [b], []
+
+    table["rxx"] = rxx
+
+    def ryy(qs, ps):
+        a, b = qs
+        yield "rx", [a], [math.pi / 2]
+        yield "rx", [b], [math.pi / 2]
+        yield from rzz(qs, ps)
+        yield "rx", [a], [-math.pi / 2]
+        yield "rx", [b], [-math.pi / 2]
+
+    table["ryy"] = ryy
+
+    def controlled(name):
+        def handler(qs, ps):
+            matrix = gate_matrix(name, tuple(ps)) if ps else gate_matrix(name)
+            yield from _controlled_u(qs[0], qs[1], matrix)
+
+        return handler
+
+    table["cy"] = controlled("y")
+    table["ch"] = controlled("h")
+    table["crx"] = lambda qs, ps: _controlled_u(qs[0], qs[1], gate_matrix("rx", ps))
+    table["cry"] = lambda qs, ps: _controlled_u(qs[0], qs[1], gate_matrix("ry", ps))
+    table["cu3"] = lambda qs, ps: _controlled_u(qs[0], qs[1], gate_matrix("u3", ps))
+
+    def ccx(qs, ps):
+        c1, c2, t = qs
+        yield "h", [t], []
+        yield "cx", [c2, t], []
+        yield "rz", [t], [-math.pi / 4]
+        yield "cx", [c1, t], []
+        yield "rz", [t], [math.pi / 4]
+        yield "cx", [c2, t], []
+        yield "rz", [t], [-math.pi / 4]
+        yield "cx", [c1, t], []
+        yield "rz", [c2], [math.pi / 4]
+        yield "rz", [t], [math.pi / 4]
+        yield "h", [t], []
+        yield "cx", [c1, c2], []
+        yield "rz", [c1], [math.pi / 4]
+        yield "rz", [c2], [-math.pi / 4]
+        yield "cx", [c1, c2], []
+
+    table["ccx"] = ccx
+
+    def ccz(qs, ps):
+        c1, c2, t = qs
+        yield "h", [t], []
+        yield from ccx(qs, ps)
+        yield "h", [t], []
+
+    table["ccz"] = ccz
+
+    def cswap(qs, ps):
+        c, a, b = qs
+        yield "cx", [b, a], []
+        yield from ccx([c, a, b], [])
+        yield "cx", [b, a], []
+
+    table["cswap"] = cswap
+
+    return table
+
+
+_ZX_HANDLERS = _handler_table()
+
+
+def decompose_to_cx_u3(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite into the {u3, cx} native basis of the gate-based baseline.
+
+    Strategy: first go to the ZX basis (which handles every named gate),
+    then map rz/rx/h onto u3 and cz onto H-conjugated cx.
+    """
+    zx_basis = decompose_to_zx_basis(circuit)
+    out = QuantumCircuit(circuit.num_qubits)
+    for gate in zx_basis.gates:
+        if gate.name == "cx":
+            out.add("cx", list(gate.qubits))
+        elif gate.name == "cz":
+            c, t = gate.qubits
+            out.add("u3", [t], [math.pi / 2, 0.0, math.pi])  # H
+            out.add("cx", [c, t])
+            out.add("u3", [t], [math.pi / 2, 0.0, math.pi])
+        elif gate.name == "h":
+            out.add("u3", list(gate.qubits), [math.pi / 2, 0.0, math.pi])
+        elif gate.name == "rz":
+            out.add("u3", list(gate.qubits), [0.0, 0.0, gate.params[0]])
+        elif gate.name == "rx":
+            out.add(
+                "u3",
+                list(gate.qubits),
+                [gate.params[0], -math.pi / 2, math.pi / 2],
+            )
+        else:  # pragma: no cover - the zx pass only emits the above
+            raise CircuitError(f"unexpected gate {gate.name!r} after ZX pass")
+    return _merge_adjacent_u3(out)
+
+
+def _merge_adjacent_u3(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse runs of u3 gates on the same qubit into a single u3."""
+    out = QuantumCircuit(circuit.num_qubits)
+    pending: Dict[int, np.ndarray] = {}
+
+    def flush(q: int) -> None:
+        matrix = pending.pop(q, None)
+        if matrix is None:
+            return
+        theta, phi, lam, _ = zyz_angles(matrix)
+        if not _is_identity_angles(theta, phi, lam):
+            out.add("u3", [q], [theta, phi, lam])
+
+    for gate in circuit.gates:
+        if gate.name == "u3":
+            q = gate.qubits[0]
+            current = pending.get(q, np.eye(2, dtype=complex))
+            pending[q] = gate.matrix() @ current
+        else:
+            for q in gate.qubits:
+                flush(q)
+            out.append(gate)
+    for q in list(pending):
+        flush(q)
+    return out

@@ -1,0 +1,152 @@
+"""Command-line interface: compile OpenQASM files to pulse schedules.
+
+Usage::
+
+    python -m repro.cli compile circuit.qasm --flow epoc
+    python -m repro.cli compile circuit.qasm --flow gate-based --render
+    python -m repro.cli optimize circuit.qasm          # ZX pass only
+    python -m repro.cli info circuit.qasm              # structure report
+
+Flows: ``epoc`` (default), ``epoc-nogroup``, ``gate-based``, ``accqoc``,
+``paqoc``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
+from repro.circuits import QuantumCircuit
+from repro.config import EPOCConfig, QOCConfig
+from repro.core import EPOCPipeline
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EPOC pulse-generation toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="compile a QASM file to pulses")
+    compile_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
+    compile_cmd.add_argument(
+        "--flow",
+        default="epoc",
+        choices=["epoc", "epoc-nogroup", "gate-based", "accqoc", "paqoc"],
+        help="compilation flow (default: epoc)",
+    )
+    compile_cmd.add_argument(
+        "--qubit-limit", type=int, default=3, help="partition/regroup qubit limit"
+    )
+    compile_cmd.add_argument(
+        "--dt", type=float, default=1.0, help="pulse segment length (ns)"
+    )
+    compile_cmd.add_argument(
+        "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
+    )
+    compile_cmd.add_argument(
+        "--no-zx", action="store_true", help="skip the ZX optimization stage"
+    )
+    compile_cmd.add_argument(
+        "--render", action="store_true", help="print an ASCII schedule"
+    )
+
+    optimize_cmd = sub.add_parser("optimize", help="run only the ZX optimization")
+    optimize_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
+    optimize_cmd.add_argument(
+        "--emit", action="store_true", help="print the optimized circuit as QASM"
+    )
+
+    info_cmd = sub.add_parser("info", help="report circuit structure")
+    info_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
+    return parser
+
+
+def _load(path: str) -> QuantumCircuit:
+    with open(path) as fh:
+        return QuantumCircuit.from_qasm(fh.read())
+
+
+def _config(args) -> EPOCConfig:
+    return EPOCConfig(
+        use_zx=not getattr(args, "no_zx", False),
+        partition_qubit_limit=args.qubit_limit,
+        regroup_qubit_limit=args.qubit_limit,
+        qoc=QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity),
+    )
+
+
+def _run_compile(args) -> int:
+    circuit = _load(args.qasm)
+    config = _config(args)
+    if args.flow == "gate-based":
+        flow = GateBasedFlow(config)
+    elif args.flow == "accqoc":
+        flow = AccQOCFlow(config)
+    elif args.flow == "paqoc":
+        flow = PAQOCFlow(config)
+    else:
+        flow = EPOCPipeline(config, use_regrouping=args.flow == "epoc")
+    report = flow.compile(circuit, name=args.qasm)
+    print(report.summary_row())
+    for key, value in sorted(report.stats.items()):
+        print(f"  {key}: {value:g}")
+    if args.render:
+        from repro.pulse.render import render_schedule
+
+        print()
+        print(render_schedule(report.schedule))
+    return 0
+
+
+def _run_optimize(args) -> int:
+    from repro.zx import optimize_circuit
+
+    circuit = _load(args.qasm)
+    result = optimize_circuit(circuit)
+    print(
+        f"depth {result.depth_before} -> {result.depth_after} "
+        f"({result.depth_reduction:.2f}x), {result.rewrites} ZX rewrites, "
+        f"used {'ZX pipeline' if result.used_zx_pipeline else 'peephole/original'}"
+    )
+    if args.emit:
+        print(result.circuit.to_qasm())
+    return 0
+
+
+def _run_info(args) -> int:
+    from repro.pulse.render import render_circuit
+
+    circuit = _load(args.qasm)
+    print(f"qubits : {circuit.num_qubits}")
+    print(f"gates  : {len(circuit)}  ({circuit.count_ops()})")
+    print(f"depth  : {circuit.depth()}")
+    print(f"2q ops : {circuit.two_qubit_count}")
+    print(render_circuit(circuit))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "compile":
+            return _run_compile(args)
+        if args.command == "optimize":
+            return _run_optimize(args)
+        return _run_info(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

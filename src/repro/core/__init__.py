@@ -1,0 +1,18 @@
+"""EPOC core: the end-to-end pipeline and its evaluation metrics."""
+
+from repro.core.pipeline import EPOCPipeline
+from repro.core.metrics import CompilationReport, esp_fidelity
+from repro.core.decoherence import (
+    CoherenceModel,
+    decoherence_factor,
+    esp_with_decoherence,
+)
+
+__all__ = [
+    "EPOCPipeline",
+    "CompilationReport",
+    "esp_fidelity",
+    "CoherenceModel",
+    "decoherence_factor",
+    "esp_with_decoherence",
+]

@@ -1,0 +1,50 @@
+"""Evaluation metrics: latency, ESP fidelity (Eq. 3), compile statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.pulse.schedule import PulseSchedule
+
+__all__ = ["esp_fidelity", "CompilationReport"]
+
+
+def esp_fidelity(distances: Iterable[float]) -> float:
+    """Estimated success probability per the paper's Eq. 3:
+
+        ESP = prod_i (1 - |U_i - H_i(t)|)
+
+    where each term uses the (global-phase-aligned) operator distance
+    between the target unitary and the unitary the optimized pulse
+    achieves.
+    """
+    esp = 1.0
+    for distance in distances:
+        esp *= max(0.0, 1.0 - distance)
+    return esp
+
+
+@dataclass
+class CompilationReport:
+    """Everything a pulse-generation flow reports back."""
+
+    method: str
+    circuit_name: str
+    num_qubits: int
+    schedule: PulseSchedule
+    latency_ns: float
+    fidelity: float
+    compile_seconds: float
+    #: number of pulses played (QOC work items or calibrated gates)
+    pulse_count: int
+    #: free-form per-flow statistics (cache hits, zx depth, block counts...)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def summary_row(self) -> str:
+        """One formatted row for benchmark tables."""
+        return (
+            f"{self.circuit_name:<12} {self.method:<12} "
+            f"{self.latency_ns:>10.1f} ns  fidelity={self.fidelity:.4f}  "
+            f"compile={self.compile_seconds:.2f}s  pulses={self.pulse_count}"
+        )

@@ -1,0 +1,42 @@
+"""Typed exception hierarchy for the repro (EPOC) library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits: bad qubit indices, arity mismatches."""
+
+
+class QasmError(ReproError):
+    """Raised when OpenQASM 2.0 input cannot be parsed or is unsupported."""
+
+
+class ZXError(ReproError):
+    """Raised for invalid ZX-diagram operations or failed extraction."""
+
+
+class PartitionError(ReproError):
+    """Raised when a circuit cannot be partitioned under the given limits."""
+
+
+class SynthesisError(ReproError):
+    """Raised when circuit synthesis fails to reach the accuracy target."""
+
+
+class QOCError(ReproError):
+    """Raised for quantum-optimal-control failures (bad Hamiltonian sizes,
+    non-convergent pulse searches when ``strict`` is requested, ...)."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a pulse schedule is inconsistent (overlapping pulses on
+    one qubit line, negative times, unknown qubits)."""

@@ -1,0 +1,62 @@
+"""Linear-algebra substrate shared by every subsystem.
+
+The helpers here are deliberately dependency-light (numpy/scipy only) and
+cover the three recurring needs of the EPOC pipeline:
+
+* unitary comparison metrics that are invariant under global phase
+  (:mod:`repro.linalg.unitary`),
+* embedding of small operators into larger qubit registers
+  (:mod:`repro.linalg.tensor`),
+* classic decompositions used by the synthesis subsystem and by tests
+  (:mod:`repro.linalg.decompose`), and
+* GF(2) linear algebra used by ZX circuit extraction
+  (:mod:`repro.linalg.gf2`).
+"""
+
+from repro.linalg.unitary import (
+    is_unitary,
+    global_phase_align,
+    hilbert_schmidt_overlap,
+    hs_distance,
+    average_gate_fidelity,
+    process_fidelity,
+    unitary_distance,
+    equal_up_to_global_phase,
+    random_unitary,
+    random_hermitian,
+    closest_unitary,
+)
+from repro.linalg.tensor import (
+    kron_all,
+    embed_operator,
+    permute_qubits,
+    apply_gate_to_state,
+)
+from repro.linalg.decompose import (
+    zyz_angles,
+    su2_params,
+    euler_decompose_u3,
+)
+from repro.linalg.gf2 import GF2Matrix
+
+__all__ = [
+    "is_unitary",
+    "global_phase_align",
+    "hilbert_schmidt_overlap",
+    "hs_distance",
+    "average_gate_fidelity",
+    "process_fidelity",
+    "unitary_distance",
+    "equal_up_to_global_phase",
+    "random_unitary",
+    "random_hermitian",
+    "closest_unitary",
+    "kron_all",
+    "embed_operator",
+    "permute_qubits",
+    "apply_gate_to_state",
+    "zyz_angles",
+    "su2_params",
+    "euler_decompose_u3",
+    "GF2Matrix",
+]

@@ -1,0 +1,79 @@
+"""Single-qubit Euler-angle decompositions.
+
+These are used by the synthesis subsystem (to express optimized variable
+unitary gates back as native ``u3`` rotations) and by tests as an oracle.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import SynthesisError
+
+__all__ = ["su2_params", "zyz_angles", "euler_decompose_u3"]
+
+
+def su2_params(matrix: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Project a 2x2 unitary onto SU(2).
+
+    Returns ``(special, phase)`` with ``matrix = exp(i * phase) * special``
+    and ``det(special) == 1``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise SynthesisError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+    det = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+    if abs(det) < 1e-12:
+        raise SynthesisError("matrix is singular; not a unitary")
+    phase = cmath.phase(det) / 2.0
+    special = matrix * cmath.exp(-1j * phase)
+    return special, phase
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """ZYZ Euler decomposition of a 2x2 unitary.
+
+    Returns ``(theta, phi, lam, phase)`` such that
+
+        matrix = exp(i * phase) * Rz(phi) @ Ry(theta) @ Rz(lam)
+
+    with ``Rz(a) = diag(e^{-ia/2}, e^{ia/2})`` and
+    ``Ry(t) = [[cos(t/2), -sin(t/2)], [sin(t/2), cos(t/2)]]``.
+    """
+    special, phase = su2_params(matrix)
+    # In SU(2): special = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #                      [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    theta = 2.0 * math.atan2(abs(special[1, 0]), abs(special[0, 0]))
+    if abs(special[0, 0]) > 1e-12 and abs(special[1, 0]) > 1e-12:
+        phi_plus_lam = 2.0 * cmath.phase(special[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(special[1, 0])
+        phi = (phi_plus_lam + phi_minus_lam) / 2.0
+        lam = (phi_plus_lam - phi_minus_lam) / 2.0
+    elif abs(special[1, 0]) <= 1e-12:
+        # theta ~ 0: only phi + lam is determined; put it all in phi.
+        phi = 2.0 * cmath.phase(special[1, 1])
+        lam = 0.0
+    else:
+        # theta ~ pi: only phi - lam is determined; put it all in phi.
+        phi = 2.0 * cmath.phase(special[1, 0])
+        lam = 0.0
+    return theta, phi, lam, phase
+
+
+def euler_decompose_u3(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``exp(i*gamma) * U3(theta, phi, lam)``.
+
+    ``U3`` follows the OpenQASM convention:
+
+        U3(t, p, l) = [[cos(t/2),            -e^{il} sin(t/2)],
+                       [e^{ip} sin(t/2),  e^{i(p+l)} cos(t/2)]]
+
+    which relates to ZYZ by ``U3 = e^{i(p+l)/2} Rz(p) Ry(t) Rz(l)``.
+    """
+    theta, phi, lam, phase = zyz_angles(matrix)
+    gamma = phase - (phi + lam) / 2.0
+    return theta, phi, lam, gamma

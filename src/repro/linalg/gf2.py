@@ -1,0 +1,209 @@
+"""Dense linear algebra over GF(2).
+
+The ZX circuit-extraction algorithm reduces the biadjacency matrix between
+the extraction frontier and its neighbours with Gaussian elimination over
+GF(2); every row operation corresponds to a CNOT in the extracted circuit.
+The ``row_op_callback`` hook exposes exactly that correspondence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GF2Matrix"]
+
+RowOpCallback = Callable[[int, int], None]
+
+
+class GF2Matrix:
+    """A mutable matrix over GF(2) backed by a uint8 numpy array."""
+
+    def __init__(self, data: Sequence[Sequence[int]] | np.ndarray):
+        array = np.array(data, dtype=np.uint8) % 2
+        if array.ndim != 2:
+            raise ValueError("GF2Matrix requires a 2-D array")
+        self.data = array
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "GF2Matrix":
+        """The n x n identity matrix."""
+        return cls(np.eye(n, dtype=np.uint8))
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "GF2Matrix":
+        """The all-zero rows x cols matrix."""
+        return cls(np.zeros((rows, cols), dtype=np.uint8))
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    def copy(self) -> "GF2Matrix":
+        return GF2Matrix(self.data.copy())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF2Matrix) and np.array_equal(self.data, other.data)
+
+    def __hash__(self):  # pragma: no cover - mutable, not hashable
+        raise TypeError("GF2Matrix is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"GF2Matrix({self.data.tolist()!r})"
+
+    def __matmul__(self, other: "GF2Matrix") -> "GF2Matrix":
+        return GF2Matrix((self.data.astype(np.uint32) @ other.data) % 2)
+
+    # -- row operations ----------------------------------------------------
+
+    def add_row(self, src: int, dst: int) -> None:
+        """Add (XOR) row ``src`` into row ``dst``."""
+        self.data[dst] ^= self.data[src]
+
+    def swap_rows(self, i: int, j: int) -> None:
+        self.data[[i, j]] = self.data[[j, i]]
+
+    # -- elimination -------------------------------------------------------
+
+    def gauss(
+        self,
+        full_reduce: bool = False,
+        row_op_callback: Optional[RowOpCallback] = None,
+        pivot_cols: Optional[List[int]] = None,
+        blocksize: int = 0,
+    ) -> int:
+        """In-place Gaussian elimination; returns the rank.
+
+        ``row_op_callback(src, dst)`` is invoked for every row addition so a
+        caller can mirror the operations (e.g. as CNOT gates).  Row *swaps*
+        are performed as three additions so the callback sees a complete,
+        CNOT-only account of the elimination.  When ``pivot_cols`` is given
+        it is filled with the pivot column of each pivot row.
+
+        ``blocksize > 0`` enables the Patel-Markov-Hayes style chunking used
+        by PyZX: within each column chunk, duplicate row patterns are
+        eliminated first, which reduces the total number of row operations
+        (and hence extracted CNOTs) on larger matrices.
+        """
+        rows, cols = self.data.shape
+
+        def add(src: int, dst: int) -> None:
+            self.add_row(src, dst)
+            if row_op_callback is not None:
+                row_op_callback(src, dst)
+
+        pivot_row = 0
+        if pivot_cols is not None:
+            pivot_cols.clear()
+
+        col_chunks: List[tuple]
+        if blocksize and cols > blocksize:
+            col_chunks = [
+                (start, min(start + blocksize, cols))
+                for start in range(0, cols, blocksize)
+            ]
+        else:
+            col_chunks = [(0, cols)]
+
+        for chunk_start, chunk_end in col_chunks:
+            if blocksize and chunk_end - chunk_start > 1:
+                # Remove duplicate sub-rows within this chunk first.
+                seen: dict = {}
+                for r in range(pivot_row, rows):
+                    pattern = self.data[r, chunk_start:chunk_end].tobytes()
+                    if int(np.any(self.data[r, chunk_start:chunk_end])) == 0:
+                        continue
+                    if pattern in seen:
+                        add(seen[pattern], r)
+                    else:
+                        seen[pattern] = r
+            for col in range(chunk_start, chunk_end):
+                if pivot_row >= rows:
+                    break
+                pivot = -1
+                for r in range(pivot_row, rows):
+                    if self.data[r, col]:
+                        pivot = r
+                        break
+                if pivot == -1:
+                    continue
+                if pivot != pivot_row:
+                    # Swap via three additions so the callback sees CNOTs only.
+                    add(pivot, pivot_row)
+                    add(pivot_row, pivot)
+                    add(pivot, pivot_row)
+                for r in range(pivot_row + 1, rows):
+                    if self.data[r, col]:
+                        add(pivot_row, r)
+                if pivot_cols is not None:
+                    pivot_cols.append(col)
+                pivot_row += 1
+
+        rank = pivot_row
+        if full_reduce:
+            for p in range(rank - 1, -1, -1):
+                row = self.data[p]
+                nonzero = np.nonzero(row)[0]
+                if len(nonzero) == 0:  # pragma: no cover - defensive
+                    continue
+                col = int(nonzero[0])
+                for r in range(p):
+                    if self.data[r, col]:
+                        add(p, r)
+        return rank
+
+    def rank(self) -> int:
+        """Rank over GF(2) (does not modify the matrix)."""
+        return self.copy().gauss()
+
+    def inverse(self) -> "GF2Matrix":
+        """Inverse over GF(2); raises ``ValueError`` when singular."""
+        rows, cols = self.data.shape
+        if rows != cols:
+            raise ValueError("only square matrices can be inverted")
+        work = self.copy()
+        result = GF2Matrix.identity(rows)
+
+        def mirror(src: int, dst: int) -> None:
+            result.add_row(src, dst)
+
+        rank = work.gauss(full_reduce=True, row_op_callback=mirror)
+        if rank != rows:
+            raise ValueError("matrix is singular over GF(2)")
+        return result
+
+    def nullspace(self) -> List[np.ndarray]:
+        """A basis of the right null space as a list of 0/1 vectors."""
+        rows, cols = self.data.shape
+        work = self.copy()
+        pivot_cols: List[int] = []
+        work.gauss(full_reduce=True, pivot_cols=pivot_cols)
+        free_cols = [c for c in range(cols) if c not in pivot_cols]
+        basis = []
+        for free in free_cols:
+            vec = np.zeros(cols, dtype=np.uint8)
+            vec[free] = 1
+            for row_idx, pivot_col in enumerate(pivot_cols):
+                if work.data[row_idx, free]:
+                    vec[pivot_col] = 1
+            basis.append(vec)
+        return basis
+
+    def solve(self, rhs: np.ndarray) -> Optional[np.ndarray]:
+        """Solve ``self @ x = rhs`` over GF(2); ``None`` when inconsistent."""
+        rows, cols = self.data.shape
+        rhs = np.asarray(rhs, dtype=np.uint8) % 2
+        augmented = GF2Matrix(np.column_stack([self.data, rhs]))
+        pivot_cols: List[int] = []
+        augmented.gauss(full_reduce=True, pivot_cols=pivot_cols)
+        x = np.zeros(cols, dtype=np.uint8)
+        for row_idx, pivot_col in enumerate(pivot_cols):
+            if pivot_col == cols:
+                return None  # pivot in the RHS column: inconsistent system
+            x[pivot_col] = augmented.data[row_idx, cols]
+        return x

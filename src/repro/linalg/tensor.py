@@ -1,0 +1,110 @@
+"""Tensor-product helpers for embedding small operators into registers.
+
+Convention used across the whole library: **big-endian** qubit ordering.
+Qubit 0 is the most-significant bit of a basis-state index, so a register
+state reshaped to ``(2,) * n`` has qubit ``q`` on axis ``q``.  The unitary
+of a circuit is therefore ``kron(U_on_q0, U_on_q1, ...)`` for a layer of
+single-qubit gates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+__all__ = [
+    "kron_all",
+    "permute_qubits",
+    "embed_operator",
+    "apply_gate_to_state",
+]
+
+
+def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of ``matrices`` in order (left factor = qubit 0)."""
+    result = np.eye(1, dtype=complex)
+    for matrix in matrices:
+        result = np.kron(result, np.asarray(matrix, dtype=complex))
+    return result
+
+
+def permute_qubits(matrix: np.ndarray, qubit_map: Sequence[int]) -> np.ndarray:
+    """Relabel the qubits an ``n``-qubit operator acts on.
+
+    ``qubit_map[i]`` gives the new label of the qubit that ``matrix``
+    currently treats as qubit ``i``.  The returned operator acts identically
+    on the relabeled register.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    n = _num_qubits_of(matrix.shape[0])
+    if sorted(qubit_map) != list(range(n)):
+        raise CircuitError(f"qubit_map {qubit_map!r} is not a permutation of 0..{n - 1}")
+    inverse = [0] * n
+    for old, new in enumerate(qubit_map):
+        inverse[new] = old
+    tensor = matrix.reshape((2,) * (2 * n))
+    axes = inverse + [n + axis for axis in inverse]
+    return tensor.transpose(axes).reshape(matrix.shape)
+
+
+def embed_operator(
+    operator: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a ``k``-qubit operator acting on ``targets`` into ``num_qubits``.
+
+    ``targets`` lists, in order, which register qubit each operator qubit
+    acts on, so ``embed_operator(CX, (2, 0), 3)`` puts the control on qubit 2
+    and the target on qubit 0.
+    """
+    operator = np.asarray(operator, dtype=complex)
+    k = _num_qubits_of(operator.shape[0])
+    if len(set(targets)) != len(targets):
+        raise CircuitError(f"duplicate target qubits: {targets!r}")
+    if len(targets) != k:
+        raise CircuitError(
+            f"operator acts on {k} qubits but {len(targets)} targets given"
+        )
+    if any(q < 0 or q >= num_qubits for q in targets):
+        raise CircuitError(f"targets {targets!r} out of range for {num_qubits} qubits")
+    rest = [q for q in range(num_qubits) if q not in targets]
+    full = np.kron(operator, np.eye(2 ** len(rest), dtype=complex))
+    return permute_qubits(full, list(targets) + rest)
+
+
+def apply_gate_to_state(
+    gate: np.ndarray,
+    state: np.ndarray,
+    targets: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a ``k``-qubit gate to a state vector or a batch of columns.
+
+    ``state`` may have shape ``(2**n,)`` or ``(2**n, batch)``; the latter is
+    used to build full circuit unitaries column-by-column without forming
+    embedded ``2**n x 2**n`` gate matrices.
+    """
+    gate = np.asarray(gate, dtype=complex)
+    state = np.asarray(state, dtype=complex)
+    k = len(targets)
+    if gate.shape != (2**k, 2**k):
+        raise CircuitError(
+            f"gate shape {gate.shape} does not match {k} target qubits"
+        )
+    batch_shape = state.shape[1:]
+    tensor = state.reshape((2,) * num_qubits + batch_shape)
+    moved = np.moveaxis(tensor, list(targets), list(range(k)))
+    flat = moved.reshape(2**k, -1)
+    out = (gate @ flat).reshape((2,) * k + moved.shape[k:])
+    restored = np.moveaxis(out, list(range(k)), list(targets))
+    return np.ascontiguousarray(restored.reshape(state.shape))
+
+
+def _num_qubits_of(dim: int) -> int:
+    """Return ``log2(dim)``, raising when ``dim`` is not a power of two."""
+    n = int(dim).bit_length() - 1
+    if 2**n != dim:
+        raise CircuitError(f"dimension {dim} is not a power of two")
+    return n

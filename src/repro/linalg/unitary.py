@@ -1,0 +1,128 @@
+"""Unitary-matrix metrics and constructors.
+
+All comparison helpers treat matrices that differ only by a global phase as
+equivalent, because a global phase is unobservable and EPOC's pulse library
+explicitly keys unitaries *up to* global phase (Section 3.4 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_unitary",
+    "global_phase_align",
+    "hilbert_schmidt_overlap",
+    "hs_distance",
+    "unitary_distance",
+    "average_gate_fidelity",
+    "process_fidelity",
+    "equal_up_to_global_phase",
+    "random_unitary",
+    "random_hermitian",
+    "closest_unitary",
+]
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return ``True`` when ``matrix`` is square and satisfies U†U = I."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return np.allclose(matrix.conj().T @ matrix, identity, atol=atol)
+
+
+def hilbert_schmidt_overlap(u: np.ndarray, v: np.ndarray) -> complex:
+    """Return ``tr(U† V)``, the (unnormalized) Hilbert-Schmidt inner product."""
+    return complex(np.trace(np.asarray(u).conj().T @ np.asarray(v)))
+
+
+def hs_distance(u: np.ndarray, v: np.ndarray) -> float:
+    """Global-phase-invariant Hilbert-Schmidt distance in ``[0, 1]``.
+
+    Defined as ``1 - |tr(U†V)| / d`` where ``d`` is the dimension.  This is
+    the cost function used by QSearch-style synthesis (Algorithm 2) and by
+    the GRAPE fidelity objective.
+    """
+    d = np.asarray(u).shape[0]
+    return 1.0 - abs(hilbert_schmidt_overlap(u, v)) / d
+
+
+def unitary_distance(u: np.ndarray, v: np.ndarray) -> float:
+    """Global-phase-aligned operator (spectral-norm) distance.
+
+    This is the ``|U_i - H_i(t)|`` appearing in the paper's ESP fidelity
+    definition (Eq. 3); we align the global phase first so that equivalent
+    unitaries have distance 0.
+    """
+    aligned = global_phase_align(u, v)
+    return float(np.linalg.norm(np.asarray(u) - aligned, ord=2))
+
+
+def global_phase_align(reference: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` multiplied by the phase that best matches ``reference``.
+
+    The optimal phase maximizes ``Re(e^{-iφ} tr(ref† matrix))`` and equals the
+    phase of the trace overlap.
+    """
+    overlap = hilbert_schmidt_overlap(reference, matrix)
+    if abs(overlap) < 1e-14:
+        return np.asarray(matrix)
+    phase = overlap / abs(overlap)
+    return np.asarray(matrix) / phase
+
+
+def average_gate_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Average gate fidelity between two unitaries of dimension ``d``.
+
+    ``F_avg = (d * F_pro + 1) / (d + 1)`` with process fidelity
+    ``F_pro = |tr(U†V)|² / d²``.
+    """
+    d = np.asarray(u).shape[0]
+    f_pro = process_fidelity(u, v)
+    return (d * f_pro + 1.0) / (d + 1.0)
+
+
+def process_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Process fidelity ``|tr(U†V)|² / d²`` (global-phase invariant)."""
+    d = np.asarray(u).shape[0]
+    return abs(hilbert_schmidt_overlap(u, v)) ** 2 / d**2
+
+
+def equal_up_to_global_phase(
+    u: np.ndarray, v: np.ndarray, atol: float = 1e-7
+) -> bool:
+    """Return ``True`` when U = e^{iφ} V for some real φ."""
+    u = np.asarray(u)
+    v = np.asarray(v)
+    if u.shape != v.shape:
+        return False
+    return np.allclose(u, global_phase_align(u, v), atol=atol)
+
+
+def random_unitary(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample a Haar-random unitary of dimension ``dim``.
+
+    Uses the QR decomposition of a complex Ginibre matrix with the standard
+    phase correction (Mezzadri 2007) so the distribution is exactly Haar.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    ginibre = rng.standard_normal((dim, dim)) + 1j * rng.standard_normal((dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    diag = np.diagonal(r)
+    q = q * (diag / np.abs(diag))
+    return q
+
+
+def random_hermitian(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample a random Hermitian matrix with Gaussian entries."""
+    rng = np.random.default_rng() if rng is None else rng
+    a = rng.standard_normal((dim, dim)) + 1j * rng.standard_normal((dim, dim))
+    return (a + a.conj().T) / 2.0
+
+
+def closest_unitary(matrix: np.ndarray) -> np.ndarray:
+    """Project ``matrix`` onto the unitary group via polar decomposition."""
+    u, _, vh = np.linalg.svd(np.asarray(matrix))
+    return u @ vh

@@ -1,0 +1,18 @@
+"""Circuit partitioning: greedy blocks (Algorithm 1) and VUG regrouping."""
+
+from repro.partition.block import CircuitBlock, blocks_to_circuit
+from repro.partition.greedy import greedy_partition
+from repro.partition.regroup import (
+    RegroupedUnitary,
+    regroup_circuit,
+    blocks_as_unitaries,
+)
+
+__all__ = [
+    "CircuitBlock",
+    "blocks_to_circuit",
+    "greedy_partition",
+    "RegroupedUnitary",
+    "regroup_circuit",
+    "blocks_as_unitaries",
+]

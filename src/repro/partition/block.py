@@ -1,0 +1,75 @@
+"""Circuit blocks: contiguous gate groups on a qubit subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import PartitionError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+__all__ = ["CircuitBlock", "blocks_to_circuit"]
+
+
+@dataclass
+class CircuitBlock:
+    """A group of gates acting on ``qubits`` of a larger register.
+
+    ``circuit`` is expressed on *local* wire indices ``0..len(qubits)-1``;
+    ``qubits[i]`` is the global qubit that local wire ``i`` lives on.
+    """
+
+    qubits: Tuple[int, ...]
+    circuit: QuantumCircuit
+    #: position of the block in the partition order (for debugging/plots)
+    index: int = 0
+    #: indices of the member gates in the source circuit's unitary-gate
+    #: list (used by criticality analysis); empty when unknown
+    source_indices: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if len(self.qubits) != self.circuit.num_qubits:
+            raise PartitionError(
+                f"block qubits {self.qubits} do not match a "
+                f"{self.circuit.num_qubits}-wire circuit"
+            )
+        if list(self.qubits) != sorted(set(self.qubits)):
+            raise PartitionError(f"block qubits must be sorted and unique: {self.qubits}")
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.circuit)
+
+    def unitary(self) -> np.ndarray:
+        """The block's local unitary (dimension ``2**len(qubits)``)."""
+        return self.circuit.unitary()
+
+    def to_global_gate(self) -> Gate:
+        """The block as a raw-unitary gate on its global qubits."""
+        return Gate("unitary", self.qubits, matrix_override=self.unitary())
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBlock(qubits={self.qubits}, gates={self.num_gates}, "
+            f"index={self.index})"
+        )
+
+
+def blocks_to_circuit(
+    blocks: Sequence[CircuitBlock], num_qubits: int
+) -> QuantumCircuit:
+    """Recompose a block list into a flat circuit (for equivalence tests)."""
+    out = QuantumCircuit(num_qubits)
+    for block in blocks:
+        for gate in block.circuit.gates:
+            out.append(
+                gate.with_qubits(tuple(block.qubits[q] for q in gate.qubits))
+            )
+    return out

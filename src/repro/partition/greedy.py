@@ -1,0 +1,136 @@
+"""Greedy circuit partitioning (Algorithm 1 of the paper).
+
+The partitioner works in two phases per block, exactly as the paper
+describes: *horizontal cutting* picks a qubit group (a seed qubit plus the
+qubits it interacts with next, capped at the qubit limit), then *vertical
+cutting* fills the block with as many schedulable gates on that group as
+possible, up to the gate limit.
+
+Scheduling correctness: a gate joins the current block only when every
+earlier gate sharing one of its qubits has already been consumed, so
+concatenating the blocks in emission order always reproduces the original
+circuit (property-tested in ``tests/partition``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import PartitionError
+from repro.circuits.circuit import QuantumCircuit
+from repro.partition.block import CircuitBlock
+
+__all__ = ["greedy_partition"]
+
+
+def greedy_partition(
+    circuit: QuantumCircuit,
+    qubit_limit: int = 3,
+    gate_limit: int = 24,
+) -> List[CircuitBlock]:
+    """Partition ``circuit`` into blocks of <= ``qubit_limit`` qubits and
+    <= ``gate_limit`` gates.
+
+    Pseudo-ops (barrier/measure/reset) are dropped; gates wider than
+    ``qubit_limit`` raise :class:`PartitionError` (synthesize or decompose
+    them first).
+    """
+    if qubit_limit < 1:
+        raise PartitionError("qubit_limit must be >= 1")
+    if gate_limit < 1:
+        raise PartitionError("gate_limit must be >= 1")
+    gates = circuit.unitary_gates()
+    for gate in gates:
+        if gate.num_qubits > qubit_limit:
+            raise PartitionError(
+                f"gate {gate.name!r} on {gate.num_qubits} qubits exceeds the "
+                f"partition qubit limit {qubit_limit}"
+            )
+
+    consumed = [False] * len(gates)
+    remaining = len(gates)
+    cursor = 0  # first unconsumed gate
+    blocks: List[CircuitBlock] = []
+
+    while remaining:
+        while consumed[cursor]:
+            cursor += 1
+        group = _grow_group(gates, consumed, cursor, qubit_limit)
+        members = _fill_block(gates, consumed, cursor, group, gate_limit)
+        if not members:  # pragma: no cover - _grow_group seeds from cursor
+            raise PartitionError("partitioner failed to make progress")
+        for index in members:
+            consumed[index] = True
+        remaining -= len(members)
+        blocks.append(_make_block(gates, members, group, len(blocks)))
+    return blocks
+
+
+def _grow_group(
+    gates, consumed: List[bool], cursor: int, qubit_limit: int
+) -> Tuple[int, ...]:
+    """Horizontal cut: seed from the front gate, extend with the qubits the
+    group interacts with next (Algorithm 1's GroupQubits)."""
+    group: Set[int] = set(gates[cursor].qubits)
+    if len(group) > qubit_limit:  # pragma: no cover - validated upstream
+        raise PartitionError("front gate wider than the qubit limit")
+    blocked: Set[int] = set()
+    for index in range(cursor, len(gates)):
+        if len(group) >= qubit_limit:
+            break
+        if consumed[index]:
+            continue
+        qubits = set(gates[index].qubits)
+        if qubits & blocked:
+            blocked |= qubits
+            continue
+        if qubits & group and len(group | qubits) <= qubit_limit:
+            group |= qubits
+        elif qubits & group:
+            # interacts but does not fit: its qubits become unavailable
+            blocked |= qubits
+    return tuple(sorted(group))
+
+
+def _fill_block(
+    gates,
+    consumed: List[bool],
+    cursor: int,
+    group: Tuple[int, ...],
+    gate_limit: int,
+) -> List[int]:
+    """Vertical cut: absorb schedulable gates on ``group`` in program order.
+
+    A qubit becomes *blocked* as soon as we skip a gate touching it, which
+    keeps dependencies intact.
+    """
+    group_set = set(group)
+    blocked: Set[int] = set()
+    members: List[int] = []
+    for index in range(cursor, len(gates)):
+        if len(members) >= gate_limit:
+            break
+        if consumed[index]:
+            continue
+        qubits = set(gates[index].qubits)
+        if qubits <= group_set and not (qubits & blocked):
+            members.append(index)
+        else:
+            blocked |= qubits
+            if group_set <= blocked:
+                break
+    return members
+
+
+def _make_block(gates, members, group, block_index) -> CircuitBlock:
+    local_index = {q: i for i, q in enumerate(group)}
+    local = QuantumCircuit(len(group))
+    for index in members:
+        gate = gates[index]
+        local.append(gate.with_qubits(tuple(local_index[q] for q in gate.qubits)))
+    return CircuitBlock(
+        qubits=tuple(group),
+        circuit=local,
+        index=block_index,
+        source_indices=tuple(members),
+    )

@@ -1,0 +1,66 @@
+"""Regrouping of synthesized VUGs into larger unitaries (Section 3.3).
+
+Synthesis leaves a circuit of fine-grained variable unitary gates (VUGs)
+and CNOTs.  Feeding those to QOC one at a time wastes the optimizer (the
+matrices are tiny) and hurts both latency and fidelity; EPOC therefore
+*regroups* them into unitaries of a few qubits before pulse generation.
+Mechanically this is the same greedy partition with its own limits,
+followed by computing each group's unitary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.partition.block import CircuitBlock
+from repro.partition.greedy import greedy_partition
+
+__all__ = ["RegroupedUnitary", "regroup_circuit", "blocks_as_unitaries"]
+
+
+@dataclass(frozen=True)
+class RegroupedUnitary:
+    """One QOC work item: a unitary on a (global) qubit subset."""
+
+    qubits: Tuple[int, ...]
+    matrix: np.ndarray
+    #: how many primitive gates were aggregated (for reporting)
+    source_gates: int
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def dim(self) -> int:
+        return self.matrix.shape[0]
+
+
+def regroup_circuit(
+    circuit: QuantumCircuit,
+    qubit_limit: int = 3,
+    gate_limit: int = 16,
+) -> List[RegroupedUnitary]:
+    """Aggregate a (possibly VUG-bearing) circuit into unitary work items.
+
+    The returned list is ordered: applying the unitaries in sequence on
+    their qubits reproduces the input circuit's unitary.
+    """
+    blocks = greedy_partition(circuit, qubit_limit=qubit_limit, gate_limit=gate_limit)
+    return blocks_as_unitaries(blocks)
+
+
+def blocks_as_unitaries(blocks: Sequence[CircuitBlock]) -> List[RegroupedUnitary]:
+    """Compute the unitary of each block."""
+    return [
+        RegroupedUnitary(
+            qubits=block.qubits,
+            matrix=block.unitary(),
+            source_gates=block.num_gates,
+        )
+        for block in blocks
+    ]

@@ -1,0 +1,21 @@
+"""Pulse scheduling: qubit-line timelines and calibrated gate latencies."""
+
+from repro.pulse.schedule import PulseSchedule, ScheduledPulse
+from repro.pulse.hardware import GateLatencyModel
+from repro.pulse.render import render_circuit, render_schedule
+from repro.pulse.serialize import (
+    pulse_from_dict,
+    pulse_to_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "PulseSchedule",
+    "ScheduledPulse",
+    "GateLatencyModel",
+    "render_circuit",
+    "render_schedule",
+    "pulse_from_dict",
+    "pulse_to_dict",
+    "schedule_to_dict",
+]

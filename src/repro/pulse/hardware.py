@@ -1,0 +1,49 @@
+"""Calibrated gate latencies for the gate-based baseline.
+
+The traditional flow plays one pre-calibrated pulse per basis gate; its
+circuit latency is therefore fixed by a per-gate duration table.  The
+durations come from :class:`repro.config.HardwareConfig` and are chosen to
+be consistent with the same transmon-chain model the QOC backend
+optimizes on (a CNOT-class interaction costs ~pi/(2g) plus single-qubit
+framing), so gate-based vs QOC comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import HardwareConfig
+from repro.circuits.gates import Gate, NON_UNITARY_OPS
+from repro.exceptions import ScheduleError
+
+__all__ = ["GateLatencyModel"]
+
+
+class GateLatencyModel:
+    """Maps gates to calibrated pulse durations (nanoseconds)."""
+
+    def __init__(self, config: HardwareConfig = HardwareConfig()):
+        self.config = config
+
+    def duration(self, gate: Gate) -> float:
+        """Duration of the calibrated pulse for ``gate``.
+
+        Raises for raw-unitary gates — the gate-based flow cannot play a
+        pulse for an arbitrary matrix; decompose first.
+        """
+        if gate.name in NON_UNITARY_OPS:
+            return 0.0
+        if gate.name == "unitary":
+            raise ScheduleError(
+                "the gate-based latency model has no calibrated pulse for a "
+                "raw unitary; decompose to basis gates first"
+            )
+        if gate.num_qubits == 1:
+            return self.config.one_qubit_gate_ns
+        if gate.num_qubits == 2:
+            return self.config.two_qubit_gate_ns
+        if gate.num_qubits == 3:
+            return self.config.three_qubit_gate_ns
+        raise ScheduleError(
+            f"no calibrated latency for a {gate.num_qubits}-qubit gate"
+        )

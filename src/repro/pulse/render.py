@@ -1,0 +1,68 @@
+"""Text rendering of pulse schedules (Gantt-style) and circuits.
+
+These renderers power the examples and the CLI; they have no plotting
+dependencies and print plain ASCII, one row per qubit line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.pulse.schedule import PulseSchedule
+
+__all__ = ["render_schedule", "render_circuit"]
+
+
+def render_schedule(schedule: PulseSchedule, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per qubit line, '#' where a pulse plays.
+
+    Multi-qubit pulses are labelled with their index so simultaneous
+    blocks are distinguishable.
+    """
+    total = schedule.latency
+    if total <= 0:
+        return "(empty schedule)"
+    scale = (width - 1) / total
+    rows: List[List[str]] = [
+        ["."] * width for _ in range(schedule.num_qubits)
+    ]
+    for index, item in enumerate(schedule.items):
+        start = int(item.start * scale)
+        end = max(start + 1, int(item.end * scale))
+        mark = str(index % 10) if len(item.qubits) > 1 else "#"
+        for q in item.qubits:
+            for col in range(start, min(end, width)):
+                rows[q][col] = mark
+    lines = [
+        f"q{q:<3}|" + "".join(row) + "|" for q, row in enumerate(rows)
+    ]
+    lines.append(f"     0 ns {'-' * (width - 18)} {total:.1f} ns")
+    return "\n".join(lines)
+
+
+def render_circuit(circuit: QuantumCircuit, max_columns: int = 24) -> str:
+    """Compact ASCII circuit rendering by ASAP layers.
+
+    Each column is one layer; cells show the gate name (control/target
+    roles are marked with ``*``/``+`` for cx).
+    """
+    layers = circuit.layers()
+    if not layers:
+        return "(empty circuit)"
+    shown = layers[:max_columns]
+    grid = [["-" * 5 for _ in shown] for _ in range(circuit.num_qubits)]
+    for col, layer in enumerate(shown):
+        for gate in layer:
+            if gate.name == "cx":
+                grid[gate.qubits[0]][col] = "--*--"
+                grid[gate.qubits[1]][col] = "--+--"
+            else:
+                label = gate.name[:5]
+                for q in gate.qubits:
+                    grid[q][col] = f"{label:-^5}"
+    lines = []
+    for q in range(circuit.num_qubits):
+        suffix = " ..." if len(layers) > max_columns else ""
+        lines.append(f"q{q:<2}: " + "".join(grid[q]) + suffix)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""JSON-friendly serialization of pulses and schedules.
+
+Downstream waveform generators consume the envelope samples; these
+helpers flatten :class:`Pulse` and :class:`PulseSchedule` into plain
+dictionaries (and back, for pulses) without losing timing metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.exceptions import ScheduleError
+from repro.pulse.schedule import PulseSchedule, ScheduledPulse
+from repro.qoc.pulse import Pulse
+
+__all__ = ["pulse_to_dict", "pulse_from_dict", "schedule_to_dict"]
+
+
+def pulse_to_dict(pulse: Pulse) -> Dict[str, Any]:
+    """Flatten a pulse into JSON-serializable primitives."""
+    return {
+        "qubits": list(pulse.qubits),
+        "dt": pulse.dt,
+        "fidelity": pulse.fidelity,
+        "unitary_distance": pulse.unitary_distance,
+        "source": pulse.source,
+        "controls_real": pulse.controls.real.tolist(),
+        "controls_imag": pulse.controls.imag.tolist(),
+    }
+
+
+def pulse_from_dict(payload: Dict[str, Any]) -> Pulse:
+    """Rebuild a pulse from :func:`pulse_to_dict` output."""
+    try:
+        controls = np.array(payload["controls_real"], dtype=float) + 1j * np.array(
+            payload["controls_imag"], dtype=float
+        )
+        if np.allclose(controls.imag, 0.0):
+            controls = controls.real
+        return Pulse(
+            qubits=tuple(payload["qubits"]),
+            controls=controls,
+            dt=float(payload["dt"]),
+            fidelity=float(payload["fidelity"]),
+            unitary_distance=float(payload["unitary_distance"]),
+            source=str(payload.get("source", "grape")),
+        )
+    except KeyError as exc:
+        raise ScheduleError(f"pulse payload missing field {exc}") from None
+
+
+def schedule_to_dict(schedule: PulseSchedule) -> Dict[str, Any]:
+    """Flatten a schedule: timing per item plus embedded pulse payloads."""
+    items = []
+    for item in schedule.items:
+        entry: Dict[str, Any] = {
+            "start_ns": item.start,
+            "duration_ns": item.duration,
+            "qubits": list(item.qubits),
+            "label": item.label,
+        }
+        if item.pulse is not None:
+            entry["pulse"] = pulse_to_dict(item.pulse)
+        items.append(entry)
+    return {
+        "num_qubits": schedule.num_qubits,
+        "latency_ns": schedule.latency,
+        "items": items,
+    }

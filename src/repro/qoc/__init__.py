@@ -1,0 +1,36 @@
+"""Quantum optimal control: hardware models, GRAPE/CRAB, pulse library."""
+
+from repro.qoc.hamiltonian import TransmonChain
+from repro.qoc.grape import GrapeResult, grape_optimize, propagate
+from repro.qoc.crab import crab_optimize
+from repro.qoc.pulse import Pulse
+from repro.qoc.latency import minimal_latency_pulse, estimate_initial_segments
+from repro.qoc.library import PulseLibrary, unitary_cache_key
+from repro.qoc.benchmarking import RBResult, randomized_benchmarking, single_qubit_cliffords
+from repro.qoc.state_transfer import StateTransferResult, grape_state_transfer
+from repro.qoc.transmon3 import (
+    ThreeLevelTransmon,
+    LeakageResult,
+    grape_three_level,
+)
+
+__all__ = [
+    "RBResult",
+    "randomized_benchmarking",
+    "single_qubit_cliffords",
+    "StateTransferResult",
+    "grape_state_transfer",
+    "ThreeLevelTransmon",
+    "LeakageResult",
+    "grape_three_level",
+    "TransmonChain",
+    "GrapeResult",
+    "grape_optimize",
+    "propagate",
+    "crab_optimize",
+    "Pulse",
+    "minimal_latency_pulse",
+    "estimate_initial_segments",
+    "PulseLibrary",
+    "unitary_cache_key",
+]

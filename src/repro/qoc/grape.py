@@ -1,0 +1,200 @@
+"""GRAPE: gradient-ascent pulse engineering (Khaneja et al., 2005).
+
+Piecewise-constant controls ``u[k, t]`` over ``num_segments`` slots of
+length ``dt`` evolve the system as a product of slot propagators
+``exp(-i dt (H0 + sum_k u[k,t] H_k))``.  The objective is the
+global-phase-invariant process fidelity ``|tr(V^dag U)|^2 / d^2``; exact
+gradients come from the spectral formula for the derivative of the matrix
+exponential, and the controls are optimized with bounded L-BFGS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.config import QOCConfig
+from repro.exceptions import QOCError
+from repro.qoc.hamiltonian import TransmonChain
+
+__all__ = ["GrapeResult", "grape_optimize", "propagate"]
+
+
+@dataclass(frozen=True)
+class GrapeResult:
+    """Outcome of a GRAPE run."""
+
+    controls: np.ndarray  # (num_controls, num_segments)
+    fidelity: float
+    final_unitary: np.ndarray
+    iterations: int
+    converged: bool
+    dt: float
+
+    @property
+    def duration(self) -> float:
+        """Total pulse duration in nanoseconds."""
+        return self.controls.shape[1] * self.dt
+
+
+def _slot_propagators_and_eig(
+    drift: np.ndarray,
+    controls_h: Sequence[np.ndarray],
+    u: np.ndarray,
+    dt: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-slot propagators and eigensystems, batched over time slots.
+
+    Returns ``(props, lams, qs)`` with shapes ``(T, d, d)``, ``(T, d)``
+    and ``(T, d, d)``.
+    """
+    stack = np.stack([np.asarray(h, dtype=complex) for h in controls_h])
+    hams = drift[None, :, :] + np.einsum("kt,kij->tij", u, stack)
+    lams, qs = np.linalg.eigh(hams)
+    phases = np.exp(-1j * dt * lams)
+    props = (qs * phases[:, None, :]) @ np.conj(np.swapaxes(qs, 1, 2))
+    return props, lams, qs
+
+
+def propagate(
+    drift: np.ndarray,
+    controls_h: Sequence[np.ndarray],
+    u: np.ndarray,
+    dt: float,
+) -> np.ndarray:
+    """Total propagator for piecewise-constant controls ``u``."""
+    props, _, _ = _slot_propagators_and_eig(drift, controls_h, u, dt)
+    total = np.eye(drift.shape[0], dtype=complex)
+    for p in props:
+        total = p @ total
+    return total
+
+
+def _exp_derivative_factor(lams: np.ndarray, dt: float) -> np.ndarray:
+    """Divided differences ``f(a,b)`` for d/du exp(-i dt H), batched.
+
+    ``lams`` has shape ``(T, d)``; the result has shape ``(T, d, d)``.
+    """
+    lam_col = lams[:, :, None]
+    lam_row = lams[:, None, :]
+    diff = lam_col - lam_row
+    exp_col = np.exp(-1j * dt * lam_col)
+    exp_row = np.exp(-1j * dt * lam_row)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factor = (exp_col - exp_row) / diff
+    degenerate = np.abs(diff) < 1e-12
+    broadcast_col = np.broadcast_to(-1j * dt * exp_col, factor.shape)
+    factor[degenerate] = broadcast_col[degenerate]
+    return factor
+
+
+def grape_optimize(
+    target: np.ndarray,
+    hardware: TransmonChain,
+    num_segments: int,
+    config: Optional[QOCConfig] = None,
+    initial_controls: Optional[np.ndarray] = None,
+) -> GrapeResult:
+    """Optimize piecewise-constant controls to realize ``target``.
+
+    ``initial_controls`` warm-starts the optimization (used by the latency
+    binary search to reuse solutions across candidate durations).
+    """
+    config = config or QOCConfig()
+    target = np.asarray(target, dtype=complex)
+    dim = target.shape[0]
+    if dim != hardware.dim:
+        raise QOCError(
+            f"target dimension {dim} does not match the "
+            f"{hardware.num_qubits}-qubit hardware model (dim {hardware.dim})"
+        )
+    if num_segments < 1:
+        raise QOCError("num_segments must be >= 1")
+    drift = hardware.drift()
+    controls_h, _ = hardware.controls()
+    num_controls = len(controls_h)
+    dt = config.dt
+    target_dag = target.conj().T
+
+    rng = np.random.default_rng(config.seed)
+    if initial_controls is not None and initial_controls.shape == (
+        num_controls,
+        num_segments,
+    ):
+        u0 = initial_controls.copy()
+    elif initial_controls is not None:
+        u0 = _resample_controls(initial_controls, num_segments)
+    else:
+        u0 = rng.uniform(-0.1, 0.1, size=(num_controls, num_segments))
+
+    iteration_count = [0]
+
+    control_stack = np.stack([np.asarray(h, dtype=complex) for h in controls_h])
+
+    def objective(x: np.ndarray) -> Tuple[float, np.ndarray]:
+        iteration_count[0] += 1
+        u = x.reshape(num_controls, num_segments)
+        props, lams, qs = _slot_propagators_and_eig(drift, controls_h, u, dt)
+        # forward partial products A_t = P_{t-1} ... P_0  (A_0 = I)
+        forward = np.empty((num_segments + 1, dim, dim), dtype=complex)
+        forward[0] = np.eye(dim)
+        for t in range(num_segments):
+            forward[t + 1] = props[t] @ forward[t]
+        total = forward[num_segments]
+        overlap = np.trace(target_dag @ total)
+        fidelity = abs(overlap) ** 2 / dim**2
+        # backward products: back_t = V^dag P_{T-1} ... P_{t+1}
+        back = np.empty((num_segments, dim, dim), dtype=complex)
+        back[num_segments - 1] = target_dag
+        for t in range(num_segments - 1, 0, -1):
+            back[t - 1] = back[t] @ props[t]
+        # dz[k,t] = tr(back_t Q_t (factor_t . Hk_eig) Q_t^dag A_t)
+        #         = sum_ab (factor_t . RL_t^T)_ab Hk_eig_ab
+        qs_dag = np.conj(np.swapaxes(qs, 1, 2))
+        factor = _exp_derivative_factor(lams, dt)
+        left = back @ qs  # (T, d, d)
+        right = qs_dag @ forward[:num_segments]  # (T, d, d)
+        core = factor * np.swapaxes(right @ left, 1, 2)  # (T, d, d)
+        hk_eig = np.einsum("tai,kij,tjb->ktab", qs_dag, control_stack, qs)
+        dz = np.einsum("tab,ktab->kt", core, hk_eig)
+        grad = 2.0 * (np.conj(overlap) * dz).real / dim**2
+        return 1.0 - fidelity, -grad.ravel()
+
+    bounds = [(-config.max_amplitude, config.max_amplitude)] * (
+        num_controls * num_segments
+    )
+    result = minimize(
+        objective,
+        u0.ravel(),
+        jac=True,
+        method="L-BFGS-B",
+        bounds=bounds,
+        options={"maxiter": config.max_iterations, "ftol": 1e-12, "gtol": 1e-10},
+    )
+    u_final = result.x.reshape(num_controls, num_segments)
+    final_unitary = propagate(drift, controls_h, u_final, dt)
+    overlap = np.trace(target_dag @ final_unitary)
+    fidelity = float(abs(overlap) ** 2 / dim**2)
+    return GrapeResult(
+        controls=u_final,
+        fidelity=fidelity,
+        final_unitary=final_unitary,
+        iterations=iteration_count[0],
+        converged=fidelity >= config.fidelity_threshold,
+        dt=dt,
+    )
+
+
+def _resample_controls(controls: np.ndarray, num_segments: int) -> np.ndarray:
+    """Time-stretch a control array to a new segment count (warm start)."""
+    num_controls, old_segments = controls.shape
+    if old_segments == num_segments:
+        return controls.copy()
+    old_axis = np.linspace(0.0, 1.0, old_segments)
+    new_axis = np.linspace(0.0, 1.0, num_segments)
+    return np.vstack(
+        [np.interp(new_axis, old_axis, controls[k]) for k in range(num_controls)]
+    )

@@ -1,0 +1,164 @@
+"""The pulse library: a unitary-keyed cache of optimized pulses.
+
+AccQOC and PAQOC keyed their libraries on exact unitary matrices; EPOC's
+improvement (Section 3.4) is matching *up to global phase*, which raises
+the hit rate ("similar to having a higher cache hit rate").  Both modes
+are supported so the ablation benchmark can quantify the difference.
+
+Keys are built by canonicalizing the matrix — optionally rotating out the
+global phase — and rounding to a fixed grid before hashing the bytes, so
+lookups are O(1).
+"""
+
+from __future__ import annotations
+
+import cmath
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import QOCConfig
+from repro.exceptions import QOCError
+from repro.qoc.hamiltonian import TransmonChain
+from repro.qoc.latency import minimal_latency_pulse
+from repro.qoc.pulse import Pulse
+
+__all__ = ["PulseLibrary", "unitary_cache_key"]
+
+
+def unitary_cache_key(
+    matrix: np.ndarray, global_phase: bool = True, decimals: int = 6
+) -> bytes:
+    """A hashable canonical form of ``matrix``.
+
+    With ``global_phase=True`` the matrix is first rotated so its largest
+    entry is real-positive, making e^{i*phi}U and U collide (EPOC mode);
+    with ``False`` the raw matrix is hashed (AccQOC/PAQOC mode).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if global_phase:
+        flat_index = int(np.argmax(np.abs(matrix)))
+        pivot = matrix.flat[flat_index]
+        if abs(pivot) > 1e-12:
+            matrix = matrix * (abs(pivot) / pivot)
+    rounded = np.round(matrix, decimals)
+    # normalize signed zeros (adding +0.0 maps -0.0 to +0.0 componentwise)
+    rounded = (rounded.real + 0.0) + 1j * (rounded.imag + 0.0)
+    return rounded.tobytes()
+
+
+@dataclass
+class PulseLibrary:
+    """Pulse cache + generator front-end used by every pipeline.
+
+    The library owns per-size hardware models so that pulses for k-qubit
+    unitaries are optimized on a k-qubit chain — the same "local
+    entanglement" simplification the paper leans on for scalability.
+    """
+
+    config: QOCConfig = field(default_factory=QOCConfig)
+    match_global_phase: bool = True
+    _entries: Dict[bytes, Pulse] = field(default_factory=dict)
+    _hardware: Dict[int, TransmonChain] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def hardware_for(self, num_qubits: int) -> TransmonChain:
+        if num_qubits not in self._hardware:
+            self._hardware[num_qubits] = TransmonChain(num_qubits)
+        return self._hardware[num_qubits]
+
+    def get_pulse(self, matrix: np.ndarray, qubits: Tuple[int, ...]) -> Pulse:
+        """Fetch (or generate and cache) the pulse for ``matrix``.
+
+        The cache key includes the qubit count but not the concrete qubit
+        lines: the synthetic chain is translation-invariant, so an entry
+        generated for qubits (0,1) retargets to (3,4) for free.
+        """
+        matrix = np.asarray(matrix, dtype=complex)
+        num_qubits = len(qubits)
+        key = (
+            bytes([num_qubits])
+            + unitary_cache_key(matrix, global_phase=self.match_global_phase)
+        )
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached.on_qubits(qubits)
+        self.misses += 1
+        pulse = minimal_latency_pulse(
+            matrix,
+            tuple(range(num_qubits)),
+            config=self.config,
+            hardware=self.hardware_for(num_qubits),
+        )
+        self._entries[key] = pulse
+        return pulse.on_qubits(qubits)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize the library to a JSON file.
+
+        The pulse library is a long-lived artifact in the AccQOC/PAQOC/
+        EPOC workflow: it is built once per hardware calibration and
+        reused across programs and sessions.
+        """
+        import json
+
+        from repro.pulse.serialize import pulse_to_dict
+
+        payload = {
+            "match_global_phase": self.match_global_phase,
+            "entries": [
+                {"key": key.hex(), "pulse": pulse_to_dict(pulse)}
+                for key, pulse in self._entries.items()
+            ],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+
+    def load(self, path: str, replace: bool = False) -> int:
+        """Merge (or replace) entries from a saved library; returns the
+        number of entries loaded.
+
+        Raises :class:`QOCError` when the stored key mode disagrees with
+        this library's — mixing exact and global-phase keys would corrupt
+        lookups.
+        """
+        import json
+
+        from repro.pulse.serialize import pulse_from_dict
+
+        with open(path) as fh:
+            payload = json.load(fh)
+        if bool(payload.get("match_global_phase")) != self.match_global_phase:
+            raise QOCError(
+                "stored library uses a different cache-key mode; refusing to merge"
+            )
+        if replace:
+            self._entries.clear()
+        count = 0
+        for entry in payload.get("entries", ()):
+            key = bytes.fromhex(entry["key"])
+            self._entries[key] = pulse_from_dict(entry["pulse"])
+            count += 1
+        return count
+
+    def invalidate(self) -> None:
+        """Drop every cached pulse (e.g. after hardware recalibration)."""
+        self._entries.clear()
+        self.clear_statistics()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear_statistics(self) -> None:
+        self.hits = 0
+        self.misses = 0

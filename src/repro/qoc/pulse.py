@@ -1,0 +1,69 @@
+"""Pulse objects: the unit of EPOC's output.
+
+A :class:`Pulse` is the optimized piecewise-constant control envelope for
+one unitary on a specific set of qubit lines, plus the metadata the
+scheduler and the fidelity model need (duration, achieved fidelity,
+achieved unitary distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import QOCError
+
+__all__ = ["Pulse"]
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """An optimized control pulse implementing a unitary on ``qubits``."""
+
+    #: global qubit lines the pulse drives
+    qubits: Tuple[int, ...]
+    #: control envelopes, shape (num_controls, num_segments)
+    controls: np.ndarray
+    #: segment length in nanoseconds
+    dt: float
+    #: process fidelity |tr(V^dag U)|^2 / d^2 achieved by the pulse
+    fidelity: float
+    #: spectral-norm distance |U_target - U_achieved| (Eq. 3's metric)
+    unitary_distance: float
+    #: how the pulse was produced ("grape", "grape-cache", "calibrated")
+    source: str = "grape"
+
+    def __post_init__(self):
+        if self.controls.ndim != 2:
+            raise QOCError("pulse controls must be a 2-D array")
+        if self.dt <= 0:
+            raise QOCError("pulse dt must be positive")
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def num_segments(self) -> int:
+        return self.controls.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Pulse length in nanoseconds."""
+        return self.num_segments * self.dt
+
+    def on_qubits(self, qubits: Tuple[int, ...]) -> "Pulse":
+        """The same envelope re-targeted at different qubit lines (cache
+        hits reuse pulses across qubit subsets of the same shape)."""
+        if len(qubits) != len(self.qubits):
+            raise QOCError("qubit count mismatch when retargeting a pulse")
+        return Pulse(
+            qubits=tuple(qubits),
+            controls=self.controls,
+            dt=self.dt,
+            fidelity=self.fidelity,
+            unitary_distance=self.unitary_distance,
+            source=self.source,
+        )

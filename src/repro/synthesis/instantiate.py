@@ -1,0 +1,91 @@
+"""Numerical instantiation of VUG templates against a target unitary.
+
+Minimizes the global-phase-invariant Hilbert-Schmidt distance
+``1 - |tr(U_target^dag V(x))| / d`` with analytic gradients and L-BFGS-B,
+with a few deterministic random restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.synthesis.vug import VUGTemplate
+
+__all__ = ["InstantiationResult", "instantiate"]
+
+
+@dataclass(frozen=True)
+class InstantiationResult:
+    """Best parameters found for a template."""
+
+    params: np.ndarray
+    distance: float
+
+
+def _objective(template: VUGTemplate, target_dag: np.ndarray, dim: int):
+    def fun(x: np.ndarray) -> Tuple[float, np.ndarray]:
+        value, grads = template.matrix_and_gradient(x)
+        overlap = np.trace(target_dag @ value)
+        magnitude = abs(overlap)
+        f = 1.0 - magnitude / dim
+        if magnitude < 1e-12:
+            return f, np.zeros(len(x))
+        scale = np.conj(overlap) / magnitude
+        grad = np.array(
+            [-(scale * np.trace(target_dag @ g)).real / dim for g in grads]
+        )
+        return f, grad
+
+    return fun
+
+
+def instantiate(
+    template: VUGTemplate,
+    target: np.ndarray,
+    restarts: int = 2,
+    seed: int = 11,
+    initial: Optional[np.ndarray] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-12,
+) -> InstantiationResult:
+    """Fit the template's parameters to ``target``.
+
+    ``initial`` warm-starts the first attempt (used by incremental
+    synthesis, where the parent node's optimum is a good prefix guess).
+    """
+    dim = target.shape[0]
+    target_dag = np.asarray(target, dtype=complex).conj().T
+    objective = _objective(template, target_dag, dim)
+    rng = np.random.default_rng(seed)
+
+    best: Optional[InstantiationResult] = None
+    num_params = template.num_params
+    for attempt in range(max(1, restarts)):
+        if attempt == 0 and initial is not None and len(initial) == num_params:
+            x0 = np.asarray(initial, dtype=float)
+        elif attempt == 0 and initial is not None:
+            # pad a shorter warm start (parent template) with small noise
+            x0 = rng.uniform(-0.1, 0.1, size=num_params)
+            x0[: len(initial)] = initial
+        else:
+            x0 = rng.uniform(-np.pi, np.pi, size=num_params)
+        result = minimize(
+            objective,
+            x0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": max_iterations, "ftol": tolerance, "gtol": 1e-12},
+        )
+        candidate = InstantiationResult(
+            params=np.asarray(result.x, dtype=float), distance=float(result.fun)
+        )
+        if best is None or candidate.distance < best.distance:
+            best = candidate
+        if best.distance < 1e-10:
+            break
+    assert best is not None
+    return best

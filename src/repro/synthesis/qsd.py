@@ -1,0 +1,128 @@
+"""Quantum Shannon decomposition (Shende, Bullock, Markov 2005).
+
+The top-down synthesis baseline and the guaranteed fallback when heuristic
+search runs out of budget: any n-qubit unitary decomposes recursively via
+the cosine-sine decomposition into multiplexed rotations and smaller
+unitaries, bottoming out at single-qubit u3 gates.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Sequence
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import SynthesisError
+from repro.circuits.circuit import QuantumCircuit
+from repro.linalg.decompose import euler_decompose_u3
+
+__all__ = ["qsd_synthesize"]
+
+_ATOL = 1e-9
+
+
+def qsd_synthesize(target: np.ndarray) -> QuantumCircuit:
+    """Synthesize ``target`` into u3 + cx gates by recursive QSD.
+
+    The result's unitary equals ``target`` up to global phase; gate count
+    is O(4^n), the classic QSD bound.
+    """
+    target = np.asarray(target, dtype=complex)
+    dim = target.shape[0]
+    num_qubits = int(dim).bit_length() - 1
+    if 2**num_qubits != dim:
+        raise SynthesisError(f"dimension {dim} is not a power of two")
+    circuit = QuantumCircuit(num_qubits)
+    _qsd(circuit, target, list(range(num_qubits)))
+    return circuit
+
+
+def _qsd(circuit: QuantumCircuit, matrix: np.ndarray, qubits: List[int]) -> None:
+    """Append gates implementing ``matrix`` on ``qubits`` (in order)."""
+    if len(qubits) == 1:
+        _append_u3(circuit, matrix, qubits[0])
+        return
+    half = matrix.shape[0] // 2
+    # cosine-sine decomposition: matrix = (L1 (+) L2) . CS . (R1 (+) R2)
+    (u1, u2), theta, (v1h, v2h) = scipy.linalg.cossin(
+        matrix, p=half, q=half, separate=True
+    )
+    # circuit order: right factor first
+    _demultiplex(circuit, v1h, v2h, qubits)
+    # the CS block is a multiplexed Ry on the top (most significant) qubit
+    ry_angles = [2.0 * t for t in theta]
+    _multiplexed_rotation(circuit, "ry", qubits[0], qubits[1:], ry_angles)
+    _demultiplex(circuit, u1, u2, qubits)
+
+
+def _demultiplex(
+    circuit: QuantumCircuit,
+    block0: np.ndarray,
+    block1: np.ndarray,
+    qubits: List[int],
+) -> None:
+    """Implement ``block0 (+) block1`` (select on ``qubits[0]``).
+
+    Uses ``a (+) b = (I x V) (D (+) D^dag) (I x W)`` with
+    ``V diag(D^2) V^dag = a b^dag`` and ``W = D V^dag b``; the middle term
+    is a multiplexed Rz on ``qubits[0]``.
+    """
+    product = block0 @ block1.conj().T
+    # Schur decomposition of a unitary yields a unitary eigenbasis even for
+    # degenerate eigenvalues (np.linalg.eig does not).
+    eigvals_matrix, v = scipy.linalg.schur(product, output="complex")
+    eigvals = np.diagonal(eigvals_matrix)
+    if np.max(np.abs(eigvals_matrix - np.diag(eigvals))) > 1e-7:
+        # product should be normal; fall back to eig + orthonormalization
+        w_eig, v = np.linalg.eig(product)
+        v, _ = np.linalg.qr(v)
+        eigvals = np.diagonal(v.conj().T @ product @ v)
+    phases = np.angle(eigvals) / 2.0
+    d = np.exp(1j * phases)
+    w = np.diag(d) @ v.conj().T @ block1
+
+    _qsd(circuit, w, qubits[1:])
+    rz_angles = [-2.0 * p for p in phases]
+    _multiplexed_rotation(circuit, "rz", qubits[0], qubits[1:], rz_angles)
+    _qsd(circuit, v, qubits[1:])
+
+
+def _multiplexed_rotation(
+    circuit: QuantumCircuit,
+    axis: str,
+    target: int,
+    controls: Sequence[int],
+    angles: Sequence[float],
+) -> None:
+    """Uniformly-controlled rotation: apply R(angles[j]) to ``target`` when
+    the controls are in basis state ``j`` (controls[0] = MSB).
+
+    Standard recursive construction: both Ry and Rz anticommute with X, so
+    ``CNOT . R(b) . CNOT = R(-b)`` lets the control multiplex via angle
+    half-sums and half-differences.
+    """
+    if len(angles) != 2 ** len(controls):
+        raise SynthesisError("multiplexed rotation needs 2**controls angles")
+    if not controls:
+        angle = angles[0]
+        if abs(angle) > _ATOL:
+            circuit.add(axis, [target], [angle])
+        return
+    half = len(angles) // 2
+    sums = [(angles[j] + angles[half + j]) / 2.0 for j in range(half)]
+    diffs = [(angles[j] - angles[half + j]) / 2.0 for j in range(half)]
+    _multiplexed_rotation(circuit, axis, target, controls[1:], sums)
+    circuit.add("cx", [controls[0], target])
+    _multiplexed_rotation(circuit, axis, target, controls[1:], diffs)
+    circuit.add("cx", [controls[0], target])
+
+
+def _append_u3(circuit: QuantumCircuit, matrix: np.ndarray, qubit: int) -> None:
+    from repro.circuits.transpile import _is_identity_angles
+
+    theta, phi, lam, _ = euler_decompose_u3(matrix)
+    if not _is_identity_angles(theta, phi, lam, tol=_ATOL):
+        circuit.add("u3", [qubit], [theta, phi, lam])

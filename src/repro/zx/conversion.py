@@ -1,0 +1,94 @@
+"""Conversion between circuits and ZX-diagrams."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.exceptions import ZXError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.transpile import decompose_to_zx_basis
+from repro.zx.graph import EdgeType, VertexType, ZXGraph
+
+__all__ = ["circuit_to_zx", "zx_to_circuit_naive"]
+
+
+def circuit_to_zx(circuit: QuantumCircuit) -> ZXGraph:
+    """Convert a circuit to a ZX-diagram.
+
+    The circuit is first rewritten into the {rz, rx, h, cx, cz} basis; each
+    rz becomes a Z-spider, each rx an X-spider, each h toggles the pending
+    edge type on its wire, cx becomes the usual Z-X pair and cz a
+    Hadamard-edge Z-Z pair.
+    """
+    basis = decompose_to_zx_basis(circuit)
+    graph = ZXGraph()
+    n = circuit.num_qubits
+    last: List[int] = []
+    pending_hadamard = [False] * n
+    for q in range(n):
+        v = graph.add_vertex(VertexType.BOUNDARY, qubit=q, row=0)
+        graph.inputs.append(v)
+        last.append(v)
+
+    row = 1.0
+
+    def connect(q: int, new_vertex: int) -> None:
+        etype = EdgeType.HADAMARD if pending_hadamard[q] else EdgeType.SIMPLE
+        graph.add_edge(last[q], new_vertex, etype)
+        pending_hadamard[q] = False
+        last[q] = new_vertex
+
+    for gate in basis.gates:
+        if gate.name == "h":
+            q = gate.qubits[0]
+            pending_hadamard[q] = not pending_hadamard[q]
+            continue
+        if gate.name == "rz":
+            q = gate.qubits[0]
+            v = graph.add_vertex(
+                VertexType.Z, phase=gate.params[0] / math.pi, qubit=q, row=row
+            )
+            connect(q, v)
+        elif gate.name == "rx":
+            q = gate.qubits[0]
+            v = graph.add_vertex(
+                VertexType.X, phase=gate.params[0] / math.pi, qubit=q, row=row
+            )
+            connect(q, v)
+        elif gate.name == "cx":
+            c, t = gate.qubits
+            vc = graph.add_vertex(VertexType.Z, qubit=c, row=row)
+            vt = graph.add_vertex(VertexType.X, qubit=t, row=row)
+            connect(c, vc)
+            connect(t, vt)
+            graph.add_edge(vc, vt, EdgeType.SIMPLE)
+        elif gate.name == "cz":
+            a, b = gate.qubits
+            va = graph.add_vertex(VertexType.Z, qubit=a, row=row)
+            vb = graph.add_vertex(VertexType.Z, qubit=b, row=row)
+            connect(a, va)
+            connect(b, vb)
+            graph.add_edge(va, vb, EdgeType.HADAMARD)
+        else:  # pragma: no cover - decompose_to_zx_basis only emits these
+            raise ZXError(f"unexpected gate {gate.name!r} in ZX basis")
+        row += 1.0
+
+    for q in range(n):
+        v = graph.add_vertex(VertexType.BOUNDARY, qubit=q, row=row)
+        graph.outputs.append(v)
+        connect(q, v)
+    return graph
+
+
+def zx_to_circuit_naive(graph: ZXGraph) -> QuantumCircuit:
+    """Inverse of :func:`circuit_to_zx` for *unsimplified* diagrams.
+
+    Only works when the diagram still has the ladder structure produced by
+    :func:`circuit_to_zx` (each spider has known qubit/row hints and degree
+    <= 3).  Simplified diagrams must go through
+    :func:`repro.zx.extract.extract_circuit` instead.
+    """
+    from repro.zx.extract import extract_circuit
+
+    return extract_circuit(graph.copy())

@@ -1,0 +1,277 @@
+"""Circuit extraction from graph-like ZX-diagrams.
+
+Implements the frontier-based extraction algorithm (Duncan, Kissinger,
+Perdrix, van de Wetering, *Graph-theoretic Simplification of Quantum
+Circuits with the ZX-calculus*): peel gates off the output side of the
+diagram, advancing a frontier of spiders toward the inputs.  Progress is
+guaranteed for diagrams that admit a gflow, which every rewrite used by
+:func:`repro.zx.simplify.full_reduce` preserves.
+
+The extracted gate vocabulary is {rz, h, cz, cx, swap}; the caller usually
+post-processes with :func:`repro.zx.peephole.basic_optimization`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ZXError
+from repro.circuits.circuit import QuantumCircuit
+from repro.linalg.gf2 import GF2Matrix
+from repro.zx.graph import EdgeType, VertexType, ZXGraph, PHASE_TOL
+
+__all__ = ["extract_circuit"]
+
+_MAX_ITERATIONS_FACTOR = 20
+
+
+def extract_circuit(graph: ZXGraph, blocksize: int = 4) -> QuantumCircuit:
+    """Extract an equivalent circuit from a graph-like ZX-diagram.
+
+    The diagram is consumed (work on a copy if you need it afterwards) and
+    must be graph-like: only Z spiders, spider-spider edges all Hadamard.
+    Raises :class:`ZXError` when the diagram has no extractable structure
+    (e.g. it does not come from a unitary circuit).
+    """
+    if not graph.is_graph_like():
+        raise ZXError("extraction requires a graph-like diagram; run full_reduce")
+    if len(graph.inputs) != len(graph.outputs):
+        raise ZXError("extraction requires equal numbers of inputs and outputs")
+    n = len(graph.outputs)
+    rev_gates: List[Tuple] = []  # gates peeled from the output side, reversed
+
+    _insert_boundary_dummies(graph)
+
+    qubit_of_output = {o: q for q, o in enumerate(graph.outputs)}
+    done: Set[int] = set()
+    iterations = 0
+    max_iterations = _MAX_ITERATIONS_FACTOR * (graph.num_vertices() + n + 1)
+
+    while True:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - safety valve
+            raise ZXError("extraction did not converge; diagram may lack gflow")
+        _clean_frontier(graph, qubit_of_output, done, rev_gates)
+        frontier = _current_frontier(graph, qubit_of_output, done)
+        if not frontier:
+            break
+        advanced = _advance_frontier(graph, frontier, rev_gates, blocksize)
+        if not advanced:
+            raise ZXError(
+                "extraction is stuck: no frontier vertex can advance "
+                "(diagram may contain phase gadgets or lack gflow)"
+            )
+
+    _finalize_permutation(graph, rev_gates)
+    circuit = QuantumCircuit(n)
+    for name, qubits, params in reversed(rev_gates):
+        circuit.add(name, qubits, params)
+    return circuit
+
+
+# -- preprocessing -------------------------------------------------------------
+
+
+def _insert_boundary_dummies(graph: ZXGraph) -> None:
+    """Give every boundary its own adjacent spider, H-connected inward.
+
+    After this pass every input/output connects to a dedicated phase-0
+    spider via a plain or Hadamard wire, and all spider-spider edges are
+    Hadamard edges, so the biadjacency row operations of the main loop are
+    always sound.
+    """
+    for boundary in list(graph.inputs) + list(graph.outputs):
+        (neighbor,) = graph.neighbors(boundary)
+        if graph.is_boundary(neighbor):
+            continue  # bare wire input->output; handled by the main loop
+        etype = graph.edge_type(boundary, neighbor)
+        dummy = graph.add_vertex(
+            VertexType.Z,
+            qubit=graph.qubit_of.get(boundary, -1.0),
+            row=graph.row_of.get(boundary, -1.0),
+        )
+        graph.remove_edge(boundary, neighbor)
+        boundary_etype = (
+            EdgeType.SIMPLE if etype == EdgeType.HADAMARD else EdgeType.HADAMARD
+        )
+        graph.add_edge(boundary, dummy, boundary_etype)
+        graph.add_edge(dummy, neighbor, EdgeType.HADAMARD)
+
+
+# -- main-loop helpers ---------------------------------------------------------
+
+
+def _clean_frontier(
+    graph: ZXGraph,
+    qubit_of_output: Dict[int, int],
+    done: Set[int],
+    rev_gates: List[Tuple],
+) -> None:
+    """Peel everything local off the output side.
+
+    Hadamard edges at outputs become H gates, frontier phases become rz
+    gates, Hadamard edges between frontier spiders become CZ gates, and
+    wires that reach an input are finished (possibly emitting a final H).
+    """
+    for output, q in qubit_of_output.items():
+        if output in done:
+            continue
+        (v,) = graph.neighbors(output)
+        if graph.is_boundary(v):
+            # direct input-output wire
+            if graph.edge_type(output, v) == EdgeType.HADAMARD:
+                rev_gates.append(("h", [q], []))
+                graph.set_edge_type(output, v, EdgeType.SIMPLE)
+            done.add(output)
+            continue
+        if graph.edge_type(output, v) == EdgeType.HADAMARD:
+            rev_gates.append(("h", [q], []))
+            graph.set_edge_type(output, v, EdgeType.SIMPLE)
+        phase = graph.phase(v) % 2.0
+        if PHASE_TOL < phase < 2.0 - PHASE_TOL:
+            rev_gates.append(("rz", [q], [phase * math.pi]))
+            graph.set_phase(v, 0.0)
+        # finished wire: the frontier spider only links output and input
+        neighbors = graph.neighbors(v)
+        input_neighbors = [w for w in neighbors if graph.is_boundary(w) and w != output]
+        if input_neighbors and graph.degree(v) == 2:
+            (b,) = input_neighbors
+            etype = graph.edge_type(v, b)
+            graph.remove_vertex(v)
+            if etype == EdgeType.HADAMARD:
+                rev_gates.append(("h", [q], []))
+            graph.add_edge(output, b, EdgeType.SIMPLE)
+            done.add(output)
+
+    # CZ gates between frontier spiders
+    frontier_vertex: Dict[int, int] = {}
+    for output, q in qubit_of_output.items():
+        if output in done:
+            continue
+        (v,) = graph.neighbors(output)
+        frontier_vertex[v] = q
+    for v, q in list(frontier_vertex.items()):
+        for w in graph.neighbors(v):
+            if w in frontier_vertex and frontier_vertex[w] > q:
+                if graph.edge_type(v, w) != EdgeType.HADAMARD:  # pragma: no cover
+                    raise ZXError("unexpected plain edge between frontier spiders")
+                rev_gates.append(("cz", [q, frontier_vertex[w]], []))
+                graph.remove_edge(v, w)
+
+
+def _current_frontier(
+    graph: ZXGraph, qubit_of_output: Dict[int, int], done: Set[int]
+) -> List[Tuple[int, int]]:
+    """(qubit, frontier-vertex) pairs for unfinished wires."""
+    frontier = []
+    for output, q in qubit_of_output.items():
+        if output in done:
+            continue
+        (v,) = graph.neighbors(output)
+        frontier.append((q, v))
+    frontier.sort()
+    return frontier
+
+
+def _advance_frontier(
+    graph: ZXGraph,
+    frontier: List[Tuple[int, int]],
+    rev_gates: List[Tuple],
+    blocksize: int,
+) -> bool:
+    """One round of Gaussian elimination + frontier advancing.
+
+    Returns True when at least one frontier vertex moved inward.
+    """
+    frontier_vertices = [v for _, v in frontier]
+    frontier_qubits = [q for q, _ in frontier]
+    neighbor_set: Set[int] = set()
+    for v in frontier_vertices:
+        for w in graph.neighbors(v):
+            if not graph.is_boundary(w):
+                neighbor_set.add(w)
+    neighbors = sorted(neighbor_set)
+    if not neighbors:
+        # every remaining frontier vertex touches only boundaries; the
+        # clean pass will finish these wires on the next iteration
+        return True
+    column_of = {w: j for j, w in enumerate(neighbors)}
+
+    matrix = GF2Matrix.zeros(len(frontier_vertices), len(neighbors))
+    for i, v in enumerate(frontier_vertices):
+        for w in graph.neighbors(v):
+            if w in column_of:
+                matrix.data[i, column_of[w]] = 1
+
+    row_ops: List[Tuple[int, int]] = []
+    matrix.gauss(
+        full_reduce=True,
+        row_op_callback=lambda src, dst: row_ops.append((src, dst)),
+        blocksize=blocksize,
+    )
+
+    # Mirror the row operations on the diagram and emit the CNOTs.  Row
+    # operation "dst ^= src" corresponds to gluing CNOT(control=dst-wire,
+    # target=src-wire) onto the output side of the diagram: the Hadamard
+    # edges of the web transpose the usual CNOT row-action, so the *column*
+    # picture applies (verified by the unitary-equality property tests).
+    for src, dst in row_ops:
+        v_src = frontier_vertices[src]
+        v_dst = frontier_vertices[dst]
+        rev_gates.append(("cx", [frontier_qubits[dst], frontier_qubits[src]], []))
+        for w in graph.neighbors(v_src):
+            if graph.is_boundary(w):
+                continue
+            if graph.has_edge(v_dst, w):
+                graph.remove_edge(v_dst, w)
+            else:
+                graph.add_edge(v_dst, w, EdgeType.HADAMARD)
+
+    advanced = False
+    for i, v in enumerate(frontier_vertices):
+        row = matrix.data[i]
+        ones = np.nonzero(row)[0]
+        if len(ones) != 1:
+            continue
+        w = neighbors[int(ones[0])]
+        if graph.has_edge(v, w) is False:  # pragma: no cover - consistency
+            raise ZXError("matrix and diagram out of sync during extraction")
+        # v is now a plain Hadamard box between the output and w
+        q = frontier_qubits[i]
+        output = [o for o in graph.neighbors(v) if graph.is_boundary(o)]
+        extra = [
+            o for o in output if graph.edge_type(v, o) != EdgeType.SIMPLE
+        ]
+        if len(output) != 1 or extra:  # pragma: no cover - consistency
+            raise ZXError("frontier vertex in unexpected state")
+        rev_gates.append(("h", [q], []))
+        graph.remove_vertex(v)
+        graph.add_edge(output[0], w, EdgeType.SIMPLE)
+        advanced = True
+    return advanced
+
+
+def _finalize_permutation(graph: ZXGraph, rev_gates: List[Tuple]) -> None:
+    """Emit SWAPs for the residual wire permutation."""
+    input_index = {b: j for j, b in enumerate(graph.inputs)}
+    perm: List[int] = []
+    for output in graph.outputs:
+        (b,) = graph.neighbors(output)
+        if not graph.is_boundary(b):  # pragma: no cover - loop invariant
+            raise ZXError("extraction finished with spiders left on a wire")
+        perm.append(input_index[b])
+    current = list(range(len(perm)))
+    swaps: List[Tuple[int, int]] = []
+    for q in range(len(perm)):
+        if current[q] == perm[q]:
+            continue
+        r = current.index(perm[q])
+        swaps.append((q, r))
+        current[q], current[r] = current[r], current[q]
+    # the permutation is the earliest part of the circuit: emitted last in
+    # reverse order so that reversal plays the swaps in the right sequence
+    for q, r in reversed(swaps):
+        rev_gates.append(("swap", [q, r], []))

@@ -1,0 +1,323 @@
+"""The ZX-diagram data structure.
+
+A ZX-diagram is an undirected multigraph-with-merging: vertices are Z or X
+spiders (or circuit boundaries), edges are plain wires or Hadamard wires.
+Phases are stored in **units of pi** as floats; helper predicates classify
+Pauli (multiple of pi) and proper-Clifford (odd multiple of pi/2) phases
+with a small tolerance so that exact rewrite rules still fire after float
+arithmetic.
+
+Scalars are not tracked: every rewrite preserves the diagram's linear map
+only up to a global (non-zero) scalar factor, which is exactly the
+equivalence the EPOC pipeline needs (pulses are compared up to global
+phase).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ZXError
+
+__all__ = ["VertexType", "EdgeType", "ZXGraph", "PHASE_TOL"]
+
+PHASE_TOL = 1e-9
+
+
+class VertexType(IntEnum):
+    """Kind of a ZX-diagram vertex."""
+
+    BOUNDARY = 0
+    Z = 1
+    X = 2
+
+
+class EdgeType(IntEnum):
+    """Kind of a ZX-diagram wire."""
+
+    SIMPLE = 1
+    HADAMARD = 2
+
+
+def _normalize_phase(phase: float) -> float:
+    """Reduce a phase (units of pi) into ``[0, 2)`` and snap near-Clifford
+    values to exact multiples of 1/2 to stop float drift."""
+    phase = phase % 2.0
+    snapped = round(phase * 2.0) / 2.0
+    if abs(phase - snapped) < 1e-12:
+        phase = snapped % 2.0
+    return phase
+
+
+class ZXGraph:
+    """Mutable ZX-diagram with vertex phases and typed edges."""
+
+    def __init__(self):
+        self._adjacency: Dict[int, Dict[int, EdgeType]] = {}
+        self._types: Dict[int, VertexType] = {}
+        self._phases: Dict[int, float] = {}
+        #: drawing/extraction hints: which qubit line and column a vertex
+        #: originated from (floats; -1 when unknown).
+        self.qubit_of: Dict[int, float] = {}
+        self.row_of: Dict[int, float] = {}
+        self.inputs: List[int] = []
+        self.outputs: List[int] = []
+        self._next_index = 0
+
+    # -- vertices ----------------------------------------------------------
+
+    def add_vertex(
+        self,
+        vtype: VertexType,
+        phase: float = 0.0,
+        qubit: float = -1.0,
+        row: float = -1.0,
+    ) -> int:
+        """Add a vertex and return its index."""
+        v = self._next_index
+        self._next_index += 1
+        self._adjacency[v] = {}
+        self._types[v] = VertexType(vtype)
+        self._phases[v] = _normalize_phase(phase)
+        self.qubit_of[v] = qubit
+        self.row_of[v] = row
+        return v
+
+    def remove_vertex(self, v: int) -> None:
+        """Remove ``v`` and all incident edges."""
+        for w in list(self._adjacency[v]):
+            del self._adjacency[w][v]
+        del self._adjacency[v]
+        del self._types[v]
+        del self._phases[v]
+        del self.qubit_of[v]
+        del self.row_of[v]
+        if v in self.inputs:
+            self.inputs.remove(v)
+        if v in self.outputs:
+            self.outputs.remove(v)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(list(self._adjacency))
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adjacency
+
+    def num_vertices(self) -> int:
+        return len(self._adjacency)
+
+    def type(self, v: int) -> VertexType:
+        return self._types[v]
+
+    def set_type(self, v: int, vtype: VertexType) -> None:
+        self._types[v] = VertexType(vtype)
+
+    def phase(self, v: int) -> float:
+        return self._phases[v]
+
+    def set_phase(self, v: int, phase: float) -> None:
+        self._phases[v] = _normalize_phase(phase)
+
+    def add_phase(self, v: int, phase: float) -> None:
+        self._phases[v] = _normalize_phase(self._phases[v] + phase)
+
+    def is_pauli_phase(self, v: int) -> bool:
+        """Phase is 0 or pi (units of pi: 0.0 or 1.0)."""
+        p = self._phases[v] % 1.0
+        return p < PHASE_TOL or p > 1.0 - PHASE_TOL
+
+    def is_proper_clifford_phase(self, v: int) -> bool:
+        """Phase is an odd multiple of pi/2 (units of pi: 0.5 or 1.5)."""
+        p = self._phases[v] % 1.0
+        return abs(p - 0.5) < PHASE_TOL
+
+    def is_boundary(self, v: int) -> bool:
+        return self._types[v] == VertexType.BOUNDARY
+
+    def is_interior(self, v: int) -> bool:
+        """Non-boundary vertex with no boundary neighbours."""
+        if self.is_boundary(v):
+            return False
+        return all(not self.is_boundary(w) for w in self.neighbors(v))
+
+    # -- edges --------------------------------------------------------------
+
+    def add_edge(self, v: int, w: int, etype: EdgeType = EdgeType.SIMPLE) -> None:
+        """Add an edge; raises when the edge already exists (use
+        :meth:`add_edge_smart` to merge parallel edges by the ZX rules)."""
+        if v == w:
+            raise ZXError("use add_edge_smart for self-loops")
+        if w in self._adjacency[v]:
+            raise ZXError(f"edge {v}-{w} already exists")
+        self._adjacency[v][w] = EdgeType(etype)
+        self._adjacency[w][v] = EdgeType(etype)
+
+    def add_edge_smart(self, v: int, w: int, etype: EdgeType) -> None:
+        """Add an edge, resolving self-loops and parallel edges.
+
+        Between same-coloured spiders: a plain self-loop vanishes, a
+        Hadamard self-loop adds pi to the phase; parallel Hadamard edges
+        cancel pairwise (Hopf), and a Hadamard edge parallel to a plain edge
+        becomes a pi phase.  Between different-coloured spiders the rules
+        are colour-dual.  Boundary vertices never merge edges.
+        """
+        etype = EdgeType(etype)
+        if v == w:
+            if etype == EdgeType.HADAMARD:
+                self.add_phase(v, 1.0)
+            return
+        existing = self._adjacency[v].get(w)
+        if existing is None:
+            self._adjacency[v][w] = etype
+            self._adjacency[w][v] = etype
+            return
+        tv, tw = self._types[v], self._types[w]
+        if tv == VertexType.BOUNDARY or tw == VertexType.BOUNDARY:
+            raise ZXError("parallel edge onto a boundary vertex")
+        same_color = tv == tw
+        pair = {existing, etype}
+        if same_color:
+            if pair == {EdgeType.SIMPLE}:
+                # fusing along one edge makes the other a vanishing self-loop
+                pass
+            elif pair == {EdgeType.HADAMARD}:
+                # Hopf: two H-edges between same-colour spiders cancel
+                self._remove_edge(v, w)
+            else:
+                # plain + H: fuse along the plain edge, H self-loop adds pi
+                self._set_edge(v, w, EdgeType.SIMPLE)
+                self.add_phase(v, 1.0)
+        else:
+            if pair == {EdgeType.HADAMARD}:
+                pass
+            elif pair == {EdgeType.SIMPLE}:
+                # Hopf in the colour-dual picture
+                self._remove_edge(v, w)
+            else:
+                self._set_edge(v, w, EdgeType.HADAMARD)
+                self.add_phase(v, 1.0)
+
+    def _set_edge(self, v: int, w: int, etype: EdgeType) -> None:
+        self._adjacency[v][w] = etype
+        self._adjacency[w][v] = etype
+
+    def _remove_edge(self, v: int, w: int) -> None:
+        del self._adjacency[v][w]
+        del self._adjacency[w][v]
+
+    def remove_edge(self, v: int, w: int) -> None:
+        if w not in self._adjacency[v]:
+            raise ZXError(f"no edge {v}-{w}")
+        self._remove_edge(v, w)
+
+    def has_edge(self, v: int, w: int) -> bool:
+        return w in self._adjacency.get(v, {})
+
+    def edge_type(self, v: int, w: int) -> EdgeType:
+        try:
+            return self._adjacency[v][w]
+        except KeyError:
+            raise ZXError(f"no edge {v}-{w}") from None
+
+    def set_edge_type(self, v: int, w: int, etype: EdgeType) -> None:
+        if w not in self._adjacency[v]:
+            raise ZXError(f"no edge {v}-{w}")
+        self._set_edge(v, w, EdgeType(etype))
+
+    def toggle_edge_type(self, v: int, w: int) -> None:
+        current = self.edge_type(v, w)
+        self._set_edge(
+            v,
+            w,
+            EdgeType.SIMPLE if current == EdgeType.HADAMARD else EdgeType.HADAMARD,
+        )
+
+    def neighbors(self, v: int) -> List[int]:
+        return list(self._adjacency[v])
+
+    def degree(self, v: int) -> int:
+        return len(self._adjacency[v])
+
+    def edges(self) -> List[Tuple[int, int, EdgeType]]:
+        out = []
+        for v, nbrs in self._adjacency.items():
+            for w, etype in nbrs.items():
+                if v < w:
+                    out.append((v, w, etype))
+        return out
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    # -- structure helpers ---------------------------------------------------
+
+    def spiders(self) -> List[int]:
+        """All non-boundary vertices."""
+        return [v for v in self._adjacency if not self.is_boundary(v)]
+
+    def copy(self) -> "ZXGraph":
+        clone = ZXGraph()
+        clone._adjacency = {v: dict(nbrs) for v, nbrs in self._adjacency.items()}
+        clone._types = dict(self._types)
+        clone._phases = dict(self._phases)
+        clone.qubit_of = dict(self.qubit_of)
+        clone.row_of = dict(self.row_of)
+        clone.inputs = list(self.inputs)
+        clone.outputs = list(self.outputs)
+        clone._next_index = self._next_index
+        return clone
+
+    def stats(self) -> Dict[str, int]:
+        """Summary used in logs and tests."""
+        return {
+            "vertices": self.num_vertices(),
+            "edges": self.num_edges(),
+            "z_spiders": sum(
+                1 for v in self._adjacency if self._types[v] == VertexType.Z
+            ),
+            "x_spiders": sum(
+                1 for v in self._adjacency if self._types[v] == VertexType.X
+            ),
+            "boundaries": sum(
+                1 for v in self._adjacency if self._types[v] == VertexType.BOUNDARY
+            ),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ZXGraph({s['vertices']} vertices, {s['edges']} edges, "
+            f"{len(self.inputs)} in / {len(self.outputs)} out)"
+        )
+
+    # -- validation ------------------------------------------------------------
+
+    def check_well_formed(self) -> None:
+        """Raise :class:`ZXError` on structural inconsistencies."""
+        for v, nbrs in self._adjacency.items():
+            for w, etype in nbrs.items():
+                if self._adjacency.get(w, {}).get(v) != etype:
+                    raise ZXError(f"asymmetric edge {v}-{w}")
+        for b in self.inputs + self.outputs:
+            if b not in self._adjacency:
+                raise ZXError(f"boundary vertex {b} missing")
+            if self._types[b] != VertexType.BOUNDARY:
+                raise ZXError(f"vertex {b} listed as boundary but is a spider")
+            if self.degree(b) != 1:
+                raise ZXError(f"boundary vertex {b} has degree {self.degree(b)}")
+
+    def is_graph_like(self) -> bool:
+        """True when every spider is Z and all spider-spider edges are
+        Hadamard edges (boundary connections may be plain)."""
+        for v in self._adjacency:
+            if self.is_boundary(v):
+                continue
+            if self._types[v] != VertexType.Z:
+                return False
+            for w, etype in self._adjacency[v].items():
+                if self.is_boundary(w):
+                    continue
+                if etype != EdgeType.HADAMARD:
+                    return False
+        return True

@@ -1,0 +1,231 @@
+"""Circuit-level gate commutation and aggregation.
+
+This is the gate-commutation/aggregation pass the paper describes in
+Section 3.1 (delay gates past commuting neighbours, cancel inverse pairs,
+fuse rotations, rewrite H-conjugated phases).  It is used both standalone
+and as the post-extraction cleanup of the ZX pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+__all__ = ["basic_optimization", "cancel_and_fuse_pass", "hadamard_conjugation_pass"]
+
+_TWO_PI = 2.0 * math.pi
+_EPS = 1e-10
+
+#: gates that equal their own inverse and cancel pairwise
+_SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap", "ccx", "ccz", "cswap"}
+
+#: rotation families that fuse by angle addition
+_ROTATION_AXES = {"rz": "z", "rx": "x", "p": "z", "rzz": "zz"}
+
+#: fixed-phase gates absorbed into rz fusion, with their angle
+_Z_PHASE_ANGLE = {
+    "z": math.pi,
+    "s": math.pi / 2.0,
+    "sdg": -math.pi / 2.0,
+    "t": math.pi / 4.0,
+    "tdg": -math.pi / 4.0,
+}
+
+
+def _z_diagonal_qubits(gate: Gate) -> Set[int]:
+    """Qubits on which the gate acts diagonally in the Z basis."""
+    name = gate.name
+    if name in ("rz", "p", "z", "s", "sdg", "t", "tdg", "u1"):
+        return set(gate.qubits)
+    if name in ("cz", "cp", "cu1", "rzz", "ccz"):
+        return set(gate.qubits)
+    if name == "cx":
+        return {gate.qubits[0]}
+    if name == "ccx":
+        return {gate.qubits[0], gate.qubits[1]}
+    return set()
+
+
+def _x_diagonal_qubits(gate: Gate) -> Set[int]:
+    """Qubits on which the gate acts diagonally in the X basis."""
+    name = gate.name
+    if name in ("rx", "x", "sx", "sxdg"):
+        return set(gate.qubits)
+    if name == "rxx":
+        return set(gate.qubits)
+    if name == "cx":
+        return {gate.qubits[1]}
+    if name == "ccx":
+        return {gate.qubits[2]}
+    return set()
+
+
+def _commute(a: Gate, b: Gate) -> bool:
+    """Sound (not complete) commutation test for gates sharing qubits."""
+    shared = set(a.qubits) & set(b.qubits)
+    if not shared:
+        return True
+    az, ax = _z_diagonal_qubits(a), _x_diagonal_qubits(a)
+    bz, bx = _z_diagonal_qubits(b), _x_diagonal_qubits(b)
+    return all((q in az and q in bz) or (q in ax and q in bx) for q in shared)
+
+
+def _as_rotation(gate: Gate) -> Optional[Tuple[str, float]]:
+    """Normalize to ('rz'|'rx'|'rzz', angle) when the gate is a rotation."""
+    if gate.name in ("rz", "rx", "rzz"):
+        return gate.name, gate.params[0]
+    if gate.name in ("p", "u1"):
+        return "rz", gate.params[0]
+    if gate.name in _Z_PHASE_ANGLE:
+        return "rz", _Z_PHASE_ANGLE[gate.name]
+    return None
+
+
+def _fuse(existing: Gate, incoming: Gate) -> Optional[Optional[Gate]]:
+    """Try to fuse ``incoming`` into ``existing``.
+
+    Returns ``None`` when not fusable; otherwise the fused replacement gate
+    or ``...`` -- we encode "both gates vanish" as the sentinel ``_CANCEL``.
+    """
+    if existing.qubits != incoming.qubits:
+        if set(existing.qubits) == set(incoming.qubits) and existing.name in (
+            "cz",
+            "rzz",
+            "swap",
+        ):
+            pass  # symmetric gates match regardless of operand order
+        else:
+            return None
+    if (
+        existing.name == incoming.name
+        and existing.name in _SELF_INVERSE
+        and not existing.params
+    ):
+        return _CANCEL
+    rot_a = _as_rotation(existing)
+    rot_b = _as_rotation(incoming)
+    if rot_a and rot_b and rot_a[0] == rot_b[0]:
+        angle = (rot_a[1] + rot_b[1]) % _TWO_PI
+        if angle < _EPS or _TWO_PI - angle < _EPS:
+            return _CANCEL
+        return Gate(rot_a[0], existing.qubits, (angle,))
+    return None
+
+
+class _Cancel:
+    """Sentinel: both gates annihilate."""
+
+
+_CANCEL = _Cancel()
+
+
+def cancel_and_fuse_pass(circuit: QuantumCircuit) -> QuantumCircuit:
+    """One pass of commute-left + cancel/fuse; returns a new circuit."""
+    out: List[Optional[Gate]] = []
+    touching: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+
+    for gate in circuit.gates:
+        if not gate.is_unitary_op:
+            # pseudo-ops block everything on their qubits
+            index = len(out)
+            out.append(gate)
+            for q in gate.qubits:
+                touching[q].append(index)
+            continue
+        rotation = _as_rotation(gate)
+        if rotation and abs(rotation[1] % _TWO_PI) < _EPS:
+            continue  # identity rotation
+        if gate.name == "id":
+            continue
+        candidate_indices = sorted(
+            {i for q in gate.qubits for i in touching[q]}, reverse=True
+        )
+        merged = False
+        for i in candidate_indices:
+            other = out[i]
+            if other is None:
+                continue
+            fused = _fuse(other, gate)
+            if fused is _CANCEL:
+                out[i] = None
+                merged = True
+                break
+            if isinstance(fused, Gate):
+                out[i] = fused
+                merged = True
+                break
+            if other.is_unitary_op and _commute(other, gate):
+                continue
+            break
+        if not merged:
+            index = len(out)
+            out.append(gate)
+            for q in gate.qubits:
+                touching[q].append(index)
+
+    result = QuantumCircuit(circuit.num_qubits)
+    for gate in out:
+        if gate is not None:
+            result.append(gate)
+    return result
+
+
+def hadamard_conjugation_pass(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite ``H . rot . H`` sandwiches: rz <-> rx basis flips.
+
+    Works on per-qubit adjacency: the three gates must be consecutive on
+    the qubit's own wire, which is exactly when the rewrite is sound for
+    single-qubit gates.
+    """
+    gates = list(circuit.gates)
+    wire: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+    for index, gate in enumerate(gates):
+        for q in gate.qubits:
+            wire[q].append(index)
+
+    removed: Set[int] = set()
+    replaced: Dict[int, Gate] = {}
+    for q in range(circuit.num_qubits):
+        seq = wire[q]
+        for k in range(len(seq) - 2):
+            i, j, l = seq[k], seq[k + 1], seq[k + 2]
+            if i in removed or j in removed or l in removed:
+                continue
+            gi = replaced.get(i, gates[i])
+            gj = replaced.get(j, gates[j])
+            gl = replaced.get(l, gates[l])
+            if gi.name != "h" or gl.name != "h":
+                continue
+            if gj.num_qubits != 1 or gj.qubits != (q,):
+                continue
+            rotation = _as_rotation(gj)
+            if rotation is None or rotation[0] not in ("rz", "rx"):
+                continue
+            new_name = "rx" if rotation[0] == "rz" else "rz"
+            removed.add(i)
+            removed.add(l)
+            replaced[j] = Gate(new_name, (q,), (rotation[1],))
+
+    result = QuantumCircuit(circuit.num_qubits)
+    for index, gate in enumerate(gates):
+        if index in removed:
+            continue
+        result.append(replaced.get(index, gate))
+    return result
+
+
+def basic_optimization(
+    circuit: QuantumCircuit, max_rounds: int = 20
+) -> QuantumCircuit:
+    """Fixpoint of cancel/fuse + Hadamard-conjugation passes."""
+    current = circuit
+    for _ in range(max_rounds):
+        candidate = cancel_and_fuse_pass(current)
+        candidate = hadamard_conjugation_pass(candidate)
+        if len(candidate) == len(current) and candidate.depth() == current.depth():
+            return candidate
+        current = candidate
+    return current

@@ -1,0 +1,195 @@
+"""ZX-calculus rewrite rules (in-place, single application each).
+
+Every rule preserves the diagram's linear map up to a global non-zero
+scalar.  Rules raise :class:`ZXError` when preconditions fail, so the
+drivers in :mod:`repro.zx.simplify` match first and apply second.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Set, Tuple
+
+from repro.exceptions import ZXError
+from repro.zx.graph import EdgeType, VertexType, ZXGraph, PHASE_TOL
+
+__all__ = [
+    "fuse_spiders",
+    "remove_identity",
+    "color_change",
+    "local_complementation",
+    "pivot",
+    "insert_wire_spider",
+]
+
+
+def insert_wire_spider(graph: ZXGraph, spider: int, boundary: int) -> int:
+    """Split the wire between ``spider`` and a boundary with a dummy spider.
+
+    The new phase-0 Z-spider connects to ``spider`` by a Hadamard edge and
+    to ``boundary`` by the complementary type, so the composite wire is
+    unchanged.  Used to make a boundary-adjacent spider interior before a
+    pivot (the *boundary pivot* of clifford_simp).
+    """
+    if not graph.is_boundary(boundary):
+        raise ZXError(f"vertex {boundary} is not a boundary")
+    etype = graph.edge_type(spider, boundary)
+    dummy = graph.add_vertex(
+        VertexType.Z,
+        qubit=graph.qubit_of.get(boundary, -1.0),
+        row=graph.row_of.get(boundary, -1.0),
+    )
+    graph.remove_edge(spider, boundary)
+    graph.add_edge(spider, dummy, EdgeType.HADAMARD)
+    graph.add_edge(
+        dummy,
+        boundary,
+        EdgeType.SIMPLE if etype == EdgeType.HADAMARD else EdgeType.HADAMARD,
+    )
+    return dummy
+
+
+def fuse_spiders(graph: ZXGraph, v: int, w: int) -> None:
+    """Spider fusion: merge ``w`` into ``v``.
+
+    Requires same colour and a plain connecting edge.  ``w``'s phase is
+    added to ``v`` and its edges are transferred with parallel-edge
+    resolution.
+    """
+    if graph.type(v) != graph.type(w) or graph.is_boundary(v):
+        raise ZXError(f"cannot fuse vertices {v} and {w}: different types")
+    if graph.edge_type(v, w) != EdgeType.SIMPLE:
+        raise ZXError(f"cannot fuse across a Hadamard edge {v}-{w}")
+    graph.remove_edge(v, w)
+    graph.add_phase(v, graph.phase(w))
+    for u in graph.neighbors(w):
+        etype = graph.edge_type(w, u)
+        graph.remove_edge(w, u)
+        graph.add_edge_smart(v, u, etype)
+    if w in graph.inputs or w in graph.outputs:  # pragma: no cover - guarded
+        raise ZXError("attempted to fuse a boundary vertex")
+    graph.remove_vertex(w)
+
+
+def remove_identity(graph: ZXGraph, v: int) -> None:
+    """Identity removal: a phase-0 spider with exactly two wires vanishes.
+
+    The two wires are joined; two equal edge types give a plain wire, a
+    mixed pair gives a Hadamard wire.
+    """
+    if graph.is_boundary(v):
+        raise ZXError(f"vertex {v} is a boundary")
+    if graph.phase(v) % 2.0 > PHASE_TOL and graph.phase(v) % 2.0 < 2.0 - PHASE_TOL:
+        raise ZXError(f"vertex {v} has non-zero phase")
+    neighbors = graph.neighbors(v)
+    if graph.degree(v) != 2 or len(neighbors) != 2:
+        raise ZXError(f"vertex {v} does not have exactly two distinct wires")
+    n1, n2 = neighbors
+    e1 = graph.edge_type(v, n1)
+    e2 = graph.edge_type(v, n2)
+    etype = EdgeType.SIMPLE if e1 == e2 else EdgeType.HADAMARD
+    graph.remove_vertex(v)
+    if graph.type(n1) == VertexType.BOUNDARY and graph.type(n2) == VertexType.BOUNDARY:
+        # wire straight from one boundary to another
+        graph.add_edge(n1, n2, etype)
+    else:
+        if graph.type(n1) == VertexType.BOUNDARY:
+            n1, n2 = n2, n1  # make n1 the spider for add_edge_smart
+        graph.add_edge_smart(n1, n2, etype)
+
+
+def color_change(graph: ZXGraph, v: int) -> None:
+    """Toggle a spider's colour by pushing Hadamards onto all its legs."""
+    vtype = graph.type(v)
+    if vtype == VertexType.BOUNDARY:
+        raise ZXError("cannot colour-change a boundary vertex")
+    graph.set_type(v, VertexType.X if vtype == VertexType.Z else VertexType.Z)
+    for w in graph.neighbors(v):
+        graph.toggle_edge_type(v, w)
+
+
+def _toggle_hadamard_edges(graph: ZXGraph, pairs) -> None:
+    """Toggle the existence of a Hadamard edge for each vertex pair."""
+    for a, b in pairs:
+        if a == b:
+            continue
+        if graph.has_edge(a, b):
+            # graph-like: the edge must be a Hadamard edge; toggling removes it
+            if graph.edge_type(a, b) != EdgeType.HADAMARD:
+                raise ZXError("complementation on a non-Hadamard edge")
+            graph.remove_edge(a, b)
+        else:
+            graph.add_edge(a, b, EdgeType.HADAMARD)
+
+
+def local_complementation(graph: ZXGraph, v: int) -> None:
+    """Remove an interior ±pi/2 spider by local complementation.
+
+    Preconditions (graph-like form): ``v`` is an interior Z-spider with
+    phase ±pi/2 whose every edge is a Hadamard edge.  The neighbourhood of
+    ``v`` is complemented and each neighbour's phase decreases by ``v``'s
+    phase.
+    """
+    if graph.type(v) != VertexType.Z:
+        raise ZXError(f"vertex {v} is not a Z-spider")
+    if not graph.is_proper_clifford_phase(v):
+        raise ZXError(f"vertex {v} phase {graph.phase(v)} is not ±pi/2")
+    if not graph.is_interior(v):
+        raise ZXError(f"vertex {v} touches the boundary")
+    neighbors = graph.neighbors(v)
+    for w in neighbors:
+        if graph.edge_type(v, w) != EdgeType.HADAMARD:
+            raise ZXError("local complementation requires Hadamard edges")
+        if graph.type(w) != VertexType.Z:
+            raise ZXError("local complementation requires Z-spider neighbours")
+    phase = graph.phase(v)  # 0.5 or 1.5 in units of pi
+    graph.remove_vertex(v)
+    _toggle_hadamard_edges(graph, combinations(neighbors, 2))
+    for w in neighbors:
+        graph.add_phase(w, -phase)
+
+
+def pivot(graph: ZXGraph, u: int, v: int) -> None:
+    """Remove an adjacent pair of interior Pauli spiders by pivoting.
+
+    Preconditions (graph-like form): ``u`` and ``v`` are interior Z-spiders
+    joined by a Hadamard edge and both phases are 0 or pi.  The edges
+    between the three neighbourhood classes (only-``u``, only-``v``,
+    common) are complemented; common neighbours pick up an extra pi.
+    """
+    for vertex in (u, v):
+        if graph.type(vertex) != VertexType.Z:
+            raise ZXError(f"vertex {vertex} is not a Z-spider")
+        if not graph.is_pauli_phase(vertex):
+            raise ZXError(f"vertex {vertex} phase is not a Pauli phase")
+        if not graph.is_interior(vertex):
+            raise ZXError(f"vertex {vertex} touches the boundary")
+    if not graph.has_edge(u, v) or graph.edge_type(u, v) != EdgeType.HADAMARD:
+        raise ZXError("pivot requires a Hadamard edge between the pair")
+
+    neighbors_u: Set[int] = set(graph.neighbors(u)) - {v}
+    neighbors_v: Set[int] = set(graph.neighbors(v)) - {u}
+    for w in neighbors_u | neighbors_v:
+        if graph.type(w) != VertexType.Z:
+            raise ZXError("pivot neighbourhood must be Z-spiders")
+    common = neighbors_u & neighbors_v
+    only_u = neighbors_u - common
+    only_v = neighbors_v - common
+
+    phase_u = graph.phase(u)
+    phase_v = graph.phase(v)
+    graph.remove_vertex(u)
+    graph.remove_vertex(v)
+
+    pairs: List[Tuple[int, int]] = []
+    pairs.extend((a, b) for a in only_u for b in only_v)
+    pairs.extend((a, c) for a in only_u for c in common)
+    pairs.extend((b, c) for b in only_v for c in common)
+    _toggle_hadamard_edges(graph, pairs)
+
+    for w in only_u:
+        graph.add_phase(w, phase_v)
+    for w in only_v:
+        graph.add_phase(w, phase_u)
+    for w in common:
+        graph.add_phase(w, phase_u + phase_v + 1.0)

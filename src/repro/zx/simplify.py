@@ -1,0 +1,272 @@
+"""Simplification drivers: worklist fixpoint loops over the rewrite rules.
+
+The top-level entry point :func:`full_reduce` mirrors PyZX's pipeline of
+the same name restricted to the gadget-free rule set: normalize to
+graph-like form, then repeatedly fuse spiders, drop identities, and remove
+interior Clifford spiders by local complementation and pivoting.  All of
+these rules preserve the existence of a gflow, so the result is always
+extractable by :mod:`repro.zx.extract`.
+
+Each driver uses a worklist seeded with all current candidates; rule
+applications push only the locally affected vertices/edges back, keeping
+the passes near-linear so that circuits with tens of thousands of spiders
+(the paper's deep-VQE case) remain tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.zx.graph import EdgeType, VertexType, ZXGraph, PHASE_TOL
+from repro.zx.rules import (
+    color_change,
+    fuse_spiders,
+    insert_wire_spider,
+    local_complementation,
+    pivot,
+    remove_identity,
+)
+
+__all__ = [
+    "spider_simp",
+    "id_simp",
+    "to_graph_like",
+    "lcomp_simp",
+    "pivot_simp",
+    "boundary_pivot_simp",
+    "interior_clifford_simp",
+    "clifford_simp",
+    "full_reduce",
+]
+
+
+def _is_zero_phase(graph: ZXGraph, v: int) -> bool:
+    phase = graph.phase(v) % 2.0
+    return phase < PHASE_TOL or phase > 2.0 - PHASE_TOL
+
+
+def spider_simp(graph: ZXGraph, seed: Iterable[Tuple[int, int]] = None) -> int:
+    """Fuse all same-colour spiders joined by plain edges; returns count."""
+    if seed is None:
+        work: List[Tuple[int, int]] = [
+            (v, w) for v, w, e in graph.edges() if e == EdgeType.SIMPLE
+        ]
+    else:
+        work = list(seed)
+    applied = 0
+    while work:
+        v, w = work.pop()
+        if not graph.has_edge(v, w):
+            continue
+        if graph.edge_type(v, w) != EdgeType.SIMPLE:
+            continue
+        if graph.is_boundary(v) or graph.is_boundary(w):
+            continue
+        if graph.type(v) != graph.type(w):
+            continue
+        fuse_spiders(graph, v, w)
+        applied += 1
+        for u in graph.neighbors(v):
+            if graph.edge_type(v, u) == EdgeType.SIMPLE:
+                work.append((v, u))
+    return applied
+
+
+def _identity_candidate(graph: ZXGraph, v: int) -> bool:
+    return (
+        not graph.is_boundary(v)
+        and _is_zero_phase(graph, v)
+        and graph.degree(v) == 2
+        and len(graph.neighbors(v)) == 2
+    )
+
+
+def id_simp(graph: ZXGraph, seed: Iterable[int] = None) -> int:
+    """Remove all phase-0 arity-2 spiders; returns count."""
+    work = list(seed) if seed is not None else list(graph.vertices())
+    applied = 0
+    while work:
+        v = work.pop()
+        if not graph.has_vertex(v) or not _identity_candidate(graph, v):
+            continue
+        neighbors = graph.neighbors(v)
+        remove_identity(graph, v)
+        applied += 1
+        # joining the two wires may create new fusion or identity matches
+        n1, n2 = neighbors
+        if graph.has_vertex(n1) and graph.has_vertex(n2):
+            if graph.has_edge(n1, n2) and graph.edge_type(n1, n2) == EdgeType.SIMPLE:
+                spider_simp(graph, seed=[(n1, n2)])
+        for u in neighbors:
+            if graph.has_vertex(u):
+                work.append(u)
+    return applied
+
+
+def to_graph_like(graph: ZXGraph) -> None:
+    """Normalize: all spiders Z, spider-spider edges Hadamard.
+
+    X spiders are colour-changed to Z; plain edges between Z spiders are
+    removed by fusion.  Boundary wires keep whatever edge type they have —
+    extraction handles Hadamard edges at the boundary.
+    """
+    for v in list(graph.vertices()):
+        if not graph.is_boundary(v) and graph.type(v) == VertexType.X:
+            color_change(graph, v)
+    spider_simp(graph)
+    id_simp(graph)
+
+
+def _lcomp_candidate(graph: ZXGraph, v: int) -> bool:
+    if graph.is_boundary(v) or graph.type(v) != VertexType.Z:
+        return False
+    if not graph.is_proper_clifford_phase(v):
+        return False
+    if not graph.is_interior(v):
+        return False
+    return all(
+        graph.edge_type(v, w) == EdgeType.HADAMARD
+        and graph.type(w) == VertexType.Z
+        for w in graph.neighbors(v)
+    )
+
+
+def lcomp_simp(graph: ZXGraph, seed: Iterable[int] = None) -> int:
+    """Apply local complementation wherever it fires; returns count."""
+    work = list(seed) if seed is not None else list(graph.vertices())
+    applied = 0
+    while work:
+        v = work.pop()
+        if not graph.has_vertex(v) or not _lcomp_candidate(graph, v):
+            continue
+        neighbors = graph.neighbors(v)
+        local_complementation(graph, v)
+        applied += 1
+        work.extend(neighbors)
+    return applied
+
+
+def _pivot_candidate(graph: ZXGraph, u: int, v: int) -> bool:
+    if not graph.has_edge(u, v) or graph.edge_type(u, v) != EdgeType.HADAMARD:
+        return False
+    for vertex in (u, v):
+        if graph.is_boundary(vertex) or graph.type(vertex) != VertexType.Z:
+            return False
+        if not graph.is_pauli_phase(vertex):
+            return False
+        if not graph.is_interior(vertex):
+            return False
+    neighborhood = (set(graph.neighbors(u)) | set(graph.neighbors(v))) - {u, v}
+    return all(graph.type(w) == VertexType.Z for w in neighborhood)
+
+
+def pivot_simp(graph: ZXGraph, seed: Iterable[Tuple[int, int]] = None) -> int:
+    """Apply pivoting wherever it fires; returns count."""
+    if seed is None:
+        work: List[Tuple[int, int]] = [
+            (u, v) for u, v, e in graph.edges() if e == EdgeType.HADAMARD
+        ]
+    else:
+        work = list(seed)
+    applied = 0
+    while work:
+        u, v = work.pop()
+        if not (graph.has_vertex(u) and graph.has_vertex(v)):
+            continue
+        if not _pivot_candidate(graph, u, v):
+            continue
+        neighborhood = (set(graph.neighbors(u)) | set(graph.neighbors(v))) - {u, v}
+        pivot(graph, u, v)
+        applied += 1
+        for w in neighborhood:
+            if not graph.has_vertex(w):
+                continue
+            for x in graph.neighbors(w):
+                work.append((w, x))
+    return applied
+
+
+def boundary_pivot_simp(graph: ZXGraph) -> int:
+    """Boundary pivots: remove interior/boundary Pauli pairs.
+
+    When an interior Pauli spider ``u`` is H-adjacent to a Pauli spider
+    ``v`` that touches the boundary, splitting ``v``'s boundary wires with
+    dummy spiders makes the pair pivotable.  Net spider count drops
+    whenever ``v`` touches a single boundary; we only fire in that case so
+    the pass strictly simplifies.
+    """
+    applied = 0
+    changed = True
+    while changed:
+        changed = False
+        for u, v, etype in graph.edges():
+            if etype != EdgeType.HADAMARD:
+                continue
+            if graph.is_boundary(u) or graph.is_boundary(v):
+                continue
+            if graph.type(u) != VertexType.Z or graph.type(v) != VertexType.Z:
+                continue
+            if not (graph.is_pauli_phase(u) and graph.is_pauli_phase(v)):
+                continue
+            # orient: u interior, v touching exactly one boundary
+            if not graph.is_interior(u):
+                u, v = v, u
+            if not graph.is_interior(u) or graph.is_interior(v):
+                continue
+            boundaries = [w for w in graph.neighbors(v) if graph.is_boundary(w)]
+            if len(boundaries) != 1:
+                continue
+            neighborhood = (set(graph.neighbors(u)) | set(graph.neighbors(v))) - {
+                u,
+                v,
+            }
+            if any(
+                not graph.is_boundary(w) and graph.type(w) != VertexType.Z
+                for w in neighborhood
+            ):
+                continue
+            insert_wire_spider(graph, v, boundaries[0])
+            if not _pivot_candidate(graph, u, v):  # pragma: no cover - safety
+                continue
+            pivot(graph, u, v)
+            applied += 1
+            changed = True
+            break
+    return applied
+
+
+def interior_clifford_simp(graph: ZXGraph) -> int:
+    """Fixpoint of spider/id/lcomp/pivot simplification; returns count."""
+    total = 0
+    while True:
+        applied = spider_simp(graph)
+        applied += id_simp(graph)
+        applied += lcomp_simp(graph)
+        applied += pivot_simp(graph)
+        total += applied
+        if applied == 0:
+            return total
+
+
+def clifford_simp(graph: ZXGraph) -> int:
+    """Interior Clifford simplification plus boundary pivots, to fixpoint."""
+    total = 0
+    while True:
+        applied = interior_clifford_simp(graph)
+        applied += boundary_pivot_simp(graph)
+        total += applied
+        if applied == 0:
+            return total
+
+
+def full_reduce(graph: ZXGraph, quiet: bool = True) -> int:
+    """Normalize to graph-like form and simplify to a fixpoint.
+
+    Returns the number of rule applications.  The input graph is modified
+    in place; callers that need the original should pass ``graph.copy()``.
+    """
+    to_graph_like(graph)
+    applied = clifford_simp(graph)
+    if not quiet:  # pragma: no cover - debug aid
+        print(f"full_reduce: {applied} rewrites, {graph!r}")
+    return applied

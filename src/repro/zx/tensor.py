@@ -1,0 +1,84 @@
+"""Brute-force semantic evaluation of small ZX-diagrams.
+
+This is a *test oracle*: it computes the linear map of a diagram by
+summing over all basis assignments of the spiders, which is exponential in
+the spider count and guarded accordingly.  Production code never calls it;
+tests use it to certify that rewrite rules preserve semantics up to a
+global scalar.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import ZXError
+from repro.zx.graph import EdgeType, VertexType, ZXGraph
+
+__all__ = ["zx_to_matrix"]
+
+_MAX_SPIDERS = 20
+
+
+def zx_to_matrix(graph: ZXGraph) -> np.ndarray:
+    """The ``2**|out| x 2**|in|`` matrix of ``graph`` (up to global scalar).
+
+    Works by first colour-changing every X spider to Z (toggling its edge
+    types), then summing over computational-basis assignments: a Z spider
+    with phase ``a`` (units of pi) and value ``x`` contributes
+    ``e^{i*pi*a*x}``, a plain edge enforces equality, and a Hadamard edge
+    contributes ``(-1)^{xy}`` (unnormalized H).
+    """
+    work = graph.copy()
+    for v in list(work.vertices()):
+        if work.type(v) == VertexType.X:
+            work.set_type(v, VertexType.Z)
+            for w in work.neighbors(v):
+                work.toggle_edge_type(v, w)
+
+    spiders = [v for v in work.vertices() if not work.is_boundary(v)]
+    if len(spiders) > _MAX_SPIDERS:
+        raise ZXError(
+            f"diagram has {len(spiders)} spiders; zx_to_matrix is a test "
+            f"oracle limited to {_MAX_SPIDERS}"
+        )
+    inputs = list(work.inputs)
+    outputs = list(work.outputs)
+    n_in, n_out = len(inputs), len(outputs)
+    matrix = np.zeros((2**n_out, 2**n_in), dtype=complex)
+
+    edges = work.edges()
+    phases = {v: work.phase(v) for v in spiders}
+
+    for in_bits in itertools.product((0, 1), repeat=n_in):
+        for out_bits in itertools.product((0, 1), repeat=n_out):
+            assignment: Dict[int, int] = {}
+            for b, bit in zip(inputs, in_bits):
+                assignment[b] = bit
+            for b, bit in zip(outputs, out_bits):
+                assignment[b] = bit
+            total = 0.0 + 0.0j
+            for spider_bits in itertools.product((0, 1), repeat=len(spiders)):
+                for v, bit in zip(spiders, spider_bits):
+                    assignment[v] = bit
+                amplitude = 1.0 + 0.0j
+                for v, bit in zip(spiders, spider_bits):
+                    if bit:
+                        amplitude *= np.exp(1j * np.pi * phases[v])
+                for v, w, etype in edges:
+                    xv, xw = assignment[v], assignment[w]
+                    if etype == EdgeType.SIMPLE:
+                        if xv != xw:
+                            amplitude = 0.0
+                            break
+                    else:
+                        if xv and xw:
+                            amplitude = -amplitude
+                if amplitude != 0.0:
+                    total += amplitude
+            row = int("".join(str(b) for b in out_bits), 2) if n_out else 0
+            col = int("".join(str(b) for b in in_bits), 2) if n_in else 0
+            matrix[row, col] = total
+    return matrix

@@ -1,0 +1,87 @@
+"""Structure-level tests for the baseline flows (no GRAPE needed)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.accqoc import AccQOCFlow
+from repro.baselines.paqoc import PAQOCFlow
+from repro.circuits import QuantumCircuit, circuit_to_dag
+from repro.circuits.transpile import decompose_to_cx_u3
+from repro.partition import greedy_partition, regroup_circuit
+from repro.pulse import GateLatencyModel
+
+
+class TestAccQOCInternals:
+    def test_mst_order_is_permutation(self):
+        from repro.workloads import qft_circuit
+
+        native = decompose_to_cx_u3(qft_circuit(4))
+        items = regroup_circuit(native, qubit_limit=2, gate_limit=6)
+        order = AccQOCFlow._mst_order(items)
+        assert sorted(order) == list(range(len(items)))
+
+    def test_mst_order_handles_duplicates(self):
+        qc = QuantumCircuit(2)
+        for _ in range(5):
+            qc.cx(0, 1)  # identical unitaries
+        items = regroup_circuit(qc, qubit_limit=2, gate_limit=1)
+        order = AccQOCFlow._mst_order(items)
+        assert sorted(order) == list(range(len(items)))
+
+    def test_mst_order_tiny_input(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        items = regroup_circuit(qc, qubit_limit=2, gate_limit=1)
+        assert AccQOCFlow._mst_order(items) == [0]
+
+    def test_mixed_dimension_items(self):
+        qc = QuantumCircuit(3).h(0).cx(1, 2)
+        items = regroup_circuit(qc, qubit_limit=2, gate_limit=1)
+        order = AccQOCFlow._mst_order(items)
+        assert sorted(order) == list(range(len(items)))
+
+
+class TestPAQOCInternals:
+    def test_block_key_identifies_repeats(self):
+        qc = QuantumCircuit(2)
+        for _ in range(3):
+            qc.h(0)
+            qc.cx(0, 1)
+        native = decompose_to_cx_u3(qc)
+        blocks = greedy_partition(native, qubit_limit=2, gate_limit=2)
+        keys = [PAQOCFlow._block_key(b) for b in blocks]
+        assert len(set(keys)) < len(keys)  # repeats collapse
+
+    def test_block_key_distinguishes_angles(self):
+        qc1 = QuantumCircuit(1).rz(0.3, 0)
+        qc2 = QuantumCircuit(1).rz(0.4, 0)
+        b1 = greedy_partition(qc1, 1, 4)[0]
+        b2 = greedy_partition(qc2, 1, 4)[0]
+        assert PAQOCFlow._block_key(b1) != PAQOCFlow._block_key(b2)
+
+    def test_criticality_matches_dag(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(0, 1)
+        qc.h(2)  # off the critical path
+        blocks = greedy_partition(qc, qubit_limit=2, gate_limit=2)
+        dag = circuit_to_dag(qc)
+        weights = dag.critical_path_weights(GateLatencyModel().duration)
+        crit = PAQOCFlow._block_criticality(qc, blocks, weights)
+        chain_block = next(b for b in blocks if 0 in b.qubits)
+        lone_block = next(b for b in blocks if b.qubits == (2,))
+        assert crit[chain_block.index] > crit[lone_block.index]
+
+
+class TestGateLatencyConsistency:
+    def test_cx_dominates_gate_based_ghz(self):
+        from repro.workloads import ghz_state
+
+        native = decompose_to_cx_u3(ghz_state(5))
+        model = GateLatencyModel()
+        total = sum(model.duration(g) for g in native.gates)
+        cx_total = sum(
+            model.duration(g) for g in native.gates if g.name == "cx"
+        )
+        assert cx_total / total > 0.5

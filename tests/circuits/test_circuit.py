@@ -1,0 +1,167 @@
+"""Tests for the QuantumCircuit IR."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.gates import gate_matrix
+from repro.linalg import equal_up_to_global_phase, is_unitary
+
+
+class TestConstruction:
+    def test_empty(self):
+        qc = QuantumCircuit(3)
+        assert len(qc) == 0
+        assert qc.depth() == 0
+        assert np.allclose(qc.unitary(), np.eye(8))
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-1)
+
+    def test_out_of_range_gate_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.cx(0, 5)
+
+    def test_builder_methods_chain(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        assert [g.name for g in qc] == ["h", "cx"]
+
+    def test_repr_contains_counts(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert "h:2" in repr(qc)
+
+
+class TestStructure:
+    def test_count_ops(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_two_qubit_count(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cz(1, 2).ccx(0, 1, 2)
+        assert qc.two_qubit_count == 3
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(4)
+        for q in range(4):
+            qc.h(q)
+        assert qc.depth() == 1
+
+    def test_depth_serial_chain(self):
+        qc = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        assert qc.depth() == 3
+
+    def test_barrier_synchronizes_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.barrier()
+        qc.h(1)  # must land after the barrier level
+        assert qc.depth() == 2
+
+    def test_layers_partition_all_gates(self):
+        qc = random_circuit(4, 30, seed=0)
+        layers = qc.layers()
+        assert sum(len(l) for l in layers) == len(qc)
+
+    def test_active_qubits(self):
+        qc = QuantumCircuit(5).h(1).cx(1, 3)
+        assert qc.active_qubits() == [1, 3]
+
+
+class TestSemantics:
+    def test_ghz_statevector(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        sv = qc.statevector()
+        assert abs(sv[0]) ** 2 == pytest.approx(0.5)
+        assert abs(sv[7]) ** 2 == pytest.approx(0.5)
+
+    def test_unitary_is_unitary(self):
+        qc = random_circuit(4, 25, seed=1)
+        assert is_unitary(qc.unitary())
+
+    def test_unitary_matches_gate_product(self, rng):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).t(1)
+        from repro.linalg import embed_operator
+
+        expected = (
+            embed_operator(gate_matrix("t"), (1,), 2)
+            @ gate_matrix("cx")
+            @ embed_operator(gate_matrix("h"), (0,), 2)
+        )
+        assert np.allclose(qc.unitary(), expected)
+
+    def test_unitary_size_guard(self):
+        qc = QuantumCircuit(13)
+        with pytest.raises(CircuitError):
+            qc.unitary()
+
+    def test_statevector_initial_state(self):
+        qc = QuantumCircuit(1).x(0)
+        out = qc.statevector(np.array([0.0, 1.0]))
+        assert np.allclose(out, [1.0, 0.0])
+
+    def test_statevector_shape_checked(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).statevector(np.zeros(3))
+
+    def test_measure_ignored_in_unitary(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.measure_all()
+        assert np.allclose(qc.unitary(), gate_matrix("h"))
+
+
+class TestComposition:
+    def test_inverse_cancels(self):
+        qc = random_circuit(3, 20, seed=2)
+        identity = np.eye(8)
+        product = qc.inverse().unitary() @ qc.unitary()
+        assert np.allclose(product, identity, atol=1e-9)
+
+    def test_compose_identity_map(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        combined = a.compose(b)
+        assert [g.name for g in combined] == ["h", "cx"]
+
+    def test_compose_with_mapping(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2).cx(0, 1)
+        combined = a.compose(b, qubits=[2, 0])
+        assert combined.gates[0].qubits == (2, 0)
+
+    def test_compose_bad_map_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(3).compose(QuantumCircuit(2), qubits=[0])
+
+    def test_remapped(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        wide = qc.remapped([4, 2], 5)
+        assert wide.gates[0].qubits == (4, 2)
+
+    def test_without_pseudo_ops(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        qc.measure_all()
+        clean = qc.without_pseudo_ops()
+        assert [g.name for g in clean] == ["h"]
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(2).h(0)
+        clone = qc.copy()
+        clone.x(1)
+        assert len(qc) == 1 and len(clone) == 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_inverse_property(seed):
+    """Property: U(C) . U(C^-1) = identity for random circuits."""
+    qc = random_circuit(3, 15, seed=seed)
+    product = qc.unitary() @ qc.inverse().unitary()
+    assert np.allclose(product, np.eye(8), atol=1e-8)

@@ -1,0 +1,72 @@
+"""Tests for the circuit dependency DAG."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_to_dag, random_circuit
+
+
+class TestStructure:
+    def test_chain_dependencies(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        dag = circuit_to_dag(qc)
+        assert dag.successors(0) == [1]
+        assert dag.successors(1) == [2]
+        assert dag.predecessors(2) == [1]
+
+    def test_independent_gates_unconnected(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        dag = circuit_to_dag(qc)
+        assert dag.graph.number_of_edges() == 0
+
+    def test_front_layer(self):
+        qc = QuantumCircuit(3).h(0).h(1).cx(0, 1).h(2)
+        dag = circuit_to_dag(qc)
+        assert sorted(dag.front_layer()) == [0, 1, 3]
+
+    def test_topological_order_is_valid(self):
+        qc = random_circuit(4, 30, seed=3)
+        dag = circuit_to_dag(qc)
+        position = {n: i for i, n in enumerate(dag.topological_order())}
+        for u, v in dag.graph.edges:
+            assert position[u] < position[v]
+
+    def test_layers_match_generations(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(0).h(1)
+        dag = circuit_to_dag(qc)
+        layers = dag.layers()
+        assert layers[0] == [0]
+        assert layers[1] == [1]
+        assert sorted(layers[2]) == [2, 3]
+
+    def test_gate_accessor(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        dag = circuit_to_dag(qc)
+        assert dag.gate(1).name == "cx"
+
+
+class TestCriticality:
+    def test_serial_chain_all_critical(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        weights = circuit_to_dag(qc).critical_path_weights()
+        assert all(w == pytest.approx(1.0) for w in weights.values())
+
+    def test_side_branch_less_critical(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1).cx(0, 1).cx(0, 1)  # long chain
+        qc.h(2)  # isolated gate
+        weights = circuit_to_dag(qc).critical_path_weights()
+        assert weights[3] < weights[0]
+
+    def test_custom_weight_function(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)  # cheap
+        qc.cx(0, 1)  # expensive
+        qc.h(1)
+        weights = circuit_to_dag(qc).critical_path_weights(
+            lambda g: 10.0 if g.name == "cx" else 1.0
+        )
+        assert weights[1] == pytest.approx(1.0)  # cx dominates the path
+
+    def test_empty_circuit(self):
+        assert circuit_to_dag(QuantumCircuit(2)).critical_path_weights() == {}

@@ -1,0 +1,136 @@
+"""Tests for gate definitions and the registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits.gates import (
+    GATE_SPECS,
+    Gate,
+    controlled,
+    gate_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    u3_matrix,
+)
+from repro.linalg import is_unitary, equal_up_to_global_phase
+
+
+class TestMatrices:
+    def test_all_registered_gates_are_unitary(self, rng):
+        for name, spec in GATE_SPECS.items():
+            params = tuple(rng.uniform(0, 2 * math.pi, spec.num_params))
+            assert is_unitary(spec.matrix(params)), name
+
+    def test_matrix_shapes(self):
+        for name, spec in GATE_SPECS.items():
+            params = (0.3,) * spec.num_params
+            dim = 2**spec.num_qubits
+            assert spec.matrix(params).shape == (dim, dim), name
+
+    def test_x_flips(self):
+        assert np.allclose(gate_matrix("x") @ [1, 0], [0, 1])
+
+    def test_h_creates_superposition(self):
+        out = gate_matrix("h") @ [1, 0]
+        assert np.allclose(np.abs(out) ** 2, [0.5, 0.5])
+
+    def test_rotation_composition(self):
+        assert np.allclose(
+            rx_matrix(0.3) @ rx_matrix(0.4), rx_matrix(0.7), atol=1e-12
+        )
+        assert np.allclose(
+            rz_matrix(0.3) @ rz_matrix(0.4), rz_matrix(0.7), atol=1e-12
+        )
+
+    def test_rotation_at_2pi_is_minus_identity(self):
+        for fn in (rx_matrix, ry_matrix, rz_matrix):
+            assert np.allclose(fn(2 * math.pi), -np.eye(2), atol=1e-12)
+
+    def test_u3_equals_named_specials(self):
+        assert equal_up_to_global_phase(
+            u3_matrix(math.pi / 2, 0.0, math.pi), gate_matrix("h")
+        )
+        assert equal_up_to_global_phase(u3_matrix(math.pi, 0.0, math.pi), gate_matrix("x"))
+
+    def test_controlled_structure(self):
+        cx = controlled(gate_matrix("x"))
+        assert np.allclose(cx, gate_matrix("cx"))
+        ccx = controlled(controlled(gate_matrix("x")))
+        assert np.allclose(ccx, gate_matrix("ccx"))
+
+    def test_sx_squared_is_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"), atol=1e-12)
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("nope")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("rx", ())
+
+
+class TestGateObject:
+    def test_basic_gate(self):
+        g = Gate("cx", (0, 1))
+        assert g.num_qubits == 2
+        assert g.is_unitary_op
+        assert np.allclose(g.matrix(), gate_matrix("cx"))
+
+    def test_repeated_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (1, 1))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0,))
+
+    def test_wrong_params_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("rx", (0,), ())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("quux", (0,))
+
+    def test_unitary_gate_requires_matrix(self):
+        with pytest.raises(CircuitError):
+            Gate("unitary", (0,))
+
+    def test_unitary_gate_shape_checked(self):
+        with pytest.raises(CircuitError):
+            Gate("unitary", (0, 1), matrix_override=np.eye(2))
+
+    def test_pseudo_ops_have_no_matrix(self):
+        g = Gate("barrier", (0, 1))
+        assert not g.is_unitary_op
+        with pytest.raises(CircuitError):
+            g.matrix()
+        with pytest.raises(CircuitError):
+            g.inverse()
+
+    def test_with_qubits(self):
+        g = Gate("cx", (0, 1)).with_qubits((3, 2))
+        assert g.qubits == (3, 2)
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name", sorted(GATE_SPECS))
+    def test_inverse_matrix(self, name, rng):
+        spec = GATE_SPECS[name]
+        params = tuple(rng.uniform(0, 2 * math.pi, spec.num_params))
+        g = Gate(name, tuple(range(spec.num_qubits)), params)
+        product = g.inverse().matrix() @ g.matrix()
+        assert np.allclose(product, np.eye(2**spec.num_qubits), atol=1e-9), name
+
+    def test_unitary_gate_inverse(self, rng):
+        from repro.linalg import random_unitary
+
+        u = random_unitary(4, rng)
+        g = Gate("unitary", (0, 1), matrix_override=u)
+        assert np.allclose(g.inverse().matrix() @ u, np.eye(4), atol=1e-10)

@@ -1,0 +1,157 @@
+"""Tests for the OpenQASM 2.0 parser and writer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QasmError
+from repro.circuits import QuantumCircuit, parse_qasm, random_circuit
+from repro.linalg import equal_up_to_global_phase
+
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestParsing:
+    def test_simple_program(self):
+        qc = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0], q[1];\n")
+        assert qc.num_qubits == 2
+        assert [g.name for g in qc] == ["h", "cx"]
+
+    def test_parameters_with_pi(self):
+        qc = parse_qasm(HEADER + "qreg q[1];\nrz(pi/2) q[0];\nrx(-pi/4) q[0];\n")
+        assert qc.gates[0].params[0] == pytest.approx(math.pi / 2)
+        assert qc.gates[1].params[0] == pytest.approx(-math.pi / 4)
+
+    def test_expression_arithmetic(self):
+        qc = parse_qasm(HEADER + "qreg q[1];\nrz(2*pi/8 + 0.5) q[0];\n")
+        assert qc.gates[0].params[0] == pytest.approx(math.pi / 4 + 0.5)
+
+    def test_expression_functions(self):
+        qc = parse_qasm(HEADER + "qreg q[1];\nrz(cos(0)) q[0];\nrx(sqrt(4)) q[0];\n")
+        assert qc.gates[0].params[0] == pytest.approx(1.0)
+        assert qc.gates[1].params[0] == pytest.approx(2.0)
+
+    def test_power_operator(self):
+        qc = parse_qasm(HEADER + "qreg q[1];\nrz(2^3) q[0];\n")
+        assert qc.gates[0].params[0] == pytest.approx(8.0)
+
+    def test_register_broadcast(self):
+        qc = parse_qasm(HEADER + "qreg q[3];\nh q;\n")
+        assert [g.name for g in qc] == ["h", "h", "h"]
+        assert [g.qubits[0] for g in qc] == [0, 1, 2]
+
+    def test_mixed_broadcast(self):
+        qc = parse_qasm(HEADER + "qreg a[1];\nqreg b[3];\ncx a[0], b;\n")
+        assert len(qc) == 3
+        assert all(g.qubits[0] == 0 for g in qc)
+
+    def test_multiple_registers_flattened(self):
+        qc = parse_qasm(HEADER + "qreg a[2];\nqreg b[2];\ncx a[1], b[0];\n")
+        assert qc.num_qubits == 4
+        assert qc.gates[0].qubits == (1, 2)
+
+    def test_measure_and_barrier(self):
+        text = HEADER + "qreg q[2];\ncreg c[2];\nbarrier q;\nmeasure q -> c;\n"
+        qc = parse_qasm(text)
+        names = [g.name for g in qc]
+        assert names == ["barrier", "measure", "measure"]
+
+    def test_gate_definition_expansion(self):
+        text = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate foo(a) x0, x1 { rz(a) x0; cx x0, x1; rz(-a/2) x1; }\n"
+            + "foo(pi) q[0], q[1];\n"
+        )
+        qc = parse_qasm(text)
+        assert [g.name for g in qc] == ["rz", "cx", "rz"]
+        assert qc.gates[0].params[0] == pytest.approx(math.pi)
+        assert qc.gates[2].params[0] == pytest.approx(-math.pi / 2)
+
+    def test_nested_gate_definitions(self):
+        text = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate inner a { h a; }\n"
+            + "gate outer a, b { inner a; cx a, b; }\n"
+            + "outer q[0], q[1];\n"
+        )
+        qc = parse_qasm(text)
+        assert [g.name for g in qc] == ["h", "cx"]
+
+    def test_builtin_cx_u_aliases(self):
+        qc = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nCX q[0], q[1];\nU(0.1,0.2,0.3) q[0];\n")
+        assert [g.name for g in qc] == ["cx", "u3"]
+
+    def test_opaque_skipped(self):
+        qc = parse_qasm(HEADER + "opaque magic q;\nqreg q[1];\nh q[0];\n")
+        assert [g.name for g in qc] == ["h"]
+
+    def test_comments_ignored(self):
+        qc = parse_qasm(HEADER + "// a comment\nqreg q[1]; // trailing\nh q[0];\n")
+        assert len(qc) == 1
+
+
+class TestParseErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nfrobnicate q[0];\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nh r[0];\n")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nh q[4];\n")
+
+    def test_classical_control_unsupported(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\ncreg c[1];\nif (c==1) x q[0];\n")
+
+    def test_mismatched_broadcast(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg a[2];\nqreg b[3];\ncx a, b;\n")
+
+    def test_bad_token(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nh q[0]; @\n")
+
+    def test_wrong_macro_arity(self):
+        text = HEADER + "qreg q[2];\ngate foo a { h a; }\nfoo q[0], q[1];\n"
+        with pytest.raises(QasmError):
+            parse_qasm(text)
+
+
+class TestWriter:
+    def test_round_trip_unitary(self):
+        qc = random_circuit(4, 30, seed=5)
+        back = parse_qasm(qc.to_qasm())
+        assert equal_up_to_global_phase(qc.unitary(), back.unitary(), atol=1e-8)
+
+    def test_round_trip_with_measures(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        qc.measure_all()
+        text = qc.to_qasm()
+        assert "creg" in text and "measure" in text
+        back = parse_qasm(text)
+        assert sum(1 for g in back if g.name == "measure") == 2
+
+    def test_single_qubit_unitary_gate_serialized(self, rng):
+        from repro.linalg import random_unitary
+
+        qc = QuantumCircuit(1)
+        u = random_unitary(2, rng)
+        qc.unitary_gate(u, [0])
+        back = parse_qasm(qc.to_qasm())
+        assert equal_up_to_global_phase(u, back.unitary(), atol=1e-8)
+
+    def test_multi_qubit_unitary_rejected(self, rng):
+        from repro.linalg import random_unitary
+
+        qc = QuantumCircuit(2)
+        qc.unitary_gate(random_unitary(4, rng), [0, 1])
+        with pytest.raises(QasmError):
+            qc.to_qasm()

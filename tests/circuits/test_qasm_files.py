@@ -1,0 +1,49 @@
+"""The shipped example QASM files must parse and behave sensibly."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+
+QASM_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "examples" / "qasm"
+FILES = sorted(QASM_DIR.glob("*.qasm"))
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_file_parses(path):
+    circuit = QuantumCircuit.from_qasm(path.read_text())
+    assert len(circuit) > 0
+
+
+def test_corpus_not_empty():
+    assert len(FILES) >= 3
+
+
+def test_ghz5_semantics():
+    circuit = QuantumCircuit.from_qasm((QASM_DIR / "ghz5.qasm").read_text())
+    state = circuit.without_pseudo_ops().statevector()
+    probs = np.abs(state) ** 2
+    assert probs[0] == pytest.approx(0.5)
+    assert probs[-1] == pytest.approx(0.5)
+
+
+def test_teleport_core_transfers_state():
+    """The coherent teleport circuit must move q0's state onto q2."""
+    circuit = QuantumCircuit.from_qasm(
+        (QASM_DIR / "teleport_core.qasm").read_text()
+    )
+    state = circuit.statevector()
+    # reduced density matrix of qubit 2 (LSB in big-endian indexing)
+    rho = np.zeros((2, 2), dtype=complex)
+    full = state.reshape(2, 2, 2)
+    for a in range(2):
+        for b in range(2):
+            rho += np.outer(full[a, b, :], full[a, b, :].conj())
+    # the teleported state: u3(pi/5, 0.3, -0.2)|0>
+    from repro.circuits.gates import u3_matrix
+
+    target = u3_matrix(np.pi / 5, 0.3, -0.2) @ np.array([1.0, 0.0])
+    expected = np.outer(target, target.conj())
+    assert np.allclose(rho, expected, atol=1e-8)

@@ -1,0 +1,62 @@
+"""Tests for random-circuit generators."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits import (
+    random_circuit,
+    random_clifford_t_circuit,
+    random_layered_ansatz,
+)
+from repro.linalg import is_unitary
+
+
+class TestRandomCircuit:
+    def test_gate_count(self):
+        qc = random_circuit(4, 37, seed=0)
+        assert len(qc) == 37
+
+    def test_deterministic(self):
+        a = random_circuit(4, 20, seed=9)
+        b = random_circuit(4, 20, seed=9)
+        assert [g.name for g in a] == [g.name for g in b]
+        assert [g.qubits for g in a] == [g.qubits for g in b]
+
+    def test_produces_unitary(self):
+        assert is_unitary(random_circuit(3, 25, seed=1).unitary())
+
+    def test_single_qubit_register(self):
+        qc = random_circuit(1, 10, seed=2)
+        assert all(g.num_qubits == 1 for g in qc)
+
+    def test_two_qubit_fraction_zero(self):
+        qc = random_circuit(4, 30, two_qubit_fraction=0.0, seed=3)
+        assert qc.two_qubit_count == 0
+
+    def test_two_qubit_fraction_one(self):
+        qc = random_circuit(4, 30, two_qubit_fraction=1.0, seed=4)
+        assert qc.two_qubit_count == 30
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            random_circuit(0, 5)
+
+
+class TestCliffordT:
+    def test_gate_set(self):
+        qc = random_clifford_t_circuit(4, 40, seed=5)
+        allowed = {"h", "s", "sdg", "t", "tdg", "x", "z", "cx", "cz"}
+        assert {g.name for g in qc} <= allowed
+
+
+class TestLayeredAnsatz:
+    def test_structure(self):
+        qc = random_layered_ansatz(4, 3, seed=6)
+        counts = qc.count_ops()
+        assert counts["ry"] == 12
+        assert counts["rz"] == 12
+        assert counts["cx"] == 9
+
+    def test_custom_entangler(self):
+        qc = random_layered_ansatz(3, 2, seed=7, entangler="cz")
+        assert "cz" in qc.count_ops()

@@ -1,0 +1,82 @@
+"""Tests for the line-topology router."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.routing import RoutingResult, line_coupling_map, route_to_line
+from repro.linalg import equal_up_to_global_phase
+
+
+def routed_equivalent(original: QuantumCircuit) -> bool:
+    result = route_to_line(original)
+    corrected = result.circuit.compose(result.layout_correction())
+    return equal_up_to_global_phase(
+        original.unitary(), corrected.unitary(), atol=1e-8
+    )
+
+
+class TestCouplingMap:
+    def test_chain_shape(self):
+        assert line_coupling_map(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_qubit(self):
+        assert line_coupling_map(1) == []
+
+
+class TestRouting:
+    def test_adjacent_gates_untouched(self):
+        qc = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        result = route_to_line(qc)
+        assert result.swap_count == 0
+        assert result.final_layout == (0, 1, 2)
+
+    def test_distant_gate_gets_swaps(self):
+        qc = QuantumCircuit(4).cx(0, 3)
+        result = route_to_line(qc)
+        assert result.swap_count >= 2
+        for gate in result.circuit.gates:
+            if gate.num_qubits == 2:
+                assert abs(gate.qubits[0] - gate.qubits[1]) == 1
+
+    def test_all_two_qubit_gates_adjacent(self):
+        qc = random_circuit(5, 40, seed=3)
+        result = route_to_line(qc)
+        for gate in result.circuit.unitary_gates():
+            if gate.num_qubits == 2:
+                assert abs(gate.qubits[0] - gate.qubits[1]) == 1
+
+    def test_semantic_equivalence_small(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        qc.cx(0, 3)
+        qc.t(3)
+        qc.cx(3, 1)
+        assert routed_equivalent(qc)
+
+    def test_wide_gate_rejected(self):
+        qc = QuantumCircuit(3).ccx(0, 1, 2)
+        with pytest.raises(CircuitError):
+            route_to_line(qc)
+
+    def test_pseudo_ops_pass_through(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        result = route_to_line(qc)
+        assert any(g.name == "barrier" for g in result.circuit)
+
+    def test_layout_correction_restores_order(self):
+        qc = QuantumCircuit(4).cx(0, 3).cx(1, 3)
+        result = route_to_line(qc)
+        corrected = result.circuit.compose(result.layout_correction())
+        assert equal_up_to_global_phase(qc.unitary(), corrected.unitary(), atol=1e-8)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_routing_equivalence_property(seed):
+    """Property: routing + layout correction preserves the unitary."""
+    qc = random_circuit(4, 20, seed=seed)
+    assert routed_equivalent(qc)

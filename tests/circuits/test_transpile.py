@@ -1,0 +1,89 @@
+"""Tests for basis decomposition passes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.gates import GATE_SPECS
+from repro.circuits.transpile import decompose_to_cx_u3, decompose_to_zx_basis
+from repro.linalg import equal_up_to_global_phase, random_unitary
+
+_ZX_BASIS = {"rz", "rx", "h", "cx", "cz"}
+_NATIVE = {"u3", "cx"}
+
+
+@pytest.mark.parametrize("name", sorted(GATE_SPECS))
+def test_every_gate_decomposes_to_zx_basis(name, rng):
+    spec = GATE_SPECS[name]
+    qc = QuantumCircuit(spec.num_qubits)
+    params = [float(rng.uniform(0, 2 * math.pi)) for _ in range(spec.num_params)]
+    qc.add(name, list(range(spec.num_qubits)), params)
+    out = decompose_to_zx_basis(qc)
+    assert {g.name for g in out} <= _ZX_BASIS
+    assert equal_up_to_global_phase(qc.unitary(), out.unitary(), atol=1e-7)
+
+
+@pytest.mark.parametrize("name", sorted(GATE_SPECS))
+def test_every_gate_decomposes_to_native(name, rng):
+    spec = GATE_SPECS[name]
+    qc = QuantumCircuit(spec.num_qubits)
+    params = [float(rng.uniform(0, 2 * math.pi)) for _ in range(spec.num_params)]
+    qc.add(name, list(range(spec.num_qubits)), params)
+    out = decompose_to_cx_u3(qc)
+    assert {g.name for g in out} <= _NATIVE
+    assert equal_up_to_global_phase(qc.unitary(), out.unitary(), atol=1e-7)
+
+
+def test_pseudo_ops_dropped():
+    qc = QuantumCircuit(2).h(0)
+    qc.barrier()
+    qc.measure_all()
+    out = decompose_to_zx_basis(qc)
+    assert all(g.is_unitary_op for g in out)
+
+
+def test_single_qubit_raw_unitary_supported(rng):
+    qc = QuantumCircuit(1)
+    u = random_unitary(2, rng)
+    qc.unitary_gate(u, [0])
+    out = decompose_to_zx_basis(qc)
+    assert equal_up_to_global_phase(u, out.unitary(), atol=1e-8)
+
+
+def test_multi_qubit_raw_unitary_rejected(rng):
+    qc = QuantumCircuit(2)
+    qc.unitary_gate(random_unitary(4, rng), [0, 1])
+    with pytest.raises(CircuitError):
+        decompose_to_zx_basis(qc)
+
+
+def test_u3_merging_reduces_gate_count():
+    qc = QuantumCircuit(1)
+    for _ in range(6):
+        qc.h(0)
+        qc.t(0)
+    native = decompose_to_cx_u3(qc)
+    # 12 single-qubit gates merge into one u3
+    assert len(native) == 1
+    assert equal_up_to_global_phase(qc.unitary(), native.unitary(), atol=1e-8)
+
+
+def test_identity_run_merges_away():
+    qc = QuantumCircuit(1).h(0).h(0)
+    native = decompose_to_cx_u3(qc)
+    assert len(native) == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_circuit_decomposition_property(seed):
+    """Property: both passes preserve the unitary on random circuits."""
+    qc = random_circuit(3, 20, seed=seed)
+    u = qc.unitary()
+    assert equal_up_to_global_phase(u, decompose_to_zx_basis(qc).unitary(), atol=1e-6)
+    assert equal_up_to_global_phase(u, decompose_to_cx_u3(qc).unitary(), atol=1e-6)

@@ -1,0 +1,37 @@
+"""Shared fixtures: deterministic RNGs and fast QOC settings for tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import EPOCConfig, QOCConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for each test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fast_qoc():
+    """QOC settings tuned for test speed, not pulse quality."""
+    return QOCConfig(
+        dt=1.0,
+        fidelity_threshold=0.98,
+        max_iterations=60,
+        min_segments=2,
+        max_segments=120,
+    )
+
+
+@pytest.fixture
+def fast_epoc(fast_qoc):
+    """A full EPOC configuration with test-speed QOC settings."""
+    return EPOCConfig(
+        partition_qubit_limit=2,
+        partition_gate_limit=8,
+        synthesis_max_layers=4,
+        regroup_qubit_limit=2,
+        regroup_gate_limit=6,
+        qoc=fast_qoc,
+    )

@@ -1,0 +1,103 @@
+"""Tests for the decoherence-aware fidelity model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.core.decoherence import (
+    CoherenceModel,
+    decoherence_factor,
+    esp_with_decoherence,
+)
+from repro.pulse import PulseSchedule
+from repro.qoc import Pulse
+
+
+def busy_pulse(qubits, duration):
+    return Pulse(
+        qubits=tuple(qubits),
+        controls=np.zeros((2 * len(qubits), int(duration))),
+        dt=1.0,
+        fidelity=1.0,
+        unitary_distance=0.0,
+    )
+
+
+class TestCoherenceModel:
+    def test_defaults_valid(self):
+        model = CoherenceModel()
+        assert model.pure_dephasing_rate > 0
+
+    def test_t2_bound_enforced(self):
+        with pytest.raises(ScheduleError):
+            CoherenceModel(t1_ns=100.0, t2_ns=250.0)
+
+    def test_positive_times_required(self):
+        with pytest.raises(ScheduleError):
+            CoherenceModel(t1_ns=0.0)
+
+    def test_t2_saturation_zero_dephasing(self):
+        model = CoherenceModel(t1_ns=100.0, t2_ns=200.0)
+        assert model.pure_dephasing_rate == 0.0
+
+
+class TestDecoherenceFactor:
+    def test_empty_schedule_is_lossless(self):
+        assert decoherence_factor(PulseSchedule(3)) == 1.0
+
+    def test_longer_schedule_decays_more(self):
+        short = PulseSchedule(1)
+        short.add_pulse(busy_pulse([0], 10))
+        long = PulseSchedule(1)
+        long.add_pulse(busy_pulse([0], 100))
+        assert decoherence_factor(long) < decoherence_factor(short)
+
+    def test_idle_lines_dephase(self):
+        # same latency, but one schedule leaves a line idle
+        parallel = PulseSchedule(2)
+        parallel.add_pulse(busy_pulse([0], 100))
+        parallel.add_pulse(busy_pulse([1], 100))
+        serial = PulseSchedule(2)
+        serial.add_pulse(busy_pulse([0], 100))
+        assert decoherence_factor(serial) < decoherence_factor(parallel)
+
+    def test_exact_value_single_line(self):
+        model = CoherenceModel(t1_ns=1000.0, t2_ns=1000.0)
+        schedule = PulseSchedule(1)
+        schedule.add_pulse(busy_pulse([0], 100))
+        expected = math.exp(-100.0 / 1000.0)  # busy line: no idle dephasing
+        assert decoherence_factor(schedule, model) == pytest.approx(expected)
+
+    def test_more_qubits_decay_faster(self):
+        one = PulseSchedule(1)
+        one.add_pulse(busy_pulse([0], 50))
+        three = PulseSchedule(3)
+        three.add_pulse(busy_pulse([0], 50))
+        assert decoherence_factor(three) < decoherence_factor(one)
+
+
+class TestCombinedESP:
+    def test_multiplies(self):
+        schedule = PulseSchedule(1)
+        schedule.add_pulse(busy_pulse([0], 100))
+        combined = esp_with_decoherence(0.9, schedule)
+        assert combined == pytest.approx(0.9 * decoherence_factor(schedule))
+
+    def test_bounds_checked(self):
+        with pytest.raises(ScheduleError):
+            esp_with_decoherence(1.5, PulseSchedule(1))
+
+    def test_latency_reduction_pays_off(self):
+        """The paper's motivation, quantified: at short coherence, a
+        shorter schedule beats a longer one even at equal pulse ESP."""
+        model = CoherenceModel(t1_ns=2000.0, t2_ns=1500.0)
+        fast = PulseSchedule(2)
+        fast.add_pulse(busy_pulse([0, 1], 90))
+        slow = PulseSchedule(2)
+        slow.add_pulse(busy_pulse([0], 250))
+        slow.add_pulse(busy_pulse([1], 250))
+        assert esp_with_decoherence(0.95, fast, model) > esp_with_decoherence(
+            0.97, slow, model
+        )

@@ -1,0 +1,159 @@
+"""Integration tests: the EPOC pipeline and all baseline flows.
+
+These use the fast QOC configuration; they verify structure, ordering
+relations between the flows, and metric bookkeeping rather than absolute
+nanosecond values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
+from repro.circuits import QuantumCircuit
+from repro.core import EPOCPipeline, esp_fidelity
+from repro.core.metrics import CompilationReport
+from repro.qoc import PulseLibrary
+from repro.workloads import ghz_state, qaoa_maxcut
+
+
+@pytest.fixture
+def small_circuit():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.t(1)
+    qc.cx(1, 2)
+    qc.h(2)
+    return qc
+
+
+class TestESP:
+    def test_empty_product_is_one(self):
+        assert esp_fidelity([]) == 1.0
+
+    def test_product(self):
+        assert esp_fidelity([0.1, 0.2]) == pytest.approx(0.9 * 0.8)
+
+    def test_clamped_at_zero(self):
+        assert esp_fidelity([1.5]) == 0.0
+
+
+class TestGateBased:
+    def test_compile_report(self, small_circuit, fast_epoc):
+        report = GateBasedFlow(fast_epoc).compile(small_circuit, "small")
+        assert report.method == "gate-based"
+        assert report.latency_ns > 0
+        assert 0 < report.fidelity <= 1
+        assert report.pulse_count == report.stats["native_gates"]
+
+    def test_latency_scales_with_two_qubit_count(self, fast_epoc):
+        flow = GateBasedFlow(fast_epoc)
+        short = flow.compile(ghz_state(3), "ghz3")
+        long = flow.compile(ghz_state(5), "ghz5")
+        assert long.latency_ns > short.latency_ns
+
+    def test_summary_row_formats(self, small_circuit, fast_epoc):
+        report = GateBasedFlow(fast_epoc).compile(small_circuit, "small")
+        row = report.summary_row()
+        assert "gate-based" in row and "small" in row
+
+
+class TestEPOCPipeline:
+    def test_compile_structure(self, small_circuit, fast_epoc):
+        report = EPOCPipeline(fast_epoc).compile(small_circuit, "small")
+        assert report.method == "epoc"
+        assert report.latency_ns > 0
+        assert report.stats["qoc_items"] >= 1
+        assert report.compile_seconds > 0
+
+    def test_beats_gate_based_latency(self, small_circuit, fast_epoc):
+        gate = GateBasedFlow(fast_epoc).compile(small_circuit, "s")
+        epoc = EPOCPipeline(fast_epoc).compile(small_circuit, "s")
+        assert epoc.latency_ns < gate.latency_ns
+
+    def test_grouping_beats_no_grouping(self, fast_epoc):
+        circuit = qaoa_maxcut(3, layers=1)
+        library = PulseLibrary(config=fast_epoc.qoc)
+        grouped = EPOCPipeline(fast_epoc, library=library).compile(circuit, "qaoa")
+        ungrouped = EPOCPipeline(
+            fast_epoc, library=library, use_regrouping=False
+        ).compile(circuit, "qaoa")
+        assert grouped.latency_ns <= ungrouped.latency_ns
+        assert grouped.method == "epoc"
+        assert ungrouped.method == "epoc-nogroup"
+
+    def test_shared_library_caches_across_runs(self, small_circuit, fast_epoc):
+        library = PulseLibrary(config=fast_epoc.qoc)
+        pipe = EPOCPipeline(fast_epoc, library=library)
+        pipe.compile(small_circuit, "first")
+        misses_before = library.misses
+        pipe.compile(small_circuit, "second")
+        assert library.misses == misses_before  # every unitary cached
+
+    def test_zx_disabled_still_works(self, small_circuit, fast_epoc):
+        config = fast_epoc.with_updates(use_zx=False)
+        report = EPOCPipeline(config).compile(small_circuit, "nozx")
+        assert "zx_depth_before" not in report.stats
+        assert report.latency_ns > 0
+
+    def test_synthesis_disabled_still_works(self, small_circuit, fast_epoc):
+        config = fast_epoc.with_updates(use_synthesis=False)
+        report = EPOCPipeline(config).compile(small_circuit, "nosynth")
+        assert report.latency_ns > 0
+
+    def test_chain_routing_option(self, fast_epoc):
+        # a long-range CX forces SWAP insertion when routing is enabled
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.cx(0, 3)
+        config = fast_epoc.with_updates(route_to_chain=True)
+        report = EPOCPipeline(config).compile(circuit, "routed")
+        assert report.stats["routing_swaps"] >= 2
+        assert report.latency_ns > 0
+
+
+class TestAccQOC:
+    def test_compile_structure(self, small_circuit, fast_epoc):
+        report = AccQOCFlow(fast_epoc).compile(small_circuit, "small")
+        assert report.method == "accqoc"
+        assert report.latency_ns > 0
+        assert report.stats["groups"] >= 1
+
+    def test_beats_gate_based(self, small_circuit, fast_epoc):
+        gate = GateBasedFlow(fast_epoc).compile(small_circuit, "s")
+        acc = AccQOCFlow(fast_epoc).compile(small_circuit, "s")
+        assert acc.latency_ns < gate.latency_ns
+
+    def test_mst_order_covers_all_items(self, fast_epoc):
+        from repro.baselines.accqoc import AccQOCFlow as Flow
+        from repro.partition import regroup_circuit
+
+        items = regroup_circuit(qaoa_maxcut(3), qubit_limit=2, gate_limit=4)
+        order = Flow._mst_order(items)
+        assert sorted(order) == list(range(len(items)))
+
+
+class TestPAQOC:
+    def test_compile_structure(self, small_circuit, fast_epoc):
+        report = PAQOCFlow(fast_epoc).compile(small_circuit, "small")
+        assert report.method == "paqoc"
+        assert report.latency_ns > 0
+        total = (
+            report.stats["custom_pattern_pulses"] + report.stats["calibrated_gates"]
+        )
+        assert total == report.pulse_count
+
+    def test_repeated_patterns_become_custom_gates(self, fast_epoc):
+        qc = QuantumCircuit(2)
+        for _ in range(4):  # the same pattern four times
+            qc.h(0)
+            qc.cx(0, 1)
+        report = PAQOCFlow(fast_epoc).compile(qc, "rep")
+        assert report.stats["custom_pattern_pulses"] >= 1
+
+    def test_sits_between_gate_based_and_epoc(self, fast_epoc):
+        circuit = qaoa_maxcut(3, layers=1)
+        gate = GateBasedFlow(fast_epoc).compile(circuit, "q")
+        paqoc = PAQOCFlow(fast_epoc).compile(circuit, "q")
+        epoc = EPOCPipeline(fast_epoc).compile(circuit, "q")
+        assert epoc.latency_ns <= paqoc.latency_ns <= gate.latency_ns

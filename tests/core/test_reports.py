@@ -1,0 +1,70 @@
+"""Tests for compilation reports and pipeline statistics plumbing."""
+
+import pytest
+
+from repro.core.metrics import CompilationReport, esp_fidelity
+from repro.pulse import PulseSchedule
+
+
+def make_report(**overrides):
+    defaults = dict(
+        method="epoc",
+        circuit_name="demo",
+        num_qubits=2,
+        schedule=PulseSchedule(2),
+        latency_ns=123.4,
+        fidelity=0.987,
+        compile_seconds=1.5,
+        pulse_count=4,
+        stats={"qoc_items": 4.0},
+    )
+    defaults.update(overrides)
+    return CompilationReport(**defaults)
+
+
+class TestCompilationReport:
+    def test_summary_row_contains_fields(self):
+        row = make_report().summary_row()
+        assert "demo" in row
+        assert "epoc" in row
+        assert "123.4" in row
+        assert "0.9870" in row
+
+    def test_stats_default_independent(self):
+        a = CompilationReport(
+            method="m",
+            circuit_name="c",
+            num_qubits=1,
+            schedule=PulseSchedule(1),
+            latency_ns=0.0,
+            fidelity=1.0,
+            compile_seconds=0.0,
+            pulse_count=0,
+        )
+        a.stats["x"] = 1.0
+        b = CompilationReport(
+            method="m",
+            circuit_name="c",
+            num_qubits=1,
+            schedule=PulseSchedule(1),
+            latency_ns=0.0,
+            fidelity=1.0,
+            compile_seconds=0.0,
+            pulse_count=0,
+        )
+        assert "x" not in b.stats
+
+
+class TestESPProperties:
+    def test_monotone_in_each_term(self):
+        assert esp_fidelity([0.1, 0.1]) > esp_fidelity([0.1, 0.2])
+
+    def test_order_invariant(self):
+        assert esp_fidelity([0.1, 0.3]) == pytest.approx(esp_fidelity([0.3, 0.1]))
+
+    def test_more_pulses_never_help(self):
+        base = [0.05] * 3
+        assert esp_fidelity(base + [0.05]) < esp_fidelity(base)
+
+    def test_bounds(self):
+        assert 0.0 <= esp_fidelity([0.5, 0.9, 0.2]) <= 1.0

@@ -1,0 +1,86 @@
+"""Tests for Euler-angle decompositions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SynthesisError
+from repro.circuits.gates import gate_matrix, rz_matrix, ry_matrix, u3_matrix
+from repro.linalg import random_unitary
+from repro.linalg.decompose import euler_decompose_u3, su2_params, zyz_angles
+
+
+class TestSU2Params:
+    def test_determinant_one(self, rng):
+        u = random_unitary(2, rng)
+        special, phase = su2_params(u)
+        det = special[0, 0] * special[1, 1] - special[0, 1] * special[1, 0]
+        assert det == pytest.approx(1.0, abs=1e-10)
+        assert np.allclose(np.exp(1j * phase) * special, u)
+
+    def test_rejects_non_2x2(self):
+        with pytest.raises(SynthesisError):
+            su2_params(np.eye(4))
+
+    def test_rejects_singular(self):
+        with pytest.raises(SynthesisError):
+            su2_params(np.zeros((2, 2)))
+
+
+class TestZYZ:
+    def test_reconstruction(self, rng):
+        for _ in range(10):
+            u = random_unitary(2, rng)
+            theta, phi, lam, phase = zyz_angles(u)
+            rebuilt = (
+                np.exp(1j * phase)
+                * rz_matrix(phi)
+                @ ry_matrix(theta)
+                @ rz_matrix(lam)
+            )
+            assert np.allclose(rebuilt, u, atol=1e-9)
+
+    def test_identity(self):
+        theta, phi, lam, phase = zyz_angles(np.eye(2))
+        assert theta == pytest.approx(0.0, abs=1e-9)
+
+    def test_pauli_x(self):
+        theta, _, _, _ = zyz_angles(gate_matrix("x"))
+        assert theta == pytest.approx(math.pi, abs=1e-9)
+
+    def test_diagonal_gate(self):
+        theta, phi, lam, phase = zyz_angles(gate_matrix("t"))
+        rebuilt = (
+            np.exp(1j * phase) * rz_matrix(phi) @ ry_matrix(theta) @ rz_matrix(lam)
+        )
+        assert np.allclose(rebuilt, gate_matrix("t"), atol=1e-9)
+
+    def test_antidiagonal_gate(self):
+        y = gate_matrix("y")
+        theta, phi, lam, phase = zyz_angles(y)
+        rebuilt = (
+            np.exp(1j * phase) * rz_matrix(phi) @ ry_matrix(theta) @ rz_matrix(lam)
+        )
+        assert np.allclose(rebuilt, y, atol=1e-9)
+
+
+class TestEulerU3:
+    def test_round_trip_named_gates(self):
+        for name in ("x", "y", "z", "h", "s", "t", "sx"):
+            u = gate_matrix(name)
+            theta, phi, lam, gamma = euler_decompose_u3(u)
+            assert np.allclose(
+                np.exp(1j * gamma) * u3_matrix(theta, phi, lam), u, atol=1e-9
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_u3_round_trip_property(seed):
+    """Property: euler_decompose_u3 is exact on Haar-random 2x2 unitaries."""
+    u = random_unitary(2, np.random.default_rng(seed))
+    theta, phi, lam, gamma = euler_decompose_u3(u)
+    assert np.allclose(np.exp(1j * gamma) * u3_matrix(theta, phi, lam), u, atol=1e-8)

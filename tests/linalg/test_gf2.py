@@ -1,0 +1,141 @@
+"""Tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import GF2Matrix
+
+
+class TestBasics:
+    def test_identity(self):
+        m = GF2Matrix.identity(3)
+        assert m.shape == (3, 3)
+        assert m.rank() == 3
+
+    def test_entries_reduced_mod_2(self):
+        m = GF2Matrix([[2, 3], [4, 5]])
+        assert m.data.tolist() == [[0, 1], [0, 1]]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([1, 0, 1])
+
+    def test_matmul(self):
+        a = GF2Matrix([[1, 1], [0, 1]])
+        b = GF2Matrix([[1, 0], [1, 1]])
+        assert (a @ b).data.tolist() == [[0, 1], [1, 1]]
+
+    def test_equality_and_copy(self):
+        a = GF2Matrix([[1, 0], [0, 1]])
+        b = a.copy()
+        assert a == b
+        b.add_row(0, 1)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(GF2Matrix.identity(2))
+
+
+class TestGauss:
+    def test_rank_of_zero(self):
+        assert GF2Matrix.zeros(3, 4).rank() == 0
+
+    def test_rank_dependent_rows(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1], [1, 0, 1]])  # row3 = row1+row2
+        assert m.rank() == 2
+
+    def test_full_reduce_reaches_rref(self):
+        m = GF2Matrix([[1, 1, 1], [0, 1, 1], [0, 0, 1]])
+        m.gauss(full_reduce=True)
+        assert m.data.tolist() == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_row_op_callback_replays_elimination(self):
+        original = GF2Matrix([[1, 1, 0], [1, 0, 1], [0, 1, 1]])
+        work = original.copy()
+        ops = []
+        work.gauss(full_reduce=True, row_op_callback=lambda s, d: ops.append((s, d)))
+        replay = original.copy()
+        for s, d in ops:
+            replay.add_row(s, d)
+        assert replay == work
+
+    def test_pivot_cols_recorded(self):
+        m = GF2Matrix([[0, 1, 1], [0, 0, 1]])
+        pivots = []
+        m.gauss(pivot_cols=pivots)
+        assert pivots == [1, 2]
+
+    def test_blocksize_same_rank(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, size=(10, 12))
+        plain = GF2Matrix(data).copy()
+        chunked = GF2Matrix(data).copy()
+        assert plain.gauss() == chunked.gauss(blocksize=3)
+
+
+class TestInverse:
+    def test_inverse_round_trip(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1], [0, 0, 1]])
+        inv = m.inverse()
+        assert (m @ inv).data.tolist() == np.eye(3, dtype=int).tolist()
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([[1, 1], [1, 1]]).inverse()
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.zeros(2, 3).inverse()
+
+
+class TestNullspaceAndSolve:
+    def test_nullspace_vectors_annihilate(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1]])
+        for vec in m.nullspace():
+            assert np.all((m.data @ vec) % 2 == 0)
+
+    def test_nullspace_dimension(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1], [1, 0, 1]])  # rank 2, 3 cols
+        assert len(m.nullspace()) == 1
+
+    def test_solve_consistent(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1], [0, 0, 1]])
+        rhs = np.array([1, 0, 1], dtype=np.uint8)
+        x = m.solve(rhs)
+        assert x is not None
+        assert np.all((m.data @ x) % 2 == rhs)
+
+    def test_solve_inconsistent(self):
+        m = GF2Matrix([[1, 1], [1, 1]])
+        assert m.solve(np.array([1, 0], dtype=np.uint8)) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(2, 6))
+def test_gauss_preserves_row_space_property(seed, n):
+    """Property: elimination row ops never change the GF(2) rank."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, size=(n, n + 1))
+    m = GF2Matrix(data)
+    rank_before = m.rank()
+    m.gauss(full_reduce=True, blocksize=2)
+    assert m.rank() == rank_before
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_invertible_solve_property(seed):
+    """Property: for invertible M and any b, solve returns M^-1 b."""
+    rng = np.random.default_rng(seed)
+    while True:
+        data = rng.integers(0, 2, size=(4, 4))
+        m = GF2Matrix(data)
+        if m.rank() == 4:
+            break
+    b = rng.integers(0, 2, size=4).astype(np.uint8)
+    x = m.solve(b)
+    expected = (m.inverse().data @ b) % 2
+    assert np.array_equal(x, expected)

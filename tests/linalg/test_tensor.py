@@ -1,0 +1,131 @@
+"""Tests for tensor embedding and state application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.circuits.gates import gate_matrix
+from repro.linalg import (
+    apply_gate_to_state,
+    embed_operator,
+    kron_all,
+    permute_qubits,
+    random_unitary,
+)
+
+
+class TestKronAll:
+    def test_empty_is_scalar_identity(self):
+        assert np.allclose(kron_all([]), np.eye(1))
+
+    def test_matches_numpy_kron(self, rng):
+        a = random_unitary(2, rng)
+        b = random_unitary(2, rng)
+        assert np.allclose(kron_all([a, b]), np.kron(a, b))
+
+    def test_left_factor_is_qubit_zero(self):
+        x = gate_matrix("x")
+        full = kron_all([x, np.eye(2)])
+        # flipping qubit 0 (MSB) maps |00> -> |10> i.e. index 0 -> 2
+        state = np.zeros(4)
+        state[0] = 1.0
+        assert np.argmax(np.abs(full @ state)) == 2
+
+
+class TestPermuteQubits:
+    def test_identity_permutation(self, rng):
+        u = random_unitary(8, rng)
+        assert np.allclose(permute_qubits(u, [0, 1, 2]), u)
+
+    def test_swap_two_qubits(self, rng):
+        a = random_unitary(2, rng)
+        b = random_unitary(2, rng)
+        ab = np.kron(a, b)
+        ba = np.kron(b, a)
+        assert np.allclose(permute_qubits(ab, [1, 0]), ba)
+
+    def test_invalid_permutation(self):
+        with pytest.raises(CircuitError):
+            permute_qubits(np.eye(4), [0, 0])
+
+    def test_three_cycle(self, rng):
+        mats = [random_unitary(2, rng) for _ in range(3)]
+        full = kron_all(mats)
+        # relabel qubit i -> (i+1) % 3; operator on qubit 0 moves to qubit 1
+        rotated = permute_qubits(full, [1, 2, 0])
+        expected = kron_all([mats[2], mats[0], mats[1]])
+        assert np.allclose(rotated, expected)
+
+
+class TestEmbedOperator:
+    def test_embed_on_all_qubits_is_identity_op(self, rng):
+        u = random_unitary(4, rng)
+        assert np.allclose(embed_operator(u, (0, 1), 2), u)
+
+    def test_embed_single_qubit(self, rng):
+        u = random_unitary(2, rng)
+        full = embed_operator(u, (1,), 2)
+        assert np.allclose(full, np.kron(np.eye(2), u))
+
+    def test_reversed_target_order(self):
+        cx = gate_matrix("cx")
+        # control on qubit 1, target on qubit 0
+        full = embed_operator(cx, (1, 0), 2)
+        state = np.zeros(4)
+        state[0b01] = 1.0  # qubit1 (LSB) = 1 -> control fires
+        out = full @ state
+        assert np.argmax(np.abs(out)) == 0b11
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(CircuitError):
+            embed_operator(gate_matrix("cx"), (0, 0), 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CircuitError):
+            embed_operator(gate_matrix("x"), (3,), 2)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CircuitError):
+            embed_operator(gate_matrix("cx"), (0,), 2)
+
+    def test_non_power_of_two(self):
+        with pytest.raises(CircuitError):
+            embed_operator(np.eye(3), (0,), 2)
+
+
+class TestApplyGateToState:
+    def test_matches_embedded_matrix(self, rng):
+        u = random_unitary(4, rng)
+        state = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        expected = embed_operator(u, (0, 2), 3) @ state
+        actual = apply_gate_to_state(u, state, (0, 2), 3)
+        assert np.allclose(actual, expected)
+
+    def test_batched_columns(self, rng):
+        u = random_unitary(2, rng)
+        batch = rng.standard_normal((8, 5)) + 1j * rng.standard_normal((8, 5))
+        expected = embed_operator(u, (1,), 3) @ batch
+        actual = apply_gate_to_state(u, batch, (1,), 3)
+        assert np.allclose(actual, expected)
+
+    def test_gate_shape_mismatch(self, rng):
+        with pytest.raises(CircuitError):
+            apply_gate_to_state(np.eye(2), np.zeros(8), (0, 1), 3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    targets=st.permutations(list(range(3))).map(lambda p: tuple(p[:2])),
+)
+def test_embedding_consistency_property(seed, targets):
+    """Property: embed + apply agree for random operators and targets."""
+    gen = np.random.default_rng(seed)
+    u = random_unitary(4, gen)
+    state = gen.standard_normal(8) + 1j * gen.standard_normal(8)
+    assert np.allclose(
+        apply_gate_to_state(u, state, targets, 3),
+        embed_operator(u, targets, 3) @ state,
+    )

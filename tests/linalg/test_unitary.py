@@ -1,0 +1,151 @@
+"""Tests for unitary metrics and constructors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    average_gate_fidelity,
+    closest_unitary,
+    equal_up_to_global_phase,
+    global_phase_align,
+    hilbert_schmidt_overlap,
+    hs_distance,
+    is_unitary,
+    process_fidelity,
+    random_hermitian,
+    random_unitary,
+    unitary_distance,
+)
+
+
+class TestIsUnitary:
+    def test_identity(self):
+        assert is_unitary(np.eye(4))
+
+    def test_hadamard(self):
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert is_unitary(h)
+
+    def test_non_square(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_non_unitary(self):
+        assert not is_unitary(2.0 * np.eye(2))
+
+    def test_vector_rejected(self):
+        assert not is_unitary(np.ones(4))
+
+
+class TestRandomUnitary:
+    def test_is_unitary(self, rng):
+        for dim in (2, 4, 8):
+            assert is_unitary(random_unitary(dim, rng))
+
+    def test_deterministic_with_seed(self):
+        a = random_unitary(4, np.random.default_rng(5))
+        b = random_unitary(4, np.random.default_rng(5))
+        assert np.allclose(a, b)
+
+    def test_differs_between_draws(self, rng):
+        assert not np.allclose(random_unitary(4, rng), random_unitary(4, rng))
+
+
+class TestRandomHermitian:
+    def test_is_hermitian(self, rng):
+        h = random_hermitian(8, rng)
+        assert np.allclose(h, h.conj().T)
+
+
+class TestGlobalPhase:
+    def test_alignment_recovers_phase(self, rng):
+        u = random_unitary(4, rng)
+        v = np.exp(1j * 0.7) * u
+        assert np.allclose(global_phase_align(u, v), u)
+
+    def test_equal_up_to_global_phase(self, rng):
+        u = random_unitary(8, rng)
+        assert equal_up_to_global_phase(u, np.exp(-1.3j) * u)
+
+    def test_different_unitaries_not_equal(self, rng):
+        u = random_unitary(4, rng)
+        v = random_unitary(4, rng)
+        assert not equal_up_to_global_phase(u, v)
+
+    def test_shape_mismatch(self):
+        assert not equal_up_to_global_phase(np.eye(2), np.eye(4))
+
+    def test_zero_overlap_matrix_returned_unchanged(self):
+        # tr(X^dag Z) = 0: no phase is defined, matrix passes through
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        z = np.array([[1, 0], [0, -1]], dtype=complex)
+        assert np.allclose(global_phase_align(x, z), z)
+
+
+class TestDistances:
+    def test_hs_distance_zero_for_equal(self, rng):
+        u = random_unitary(4, rng)
+        assert hs_distance(u, u) == pytest.approx(0.0, abs=1e-12)
+
+    def test_hs_distance_phase_invariant(self, rng):
+        u = random_unitary(4, rng)
+        assert hs_distance(u, np.exp(0.5j) * u) == pytest.approx(0.0, abs=1e-12)
+
+    def test_hs_distance_bounds(self, rng):
+        u = random_unitary(8, rng)
+        v = random_unitary(8, rng)
+        assert 0.0 <= hs_distance(u, v) <= 1.0
+
+    def test_unitary_distance_phase_invariant(self, rng):
+        u = random_unitary(4, rng)
+        assert unitary_distance(u, np.exp(2.1j) * u) == pytest.approx(0.0, abs=1e-9)
+
+    def test_unitary_distance_orthogonal(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        # |I - e^{i phi} X| is at least 1 for any phase
+        assert unitary_distance(np.eye(2), x) >= 1.0 - 1e-9
+
+
+class TestFidelities:
+    def test_process_fidelity_self(self, rng):
+        u = random_unitary(4, rng)
+        assert process_fidelity(u, u) == pytest.approx(1.0)
+
+    def test_average_gate_fidelity_identity_relation(self, rng):
+        u = random_unitary(4, rng)
+        v = random_unitary(4, rng)
+        f_pro = process_fidelity(u, v)
+        f_avg = average_gate_fidelity(u, v)
+        d = 4
+        assert f_avg == pytest.approx((d * f_pro + 1) / (d + 1))
+
+    def test_overlap_conjugate_symmetry(self, rng):
+        u = random_unitary(4, rng)
+        v = random_unitary(4, rng)
+        assert hilbert_schmidt_overlap(u, v) == pytest.approx(
+            np.conj(hilbert_schmidt_overlap(v, u))
+        )
+
+
+class TestClosestUnitary:
+    def test_projects_to_unitary(self, rng):
+        m = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        assert is_unitary(closest_unitary(m))
+
+    def test_fixed_point(self, rng):
+        u = random_unitary(4, rng)
+        assert np.allclose(closest_unitary(u), u, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(phase=st.floats(min_value=-math.pi, max_value=math.pi), seed=st.integers(0, 1000))
+def test_phase_invariance_property(phase, seed):
+    """Property: every metric ignores a global phase."""
+    u = random_unitary(4, np.random.default_rng(seed))
+    v = np.exp(1j * phase) * u
+    assert hs_distance(u, v) < 1e-9
+    assert unitary_distance(u, v) < 1e-7
+    assert process_fidelity(u, v) > 1.0 - 1e-9

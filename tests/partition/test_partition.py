@@ -1,0 +1,143 @@
+"""Tests for greedy partitioning, blocks and regrouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PartitionError
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.linalg import equal_up_to_global_phase
+from repro.linalg.tensor import apply_gate_to_state
+from repro.partition import (
+    CircuitBlock,
+    blocks_to_circuit,
+    blocks_as_unitaries,
+    greedy_partition,
+    regroup_circuit,
+)
+
+
+class TestCircuitBlock:
+    def test_basic_block(self):
+        local = QuantumCircuit(2).h(0).cx(0, 1)
+        block = CircuitBlock(qubits=(1, 3), circuit=local)
+        assert block.num_qubits == 2
+        assert block.num_gates == 2
+        assert block.unitary().shape == (4, 4)
+
+    def test_global_gate(self):
+        local = QuantumCircuit(1).h(0)
+        block = CircuitBlock(qubits=(2,), circuit=local)
+        gate = block.to_global_gate()
+        assert gate.qubits == (2,)
+        assert gate.name == "unitary"
+
+    def test_qubit_count_mismatch_rejected(self):
+        with pytest.raises(PartitionError):
+            CircuitBlock(qubits=(0, 1, 2), circuit=QuantumCircuit(2))
+
+    def test_unsorted_qubits_rejected(self):
+        with pytest.raises(PartitionError):
+            CircuitBlock(qubits=(3, 1), circuit=QuantumCircuit(2))
+
+
+class TestGreedyPartition:
+    def test_respects_qubit_limit(self):
+        qc = random_circuit(6, 50, seed=0)
+        for block in greedy_partition(qc, qubit_limit=3, gate_limit=10):
+            assert block.num_qubits <= 3
+
+    def test_respects_gate_limit(self):
+        qc = random_circuit(6, 50, seed=1)
+        for block in greedy_partition(qc, qubit_limit=3, gate_limit=7):
+            assert block.num_gates <= 7
+
+    def test_all_gates_covered(self):
+        qc = random_circuit(5, 40, seed=2)
+        blocks = greedy_partition(qc, qubit_limit=3, gate_limit=8)
+        assert sum(b.num_gates for b in blocks) == len(qc)
+
+    def test_recomposition_preserves_unitary(self):
+        qc = random_circuit(5, 40, seed=3)
+        blocks = greedy_partition(qc, qubit_limit=3, gate_limit=10)
+        rec = blocks_to_circuit(blocks, 5)
+        assert equal_up_to_global_phase(qc.unitary(), rec.unitary(), atol=1e-9)
+
+    def test_wide_gate_rejected(self):
+        qc = QuantumCircuit(3).ccx(0, 1, 2)
+        with pytest.raises(PartitionError):
+            greedy_partition(qc, qubit_limit=2, gate_limit=10)
+
+    def test_pseudo_ops_dropped(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        qc.measure_all()
+        blocks = greedy_partition(qc, qubit_limit=2, gate_limit=10)
+        assert sum(b.num_gates for b in blocks) == 1
+
+    def test_invalid_limits_rejected(self):
+        qc = QuantumCircuit(2).h(0)
+        with pytest.raises(PartitionError):
+            greedy_partition(qc, qubit_limit=0)
+        with pytest.raises(PartitionError):
+            greedy_partition(qc, gate_limit=0)
+
+    def test_block_indices_sequential(self):
+        qc = random_circuit(5, 30, seed=4)
+        blocks = greedy_partition(qc, qubit_limit=2, gate_limit=5)
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_source_indices_recorded(self):
+        qc = random_circuit(4, 20, seed=5)
+        blocks = greedy_partition(qc, qubit_limit=2, gate_limit=5)
+        all_indices = sorted(i for b in blocks for i in b.source_indices)
+        assert all_indices == list(range(len(qc)))
+
+    def test_single_qubit_circuit(self):
+        qc = QuantumCircuit(1).h(0).t(0).h(0)
+        blocks = greedy_partition(qc, qubit_limit=1, gate_limit=2)
+        assert len(blocks) == 2
+
+    def test_empty_circuit(self):
+        assert greedy_partition(QuantumCircuit(3), 2, 5) == []
+
+
+class TestRegroup:
+    def test_items_reproduce_unitary(self):
+        qc = random_circuit(5, 30, seed=6)
+        items = regroup_circuit(qc, qubit_limit=3, gate_limit=8)
+        u = np.eye(2**5, dtype=complex)
+        for item in items:
+            u = apply_gate_to_state(item.matrix, u, item.qubits, 5)
+        assert equal_up_to_global_phase(qc.unitary(), u, atol=1e-9)
+
+    def test_per_gate_mode(self):
+        qc = random_circuit(4, 20, seed=7)
+        items = regroup_circuit(qc, qubit_limit=2, gate_limit=1)
+        assert len(items) == len(qc)
+
+    def test_source_gates_accounted(self):
+        qc = random_circuit(4, 20, seed=8)
+        items = regroup_circuit(qc, qubit_limit=3, gate_limit=6)
+        assert sum(i.source_gates for i in items) == len(qc)
+
+    def test_matrix_dimensions(self):
+        qc = random_circuit(4, 20, seed=9)
+        for item in regroup_circuit(qc, qubit_limit=2, gate_limit=6):
+            assert item.matrix.shape == (item.dim, item.dim)
+            assert item.dim == 2**item.num_qubits
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    qubit_limit=st.integers(1, 4),
+    gate_limit=st.integers(1, 12),
+)
+def test_partition_recomposition_property(seed, qubit_limit, gate_limit):
+    """Property: partition + recompose = original, for any limits."""
+    qc = random_circuit(4, 25, seed=seed)
+    blocks = greedy_partition(qc, qubit_limit=max(qubit_limit, 2), gate_limit=gate_limit)
+    rec = blocks_to_circuit(blocks, 4)
+    assert equal_up_to_global_phase(qc.unitary(), rec.unitary(), atol=1e-8)

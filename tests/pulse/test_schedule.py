@@ -1,0 +1,107 @@
+"""Tests for pulse scheduling and the calibrated latency model."""
+
+import numpy as np
+import pytest
+
+from repro.config import HardwareConfig
+from repro.exceptions import ScheduleError
+from repro.circuits.gates import Gate
+from repro.pulse import GateLatencyModel, PulseSchedule
+from repro.qoc import Pulse
+
+
+def make_pulse(qubits, segments, dt=1.0, distance=0.01):
+    return Pulse(
+        qubits=tuple(qubits),
+        controls=np.zeros((2 * len(qubits), segments)),
+        dt=dt,
+        fidelity=0.999,
+        unitary_distance=distance,
+    )
+
+
+class TestSchedule:
+    def test_sequential_same_qubit(self):
+        s = PulseSchedule(1)
+        s.add_pulse(make_pulse([0], 10))
+        s.add_pulse(make_pulse([0], 5))
+        assert s.latency == pytest.approx(15.0)
+
+    def test_parallel_different_qubits(self):
+        s = PulseSchedule(2)
+        s.add_pulse(make_pulse([0], 10))
+        s.add_pulse(make_pulse([1], 7))
+        assert s.latency == pytest.approx(10.0)
+
+    def test_two_qubit_pulse_synchronizes(self):
+        s = PulseSchedule(2)
+        s.add_pulse(make_pulse([0], 10))
+        item = s.add_pulse(make_pulse([0, 1], 5))
+        assert item.start == pytest.approx(10.0)
+        assert s.latency == pytest.approx(15.0)
+
+    def test_barrier_synchronizes_without_time(self):
+        s = PulseSchedule(2)
+        s.add_pulse(make_pulse([0], 10))
+        s.add_barrier()
+        item = s.add_pulse(make_pulse([1], 5))
+        assert item.start == pytest.approx(10.0)
+
+    def test_empty_schedule(self):
+        s = PulseSchedule(3)
+        assert s.latency == 0.0
+        assert len(s) == 0
+
+    def test_out_of_range_rejected(self):
+        s = PulseSchedule(2)
+        with pytest.raises(ScheduleError):
+            s.add_interval([5], 1.0)
+
+    def test_negative_duration_rejected(self):
+        s = PulseSchedule(2)
+        with pytest.raises(ScheduleError):
+            s.add_interval([0], -1.0)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ScheduleError):
+            PulseSchedule(0)
+
+    def test_line_utilization(self):
+        s = PulseSchedule(2)
+        s.add_pulse(make_pulse([0], 10))
+        s.add_pulse(make_pulse([1], 5))
+        util = s.line_utilization()
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] == pytest.approx(0.5)
+
+    def test_fidelity_product(self):
+        s = PulseSchedule(1)
+        s.add_pulse(make_pulse([0], 5, distance=0.1))
+        s.add_pulse(make_pulse([0], 5, distance=0.2))
+        assert s.fidelity_product() == pytest.approx(0.9 * 0.8)
+
+    def test_intervals_without_pulse_skip_fidelity(self):
+        s = PulseSchedule(1)
+        s.add_interval([0], 5.0)
+        assert s.fidelity_product() == 1.0
+
+
+class TestGateLatencyModel:
+    def test_durations_by_arity(self):
+        hw = HardwareConfig(
+            one_qubit_gate_ns=10.0, two_qubit_gate_ns=100.0, three_qubit_gate_ns=500.0
+        )
+        model = GateLatencyModel(hw)
+        assert model.duration(Gate("h", (0,))) == 10.0
+        assert model.duration(Gate("cx", (0, 1))) == 100.0
+        assert model.duration(Gate("ccx", (0, 1, 2))) == 500.0
+
+    def test_pseudo_ops_free(self):
+        model = GateLatencyModel()
+        assert model.duration(Gate("barrier", (0,))) == 0.0
+
+    def test_raw_unitary_rejected(self):
+        model = GateLatencyModel()
+        gate = Gate("unitary", (0,), matrix_override=np.eye(2))
+        with pytest.raises(ScheduleError):
+            model.duration(gate)

@@ -1,0 +1,63 @@
+"""Tests for pulse/schedule serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.pulse import PulseSchedule
+from repro.pulse.serialize import pulse_from_dict, pulse_to_dict, schedule_to_dict
+from repro.qoc import Pulse
+
+
+@pytest.fixture
+def pulse(rng):
+    return Pulse(
+        qubits=(1, 2),
+        controls=rng.uniform(-1, 1, (4, 6)),
+        dt=0.5,
+        fidelity=0.998,
+        unitary_distance=0.02,
+        source="grape",
+    )
+
+
+class TestPulseRoundTrip:
+    def test_round_trip(self, pulse):
+        rebuilt = pulse_from_dict(pulse_to_dict(pulse))
+        assert rebuilt.qubits == pulse.qubits
+        assert rebuilt.dt == pulse.dt
+        assert rebuilt.fidelity == pulse.fidelity
+        assert np.allclose(rebuilt.controls, pulse.controls)
+
+    def test_json_serializable(self, pulse):
+        text = json.dumps(pulse_to_dict(pulse))
+        rebuilt = pulse_from_dict(json.loads(text))
+        assert rebuilt.duration == pytest.approx(pulse.duration)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ScheduleError):
+            pulse_from_dict({"qubits": [0]})
+
+
+class TestScheduleSerialization:
+    def test_schedule_payload(self, pulse):
+        schedule = PulseSchedule(4)
+        schedule.add_pulse(pulse)
+        schedule.add_interval([0], 10.0, label="cal")
+        payload = schedule_to_dict(schedule)
+        assert payload["num_qubits"] == 4
+        assert payload["latency_ns"] == pytest.approx(schedule.latency)
+        assert len(payload["items"]) == 2
+        assert "pulse" in payload["items"][0]
+        assert "pulse" not in payload["items"][1]
+        json.dumps(payload)  # fully serializable
+
+    def test_timing_preserved(self, pulse):
+        schedule = PulseSchedule(4)
+        first = schedule.add_pulse(pulse)
+        second = schedule.add_pulse(pulse)
+        payload = schedule_to_dict(schedule)
+        assert payload["items"][0]["start_ns"] == pytest.approx(first.start)
+        assert payload["items"][1]["start_ns"] == pytest.approx(second.start)

@@ -1,0 +1,81 @@
+"""Tests for randomized benchmarking of pulses."""
+
+import numpy as np
+import pytest
+
+from repro.config import QOCConfig
+from repro.linalg import is_unitary
+from repro.qoc.benchmarking import (
+    randomized_benchmarking,
+    single_qubit_cliffords,
+)
+
+
+class TestCliffordGroup:
+    def test_exactly_24_elements(self):
+        assert len(single_qubit_cliffords()) == 24
+
+    def test_all_unitary(self):
+        for c in single_qubit_cliffords():
+            assert is_unitary(c)
+
+    def test_closed_under_multiplication(self):
+        cliffords = single_qubit_cliffords()
+
+        def canon(u):
+            flat = u.ravel()
+            pivot = flat[np.flatnonzero(np.abs(flat) > 1e-6)[0]]
+            aligned = np.round(u * (abs(pivot) / pivot), 6)
+            return ((aligned.real + 0.0) + 1j * (aligned.imag + 0.0)).tobytes()
+
+        keys = {canon(c) for c in cliffords}
+        product = cliffords[3] @ cliffords[17]
+        assert canon(product) in keys
+
+    def test_contains_identity_h_s(self):
+        from repro.circuits.gates import gate_matrix
+
+        def canon(u):
+            flat = u.ravel()
+            pivot = flat[np.flatnonzero(np.abs(flat) > 1e-6)[0]]
+            aligned = np.round(u * (abs(pivot) / pivot), 6)
+            return ((aligned.real + 0.0) + 1j * (aligned.imag + 0.0)).tobytes()
+
+        keys = {canon(c) for c in single_qubit_cliffords()}
+        for name in ("h", "s", "x", "z"):
+            assert canon(gate_matrix(name)) in keys, name
+
+
+class TestRB:
+    def test_good_pulses_near_zero_error(self, fast_qoc):
+        result = randomized_benchmarking(
+            config=fast_qoc, sequence_lengths=(1, 2, 4), samples_per_length=4
+        )
+        assert result.error_per_clifford < 1e-3
+        assert all(p > 0.97 for p in result.survival_probabilities)
+
+    def test_sloppy_pulses_show_decay(self):
+        config = QOCConfig(
+            dt=1.0,
+            fidelity_threshold=0.9,
+            max_iterations=4,
+            min_segments=2,
+            max_segments=8,
+            seed=3,
+        )
+        result = randomized_benchmarking(
+            config=config,
+            sequence_lengths=(1, 4, 16),
+            samples_per_length=8,
+        )
+        assert result.error_per_clifford > 1e-4
+        # survival at length 16 clearly below survival at length 1
+        assert result.survival_probabilities[-1] < result.survival_probabilities[0]
+
+    def test_result_fields(self, fast_qoc):
+        result = randomized_benchmarking(
+            config=fast_qoc, sequence_lengths=(1, 2), samples_per_length=2
+        )
+        assert result.sequence_lengths == (1, 2)
+        assert len(result.survival_probabilities) == 2
+        assert 0.0 <= result.decay_rate <= 1.0

@@ -1,0 +1,112 @@
+"""Tests for the pulse library and its cache-key semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QOCError
+from repro.circuits.gates import gate_matrix
+from repro.linalg import random_unitary
+from repro.qoc import Pulse, PulseLibrary, unitary_cache_key
+
+
+class TestCacheKey:
+    def test_equal_matrices_same_key(self, rng):
+        u = random_unitary(4, rng)
+        assert unitary_cache_key(u) == unitary_cache_key(u.copy())
+
+    def test_global_phase_folds_when_enabled(self, rng):
+        u = random_unitary(4, rng)
+        v = np.exp(1.3j) * u
+        assert unitary_cache_key(u, global_phase=True) == unitary_cache_key(
+            v, global_phase=True
+        )
+
+    def test_global_phase_distinguishes_when_disabled(self, rng):
+        u = random_unitary(4, rng)
+        v = np.exp(1.3j) * u
+        assert unitary_cache_key(u, global_phase=False) != unitary_cache_key(
+            v, global_phase=False
+        )
+
+    def test_different_unitaries_different_keys(self, rng):
+        assert unitary_cache_key(random_unitary(4, rng)) != unitary_cache_key(
+            random_unitary(4, rng)
+        )
+
+    def test_negative_zero_normalized(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex)
+        b = np.array([[1.0, -0.0], [-0.0, 1.0]], dtype=complex)
+        assert unitary_cache_key(a) == unitary_cache_key(b)
+
+    def test_tiny_noise_same_key(self, rng):
+        u = random_unitary(4, rng)
+        noisy = u + 1e-9
+        assert unitary_cache_key(u) == unitary_cache_key(noisy)
+
+
+class TestPulseObject:
+    def test_duration(self):
+        p = Pulse((0,), np.zeros((2, 7)), dt=0.5, fidelity=1.0, unitary_distance=0.0)
+        assert p.duration == pytest.approx(3.5)
+        assert p.num_segments == 7
+
+    def test_retarget(self):
+        p = Pulse((0, 1), np.zeros((4, 5)), dt=1.0, fidelity=1.0, unitary_distance=0.0)
+        q = p.on_qubits((2, 3))
+        assert q.qubits == (2, 3)
+        assert q.duration == p.duration
+
+    def test_retarget_arity_checked(self):
+        p = Pulse((0,), np.zeros((2, 5)), dt=1.0, fidelity=1.0, unitary_distance=0.0)
+        with pytest.raises(QOCError):
+            p.on_qubits((0, 1))
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(QOCError):
+            Pulse((0,), np.zeros(5), dt=1.0, fidelity=1.0, unitary_distance=0.0)
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(QOCError):
+            Pulse((0,), np.zeros((2, 5)), dt=0.0, fidelity=1.0, unitary_distance=0.0)
+
+
+class TestPulseLibrary:
+    def test_miss_then_hit(self, fast_qoc):
+        lib = PulseLibrary(config=fast_qoc)
+        lib.get_pulse(gate_matrix("x"), (0,))
+        lib.get_pulse(gate_matrix("x"), (0,))
+        assert lib.misses == 1
+        assert lib.hits == 1
+        assert len(lib) == 1
+
+    def test_global_phase_hit(self, fast_qoc):
+        lib = PulseLibrary(config=fast_qoc, match_global_phase=True)
+        lib.get_pulse(gate_matrix("x"), (0,))
+        lib.get_pulse(np.exp(0.9j) * gate_matrix("x"), (0,))
+        assert lib.hits == 1
+
+    def test_exact_mode_misses_phase_variant(self, fast_qoc):
+        lib = PulseLibrary(config=fast_qoc, match_global_phase=False)
+        lib.get_pulse(gate_matrix("x"), (0,))
+        lib.get_pulse(np.exp(0.9j) * gate_matrix("x"), (0,))
+        assert lib.misses == 2
+
+    def test_retargeting_counts_as_hit(self, fast_qoc):
+        lib = PulseLibrary(config=fast_qoc)
+        lib.get_pulse(gate_matrix("x"), (0,))
+        pulse = lib.get_pulse(gate_matrix("x"), (3,))
+        assert lib.hits == 1
+        assert pulse.qubits == (3,)
+
+    def test_hit_rate(self, fast_qoc):
+        lib = PulseLibrary(config=fast_qoc)
+        assert lib.hit_rate == 0.0
+        lib.get_pulse(gate_matrix("x"), (0,))
+        lib.get_pulse(gate_matrix("x"), (0,))
+        assert lib.hit_rate == pytest.approx(0.5)
+        lib.clear_statistics()
+        assert lib.hit_rate == 0.0
+
+    def test_hardware_models_cached(self, fast_qoc):
+        lib = PulseLibrary(config=fast_qoc)
+        assert lib.hardware_for(2) is lib.hardware_for(2)

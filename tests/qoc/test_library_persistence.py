@@ -1,0 +1,64 @@
+"""Tests for pulse-library persistence and invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QOCError
+from repro.circuits.gates import gate_matrix
+from repro.qoc import PulseLibrary
+
+
+@pytest.fixture
+def warm_library(fast_qoc):
+    library = PulseLibrary(config=fast_qoc)
+    library.get_pulse(gate_matrix("x"), (0,))
+    library.get_pulse(gate_matrix("h"), (0,))
+    return library
+
+
+class TestSaveLoad:
+    def test_round_trip(self, warm_library, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.json")
+        warm_library.save(path)
+        fresh = PulseLibrary(config=fast_qoc)
+        assert fresh.load(path) == 2
+        # loaded entries serve requests without recomputation
+        fresh.get_pulse(gate_matrix("x"), (0,))
+        assert fresh.misses == 0
+        assert fresh.hits == 1
+
+    def test_loaded_pulse_identical(self, warm_library, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.json")
+        original = warm_library.get_pulse(gate_matrix("x"), (0,))
+        warm_library.save(path)
+        fresh = PulseLibrary(config=fast_qoc)
+        fresh.load(path)
+        loaded = fresh.get_pulse(gate_matrix("x"), (0,))
+        assert np.allclose(loaded.controls, original.controls)
+        assert loaded.duration == pytest.approx(original.duration)
+
+    def test_key_mode_mismatch_rejected(self, warm_library, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.json")
+        warm_library.save(path)
+        exact = PulseLibrary(config=fast_qoc, match_global_phase=False)
+        with pytest.raises(QOCError):
+            exact.load(path)
+
+    def test_replace_mode(self, warm_library, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.json")
+        warm_library.save(path)
+        other = PulseLibrary(config=fast_qoc)
+        other.get_pulse(gate_matrix("z"), (0,))
+        other.load(path, replace=True)
+        assert len(other) == 2  # the z entry was dropped
+
+
+class TestInvalidate:
+    def test_recalibration_clears_everything(self, warm_library):
+        assert len(warm_library) == 2
+        warm_library.invalidate()
+        assert len(warm_library) == 0
+        assert warm_library.hits == 0 and warm_library.misses == 0
+        # next request regenerates
+        warm_library.get_pulse(gate_matrix("x"), (0,))
+        assert warm_library.misses == 1

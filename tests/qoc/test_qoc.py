@@ -1,0 +1,181 @@
+"""Tests for the QOC substrate: Hamiltonians, GRAPE, CRAB, latency search."""
+
+import numpy as np
+import pytest
+
+from repro.config import HardwareConfig, QOCConfig
+from repro.exceptions import QOCError
+from repro.circuits.gates import gate_matrix
+from repro.linalg import is_unitary, random_unitary
+from repro.qoc import (
+    TransmonChain,
+    crab_optimize,
+    estimate_initial_segments,
+    grape_optimize,
+    minimal_latency_pulse,
+    propagate,
+)
+from repro.qoc.grape import _resample_controls
+
+
+class TestTransmonChain:
+    def test_drift_is_hermitian(self):
+        for n in (1, 2, 3):
+            h0 = TransmonChain(n).drift()
+            assert np.allclose(h0, h0.conj().T)
+
+    def test_single_qubit_drift_zero(self):
+        assert np.allclose(TransmonChain(1).drift(), 0.0)
+
+    def test_controls_count_and_hermiticity(self):
+        hw = TransmonChain(2)
+        mats, labels = hw.controls()
+        assert len(mats) == 4
+        assert labels == ["X0", "Y0", "X1", "Y1"]
+        for m in mats:
+            assert np.allclose(m, m.conj().T)
+
+    def test_coupling_strength_appears(self):
+        hw = TransmonChain(2, HardwareConfig(coupling=0.2))
+        h0 = hw.drift()
+        assert np.max(np.abs(h0)) == pytest.approx(0.2)
+
+    def test_zz_crosstalk_term(self):
+        hw = TransmonChain(2, HardwareConfig(zz_crosstalk=0.01))
+        h0 = hw.drift()
+        # ZZ contributes to the diagonal
+        assert np.abs(h0[0, 0]) > 0
+
+    def test_invalid_size(self):
+        with pytest.raises(QOCError):
+            TransmonChain(0)
+
+
+class TestPropagate:
+    def test_zero_controls_zero_drift_is_identity(self):
+        hw = TransmonChain(1)
+        u = propagate(hw.drift(), hw.controls()[0], np.zeros((2, 5)), dt=1.0)
+        assert np.allclose(u, np.eye(2), atol=1e-12)
+
+    def test_propagator_is_unitary(self, rng):
+        hw = TransmonChain(2)
+        u = propagate(
+            hw.drift(), hw.controls()[0], rng.uniform(-1, 1, (4, 10)), dt=0.5
+        )
+        assert is_unitary(u)
+
+    def test_constant_x_drive_rotates(self):
+        # u * H_x with H_x = X/2: angle = u * dt * segments
+        hw = TransmonChain(1)
+        controls = np.zeros((2, 10))
+        controls[0, :] = np.pi / 10.0  # total angle pi -> X gate
+        u = propagate(hw.drift(), hw.controls()[0], controls, dt=1.0)
+        from repro.linalg import equal_up_to_global_phase
+
+        assert equal_up_to_global_phase(u, gate_matrix("x"), atol=1e-9)
+
+
+class TestGrape:
+    def test_x_gate_converges(self, fast_qoc):
+        result = grape_optimize(gate_matrix("x"), TransmonChain(1), 10, fast_qoc)
+        assert result.fidelity > 0.999
+
+    def test_cx_converges_with_time(self, fast_qoc):
+        result = grape_optimize(gate_matrix("cx"), TransmonChain(2), 45, fast_qoc)
+        assert result.fidelity > 0.98
+
+    def test_too_short_fails(self, fast_qoc):
+        result = grape_optimize(gate_matrix("cx"), TransmonChain(2), 5, fast_qoc)
+        assert result.fidelity < 0.99
+        assert not result.converged
+
+    def test_amplitude_bounds_respected(self, fast_qoc):
+        result = grape_optimize(gate_matrix("x"), TransmonChain(1), 10, fast_qoc)
+        assert np.all(np.abs(result.controls) <= fast_qoc.max_amplitude + 1e-12)
+
+    def test_final_unitary_consistent(self, fast_qoc):
+        hw = TransmonChain(1)
+        result = grape_optimize(gate_matrix("h"), hw, 10, fast_qoc)
+        rebuilt = propagate(hw.drift(), hw.controls()[0], result.controls, fast_qoc.dt)
+        assert np.allclose(rebuilt, result.final_unitary, atol=1e-10)
+
+    def test_dimension_mismatch_rejected(self, fast_qoc):
+        with pytest.raises(QOCError):
+            grape_optimize(gate_matrix("cx"), TransmonChain(1), 10, fast_qoc)
+
+    def test_invalid_segments_rejected(self, fast_qoc):
+        with pytest.raises(QOCError):
+            grape_optimize(gate_matrix("x"), TransmonChain(1), 0, fast_qoc)
+
+    def test_warm_start_resamples(self, fast_qoc):
+        first = grape_optimize(gate_matrix("x"), TransmonChain(1), 10, fast_qoc)
+        warm = grape_optimize(
+            gate_matrix("x"),
+            TransmonChain(1),
+            14,
+            fast_qoc,
+            initial_controls=first.controls,
+        )
+        assert warm.fidelity > 0.999
+
+    def test_duration_property(self, fast_qoc):
+        result = grape_optimize(gate_matrix("x"), TransmonChain(1), 8, fast_qoc)
+        assert result.duration == pytest.approx(8 * fast_qoc.dt)
+
+
+class TestResample:
+    def test_same_length_is_copy(self):
+        c = np.random.default_rng(0).uniform(-1, 1, (2, 10))
+        out = _resample_controls(c, 10)
+        assert np.allclose(out, c)
+
+    def test_stretch_preserves_endpoints(self):
+        c = np.linspace(0, 1, 10).reshape(1, 10)
+        out = _resample_controls(c, 20)
+        assert out.shape == (1, 20)
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[0, -1] == pytest.approx(1.0)
+
+
+class TestCrab:
+    def test_x_gate(self, fast_qoc):
+        result = crab_optimize(
+            gate_matrix("x"), TransmonChain(1), 20, fast_qoc, num_harmonics=3
+        )
+        assert result.fidelity > 0.95
+
+    def test_dimension_check(self, fast_qoc):
+        with pytest.raises(QOCError):
+            crab_optimize(gate_matrix("cx"), TransmonChain(1), 20, fast_qoc)
+
+    def test_amplitude_clipped(self, fast_qoc):
+        result = crab_optimize(gate_matrix("h"), TransmonChain(1), 20, fast_qoc)
+        assert np.all(np.abs(result.controls) <= fast_qoc.max_amplitude + 1e-12)
+
+
+class TestLatencySearch:
+    def test_x_pulse_short(self, fast_qoc):
+        pulse = minimal_latency_pulse(gate_matrix("x"), (0,), fast_qoc)
+        assert pulse.duration <= 6.0
+        assert pulse.fidelity >= fast_qoc.fidelity_threshold
+
+    def test_cx_pulse_near_speed_limit(self, fast_qoc):
+        pulse = minimal_latency_pulse(gate_matrix("cx"), (0, 1), fast_qoc)
+        # pi/(2g) ~ 31 ns; binary search lands within ~30% above it
+        assert 25.0 <= pulse.duration <= 60.0
+
+    def test_qubit_mismatch_rejected(self, fast_qoc):
+        with pytest.raises(QOCError):
+            minimal_latency_pulse(gate_matrix("cx"), (0,), fast_qoc)
+
+    def test_impossible_budget_raises(self):
+        config = QOCConfig(dt=1.0, max_segments=4, fidelity_threshold=0.999)
+        with pytest.raises(QOCError):
+            minimal_latency_pulse(gate_matrix("cx"), (0, 1), config)
+
+    def test_initial_estimate_scales_with_qubits(self, fast_qoc):
+        hw1 = TransmonChain(1)
+        hw3 = TransmonChain(3)
+        e1 = estimate_initial_segments(gate_matrix("x"), hw1, fast_qoc)
+        e3 = estimate_initial_segments(np.eye(8), hw3, fast_qoc)
+        assert e3 > e1

@@ -1,0 +1,70 @@
+"""Tests for state-transfer GRAPE."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QOCError
+from repro.qoc import TransmonChain
+from repro.qoc.state_transfer import grape_state_transfer
+
+
+def basis_state(dim, index):
+    v = np.zeros(dim, dtype=complex)
+    v[index] = 1.0
+    return v
+
+
+class TestStateTransfer:
+    def test_bit_flip(self, fast_qoc):
+        hw = TransmonChain(1)
+        result = grape_state_transfer(
+            basis_state(2, 0), basis_state(2, 1), hw, 10, fast_qoc
+        )
+        assert result.fidelity > 0.999
+        assert np.abs(result.final_state[1]) ** 2 > 0.999
+
+    def test_superposition_preparation(self, fast_qoc):
+        hw = TransmonChain(1)
+        plus = np.array([1.0, 1.0]) / np.sqrt(2.0)
+        result = grape_state_transfer(basis_state(2, 0), plus, hw, 10, fast_qoc)
+        assert result.fidelity > 0.999
+
+    def test_entangling_transfer(self, fast_qoc):
+        hw = TransmonChain(2)
+        bell = np.zeros(4, dtype=complex)
+        bell[0] = bell[3] = 1.0 / np.sqrt(2.0)
+        result = grape_state_transfer(basis_state(4, 0), bell, hw, 45, fast_qoc)
+        assert result.fidelity > 0.98
+
+    def test_identity_transfer_trivial(self, fast_qoc):
+        hw = TransmonChain(1)
+        result = grape_state_transfer(
+            basis_state(2, 0), basis_state(2, 0), hw, 4, fast_qoc
+        )
+        assert result.fidelity > 0.999
+
+    def test_unnormalized_inputs_accepted(self, fast_qoc):
+        hw = TransmonChain(1)
+        result = grape_state_transfer(
+            3.0 * basis_state(2, 0), -2.0 * basis_state(2, 1), hw, 10, fast_qoc
+        )
+        assert result.fidelity > 0.999
+
+    def test_dimension_checked(self, fast_qoc):
+        with pytest.raises(QOCError):
+            grape_state_transfer(
+                basis_state(4, 0), basis_state(4, 1), TransmonChain(1), 5, fast_qoc
+            )
+
+    def test_zero_state_rejected(self, fast_qoc):
+        with pytest.raises(QOCError):
+            grape_state_transfer(
+                np.zeros(2), basis_state(2, 1), TransmonChain(1), 5, fast_qoc
+            )
+
+    def test_duration(self, fast_qoc):
+        hw = TransmonChain(1)
+        result = grape_state_transfer(
+            basis_state(2, 0), basis_state(2, 1), hw, 8, fast_qoc
+        )
+        assert result.duration == pytest.approx(8 * fast_qoc.dt)

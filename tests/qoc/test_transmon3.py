@@ -1,0 +1,96 @@
+"""Tests for the three-level (leakage-aware) transmon extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import QOCConfig
+from repro.exceptions import QOCError
+from repro.circuits.gates import gate_matrix
+from repro.qoc.transmon3 import (
+    ThreeLevelTransmon,
+    _annihilation,
+    grape_three_level,
+)
+
+
+@pytest.fixture
+def qutrit_qoc():
+    return QOCConfig(dt=1.0, fidelity_threshold=0.999, max_iterations=120)
+
+
+class TestModel:
+    def test_annihilation_operator(self):
+        a = _annihilation()
+        number = a.conj().T @ a
+        assert np.allclose(np.diagonal(number), [0, 1, 2])
+
+    def test_drift_hermitian(self):
+        for n in (1, 2):
+            h0 = ThreeLevelTransmon(n).drift()
+            assert np.allclose(h0, h0.conj().T)
+
+    def test_anharmonicity_on_level_two_only(self):
+        hw = ThreeLevelTransmon(1)
+        h0 = hw.drift()
+        # n(n-1)/2 * alpha: 0 for levels 0,1; alpha for level 2
+        assert h0[0, 0] == pytest.approx(0.0)
+        assert h0[1, 1] == pytest.approx(0.0)
+        assert h0[2, 2] == pytest.approx(hw.anharmonicity)
+
+    def test_controls_couple_to_level_two(self):
+        matrices, labels = ThreeLevelTransmon(1).controls()
+        assert labels == ["X0", "Y0"]
+        # the ladder drive has a 1<->2 matrix element of sqrt(2)/2
+        assert abs(matrices[0][1, 2]) == pytest.approx(np.sqrt(2) / 2)
+
+    def test_computational_indices(self):
+        assert ThreeLevelTransmon(1).computational_indices() == [0, 1]
+        assert ThreeLevelTransmon(2).computational_indices() == [0, 1, 3, 4]
+
+    def test_invalid_size(self):
+        with pytest.raises(QOCError):
+            ThreeLevelTransmon(0)
+
+
+class TestLeakageGrape:
+    def test_slow_x_gate_converges_without_leakage(self, qutrit_qoc):
+        result = grape_three_level(
+            gate_matrix("x"), ThreeLevelTransmon(1), 10, qutrit_qoc
+        )
+        assert result.fidelity > 0.999
+        assert result.leakage < 1e-4
+
+    def test_fast_x_gate_leaks(self, qutrit_qoc):
+        fast = grape_three_level(
+            gate_matrix("x"), ThreeLevelTransmon(1), 3, qutrit_qoc
+        )
+        slow = grape_three_level(
+            gate_matrix("x"), ThreeLevelTransmon(1), 12, qutrit_qoc
+        )
+        # the anharmonicity speed limit: faster pulse, more leakage
+        assert fast.leakage > slow.leakage
+        assert fast.fidelity < slow.fidelity
+
+    def test_dimension_checked(self, qutrit_qoc):
+        with pytest.raises(QOCError):
+            grape_three_level(gate_matrix("cx"), ThreeLevelTransmon(1), 5, qutrit_qoc)
+
+    def test_segments_checked(self, qutrit_qoc):
+        with pytest.raises(QOCError):
+            grape_three_level(gate_matrix("x"), ThreeLevelTransmon(1), 0, qutrit_qoc)
+
+    def test_warm_start_shape_checked(self, qutrit_qoc):
+        with pytest.raises(QOCError):
+            grape_three_level(
+                gate_matrix("x"),
+                ThreeLevelTransmon(1),
+                5,
+                qutrit_qoc,
+                initial_controls=np.zeros((2, 3)),
+            )
+
+    def test_duration(self, qutrit_qoc):
+        result = grape_three_level(
+            gate_matrix("x"), ThreeLevelTransmon(1), 7, qutrit_qoc
+        )
+        assert result.duration == pytest.approx(7.0)

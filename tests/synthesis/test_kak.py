@@ -1,0 +1,120 @@
+"""Tests for the KAK (Cartan) decomposition of two-qubit unitaries."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SynthesisError
+from repro.circuits.gates import gate_matrix
+from repro.linalg import equal_up_to_global_phase, random_unitary
+from repro.synthesis import (
+    kak_decompose,
+    kak_synthesize,
+    weyl_coordinates,
+)
+
+
+def _sorted_abs(coords):
+    return sorted(abs(c) for c in coords)
+
+
+class TestDecompose:
+    def test_reconstruction_random(self, rng):
+        for _ in range(10):
+            u = random_unitary(4, rng)
+            d = kak_decompose(u)
+            assert equal_up_to_global_phase(u, d.reconstruct(), atol=1e-7)
+
+    def test_local_unitary_zero_coefficients(self, rng):
+        u = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        coords = weyl_coordinates(u)
+        assert _sorted_abs(coords) == pytest.approx([0.0, 0.0, 0.0], abs=1e-7)
+
+    def test_cnot_coordinates(self):
+        coords = weyl_coordinates(gate_matrix("cx"))
+        assert _sorted_abs(coords) == pytest.approx(
+            [0.0, 0.0, math.pi / 4], abs=1e-7
+        )
+
+    def test_cz_matches_cnot_class(self):
+        assert _sorted_abs(weyl_coordinates(gate_matrix("cz"))) == pytest.approx(
+            _sorted_abs(weyl_coordinates(gate_matrix("cx"))), abs=1e-7
+        )
+
+    def test_swap_coordinates(self):
+        coords = weyl_coordinates(gate_matrix("swap"))
+        assert _sorted_abs(coords) == pytest.approx(
+            [math.pi / 4] * 3, abs=1e-7
+        )
+
+    def test_local_invariance(self, rng):
+        from repro.synthesis.kak import local_invariants
+
+        u = random_unitary(4, rng)
+        left = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        right = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        base = local_invariants(u)
+        assert np.allclose(local_invariants(left @ u @ right), base, atol=1e-6)
+
+    def test_local_invariants_distinguish_classes(self):
+        from repro.synthesis.kak import local_invariants
+
+        cx = local_invariants(gate_matrix("cx"))
+        swap = local_invariants(gate_matrix("swap"))
+        identity = local_invariants(np.eye(4))
+        assert not np.allclose(cx, swap, atol=1e-6)
+        assert not np.allclose(cx, identity, atol=1e-6)
+
+    def test_cz_cx_same_class(self):
+        from repro.synthesis.kak import local_invariants
+
+        assert np.allclose(
+            local_invariants(gate_matrix("cz")),
+            local_invariants(gate_matrix("cx")),
+            atol=1e-6,
+        )
+
+    def test_global_phase_recorded(self, rng):
+        u = random_unitary(4, rng)
+        d = kak_decompose(np.exp(0.8j) * u)
+        assert equal_up_to_global_phase(u, d.reconstruct(), atol=1e-7)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(SynthesisError):
+            kak_decompose(np.eye(8))
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(SynthesisError):
+            kak_decompose(2.0 * np.eye(4))
+
+
+class TestSynthesize:
+    def test_exact_three_cnots(self, rng):
+        for _ in range(4):
+            u = random_unitary(4, rng)
+            circuit = kak_synthesize(u)
+            assert circuit.count_ops().get("cx", 0) == 3
+            assert equal_up_to_global_phase(u, circuit.unitary(), atol=1e-6)
+
+    def test_named_gates(self):
+        for name in ("cx", "cz", "swap", "iswap"):
+            u = gate_matrix(name)
+            circuit = kak_synthesize(u)
+            assert equal_up_to_global_phase(u, circuit.unitary(), atol=1e-6), name
+
+    def test_local_target(self, rng):
+        u = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        circuit = kak_synthesize(u)
+        assert equal_up_to_global_phase(u, circuit.unitary(), atol=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_kak_round_trip_property(seed):
+    """Property: decompose + reconstruct is the identity (mod phase)."""
+    u = random_unitary(4, np.random.default_rng(seed))
+    d = kak_decompose(u)
+    assert equal_up_to_global_phase(u, d.reconstruct(), atol=1e-6)

@@ -1,0 +1,205 @@
+"""Tests for VUG templates, instantiation and the synthesis engines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import gate_matrix
+from repro.linalg import equal_up_to_global_phase, hs_distance, random_unitary
+from repro.partition import CircuitBlock
+from repro.synthesis import (
+    VUGTemplate,
+    instantiate,
+    leap_synthesize,
+    qsd_synthesize,
+    qsearch_synthesize,
+    synthesize_block,
+    synthesize_unitary,
+)
+from repro.synthesis.vug import u3_gradients
+
+
+class TestVUGTemplate:
+    def test_initial_template(self):
+        t = VUGTemplate.initial(3)
+        assert t.num_params == 9
+        assert t.cnot_count == 0
+
+    def test_extension(self):
+        t = VUGTemplate.initial(2).extended(0, 1)
+        assert t.cnot_count == 1
+        assert t.num_params == 12
+
+    def test_structure_key_ignores_params(self):
+        a = VUGTemplate.initial(2).extended(0, 1)
+        b = VUGTemplate.initial(2).extended(0, 1)
+        assert a.structure_key() == b.structure_key()
+
+    def test_matrix_is_unitary(self, rng):
+        t = VUGTemplate.initial(2).extended(0, 1)
+        params = rng.uniform(-np.pi, np.pi, t.num_params)
+        m = t.matrix(params)
+        assert np.allclose(m.conj().T @ m, np.eye(4), atol=1e-10)
+
+    def test_matrix_matches_circuit(self, rng):
+        t = VUGTemplate.initial(2).extended(1, 0)
+        params = rng.uniform(-np.pi, np.pi, t.num_params)
+        assert np.allclose(t.matrix(params), t.to_circuit(params).unitary(), atol=1e-9)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        t = VUGTemplate.initial(2).extended(0, 1)
+        params = rng.uniform(-1.0, 1.0, t.num_params)
+        _, grads = t.matrix_and_gradient(params)
+        eps = 1e-6
+        for k in range(t.num_params):
+            shifted = params.copy()
+            shifted[k] += eps
+            numeric = (t.matrix(shifted) - t.matrix(params)) / eps
+            assert np.allclose(grads[k], numeric, atol=1e-4), f"param {k}"
+
+    def test_invalid_ops_rejected(self):
+        with pytest.raises(SynthesisError):
+            VUGTemplate(2, (("vug", (0, 1)),))
+        with pytest.raises(SynthesisError):
+            VUGTemplate(2, (("cx", (0,)),))
+        with pytest.raises(SynthesisError):
+            VUGTemplate(2, (("magic", (0,)),))
+        with pytest.raises(SynthesisError):
+            VUGTemplate(2, (("vug", (5,)),))
+
+
+class TestU3Gradients:
+    def test_against_finite_difference(self, rng):
+        from repro.circuits.gates import u3_matrix
+
+        theta, phi, lam = rng.uniform(-2, 2, 3)
+        grads = u3_gradients(theta, phi, lam)
+        eps = 1e-7
+        base = u3_matrix(theta, phi, lam)
+        for k, (dt, dp, dl) in enumerate([(eps, 0, 0), (0, eps, 0), (0, 0, eps)]):
+            numeric = (u3_matrix(theta + dt, phi + dp, lam + dl) - base) / eps
+            assert np.allclose(grads[k], numeric, atol=1e-5)
+
+
+class TestInstantiate:
+    def test_single_qubit_exact(self, rng):
+        t = VUGTemplate.initial(1)
+        target = random_unitary(2, rng)
+        fit = instantiate(t, target)
+        assert fit.distance < 1e-9
+
+    def test_warm_start_used(self, rng):
+        t = VUGTemplate.initial(1)
+        target = random_unitary(2, rng)
+        fit = instantiate(t, target)
+        again = instantiate(t, target, initial=fit.params, restarts=1)
+        assert again.distance < 1e-9
+
+    def test_unreachable_target_nonzero_distance(self, rng):
+        # a single-qubit layer cannot produce an entangling unitary
+        t = VUGTemplate.initial(2)
+        fit = instantiate(t, gate_matrix("cx"))
+        assert fit.distance > 0.05
+
+
+class TestQSearch:
+    def test_single_qubit_shortcut(self, rng):
+        target = random_unitary(2, rng)
+        result = qsearch_synthesize(target)
+        assert result.method == "euler"
+        assert equal_up_to_global_phase(target, result.circuit.unitary(), atol=1e-8)
+
+    def test_cnot_found_with_one_cnot(self):
+        result = qsearch_synthesize(gate_matrix("cx"))
+        assert result.cnot_count <= 1
+        assert result.distance < 1e-6
+
+    def test_random_two_qubit_needs_three(self, rng):
+        target = random_unitary(4, rng)
+        result = qsearch_synthesize(target, max_cnots=4)
+        assert result.cnot_count == 3  # the known optimum for generic SU(4)
+        assert result.distance < 1e-6
+
+    def test_budget_exhaustion_raises(self, rng):
+        target = random_unitary(8, rng)
+        with pytest.raises(SynthesisError):
+            qsearch_synthesize(target, max_cnots=2, max_nodes=5)
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(SynthesisError):
+            qsearch_synthesize(np.eye(3))
+
+    def test_coupling_restriction(self, rng):
+        target = random_unitary(4, rng)
+        result = qsearch_synthesize(target, couplings=[(0, 1)])
+        for gate in result.circuit:
+            if gate.name == "cx":
+                assert gate.qubits == (0, 1)
+
+
+class TestQSD:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exact_decomposition(self, n, rng):
+        target = random_unitary(2**n, rng)
+        circuit = qsd_synthesize(target)
+        assert abs(hs_distance(target, circuit.unitary())) < 1e-8
+
+    def test_gate_vocabulary(self, rng):
+        circuit = qsd_synthesize(random_unitary(8, rng))
+        assert {g.name for g in circuit} <= {"u3", "cx", "ry", "rz"}
+
+    def test_identity_compact(self):
+        circuit = qsd_synthesize(np.eye(4))
+        assert len(circuit) <= 6
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(SynthesisError):
+            qsd_synthesize(np.eye(6))
+
+
+class TestLeap:
+    def test_structured_target(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).t(1).cx(0, 1)
+        result = leap_synthesize(qc.unitary(), max_cnots=4)
+        assert result.distance < 1e-6
+        assert result.cnot_count <= 4
+
+    def test_budget_raises(self, rng):
+        with pytest.raises(SynthesisError):
+            leap_synthesize(random_unitary(8, rng), max_cnots=2)
+
+
+class TestDispatcher:
+    def test_never_fails_on_hard_targets(self, rng):
+        target = random_unitary(8, rng)
+        # starve the heuristics so the QSD fallback fires
+        result = synthesize_unitary(target, max_cnots=3, qsearch_max_nodes=2)
+        assert result.method == "qsd"
+        assert result.distance < 1e-6
+
+    def test_easy_target_uses_search(self):
+        result = synthesize_unitary(gate_matrix("cx"))
+        assert result.method == "qsearch"
+        assert result.cnot_count <= 1
+
+
+class TestSynthesizeBlock:
+    def test_keeps_original_when_not_better(self):
+        local = QuantumCircuit(2).cx(0, 1)
+        block = CircuitBlock(qubits=(0, 1), circuit=local)
+        out = synthesize_block(block)
+        assert out.circuit.depth() <= 1
+
+    def test_improves_redundant_block(self):
+        local = QuantumCircuit(2)
+        for _ in range(3):
+            local.cx(0, 1)
+            local.cx(0, 1)
+        local.cx(0, 1)
+        block = CircuitBlock(qubits=(0, 1), circuit=local)
+        out = synthesize_block(block)
+        assert out.circuit.two_qubit_count <= 1
+        assert equal_up_to_global_phase(
+            block.unitary(), out.unitary(), atol=1e-5
+        )

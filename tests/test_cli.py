@@ -1,0 +1,126 @@
+"""Tests for the command-line interface and the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.cli import build_parser, main
+from repro.pulse import PulseSchedule
+from repro.pulse.render import render_circuit, render_schedule
+from repro.qoc import Pulse
+from repro.workloads import ghz_state
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "ghz.qasm"
+    path.write_text(ghz_state(3).to_qasm())
+    return str(path)
+
+
+class TestParser:
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "x.qasm"])
+        assert args.flow == "epoc"
+        assert args.qubit_limit == 3
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "x.qasm", "--flow", "magic"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, qasm_file, capsys):
+        assert main(["info", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "qubits : 3" in out
+        assert "depth  : 3" in out
+
+    def test_optimize(self, qasm_file, capsys):
+        assert main(["optimize", qasm_file, "--emit"]) == 0
+        out = capsys.readouterr().out
+        assert "depth" in out
+        assert "OPENQASM" in out
+
+    def test_compile_gate_based(self, qasm_file, capsys):
+        assert main(["compile", qasm_file, "--flow", "gate-based", "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "gate-based" in out
+        assert "ns" in out
+
+    def test_compile_epoc(self, qasm_file, capsys):
+        code = main(
+            [
+                "compile",
+                qasm_file,
+                "--qubit-limit",
+                "2",
+                "--dt",
+                "1.0",
+                "--fidelity",
+                "0.98",
+            ]
+        )
+        assert code == 0
+        assert "epoc" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/file.qasm"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flow", ["accqoc", "paqoc", "epoc-nogroup"])
+    def test_compile_other_flows(self, flow, tmp_path, capsys):
+        from repro.circuits import QuantumCircuit
+
+        path = tmp_path / "bell.qasm"
+        path.write_text(QuantumCircuit(2).h(0).cx(0, 1).to_qasm())
+        code = main(
+            [
+                "compile",
+                str(path),
+                "--flow",
+                flow,
+                "--qubit-limit",
+                "2",
+                "--fidelity",
+                "0.98",
+            ]
+        )
+        assert code == 0
+        assert flow.split("-")[0] in capsys.readouterr().out
+
+
+class TestRenderers:
+    def test_render_circuit(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        text = render_circuit(qc)
+        assert "q0" in text and "q1" in text
+        assert "*" in text and "+" in text
+
+    def test_render_empty_circuit(self):
+        assert "(empty circuit)" in render_circuit(QuantumCircuit(2))
+
+    def test_render_truncates_long_circuits(self):
+        qc = QuantumCircuit(1)
+        for _ in range(60):
+            qc.h(0)
+        assert "..." in render_circuit(qc, max_columns=10)
+
+    def test_render_schedule(self):
+        schedule = PulseSchedule(2)
+        schedule.add_pulse(
+            Pulse((0,), np.zeros((2, 10)), 1.0, fidelity=1.0, unitary_distance=0.0)
+        )
+        schedule.add_pulse(
+            Pulse((0, 1), np.zeros((4, 5)), 1.0, fidelity=1.0, unitary_distance=0.0)
+        )
+        text = render_schedule(schedule, width=40)
+        assert "q0" in text and "q1" in text
+        assert "ns" in text
+
+    def test_render_empty_schedule(self):
+        assert "(empty schedule)" in render_schedule(PulseSchedule(1))

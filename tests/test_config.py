@@ -1,0 +1,82 @@
+"""Tests for configuration objects and the exception hierarchy."""
+
+import dataclasses
+
+import pytest
+
+from repro import EPOCConfig, __version__
+from repro.config import FAST_TEST_CONFIG, HardwareConfig, QOCConfig
+from repro.exceptions import (
+    CircuitError,
+    PartitionError,
+    QasmError,
+    QOCError,
+    ReproError,
+    ScheduleError,
+    SynthesisError,
+    ZXError,
+)
+
+
+class TestConfigs:
+    def test_defaults_are_consistent(self):
+        config = EPOCConfig()
+        assert config.partition_qubit_limit >= config.regroup_qubit_limit - 1
+        assert config.qoc.min_segments <= config.qoc.max_segments
+        assert config.hardware.one_qubit_gate_ns < config.hardware.two_qubit_gate_ns
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EPOCConfig().use_zx = False
+
+    def test_with_updates(self):
+        base = EPOCConfig()
+        updated = base.with_updates(use_zx=False, partition_qubit_limit=5)
+        assert updated.use_zx is False
+        assert updated.partition_qubit_limit == 5
+        assert base.use_zx is True  # original untouched
+
+    def test_nested_config_replacement(self):
+        config = EPOCConfig().with_updates(qoc=QOCConfig(dt=2.0))
+        assert config.qoc.dt == 2.0
+
+    def test_fast_test_config_is_loose(self):
+        assert FAST_TEST_CONFIG.qoc.fidelity_threshold < 0.999
+        assert FAST_TEST_CONFIG.qoc.max_iterations <= 100
+
+    def test_hardware_error_rates_ordered(self):
+        hw = HardwareConfig()
+        assert (
+            hw.one_qubit_gate_error
+            < hw.two_qubit_gate_error
+            < hw.three_qubit_gate_error
+        )
+
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+
+class TestExceptions:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CircuitError,
+            QasmError,
+            ZXError,
+            PartitionError,
+            SynthesisError,
+            QOCError,
+            ScheduleError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_not_caught_by_sibling(self):
+        with pytest.raises(ZXError):
+            try:
+                raise ZXError("zx")
+            except QasmError:  # pragma: no cover - must not trigger
+                pytest.fail("wrong handler caught the error")

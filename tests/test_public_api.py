@@ -1,0 +1,56 @@
+"""Public-API surface tests: imports resolve and __all__ is honest."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.linalg",
+    "repro.circuits",
+    "repro.zx",
+    "repro.partition",
+    "repro.synthesis",
+    "repro.qoc",
+    "repro.pulse",
+    "repro.baselines",
+    "repro.core",
+    "repro.workloads",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_exist(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_headline_api():
+    """The README quickstart's imports must keep working."""
+    from repro.circuits import QuantumCircuit  # noqa: F401
+    from repro.config import EPOCConfig, QOCConfig  # noqa: F401
+    from repro.core import EPOCPipeline  # noqa: F401
+    from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow  # noqa: F401
+    from repro.zx import optimize_circuit  # noqa: F401
+    from repro.synthesis import synthesize_unitary  # noqa: F401
+    from repro.qoc import PulseLibrary, minimal_latency_pulse  # noqa: F401
+    from repro.workloads import benchmark_suite, table1_suite  # noqa: F401
+
+
+def test_every_public_module_has_docstring():
+    import pathlib
+
+    root = pathlib.Path(importlib.import_module("repro").__file__).parent
+    for path in root.rglob("*.py"):
+        text = path.read_text()
+        stripped = text.lstrip()
+        assert stripped.startswith('"""') or stripped.startswith("'''"), (
+            f"{path} lacks a module docstring"
+        )

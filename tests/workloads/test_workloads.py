@@ -1,0 +1,149 @@
+"""Tests for the benchmark workload library."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits import parse_qasm
+from repro.linalg import equal_up_to_global_phase, is_unitary
+from repro.workloads import (
+    bell_state,
+    benchmark_suite,
+    bernstein_vazirani,
+    deutsch_jozsa,
+    get_benchmark,
+    ghz_state,
+    grover_circuit,
+    qft_circuit,
+    qpe_circuit,
+    simon_circuit,
+    table1_suite,
+    vqe_uccsd_like,
+    w_state,
+)
+
+
+class TestSuites:
+    def test_figure_suite_has_17(self):
+        assert len(benchmark_suite()) == 17
+
+    def test_table1_has_7(self):
+        suite = table1_suite()
+        assert set(suite) == {"simon", "bb84", "bv", "qaoa", "decod24", "dnn", "ham7"}
+
+    def test_all_benchmarks_build_and_are_unitary(self):
+        for name, qc in benchmark_suite().items():
+            assert len(qc) > 0, name
+            assert is_unitary(qc.unitary()), name
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(CircuitError):
+            get_benchmark("does_not_exist")
+
+    def test_deterministic_construction(self):
+        a = get_benchmark("dnn")
+        b = get_benchmark("dnn")
+        assert [g.params for g in a] == [g.params for g in b]
+
+    def test_qasm_round_trip_all(self):
+        for name, qc in benchmark_suite().items():
+            back = parse_qasm(qc.to_qasm())
+            assert equal_up_to_global_phase(
+                qc.unitary(), back.unitary(), atol=1e-7
+            ), name
+
+
+class TestSemantics:
+    def test_bell_probabilities(self):
+        probs = np.abs(bell_state().statevector()) ** 2
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+
+    def test_ghz_probabilities(self):
+        sv = ghz_state(4).statevector()
+        assert abs(sv[0]) ** 2 == pytest.approx(0.5)
+        assert abs(sv[-1]) ** 2 == pytest.approx(0.5)
+
+    def test_w_state_single_excitation(self):
+        sv = w_state(3).statevector()
+        probs = np.abs(sv) ** 2
+        ones = {0b100: 1 / 3, 0b010: 1 / 3, 0b001: 1 / 3}
+        for idx, expected in ones.items():
+            assert probs[idx] == pytest.approx(expected, abs=1e-9)
+
+    def test_bv_recovers_secret(self):
+        secret = 0b101
+        qc = bernstein_vazirani(4, secret=secret)
+        sv = qc.statevector()
+        probs = np.abs(sv) ** 2
+        # data register (qubits 0-2) must read the secret; ancilla in |->
+        data_marginal = np.zeros(8)
+        for idx, p in enumerate(probs):
+            data_marginal[idx >> 1] += p
+        assert data_marginal[secret] == pytest.approx(1.0, abs=1e-9)
+
+    def test_simon_orthogonal_outcomes(self):
+        sv = simon_circuit(0b11).statevector()
+        probs = np.abs(sv) ** 2
+        marginal = {}
+        for idx, p in enumerate(probs):
+            marginal[idx >> 2] = marginal.get(idx >> 2, 0.0) + p
+        support = {y for y, p in marginal.items() if p > 1e-9}
+        assert support == {0b00, 0b11}  # y . s = 0 for s = 11
+
+    def test_grover_amplifies_marked(self):
+        sv = grover_circuit(3, marked=0b110).statevector()
+        probs = np.abs(sv) ** 2
+        assert probs[0b110] > 0.7
+
+    def test_qpe_reads_phase(self):
+        sv = qpe_circuit(3, phase=3.0 / 8.0).statevector()
+        probs = np.abs(sv) ** 2
+        best = int(np.argmax(probs))
+        counting = best >> 1  # drop target qubit (LSB)
+        assert counting == 3
+
+    def test_deutsch_jozsa_balanced_nonzero(self):
+        qc = deutsch_jozsa(3, balanced=True)
+        sv = qc.statevector()
+        probs = np.abs(sv) ** 2
+        # data register should never read all-zeros for a balanced oracle
+        zero_prob = probs[0] + probs[1]
+        assert zero_prob == pytest.approx(0.0, abs=1e-9)
+
+    def test_deutsch_jozsa_constant_reads_zero(self):
+        qc = deutsch_jozsa(3, balanced=False)
+        probs = np.abs(qc.statevector()) ** 2
+        assert probs[0] + probs[1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_qft_on_basis_state_uniform(self):
+        qc = qft_circuit(3)
+        probs = np.abs(qc.statevector()) ** 2
+        assert np.allclose(probs, 1.0 / 8.0, atol=1e-9)
+
+    def test_vqe_ansatz_heavily_optimizable(self):
+        from repro.zx import optimize_circuit
+
+        qc = vqe_uccsd_like(4)
+        result = optimize_circuit(qc)
+        assert result.depth_after < result.depth_before
+
+    def test_clifford_vqe_collapses(self):
+        from repro.workloads import clifford_vqe_ansatz
+        from repro.zx import optimize_circuit
+
+        deep = clifford_vqe_ansatz(4, layers=30, seed=0)
+        result = optimize_circuit(deep)
+        assert result.depth_reduction > 2.0
+
+    def test_diagonal_trotter_merges_steps(self):
+        from repro.workloads import diagonal_trotter_evolution
+        from repro.zx import optimize_circuit
+
+        qc = diagonal_trotter_evolution(5, steps=10)
+        result = optimize_circuit(qc)
+        assert result.depth_after < result.depth_before
+
+    def test_extension_names_in_registry(self):
+        assert get_benchmark("trotter").num_qubits == 6
+        assert get_benchmark("clifford_vqe").num_qubits == 5

@@ -1,0 +1,61 @@
+"""Tests for the T-count / resource analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit, random_clifford_t_circuit
+from repro.zx import circuit_to_zx, full_reduce, optimize_circuit
+from repro.zx.analysis import circuit_metrics, non_clifford_spiders, t_count
+
+
+class TestTCount:
+    def test_clifford_circuit_is_zero(self):
+        qc = QuantumCircuit(2).h(0).s(1).cx(0, 1).cz(0, 1)
+        assert t_count(qc) == 0
+
+    def test_t_gates_counted(self):
+        qc = QuantumCircuit(1).t(0).tdg(0).t(0)
+        assert t_count(qc) == 3
+
+    def test_clifford_rotations_free(self):
+        qc = QuantumCircuit(1).rz(math.pi / 2, 0).rx(math.pi, 0).rz(0.0, 0)
+        assert t_count(qc) == 0
+
+    def test_generic_rotations_counted(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rx(1.1, 0)
+        assert t_count(qc) == 2
+
+    def test_raw_unitary_conservative(self, rng):
+        from repro.linalg import random_unitary
+
+        qc = QuantumCircuit(1)
+        qc.unitary_gate(random_unitary(2, rng), [0])
+        assert t_count(qc) == 1
+
+
+class TestNonCliffordSpiders:
+    def test_counts_t_spiders(self):
+        qc = QuantumCircuit(1).t(0).s(0).t(0)
+        g = circuit_to_zx(qc)
+        assert non_clifford_spiders(g) == 2
+
+    def test_fusion_merges_t_pairs(self):
+        # two adjacent T gates fuse into one Clifford S spider
+        qc = QuantumCircuit(1).t(0).t(0)
+        g = circuit_to_zx(qc)
+        full_reduce(g)
+        assert non_clifford_spiders(g) == 0
+
+
+class TestMetricsAndInvariants:
+    def test_metrics_fields(self):
+        qc = QuantumCircuit(2).h(0).t(0).cx(0, 1)
+        metrics = circuit_metrics(qc)
+        assert metrics == {"gates": 3, "depth": 3, "two_qubit": 1, "t_count": 1}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimization_never_increases_t_count(self, seed):
+        qc = random_clifford_t_circuit(3, 30, seed=seed)
+        result = optimize_circuit(qc)
+        assert t_count(result.circuit) <= t_count(qc)

@@ -1,0 +1,162 @@
+"""Tests for the ZX-diagram data structure."""
+
+import pytest
+
+from repro.exceptions import ZXError
+from repro.zx.graph import EdgeType, VertexType, ZXGraph
+
+
+def two_spiders(etype=EdgeType.SIMPLE, types=(VertexType.Z, VertexType.Z)):
+    g = ZXGraph()
+    v = g.add_vertex(types[0])
+    w = g.add_vertex(types[1])
+    g.add_edge(v, w, etype)
+    return g, v, w
+
+
+class TestVertices:
+    def test_add_and_query(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z, phase=0.5, qubit=1, row=2)
+        assert g.type(v) == VertexType.Z
+        assert g.phase(v) == 0.5
+        assert g.has_vertex(v)
+
+    def test_phase_normalization(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z, phase=2.5)
+        assert g.phase(v) == pytest.approx(0.5)
+        g.add_phase(v, -1.0)
+        assert g.phase(v) == pytest.approx(1.5)
+
+    def test_phase_snapping(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z, phase=0.5 + 1e-14)
+        assert g.phase(v) == 0.5
+
+    def test_remove_vertex_cleans_edges(self):
+        g, v, w = two_spiders()
+        g.remove_vertex(v)
+        assert not g.has_vertex(v)
+        assert g.degree(w) == 0
+
+    def test_remove_boundary_updates_lists(self):
+        g = ZXGraph()
+        b = g.add_vertex(VertexType.BOUNDARY)
+        g.inputs.append(b)
+        g.remove_vertex(b)
+        assert g.inputs == []
+
+    def test_pauli_and_clifford_predicates(self):
+        g = ZXGraph()
+        for phase, pauli, clifford in (
+            (0.0, True, False),
+            (1.0, True, False),
+            (0.5, False, True),
+            (1.5, False, True),
+            (0.25, False, False),
+        ):
+            v = g.add_vertex(VertexType.Z, phase=phase)
+            assert g.is_pauli_phase(v) == pauli
+            assert g.is_proper_clifford_phase(v) == clifford
+
+
+class TestEdges:
+    def test_add_edge_both_directions(self):
+        g, v, w = two_spiders()
+        assert g.has_edge(v, w) and g.has_edge(w, v)
+        assert g.edge_type(v, w) == EdgeType.SIMPLE
+
+    def test_duplicate_edge_rejected(self):
+        g, v, w = two_spiders()
+        with pytest.raises(ZXError):
+            g.add_edge(v, w)
+
+    def test_toggle_edge_type(self):
+        g, v, w = two_spiders()
+        g.toggle_edge_type(v, w)
+        assert g.edge_type(v, w) == EdgeType.HADAMARD
+
+    def test_missing_edge_queries_raise(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z)
+        w = g.add_vertex(VertexType.Z)
+        with pytest.raises(ZXError):
+            g.edge_type(v, w)
+        with pytest.raises(ZXError):
+            g.remove_edge(v, w)
+
+
+class TestSmartEdges:
+    def test_hadamard_self_loop_adds_pi(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z, phase=0.0)
+        g.add_edge_smart(v, v, EdgeType.HADAMARD)
+        assert g.phase(v) == pytest.approx(1.0)
+
+    def test_simple_self_loop_vanishes(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z)
+        g.add_edge_smart(v, v, EdgeType.SIMPLE)
+        assert g.phase(v) == 0.0
+        assert g.degree(v) == 0
+
+    def test_parallel_hadamard_edges_cancel(self):
+        g, v, w = two_spiders(EdgeType.HADAMARD)
+        g.add_edge_smart(v, w, EdgeType.HADAMARD)
+        assert not g.has_edge(v, w)
+
+    def test_simple_plus_hadamard_same_color(self):
+        g, v, w = two_spiders(EdgeType.SIMPLE)
+        g.add_edge_smart(v, w, EdgeType.HADAMARD)
+        assert g.edge_type(v, w) == EdgeType.SIMPLE
+        assert g.phase(v) + g.phase(w) == pytest.approx(1.0)
+
+    def test_parallel_simple_different_color_cancel(self):
+        g, v, w = two_spiders(EdgeType.SIMPLE, (VertexType.Z, VertexType.X))
+        g.add_edge_smart(v, w, EdgeType.SIMPLE)
+        assert not g.has_edge(v, w)
+
+    def test_parallel_hadamard_different_color_keep_one(self):
+        g, v, w = two_spiders(EdgeType.HADAMARD, (VertexType.Z, VertexType.X))
+        g.add_edge_smart(v, w, EdgeType.HADAMARD)
+        assert g.edge_type(v, w) == EdgeType.HADAMARD
+
+
+class TestStructure:
+    def test_stats_and_repr(self):
+        g, v, w = two_spiders()
+        stats = g.stats()
+        assert stats["vertices"] == 2
+        assert stats["edges"] == 1
+        assert "ZXGraph" in repr(g)
+
+    def test_copy_independence(self):
+        g, v, w = two_spiders()
+        clone = g.copy()
+        clone.remove_vertex(v)
+        assert g.has_vertex(v)
+
+    def test_is_graph_like(self):
+        g, v, w = two_spiders(EdgeType.HADAMARD)
+        assert g.is_graph_like()
+        g2, _, _ = two_spiders(EdgeType.SIMPLE)
+        assert not g2.is_graph_like()
+
+    def test_check_well_formed_boundary_degree(self):
+        g = ZXGraph()
+        b = g.add_vertex(VertexType.BOUNDARY)
+        g.inputs.append(b)
+        with pytest.raises(ZXError):
+            g.check_well_formed()
+
+    def test_interior_predicate(self):
+        g = ZXGraph()
+        b = g.add_vertex(VertexType.BOUNDARY)
+        s1 = g.add_vertex(VertexType.Z)
+        s2 = g.add_vertex(VertexType.Z)
+        g.add_edge(b, s1)
+        g.add_edge(s1, s2, EdgeType.HADAMARD)
+        assert not g.is_interior(s1)
+        assert g.is_interior(s2)
+        assert not g.is_interior(b)

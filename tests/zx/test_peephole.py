@@ -1,0 +1,114 @@
+"""Tests for the circuit-level commutation/aggregation pass."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.linalg import equal_up_to_global_phase
+from repro.zx.peephole import (
+    basic_optimization,
+    cancel_and_fuse_pass,
+    hadamard_conjugation_pass,
+)
+
+
+class TestCancellation:
+    def test_adjacent_self_inverse_pairs(self):
+        qc = QuantumCircuit(2).h(0).h(0).cx(0, 1).cx(0, 1)
+        out = basic_optimization(qc)
+        assert len(out) == 0
+
+    def test_rotation_fusion(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rz(0.4, 0)
+        out = basic_optimization(qc)
+        assert len(out) == 1
+        assert out.gates[0].params[0] == pytest.approx(0.7)
+
+    def test_rotation_fusion_to_identity(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).rz(-0.3, 0)
+        assert len(basic_optimization(qc)) == 0
+
+    def test_full_turn_rotation_dropped(self):
+        qc = QuantumCircuit(1).rz(2 * math.pi, 0)
+        assert len(basic_optimization(qc)) == 0
+
+    def test_named_phase_gates_fuse_with_rz(self):
+        qc = QuantumCircuit(1).t(0).t(0)
+        out = basic_optimization(qc)
+        assert len(out) == 1
+        assert out.gates[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_commutation_through_cx_control(self):
+        # rz on the control commutes through CX, so the two rz gates fuse
+        qc = QuantumCircuit(2).rz(0.3, 0).cx(0, 1).rz(0.4, 0)
+        out = basic_optimization(qc)
+        assert out.count_ops().get("rz", 0) == 1
+
+    def test_commutation_through_cx_target(self):
+        qc = QuantumCircuit(2).rx(0.3, 1).cx(0, 1).rx(0.4, 1)
+        out = basic_optimization(qc)
+        assert out.count_ops().get("rx", 0) == 1
+
+    def test_blocking_gate_prevents_fusion(self):
+        # h on the wire blocks rz from commuting
+        qc = QuantumCircuit(1).rz(0.3, 0).h(0).rz(0.4, 0)
+        out = basic_optimization(qc)
+        assert out.count_ops().get("rz", 0) + out.count_ops().get("rx", 0) >= 2
+
+    def test_cx_cancellation_across_commuting_gate(self):
+        qc = QuantumCircuit(2).cx(0, 1).rz(0.5, 0).cx(0, 1)
+        out = basic_optimization(qc)
+        assert out.count_ops().get("cx", 0) == 0
+
+    def test_symmetric_cz_cancels_with_swapped_operands(self):
+        qc = QuantumCircuit(2).cz(0, 1)
+        qc.add("cz", [1, 0])
+        out = basic_optimization(qc)
+        assert len(out) == 0
+
+    def test_barrier_blocks_everything(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.barrier()
+        qc.h(0)
+        out = cancel_and_fuse_pass(qc)
+        assert out.count_ops().get("h", 0) == 2
+
+
+class TestHadamardConjugation:
+    def test_h_rz_h_becomes_rx(self):
+        qc = QuantumCircuit(1).h(0).rz(0.6, 0).h(0)
+        out = hadamard_conjugation_pass(qc)
+        assert [g.name for g in out] == ["rx"]
+        assert equal_up_to_global_phase(qc.unitary(), out.unitary(), atol=1e-9)
+
+    def test_h_rx_h_becomes_rz(self):
+        qc = QuantumCircuit(1).h(0).rx(0.6, 0).h(0)
+        out = hadamard_conjugation_pass(qc)
+        assert [g.name for g in out] == ["rz"]
+
+    def test_interleaved_other_qubit_untouched(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.5, 0).h(0)
+        out = hadamard_conjugation_pass(qc)
+        # the cx sits between the hadamards on wire 0: no rewrite
+        assert out.count_ops().get("h", 0) == 2
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_preserved(self, seed):
+        qc = random_circuit(4, 40, seed=seed)
+        out = basic_optimization(qc)
+        assert equal_up_to_global_phase(qc.unitary(), out.unitary(), atol=1e-7)
+        assert out.depth() <= qc.depth()
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_peephole_unitary_property(seed):
+    qc = random_circuit(3, 30, seed=seed)
+    out = basic_optimization(qc)
+    assert equal_up_to_global_phase(qc.unitary(), out.unitary(), atol=1e-7)

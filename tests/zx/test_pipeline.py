@@ -1,0 +1,168 @@
+"""End-to-end ZX tests: conversion, simplification, extraction, optimize."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ZXError
+from repro.circuits import (
+    QuantumCircuit,
+    random_circuit,
+    random_clifford_t_circuit,
+)
+from repro.linalg import equal_up_to_global_phase
+from repro.zx import (
+    circuit_to_zx,
+    extract_circuit,
+    full_reduce,
+    optimize_circuit,
+)
+from repro.zx.graph import EdgeType, VertexType
+from repro.zx.simplify import to_graph_like
+from repro.zx.tensor import zx_to_matrix
+
+
+def zx_equal(qc: QuantumCircuit, atol=1e-6) -> bool:
+    g = circuit_to_zx(qc)
+    full_reduce(g)
+    extracted = extract_circuit(g)
+    return equal_up_to_global_phase(qc.unitary(), extracted.unitary(), atol=atol)
+
+
+class TestConversion:
+    def test_ghz_diagram_semantics(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        g = circuit_to_zx(qc)
+        m = zx_to_matrix(g)
+        u = qc.unitary()
+        # align scale on the largest entry
+        idx = np.unravel_index(np.argmax(np.abs(m)), m.shape)
+        scale = m[idx] / u[idx]
+        assert np.allclose(u * scale, m, atol=1e-8)
+
+    def test_boundary_counts(self):
+        qc = random_circuit(4, 10, seed=0)
+        g = circuit_to_zx(qc)
+        assert len(g.inputs) == 4
+        assert len(g.outputs) == 4
+        g.check_well_formed()
+
+    def test_hadamard_becomes_edge(self):
+        qc = QuantumCircuit(1).h(0)
+        g = circuit_to_zx(qc)
+        assert len(g.spiders()) == 0
+        (b_in,) = g.inputs
+        (b_out,) = g.outputs
+        assert g.edge_type(b_in, b_out) == EdgeType.HADAMARD
+
+
+class TestFullReduce:
+    def test_result_is_graph_like(self):
+        qc = random_clifford_t_circuit(4, 40, seed=1)
+        g = circuit_to_zx(qc)
+        full_reduce(g)
+        assert g.is_graph_like()
+
+    def test_clifford_circuit_reduces_hard(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).cx(0, 1).h(0)  # identity
+        g = circuit_to_zx(qc)
+        full_reduce(g)
+        assert len(g.spiders()) <= 2
+
+    def test_removes_all_interior_proper_clifford_spiders(self):
+        # the gadget-free rule set guarantees removal of every interior
+        # ±pi/2 spider (lcomp) and every *adjacent pair* of interior Pauli
+        # spiders (pivot); an isolated interior Pauli spider may survive.
+        qc = random_clifford_t_circuit(3, 30, seed=2)
+        g = circuit_to_zx(qc)
+        full_reduce(g)
+        for v in g.spiders():
+            if g.is_interior(v):
+                assert not g.is_proper_clifford_phase(v)
+                if g.is_pauli_phase(v):
+                    assert not any(
+                        g.is_interior(w) and g.is_pauli_phase(w)
+                        for w in g.neighbors(v)
+                        if not g.is_boundary(w)
+                    )
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_clifford_t_unitary_preserved(self, seed):
+        assert zx_equal(random_clifford_t_circuit(3, 25, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_rotations_preserved(self, seed):
+        assert zx_equal(random_circuit(4, 30, seed=seed))
+
+    def test_bare_wires(self):
+        qc = QuantumCircuit(3)  # identity circuit
+        g = circuit_to_zx(qc)
+        full_reduce(g)
+        extracted = extract_circuit(g)
+        assert np.allclose(extracted.unitary(), np.eye(8))
+
+    def test_swap_network(self):
+        qc = QuantumCircuit(3).swap(0, 1).swap(1, 2)
+        assert zx_equal(qc)
+
+    def test_extraction_requires_graph_like(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        g = circuit_to_zx(qc)  # still has X spiders
+        with pytest.raises(ZXError):
+            extract_circuit(g)
+
+    def test_unbalanced_boundaries_rejected(self):
+        g = circuit_to_zx(QuantumCircuit(2).cx(0, 1))
+        to_graph_like(g)
+        g.remove_vertex(g.inputs[0])
+        with pytest.raises(ZXError):
+            extract_circuit(g)
+
+    def test_extracted_vocabulary(self):
+        qc = random_clifford_t_circuit(3, 20, seed=11)
+        g = circuit_to_zx(qc)
+        full_reduce(g)
+        extracted = extract_circuit(g)
+        assert {gate.name for gate in extracted} <= {"rz", "h", "cz", "cx", "swap"}
+
+
+class TestOptimizeCircuit:
+    def test_never_increases_depth(self):
+        for seed in range(6):
+            qc = random_clifford_t_circuit(4, 40, seed=seed)
+            result = optimize_circuit(qc)
+            assert result.depth_after <= result.depth_before
+
+    def test_identity_heavy_circuit_collapses(self):
+        qc = QuantumCircuit(2)
+        for _ in range(4):
+            qc.cx(0, 1)
+            qc.cx(0, 1)
+        result = optimize_circuit(qc)
+        assert result.depth_after == 0
+
+    def test_reduction_ratio_property(self):
+        qc = random_clifford_t_circuit(5, 60, seed=3)
+        result = optimize_circuit(qc)
+        assert result.depth_reduction >= 1.0
+        assert equal_up_to_global_phase(
+            qc.unitary(), result.circuit.unitary(), atol=1e-6
+        )
+
+    def test_pseudo_ops_dropped(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.measure_all()
+        result = optimize_circuit(qc)
+        assert all(g.is_unitary_op for g in result.circuit)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_zx_pipeline_unitary_property(seed):
+    """Property: full pipeline preserves the unitary up to global phase."""
+    qc = random_clifford_t_circuit(3, 20, seed=seed)
+    result = optimize_circuit(qc)
+    assert equal_up_to_global_phase(qc.unitary(), result.circuit.unitary(), atol=1e-6)

@@ -1,0 +1,249 @@
+"""Semantic tests for individual ZX rewrite rules.
+
+Each rule is applied to a small diagram and the linear map before/after is
+compared (up to global scalar) with the brute-force tensor oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ZXError
+from repro.circuits import QuantumCircuit
+from repro.zx.conversion import circuit_to_zx
+from repro.zx.graph import EdgeType, VertexType, ZXGraph
+from repro.zx.rules import (
+    color_change,
+    fuse_spiders,
+    local_complementation,
+    pivot,
+    remove_identity,
+)
+from repro.zx.simplify import to_graph_like
+from repro.zx.tensor import zx_to_matrix
+
+
+def aligned_equal(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """Equality up to a global non-zero scalar."""
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(a[idx]) < 1e-12:
+        return np.allclose(a, 0, atol=atol) and np.allclose(b, 0, atol=atol)
+    scale = b[idx] / a[idx]
+    return np.allclose(a * scale, b, atol=atol)
+
+
+def check_preserves_semantics(graph: ZXGraph, apply_rule) -> None:
+    before = zx_to_matrix(graph)
+    apply_rule(graph)
+    after = zx_to_matrix(graph)
+    assert aligned_equal(before, after)
+
+
+class TestFusion:
+    def test_fusion_adds_phases(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0)
+        qc.rz(0.4, 0)
+        g = circuit_to_zx(qc)
+        spiders = g.spiders()
+        check_preserves_semantics(g, lambda gr: fuse_spiders(gr, *spiders))
+        (remaining,) = g.spiders()
+        assert g.phase(remaining) == pytest.approx(0.7 / np.pi)
+
+    def test_fusion_requires_same_color(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z)
+        w = g.add_vertex(VertexType.X)
+        g.add_edge(v, w)
+        with pytest.raises(ZXError):
+            fuse_spiders(g, v, w)
+
+    def test_fusion_requires_plain_edge(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z)
+        w = g.add_vertex(VertexType.Z)
+        g.add_edge(v, w, EdgeType.HADAMARD)
+        with pytest.raises(ZXError):
+            fuse_spiders(g, v, w)
+
+    def test_fusion_transfers_neighbors(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.3, 0)
+        qc.cz(0, 1)
+        g = circuit_to_zx(qc)
+        # fuse the rz spider with the cz spider on qubit 0
+        z_spiders = [v for v in g.spiders() if g.type(v) == VertexType.Z]
+        pair = None
+        for v in z_spiders:
+            for w in g.neighbors(v):
+                if (
+                    not g.is_boundary(w)
+                    and g.type(w) == VertexType.Z
+                    and g.edge_type(v, w) == EdgeType.SIMPLE
+                ):
+                    pair = (v, w)
+        assert pair is not None
+        check_preserves_semantics(g, lambda gr: fuse_spiders(gr, *pair))
+
+
+class TestIdentity:
+    def test_zero_phase_spider_removed(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.0, 0)
+        g = circuit_to_zx(qc)
+        (v,) = g.spiders()
+        check_preserves_semantics(g, lambda gr: remove_identity(gr, v))
+        assert len(g.spiders()) == 0
+
+    def test_mixed_edge_types_leave_hadamard(self):
+        g = ZXGraph()
+        b1 = g.add_vertex(VertexType.BOUNDARY)
+        b2 = g.add_vertex(VertexType.BOUNDARY)
+        v = g.add_vertex(VertexType.Z)
+        g.inputs.append(b1)
+        g.outputs.append(b2)
+        g.add_edge(b1, v, EdgeType.HADAMARD)
+        g.add_edge(v, b2, EdgeType.SIMPLE)
+        check_preserves_semantics(g, lambda gr: remove_identity(gr, v))
+        assert g.edge_type(b1, b2) == EdgeType.HADAMARD
+
+    def test_nonzero_phase_rejected(self):
+        qc = QuantumCircuit(1)
+        qc.t(0)
+        g = circuit_to_zx(qc)
+        (v,) = g.spiders()
+        with pytest.raises(ZXError):
+            remove_identity(g, v)
+
+    def test_high_degree_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        g = circuit_to_zx(qc)
+        v = g.spiders()[0]
+        with pytest.raises(ZXError):
+            remove_identity(g, v)
+
+
+class TestColorChange:
+    def test_semantics_preserved(self):
+        qc = QuantumCircuit(2)
+        qc.rx(0.7, 0)
+        qc.cx(0, 1)
+        g = circuit_to_zx(qc)
+        x_spider = next(v for v in g.spiders() if g.type(v) == VertexType.X)
+        check_preserves_semantics(g, lambda gr: color_change(gr, x_spider))
+        assert all(g.type(v) != VertexType.X or v != x_spider for v in g.spiders())
+
+    def test_boundary_rejected(self):
+        g = ZXGraph()
+        b = g.add_vertex(VertexType.BOUNDARY)
+        with pytest.raises(ZXError):
+            color_change(g, b)
+
+
+def _graph_like_from(qc: QuantumCircuit) -> ZXGraph:
+    g = circuit_to_zx(qc)
+    to_graph_like(g)
+    return g
+
+
+class TestLocalComplementation:
+    def _find_candidate(self, g):
+        for v in g.spiders():
+            if (
+                g.is_proper_clifford_phase(v)
+                and g.is_interior(v)
+                and all(
+                    g.edge_type(v, w) == EdgeType.HADAMARD
+                    and g.type(w) == VertexType.Z
+                    for w in g.neighbors(v)
+                )
+            ):
+                return v
+        return None
+
+    def test_semantics_preserved(self):
+        # hand-build a diagram with a genuinely interior ±pi/2 spider:
+        # two wires, each boundary attached to its own spider, and a
+        # central s-spider H-connected to both wire spiders.
+        g = ZXGraph()
+        wires = []
+        for q in range(2):
+            b_in = g.add_vertex(VertexType.BOUNDARY, qubit=q)
+            b_out = g.add_vertex(VertexType.BOUNDARY, qubit=q)
+            spider_in = g.add_vertex(VertexType.Z, phase=0.25, qubit=q)
+            spider_out = g.add_vertex(VertexType.Z, phase=0.75, qubit=q)
+            g.inputs.append(b_in)
+            g.outputs.append(b_out)
+            g.add_edge(b_in, spider_in)
+            g.add_edge(spider_in, spider_out, EdgeType.HADAMARD)
+            g.add_edge(spider_out, b_out)
+            wires.append((spider_in, spider_out))
+        center = g.add_vertex(VertexType.Z, phase=0.5)
+        for spider_in, spider_out in wires:
+            g.add_edge(center, spider_in, EdgeType.HADAMARD)
+            g.add_edge(center, spider_out, EdgeType.HADAMARD)
+        v = self._find_candidate(g)
+        assert v == center
+        check_preserves_semantics(g, lambda gr: local_complementation(gr, v))
+
+    def test_non_clifford_phase_rejected(self):
+        g = ZXGraph()
+        v = g.add_vertex(VertexType.Z, phase=0.25)
+        with pytest.raises(ZXError):
+            local_complementation(g, v)
+
+    def test_boundary_adjacent_rejected(self):
+        qc = QuantumCircuit(1)
+        qc.s(0)
+        g = _graph_like_from(qc)
+        (v,) = g.spiders()
+        with pytest.raises(ZXError):
+            local_complementation(g, v)
+
+
+class TestPivot:
+    def test_semantics_preserved(self):
+        # build an interior Pauli pair via H-conjugated CZ structure
+        qc = QuantumCircuit(3)
+        qc.cz(0, 1)
+        qc.h(0)
+        qc.h(1)
+        qc.cz(0, 1)
+        qc.h(0)
+        qc.h(1)
+        qc.cz(0, 2)
+        qc.cz(1, 2)
+        g = _graph_like_from(qc)
+        candidate = None
+        for u, v, etype in g.edges():
+            if etype != EdgeType.HADAMARD:
+                continue
+            if g.is_boundary(u) or g.is_boundary(v):
+                continue
+            if (
+                g.is_pauli_phase(u)
+                and g.is_pauli_phase(v)
+                and g.is_interior(u)
+                and g.is_interior(v)
+            ):
+                candidate = (u, v)
+                break
+        if candidate is None:
+            pytest.skip("structure produced no interior Pauli pair")
+        check_preserves_semantics(g, lambda gr: pivot(gr, *candidate))
+
+    def test_non_pauli_rejected(self):
+        g = ZXGraph()
+        u = g.add_vertex(VertexType.Z, phase=0.25)
+        v = g.add_vertex(VertexType.Z)
+        g.add_edge(u, v, EdgeType.HADAMARD)
+        with pytest.raises(ZXError):
+            pivot(g, u, v)
+
+    def test_requires_hadamard_edge(self):
+        g = ZXGraph()
+        u = g.add_vertex(VertexType.Z)
+        v = g.add_vertex(VertexType.Z)
+        g.add_edge(u, v, EdgeType.SIMPLE)
+        with pytest.raises(ZXError):
+            pivot(g, u, v)

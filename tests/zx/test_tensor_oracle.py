@@ -1,0 +1,111 @@
+"""Tests for the brute-force ZX tensor oracle itself.
+
+The oracle certifies the rewrite rules, so it must itself be validated
+against the independent circuit simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ZXError
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.zx.conversion import circuit_to_zx
+from repro.zx.graph import EdgeType, VertexType, ZXGraph
+from repro.zx.tensor import zx_to_matrix
+
+
+def aligned_equal(a, b, atol=1e-8):
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(a[idx]) < 1e-12:
+        return False
+    scale = b[idx] / a[idx]
+    return np.allclose(a * scale, b, atol=atol)
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits(self, seed):
+        qc = random_circuit(2, 8, seed=seed)
+        graph = circuit_to_zx(qc)
+        assert aligned_equal(qc.unitary(), zx_to_matrix(graph))
+
+    def test_single_gates(self):
+        for build in (
+            lambda q: q.h(0),
+            lambda q: q.t(0),
+            lambda q: q.rx(0.4, 0),
+            lambda q: q.rz(1.1, 0),
+        ):
+            qc = QuantumCircuit(1)
+            build(qc)
+            assert aligned_equal(qc.unitary(), zx_to_matrix(circuit_to_zx(qc)))
+
+    def test_two_qubit_gates(self):
+        for build in (lambda q: q.cx(0, 1), lambda q: q.cz(0, 1)):
+            qc = QuantumCircuit(2)
+            build(qc)
+            assert aligned_equal(qc.unitary(), zx_to_matrix(circuit_to_zx(qc)))
+
+
+class TestDirectDiagrams:
+    def test_bare_wire(self):
+        g = ZXGraph()
+        b_in = g.add_vertex(VertexType.BOUNDARY)
+        b_out = g.add_vertex(VertexType.BOUNDARY)
+        g.add_edge(b_in, b_out)
+        g.inputs.append(b_in)
+        g.outputs.append(b_out)
+        assert np.allclose(zx_to_matrix(g), np.eye(2))
+
+    def test_hadamard_wire(self):
+        g = ZXGraph()
+        b_in = g.add_vertex(VertexType.BOUNDARY)
+        b_out = g.add_vertex(VertexType.BOUNDARY)
+        g.add_edge(b_in, b_out, EdgeType.HADAMARD)
+        g.inputs.append(b_in)
+        g.outputs.append(b_out)
+        m = zx_to_matrix(g)
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert aligned_equal(h, m)
+
+    def test_x_spider_is_not_z_spider(self):
+        def one_spider(vtype):
+            g = ZXGraph()
+            b_in = g.add_vertex(VertexType.BOUNDARY)
+            b_out = g.add_vertex(VertexType.BOUNDARY)
+            v = g.add_vertex(vtype, phase=0.5)
+            g.add_edge(b_in, v)
+            g.add_edge(v, b_out)
+            g.inputs.append(b_in)
+            g.outputs.append(b_out)
+            return zx_to_matrix(g)
+
+        z = one_spider(VertexType.Z)
+        x = one_spider(VertexType.X)
+        assert not aligned_equal(z, x)
+
+    def test_spider_count_guard(self):
+        g = ZXGraph()
+        b_in = g.add_vertex(VertexType.BOUNDARY)
+        b_out = g.add_vertex(VertexType.BOUNDARY)
+        g.inputs.append(b_in)
+        g.outputs.append(b_out)
+        prev = b_in
+        for _ in range(25):
+            v = g.add_vertex(VertexType.Z)
+            g.add_edge(prev, v)
+            prev = v
+        g.add_edge(prev, b_out)
+        with pytest.raises(ZXError):
+            zx_to_matrix(g)
+
+    def test_state_diagram_no_inputs(self):
+        # a single Z spider wired to one output is the |0> + |1> state
+        g = ZXGraph()
+        b_out = g.add_vertex(VertexType.BOUNDARY)
+        v = g.add_vertex(VertexType.Z)
+        g.add_edge(v, b_out)
+        g.outputs.append(b_out)
+        m = zx_to_matrix(g)
+        assert m.shape == (2, 1)
+        assert abs(m[0, 0]) == pytest.approx(abs(m[1, 0]))
