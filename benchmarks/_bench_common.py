@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro import telemetry
 from repro.config import EPOCConfig, QOCConfig
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -29,8 +30,17 @@ BENCH_EPOC = EPOCConfig(
 )
 
 
-def save_results(name: str, payload) -> None:
-    """Persist a benchmark's data series for EXPERIMENTS.md."""
+def save_results(name: str, payload, attach_metrics: bool = True) -> None:
+    """Persist a benchmark's data series for EXPERIMENTS.md.
+
+    When a metrics registry is installed (the benchmark ran inside
+    ``telemetry.telemetry_session()``), its snapshot rides along under a
+    ``_metrics`` key so runs are attributable to GRAPE-iteration /
+    cache-behaviour differences after the fact.
+    """
+    registry = telemetry.get_metrics()
+    if attach_metrics and registry.enabled and isinstance(payload, dict):
+        payload = {**payload, "_metrics": registry.to_dict()}
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
         json.dump(payload, fh, indent=2, default=float)

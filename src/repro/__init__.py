@@ -14,6 +14,8 @@ Public API highlights
 * :func:`repro.synthesis.synthesize_unitary` — Algorithm 2 (QSearch-style).
 * :class:`repro.core.EPOCPipeline` — the end-to-end EPOC flow.
 * :mod:`repro.baselines` — gate-based, AccQOC-like and PAQOC-like flows.
+* :mod:`repro.telemetry` — tracing, metrics and logging for all of the
+  above (``telemetry.telemetry_session()``, ``--trace`` / ``--metrics``).
 """
 
 from repro._version import __version__

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import networkx as nx
 import numpy as np
 
+from repro import telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
@@ -48,25 +49,34 @@ class AccQOCFlow:
         self, circuit: QuantumCircuit, name: str = "circuit"
     ) -> CompilationReport:
         start = time.perf_counter()
-        native = decompose_to_cx_u3(circuit.without_pseudo_ops())
-        blocks = greedy_partition(
-            native, qubit_limit=2, gate_limit=self.group_gate_limit
-        )
-        items = blocks_as_unitaries(blocks)
+        tracer = telemetry.get_tracer()
+        with tracer.span(
+            "compile", circuit=name, qubits=circuit.num_qubits, method="accqoc"
+        ):
+            with tracer.span("decompose"):
+                native = decompose_to_cx_u3(circuit.without_pseudo_ops())
+            with tracer.span("partition") as span:
+                blocks = greedy_partition(
+                    native, qubit_limit=2, gate_limit=self.group_gate_limit
+                )
+                items = blocks_as_unitaries(blocks)
+                span.set(groups=len(items))
 
-        order = self._mst_order(items)
-        # generate pulses in MST order (cache fills along similar unitaries)
-        pulses = {}
-        for index in order:
-            item = items[index]
-            pulses[index] = self.library.get_pulse(item.matrix, item.qubits)
+            with tracer.span("mst_order", groups=len(items)):
+                order = self._mst_order(items)
+            # generate pulses in MST order (cache fills along similar unitaries)
+            pulses = {}
+            with tracer.span("pulse_generation", items=len(items)):
+                for index in order:
+                    item = items[index]
+                    pulses[index] = self.library.get_pulse(item.matrix, item.qubits)
 
-        schedule = PulseSchedule(circuit.num_qubits)
-        distances: List[float] = []
-        for index, item in enumerate(items):
-            pulse = pulses[index]
-            schedule.add_pulse(pulse, label=f"acc{item.num_qubits}")
-            distances.append(pulse.unitary_distance)
+            schedule = PulseSchedule(circuit.num_qubits)
+            distances: List[float] = []
+            for index, item in enumerate(items):
+                pulse = pulses[index]
+                schedule.add_pulse(pulse, label=f"acc{item.num_qubits}")
+                distances.append(pulse.unitary_distance)
 
         elapsed = time.perf_counter() - start
         return CompilationReport(

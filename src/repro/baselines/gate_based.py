@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
+from repro import telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
@@ -18,6 +19,8 @@ from repro.pulse.hardware import GateLatencyModel
 from repro.pulse.schedule import PulseSchedule
 
 __all__ = ["GateBasedFlow"]
+
+logger = telemetry.get_logger("baselines.gate_based")
 
 
 class GateBasedFlow:
@@ -31,19 +34,31 @@ class GateBasedFlow:
         self, circuit: QuantumCircuit, name: str = "circuit"
     ) -> CompilationReport:
         start = time.perf_counter()
-        native = decompose_to_cx_u3(circuit.without_pseudo_ops())
-        schedule = PulseSchedule(circuit.num_qubits)
-        errors: List[float] = []
-        hw = self.config.hardware
-        for gate in native.gates:
-            duration = self.latency_model.duration(gate)
-            schedule.add_interval(gate.qubits, duration, label=gate.name)
-            if gate.num_qubits == 1:
-                errors.append(hw.one_qubit_gate_error)
-            elif gate.num_qubits == 2:
-                errors.append(hw.two_qubit_gate_error)
-            else:
-                errors.append(hw.three_qubit_gate_error)
+        tracer = telemetry.get_tracer()
+        with tracer.span(
+            "compile", circuit=name, qubits=circuit.num_qubits, method="gate-based"
+        ):
+            with tracer.span("decompose") as span:
+                native = decompose_to_cx_u3(circuit.without_pseudo_ops())
+                span.set(gates=len(native))
+            schedule = PulseSchedule(circuit.num_qubits)
+            errors: List[float] = []
+            hw = self.config.hardware
+            with tracer.span("schedule", gates=len(native)):
+                for gate in native.gates:
+                    duration = self.latency_model.duration(gate)
+                    schedule.add_interval(gate.qubits, duration, label=gate.name)
+                    if gate.num_qubits == 1:
+                        errors.append(hw.one_qubit_gate_error)
+                    elif gate.num_qubits == 2:
+                        errors.append(hw.two_qubit_gate_error)
+                    else:
+                        errors.append(hw.three_qubit_gate_error)
+            logger.info(
+                "gate-based: %d native gates, latency %.1f ns",
+                len(native),
+                schedule.latency,
+            )
         elapsed = time.perf_counter() - start
         return CompilationReport(
             method="gate-based",

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDAG
@@ -60,48 +61,64 @@ class PAQOCFlow:
         self, circuit: QuantumCircuit, name: str = "circuit"
     ) -> CompilationReport:
         start = time.perf_counter()
-        native = decompose_to_cx_u3(circuit.without_pseudo_ops())
-        blocks = greedy_partition(
-            native,
-            qubit_limit=self.pattern_qubit_limit,
-            gate_limit=self.pattern_gate_limit,
-        )
+        tracer = telemetry.get_tracer()
+        with tracer.span(
+            "compile", circuit=name, qubits=circuit.num_qubits, method="paqoc"
+        ):
+            with tracer.span("decompose"):
+                native = decompose_to_cx_u3(circuit.without_pseudo_ops())
+            with tracer.span("partition") as span:
+                blocks = greedy_partition(
+                    native,
+                    qubit_limit=self.pattern_qubit_limit,
+                    gate_limit=self.pattern_gate_limit,
+                )
+                span.set(blocks=len(blocks))
 
-        # -- pattern mining: canonical keys over block contents ----------
-        keys = [self._block_key(block) for block in blocks]
-        frequency = Counter(keys)
+            # -- pattern mining: canonical keys over block contents ----------
+            with tracer.span("pattern_mining") as span:
+                keys = [self._block_key(block) for block in blocks]
+                frequency = Counter(keys)
+                span.set(distinct_patterns=len(frequency))
 
-        # -- criticality analysis over the weighted DAG ------------------
-        dag = CircuitDAG(native)
-        weights = dag.critical_path_weights(self.latency_model.duration)
-        block_criticality = self._block_criticality(native, blocks, weights)
+            # -- criticality analysis over the weighted DAG ------------------
+            with tracer.span("criticality"):
+                dag = CircuitDAG(native)
+                weights = dag.critical_path_weights(self.latency_model.duration)
+                block_criticality = self._block_criticality(native, blocks, weights)
 
-        schedule = PulseSchedule(circuit.num_qubits)
-        distances: List[float] = []
-        custom_gates = 0
-        calibrated_gates = 0
-        hw = self.config.hardware
-        for block, key in zip(blocks, keys):
-            profitable = (
-                frequency[key] >= self.min_pattern_frequency
-                or block_criticality[block.index] >= self.criticality_threshold
-            )
-            if profitable and block.num_gates >= 2:
-                pulse = self.library.get_pulse(block.unitary(), block.qubits)
-                schedule.add_pulse(pulse, label="pattern")
-                distances.append(pulse.unitary_distance)
-                custom_gates += 1
-            else:
-                for gate in block.circuit.gates:
-                    global_qubits = tuple(block.qubits[q] for q in gate.qubits)
-                    duration = self.latency_model.duration(gate)
-                    schedule.add_interval(global_qubits, duration, label=gate.name)
-                    distances.append(
-                        hw.one_qubit_gate_error
-                        if gate.num_qubits == 1
-                        else hw.two_qubit_gate_error
+            schedule = PulseSchedule(circuit.num_qubits)
+            distances: List[float] = []
+            custom_gates = 0
+            calibrated_gates = 0
+            hw = self.config.hardware
+            with tracer.span("pulse_generation", blocks=len(blocks)):
+                for block, key in zip(blocks, keys):
+                    profitable = (
+                        frequency[key] >= self.min_pattern_frequency
+                        or block_criticality[block.index]
+                        >= self.criticality_threshold
                     )
-                    calibrated_gates += 1
+                    if profitable and block.num_gates >= 2:
+                        pulse = self.library.get_pulse(block.unitary(), block.qubits)
+                        schedule.add_pulse(pulse, label="pattern")
+                        distances.append(pulse.unitary_distance)
+                        custom_gates += 1
+                    else:
+                        for gate in block.circuit.gates:
+                            global_qubits = tuple(
+                                block.qubits[q] for q in gate.qubits
+                            )
+                            duration = self.latency_model.duration(gate)
+                            schedule.add_interval(
+                                global_qubits, duration, label=gate.name
+                            )
+                            distances.append(
+                                hw.one_qubit_gate_error
+                                if gate.num_qubits == 1
+                                else hw.two_qubit_gate_error
+                            )
+                            calibrated_gates += 1
 
         elapsed = time.perf_counter() - start
         return CompilationReport(

@@ -4,11 +4,14 @@ Usage::
 
     python -m repro.cli compile circuit.qasm --flow epoc
     python -m repro.cli compile circuit.qasm --flow gate-based --render
+    python -m repro.cli compile circuit.qasm --trace t.json --metrics m.json
     python -m repro.cli optimize circuit.qasm          # ZX pass only
     python -m repro.cli info circuit.qasm              # structure report
 
 Flows: ``epoc`` (default), ``epoc-nogroup``, ``gate-based``, ``accqoc``,
-``paqoc``.
+``paqoc``.  Every subcommand accepts ``-v``/``--log-level`` and
+``--log-json``; ``compile`` additionally takes ``--trace FILE`` (Chrome
+trace-event JSON, open in Perfetto) and ``--metrics FILE``.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import argparse
 import sys
 from typing import Optional
 
+from repro import telemetry
 from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
 from repro.circuits import QuantumCircuit
 from repro.config import EPOCConfig, QOCConfig
@@ -26,13 +30,42 @@ from repro.exceptions import ReproError
 __all__ = ["main", "build_parser"]
 
 
+def _logging_parent() -> argparse.ArgumentParser:
+    """Shared logging flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v: INFO, -vv: DEBUG)",
+    )
+    parent.add_argument(
+        "--log-level",
+        default=None,
+        type=str.upper,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        metavar="LEVEL",
+        help="explicit log level for the repro.* hierarchy (overrides -v)",
+    )
+    parent.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines instead of text",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EPOC pulse-generation toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    logging_parent = _logging_parent()
 
-    compile_cmd = sub.add_parser("compile", help="compile a QASM file to pulses")
+    compile_cmd = sub.add_parser(
+        "compile", help="compile a QASM file to pulses", parents=[logging_parent]
+    )
     compile_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
     compile_cmd.add_argument(
         "--flow",
@@ -55,14 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--render", action="store_true", help="print an ASCII schedule"
     )
+    compile_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (open in Perfetto)",
+    )
+    compile_cmd.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write counters/gauges/histograms as JSON",
+    )
 
-    optimize_cmd = sub.add_parser("optimize", help="run only the ZX optimization")
+    optimize_cmd = sub.add_parser(
+        "optimize", help="run only the ZX optimization", parents=[logging_parent]
+    )
     optimize_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
     optimize_cmd.add_argument(
         "--emit", action="store_true", help="print the optimized circuit as QASM"
     )
 
-    info_cmd = sub.add_parser("info", help="report circuit structure")
+    info_cmd = sub.add_parser(
+        "info", help="report circuit structure", parents=[logging_parent]
+    )
     info_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
     return parser
 
@@ -92,7 +141,15 @@ def _run_compile(args) -> int:
         flow = PAQOCFlow(config)
     else:
         flow = EPOCPipeline(config, use_regrouping=args.flow == "epoc")
-    report = flow.compile(circuit, name=args.qasm)
+    if args.trace or args.metrics:
+        with telemetry.telemetry_session() as (tracer, registry):
+            report = flow.compile(circuit, name=args.qasm)
+        if args.trace:
+            tracer.export(args.trace)
+        if args.metrics:
+            registry.export(args.metrics)
+    else:
+        report = flow.compile(circuit, name=args.qasm)
     print(report.summary_row())
     for key, value in sorted(report.stats.items()):
         print(f"  {key}: {value:g}")
@@ -134,6 +191,12 @@ def _run_info(args) -> int:
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    level = args.log_level
+    if level is None and args.verbose:
+        level = "DEBUG" if args.verbose >= 2 else "INFO"
+    telemetry.configure_logging(
+        level=level, json_output=True if args.log_json else None
+    )
     try:
         if args.command == "compile":
             return _run_compile(args)

@@ -63,6 +63,22 @@ class HardwareConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs (see :mod:`repro.telemetry`).
+
+    ``log_level=None`` leaves logging untouched so library users keep
+    control of their own handlers; the ``REPRO_LOG_LEVEL`` /
+    ``REPRO_LOG_JSON`` environment variables and the CLI flags override.
+    """
+
+    #: logging level for the ``repro.*`` hierarchy ("DEBUG", "INFO", ...);
+    #: ``None`` means do not configure logging at all.
+    log_level: Optional[str] = None
+    #: emit one JSON object per log line instead of human-readable text.
+    log_json: bool = False
+
+
+@dataclass(frozen=True)
 class EPOCConfig:
     """Top-level knobs of the EPOC pipeline."""
 
@@ -91,6 +107,7 @@ class EPOCConfig:
     cache_global_phase: bool = True
     qoc: QOCConfig = field(default_factory=QOCConfig)
     hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def with_updates(self, **kwargs) -> "EPOCConfig":
         """Functional update helper (the dataclass is frozen)."""

@@ -41,10 +41,23 @@ class CompilationReport:
     #: free-form per-flow statistics (cache hits, zx depth, block counts...)
     stats: Dict[str, float] = field(default_factory=dict)
 
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Pulse-library hit rate in [0, 1], or ``None`` for flows without
+        a cache (e.g. gate-based) or when no lookups happened."""
+        hits = self.stats.get("cache_hits")
+        misses = self.stats.get("cache_misses")
+        if hits is None or misses is None or hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
     def summary_row(self) -> str:
         """One formatted row for benchmark tables."""
+        rate = self.cache_hit_rate
+        cache = f"{100.0 * rate:5.1f}%" if rate is not None else "   --"
         return (
             f"{self.circuit_name:<12} {self.method:<12} "
             f"{self.latency_ns:>10.1f} ns  fidelity={self.fidelity:.4f}  "
-            f"compile={self.compile_seconds:.2f}s  pulses={self.pulse_count}"
+            f"compile={self.compile_seconds:.2f}s  pulses={self.pulse_count}  "
+            f"cache={cache}"
         )

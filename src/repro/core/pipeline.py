@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
@@ -34,6 +35,8 @@ from repro.synthesis import synthesize_block
 from repro.zx.optimize import optimize_circuit
 
 __all__ = ["EPOCPipeline"]
+
+logger = telemetry.get_logger("core.pipeline")
 
 
 class EPOCPipeline:
@@ -51,6 +54,11 @@ class EPOCPipeline:
             match_global_phase=self.config.cache_global_phase,
         )
         self.use_regrouping = use_regrouping
+        if self.config.telemetry.log_level is not None:
+            telemetry.configure_logging(
+                level=self.config.telemetry.log_level,
+                json_output=self.config.telemetry.log_json,
+            )
 
     def compile(
         self, circuit: QuantumCircuit, name: str = "circuit"
@@ -58,75 +66,128 @@ class EPOCPipeline:
         """Run the full pipeline and return the schedule + metrics."""
         start = time.perf_counter()
         config = self.config
+        tracer = telemetry.get_tracer()
+        metrics = telemetry.get_metrics()
         stats = {}
 
-        work = circuit.without_pseudo_ops()
-        depth_input = work.depth()
+        with tracer.span(
+            "compile", circuit=name, qubits=circuit.num_qubits, method="epoc"
+        ):
+            metrics.inc("pipeline.compiles")
+            work = circuit.without_pseudo_ops()
+            depth_input = work.depth()
 
-        if config.use_zx:
-            zx_result = optimize_circuit(work)
-            work = zx_result.circuit
-            stats["zx_depth_before"] = float(zx_result.depth_before)
-            stats["zx_depth_after"] = float(zx_result.depth_after)
-            stats["zx_rewrites"] = float(zx_result.rewrites)
-
-        if config.route_to_chain:
-            from repro.circuits.routing import route_to_line
-
-            routed = route_to_line(decompose_to_cx_u3(work))
-            work = routed.circuit
-            stats["routing_swaps"] = float(routed.swap_count)
-
-        # gates wider than a partition block must be decomposed to basis
-        # gates first (the paper's flow partitions basis-gate circuits)
-        if any(g.num_qubits > config.partition_qubit_limit for g in work.gates):
-            work = decompose_to_cx_u3(work)
-
-        blocks = greedy_partition(
-            work,
-            qubit_limit=config.partition_qubit_limit,
-            gate_limit=config.partition_gate_limit,
-        )
-        stats["partition_blocks"] = float(len(blocks))
-
-        if config.use_synthesis:
-            blocks = [
-                synthesize_block(
-                    block,
-                    threshold=config.synthesis_threshold,
-                    max_cnots=config.synthesis_max_layers,
+            if config.use_zx:
+                with tracer.span("zx") as span:
+                    zx_result = optimize_circuit(work)
+                    span.set(
+                        depth_before=zx_result.depth_before,
+                        depth_after=zx_result.depth_after,
+                        rewrites=zx_result.rewrites,
+                    )
+                work = zx_result.circuit
+                stats["zx_depth_before"] = float(zx_result.depth_before)
+                stats["zx_depth_after"] = float(zx_result.depth_after)
+                stats["zx_rewrites"] = float(zx_result.rewrites)
+                logger.info(
+                    "zx: depth %d -> %d (%d rewrites)",
+                    zx_result.depth_before,
+                    zx_result.depth_after,
+                    zx_result.rewrites,
                 )
-                for block in blocks
-            ]
 
-        flat = _flatten_blocks(blocks, circuit.num_qubits)
-        stats["post_synthesis_gates"] = float(len(flat))
-        stats["post_synthesis_depth"] = float(flat.depth())
+            if config.route_to_chain:
+                from repro.circuits.routing import route_to_line
 
-        # synthesis yields u3+cx only, but with use_synthesis=False a wide
-        # named gate (e.g. ccx) can reach this point; widen the limit so
-        # regrouping can still absorb it as its own unitary.
-        widest = max((g.num_qubits for g in flat.gates), default=1)
-        if self.use_regrouping:
-            items = regroup_circuit(
-                flat,
-                qubit_limit=max(config.regroup_qubit_limit, widest),
-                gate_limit=config.regroup_gate_limit,
+                with tracer.span("route") as span:
+                    routed = route_to_line(decompose_to_cx_u3(work))
+                    span.set(swaps=routed.swap_count)
+                work = routed.circuit
+                stats["routing_swaps"] = float(routed.swap_count)
+
+            # gates wider than a partition block must be decomposed to basis
+            # gates first (the paper's flow partitions basis-gate circuits)
+            if any(g.num_qubits > config.partition_qubit_limit for g in work.gates):
+                work = decompose_to_cx_u3(work)
+
+            with tracer.span("partition") as span:
+                blocks = greedy_partition(
+                    work,
+                    qubit_limit=config.partition_qubit_limit,
+                    gate_limit=config.partition_gate_limit,
+                )
+                span.set(blocks=len(blocks))
+            stats["partition_blocks"] = float(len(blocks))
+            for block in blocks:
+                metrics.observe("partition.block_gates", block.num_gates)
+                metrics.observe("partition.block_qubits", len(block.qubits))
+            logger.info("partition: %d blocks from %d gates", len(blocks), len(work))
+
+            if config.use_synthesis:
+                with tracer.span("synthesis", blocks=len(blocks)):
+                    synthesized = []
+                    for block in blocks:
+                        with tracer.span(
+                            "synthesize_block",
+                            block=block.index,
+                            qubits=list(block.qubits),
+                        ):
+                            synthesized.append(
+                                synthesize_block(
+                                    block,
+                                    threshold=config.synthesis_threshold,
+                                    max_cnots=config.synthesis_max_layers,
+                                )
+                            )
+                    blocks = synthesized
+
+            flat = _flatten_blocks(blocks, circuit.num_qubits)
+            stats["post_synthesis_gates"] = float(len(flat))
+            stats["post_synthesis_depth"] = float(flat.depth())
+
+            # synthesis yields u3+cx only, but with use_synthesis=False a wide
+            # named gate (e.g. ccx) can reach this point; widen the limit so
+            # regrouping can still absorb it as its own unitary.
+            widest = max((g.num_qubits for g in flat.gates), default=1)
+            with tracer.span("regroup") as span:
+                if self.use_regrouping:
+                    items = regroup_circuit(
+                        flat,
+                        qubit_limit=max(config.regroup_qubit_limit, widest),
+                        gate_limit=config.regroup_gate_limit,
+                    )
+                else:
+                    # ablation: one QOC problem per fine-grained gate
+                    items = regroup_circuit(flat, qubit_limit=widest, gate_limit=1)
+                span.set(items=len(items))
+            stats["qoc_items"] = float(len(items))
+            for item in items:
+                metrics.observe("regroup.unitary_qubits", item.num_qubits)
+
+            schedule = PulseSchedule(circuit.num_qubits)
+            distances: List[float] = []
+            with tracer.span("pulse_generation", items=len(items)):
+                for index, item in enumerate(items):
+                    with tracer.span(
+                        "pulse", item=index, qubits=list(item.qubits)
+                    ) as span:
+                        pulse = self.library.get_pulse(item.matrix, item.qubits)
+                        span.set(duration_ns=pulse.duration)
+                    schedule.add_pulse(pulse, label=f"u{item.num_qubits}")
+                    distances.append(pulse.unitary_distance)
+            stats["cache_hits"] = float(self.library.hits)
+            stats["cache_misses"] = float(self.library.misses)
+            stats["depth_input"] = float(depth_input)
+            logger.info(
+                "pulse generation: %d items, cache hit rate %.0f%%",
+                len(items),
+                100.0 * self.library.hit_rate,
             )
-        else:
-            # ablation: one QOC problem per fine-grained gate
-            items = regroup_circuit(flat, qubit_limit=widest, gate_limit=1)
-        stats["qoc_items"] = float(len(items))
 
-        schedule = PulseSchedule(circuit.num_qubits)
-        distances: List[float] = []
-        for item in items:
-            pulse = self.library.get_pulse(item.matrix, item.qubits)
-            schedule.add_pulse(pulse, label=f"u{item.num_qubits}")
-            distances.append(pulse.unitary_distance)
-        stats["cache_hits"] = float(self.library.hits)
-        stats["cache_misses"] = float(self.library.misses)
-        stats["depth_input"] = float(depth_input)
+        # fold the telemetry registry into the report so benchmark scripts
+        # see GRAPE/search statistics without holding the registry
+        if metrics.enabled:
+            stats.update(metrics.flat())
 
         elapsed = time.perf_counter() - start
         return CompilationReport(

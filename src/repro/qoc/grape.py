@@ -16,11 +16,14 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import minimize
 
+from repro import telemetry
 from repro.config import QOCConfig
 from repro.exceptions import QOCError
 from repro.qoc.hamiltonian import TransmonChain
 
 __all__ = ["GrapeResult", "grape_optimize", "propagate"]
+
+logger = telemetry.get_logger("qoc.grape")
 
 
 @dataclass(frozen=True)
@@ -166,24 +169,44 @@ def grape_optimize(
     bounds = [(-config.max_amplitude, config.max_amplitude)] * (
         num_controls * num_segments
     )
-    result = minimize(
-        objective,
-        u0.ravel(),
-        jac=True,
-        method="L-BFGS-B",
-        bounds=bounds,
-        options={"maxiter": config.max_iterations, "ftol": 1e-12, "gtol": 1e-10},
+    with telemetry.get_tracer().span(
+        "grape", segments=num_segments, dim=dim
+    ) as span:
+        result = minimize(
+            objective,
+            u0.ravel(),
+            jac=True,
+            method="L-BFGS-B",
+            bounds=bounds,
+            options={"maxiter": config.max_iterations, "ftol": 1e-12, "gtol": 1e-10},
+        )
+        u_final = result.x.reshape(num_controls, num_segments)
+        final_unitary = propagate(drift, controls_h, u_final, dt)
+        overlap = np.trace(target_dag @ final_unitary)
+        fidelity = float(abs(overlap) ** 2 / dim**2)
+        converged = fidelity >= config.fidelity_threshold
+        span.set(
+            iterations=iteration_count[0],
+            fidelity=round(fidelity, 6),
+            converged=converged,
+        )
+    metrics = telemetry.get_metrics()
+    metrics.inc("grape.runs")
+    metrics.inc("grape.converged" if converged else "grape.not_converged")
+    metrics.observe("grape.iterations", iteration_count[0])
+    logger.debug(
+        "grape: %d segments, %d iterations, fidelity %.6f (%s)",
+        num_segments,
+        iteration_count[0],
+        fidelity,
+        "converged" if converged else "not converged",
     )
-    u_final = result.x.reshape(num_controls, num_segments)
-    final_unitary = propagate(drift, controls_h, u_final, dt)
-    overlap = np.trace(target_dag @ final_unitary)
-    fidelity = float(abs(overlap) ** 2 / dim**2)
     return GrapeResult(
         controls=u_final,
         fidelity=fidelity,
         final_unitary=final_unitary,
         iterations=iteration_count[0],
-        converged=fidelity >= config.fidelity_threshold,
+        converged=converged,
         dt=dt,
     )
 

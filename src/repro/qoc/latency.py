@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import QOCConfig
 from repro.exceptions import QOCError
 from repro.linalg.unitary import global_phase_align
@@ -23,6 +24,8 @@ from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.pulse import Pulse
 
 __all__ = ["minimal_latency_pulse", "estimate_initial_segments"]
+
+logger = telemetry.get_logger("qoc.latency")
 
 
 def estimate_initial_segments(
@@ -63,56 +66,79 @@ def minimal_latency_pulse(
             f"target of shape {target.shape} does not act on {num_qubits} qubits"
         )
     hardware = hardware or TransmonChain(num_qubits)
+    metrics = telemetry.get_metrics()
 
-    # phase 1: double until success
-    segments = estimate_initial_segments(target, hardware, config)
-    best: Optional[GrapeResult] = None
-    last_fail = 0
-    warm: Optional[np.ndarray] = None
-    while segments <= config.max_segments:
-        result = grape_optimize(
-            target, hardware, segments, config=config, initial_controls=warm
-        )
-        warm = result.controls
-        if result.converged:
-            best = result
-            break
-        last_fail = segments
-        segments *= 2
-    if best is None:
-        # one last attempt at the hard cap
-        if last_fail < config.max_segments:
+    with telemetry.get_tracer().span(
+        "qoc.pulse_search", qubits=num_qubits
+    ) as search_span:
+        # phase 1: double until success
+        segments = estimate_initial_segments(target, hardware, config)
+        best: Optional[GrapeResult] = None
+        last_fail = 0
+        warm: Optional[np.ndarray] = None
+        while segments <= config.max_segments:
+            metrics.inc("qoc.search_probes")
             result = grape_optimize(
-                target, hardware, config.max_segments, config=config,
-                initial_controls=warm,
+                target, hardware, segments, config=config, initial_controls=warm
             )
+            warm = result.controls
             if result.converged:
                 best = result
-                segments = config.max_segments
+                break
+            last_fail = segments
+            segments *= 2
         if best is None:
-            raise QOCError(
-                f"no pulse under {config.max_segments * config.dt:.0f} ns reached "
-                f"fidelity {config.fidelity_threshold} for a {num_qubits}-qubit target"
+            # one last attempt at the hard cap
+            if last_fail < config.max_segments:
+                metrics.inc("qoc.search_probes")
+                result = grape_optimize(
+                    target, hardware, config.max_segments, config=config,
+                    initial_controls=warm,
+                )
+                if result.converged:
+                    best = result
+                    segments = config.max_segments
+            if best is None:
+                metrics.inc("qoc.search_failures")
+                raise QOCError(
+                    f"no pulse under {config.max_segments * config.dt:.0f} ns reached "
+                    f"fidelity {config.fidelity_threshold} for a {num_qubits}-qubit target"
+                )
+
+        # phase 2: binary search between last failure and the success
+        low, high = last_fail, segments
+        best_result = best
+        while high - low > max(1, int(0.1 * high)):
+            mid = (low + high) // 2
+            metrics.inc("qoc.search_probes")
+            metrics.inc("qoc.binary_search_steps")
+            result = grape_optimize(
+                target,
+                hardware,
+                mid,
+                config=config,
+                initial_controls=best_result.controls,
             )
+            if result.converged:
+                best_result = result
+                high = mid
+            else:
+                low = mid
 
-    # phase 2: binary search between last failure and the success
-    low, high = last_fail, segments
-    best_result = best
-    while high - low > max(1, int(0.1 * high)):
-        mid = (low + high) // 2
-        result = grape_optimize(
-            target,
-            hardware,
-            mid,
-            config=config,
-            initial_controls=best_result.controls,
+        search_span.set(
+            segments=best_result.controls.shape[1],
+            duration_ns=best_result.duration,
+            fidelity=round(best_result.fidelity, 6),
         )
-        if result.converged:
-            best_result = result
-            high = mid
-        else:
-            low = mid
 
+    metrics.observe("qoc.pulse_duration_ns", best_result.duration)
+    metrics.observe("qoc.pulse_segments", best_result.controls.shape[1])
+    logger.info(
+        "pulse search: %d-qubit target -> %.1f ns at fidelity %.4f",
+        num_qubits,
+        best_result.duration,
+        best_result.fidelity,
+    )
     achieved = global_phase_align(target, best_result.final_unitary)
     distance = float(np.linalg.norm(target - achieved, ord=2))
     return Pulse(

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import QOCConfig
 from repro.exceptions import QOCError
 from repro.qoc.hamiltonian import TransmonChain
@@ -25,6 +26,8 @@ from repro.qoc.latency import minimal_latency_pulse
 from repro.qoc.pulse import Pulse
 
 __all__ = ["PulseLibrary", "unitary_cache_key"]
+
+logger = telemetry.get_logger("qoc.library")
 
 
 def unitary_cache_key(
@@ -82,11 +85,15 @@ class PulseLibrary:
             bytes([num_qubits])
             + unitary_cache_key(matrix, global_phase=self.match_global_phase)
         )
+        metrics = telemetry.get_metrics()
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            metrics.inc("library.hits")
+            logger.debug("cache hit for %d-qubit unitary on %s", num_qubits, qubits)
             return cached.on_qubits(qubits)
         self.misses += 1
+        metrics.inc("library.misses")
         pulse = minimal_latency_pulse(
             matrix,
             tuple(range(num_qubits)),
@@ -94,6 +101,7 @@ class PulseLibrary:
             hardware=self.hardware_for(num_qubits),
         )
         self._entries[key] = pulse
+        metrics.gauge("library.size", len(self._entries))
         return pulse.on_qubits(qubits)
 
     def __len__(self) -> int:
@@ -142,6 +150,9 @@ class PulseLibrary:
             )
         if replace:
             self._entries.clear()
+            # hit/miss counts described the discarded entries; hit_rate
+            # must reflect only the library being loaded now
+            self.clear_statistics()
         count = 0
         for entry in payload.get("entries", ()):
             key = bytes.fromhex(entry["key"])

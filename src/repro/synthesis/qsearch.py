@@ -16,6 +16,7 @@ from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import SynthesisError
 from repro.circuits.circuit import QuantumCircuit
 from repro.linalg.decompose import euler_decompose_u3
@@ -23,6 +24,22 @@ from repro.synthesis.instantiate import instantiate
 from repro.synthesis.vug import VUGTemplate
 
 __all__ = ["SynthesisResult", "qsearch_synthesize"]
+
+logger = telemetry.get_logger("synthesis.qsearch")
+
+
+def _record_outcome(result: "SynthesisResult") -> "SynthesisResult":
+    metrics = telemetry.get_metrics()
+    metrics.inc("synthesis.qsearch.calls")
+    metrics.observe("synthesis.qsearch.nodes_expanded", result.nodes_expanded)
+    metrics.observe("synthesis.qsearch.cnot_count", result.cnot_count)
+    logger.debug(
+        "qsearch: %d CNOTs at distance %.2e (%d nodes expanded)",
+        result.cnot_count,
+        result.distance,
+        result.nodes_expanded,
+    )
+    return result
 
 
 @dataclass(frozen=True)
@@ -63,6 +80,35 @@ def qsearch_synthesize(
     all ordered pairs — all-to-all connectivity).
     """
     target = np.asarray(target, dtype=complex)
+    with telemetry.get_tracer().span("qsearch", dim=target.shape[0]) as span:
+        try:
+            result = _qsearch_search(
+                target,
+                threshold=threshold,
+                max_cnots=max_cnots,
+                max_nodes=max_nodes,
+                heuristic_weight=heuristic_weight,
+                restarts=restarts,
+                seed=seed,
+                couplings=couplings,
+            )
+        except SynthesisError:
+            telemetry.get_metrics().inc("synthesis.qsearch.failures")
+            raise
+        span.set(cnots=result.cnot_count, nodes_expanded=result.nodes_expanded)
+        return _record_outcome(result)
+
+
+def _qsearch_search(
+    target: np.ndarray,
+    threshold: float,
+    max_cnots: int,
+    max_nodes: int,
+    heuristic_weight: float,
+    restarts: int,
+    seed: int,
+    couplings: Optional[List[Tuple[int, int]]],
+) -> SynthesisResult:
     dim = target.shape[0]
     num_qubits = int(dim).bit_length() - 1
     if 2**num_qubits != dim:

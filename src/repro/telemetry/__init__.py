@@ -1,0 +1,112 @@
+"""Observability for the EPOC pipeline: tracing, metrics and logging.
+
+Three coordinated pieces (see README "Observability"):
+
+* :class:`Tracer` — nestable wall-clock spans, exported as Chrome
+  trace-event JSON (open in Perfetto or ``chrome://tracing``).
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms, exported as flat JSON.
+* :func:`configure_logging` — the ``repro.*`` stdlib-logging hierarchy
+  with an optional structured JSON formatter.
+
+Instrumented code always reports to the *installed* recorders via
+:func:`get_tracer` / :func:`get_metrics`; the defaults are permanently
+disabled no-ops, so the pipeline pays near-zero overhead until a caller
+opts in::
+
+    with telemetry.telemetry_session() as (tracer, registry):
+        report = EPOCPipeline(config).compile(circuit)
+    tracer.export("trace.json")
+    registry.export("metrics.json")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.telemetry.logs import (
+    ENV_LOG_JSON,
+    ENV_LOG_LEVEL,
+    JsonLogFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.telemetry.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "NULL_TRACER",
+    "NULL_METRICS",
+    "JsonLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "ENV_LOG_LEVEL",
+    "ENV_LOG_JSON",
+    "get_tracer",
+    "get_metrics",
+    "set_tracer",
+    "set_metrics",
+    "telemetry_session",
+]
+
+_tracer: Tracer = NULL_TRACER
+_metrics: MetricsRegistry = NULL_METRICS
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (a disabled no-op by default)."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The currently installed metrics registry (disabled by default)."""
+    return _metrics
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` globally; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous one."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+    return previous
+
+
+@contextmanager
+def telemetry_session(
+    trace: bool = True, metrics: bool = True
+) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Install fresh enabled recorders for the duration of the block.
+
+    The previous recorders are restored on exit; the yielded tracer and
+    registry stay readable/exportable afterwards.  The tracer is wired to
+    the registry so every closed span also lands in a
+    ``span.<name>.seconds`` histogram.
+    """
+    registry = MetricsRegistry() if metrics else NULL_METRICS
+    tracer = Tracer(metrics=registry if metrics else None) if trace else NULL_TRACER
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(registry)
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)

@@ -1,0 +1,115 @@
+"""The ``repro.*`` logging hierarchy and its structured JSON formatter.
+
+Every module logs through :func:`get_logger`, which parents all loggers
+under the ``repro`` root.  Nothing is emitted until
+:func:`configure_logging` installs a handler — from the CLI flags
+(``-v/--log-level``, ``--log-json``), from
+``EPOCConfig.telemetry``, or from the environment::
+
+    REPRO_LOG_LEVEL=DEBUG REPRO_LOG_JSON=1 python -m repro.cli compile ...
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO, Optional, Union
+
+__all__ = [
+    "ROOT_LOGGER",
+    "ENV_LOG_LEVEL",
+    "ENV_LOG_JSON",
+    "JsonLogFormatter",
+    "get_logger",
+    "configure_logging",
+]
+
+ROOT_LOGGER = "repro"
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+ENV_LOG_JSON = "REPRO_LOG_JSON"
+
+#: handler name used to find/replace our handler on reconfiguration
+_HANDLER_NAME = "repro-telemetry"
+
+#: LogRecord attributes that are plumbing, not user payload
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (e.g. ``repro.qoc.grape``).
+
+    Pass the dotted suffix (``"qoc.grape"``) or a full ``repro.*`` name;
+    with no argument, the hierarchy root itself.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def _env_truthy(value: str) -> bool:
+    return value.strip().lower() in ("1", "true", "yes", "on")
+
+
+def configure_logging(
+    level: Optional[Union[int, str]] = None,
+    json_output: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the handler on the ``repro`` root logger.
+
+    Arguments left as ``None`` fall back to the ``REPRO_LOG_LEVEL`` /
+    ``REPRO_LOG_JSON`` environment variables, then to ``WARNING`` /
+    human-readable text.  Reconfiguration is idempotent: the previous
+    telemetry handler is replaced, never stacked.
+    """
+    if level is None:
+        level = os.environ.get(ENV_LOG_LEVEL, "WARNING")
+    if json_output is None:
+        json_output = _env_truthy(os.environ.get(ENV_LOG_JSON, ""))
+    if isinstance(level, str):
+        level = level.upper()
+        if level not in logging.getLevelNamesMapping():
+            # a typo'd REPRO_LOG_LEVEL must not crash library users
+            level = "WARNING"
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.set_name(_HANDLER_NAME)
+    if json_output:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    for existing in list(logger.handlers):
+        if existing.get_name() == _HANDLER_NAME:
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,172 @@
+"""Counters, gauges and fixed-bucket histograms for the EPOC pipeline.
+
+A :class:`MetricsRegistry` is a flat, name-keyed store::
+
+    registry.inc("library.hits")
+    registry.gauge("library.size", len(lib))
+    registry.observe("grape.iterations", result.iterations)
+
+``to_dict()`` renders everything as plain JSON (the ``--metrics FILE``
+CLI output); ``flat()`` collapses the same data to ``{name: float}``
+pairs suitable for ``CompilationReport.stats``.  A disabled registry
+turns every method into an early return so instrumented hot loops pay
+one truth test when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "MetricsRegistry", "NULL_METRICS", "DEFAULT_BUCKETS"]
+
+#: Generic 1-2-5 geometric bucket ladder; wide enough for iteration
+#: counts, node expansions and nanosecond durations alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max running stats."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        #: one slot per upper bound plus a final +inf overflow slot
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        buckets = {f"le_{bound:g}": count
+                   for bound, count in zip(self.bounds, self.bucket_counts)}
+        buckets["le_inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, name-keyed counters, gauges and histograms."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the named counter (created at 0)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest value."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        """Record ``value`` into the named histogram.
+
+        ``buckets`` fixes the bucket bounds on first use for that name and
+        is ignored afterwards (bounds are immutable once observations
+        exist).
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+        histogram.observe(value)
+
+    # -- reading ---------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> float:
+        return self._gauges.get(name, 0.0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Everything in the registry, as plain JSON-ready data."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: h.to_dict() for name, h in self._histograms.items()
+                },
+            }
+
+    def flat(self) -> Dict[str, float]:
+        """Collapse to ``{name: float}`` for ``CompilationReport.stats``.
+
+        Histograms contribute ``<name>.count`` / ``.mean`` / ``.max``.
+        """
+        with self._lock:
+            out: Dict[str, float] = dict(self._counters)
+            out.update(self._gauges)
+            for name, histogram in self._histograms.items():
+                out[f"{name}.count"] = float(histogram.count)
+                out[f"{name}.mean"] = histogram.mean
+                out[f"{name}.max"] = histogram.max if histogram.count else 0.0
+        return out
+
+    def reset(self) -> None:
+        """Drop every recorded value (bucket layouts included)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def export(self, path: str) -> None:
+        """Write ``to_dict()`` as JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, default=float)
+
+
+#: The installed-by-default registry: permanently disabled, records nothing.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -1,0 +1,207 @@
+"""Span-based tracing for the EPOC pipeline.
+
+A :class:`Tracer` records a tree of nestable, wall-clock spans::
+
+    with tracer.span("synthesis", block=3) as span:
+        ...
+        span.set(cnots=5)
+
+Span trees export as Chrome trace-event JSON ("complete" / ``ph="X"``
+events), loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  A disabled tracer hands out a shared no-op span so
+the instrumented hot paths cost one method call and a truth test when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_TRACER"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values into something ``json.dump`` accepts."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class Span:
+    """One timed region: name, attributes, children, start/end seconds."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end", "tid")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: List[Span] = []
+        self.start = 0.0
+        self.end = 0.0
+        self.tid = 0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit (0 while open)."""
+        if self.end <= self.start:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendant spans (including self) with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.2f} ms, {self.attributes})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self._span = Span(name, attributes)
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Records nested spans; one per telemetry session.
+
+    When ``metrics`` is set, every closed span also feeds a
+    ``span.<name>.seconds`` histogram in that registry, so stage-duration
+    statistics are available without walking the trace tree.
+    """
+
+    def __init__(self, enabled: bool = True, metrics=None):
+        self.enabled = enabled
+        self.metrics = metrics
+        self.roots: List[Span] = []
+        self._origin = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a nested span; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, attributes)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        span.start = time.perf_counter()
+        span.tid = threading.get_ident()
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if self.metrics is not None:
+            self.metrics.observe(f"span.{span.name}.seconds", span.duration)
+
+    # -- inspection ------------------------------------------------------
+
+    def walk(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
+        for root in list(self.roots):
+            yield from root.walk()
+
+    def span_names(self) -> List[str]:
+        """Every distinct span name recorded, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for span in self.walk():
+            seen.setdefault(span.name)
+        return list(seen)
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The trace tree as a Chrome trace-event JSON object.
+
+        Emits "complete" events (``ph="X"``) with microsecond timestamps
+        relative to tracer creation; thread ids are compacted to small
+        integers so Perfetto draws one track per thread.
+        """
+        now = time.perf_counter()
+        tids: Dict[int, int] = {}
+        events: List[Dict[str, Any]] = []
+        for span in self.walk():
+            end = span.end if span.end > span.start else now
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (span.start - self._origin) * 1e6,
+                    "dur": max(0.0, end - span.start) * 1e6,
+                    "pid": 0,
+                    "tid": tids.setdefault(span.tid, len(tids)),
+                    "args": {k: _jsonable(v) for k, v in span.attributes.items()},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> None:
+        """Write the Chrome trace-event JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+
+#: The installed-by-default tracer: permanently disabled, records nothing.
+NULL_TRACER = Tracer(enabled=False)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Set, Tuple
 
+from repro import telemetry
 from repro.zx.graph import EdgeType, VertexType, ZXGraph, PHASE_TOL
 from repro.zx.rules import (
     color_change,
@@ -38,6 +39,13 @@ __all__ = [
     "clifford_simp",
     "full_reduce",
 ]
+
+
+def _count_rewrites(rule: str, applied: int) -> int:
+    """Feed the per-rule rewrite counters; passes ``applied`` through."""
+    if applied:
+        telemetry.get_metrics().inc(f"zx.rewrites.{rule}", applied)
+    return applied
 
 
 def _is_zero_phase(graph: ZXGraph, v: int) -> bool:
@@ -69,7 +77,7 @@ def spider_simp(graph: ZXGraph, seed: Iterable[Tuple[int, int]] = None) -> int:
         for u in graph.neighbors(v):
             if graph.edge_type(v, u) == EdgeType.SIMPLE:
                 work.append((v, u))
-    return applied
+    return _count_rewrites("spider", applied)
 
 
 def _identity_candidate(graph: ZXGraph, v: int) -> bool:
@@ -100,7 +108,7 @@ def id_simp(graph: ZXGraph, seed: Iterable[int] = None) -> int:
         for u in neighbors:
             if graph.has_vertex(u):
                 work.append(u)
-    return applied
+    return _count_rewrites("id", applied)
 
 
 def to_graph_like(graph: ZXGraph) -> None:
@@ -143,7 +151,7 @@ def lcomp_simp(graph: ZXGraph, seed: Iterable[int] = None) -> int:
         local_complementation(graph, v)
         applied += 1
         work.extend(neighbors)
-    return applied
+    return _count_rewrites("lcomp", applied)
 
 
 def _pivot_candidate(graph: ZXGraph, u: int, v: int) -> bool:
@@ -183,7 +191,7 @@ def pivot_simp(graph: ZXGraph, seed: Iterable[Tuple[int, int]] = None) -> int:
                 continue
             for x in graph.neighbors(w):
                 work.append((w, x))
-    return applied
+    return _count_rewrites("pivot", applied)
 
 
 def boundary_pivot_simp(graph: ZXGraph) -> int:
@@ -232,7 +240,7 @@ def boundary_pivot_simp(graph: ZXGraph) -> int:
             applied += 1
             changed = True
             break
-    return applied
+    return _count_rewrites("boundary_pivot", applied)
 
 
 def interior_clifford_simp(graph: ZXGraph) -> int:
@@ -265,8 +273,10 @@ def full_reduce(graph: ZXGraph, quiet: bool = True) -> int:
     Returns the number of rule applications.  The input graph is modified
     in place; callers that need the original should pass ``graph.copy()``.
     """
-    to_graph_like(graph)
-    applied = clifford_simp(graph)
+    with telemetry.get_tracer().span("zx.full_reduce") as span:
+        to_graph_like(graph)
+        applied = clifford_simp(graph)
+        span.set(rewrites=applied)
     if not quiet:  # pragma: no cover - debug aid
         print(f"full_reduce: {applied} rewrites, {graph!r}")
     return applied

@@ -55,6 +55,23 @@ class TestCompilationReport:
         assert "x" not in b.stats
 
 
+class TestCacheHitRateColumn:
+    def test_rate_from_stats(self):
+        report = make_report(stats={"cache_hits": 3.0, "cache_misses": 1.0})
+        assert report.cache_hit_rate == pytest.approx(0.75)
+        assert "cache= 75.0%" in report.summary_row()
+
+    def test_no_cache_stats_shows_placeholder(self):
+        report = make_report(stats={})
+        assert report.cache_hit_rate is None
+        assert "cache=" in report.summary_row()
+        assert "%" not in report.summary_row().split("cache=")[1]
+
+    def test_zero_lookups_is_none(self):
+        report = make_report(stats={"cache_hits": 0.0, "cache_misses": 0.0})
+        assert report.cache_hit_rate is None
+
+
 class TestESPProperties:
     def test_monotone_in_each_term(self):
         assert esp_fidelity([0.1, 0.1]) > esp_fidelity([0.1, 0.2])

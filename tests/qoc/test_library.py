@@ -44,6 +44,55 @@ class TestCacheKey:
         assert unitary_cache_key(u) == unitary_cache_key(noisy)
 
 
+class TestCacheKeyEdgeCases:
+    def test_signed_zero_with_phase_folding_disabled(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex)
+        b = np.array([[1.0, -0.0], [-0.0, 1.0]], dtype=complex)
+        assert unitary_cache_key(a, global_phase=False) == unitary_cache_key(
+            b, global_phase=False
+        )
+
+    def test_signed_zero_after_phase_rotation(self, rng):
+        # the phase rotation itself can mint -0.0 components; keys for a
+        # matrix and its exact copy must still agree
+        u = np.exp(0.75j) * random_unitary(4, rng)
+        assert unitary_cache_key(u) == unitary_cache_key(u.copy())
+
+    def test_near_zero_pivot_skips_rotation(self):
+        # every entry below the 1e-12 pivot floor: the fold is skipped and
+        # no divide-by-zero warning or NaN leaks into the key
+        tiny = np.full((2, 2), 1e-13 + 1e-13j)
+        with np.errstate(all="raise"):
+            key = unitary_cache_key(tiny, global_phase=True)
+        assert isinstance(key, bytes)
+        assert key == unitary_cache_key(tiny.copy(), global_phase=True)
+
+    def test_near_zero_pivot_phase_not_folded(self):
+        # with the rotation skipped, a phase-rotated copy keys differently
+        # even in global-phase mode (there is no pivot to align on);
+        # decimals=15 keeps the 1e-13 entries from rounding away
+        tiny = np.diag([1e-13, 1e-13]).astype(complex)
+        rotated = np.exp(1.1j) * tiny
+        assert unitary_cache_key(
+            tiny, global_phase=True, decimals=15
+        ) != unitary_cache_key(rotated, global_phase=True, decimals=15)
+
+    def test_zero_matrix_keys_cleanly(self):
+        zero = np.zeros((2, 2), dtype=complex)
+        with np.errstate(all="raise"):
+            assert unitary_cache_key(zero) == unitary_cache_key(zero.copy())
+
+    def test_phase_collides_only_when_enabled(self, rng):
+        u = random_unitary(2, rng)
+        v = np.exp(0.4j) * u
+        assert unitary_cache_key(u, global_phase=True) == unitary_cache_key(
+            v, global_phase=True
+        )
+        assert unitary_cache_key(u, global_phase=False) != unitary_cache_key(
+            v, global_phase=False
+        )
+
+
 class TestPulseObject:
     def test_duration(self):
         p = Pulse((0,), np.zeros((2, 7)), dt=0.5, fidelity=1.0, unitary_distance=0.0)
@@ -110,3 +159,32 @@ class TestPulseLibrary:
     def test_hardware_models_cached(self, fast_qoc):
         lib = PulseLibrary(config=fast_qoc)
         assert lib.hardware_for(2) is lib.hardware_for(2)
+
+    def test_load_replace_resets_statistics(self, fast_qoc, tmp_path):
+        # hit_rate after load(replace=True) must describe the loaded
+        # library, not the discarded one (regression test)
+        source = PulseLibrary(config=fast_qoc)
+        source.get_pulse(gate_matrix("x"), (0,))
+        path = str(tmp_path / "lib.json")
+        source.save(path)
+
+        lib = PulseLibrary(config=fast_qoc)
+        lib.get_pulse(gate_matrix("x"), (0,))
+        lib.get_pulse(gate_matrix("x"), (0,))
+        assert lib.hits == 1 and lib.misses == 1
+
+        assert lib.load(path, replace=True) == 1
+        assert lib.hits == 0
+        assert lib.misses == 0
+        assert lib.hit_rate == 0.0
+
+    def test_load_merge_keeps_statistics(self, fast_qoc, tmp_path):
+        source = PulseLibrary(config=fast_qoc)
+        source.get_pulse(gate_matrix("x"), (0,))
+        path = str(tmp_path / "lib.json")
+        source.save(path)
+
+        lib = PulseLibrary(config=fast_qoc)
+        lib.get_pulse(gate_matrix("h"), (0,))
+        lib.load(path, replace=False)
+        assert lib.misses == 1

@@ -1,0 +1,182 @@
+"""End-to-end telemetry tests: CLI export, pipeline spans, no-op overhead.
+
+These are the acceptance tests of the observability subsystem: a compile
+with ``--trace``/``--metrics`` must produce a parseable Chrome
+trace-event file with nested spans for every pipeline stage plus a
+metrics JSON with cache, GRAPE-iteration and stage-duration entries, and
+the disabled (default) recorders must cost a negligible fraction of even
+a small compile.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.circuits import QuantumCircuit
+from repro.cli import main
+from repro.config import EPOCConfig
+from repro.core import EPOCPipeline
+from repro.workloads import ghz_state
+
+
+@pytest.fixture
+def fresh_globals():
+    """Guarantee the default no-op recorders around a test."""
+    previous_tracer = telemetry.set_tracer(None)
+    previous_metrics = telemetry.set_metrics(None)
+    yield
+    telemetry.set_tracer(previous_tracer)
+    telemetry.set_metrics(previous_metrics)
+
+
+#: stages every EPOC compile trace must contain (the acceptance list)
+EXPECTED_SPANS = {
+    "compile",
+    "zx",
+    "partition",
+    "synthesis",
+    "synthesize_block",
+    "regroup",
+    "pulse_generation",
+    "pulse",
+    "qoc.pulse_search",
+    "grape",
+}
+
+
+class TestCLIExport:
+    def test_compile_writes_trace_and_metrics(self, tmp_path, fresh_globals, capsys):
+        qasm = tmp_path / "ghz5.qasm"
+        qasm.write_text(ghz_state(5).to_qasm())
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        code = main(
+            [
+                "compile",
+                str(qasm),
+                "--qubit-limit",
+                "2",
+                "--fidelity",
+                "0.98",
+                "--trace",
+                str(trace_path),
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"]
+        names = {event["name"] for event in events}
+        assert EXPECTED_SPANS <= names
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+
+        metrics = json.loads(metrics_path.read_text())
+        counters = metrics["counters"]
+        histograms = metrics["histograms"]
+        # cache entries
+        assert counters["library.misses"] >= 1
+        assert "library.hits" in counters or counters["library.misses"] > 0
+        # GRAPE-iteration entries
+        assert histograms["grape.iterations"]["count"] >= 1
+        assert counters["grape.runs"] >= 1
+        # stage-duration entries (fed by the tracer->metrics bridge)
+        for stage in ("compile", "zx", "partition", "pulse_generation"):
+            assert histograms[f"span.{stage}.seconds"]["count"] >= 1
+
+        # the default recorders were restored after the session
+        assert not telemetry.get_tracer().enabled
+        assert not telemetry.get_metrics().enabled
+
+    def test_compile_without_flags_writes_nothing(self, tmp_path, capsys):
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text(QuantumCircuit(2).h(0).cx(0, 1).to_qasm())
+        code = main(
+            ["compile", str(qasm), "--qubit-limit", "2", "--fidelity", "0.98"]
+        )
+        assert code == 0
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestPipelineTelemetry:
+    def test_stats_populated_from_registry(self, fast_epoc, fresh_globals):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        with telemetry.telemetry_session() as (tracer, registry):
+            report = EPOCPipeline(fast_epoc).compile(circuit)
+        assert report.stats["grape.runs"] >= 1.0
+        assert report.stats["grape.iterations.count"] >= 1.0
+        assert report.stats["library.misses"] == report.stats["cache_misses"]
+        # span tree: compile is the root and owns every stage
+        roots = [span.name for span in tracer.roots]
+        assert roots == ["compile"]
+        assert set(tracer.span_names()) >= {"partition", "pulse_generation"}
+        assert registry.counter("pipeline.compiles") == 1.0
+
+    def test_session_restores_previous_recorders(self, fresh_globals):
+        with telemetry.telemetry_session() as (tracer, registry):
+            assert telemetry.get_tracer() is tracer
+            assert telemetry.get_metrics() is registry
+        assert not telemetry.get_tracer().enabled
+        assert not telemetry.get_metrics().enabled
+
+
+class TestNoOpOverhead:
+    def test_disabled_recorders_add_under_five_percent(self, fast_epoc):
+        """A disabled span/metric call must be negligible next to a compile.
+
+        A small compile performs on the order of a few hundred telemetry
+        calls; we time 20x that and require it to stay under 5% of the
+        compile itself.
+        """
+        tracer = telemetry.get_tracer()
+        metrics = telemetry.get_metrics()
+        assert not tracer.enabled and not metrics.enabled
+
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).t(1).cx(0, 1)
+        start = time.perf_counter()
+        EPOCPipeline(fast_epoc).compile(circuit)
+        compile_seconds = time.perf_counter() - start
+
+        operations = 5_000
+        start = time.perf_counter()
+        for index in range(operations):
+            with tracer.span("stage", index=index):
+                pass
+            metrics.inc("counter")
+            metrics.observe("histogram", index)
+        noop_seconds = time.perf_counter() - start
+
+        assert noop_seconds < 0.05 * compile_seconds, (
+            f"{operations} disabled telemetry ops took {noop_seconds:.4f}s, "
+            f">5% of a {compile_seconds:.3f}s compile"
+        )
+
+
+def test_save_results_attaches_metrics(tmp_path, monkeypatch, fresh_globals):
+    import importlib.util
+    import os
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_common",
+        os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks",
+                     "_bench_common.py"),
+    )
+    bench_common = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_common)
+    monkeypatch.setattr(bench_common, "RESULTS_DIR", str(tmp_path))
+
+    with telemetry.telemetry_session():
+        telemetry.get_metrics().inc("bench.counter", 3)
+        bench_common.save_results("demo", {"series": [1, 2]})
+    payload = json.loads((tmp_path / "demo.json").read_text())
+    assert payload["series"] == [1, 2]
+    assert payload["_metrics"]["counters"]["bench.counter"] == 3.0
+
+    # without a session, no metrics key is attached
+    bench_common.save_results("plain", {"series": []})
+    assert "_metrics" not in json.loads((tmp_path / "plain.json").read_text())

@@ -1,0 +1,70 @@
+"""Tests for the repro.* logging hierarchy and JSON formatter."""
+
+import io
+import json
+import logging
+
+from repro.telemetry import configure_logging, get_logger
+from repro.telemetry.logs import ENV_LOG_JSON, ENV_LOG_LEVEL, ROOT_LOGGER
+
+
+def teardown_function(_function):
+    # leave the global logging state clean for the rest of the suite
+    root = logging.getLogger(ROOT_LOGGER)
+    root.handlers = [h for h in root.handlers if h.get_name() != "repro-telemetry"]
+    root.setLevel(logging.NOTSET)
+
+
+class TestHierarchy:
+    def test_suffix_is_parented_under_repro(self):
+        assert get_logger("qoc.grape").name == "repro.qoc.grape"
+        assert get_logger().name == "repro"
+
+    def test_full_name_not_doubled(self):
+        assert get_logger("repro.zx").name == "repro.zx"
+
+
+class TestConfigureLogging:
+    def test_level_and_text_output(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", json_output=False, stream=stream)
+        get_logger("test").info("hello %s", "world")
+        get_logger("test").debug("invisible")
+        output = stream.getvalue()
+        assert "hello world" in output
+        assert "repro.test" in output
+        assert "invisible" not in output
+
+    def test_json_output_parses(self):
+        stream = io.StringIO()
+        configure_logging(level="DEBUG", json_output=True, stream=stream)
+        get_logger("qoc").debug("grape done", extra={"iterations": 42})
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "DEBUG"
+        assert record["logger"] == "repro.qoc"
+        assert record["message"] == "grape done"
+        assert record["iterations"] == 42
+        assert isinstance(record["ts"], float)
+
+    def test_reconfiguration_replaces_handler(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", stream=stream)
+        configure_logging(level="INFO", stream=stream)
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_env_fallbacks(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG_LEVEL, "DEBUG")
+        monkeypatch.setenv(ENV_LOG_JSON, "1")
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("env").debug("from env")
+        record = json.loads(stream.getvalue().strip())
+        assert record["message"] == "from env"
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_LOG_LEVEL, "DEBUG")
+        stream = io.StringIO()
+        configure_logging(level="ERROR", stream=stream)
+        get_logger("env").warning("suppressed")
+        assert stream.getvalue() == ""

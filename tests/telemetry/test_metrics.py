@@ -1,0 +1,103 @@
+"""Tests for the metrics registry: counters, gauges, histograms, export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Histogram, MetricsRegistry
+from repro.telemetry.metrics import NULL_METRICS
+
+
+class TestCounters:
+    def test_inc_defaults_and_values(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        assert registry.counter("hits") == 5.0
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0.0
+
+
+class TestGauges:
+    def test_gauge_keeps_latest(self):
+        registry = MetricsRegistry()
+        registry.gauge("size", 3)
+        registry.gauge("size", 7)
+        assert registry.gauge_value("size") == 7.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_inclusive(self):
+        histogram = Histogram(buckets=(1, 10, 100))
+        for value in (1, 10, 100, 101):
+            histogram.observe(value)
+        # upper bounds are inclusive; 101 overflows to +inf
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+
+    def test_running_stats(self):
+        histogram = Histogram(buckets=(10,))
+        for value in (2, 4, 6):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.min == 2
+        assert histogram.max == 6
+
+    def test_to_dict_shape(self):
+        histogram = Histogram(buckets=(1, 2))
+        histogram.observe(1.5)
+        data = histogram.to_dict()
+        assert data["count"] == 1
+        assert data["buckets"] == {"le_1": 0, "le_2": 1, "le_inf": 0}
+
+    def test_registry_buckets_fixed_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe("x", 5, buckets=(10, 20))
+        registry.observe("x", 15, buckets=(1,))  # ignored
+        assert registry.histogram("x").bounds == (10.0, 20.0)
+
+
+class TestExportAndFlat:
+    def test_flat_collapses_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.gauge("g", 9)
+        registry.observe("h", 3)
+        registry.observe("h", 5)
+        flat = registry.flat()
+        assert flat["c"] == 2.0
+        assert flat["g"] == 9.0
+        assert flat["h.count"] == 2.0
+        assert flat["h.mean"] == pytest.approx(4.0)
+        assert flat["h.max"] == 5.0
+
+    def test_export_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.observe("iters", 42)
+        path = tmp_path / "metrics.json"
+        registry.export(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["hits"] == 1.0
+        assert payload["histograms"]["iters"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.gauge("g", 1)
+        registry.observe("h", 1)
+        registry.reset()
+        assert registry.to_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDisabledRegistry:
+    def test_all_writes_are_noops(self):
+        NULL_METRICS.inc("c")
+        NULL_METRICS.gauge("g", 1)
+        NULL_METRICS.observe("h", 1)
+        assert NULL_METRICS.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

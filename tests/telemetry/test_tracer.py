@@ -1,0 +1,123 @@
+"""Tests for the span tracer and its Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, Tracer
+from repro.telemetry.tracer import NULL_TRACER, _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_root_and_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_duration_positive_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert inner.duration >= 0.0
+        assert outer.duration >= inner.duration
+
+    def test_attributes_at_open_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", block=3) as span:
+            span.set(cnots=5)
+        assert tracer.roots[0].attributes == {"block": 3, "cnots": 5}
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert tracer.span_names() == ["a", "b"]
+        assert len(tracer.roots[0].find("b")) == 2
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.roots[0].end > 0.0
+        # the stack unwound: the next span is a root, not a child of boom
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["boom", "after"]
+
+
+class TestDisabledTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.set(more=2)
+        assert NULL_TRACER.roots == []
+
+    def test_null_span_is_shared(self):
+        assert NULL_TRACER.span("a") is _NULL_SPAN
+        assert NULL_TRACER.span("b") is _NULL_SPAN
+
+
+class TestChromeExport:
+    def test_event_shape(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("compile", circuit="demo", qubits=3):
+            with tracer.span("zx"):
+                pass
+        path = tmp_path / "trace.json"
+        tracer.export(str(path))
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert [e["name"] for e in events] == ["compile", "zx"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        assert events[0]["args"] == {"circuit": "demo", "qubits": 3}
+        # the child nests inside the parent's [ts, ts+dur) window
+        parent, child = events
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1.0
+
+    def test_non_json_attributes_coerced(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", qubits=(0, 1), obj=object()):
+            pass
+        trace = tracer.to_chrome_trace()
+        args = trace["traceEvents"][0]["args"]
+        assert args["qubits"] == [0, 1]
+        assert isinstance(args["obj"], str)
+        json.dumps(trace)  # must be serializable end to end
+
+
+class TestMetricsBridge:
+    def test_span_durations_feed_histograms(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry)
+        with tracer.span("stage"):
+            pass
+        histogram = registry.histogram("span.stage.seconds")
+        assert histogram is not None
+        assert histogram.count == 1

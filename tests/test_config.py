@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro import EPOCConfig, __version__
-from repro.config import FAST_TEST_CONFIG, HardwareConfig, QOCConfig
+from repro.config import FAST_TEST_CONFIG, HardwareConfig, QOCConfig, TelemetryConfig
 from repro.exceptions import (
     CircuitError,
     PartitionError,
@@ -35,6 +35,15 @@ class TestConfigs:
         assert updated.use_zx is False
         assert updated.partition_qubit_limit == 5
         assert base.use_zx is True  # original untouched
+
+    def test_telemetry_defaults_leave_logging_alone(self):
+        config = EPOCConfig()
+        assert config.telemetry.log_level is None
+        assert config.telemetry.log_json is False
+        updated = config.with_updates(
+            telemetry=TelemetryConfig(log_level="INFO", log_json=True)
+        )
+        assert updated.telemetry.log_level == "INFO"
 
     def test_nested_config_replacement(self):
         config = EPOCConfig().with_updates(qoc=QOCConfig(dt=2.0))
