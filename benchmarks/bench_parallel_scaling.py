@@ -1,0 +1,157 @@
+"""Parallel-compilation scaling: wall-clock compile time vs worker count.
+
+EPOC's synthesis and pulse-generation stages are embarrassingly parallel
+(one task per partition block, one QOC problem per distinct regrouped
+unitary).  This benchmark compiles a multi-block workload with ≥ 8
+distinct QOC items at ``workers ∈ {0, 1, 2, 4}`` and records the speedup
+over the serial path, plus how much work singleflight deduplication
+saved.  Determinism is asserted, not assumed: every worker setting must
+produce a bitwise-identical schedule.
+
+Speedup is hardware-bound — the ≥ 2x-at-4-workers assertion only fires
+when the machine actually exposes 4+ cores (a 1-core CI box can only
+demonstrate correctness, not scaling).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import EPOCConfig, ParallelConfig, QOCConfig
+from repro.core import EPOCPipeline
+from repro.qoc import PulseLibrary
+from repro.workloads import ising_trotter, qaoa_maxcut, vqe_uccsd_like
+
+from _bench_common import save_results
+
+#: QOC settings sized so one compile is seconds, not minutes, while each
+#: distinct unitary still costs a real GRAPE binary search.
+SCALING_QOC = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.99,
+    max_iterations=60,
+    min_segments=2,
+    max_segments=200,
+)
+
+SCALING_EPOC = EPOCConfig(
+    partition_qubit_limit=2,
+    partition_gate_limit=8,
+    synthesis_max_layers=6,
+    regroup_qubit_limit=2,
+    regroup_gate_limit=6,
+    qoc=SCALING_QOC,
+)
+
+#: Distinct rotation angles per program give a workload with many unique
+#: regrouped unitaries (the parallelizable QOC work).
+WORKLOAD = {
+    "qaoa5x2": lambda: qaoa_maxcut(5, layers=2, seed=7),
+    "vqe4": lambda: vqe_uccsd_like(4, seed=13),
+    "ising4": lambda: ising_trotter(4, steps=2, seed=9),
+}
+
+WORKER_SETTINGS = (0, 1, 2, 4)
+
+
+def _compile_suite(workers: int) -> Dict[str, object]:
+    """Compile the whole workload at one worker setting, fresh library."""
+    config = SCALING_EPOC.with_updates(parallel=ParallelConfig(workers=workers))
+    library = PulseLibrary(config=SCALING_QOC)
+    pipeline = EPOCPipeline(config, library=library)
+    reports = {}
+    started = time.perf_counter()
+    for name, build in WORKLOAD.items():
+        reports[name] = pipeline.compile(build(), name)
+    elapsed = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "elapsed_s": elapsed,
+        "reports": reports,
+        "library_size": len(library),
+        "qoc_items": sum(r.stats["qoc_items"] for r in reports.values()),
+        "unique_qoc_items": sum(
+            r.stats["unique_qoc_items"] for r in reports.values()
+        ),
+    }
+
+
+def _schedules_bitwise_equal(a, b) -> bool:
+    for name in WORKLOAD:
+        items_a = a["reports"][name].schedule.items
+        items_b = b["reports"][name].schedule.items
+        if len(items_a) != len(items_b):
+            return False
+        for x, y in zip(items_a, items_b):
+            if x.qubits != y.qubits or x.start != y.start or x.end != y.end:
+                return False
+            if (x.pulse is None) != (y.pulse is None):
+                return False
+            if x.pulse is not None and not np.array_equal(
+                x.pulse.controls, y.pulse.controls
+            ):
+                return False
+    return True
+
+
+def test_parallel_scaling(benchmark):
+    """Compile wall-clock at 0/1/2/4 workers + determinism check."""
+    runs: List[Dict[str, object]] = benchmark.pedantic(
+        lambda: [_compile_suite(workers) for workers in WORKER_SETTINGS],
+        rounds=1,
+        iterations=1,
+    )
+    serial = runs[0]
+    assert serial["library_size"] >= 8, (
+        "workload must pose >= 8 distinct QOC items, got "
+        f"{serial['library_size']}"
+    )
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    print(f"\nParallel scaling — {serial['qoc_items']:.0f} QOC items "
+          f"({serial['unique_qoc_items']:.0f} unique), {cores} usable cores")
+    print(f"{'workers':>8}{'compile (s)':>13}{'speedup':>9}{'identical':>11}")
+    rows = []
+    for run in runs:
+        speedup = serial["elapsed_s"] / run["elapsed_s"]
+        identical = _schedules_bitwise_equal(serial, run)
+        rows.append(
+            {
+                "workers": run["workers"],
+                "elapsed_s": run["elapsed_s"],
+                "speedup_vs_serial": speedup,
+                "bitwise_identical": identical,
+                "qoc_items": run["qoc_items"],
+                "unique_qoc_items": run["unique_qoc_items"],
+            }
+        )
+        print(
+            f"{run['workers']:>8}{run['elapsed_s']:>13.2f}{speedup:>9.2f}"
+            f"{str(identical):>11}"
+        )
+        # the determinism guarantee holds at every worker count
+        assert identical, f"workers={run['workers']} diverged from serial"
+
+    save_results(
+        "parallel_scaling",
+        {
+            "usable_cores": cores,
+            "qoc_items": serial["qoc_items"],
+            "unique_qoc_items": serial["unique_qoc_items"],
+            "rows": rows,
+        },
+    )
+
+    # scaling itself needs real cores; a 1-core box can only prove
+    # correctness and overhead, not speedup
+    if cores >= 4:
+        four = next(r for r in rows if r["workers"] == 4)
+        assert four["speedup_vs_serial"] >= 2.0, (
+            "expected >= 2x speedup at 4 workers, got "
+            f"{four['speedup_vs_serial']:.2f}x"
+        )

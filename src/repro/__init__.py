@@ -19,6 +19,6 @@ Public API highlights
 """
 
 from repro._version import __version__
-from repro.config import EPOCConfig
+from repro.config import EPOCConfig, ParallelConfig
 
-__all__ = ["__version__", "EPOCConfig"]
+__all__ = ["__version__", "EPOCConfig", "ParallelConfig"]

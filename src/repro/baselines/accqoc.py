@@ -21,6 +21,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
 from repro.core.metrics import CompilationReport, esp_fidelity
 from repro.linalg.unitary import hs_distance
+from repro.parallel import ParallelExecutor
 from repro.partition.greedy import greedy_partition
 from repro.partition.regroup import RegroupedUnitary, blocks_as_unitaries
 from repro.pulse.schedule import PulseSchedule
@@ -39,10 +40,12 @@ class AccQOCFlow:
         group_gate_limit: int = 8,
     ):
         self.config = config or EPOCConfig()
-        # AccQOC matches unitaries exactly (no global-phase folding)
-        self.library = library or PulseLibrary(
-            config=self.config.qoc, match_global_phase=False
-        )
+        # AccQOC matches unitaries exactly (no global-phase folding);
+        # ``library or ...`` would discard an empty caller-supplied
+        # library (PulseLibrary defines __len__, so empty is falsy)
+        if library is None:
+            library = PulseLibrary(config=self.config.qoc, match_global_phase=False)
+        self.library = library
         self.group_gate_limit = group_gate_limit
 
     def compile(
@@ -50,7 +53,8 @@ class AccQOCFlow:
     ) -> CompilationReport:
         start = time.perf_counter()
         tracer = telemetry.get_tracer()
-        with tracer.span(
+        executor = ParallelExecutor.from_config(self.config.parallel)
+        with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="accqoc"
         ):
             with tracer.span("decompose"):
@@ -66,10 +70,24 @@ class AccQOCFlow:
                 order = self._mst_order(items)
             # generate pulses in MST order (cache fills along similar unitaries)
             pulses = {}
-            with tracer.span("pulse_generation", items=len(items)):
-                for index in order:
-                    item = items[index]
-                    pulses[index] = self.library.get_pulse(item.matrix, item.qubits)
+            with tracer.span(
+                "pulse_generation", items=len(items), workers=executor.workers
+            ):
+                if executor.is_parallel:
+                    # singleflight keeps one QOC problem per distinct
+                    # unitary; the MST ordering only dictated cache-fill
+                    # order, which dedup-before-dispatch subsumes
+                    batch = self.library.get_pulses(
+                        [(items[i].matrix, items[i].qubits) for i in order],
+                        executor=executor,
+                    )
+                    pulses = dict(zip(order, batch))
+                else:
+                    for index in order:
+                        item = items[index]
+                        pulses[index] = self.library.get_pulse(
+                            item.matrix, item.qubits
+                        )
 
             schedule = PulseSchedule(circuit.num_qubits)
             distances: List[float] = []
@@ -90,6 +108,13 @@ class AccQOCFlow:
             pulse_count=len(items),
             stats={
                 "groups": float(len(items)),
+                "qoc_items": float(len(items)),
+                "unique_qoc_items": float(
+                    len({
+                        self.library.key_for(item.matrix, item.num_qubits)
+                        for item in items
+                    })
+                ),
                 "cache_hits": float(self.library.hits),
                 "cache_misses": float(self.library.misses),
             },

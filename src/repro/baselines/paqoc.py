@@ -26,6 +26,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDAG
 from repro.circuits.transpile import decompose_to_cx_u3
 from repro.core.metrics import CompilationReport, esp_fidelity
+from repro.parallel import ParallelExecutor
 from repro.partition.block import CircuitBlock
 from repro.partition.greedy import greedy_partition
 from repro.pulse.hardware import GateLatencyModel
@@ -48,9 +49,11 @@ class PAQOCFlow:
         criticality_threshold: float = 0.65,
     ):
         self.config = config or EPOCConfig()
-        self.library = library or PulseLibrary(
-            config=self.config.qoc, match_global_phase=False
-        )
+        # ``library or ...`` would discard an empty caller-supplied
+        # library (PulseLibrary defines __len__, so empty is falsy)
+        if library is None:
+            library = PulseLibrary(config=self.config.qoc, match_global_phase=False)
+        self.library = library
         self.pattern_qubit_limit = pattern_qubit_limit
         self.pattern_gate_limit = pattern_gate_limit
         self.min_pattern_frequency = min_pattern_frequency
@@ -62,7 +65,8 @@ class PAQOCFlow:
     ) -> CompilationReport:
         start = time.perf_counter()
         tracer = telemetry.get_tracer()
-        with tracer.span(
+        executor = ParallelExecutor.from_config(self.config.parallel)
+        with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="paqoc"
         ):
             with tracer.span("decompose"):
@@ -87,20 +91,54 @@ class PAQOCFlow:
                 weights = dag.critical_path_weights(self.latency_model.duration)
                 block_criticality = self._block_criticality(native, blocks, weights)
 
+            # decide up front which blocks get a custom QOC pulse so the
+            # parallel path can singleflight them in one batch
+            custom_blocks = [
+                block
+                for block, key in zip(blocks, keys)
+                if (
+                    frequency[key] >= self.min_pattern_frequency
+                    or block_criticality[block.index] >= self.criticality_threshold
+                )
+                and block.num_gates >= 2
+            ]
+            unitaries = {
+                block.index: block.unitary() for block in custom_blocks
+            }
+            unique_qoc = len({
+                self.library.key_for(unitaries[block.index], block.num_qubits)
+                for block in custom_blocks
+            })
+
             schedule = PulseSchedule(circuit.num_qubits)
             distances: List[float] = []
             custom_gates = 0
             calibrated_gates = 0
             hw = self.config.hardware
-            with tracer.span("pulse_generation", blocks=len(blocks)):
-                for block, key in zip(blocks, keys):
-                    profitable = (
-                        frequency[key] >= self.min_pattern_frequency
-                        or block_criticality[block.index]
-                        >= self.criticality_threshold
+            custom_indices = {block.index for block in custom_blocks}
+            prefetched = {}
+            with tracer.span(
+                "pulse_generation", blocks=len(blocks), workers=executor.workers
+            ):
+                if executor.is_parallel and custom_blocks:
+                    batch = self.library.get_pulses(
+                        [
+                            (unitaries[block.index], block.qubits)
+                            for block in custom_blocks
+                        ],
+                        executor=executor,
                     )
-                    if profitable and block.num_gates >= 2:
-                        pulse = self.library.get_pulse(block.unitary(), block.qubits)
+                    prefetched = {
+                        block.index: pulse
+                        for block, pulse in zip(custom_blocks, batch)
+                    }
+                for block in blocks:
+                    if block.index in custom_indices:
+                        pulse = prefetched.get(block.index)
+                        if pulse is None:
+                            pulse = self.library.get_pulse(
+                                unitaries[block.index], block.qubits
+                            )
                         schedule.add_pulse(pulse, label="pattern")
                         distances.append(pulse.unitary_distance)
                         custom_gates += 1
@@ -134,6 +172,8 @@ class PAQOCFlow:
                 "custom_pattern_pulses": float(custom_gates),
                 "calibrated_gates": float(calibrated_gates),
                 "distinct_patterns": float(len(frequency)),
+                "qoc_items": float(custom_gates),
+                "unique_qoc_items": float(unique_qoc),
                 "cache_hits": float(self.library.hits),
                 "cache_misses": float(self.library.misses),
             },

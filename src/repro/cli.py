@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli compile circuit.qasm --flow epoc
     python -m repro.cli compile circuit.qasm --flow gate-based --render
     python -m repro.cli compile circuit.qasm --trace t.json --metrics m.json
+    python -m repro.cli compile circuit.qasm -j 4            # 4 QOC workers
     python -m repro.cli optimize circuit.qasm          # ZX pass only
     python -m repro.cli info circuit.qasm              # structure report
 
@@ -23,7 +24,7 @@ from typing import Optional
 from repro import telemetry
 from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
 from repro.circuits import QuantumCircuit
-from repro.config import EPOCConfig, QOCConfig
+from repro.config import EPOCConfig, ParallelConfig, QOCConfig
 from repro.core import EPOCPipeline
 from repro.exceptions import ReproError
 
@@ -83,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
     )
     compile_cmd.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the synthesis/QOC stages "
+            "(0 = serial, -1 = all cores; default: $REPRO_WORKERS or serial)"
+        ),
+    )
+    compile_cmd.add_argument(
         "--no-zx", action="store_true", help="skip the ZX optimization stage"
     )
     compile_cmd.add_argument(
@@ -127,6 +139,7 @@ def _config(args) -> EPOCConfig:
         partition_qubit_limit=args.qubit_limit,
         regroup_qubit_limit=args.qubit_limit,
         qoc=QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity),
+        parallel=ParallelConfig(workers=getattr(args, "workers", None)),
     )
 
 

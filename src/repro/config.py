@@ -9,8 +9,12 @@ affordable unitary dimension differs (see DESIGN.md, Section 2).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
+
+#: environment variable consulted when ``ParallelConfig.workers`` is unset.
+ENV_WORKERS = "REPRO_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,41 @@ class HardwareConfig:
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """Multi-process execution of the synthesis and pulse-generation stages.
+
+    ``workers=0`` is the serial fallback and reproduces the single-process
+    pipeline exactly (same spans, same cache accounting).  Positive values
+    spin up that many worker processes; ``-1`` uses every available core.
+    ``workers=None`` (the default) consults the ``REPRO_WORKERS``
+    environment variable and falls back to serial when it is unset.
+    """
+
+    #: worker processes: 0 = serial, -1 = all cores, None = env/serial.
+    workers: Optional[int] = None
+    #: tasks batched into one inter-process round-trip.
+    chunk_size: int = 1
+    #: below this many tasks the pool is skipped and work runs inline
+    #: (a process round-trip costs more than a tiny task).
+    min_tasks: int = 2
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (explicit > env var > serial)."""
+        workers = self.workers
+        if workers is None:
+            raw = os.environ.get(ENV_WORKERS, "").strip()
+            try:
+                workers = int(raw) if raw else 0
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_WORKERS} must be an integer, got {raw!r}"
+                ) from None
+        if workers < 0:
+            workers = os.cpu_count() or 1
+        return workers
+
+
+@dataclass(frozen=True)
 class TelemetryConfig:
     """Observability knobs (see :mod:`repro.telemetry`).
 
@@ -108,6 +147,7 @@ class EPOCConfig:
     qoc: QOCConfig = field(default_factory=QOCConfig)
     hardware: HardwareConfig = field(default_factory=HardwareConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def with_updates(self, **kwargs) -> "EPOCConfig":
         """Functional update helper (the dataclass is frozen)."""

@@ -55,9 +55,17 @@ class CompilationReport:
         """One formatted row for benchmark tables."""
         rate = self.cache_hit_rate
         cache = f"{100.0 * rate:5.1f}%" if rate is not None else "   --"
+        unique = self.stats.get("unique_qoc_items")
+        if unique is not None:
+            # unique/total QOC problems this compile posed — the gap is
+            # the work singleflight dedup saved
+            total = self.stats.get("qoc_items", float(self.pulse_count))
+            qoc = f"{int(unique)}/{int(total)}"
+        else:
+            qoc = "--"
         return (
             f"{self.circuit_name:<12} {self.method:<12} "
             f"{self.latency_ns:>10.1f} ns  fidelity={self.fidelity:.4f}  "
             f"compile={self.compile_seconds:.2f}s  pulses={self.pulse_count}  "
-            f"cache={cache}"
+            f"cache={cache}  qoc={qoc}"
         )

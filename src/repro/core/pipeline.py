@@ -26,6 +26,7 @@ from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
 from repro.core.metrics import CompilationReport, esp_fidelity
+from repro.parallel import ParallelExecutor, SynthesisTask
 from repro.partition.block import CircuitBlock
 from repro.partition.greedy import greedy_partition
 from repro.partition.regroup import RegroupedUnitary, regroup_circuit
@@ -49,10 +50,14 @@ class EPOCPipeline:
         use_regrouping: bool = True,
     ):
         self.config = config or EPOCConfig()
-        self.library = library or PulseLibrary(
-            config=self.config.qoc,
-            match_global_phase=self.config.cache_global_phase,
-        )
+        # NB: ``library or ...`` would discard an *empty* caller-supplied
+        # library (PulseLibrary defines __len__, so empty is falsy)
+        if library is None:
+            library = PulseLibrary(
+                config=self.config.qoc,
+                match_global_phase=self.config.cache_global_phase,
+            )
+        self.library = library
         self.use_regrouping = use_regrouping
         if self.config.telemetry.log_level is not None:
             telemetry.configure_logging(
@@ -70,7 +75,8 @@ class EPOCPipeline:
         metrics = telemetry.get_metrics()
         stats = {}
 
-        with tracer.span(
+        executor = ParallelExecutor.from_config(config.parallel)
+        with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="epoc"
         ):
             metrics.inc("pipeline.compiles")
@@ -124,22 +130,36 @@ class EPOCPipeline:
             logger.info("partition: %d blocks from %d gates", len(blocks), len(work))
 
             if config.use_synthesis:
-                with tracer.span("synthesis", blocks=len(blocks)):
-                    synthesized = []
-                    for block in blocks:
-                        with tracer.span(
-                            "synthesize_block",
-                            block=block.index,
-                            qubits=list(block.qubits),
-                        ):
-                            synthesized.append(
-                                synthesize_block(
-                                    block,
+                with tracer.span(
+                    "synthesis", blocks=len(blocks), workers=executor.workers
+                ):
+                    if executor.is_parallel:
+                        blocks = executor.map(
+                            [
+                                SynthesisTask(
+                                    block=block,
                                     threshold=config.synthesis_threshold,
                                     max_cnots=config.synthesis_max_layers,
                                 )
-                            )
-                    blocks = synthesized
+                                for block in blocks
+                            ]
+                        )
+                    else:
+                        synthesized = []
+                        for block in blocks:
+                            with tracer.span(
+                                "synthesize_block",
+                                block=block.index,
+                                qubits=list(block.qubits),
+                            ):
+                                synthesized.append(
+                                    synthesize_block(
+                                        block,
+                                        threshold=config.synthesis_threshold,
+                                        max_cnots=config.synthesis_max_layers,
+                                    )
+                                )
+                        blocks = synthesized
 
             flat = _flatten_blocks(blocks, circuit.num_qubits)
             stats["post_synthesis_gates"] = float(len(flat))
@@ -161,18 +181,33 @@ class EPOCPipeline:
                     items = regroup_circuit(flat, qubit_limit=widest, gate_limit=1)
                 span.set(items=len(items))
             stats["qoc_items"] = float(len(items))
+            stats["unique_qoc_items"] = float(
+                len({self.library.key_for(item.matrix, item.num_qubits)
+                     for item in items})
+            )
             for item in items:
                 metrics.observe("regroup.unitary_qubits", item.num_qubits)
 
             schedule = PulseSchedule(circuit.num_qubits)
             distances: List[float] = []
-            with tracer.span("pulse_generation", items=len(items)):
-                for index, item in enumerate(items):
-                    with tracer.span(
-                        "pulse", item=index, qubits=list(item.qubits)
-                    ) as span:
-                        pulse = self.library.get_pulse(item.matrix, item.qubits)
-                        span.set(duration_ns=pulse.duration)
+            with tracer.span(
+                "pulse_generation", items=len(items), workers=executor.workers
+            ):
+                if executor.is_parallel:
+                    pulses = self.library.get_pulses(
+                        [(item.matrix, item.qubits) for item in items],
+                        executor=executor,
+                    )
+                else:
+                    pulses = []
+                    for index, item in enumerate(items):
+                        with tracer.span(
+                            "pulse", item=index, qubits=list(item.qubits)
+                        ) as span:
+                            pulse = self.library.get_pulse(item.matrix, item.qubits)
+                            span.set(duration_ns=pulse.duration)
+                        pulses.append(pulse)
+                for item, pulse in zip(items, pulses):
                     schedule.add_pulse(pulse, label=f"u{item.num_qubits}")
                     distances.append(pulse.unitary_distance)
             stats["cache_hits"] = float(self.library.hits)

@@ -1,0 +1,29 @@
+"""Parallel compilation engine: multi-process synthesis and QOC.
+
+EPOC's two hot stages are embarrassingly parallel — every partition block
+is an independent synthesis problem and every regrouped unitary an
+independent QOC problem.  This package fans both out across worker
+processes:
+
+* :class:`ParallelExecutor` — ordered, chunked process-pool map with a
+  serial fallback (``workers=0``) and telemetry fan-in.
+* :class:`PulseTask` / :class:`SynthesisTask` — the picklable work units.
+* ``PulseLibrary.get_pulses`` (in :mod:`repro.qoc.library`) adds the
+  singleflight step: identical unitaries are deduplicated *before*
+  dispatch so N occurrences cost one GRAPE binary search.
+
+Configure via ``EPOCConfig.parallel``, the ``REPRO_WORKERS`` environment
+variable, or the CLI's ``--workers/-j`` flag.  Seeded GRAPE makes the
+parallel schedule bitwise-identical to the serial one.
+"""
+
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.worker import ChunkResult, PulseTask, SynthesisTask, run_chunk
+
+__all__ = [
+    "ParallelExecutor",
+    "PulseTask",
+    "SynthesisTask",
+    "ChunkResult",
+    "run_chunk",
+]

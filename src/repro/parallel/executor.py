@@ -1,0 +1,154 @@
+"""The process-pool executor behind every parallel compilation stage.
+
+:class:`ParallelExecutor` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the three behaviours the pipeline needs:
+
+* **Serial fallback** — ``workers=0`` (or fewer tasks than
+  ``min_tasks``) runs tasks inline on the calling thread, preserving the
+  single-process pipeline exactly: same telemetry spans, same ordering,
+  same exceptions.
+* **Ordered, chunked fan-out** — tasks are batched ``chunk_size`` at a
+  time to amortize inter-process pickling, and results always come back
+  in submission order regardless of completion order.
+* **Telemetry fan-in** — when the parent has recorders installed, each
+  worker runs its chunk under a private telemetry session and ships the
+  metrics snapshot and span trees home; the executor merges them so
+  ``--trace`` / ``--metrics`` output is complete across processes.
+
+A failing task (for example a :class:`~repro.exceptions.QOCError` from an
+unreachable fidelity target) cancels the remaining work, shuts the pool
+down, and re-raises in the parent — no hung workers, no half-merged
+results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_all_start_methods, get_context
+from typing import Any, List, Optional, Sequence
+
+from repro import telemetry
+from repro.config import ParallelConfig
+from repro.parallel.worker import ChunkResult, run_chunk
+
+__all__ = ["ParallelExecutor"]
+
+logger = telemetry.get_logger("parallel.executor")
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, inherits the loaded interpreter) when available."""
+    return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+
+class ParallelExecutor:
+    """Runs picklable ``.run()`` tasks serially or across worker processes.
+
+    The pool is created lazily on the first parallel :meth:`map` and torn
+    down by :meth:`shutdown` (or the context manager), so a serial
+    executor never pays any multiprocessing cost.
+    """
+
+    def __init__(self, workers: int = 0, chunk_size: int = 1, min_tasks: int = 2):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = max(0, int(workers))
+        self.chunk_size = int(chunk_size)
+        self.min_tasks = max(1, int(min_tasks))
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @classmethod
+    def from_config(cls, config: Optional[ParallelConfig]) -> "ParallelExecutor":
+        config = config or ParallelConfig()
+        return cls(
+            workers=config.resolved_workers(),
+            chunk_size=config.chunk_size,
+            min_tasks=config.min_tasks,
+        )
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this executor may fan work out to worker processes."""
+        return self.workers >= 1
+
+    # -- execution -------------------------------------------------------
+
+    def map(self, tasks: Sequence[Any]) -> List[Any]:
+        """Run every task and return their results in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if not self.is_parallel or len(tasks) < self.min_tasks:
+            return [task.run() for task in tasks]
+        return self._map_parallel(tasks)
+
+    def _map_parallel(self, tasks: List[Any]) -> List[Any]:
+        pool = self._ensure_pool()
+        metrics = telemetry.get_metrics()
+        tracer = telemetry.get_tracer()
+        collect = metrics.enabled or tracer.enabled
+        chunks = [
+            tasks[i : i + self.chunk_size]
+            for i in range(0, len(tasks), self.chunk_size)
+        ]
+        metrics.gauge("parallel.workers", self.workers)
+        metrics.inc("parallel.dispatches")
+        metrics.inc("parallel.tasks", len(tasks))
+        submitted_at = time.perf_counter()
+        futures = [pool.submit(run_chunk, chunk, collect) for chunk in chunks]
+        results: List[Any] = []
+        try:
+            for future in futures:
+                chunk_result: ChunkResult = future.result()
+                self._merge_telemetry(chunk_result, submitted_at)
+                results.extend(chunk_result.values)
+        except BaseException:
+            # a worker failed (or the wait was interrupted): stop handing
+            # out queued chunks and tear the pool down before re-raising
+            for future in futures:
+                future.cancel()
+            self.shutdown()
+            raise
+        return results
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(_start_method()),
+            )
+            logger.debug(
+                "started %d-worker pool (%s)", self.workers, _start_method()
+            )
+        return self._pool
+
+    @staticmethod
+    def _merge_telemetry(chunk: ChunkResult, submitted_at: float) -> None:
+        """Fold one worker chunk's recorders into the parent's."""
+        metrics = telemetry.get_metrics()
+        if chunk.metrics_state is not None and metrics.enabled:
+            metrics.merge_state(chunk.metrics_state)
+        tracer = telemetry.get_tracer()
+        if chunk.span_states and tracer.enabled:
+            # rebase worker-clock timestamps: the worker session opened
+            # (clock_origin) just after the parent submitted the chunk
+            shift = submitted_at - chunk.clock_origin
+            for state in chunk.span_states:
+                tracer.attach(
+                    telemetry.span_from_state(state, shift=shift, tid=chunk.pid)
+                )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (idempotent; serial executors are no-ops)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,105 @@
+"""Worker-side entry points for the parallel compilation engine.
+
+Everything here must be importable and picklable from a bare worker
+process: tasks are plain frozen dataclasses carrying only arrays, configs
+and circuit blocks, and :func:`run_chunk` is the single module-level
+function the process pool invokes.
+
+Each chunk runs under its own telemetry session inside the worker; the
+resulting metrics snapshot and span trees ride back to the parent in the
+:class:`ChunkResult` and are merged into the parent's recorders by the
+executor, so ``--trace`` / ``--metrics`` output stays complete when work
+fans out across processes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.config import QOCConfig
+from repro.partition.block import CircuitBlock
+
+__all__ = ["PulseTask", "SynthesisTask", "ChunkResult", "run_chunk"]
+
+
+@dataclass(frozen=True)
+class PulseTask:
+    """One QOC problem: find the minimal-latency pulse for ``matrix``.
+
+    The target acts on local wires ``0..num_qubits-1``; retargeting to
+    concrete qubit lines is free and happens in the parent (see
+    ``Pulse.on_qubits``), so identical unitaries on different qubits are
+    one task.
+    """
+
+    matrix: np.ndarray
+    num_qubits: int
+    config: QOCConfig
+
+    def run(self) -> Any:
+        from repro.qoc.latency import pulse_for_unitary
+
+        return pulse_for_unitary(self.matrix, self.num_qubits, self.config)
+
+
+@dataclass(frozen=True)
+class SynthesisTask:
+    """One VUG-synthesis problem: Algorithm 2 on a partition block."""
+
+    block: CircuitBlock
+    threshold: float
+    max_cnots: int
+
+    def run(self) -> Any:
+        from repro.synthesis import synthesize_block
+
+        return synthesize_block(
+            self.block, threshold=self.threshold, max_cnots=self.max_cnots
+        )
+
+
+@dataclass
+class ChunkResult:
+    """Results of one chunk plus the worker's telemetry to merge back."""
+
+    values: List[Any]
+    pid: int
+    metrics_state: Optional[Dict[str, Any]] = None
+    span_states: List[Dict[str, Any]] = field(default_factory=list)
+    #: worker-clock instant the chunk started (rebases span timestamps)
+    clock_origin: float = 0.0
+
+
+def run_chunk(tasks: Sequence[Any], collect_telemetry: bool = False) -> ChunkResult:
+    """Process-pool entry point: run ``tasks`` in order, in this process.
+
+    Any exception (e.g. :class:`~repro.exceptions.QOCError` from a pulse
+    search that cannot reach the fidelity threshold) propagates to the
+    parent through the future, where the executor shuts the pool down and
+    re-raises.
+    """
+    if not collect_telemetry:
+        # drop any recorders inherited through fork so workers never pay
+        # for (or mutate a copy of) the parent's telemetry state
+        previous_tracer = telemetry.set_tracer(None)
+        previous_metrics = telemetry.set_metrics(None)
+        try:
+            return ChunkResult(values=[task.run() for task in tasks], pid=os.getpid())
+        finally:
+            telemetry.set_tracer(previous_tracer)
+            telemetry.set_metrics(previous_metrics)
+    with telemetry.telemetry_session() as (tracer, registry):
+        origin = tracer._origin
+        values = [task.run() for task in tasks]
+    return ChunkResult(
+        values=values,
+        pid=os.getpid(),
+        metrics_state=registry.state(),
+        span_states=[telemetry.span_to_state(root) for root in tracer.roots],
+        clock_origin=origin,
+    )

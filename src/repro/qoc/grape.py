@@ -11,6 +11,7 @@ exponential, and the controls are optimized with bounded L-BFGS.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import reduce
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -70,10 +71,12 @@ def propagate(
 ) -> np.ndarray:
     """Total propagator for piecewise-constant controls ``u``."""
     props, _, _ = _slot_propagators_and_eig(drift, controls_h, u, dt)
-    total = np.eye(drift.shape[0], dtype=complex)
-    for p in props:
-        total = p @ total
-    return total
+    # left-fold over the stacked propagators: P_{T-1} ... P_1 P_0
+    return reduce(
+        lambda total, prop: prop @ total,
+        props,
+        np.eye(drift.shape[0], dtype=complex),
+    )
 
 
 def _exp_derivative_factor(lams: np.ndarray, dt: float) -> np.ndarray:
@@ -161,8 +164,10 @@ def grape_optimize(
         left = back @ qs  # (T, d, d)
         right = qs_dag @ forward[:num_segments]  # (T, d, d)
         core = factor * np.swapaxes(right @ left, 1, 2)  # (T, d, d)
-        hk_eig = np.einsum("tai,kij,tjb->ktab", qs_dag, control_stack, qs)
-        dz = np.einsum("tab,ktab->kt", core, hk_eig)
+        hk_eig = np.einsum(
+            "tai,kij,tjb->ktab", qs_dag, control_stack, qs, optimize=True
+        )
+        dz = np.einsum("tab,ktab->kt", core, hk_eig, optimize=True)
         grad = 2.0 * (np.conj(overlap) * dz).real / dim**2
         return 1.0 - fidelity, -grad.ravel()
 

@@ -23,7 +23,11 @@ from repro.qoc.grape import GrapeResult, grape_optimize
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.pulse import Pulse
 
-__all__ = ["minimal_latency_pulse", "estimate_initial_segments"]
+__all__ = [
+    "minimal_latency_pulse",
+    "estimate_initial_segments",
+    "pulse_for_unitary",
+]
 
 logger = telemetry.get_logger("qoc.latency")
 
@@ -44,6 +48,25 @@ def estimate_initial_segments(
     guess_ns = one_qubit_ns + (num_qubits - 1) * 0.5 * entangle_ns
     segments = max(config.min_segments, int(guess_ns / config.dt / 2.0))
     return min(segments, config.max_segments)
+
+
+def pulse_for_unitary(
+    matrix: np.ndarray, num_qubits: int, config: Optional[QOCConfig] = None
+) -> Pulse:
+    """Solve one pulse-library-style QOC problem on local wires 0..n-1.
+
+    This is the process-pool work unit used by :mod:`repro.parallel`: it
+    rebuilds the default :class:`TransmonChain` exactly as
+    ``PulseLibrary.hardware_for`` does, so a worker's pulse is
+    bit-for-bit identical to the one the serial path would have cached.
+    """
+    num_qubits = int(num_qubits)
+    return minimal_latency_pulse(
+        np.asarray(matrix, dtype=complex),
+        tuple(range(num_qubits)),
+        config=config,
+        hardware=TransmonChain(num_qubits),
+    )
 
 
 def minimal_latency_pulse(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import cmath
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,19 +72,22 @@ class PulseLibrary:
             self._hardware[num_qubits] = TransmonChain(num_qubits)
         return self._hardware[num_qubits]
 
-    def get_pulse(self, matrix: np.ndarray, qubits: Tuple[int, ...]) -> Pulse:
-        """Fetch (or generate and cache) the pulse for ``matrix``.
+    def key_for(self, matrix: np.ndarray, num_qubits: int) -> bytes:
+        """The cache key of ``matrix`` as a ``num_qubits``-qubit target.
 
-        The cache key includes the qubit count but not the concrete qubit
+        The key includes the qubit count but not the concrete qubit
         lines: the synthetic chain is translation-invariant, so an entry
         generated for qubits (0,1) retargets to (3,4) for free.
         """
+        return bytes([num_qubits]) + unitary_cache_key(
+            matrix, global_phase=self.match_global_phase
+        )
+
+    def get_pulse(self, matrix: np.ndarray, qubits: Tuple[int, ...]) -> Pulse:
+        """Fetch (or generate and cache) the pulse for ``matrix``."""
         matrix = np.asarray(matrix, dtype=complex)
         num_qubits = len(qubits)
-        key = (
-            bytes([num_qubits])
-            + unitary_cache_key(matrix, global_phase=self.match_global_phase)
-        )
+        key = self.key_for(matrix, num_qubits)
         metrics = telemetry.get_metrics()
         cached = self._entries.get(key)
         if cached is not None:
@@ -104,19 +107,93 @@ class PulseLibrary:
         metrics.gauge("library.size", len(self._entries))
         return pulse.on_qubits(qubits)
 
+    def get_pulses(
+        self,
+        requests: Sequence[Tuple[np.ndarray, Tuple[int, ...]]],
+        executor=None,
+    ) -> List[Pulse]:
+        """Batch :meth:`get_pulse` with singleflight deduplication.
+
+        Missing unitaries are grouped by cache key *before* any work is
+        dispatched, so N occurrences of the same unitary cost exactly one
+        GRAPE binary search instead of racing N workers on identical
+        problems.  With ``executor`` (a
+        :class:`~repro.parallel.ParallelExecutor`), the unique problems
+        fan out across worker processes; without one they run inline.
+
+        Hit/miss accounting replays the requests in order against the
+        pre-call cache state — the first occurrence of a new key is a
+        miss, every later one a hit — so the counts match what the serial
+        :meth:`get_pulse` loop would have recorded.
+        """
+        from repro.parallel.worker import PulseTask
+
+        requests = [
+            (np.asarray(matrix, dtype=complex), tuple(qubits))
+            for matrix, qubits in requests
+        ]
+        keys = [self.key_for(matrix, len(qubits)) for matrix, qubits in requests]
+        # unique missing keys, first-occurrence order
+        pending: Dict[bytes, int] = {}
+        for index, key in enumerate(keys):
+            if key not in self._entries and key not in pending:
+                pending[key] = index
+        metrics = telemetry.get_metrics()
+        if pending:
+            tasks = [
+                PulseTask(
+                    matrix=requests[index][0],
+                    num_qubits=len(requests[index][1]),
+                    config=self.config,
+                )
+                for index in pending.values()
+            ]
+            logger.info(
+                "singleflight: %d unique QOC problems from %d requests",
+                len(tasks),
+                len(requests),
+            )
+            metrics.inc("library.singleflight_batches")
+            metrics.inc("library.singleflight_deduped", len(requests) - len(tasks))
+            if executor is not None:
+                pulses = executor.map(tasks)
+            else:
+                pulses = [task.run() for task in tasks]
+            for key, pulse in zip(pending, pulses):
+                self._entries[key] = pulse
+        # replay the request stream for serial-identical hit/miss counts
+        fresh = set(pending)
+        out: List[Pulse] = []
+        for key, (matrix, qubits) in zip(keys, requests):
+            if key in fresh:
+                fresh.discard(key)
+                self.misses += 1
+                metrics.inc("library.misses")
+            else:
+                self.hits += 1
+                metrics.inc("library.hits")
+            out.append(self._entries[key].on_qubits(qubits))
+        metrics.gauge("library.size", len(self._entries))
+        return out
+
     def __len__(self) -> int:
         return len(self._entries)
 
     # -- persistence -----------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Serialize the library to a JSON file.
+        """Serialize the library to a JSON file, atomically.
 
         The pulse library is a long-lived artifact in the AccQOC/PAQOC/
         EPOC workflow: it is built once per hardware calibration and
-        reused across programs and sessions.
+        reused across programs and sessions.  The payload is written to a
+        temporary file in the destination directory and renamed into
+        place, so a crash mid-serialization never corrupts (or truncates)
+        an existing library file.
         """
         import json
+        import os
+        import tempfile
 
         from repro.pulse.serialize import pulse_to_dict
 
@@ -127,8 +204,22 @@ class PulseLibrary:
                 for key, pulse in self._entries.items()
             ],
         }
-        with open(path, "w") as fh:
-            json.dump(payload, fh)
+        destination = os.path.abspath(path)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(destination),
+            prefix=os.path.basename(destination) + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp_path, destination)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def load(self, path: str, replace: bool = False) -> int:
         """Merge (or replace) entries from a saved library; returns the

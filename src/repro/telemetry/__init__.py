@@ -38,7 +38,13 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NULL_METRICS,
 )
-from repro.telemetry.tracer import NULL_TRACER, Span, Tracer
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    span_from_state,
+    span_to_state,
+)
 
 __all__ = [
     "Span",
@@ -58,6 +64,8 @@ __all__ = [
     "set_tracer",
     "set_metrics",
     "telemetry_session",
+    "span_to_state",
+    "span_from_state",
 ]
 
 _tracer: Tracer = NULL_TRACER

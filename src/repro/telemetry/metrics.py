@@ -60,6 +60,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    # -- cross-process transfer ------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """A lossless, picklable snapshot (see :meth:`merge_state`)."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Used to merge worker-process observations back into the parent
+        registry; requires identical bucket bounds.
+        """
+        if tuple(float(b) for b in state["bounds"]) != self.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        for index, count in enumerate(state["bucket_counts"]):
+            self.bucket_counts[index] += count
+        self.count += state["count"]
+        self.total += state["sum"]
+        if state["count"]:
+            self.min = min(self.min, state["min"])
+            self.max = max(self.max, state["max"])
+
     def to_dict(self) -> Dict[str, Any]:
         buckets = {f"le_{bound:g}": count
                    for bound, count in zip(self.bounds, self.bucket_counts)}
@@ -154,6 +183,45 @@ class MetricsRegistry:
                 out[f"{name}.mean"] = histogram.mean
                 out[f"{name}.max"] = histogram.max if histogram.count else 0.0
         return out
+
+    # -- cross-process transfer ------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """A lossless, picklable snapshot for cross-process merging.
+
+        Unlike :meth:`to_dict` (a rendered export), the snapshot keeps the
+        structural histogram data needed by :meth:`merge_state`.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: h.state() for name, h in self._histograms.items()
+                },
+            }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a worker registry's :meth:`state` into this registry.
+
+        Counters add, gauges take the incoming (latest) value, histograms
+        merge bucket-wise.  Disabled registries ignore the merge, matching
+        every other recording method.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for name, value in state.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, value in state.get("gauges", {}).items():
+                self._gauges[name] = float(value)
+            for name, hist_state in state.get("histograms", {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(
+                        hist_state["bounds"]
+                    )
+                histogram.merge_state(hist_state)
 
     def reset(self) -> None:
         """Drop every recorded value (bucket layouts included)."""

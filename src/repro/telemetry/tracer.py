@@ -20,7 +20,7 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Tracer", "NULL_TRACER"]
+__all__ = ["Span", "Tracer", "NULL_TRACER", "span_to_state", "span_from_state"]
 
 
 def _jsonable(value: Any) -> Any:
@@ -69,6 +69,42 @@ class Span:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Span({self.name!r}, {self.duration * 1e3:.2f} ms, {self.attributes})"
+
+
+def span_to_state(span: Span) -> Dict[str, Any]:
+    """A picklable snapshot of a completed span tree.
+
+    Used to ship worker-process spans back to the parent; timestamps stay
+    on the worker's clock and are rebased by :func:`span_from_state`.
+    """
+    return {
+        "name": span.name,
+        "attributes": {k: _jsonable(v) for k, v in span.attributes.items()},
+        "start": span.start,
+        "end": span.end,
+        "children": [span_to_state(child) for child in span.children],
+    }
+
+
+def span_from_state(
+    state: Dict[str, Any], shift: float = 0.0, tid: Optional[int] = None
+) -> Span:
+    """Rebuild a span tree from :func:`span_to_state` output.
+
+    ``shift`` is added to every timestamp (rebasing a worker's clock onto
+    the parent's); ``tid`` overrides the thread id on the whole tree so
+    trace viewers draw each worker on its own track.
+    """
+    span = Span(state["name"], state.get("attributes"))
+    span.start = state["start"] + shift
+    span.end = state["end"] + shift
+    if tid is not None:
+        span.tid = tid
+    span.children = [
+        span_from_state(child, shift=shift, tid=tid)
+        for child in state.get("children", ())
+    ]
+    return span
 
 
 class _NullSpan:
@@ -154,6 +190,24 @@ class Tracer:
             stack.pop()
         if self.metrics is not None:
             self.metrics.observe(f"span.{span.name}.seconds", span.duration)
+
+    def attach(self, span: Span) -> None:
+        """Graft an already-completed span tree into the current position.
+
+        Worker processes serialize their span trees with
+        :func:`span_to_state`; the parent rebuilds and attaches them under
+        whatever span is open on the calling thread (or as a new root).
+        The tree is not re-observed into the duration histograms — the
+        worker's own registry snapshot already carries those.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
 
     # -- inspection ------------------------------------------------------
 

@@ -1,0 +1,159 @@
+"""Parallel-vs-serial equivalence: the headline determinism guarantee.
+
+Seeded GRAPE plus singleflight dispatch means the parallel engine must
+produce bitwise-identical schedules, identical latency/fidelity, an
+identical library, and identical cache accounting — ``workers=0`` and
+``workers=4`` are the same compiler at different speeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AccQOCFlow, PAQOCFlow
+from repro.circuits import QuantumCircuit
+from repro.config import ParallelConfig
+from repro.core import EPOCPipeline
+from repro.exceptions import QOCError
+from repro.qoc import PulseLibrary
+from repro.workloads import qaoa_maxcut
+
+
+@pytest.fixture
+def circuit():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.t(1)
+    qc.cx(1, 2)
+    qc.h(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    return qc
+
+
+def _assert_equivalent(serial_report, parallel_report, serial_lib, parallel_lib):
+    assert parallel_report.latency_ns == serial_report.latency_ns
+    assert parallel_report.fidelity == serial_report.fidelity
+    serial_items = serial_report.schedule.items
+    parallel_items = parallel_report.schedule.items
+    assert len(parallel_items) == len(serial_items)
+    for a, b in zip(serial_items, parallel_items):
+        assert a.qubits == b.qubits
+        assert a.start == b.start and a.end == b.end
+        if a.pulse is not None or b.pulse is not None:
+            # the determinism guarantee is bitwise, not approximate
+            assert np.array_equal(a.pulse.controls, b.pulse.controls)
+            assert a.pulse.dt == b.pulse.dt
+    assert len(parallel_lib) == len(serial_lib)
+    assert parallel_lib.hits == serial_lib.hits
+    assert parallel_lib.misses == serial_lib.misses
+
+
+class TestEPOCEquivalence:
+    def test_workers4_matches_serial(self, circuit, fast_epoc, fast_qoc):
+        serial_lib = PulseLibrary(config=fast_qoc)
+        serial = EPOCPipeline(fast_epoc, library=serial_lib).compile(
+            circuit, "serial"
+        )
+        parallel_lib = PulseLibrary(config=fast_qoc)
+        config = fast_epoc.with_updates(parallel=ParallelConfig(workers=4))
+        parallel = EPOCPipeline(config, library=parallel_lib).compile(
+            circuit, "parallel"
+        )
+        _assert_equivalent(serial, parallel, serial_lib, parallel_lib)
+        assert parallel.stats["unique_qoc_items"] == serial.stats[
+            "unique_qoc_items"
+        ]
+
+    def test_chunked_dispatch_matches_serial(self, circuit, fast_epoc, fast_qoc):
+        serial_lib = PulseLibrary(config=fast_qoc)
+        serial = EPOCPipeline(fast_epoc, library=serial_lib).compile(circuit, "s")
+        parallel_lib = PulseLibrary(config=fast_qoc)
+        config = fast_epoc.with_updates(
+            parallel=ParallelConfig(workers=2, chunk_size=3)
+        )
+        parallel = EPOCPipeline(config, library=parallel_lib).compile(circuit, "p")
+        _assert_equivalent(serial, parallel, serial_lib, parallel_lib)
+
+    def test_warm_library_short_circuits_dispatch(self, circuit, fast_epoc, fast_qoc):
+        library = PulseLibrary(config=fast_qoc)
+        config = fast_epoc.with_updates(parallel=ParallelConfig(workers=2))
+        pipe = EPOCPipeline(config, library=library)
+        pipe.compile(circuit, "first")
+        misses_before = library.misses
+        pipe.compile(circuit, "second")
+        assert library.misses == misses_before  # all unitaries already cached
+
+
+class TestBaselineEquivalence:
+    def test_accqoc_workers_match_serial(self, fast_epoc, fast_qoc):
+        circuit = qaoa_maxcut(3, layers=1)
+        serial_lib = PulseLibrary(config=fast_qoc, match_global_phase=False)
+        serial = AccQOCFlow(fast_epoc, library=serial_lib).compile(circuit, "s")
+        parallel_lib = PulseLibrary(config=fast_qoc, match_global_phase=False)
+        config = fast_epoc.with_updates(parallel=ParallelConfig(workers=4))
+        parallel = AccQOCFlow(config, library=parallel_lib).compile(circuit, "p")
+        _assert_equivalent(serial, parallel, serial_lib, parallel_lib)
+
+    def test_paqoc_workers_match_serial(self, fast_epoc, fast_qoc):
+        qc = QuantumCircuit(2)
+        for _ in range(3):
+            qc.h(0)
+            qc.cx(0, 1)
+        serial_lib = PulseLibrary(config=fast_qoc, match_global_phase=False)
+        serial = PAQOCFlow(fast_epoc, library=serial_lib).compile(qc, "s")
+        parallel_lib = PulseLibrary(config=fast_qoc, match_global_phase=False)
+        config = fast_epoc.with_updates(parallel=ParallelConfig(workers=4))
+        parallel = PAQOCFlow(config, library=parallel_lib).compile(qc, "p")
+        _assert_equivalent(serial, parallel, serial_lib, parallel_lib)
+        assert parallel.stats["custom_pattern_pulses"] == serial.stats[
+            "custom_pattern_pulses"
+        ]
+
+
+class TestSingleflight:
+    def test_duplicates_solved_once(self, fast_qoc, monkeypatch):
+        """N occurrences of the same unitary must cost one GRAPE search."""
+        import repro.qoc.latency as latency_mod
+
+        calls = []
+        real = latency_mod.pulse_for_unitary
+
+        def counting(matrix, num_qubits, config=None):
+            calls.append(num_qubits)
+            return real(matrix, num_qubits, config)
+
+        monkeypatch.setattr(latency_mod, "pulse_for_unitary", counting)
+        from repro.circuits.gates import gate_matrix
+
+        library = PulseLibrary(config=fast_qoc)
+        h = gate_matrix("h")
+        x = gate_matrix("x")
+        requests = [(h, (0,)), (h, (1,)), (x, (0,)), (h, (2,)), (x, (2,))]
+        pulses = library.get_pulses(requests)  # inline singleflight
+        assert len(calls) == 2  # h and x solved once each
+        assert library.misses == 2 and library.hits == 3
+        # every duplicate request got the shared envelope on its own line
+        assert pulses[0].qubits == (0,) and pulses[1].qubits == (1,)
+        assert np.array_equal(pulses[0].controls, pulses[1].controls)
+
+    def test_qoc_error_propagates_through_pool(self, fast_qoc):
+        """An unsolvable target raises cleanly out of the parallel path."""
+        from dataclasses import replace
+
+        from repro.circuits.gates import gate_matrix
+
+        hard = replace(fast_qoc, max_segments=2, fidelity_threshold=0.999999)
+        library = PulseLibrary(config=hard)
+        from repro.parallel import ParallelExecutor
+
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(QOCError):
+                library.get_pulses(
+                    [
+                        (gate_matrix("cx"), (0, 1)),
+                        (gate_matrix("h"), (0,)),
+                    ],
+                    executor=executor,
+                )
+            assert executor._pool is None  # pool shut down, no hang

@@ -1,0 +1,164 @@
+"""Unit tests for the ParallelExecutor and its worker entry points."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.config import ParallelConfig
+from repro.exceptions import QOCError
+from repro.parallel import ParallelExecutor, PulseTask, run_chunk
+from repro.qoc.latency import pulse_for_unitary
+
+
+class _SquareTask:
+    """A trivial picklable task for executor plumbing tests."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def run(self):
+        return self.value * self.value
+
+
+class _FailingTask:
+    def __init__(self, exc):
+        self.exc = exc
+
+    def run(self):
+        raise self.exc
+
+
+class TestResolvedWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert ParallelConfig().resolved_workers() == 0
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ParallelConfig().resolved_workers() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ParallelConfig(workers=1).resolved_workers() == 1
+        assert ParallelConfig(workers=0).resolved_workers() == 0
+
+    def test_negative_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert ParallelConfig(workers=-1).resolved_workers() == (
+            os.cpu_count() or 1
+        )
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            ParallelConfig().resolved_workers()
+
+
+class TestSerialFallback:
+    def test_workers_zero_runs_inline(self):
+        with ParallelExecutor(workers=0) as executor:
+            assert not executor.is_parallel
+            assert executor.map([_SquareTask(i) for i in range(5)]) == [
+                0, 1, 4, 9, 16,
+            ]
+        assert executor._pool is None  # no pool was ever created
+
+    def test_below_min_tasks_runs_inline(self):
+        with ParallelExecutor(workers=2, min_tasks=10) as executor:
+            assert executor.map([_SquareTask(3)]) == [9]
+            assert executor._pool is None
+
+    def test_empty_task_list(self):
+        with ParallelExecutor(workers=2) as executor:
+            assert executor.map([]) == []
+
+
+class TestParallelMap:
+    def test_results_preserve_task_order(self):
+        with ParallelExecutor(workers=2) as executor:
+            assert executor.map([_SquareTask(i) for i in range(7)]) == [
+                i * i for i in range(7)
+            ]
+
+    def test_chunking_preserves_order(self):
+        with ParallelExecutor(workers=2, chunk_size=3) as executor:
+            assert executor.map([_SquareTask(i) for i in range(8)]) == [
+                i * i for i in range(8)
+            ]
+
+    def test_worker_error_propagates_and_pool_shuts_down(self):
+        tasks = [_SquareTask(1), _FailingTask(QOCError("unreachable")),
+                 _SquareTask(2)]
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(QOCError, match="unreachable"):
+                executor.map(tasks)
+            assert executor._pool is None  # torn down, not hung
+
+    def test_pool_reused_across_maps(self):
+        with ParallelExecutor(workers=2) as executor:
+            executor.map([_SquareTask(i) for i in range(3)])
+            pool = executor._pool
+            executor.map([_SquareTask(i) for i in range(3)])
+            assert executor._pool is pool
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=1, chunk_size=0)
+
+
+class TestPulseTask:
+    def test_task_is_picklable(self, fast_qoc):
+        from repro.circuits.gates import gate_matrix
+
+        task = PulseTask(matrix=gate_matrix("x"), num_qubits=1, config=fast_qoc)
+        assert pickle.loads(pickle.dumps(task)).num_qubits == 1
+
+    def test_run_matches_direct_solve(self, fast_qoc):
+        from repro.circuits.gates import gate_matrix
+
+        task = PulseTask(matrix=gate_matrix("h"), num_qubits=1, config=fast_qoc)
+        direct = pulse_for_unitary(gate_matrix("h"), 1, fast_qoc)
+        via_task = task.run()
+        assert np.array_equal(via_task.controls, direct.controls)
+        assert via_task.duration == direct.duration
+
+    def test_run_chunk_collects_telemetry(self, fast_qoc):
+        from repro.circuits.gates import gate_matrix
+
+        task = PulseTask(matrix=gate_matrix("x"), num_qubits=1, config=fast_qoc)
+        result = run_chunk([task], collect_telemetry=True)
+        assert len(result.values) == 1
+        assert result.metrics_state["counters"]["grape.runs"] >= 1
+        names = [state["name"] for state in result.span_states]
+        assert "qoc.pulse_search" in names
+
+    def test_run_chunk_without_telemetry(self, fast_qoc):
+        from repro.circuits.gates import gate_matrix
+
+        task = PulseTask(matrix=gate_matrix("x"), num_qubits=1, config=fast_qoc)
+        result = run_chunk([task], collect_telemetry=False)
+        assert result.metrics_state is None
+        assert result.span_states == []
+
+
+class TestTelemetryFanIn:
+    def test_worker_metrics_and_spans_merge_into_parent(self, fast_qoc):
+        from repro.circuits.gates import gate_matrix
+
+        tasks = [
+            PulseTask(matrix=gate_matrix(name), num_qubits=1, config=fast_qoc)
+            for name in ("x", "h")
+        ]
+        with telemetry.telemetry_session() as (tracer, registry):
+            with ParallelExecutor(workers=2) as executor:
+                executor.map(tasks)
+        assert registry.counter("grape.runs") >= 2
+        assert registry.counter("parallel.tasks") == 2.0
+        # worker span trees were grafted into the parent trace
+        assert any(span.name == "qoc.pulse_search" for span in tracer.walk())
+        # and export still works on the merged tree
+        events = tracer.to_chrome_trace()["traceEvents"]
+        assert any(event["name"] == "grape" for event in events)

@@ -53,6 +53,47 @@ class TestSaveLoad:
         assert len(other) == 2  # the z entry was dropped
 
 
+class TestAtomicSave:
+    def test_crash_mid_dump_keeps_old_file(
+        self, warm_library, fast_qoc, tmp_path, monkeypatch
+    ):
+        """A writer that dies mid-serialization must not corrupt the
+        long-lived library file: save goes to a temp file and is renamed
+        into place only on success."""
+        import json
+
+        path = str(tmp_path / "lib.json")
+        warm_library.save(path)
+        good_content = open(path).read()
+
+        real_dump = json.dump
+
+        def exploding_dump(payload, fh, **kwargs):
+            # write some partial garbage before failing, like a crash
+            # halfway through serialization would
+            fh.write('{"entries": [{"key": "tru')
+            raise RuntimeError("simulated crash mid-serialization")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(RuntimeError):
+            warm_library.save(path)
+        monkeypatch.setattr(json, "dump", real_dump)
+
+        # the existing file is untouched and still loads
+        assert open(path).read() == good_content
+        fresh = PulseLibrary(config=fast_qoc)
+        assert fresh.load(path) == 2
+        # and the failed attempt left no temp litter behind
+        assert [p.name for p in tmp_path.iterdir()] == ["lib.json"]
+
+    def test_save_creates_no_temp_litter_on_success(
+        self, warm_library, tmp_path
+    ):
+        path = str(tmp_path / "lib.json")
+        warm_library.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["lib.json"]
+
+
 class TestInvalidate:
     def test_recalibration_clears_everything(self, warm_library):
         assert len(warm_library) == 2
