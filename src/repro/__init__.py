@@ -19,6 +19,6 @@ Public API highlights
 """
 
 from repro._version import __version__
-from repro.config import EPOCConfig, ParallelConfig
+from repro.config import EPOCConfig, ParallelConfig, ResilienceConfig
 
-__all__ = ["__version__", "EPOCConfig", "ParallelConfig"]
+__all__ = ["__version__", "EPOCConfig", "ParallelConfig", "ResilienceConfig"]

@@ -26,6 +26,7 @@ from repro.partition.greedy import greedy_partition
 from repro.partition.regroup import RegroupedUnitary, blocks_as_unitaries
 from repro.pulse.schedule import PulseSchedule
 from repro.qoc.library import PulseLibrary, unitary_cache_key
+from repro.resilience import FidelityLedger
 
 __all__ = ["AccQOCFlow"]
 
@@ -44,7 +45,11 @@ class AccQOCFlow:
         # ``library or ...`` would discard an empty caller-supplied
         # library (PulseLibrary defines __len__, so empty is falsy)
         if library is None:
-            library = PulseLibrary(config=self.config.qoc, match_global_phase=False)
+            library = PulseLibrary(
+                config=self.config.qoc,
+                match_global_phase=False,
+                resilience=self.config.resilience,
+            )
         self.library = library
         self.group_gate_limit = group_gate_limit
 
@@ -53,7 +58,9 @@ class AccQOCFlow:
     ) -> CompilationReport:
         start = time.perf_counter()
         tracer = telemetry.get_tracer()
-        executor = ParallelExecutor.from_config(self.config.parallel)
+        executor = ParallelExecutor.from_config(
+            self.config.parallel, self.config.resilience
+        )
         with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="accqoc"
         ):
@@ -91,10 +98,14 @@ class AccQOCFlow:
 
             schedule = PulseSchedule(circuit.num_qubits)
             distances: List[float] = []
+            ledger = FidelityLedger(
+                target_fidelity=self.config.qoc.fidelity_threshold
+            )
             for index, item in enumerate(items):
                 pulse = pulses[index]
                 schedule.add_pulse(pulse, label=f"acc{item.num_qubits}")
                 distances.append(pulse.unitary_distance)
+                ledger.observe(index, item.qubits, pulse)
 
         elapsed = time.perf_counter() - start
         return CompilationReport(
@@ -117,7 +128,9 @@ class AccQOCFlow:
                 ),
                 "cache_hits": float(self.library.hits),
                 "cache_misses": float(self.library.misses),
+                "degraded_blocks": float(len(ledger.entries)),
             },
+            degraded_blocks=ledger.entries,
         )
 
     @staticmethod

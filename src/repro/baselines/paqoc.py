@@ -32,6 +32,7 @@ from repro.partition.greedy import greedy_partition
 from repro.pulse.hardware import GateLatencyModel
 from repro.pulse.schedule import PulseSchedule
 from repro.qoc.library import PulseLibrary, unitary_cache_key
+from repro.resilience import FidelityLedger
 
 __all__ = ["PAQOCFlow"]
 
@@ -52,7 +53,11 @@ class PAQOCFlow:
         # ``library or ...`` would discard an empty caller-supplied
         # library (PulseLibrary defines __len__, so empty is falsy)
         if library is None:
-            library = PulseLibrary(config=self.config.qoc, match_global_phase=False)
+            library = PulseLibrary(
+                config=self.config.qoc,
+                match_global_phase=False,
+                resilience=self.config.resilience,
+            )
         self.library = library
         self.pattern_qubit_limit = pattern_qubit_limit
         self.pattern_gate_limit = pattern_gate_limit
@@ -65,7 +70,9 @@ class PAQOCFlow:
     ) -> CompilationReport:
         start = time.perf_counter()
         tracer = telemetry.get_tracer()
-        executor = ParallelExecutor.from_config(self.config.parallel)
+        executor = ParallelExecutor.from_config(
+            self.config.parallel, self.config.resilience
+        )
         with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="paqoc"
         ):
@@ -112,6 +119,9 @@ class PAQOCFlow:
 
             schedule = PulseSchedule(circuit.num_qubits)
             distances: List[float] = []
+            ledger = FidelityLedger(
+                target_fidelity=self.config.qoc.fidelity_threshold
+            )
             custom_gates = 0
             calibrated_gates = 0
             hw = self.config.hardware
@@ -141,6 +151,7 @@ class PAQOCFlow:
                             )
                         schedule.add_pulse(pulse, label="pattern")
                         distances.append(pulse.unitary_distance)
+                        ledger.observe(block.index, block.qubits, pulse)
                         custom_gates += 1
                     else:
                         for gate in block.circuit.gates:
@@ -176,7 +187,9 @@ class PAQOCFlow:
                 "unique_qoc_items": float(unique_qoc),
                 "cache_hits": float(self.library.hits),
                 "cache_misses": float(self.library.misses),
+                "degraded_blocks": float(len(ledger.entries)),
             },
+            degraded_blocks=ledger.entries,
         )
 
     @staticmethod

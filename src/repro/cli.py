@@ -24,7 +24,7 @@ from typing import Optional
 from repro import telemetry
 from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
 from repro.circuits import QuantumCircuit
-from repro.config import EPOCConfig, ParallelConfig, QOCConfig
+from repro.config import EPOCConfig, ParallelConfig, QOCConfig, ResilienceConfig
 from repro.core import EPOCPipeline
 from repro.exceptions import ReproError
 
@@ -112,6 +112,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write counters/gauges/histograms as JSON",
     )
+    compile_cmd.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help=(
+            "pulse-library checkpoint path; pulses are flushed here "
+            "incrementally during compilation"
+        ),
+    )
+    compile_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint (skips already-solved pulses)",
+    )
+    compile_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="flush the checkpoint every N solved pulses (default: 1)",
+    )
+    compile_cmd.add_argument(
+        "--stage-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per compilation stage (synthesis, and each "
+            "GRAPE duration search); expired work degrades instead of "
+            "running on"
+        ),
+    )
+    compile_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="reseeded retries per failed QOC/synthesis attempt (default: 1)",
+    )
+    compile_cmd.add_argument(
+        "--strict-qoc",
+        action="store_true",
+        help=(
+            "fail the compile when GRAPE misses the fidelity target instead "
+            "of keeping the best-effort pulse and recording the deficit"
+        ),
+    )
 
     optimize_cmd = sub.add_parser(
         "optimize", help="run only the ZX optimization", parents=[logging_parent]
@@ -134,12 +181,23 @@ def _load(path: str) -> QuantumCircuit:
 
 
 def _config(args) -> EPOCConfig:
+    stage_timeout = getattr(args, "stage_timeout", None)
+    resilience = ResilienceConfig(
+        max_retries=getattr(args, "max_retries", 1),
+        qoc_timeout_seconds=stage_timeout,
+        synthesis_timeout_seconds=stage_timeout,
+        degrade_on_qoc_failure=not getattr(args, "strict_qoc", False),
+        checkpoint_path=getattr(args, "checkpoint", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+        resume=getattr(args, "resume", False),
+    )
     return EPOCConfig(
         use_zx=not getattr(args, "no_zx", False),
         partition_qubit_limit=args.qubit_limit,
         regroup_qubit_limit=args.qubit_limit,
         qoc=QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity),
         parallel=ParallelConfig(workers=getattr(args, "workers", None)),
+        resilience=resilience,
     )
 
 
@@ -166,6 +224,13 @@ def _run_compile(args) -> int:
     print(report.summary_row())
     for key, value in sorted(report.stats.items()):
         print(f"  {key}: {value:g}")
+    for entry in report.degraded_blocks:
+        print(
+            f"  degraded block {entry.index} qubits={list(entry.qubits)}: "
+            f"fidelity {entry.achieved_fidelity:.4f} < "
+            f"{entry.target_fidelity:.4f} ({entry.reason})",
+            file=sys.stderr,
+        )
     if args.render:
         from repro.pulse.render import render_schedule
 

@@ -37,6 +37,24 @@ class QOCConfig:
     #: random seed for pulse initialization (deterministic by default).
     seed: int = 7
 
+    def __post_init__(self):
+        # an inverted segment bracket used to be clamped silently inside
+        # ``estimate_initial_segments``, which started the duration search
+        # at the cap and skipped the doubling phase entirely — fail loudly
+        # at construction instead.
+        if self.min_segments < 1:
+            raise ValueError(
+                f"QOCConfig.min_segments must be >= 1, got {self.min_segments}"
+            )
+        if self.max_segments < self.min_segments:
+            raise ValueError(
+                f"QOCConfig.min_segments ({self.min_segments}) exceeds "
+                f"max_segments ({self.max_segments}); the duration search "
+                "needs a non-empty segment bracket"
+            )
+        if self.dt <= 0.0:
+            raise ValueError(f"QOCConfig.dt must be positive, got {self.dt}")
+
 
 @dataclass(frozen=True)
 class HardwareConfig:
@@ -102,6 +120,56 @@ class ParallelConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault tolerance for the compilation flows (see README "Resilience").
+
+    The defaults degrade gracefully: failed GRAPE searches retry with a
+    fresh seed and then fall back to a best-effort pulse recorded on the
+    report's fidelity ledger, and a crashed worker's chunk is retried
+    serially in the parent while the rest of the batch continues.  Set
+    ``degrade_on_qoc_failure=False`` to restore the strict behaviour
+    (a :class:`~repro.exceptions.QOCError` aborts the compilation).
+    """
+
+    #: extra reseeded attempts after a GRAPE/QSearch failure (0 disables).
+    max_retries: int = 1
+    #: initial sleep before a retry; grows by ``retry_backoff_factor``.
+    retry_backoff_seconds: float = 0.0
+    retry_backoff_factor: float = 2.0
+    #: wall-clock budget (seconds) for one pulse duration search;
+    #: ``None`` means unlimited.
+    qoc_timeout_seconds: Optional[float] = None
+    #: wall-clock budget (seconds) for the whole synthesis stage; blocks
+    #: past the deadline keep their basis-transpiled form.
+    synthesis_timeout_seconds: Optional[float] = None
+    #: keep the best-effort pulse (ledger entry) instead of raising when
+    #: no duration converges.
+    degrade_on_qoc_failure: bool = True
+    #: pool rebuild + serial chunk retries tolerated per map call.
+    worker_crash_retries: int = 1
+    #: pulse-library checkpoint file; ``None`` disables checkpointing.
+    checkpoint_path: Optional[str] = None
+    #: completed blocks between incremental checkpoint flushes.
+    checkpoint_every: int = 1
+    #: preload the checkpoint (if present) before compiling.
+    resume: bool = False
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("ResilienceConfig.max_retries must be >= 0")
+        if self.worker_crash_retries < 0:
+            raise ValueError(
+                "ResilienceConfig.worker_crash_retries must be >= 0"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError("ResilienceConfig.checkpoint_every must be >= 1")
+        if self.resume and self.checkpoint_path is None:
+            raise ValueError(
+                "ResilienceConfig.resume requires a checkpoint_path"
+            )
+
+
+@dataclass(frozen=True)
 class TelemetryConfig:
     """Observability knobs (see :mod:`repro.telemetry`).
 
@@ -148,6 +216,7 @@ class EPOCConfig:
     hardware: HardwareConfig = field(default_factory=HardwareConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def with_updates(self, **kwargs) -> "EPOCConfig":
         """Functional update helper (the dataclass is frozen)."""

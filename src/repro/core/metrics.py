@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.pulse.schedule import PulseSchedule
+from repro.resilience.ledger import DegradedBlock
 
 __all__ = ["esp_fidelity", "CompilationReport"]
 
@@ -40,6 +41,19 @@ class CompilationReport:
     pulse_count: int
     #: free-form per-flow statistics (cache hits, zx depth, block counts...)
     stats: Dict[str, float] = field(default_factory=dict)
+    #: fidelity-budget ledger: work items whose best-effort pulse missed
+    #: the per-pulse fidelity target (empty for a fully converged run)
+    degraded_blocks: List[DegradedBlock] = field(default_factory=list)
+
+    @property
+    def fully_converged(self) -> bool:
+        """Whether every pulse met its fidelity budget."""
+        return not self.degraded_blocks
+
+    @property
+    def fidelity_deficit(self) -> float:
+        """Total shortfall across the degraded blocks (0.0 when none)."""
+        return sum(entry.deficit for entry in self.degraded_blocks)
 
     @property
     def cache_hit_rate(self) -> Optional[float]:
@@ -63,9 +77,14 @@ class CompilationReport:
             qoc = f"{int(unique)}/{int(total)}"
         else:
             qoc = "--"
+        degraded = (
+            f"  degraded={len(self.degraded_blocks)}"
+            if self.degraded_blocks
+            else ""
+        )
         return (
             f"{self.circuit_name:<12} {self.method:<12} "
             f"{self.latency_ns:>10.1f} ns  fidelity={self.fidelity:.4f}  "
             f"compile={self.compile_seconds:.2f}s  pulses={self.pulse_count}  "
-            f"cache={cache}  qoc={qoc}"
+            f"cache={cache}  qoc={qoc}{degraded}"
         )

@@ -32,6 +32,10 @@ from repro.partition.greedy import greedy_partition
 from repro.partition.regroup import RegroupedUnitary, regroup_circuit
 from repro.pulse.schedule import PulseSchedule
 from repro.qoc.library import PulseLibrary
+from repro.resilience import CompilationJournal, FidelityLedger
+from repro.resilience.faults import fault_fires
+from repro.resilience.journal import config_fingerprint
+from repro.resilience.policy import Deadline
 from repro.synthesis import synthesize_block
 from repro.zx.optimize import optimize_circuit
 
@@ -56,6 +60,7 @@ class EPOCPipeline:
             library = PulseLibrary(
                 config=self.config.qoc,
                 match_global_phase=self.config.cache_global_phase,
+                resilience=self.config.resilience,
             )
         self.library = library
         self.use_regrouping = use_regrouping
@@ -74,8 +79,9 @@ class EPOCPipeline:
         tracer = telemetry.get_tracer()
         metrics = telemetry.get_metrics()
         stats = {}
+        resilience = config.resilience
 
-        executor = ParallelExecutor.from_config(config.parallel)
+        executor = ParallelExecutor.from_config(config.parallel, resilience)
         with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="epoc"
         ):
@@ -140,13 +146,35 @@ class EPOCPipeline:
                                     block=block,
                                     threshold=config.synthesis_threshold,
                                     max_cnots=config.synthesis_max_layers,
+                                    resilience=resilience,
                                 )
                                 for block in blocks
                             ]
                         )
                     else:
+                        stage_deadline = Deadline(
+                            resilience.synthesis_timeout_seconds
+                        )
                         synthesized = []
                         for block in blocks:
+                            if stage_deadline.expired:
+                                # stage budget exhausted: the basis-gate
+                                # form is always a valid (if longer)
+                                # synthesis result, so degrade to it
+                                metrics.inc("resilience.timeouts")
+                                logger.warning(
+                                    "synthesis budget expired; keeping the "
+                                    "basis form of block %d",
+                                    block.index,
+                                )
+                                synthesized.append(
+                                    CircuitBlock(
+                                        qubits=block.qubits,
+                                        circuit=decompose_to_cx_u3(block.circuit),
+                                        index=block.index,
+                                    )
+                                )
+                                continue
                             with tracer.span(
                                 "synthesize_block",
                                 block=block.index,
@@ -157,6 +185,7 @@ class EPOCPipeline:
                                         block,
                                         threshold=config.synthesis_threshold,
                                         max_cnots=config.synthesis_max_layers,
+                                        resilience=resilience,
                                     )
                                 )
                         blocks = synthesized
@@ -181,35 +210,83 @@ class EPOCPipeline:
                     items = regroup_circuit(flat, qubit_limit=widest, gate_limit=1)
                 span.set(items=len(items))
             stats["qoc_items"] = float(len(items))
-            stats["unique_qoc_items"] = float(
-                len({self.library.key_for(item.matrix, item.num_qubits)
-                     for item in items})
-            )
+            item_keys = [
+                self.library.key_for(item.matrix, item.num_qubits)
+                for item in items
+            ]
+            stats["unique_qoc_items"] = float(len(set(item_keys)))
             for item in items:
                 metrics.observe("regroup.unitary_qubits", item.num_qubits)
 
+            journal: Optional[CompilationJournal] = None
+            if resilience.checkpoint_path is not None:
+                journal = CompilationJournal(
+                    resilience.checkpoint_path,
+                    self.library,
+                    checkpoint_every=resilience.checkpoint_every,
+                )
+                resumed = journal.open(
+                    name,
+                    config_fingerprint(config.qoc, self.config.cache_global_phase),
+                    resume=resilience.resume,
+                )
+                stats["resumed_entries"] = float(resumed)
+
+            # maps each library key to the first work item that needs it, so
+            # the journal can attribute parallel completions to an item index
+            first_item = {}
+            for index, key in enumerate(item_keys):
+                first_item.setdefault(key, index)
+
             schedule = PulseSchedule(circuit.num_qubits)
             distances: List[float] = []
-            with tracer.span(
-                "pulse_generation", items=len(items), workers=executor.workers
-            ):
-                if executor.is_parallel:
-                    pulses = self.library.get_pulses(
-                        [(item.matrix, item.qubits) for item in items],
-                        executor=executor,
-                    )
-                else:
-                    pulses = []
-                    for index, item in enumerate(items):
-                        with tracer.span(
-                            "pulse", item=index, qubits=list(item.qubits)
-                        ) as span:
-                            pulse = self.library.get_pulse(item.matrix, item.qubits)
-                            span.set(duration_ns=pulse.duration)
-                        pulses.append(pulse)
-                for item, pulse in zip(items, pulses):
-                    schedule.add_pulse(pulse, label=f"u{item.num_qubits}")
-                    distances.append(pulse.unitary_distance)
+            try:
+                with tracer.span(
+                    "pulse_generation", items=len(items), workers=executor.workers
+                ):
+                    if executor.is_parallel:
+                        on_pulse = None
+                        if journal is not None:
+                            on_pulse = lambda key, pulse: journal.record_block(
+                                first_item[key], key
+                            )
+                        pulses = self.library.get_pulses(
+                            [(item.matrix, item.qubits) for item in items],
+                            executor=executor,
+                            on_pulse=on_pulse,
+                        )
+                    else:
+                        pulses = []
+                        for index, item in enumerate(items):
+                            if fault_fires("pipeline.kill", item=index):
+                                raise RuntimeError(
+                                    f"injected pipeline kill at item {index}"
+                                )
+                            with tracer.span(
+                                "pulse", item=index, qubits=list(item.qubits)
+                            ) as span:
+                                pulse = self.library.get_pulse(
+                                    item.matrix, item.qubits
+                                )
+                                span.set(duration_ns=pulse.duration)
+                            pulses.append(pulse)
+                            if journal is not None:
+                                journal.record_block(index, item_keys[index])
+                    for item, pulse in zip(items, pulses):
+                        schedule.add_pulse(pulse, label=f"u{item.num_qubits}")
+                        distances.append(pulse.unitary_distance)
+            except BaseException:
+                if journal is not None:
+                    journal.close(complete=False)
+                raise
+            else:
+                if journal is not None:
+                    journal.close(complete=True)
+
+            ledger = FidelityLedger(target_fidelity=config.qoc.fidelity_threshold)
+            for index, (item, pulse) in enumerate(zip(items, pulses)):
+                ledger.observe(index, item.qubits, pulse)
+            stats["degraded_blocks"] = float(len(ledger.entries))
             stats["cache_hits"] = float(self.library.hits)
             stats["cache_misses"] = float(self.library.misses)
             stats["depth_input"] = float(depth_input)
@@ -235,6 +312,7 @@ class EPOCPipeline:
             compile_seconds=elapsed,
             pulse_count=len(items),
             stats=stats,
+            degraded_blocks=ledger.entries,
         )
 
 

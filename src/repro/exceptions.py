@@ -37,6 +37,11 @@ class QOCError(ReproError):
     non-convergent pulse searches when ``strict`` is requested, ...)."""
 
 
+class ResilienceError(ReproError):
+    """Raised by the fault-tolerance layer (unsafe resume requests,
+    exhausted retry budgets when no fallback is allowed, ...)."""
+
+
 class ScheduleError(ReproError):
     """Raised when a pulse schedule is inconsistent (overlapping pulses on
     one qubit line, negative times, unknown qubits)."""

@@ -1,7 +1,7 @@
 """The process-pool executor behind every parallel compilation stage.
 
 :class:`ParallelExecutor` wraps :class:`concurrent.futures.ProcessPoolExecutor`
-with the three behaviours the pipeline needs:
+with the behaviours the pipeline needs:
 
 * **Serial fallback** — ``workers=0`` (or fewer tasks than
   ``min_tasks``) runs tasks inline on the calling thread, preserving the
@@ -9,27 +9,40 @@ with the three behaviours the pipeline needs:
   same exceptions.
 * **Ordered, chunked fan-out** — tasks are batched ``chunk_size`` at a
   time to amortize inter-process pickling, and results always come back
-  in submission order regardless of completion order.
+  in submission order regardless of completion order.  Completion is
+  observed with ``concurrent.futures.wait(..., FIRST_EXCEPTION)``, so a
+  fast-failing late chunk aborts (or recovers) immediately instead of
+  hiding behind every earlier chunk.
 * **Telemetry fan-in** — when the parent has recorders installed, each
   worker runs its chunk under a private telemetry session and ships the
   metrics snapshot and span trees home; the executor merges them so
   ``--trace`` / ``--metrics`` output is complete across processes.
+* **Worker-crash recovery** — when a worker process dies mid-chunk
+  (``BrokenProcessPool``), the executor rebuilds the pool, re-runs the
+  affected chunks *serially in the parent* (quarantining any task that
+  fails again), and resubmits untouched chunks to the fresh pool, so one
+  poisoned task no longer discards the whole batch.  ``crash_retries=0``
+  restores the old fail-fast behaviour.
 
 A failing task (for example a :class:`~repro.exceptions.QOCError` from an
-unreachable fidelity target) cancels the remaining work, shuts the pool
-down, and re-raises in the parent — no hung workers, no half-merged
-results.
+unreachable fidelity target) still cancels the remaining work, shuts the
+pool down, and re-raises in the parent — unless the caller supplies an
+``on_task_error`` fallback that converts the failure into a substitute
+result.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_all_start_methods, get_context
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import telemetry
-from repro.config import ParallelConfig
+from repro.config import ParallelConfig, ResilienceConfig
 from repro.parallel.worker import ChunkResult, run_chunk
 
 __all__ = ["ParallelExecutor"]
@@ -50,21 +63,35 @@ class ParallelExecutor:
     executor never pays any multiprocessing cost.
     """
 
-    def __init__(self, workers: int = 0, chunk_size: int = 1, min_tasks: int = 2):
+    def __init__(
+        self,
+        workers: int = 0,
+        chunk_size: int = 1,
+        min_tasks: int = 2,
+        crash_retries: int = 1,
+    ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.workers = max(0, int(workers))
         self.chunk_size = int(chunk_size)
         self.min_tasks = max(1, int(min_tasks))
+        self.crash_retries = max(0, int(crash_retries))
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @classmethod
-    def from_config(cls, config: Optional[ParallelConfig]) -> "ParallelExecutor":
+    def from_config(
+        cls,
+        config: Optional[ParallelConfig],
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> "ParallelExecutor":
         config = config or ParallelConfig()
         return cls(
             workers=config.resolved_workers(),
             chunk_size=config.chunk_size,
             min_tasks=config.min_tasks,
+            crash_retries=(
+                resilience.worker_crash_retries if resilience is not None else 1
+            ),
         )
 
     @property
@@ -74,17 +101,44 @@ class ParallelExecutor:
 
     # -- execution -------------------------------------------------------
 
-    def map(self, tasks: Sequence[Any]) -> List[Any]:
-        """Run every task and return their results in task order."""
+    def map(
+        self,
+        tasks: Sequence[Any],
+        on_chunk: Optional[Callable[[int, List[Any]], None]] = None,
+        on_task_error: Optional[Callable[[Any, BaseException], Any]] = None,
+    ) -> List[Any]:
+        """Run every task and return their results in task order.
+
+        ``on_chunk(start_index, values)`` fires as each chunk of results
+        becomes available (chunks may complete out of submission order);
+        ``on_task_error(task, exc)`` turns an individual task failure
+        into a substitute result instead of aborting the batch.
+        """
         tasks = list(tasks)
         if not tasks:
             return []
         if not self.is_parallel or len(tasks) < self.min_tasks:
-            return [task.run() for task in tasks]
-        return self._map_parallel(tasks)
+            results = []
+            for index, task in enumerate(tasks):
+                try:
+                    value = task.run()
+                except Exception as exc:
+                    if on_task_error is None:
+                        raise
+                    telemetry.get_metrics().inc("resilience.quarantined_tasks")
+                    value = on_task_error(task, exc)
+                if on_chunk is not None:
+                    on_chunk(index, [value])
+                results.append(value)
+            return results
+        return self._map_parallel(tasks, on_chunk, on_task_error)
 
-    def _map_parallel(self, tasks: List[Any]) -> List[Any]:
-        pool = self._ensure_pool()
+    def _map_parallel(
+        self,
+        tasks: List[Any],
+        on_chunk: Optional[Callable[[int, List[Any]], None]] = None,
+        on_task_error: Optional[Callable[[Any, BaseException], Any]] = None,
+    ) -> List[Any]:
         metrics = telemetry.get_metrics()
         tracer = telemetry.get_tracer()
         collect = metrics.enabled or tracer.enabled
@@ -96,21 +150,120 @@ class ParallelExecutor:
         metrics.inc("parallel.dispatches")
         metrics.inc("parallel.tasks", len(tasks))
         submitted_at = time.perf_counter()
-        futures = [pool.submit(run_chunk, chunk, collect) for chunk in chunks]
+
+        chunk_results: Dict[int, ChunkResult] = {}
+        to_submit = deque(range(len(chunks)))
+        future_map: Dict[Any, int] = {}
+        crash_budget = self.crash_retries
+
+        def finish(index: int, chunk_result: ChunkResult) -> None:
+            chunk_results[index] = chunk_result
+            if on_chunk is not None:
+                on_chunk(index * self.chunk_size, chunk_result.values)
+
+        while to_submit or future_map:
+            if to_submit:
+                pool = self._ensure_pool()
+                while to_submit:
+                    index = to_submit.popleft()
+                    future = pool.submit(run_chunk, chunks[index], collect, index)
+                    future_map[future] = index
+            # FIRST_EXCEPTION: a fast-failing late chunk is observed (and
+            # recovery/teardown started) without waiting for every earlier
+            # chunk to finish
+            done, _ = wait(set(future_map), return_when=FIRST_EXCEPTION)
+            crashed: List[int] = []
+            for future in done:
+                index = future_map.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    finish(index, future.result())
+                elif isinstance(exc, BrokenProcessPool):
+                    crashed.append(index)
+                else:
+                    # the task itself raised inside a healthy worker
+                    if on_task_error is None:
+                        self._abort(future_map)
+                        raise exc
+                    metrics.inc("resilience.chunk_serial_retries")
+                    finish(
+                        index,
+                        self._run_chunk_serially(chunks[index], on_task_error),
+                    )
+            if crashed:
+                if crash_budget <= 0:
+                    self._abort(future_map)
+                    raise BrokenProcessPool(
+                        "a worker process died and the crash-retry budget "
+                        "is exhausted"
+                    )
+                crash_budget -= 1
+                metrics.inc("resilience.worker_crashes")
+                logger.warning(
+                    "worker crash detected; retrying %d chunk(s) serially "
+                    "in the parent and rebuilding the pool",
+                    len(crashed),
+                )
+                # cleanly cancelled futures never started: resubmit them to
+                # the fresh pool; everything else resolves immediately on
+                # the broken pool and joins the serial-retry set
+                for future, index in list(future_map.items()):
+                    if future.cancel():
+                        future_map.pop(future)
+                        to_submit.append(index)
+                if future_map:
+                    leftovers, _ = wait(set(future_map))
+                    for future in leftovers:
+                        index = future_map.pop(future)
+                        if future.exception() is None:
+                            finish(index, future.result())
+                        else:
+                            crashed.append(index)
+                self.shutdown()
+                for index in sorted(crashed):
+                    metrics.inc("resilience.chunk_serial_retries")
+                    finish(
+                        index,
+                        self._run_chunk_serially(chunks[index], on_task_error),
+                    )
+
         results: List[Any] = []
-        try:
-            for future in futures:
-                chunk_result: ChunkResult = future.result()
-                self._merge_telemetry(chunk_result, submitted_at)
-                results.extend(chunk_result.values)
-        except BaseException:
-            # a worker failed (or the wait was interrupted): stop handing
-            # out queued chunks and tear the pool down before re-raising
-            for future in futures:
-                future.cancel()
-            self.shutdown()
-            raise
+        for index in range(len(chunks)):
+            chunk_result = chunk_results[index]
+            self._merge_telemetry(chunk_result, submitted_at)
+            results.extend(chunk_result.values)
         return results
+
+    def _run_chunk_serially(
+        self,
+        chunk: List[Any],
+        on_task_error: Optional[Callable[[Any, BaseException], Any]],
+    ) -> ChunkResult:
+        """Re-run one chunk in the parent, quarantining poisoned tasks.
+
+        Tasks execute directly against the parent's telemetry recorders,
+        so the resulting :class:`ChunkResult` carries no worker telemetry
+        to merge.
+        """
+        metrics = telemetry.get_metrics()
+        values: List[Any] = []
+        for task in chunk:
+            try:
+                values.append(task.run())
+            except Exception as exc:
+                if on_task_error is None:
+                    self.shutdown()
+                    raise
+                metrics.inc("resilience.quarantined_tasks")
+                logger.warning("quarantined a poisoned task: %s", exc)
+                values.append(on_task_error(task, exc))
+        return ChunkResult(values=values, pid=os.getpid())
+
+    def _abort(self, future_map: Dict[Any, int]) -> None:
+        """Cancel outstanding work and tear the pool down before re-raising."""
+        for future in future_map:
+            future.cancel()
+        self.shutdown()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

@@ -14,6 +14,7 @@ fans out across processes.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
@@ -21,8 +22,9 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro import telemetry
-from repro.config import QOCConfig
+from repro.config import QOCConfig, ResilienceConfig
 from repro.partition.block import CircuitBlock
+from repro.resilience.faults import fault_fires
 
 __all__ = ["PulseTask", "SynthesisTask", "ChunkResult", "run_chunk"]
 
@@ -40,11 +42,14 @@ class PulseTask:
     matrix: np.ndarray
     num_qubits: int
     config: QOCConfig
+    resilience: Optional[ResilienceConfig] = None
 
     def run(self) -> Any:
         from repro.qoc.latency import pulse_for_unitary
 
-        return pulse_for_unitary(self.matrix, self.num_qubits, self.config)
+        return pulse_for_unitary(
+            self.matrix, self.num_qubits, self.config, resilience=self.resilience
+        )
 
 
 @dataclass(frozen=True)
@@ -54,12 +59,16 @@ class SynthesisTask:
     block: CircuitBlock
     threshold: float
     max_cnots: int
+    resilience: Optional[ResilienceConfig] = None
 
     def run(self) -> Any:
         from repro.synthesis import synthesize_block
 
         return synthesize_block(
-            self.block, threshold=self.threshold, max_cnots=self.max_cnots
+            self.block,
+            threshold=self.threshold,
+            max_cnots=self.max_cnots,
+            resilience=self.resilience,
         )
 
 
@@ -75,14 +84,24 @@ class ChunkResult:
     clock_origin: float = 0.0
 
 
-def run_chunk(tasks: Sequence[Any], collect_telemetry: bool = False) -> ChunkResult:
+def run_chunk(
+    tasks: Sequence[Any],
+    collect_telemetry: bool = False,
+    chunk_index: int = -1,
+) -> ChunkResult:
     """Process-pool entry point: run ``tasks`` in order, in this process.
 
     Any exception (e.g. :class:`~repro.exceptions.QOCError` from a pulse
     search that cannot reach the fidelity threshold) propagates to the
-    parent through the future, where the executor shuts the pool down and
-    re-raises.
+    parent through the future; depending on the executor's resilience
+    settings it either aborts the batch or triggers a serial in-parent
+    retry of this chunk.
     """
+    if fault_fires("worker.crash", chunk=chunk_index):
+        # simulate a worker process dying mid-chunk; guarded so the
+        # parent's serial retry of the same chunk never kills the parent
+        if multiprocessing.parent_process() is not None:
+            os._exit(43)
     if not collect_telemetry:
         # drop any recorders inherited through fork so workers never pay
         # for (or mutate a copy of) the parent's telemetry state

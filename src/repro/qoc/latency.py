@@ -5,23 +5,35 @@ reaches the configured fidelity threshold: double the segment count until
 GRAPE converges, then binary-search between the last failure and the first
 success.  Successful solutions warm-start neighbouring durations, which
 cuts the total GRAPE iteration count substantially.
+
+The search is resilience-aware (see :mod:`repro.resilience`): it honours
+a cooperative wall-clock :class:`~repro.resilience.policy.Deadline`,
+re-attempts the hard cap with fresh seeds under a
+:class:`~repro.resilience.policy.RetryPolicy`, and — when the caller's
+:class:`~repro.config.ResilienceConfig` allows it — returns the best
+non-converged pulse (``source="grape-degraded"``) instead of raising,
+so one stubborn block degrades gracefully instead of aborting a whole
+compilation.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional, Tuple
+import time
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro import telemetry
-from repro.config import QOCConfig
+from repro.config import QOCConfig, ResilienceConfig
 from repro.exceptions import QOCError
 from repro.linalg.unitary import global_phase_align
 from repro.qoc.grape import GrapeResult, grape_optimize
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.pulse import Pulse
+from repro.resilience.faults import fault_fires
+from repro.resilience.policy import Deadline, RetryPolicy
 
 __all__ = [
     "minimal_latency_pulse",
@@ -41,6 +53,10 @@ def estimate_initial_segments(
     is paced by the chain coupling ``g`` (a CNOT-class interaction needs
     roughly ``pi / (2g)`` nanoseconds).  We start one rung *below* the
     estimate so the doubling phase brackets the true minimum.
+
+    ``min_segments <= max_segments`` is validated when the
+    :class:`~repro.config.QOCConfig` is constructed, so the clamp here
+    only ever trims a too-large physics estimate to the hard cap.
     """
     num_qubits = hardware.num_qubits
     one_qubit_ns = math.pi / config.max_amplitude
@@ -51,7 +67,10 @@ def estimate_initial_segments(
 
 
 def pulse_for_unitary(
-    matrix: np.ndarray, num_qubits: int, config: Optional[QOCConfig] = None
+    matrix: np.ndarray,
+    num_qubits: int,
+    config: Optional[QOCConfig] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Pulse:
     """Solve one pulse-library-style QOC problem on local wires 0..n-1.
 
@@ -66,6 +85,27 @@ def pulse_for_unitary(
         tuple(range(num_qubits)),
         config=config,
         hardware=TransmonChain(num_qubits),
+        resilience=resilience,
+    )
+
+
+def _finish_pulse(
+    result: GrapeResult,
+    qubits: Tuple[int, ...],
+    target: np.ndarray,
+    config: QOCConfig,
+    source: str = "grape",
+) -> Pulse:
+    """Package a GRAPE result as the search's returned pulse."""
+    achieved = global_phase_align(target, result.final_unitary)
+    distance = float(np.linalg.norm(target - achieved, ord=2))
+    return Pulse(
+        qubits=tuple(qubits),
+        controls=result.controls,
+        dt=config.dt,
+        fidelity=result.fidelity,
+        unitary_distance=distance,
+        source=source,
     )
 
 
@@ -74,12 +114,19 @@ def minimal_latency_pulse(
     qubits: Tuple[int, ...],
     config: Optional[QOCConfig] = None,
     hardware: Optional[TransmonChain] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Pulse:
     """Find the shortest pulse implementing ``target`` on ``qubits``.
 
     Raises :class:`QOCError` when even the maximum allowed duration cannot
-    reach the fidelity threshold (callers should treat this as a sign that
-    the regrouped unitary is too large for the hardware budget).
+    reach the fidelity threshold — unless ``resilience`` permits
+    degradation, in which case the best-effort pulse comes back with
+    ``source="grape-degraded"`` and the caller records the fidelity
+    deficit on its ledger.  ``deadline`` (defaulting to
+    ``resilience.qoc_timeout_seconds``) bounds the wall-clock spent on
+    this one search; probes stop at expiry and the best result so far
+    wins.
     """
     config = config or QOCConfig()
     target = np.asarray(target, dtype=complex)
@@ -90,58 +137,168 @@ def minimal_latency_pulse(
         )
     hardware = hardware or TransmonChain(num_qubits)
     metrics = telemetry.get_metrics()
+    if deadline is None:
+        deadline = Deadline(
+            resilience.qoc_timeout_seconds if resilience is not None else None
+        )
+    forced_fail = fault_fires("qoc.no_converge", qubits=num_qubits)
+
+    # every probed segment count and its result: the binary search never
+    # re-runs GRAPE for a count it has already seen
+    probed: Dict[int, GrapeResult] = {}
+    best_attempt: Optional[GrapeResult] = None
+
+    def probe(
+        segment_count: int,
+        probe_config: QOCConfig,
+        initial_controls: Optional[np.ndarray],
+    ) -> GrapeResult:
+        nonlocal best_attempt
+        metrics.inc("qoc.search_probes")
+        result = grape_optimize(
+            target,
+            hardware,
+            segment_count,
+            config=probe_config,
+            initial_controls=initial_controls,
+        )
+        if forced_fail and result.converged:
+            # an injected non-convergence must look like a real one: below
+            # threshold, so the degraded pulse carries a visible deficit
+            result = replace(
+                result,
+                converged=False,
+                fidelity=min(
+                    result.fidelity, probe_config.fidelity_threshold - 1e-6
+                ),
+            )
+        probed[segment_count] = result
+        if best_attempt is None or result.fidelity > best_attempt.fidelity:
+            best_attempt = result
+        return result
 
     with telemetry.get_tracer().span(
         "qoc.pulse_search", qubits=num_qubits
     ) as search_span:
         # phase 1: double until success
-        segments = estimate_initial_segments(target, hardware, config)
+        initial = estimate_initial_segments(target, hardware, config)
+        segments = initial
         best: Optional[GrapeResult] = None
         last_fail = 0
         warm: Optional[np.ndarray] = None
+        timed_out = False
         while segments <= config.max_segments:
-            metrics.inc("qoc.search_probes")
-            result = grape_optimize(
-                target, hardware, segments, config=config, initial_controls=warm
-            )
+            result = probe(segments, config, warm)
             warm = result.controls
             if result.converged:
                 best = result
                 break
             last_fail = segments
+            if forced_fail:
+                break  # injected fault: behave as if no duration converges
+            if deadline.expired:
+                timed_out = True
+                break
             segments *= 2
-        if best is None:
-            # one last attempt at the hard cap
-            if last_fail < config.max_segments:
-                metrics.inc("qoc.search_probes")
-                result = grape_optimize(
-                    target, hardware, config.max_segments, config=config,
-                    initial_controls=warm,
+
+        if best is None and not timed_out:
+            # one last attempt at the hard cap ...
+            if last_fail < config.max_segments and config.max_segments not in probed:
+                result = probe(config.max_segments, config, warm)
+                if result.converged:
+                    best = result
+                    segments = config.max_segments
+            # ... then reseeded retries under the resilience policy: a
+            # non-convergence can be an unlucky random initialization, so
+            # each retry restarts from a fresh seed instead of the stuck
+            # warm-start controls
+            attempt = 1
+            for delay in RetryPolicy.from_config(resilience).delays():
+                if best is not None or deadline.expired:
+                    break
+                metrics.inc("resilience.retries")
+                logger.warning(
+                    "pulse search retry %d for a %d-qubit target (seed %d)",
+                    attempt,
+                    num_qubits,
+                    config.seed + attempt,
+                )
+                if delay > 0.0:
+                    time.sleep(delay)
+                result = probe(
+                    config.max_segments,
+                    replace(config, seed=config.seed + attempt),
+                    None,
                 )
                 if result.converged:
                     best = result
                     segments = config.max_segments
-            if best is None:
-                metrics.inc("qoc.search_failures")
-                raise QOCError(
-                    f"no pulse under {config.max_segments * config.dt:.0f} ns reached "
-                    f"fidelity {config.fidelity_threshold} for a {num_qubits}-qubit target"
+                attempt += 1
+
+        if best is None:
+            metrics.inc("qoc.search_failures")
+            if timed_out:
+                metrics.inc("resilience.timeouts")
+            reason = "wall-clock budget expired" if timed_out else (
+                f"no pulse under {config.max_segments * config.dt:.0f} ns"
+            )
+            allow_degraded = (
+                resilience is not None and resilience.degrade_on_qoc_failure
+            )
+            if allow_degraded and best_attempt is not None:
+                metrics.inc("resilience.degraded_pulses")
+                search_span.set(
+                    degraded=True, fidelity=round(best_attempt.fidelity, 6)
                 )
+                logger.warning(
+                    "%s reached fidelity %.6f < %s for a %d-qubit target; "
+                    "keeping the best-effort pulse",
+                    reason,
+                    best_attempt.fidelity,
+                    config.fidelity_threshold,
+                    num_qubits,
+                )
+                return _finish_pulse(
+                    best_attempt, qubits, target, config, source="grape-degraded"
+                )
+            raise QOCError(
+                f"{reason}: fidelity {config.fidelity_threshold} unreachable "
+                f"for a {num_qubits}-qubit target"
+            )
 
         # phase 2: binary search between last failure and the success
-        low, high = last_fail, segments
+        if last_fail == 0:
+            # The very first probe (the physics-motivated estimate)
+            # converged, so no failing duration brackets the search from
+            # below.  Durations under the estimate are physically
+            # implausible — seed the lower bound there instead of at 0 so
+            # GRAPE probes are not burned on hopeless segment counts.
+            low = initial
+        else:
+            low = last_fail
+        high = segments
         best_result = best
         while high - low > max(1, int(0.1 * high)):
             mid = (low + high) // 2
-            metrics.inc("qoc.search_probes")
+            cached = probed.get(mid)
+            if cached is not None:
+                # the doubling phase already answered this segment count
+                if cached.converged:
+                    best_result = cached
+                    high = mid
+                else:
+                    low = mid
+                continue
+            if deadline.expired:
+                metrics.inc("resilience.timeouts")
+                logger.info(
+                    "pulse search budget expired mid refinement; keeping "
+                    "%d segments",
+                    best_result.controls.shape[1],
+                )
+                break
             metrics.inc("qoc.binary_search_steps")
-            result = grape_optimize(
-                target,
-                hardware,
-                mid,
-                config=config,
-                initial_controls=best_result.controls,
-            )
+            result = probe(mid, config, best_result.controls)
             if result.converged:
                 best_result = result
                 high = mid
@@ -162,13 +319,4 @@ def minimal_latency_pulse(
         best_result.duration,
         best_result.fidelity,
     )
-    achieved = global_phase_align(target, best_result.final_unitary)
-    distance = float(np.linalg.norm(target - achieved, ord=2))
-    return Pulse(
-        qubits=tuple(qubits),
-        controls=best_result.controls,
-        dt=config.dt,
-        fidelity=best_result.fidelity,
-        unitary_distance=distance,
-        source="grape",
-    )
+    return _finish_pulse(best_result, qubits, target, config)

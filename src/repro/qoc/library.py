@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import telemetry
-from repro.config import QOCConfig
+from repro.config import QOCConfig, ResilienceConfig
 from repro.exceptions import QOCError
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.latency import minimal_latency_pulse
@@ -62,6 +62,10 @@ class PulseLibrary:
 
     config: QOCConfig = field(default_factory=QOCConfig)
     match_global_phase: bool = True
+    #: fault-tolerance knobs threaded into every pulse search; ``None``
+    #: keeps the strict behaviour (non-convergence raises
+    #: :class:`~repro.exceptions.QOCError`).
+    resilience: Optional[ResilienceConfig] = None
     _entries: Dict[bytes, Pulse] = field(default_factory=dict)
     _hardware: Dict[int, TransmonChain] = field(default_factory=dict)
     hits: int = 0
@@ -102,6 +106,7 @@ class PulseLibrary:
             tuple(range(num_qubits)),
             config=self.config,
             hardware=self.hardware_for(num_qubits),
+            resilience=self.resilience,
         )
         self._entries[key] = pulse
         metrics.gauge("library.size", len(self._entries))
@@ -111,6 +116,7 @@ class PulseLibrary:
         self,
         requests: Sequence[Tuple[np.ndarray, Tuple[int, ...]]],
         executor=None,
+        on_pulse=None,
     ) -> List[Pulse]:
         """Batch :meth:`get_pulse` with singleflight deduplication.
 
@@ -120,6 +126,11 @@ class PulseLibrary:
         problems.  With ``executor`` (a
         :class:`~repro.parallel.ParallelExecutor`), the unique problems
         fan out across worker processes; without one they run inline.
+
+        ``on_pulse(key, pulse)`` fires as each freshly solved pulse lands
+        in the cache — before the batch finishes — which is how the
+        compilation journal flushes incremental checkpoints even when a
+        later chunk dies.
 
         Hit/miss accounting replays the requests in order against the
         pre-call cache state — the first occurrence of a new key is a
@@ -145,6 +156,7 @@ class PulseLibrary:
                     matrix=requests[index][0],
                     num_qubits=len(requests[index][1]),
                     config=self.config,
+                    resilience=self.resilience,
                 )
                 for index in pending.values()
             ]
@@ -155,12 +167,23 @@ class PulseLibrary:
             )
             metrics.inc("library.singleflight_batches")
             metrics.inc("library.singleflight_deduped", len(requests) - len(tasks))
+            pending_keys = list(pending)
+
+            def absorb(start: int, values: Sequence[Pulse]) -> None:
+                # cache each solved pulse the moment its chunk lands, so
+                # checkpoint flushes cover work completed before a crash
+                for offset, pulse in enumerate(values):
+                    key = pending_keys[start + offset]
+                    if key not in self._entries:
+                        self._entries[key] = pulse
+                        if on_pulse is not None:
+                            on_pulse(key, pulse)
+
             if executor is not None:
-                pulses = executor.map(tasks)
+                executor.map(tasks, on_chunk=absorb)
             else:
-                pulses = [task.run() for task in tasks]
-            for key, pulse in zip(pending, pulses):
-                self._entries[key] = pulse
+                for position, task in enumerate(tasks):
+                    absorb(position, [task.run()])
         # replay the request stream for serial-identical hit/miss counts
         fresh = set(pending)
         out: List[Pulse] = []
@@ -190,6 +213,12 @@ class PulseLibrary:
         temporary file in the destination directory and renamed into
         place, so a crash mid-serialization never corrupts (or truncates)
         an existing library file.
+
+        Entries are serialized in canonical (sorted-key) order, so the
+        file's bytes depend only on the library *contents* — a
+        checkpointed-then-resumed compilation, whose insertion order
+        differs from an uninterrupted run's, still produces an identical
+        file.
         """
         import json
         import os
@@ -200,8 +229,8 @@ class PulseLibrary:
         payload = {
             "match_global_phase": self.match_global_phase,
             "entries": [
-                {"key": key.hex(), "pulse": pulse_to_dict(pulse)}
-                for key, pulse in self._entries.items()
+                {"key": key.hex(), "pulse": pulse_to_dict(self._entries[key])}
+                for key in sorted(self._entries)
             ],
         }
         destination = os.path.abspath(path)

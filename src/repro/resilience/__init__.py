@@ -1,0 +1,58 @@
+"""Fault tolerance for the compilation pipeline (see README "Resilience").
+
+EPOC chains five lossy stages — ZX, partition, synthesis, regrouping,
+GRAPE — and a production compilation must survive a hiccup in any of
+them without discarding hours of pulse-library work.  This package
+provides the four mechanisms the flows thread through:
+
+* :class:`RetryPolicy` / :class:`Deadline` — bounded retries with
+  backoff and cooperative wall-clock budgets for the GRAPE duration
+  search and QSearch (:mod:`repro.resilience.policy`).
+* :class:`FaultPlan` — deterministic fault injection, configured
+  programmatically or through the ``REPRO_FAULTS`` environment
+  variable, so every failure path is testable
+  (:mod:`repro.resilience.faults`).
+* :class:`FidelityLedger` — the per-block fidelity-budget ledger that
+  turns GRAPE non-convergence into an explicit
+  :class:`~repro.resilience.ledger.DegradedBlock` entry on the
+  :class:`~repro.core.metrics.CompilationReport` instead of a hard
+  :class:`~repro.exceptions.QOCError`
+  (:mod:`repro.resilience.ledger`).
+* :class:`CompilationJournal` — incremental pulse-library checkpoints
+  plus an append-only journal so a killed run resumes from the last
+  completed block (:mod:`repro.resilience.journal`).
+
+Worker-crash recovery (serial in-parent chunk retry, task quarantine,
+pool rebuild) lives in :class:`repro.parallel.ParallelExecutor` and is
+driven by the same :class:`~repro.config.ResilienceConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (
+    ENV_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    fault_fires,
+    get_fault_plan,
+    set_fault_plan,
+)
+from repro.resilience.journal import CompilationJournal, JournalError
+from repro.resilience.ledger import DegradedBlock, FidelityLedger
+from repro.resilience.policy import Deadline, RetryPolicy, retry_call
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "retry_call",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_fires",
+    "get_fault_plan",
+    "set_fault_plan",
+    "ENV_FAULTS",
+    "DegradedBlock",
+    "FidelityLedger",
+    "CompilationJournal",
+    "JournalError",
+]

@@ -1,0 +1,157 @@
+"""Deterministic fault injection for resilience testing.
+
+A :class:`FaultPlan` is a list of armed fault sites; instrumented code
+asks :func:`fault_fires` ("should this site fail now?") with contextual
+attributes, and a matching spec fires — usually a bounded number of
+times.  Plans come from the ``REPRO_FAULTS`` environment variable
+(inherited by worker processes) or from :func:`set_fault_plan` in tests.
+
+Grammar (specs separated by ``;``)::
+
+    site[@key=value[,key=value...]][*count]
+
+    REPRO_FAULTS="qoc.no_converge@qubits=2*1;worker.crash@chunk=0"
+
+``count`` defaults to 1 (one-shot); ``*-1`` means fire on every match.
+Match values compare as strings against the ``str()`` of the context
+attribute, and every key in the spec must be present in the context.
+
+Sites instrumented across the codebase:
+
+==================  =====================================================
+``qoc.no_converge``  the GRAPE duration search behaves as if no duration
+                     converged (context: ``qubits``)
+``synthesis.qsearch``/``synthesis.leap``  that synthesis strategy raises
+                     :class:`~repro.exceptions.SynthesisError`
+``worker.crash``     a pool worker hard-exits mid-chunk (context:
+                     ``chunk``); ignored outside worker processes
+``pipeline.kill``    the pipeline raises mid pulse-generation (context:
+                     ``item``) — simulates a killed run for resume tests
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ENV_FAULTS",
+    "FaultSpec",
+    "FaultPlan",
+    "get_fault_plan",
+    "set_fault_plan",
+    "fault_fires",
+]
+
+#: environment variable holding the default fault plan.
+ENV_FAULTS = "REPRO_FAULTS"
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: a site name, match attributes, and a shot count."""
+
+    site: str
+    match: Dict[str, str] = field(default_factory=dict)
+    #: how many more times this spec fires; -1 means unlimited.
+    remaining: int = 1
+
+    def matches(self, site: str, context: Dict[str, object]) -> bool:
+        if self.remaining == 0 or site != self.site:
+            return False
+        return all(
+            key in context and str(context[key]) == value
+            for key, value in self.match.items()
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        text = text.strip()
+        count = 1
+        if "*" in text:
+            text, _, count_text = text.rpartition("*")
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault count {count_text!r} (expected an integer)"
+                ) from None
+        site, _, match_text = text.partition("@")
+        site = site.strip()
+        if not site:
+            raise ValueError("fault spec has an empty site name")
+        match: Dict[str, str] = {}
+        if match_text:
+            for pair in match_text.split(","):
+                key, sep, value = pair.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(
+                        f"bad fault match {pair!r} (expected key=value)"
+                    )
+                match[key.strip()] = value.strip()
+        return cls(site=site, match=match, remaining=count)
+
+
+class FaultPlan:
+    """A set of armed :class:`FaultSpec`\\ s consulted by :func:`fault_fires`."""
+
+    def __init__(self, specs: Optional[List[FaultSpec]] = None):
+        self.specs: List[FaultSpec] = list(specs or [])
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar; empty/None yields an inactive plan."""
+        if not text or not text.strip():
+            return cls()
+        return cls([
+            FaultSpec.parse(part)
+            for part in text.split(";")
+            if part.strip()
+        ])
+
+    @property
+    def active(self) -> bool:
+        return any(spec.remaining != 0 for spec in self.specs)
+
+    def fire(self, site: str, **context: object) -> bool:
+        """True (and consume one shot) when an armed spec matches."""
+        for spec in self.specs:
+            if spec.matches(site, context):
+                if spec.remaining > 0:
+                    spec.remaining -= 1
+                return True
+        return False
+
+
+#: the installed plan; ``None`` means "lazily parse the environment".
+_plan: Optional[FaultPlan] = None
+
+
+def get_fault_plan() -> FaultPlan:
+    """The installed fault plan (parsed from ``REPRO_FAULTS`` on first use)."""
+    global _plan
+    if _plan is None:
+        _plan = FaultPlan.parse(os.environ.get(ENV_FAULTS))
+    return _plan
+
+
+def set_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` globally; ``None`` re-arms lazy env parsing.
+
+    Returns the previously installed plan (which may be ``None`` if the
+    environment had not been consulted yet).
+    """
+    global _plan
+    previous = _plan
+    _plan = plan
+    return previous
+
+
+def fault_fires(site: str, **context: object) -> bool:
+    """Cheap global check used at every instrumented fault site."""
+    plan = get_fault_plan()
+    if not plan.specs:
+        return False
+    return plan.fire(site, **context)

@@ -1,0 +1,181 @@
+"""Checkpoint/resume: incremental library flushes plus a compilation journal.
+
+The pulse library is the expensive artifact of a compilation — hours of
+GRAPE work for large programs — so a killed run must not discard it.
+:class:`CompilationJournal` couples two files:
+
+* ``<path>`` — the pulse-library checkpoint, rewritten atomically (see
+  :meth:`repro.qoc.library.PulseLibrary.save`) every ``checkpoint_every``
+  completed blocks.  This is the *source of truth* for resume: pulses are
+  keyed by unitary, so reloading it turns already-solved blocks into
+  cache hits and the pipeline recomputes only what is missing.
+* ``<path>.journal`` — an append-only JSONL log of run metadata and
+  per-block completions.  It is advisory (human/tooling-readable
+  progress, plus a config fingerprint that stops a resume from silently
+  mixing incompatible configurations).
+
+Journal records, one JSON object per line::
+
+    {"event": "begin", "circuit": ..., "fingerprint": ..., "resumed": N}
+    {"event": "block", "index": 3, "key": "<hex cache key>"}
+    {"event": "flush", "entries": 17}
+    {"event": "done", "blocks": 42}
+
+Because every pulse search is deterministic and the checkpoint is written
+in canonical key order, a killed-then-resumed run reproduces the same
+library file bit for bit as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro import telemetry
+from repro.exceptions import ResilienceError
+
+__all__ = ["CompilationJournal", "JournalError", "config_fingerprint"]
+
+logger = telemetry.get_logger("resilience.journal")
+
+
+class JournalError(ResilienceError):
+    """Raised when a resume request cannot be honoured safely."""
+
+
+def config_fingerprint(*parts: object) -> str:
+    """A short stable hash of the configuration a checkpoint depends on."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+class CompilationJournal:
+    """Incremental checkpointing of one flow's pulse library."""
+
+    def __init__(self, path: str, library, checkpoint_every: int = 1):
+        self.path = os.path.abspath(path)
+        self.journal_path = self.path + ".journal"
+        self.library = library
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self._fh = None
+        self._since_flush = 0
+        self._blocks = 0
+        #: entries preloaded from the checkpoint by :meth:`open`.
+        self.resumed_entries = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def open(
+        self,
+        circuit_name: str,
+        fingerprint: str,
+        resume: bool = False,
+    ) -> int:
+        """Start (or resume) the journal; returns the entries preloaded.
+
+        With ``resume=True`` and an existing checkpoint, the stored
+        fingerprint must match ``fingerprint`` — resuming under a
+        different QOC configuration would stitch incompatible pulses
+        into one library.  A resume with no checkpoint on disk degrades
+        to a fresh start (the common "first attempt crashed before the
+        first flush" case).
+        """
+        if resume and os.path.exists(self.path):
+            stored = self._stored_fingerprint()
+            if stored is not None and stored != fingerprint:
+                raise JournalError(
+                    f"checkpoint {self.path} was written under a different "
+                    f"configuration (fingerprint {stored} != {fingerprint}); "
+                    "refusing to resume"
+                )
+            self.resumed_entries = self.library.load(self.path)
+            telemetry.get_metrics().inc(
+                "resilience.resumed_entries", self.resumed_entries
+            )
+            logger.info(
+                "resumed %d pulse-library entries from %s",
+                self.resumed_entries,
+                self.path,
+            )
+        mode = "a" if resume and os.path.exists(self.journal_path) else "w"
+        self._fh = open(self.journal_path, mode)
+        self._write(
+            {
+                "event": "begin",
+                "circuit": circuit_name,
+                "fingerprint": fingerprint,
+                "resumed": self.resumed_entries,
+            }
+        )
+        return self.resumed_entries
+
+    def close(self, complete: bool = True) -> None:
+        """Flush the final checkpoint and seal the journal (idempotent)."""
+        if self._fh is None:
+            return
+        self.flush()
+        self._write(
+            {
+                "event": "done" if complete else "abort",
+                "blocks": self._blocks,
+            }
+        )
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "CompilationJournal":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.close(complete=exc_type is None)
+
+    # -- recording -------------------------------------------------------
+
+    def record_block(self, index: int, key: bytes) -> None:
+        """Note one completed work item; flush when the interval is due."""
+        self._blocks += 1
+        self._write({"event": "block", "index": index, "key": key.hex()})
+        self._since_flush += 1
+        if self._since_flush >= self.checkpoint_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the library checkpoint atomically and log the flush."""
+        self.library.save(self.path)
+        self._since_flush = 0
+        self._write({"event": "flush", "entries": len(self.library)})
+        telemetry.get_metrics().inc("resilience.checkpoint_flushes")
+
+    # -- internals -------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def _stored_fingerprint(self) -> Optional[str]:
+        """The fingerprint of the most recent run in the journal, if any."""
+        if not os.path.exists(self.journal_path):
+            return None
+        fingerprint: Optional[str] = None
+        try:
+            with open(self.journal_path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if record.get("event") == "begin":
+                        fingerprint = record.get("fingerprint")
+        except OSError:
+            return None
+        return fingerprint

@@ -1,0 +1,103 @@
+"""The per-block fidelity-budget ledger.
+
+When GRAPE cannot reach the fidelity threshold for a block (and the
+resilience config allows degradation), the flow keeps the best-effort
+pulse instead of aborting the whole compilation — but the shortfall must
+be *visible*.  The ledger records one :class:`DegradedBlock` per work
+item whose pulse missed its target, and the pipeline surfaces the list
+on :class:`~repro.core.metrics.CompilationReport.degraded_blocks` so
+callers can decide whether the aggregate ESP is still acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro import telemetry
+
+__all__ = ["DegradedBlock", "FidelityLedger"]
+
+logger = telemetry.get_logger("resilience.ledger")
+
+#: pulse sources that mark a best-effort (non-converged) optimization.
+_DEGRADED_SOURCES = frozenset({"grape-degraded"})
+
+
+@dataclass(frozen=True)
+class DegradedBlock:
+    """One work item whose pulse fell short of the fidelity budget."""
+
+    #: position of the item in the flow's QOC work list.
+    index: int
+    #: global qubit lines the pulse drives.
+    qubits: Tuple[int, ...]
+    #: the per-pulse fidelity the configuration asked for.
+    target_fidelity: float
+    #: the process fidelity the best-effort pulse actually achieves.
+    achieved_fidelity: float
+    #: why the block degraded ("qoc-non-convergence", "qoc-timeout", ...).
+    reason: str = "qoc-non-convergence"
+
+    @property
+    def deficit(self) -> float:
+        """How far below budget the block landed (never negative)."""
+        return max(0.0, self.target_fidelity - self.achieved_fidelity)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "qubits": list(self.qubits),
+            "target_fidelity": self.target_fidelity,
+            "achieved_fidelity": self.achieved_fidelity,
+            "deficit": self.deficit,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class FidelityLedger:
+    """Collects :class:`DegradedBlock` entries while a flow runs."""
+
+    target_fidelity: float
+    entries: List[DegradedBlock] = field(default_factory=list)
+
+    def observe(self, index: int, qubits: Tuple[int, ...], pulse) -> None:
+        """Record ``pulse`` for the item at ``index`` if it is degraded.
+
+        A pulse is degraded when its source marks a non-converged
+        optimization or its achieved fidelity sits below the target —
+        cache hits of degraded entries stay degraded on every reuse.
+        """
+        source = getattr(pulse, "source", "")
+        degraded = source in _DEGRADED_SOURCES or (
+            source.startswith("grape") and pulse.fidelity < self.target_fidelity
+        )
+        if not degraded:
+            return
+        entry = DegradedBlock(
+            index=index,
+            qubits=tuple(qubits),
+            target_fidelity=self.target_fidelity,
+            achieved_fidelity=pulse.fidelity,
+            reason=(
+                "qoc-non-convergence"
+                if source in _DEGRADED_SOURCES
+                else "below-fidelity-budget"
+            ),
+        )
+        self.entries.append(entry)
+        telemetry.get_metrics().inc("resilience.degraded_blocks")
+        logger.warning(
+            "degraded block %d on qubits %s: fidelity %.6f < %.6f "
+            "(deficit %.2e)",
+            index,
+            entry.qubits,
+            entry.achieved_fidelity,
+            entry.target_fidelity,
+            entry.deficit,
+        )
+
+    @property
+    def total_deficit(self) -> float:
+        return sum(entry.deficit for entry in self.entries)

@@ -1,0 +1,136 @@
+"""Retry policies and cooperative wall-clock deadlines.
+
+The compilation stages are CPU-bound library code, so there is no safe
+way to preempt them from outside; instead every expensive loop (GRAPE
+probes, QSearch node expansion, per-block synthesis) checks a
+:class:`Deadline` between units of work.  Retries follow a
+:class:`RetryPolicy` with exponential backoff; the sleep function is
+injectable so tests never actually wait.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from repro import telemetry
+
+__all__ = ["RetryPolicy", "Deadline", "retry_call"]
+
+logger = telemetry.get_logger("resilience.policy")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a failed operation, and how to pace it.
+
+    ``max_attempts`` counts the *total* number of tries (1 = no retry).
+    Delays grow geometrically from ``backoff_seconds`` by
+    ``backoff_factor``, capped at ``max_backoff_seconds``.
+    """
+
+    max_attempts: int = 2
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("RetryPolicy.max_attempts must be >= 1")
+        if self.backoff_seconds < 0.0:
+            raise ValueError("RetryPolicy.backoff_seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("RetryPolicy.backoff_factor must be >= 1")
+
+    def delays(self) -> Iterator[float]:
+        """The sleep before each retry (``max_attempts - 1`` values)."""
+        delay = self.backoff_seconds
+        for _ in range(self.max_attempts - 1):
+            yield min(delay, self.max_backoff_seconds)
+            delay = delay * self.backoff_factor if delay else self.backoff_seconds
+
+    @classmethod
+    def from_config(cls, resilience) -> "RetryPolicy":
+        """Build the policy a :class:`~repro.config.ResilienceConfig` asks for."""
+        if resilience is None:
+            return cls(max_attempts=1)
+        return cls(
+            max_attempts=resilience.max_retries + 1,
+            backoff_seconds=resilience.retry_backoff_seconds,
+            backoff_factor=resilience.retry_backoff_factor,
+        )
+
+
+class Deadline:
+    """A cooperative wall-clock budget started at construction time.
+
+    ``Deadline(None)`` is unlimited: it never expires and costs one
+    attribute check per poll, so hot loops can poll unconditionally.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, budget_seconds: Optional[float] = None):
+        if budget_seconds is None:
+            self._expires_at = None
+        else:
+            if budget_seconds < 0.0:
+                raise ValueError("Deadline budget must be >= 0 seconds")
+            self._expires_at = time.monotonic() + budget_seconds
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or ``None`` when unlimited (never negative)."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+
+def retry_call(
+    fn: Callable[[int], object],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    deadline: Optional[Deadline] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    site: str = "call",
+):
+    """Invoke ``fn(attempt)`` until it succeeds or the policy is exhausted.
+
+    ``fn`` receives the zero-based attempt index so callers can vary the
+    seed per attempt.  Exceptions outside ``retry_on`` propagate
+    immediately; when the ``deadline`` expires between attempts, the last
+    failure propagates rather than starting another try.  Each retry
+    increments the ``resilience.retries`` counter.
+    """
+    metrics = telemetry.get_metrics()
+    delays = policy.delays()
+    attempt = 0
+    while True:
+        try:
+            return fn(attempt)
+        except retry_on as exc:
+            try:
+                delay = next(delays)
+            except StopIteration:
+                raise exc
+            if deadline is not None and deadline.expired:
+                raise exc
+            metrics.inc("resilience.retries")
+            logger.warning(
+                "%s failed (attempt %d/%d): %s — retrying",
+                site,
+                attempt + 1,
+                policy.max_attempts,
+                exc,
+            )
+            if delay > 0.0:
+                sleep(delay)
+            attempt += 1

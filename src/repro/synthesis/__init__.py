@@ -11,9 +11,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
+from repro.config import ResilienceConfig
 from repro.exceptions import SynthesisError
 from repro.linalg.unitary import hs_distance
 from repro.partition.block import CircuitBlock
+from repro.resilience.faults import fault_fires
+from repro.resilience.policy import RetryPolicy, retry_call
 from repro.synthesis.vug import VUGTemplate, u3_gradients
 from repro.synthesis.instantiate import InstantiationResult, instantiate
 from repro.synthesis.qsearch import SynthesisResult, qsearch_synthesize
@@ -51,41 +55,71 @@ def synthesize_unitary(
     qsearch_max_nodes: int = 60,
     seed: int = 11,
     couplings: Optional[List[Tuple[int, int]]] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SynthesisResult:
     """Synthesize ``target`` into a VUG+CNOT circuit, never failing.
 
-    Tries QSearch (optimal-leaning A*), then LEAP (greedy prefix growth),
-    then falls back to quantum Shannon decomposition, which always
-    succeeds with distance ~0 at a higher CNOT cost.
+    The fallback chain is QSearch (optimal-leaning A*), then LEAP (greedy
+    prefix growth), then a guaranteed analytic decomposition — KAK for
+    two-qubit targets (<= 3 CNOTs), quantum Shannon decomposition
+    otherwise — which always succeeds with distance ~0 at a higher CNOT
+    cost.  With a ``resilience`` config, each heuristic stage re-attempts
+    with a fresh seed before falling through, and every fallback hop is
+    counted on ``resilience.fallbacks``.
     """
+    target = np.asarray(target, dtype=complex)
+    metrics = telemetry.get_metrics()
+    policy = RetryPolicy.from_config(resilience)
     try:
-        return qsearch_synthesize(
-            target,
-            threshold=threshold,
-            max_cnots=min(max_cnots, 8),
-            max_nodes=qsearch_max_nodes,
-            seed=seed,
-            couplings=couplings,
+        if fault_fires("synthesis.qsearch"):
+            raise SynthesisError("injected qsearch fault")
+        return retry_call(
+            lambda attempt: qsearch_synthesize(
+                target,
+                threshold=threshold,
+                max_cnots=min(max_cnots, 8),
+                max_nodes=qsearch_max_nodes,
+                seed=seed + attempt,
+                couplings=couplings,
+            ),
+            policy,
+            retry_on=(SynthesisError,),
+            site="qsearch",
         )
     except SynthesisError:
-        pass
+        metrics.inc("resilience.fallbacks")
+        metrics.inc("synthesis.fallback_leap")
     try:
-        return leap_synthesize(
-            target,
-            threshold=threshold,
-            max_cnots=max_cnots,
-            seed=seed,
-            couplings=couplings,
+        if fault_fires("synthesis.leap"):
+            raise SynthesisError("injected leap fault")
+        return retry_call(
+            lambda attempt: leap_synthesize(
+                target,
+                threshold=threshold,
+                max_cnots=max_cnots,
+                seed=seed + attempt,
+                couplings=couplings,
+            ),
+            policy,
+            retry_on=(SynthesisError,),
+            site="leap",
         )
     except SynthesisError:
-        pass
-    circuit = qsd_synthesize(target)
+        metrics.inc("resilience.fallbacks")
+        metrics.inc("synthesis.fallback_analytic")
+    # guaranteed decomposition: KAK for two-qubit targets, QSD beyond
+    if target.shape[0] == 4:
+        circuit = kak_synthesize(target)
+        method = "kak"
+    else:
+        circuit = qsd_synthesize(target)
+        method = "qsd"
     return SynthesisResult(
         circuit=circuit,
         distance=abs(hs_distance(target, circuit.unitary())),
         cnot_count=circuit.count_ops().get("cx", 0),
         nodes_expanded=0,
-        method="qsd",
+        method=method,
     )
 
 
@@ -94,6 +128,7 @@ def synthesize_block(
     threshold: float = 1e-6,
     max_cnots: int = 14,
     seed: int = 11,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> CircuitBlock:
     """Synthesize a partition block's unitary into a VUG+CNOT circuit.
 
@@ -113,7 +148,11 @@ def synthesize_block(
     own_cnots = fallback.two_qubit_count
     budget = min(max_cnots, max(own_cnots, 1))
     result = synthesize_unitary(
-        block.unitary(), threshold=threshold, max_cnots=budget, seed=seed
+        block.unitary(),
+        threshold=threshold,
+        max_cnots=budget,
+        seed=seed,
+        resilience=resilience,
     )
     synthesized = result.circuit
     best = fallback

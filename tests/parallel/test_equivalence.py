@@ -119,9 +119,9 @@ class TestSingleflight:
         calls = []
         real = latency_mod.pulse_for_unitary
 
-        def counting(matrix, num_qubits, config=None):
+        def counting(matrix, num_qubits, config=None, **kwargs):
             calls.append(num_qubits)
-            return real(matrix, num_qubits, config)
+            return real(matrix, num_qubits, config, **kwargs)
 
         monkeypatch.setattr(latency_mod, "pulse_for_unitary", counting)
         from repro.circuits.gates import gate_matrix

@@ -1,0 +1,119 @@
+"""Worker-crash recovery, task quarantine and fast failure observation."""
+
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import pytest
+
+from repro.parallel import ParallelExecutor
+from repro.resilience import FaultPlan, set_fault_plan
+
+
+# tasks must be module-level so worker processes can unpickle them
+@dataclass(frozen=True)
+class AddTask:
+    value: int
+
+    def run(self):
+        return self.value + 1
+
+
+@dataclass(frozen=True)
+class FailTask:
+    message: str = "poisoned"
+
+    def run(self):
+        raise ValueError(self.message)
+
+
+@dataclass(frozen=True)
+class SleepTask:
+    seconds: float
+
+    def run(self):
+        time.sleep(self.seconds)
+        return self.seconds
+
+
+class TestCrashRecovery:
+    def test_worker_crash_recovers_and_preserves_order(self):
+        # the plan is installed before the pool forks, so workers inherit it
+        set_fault_plan(FaultPlan.parse("worker.crash@chunk=1"))
+        with ParallelExecutor(workers=2, chunk_size=1, min_tasks=2) as executor:
+            results = executor.map([AddTask(i) for i in range(4)])
+            assert results == [1, 2, 3, 4]
+            # the executor must stay usable after the rebuild
+            assert executor.map([AddTask(10), AddTask(11)]) == [11, 12]
+
+    def test_crash_budget_zero_fails_fast(self):
+        set_fault_plan(FaultPlan.parse("worker.crash@chunk=0"))
+        executor = ParallelExecutor(
+            workers=2, chunk_size=1, min_tasks=2, crash_retries=0
+        )
+        with executor:
+            with pytest.raises(BrokenProcessPool):
+                executor.map([AddTask(i) for i in range(4)])
+        assert executor._pool is None
+
+    def test_crash_in_serial_retry_does_not_kill_parent(self):
+        """The injected crash site is a no-op outside worker processes, so
+        the in-parent serial retry of a crashed chunk completes."""
+        set_fault_plan(FaultPlan.parse("worker.crash@chunk=0*-1"))
+        with ParallelExecutor(workers=2, chunk_size=2, min_tasks=2) as executor:
+            assert executor.map([AddTask(i) for i in range(4)]) == [1, 2, 3, 4]
+
+
+class TestQuarantine:
+    def test_handler_substitutes_failed_task_parallel(self):
+        tasks = [AddTask(0), FailTask(), AddTask(2)]
+        with ParallelExecutor(workers=2, chunk_size=2, min_tasks=2) as executor:
+            results = executor.map(
+                tasks, on_task_error=lambda task, exc: "substitute"
+            )
+        assert results == [1, "substitute", 3]
+
+    def test_handler_substitutes_failed_task_serial(self):
+        tasks = [AddTask(0), FailTask(), AddTask(2)]
+        executor = ParallelExecutor(workers=0)
+        results = executor.map(tasks, on_task_error=lambda task, exc: None)
+        assert results == [1, None, 3]
+
+    def test_no_handler_still_aborts(self):
+        with ParallelExecutor(workers=2, chunk_size=1, min_tasks=2) as executor:
+            with pytest.raises(ValueError, match="poisoned"):
+                executor.map([AddTask(0), FailTask(), AddTask(2)])
+        assert executor._pool is None
+
+
+class TestFastFailure:
+    def test_completion_waits_use_first_exception(self, monkeypatch):
+        """Regression: completion must be observed with
+        ``wait(..., FIRST_EXCEPTION)`` so a fast-failing late chunk is
+        seen (and recovery started) before earlier chunks finish."""
+        from concurrent.futures import FIRST_EXCEPTION
+
+        import repro.parallel.executor as executor_mod
+
+        modes = []
+        real_wait = executor_mod.wait
+
+        def spy(futures, timeout=None, return_when="ALL_COMPLETED"):
+            modes.append(return_when)
+            return real_wait(futures, timeout=timeout, return_when=return_when)
+
+        monkeypatch.setattr(executor_mod, "wait", spy)
+        with ParallelExecutor(workers=2, chunk_size=1, min_tasks=2) as executor:
+            assert executor.map([AddTask(i) for i in range(4)]) == [1, 2, 3, 4]
+        assert modes, "the parallel path never polled futures"
+        assert all(mode == FIRST_EXCEPTION for mode in modes)
+
+    def test_fast_failure_aborts_slow_batch(self):
+        """A fast-failing chunk aborts the batch even while slower chunks
+        are still in flight (the pool eats the in-flight sleeps during
+        shutdown, but the error is never masked by them)."""
+        tasks = [SleepTask(0.3), FailTask(), SleepTask(0.3), SleepTask(0.3)]
+        with ParallelExecutor(workers=2, chunk_size=1, min_tasks=2) as executor:
+            with pytest.raises(ValueError, match="poisoned"):
+                executor.map(tasks)
+        assert executor._pool is None

@@ -1,0 +1,137 @@
+"""End-to-end fault tolerance: degraded compiles, fallback chains, resume."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.circuits import QuantumCircuit
+from repro.config import ParallelConfig, ResilienceConfig
+from repro.core import EPOCPipeline
+from repro.linalg import random_unitary
+from repro.resilience import FaultPlan, set_fault_plan
+from repro.synthesis import synthesize_unitary
+
+
+def _bell_pair():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    return qc
+
+
+def _two_blocks():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.x(2)
+    qc.cx(1, 2)
+    return qc
+
+
+class TestDegradedCompilation:
+    def test_flow_completes_with_ledger_entry(self, fast_epoc, arm_faults):
+        """Acceptance: under an injected GRAPE non-convergence the EPOC
+        flow finishes end-to-end and the report names the degraded block
+        with its fidelity deficit."""
+        arm_faults("qoc.no_converge*1")
+        report = EPOCPipeline(fast_epoc).compile(_bell_pair(), name="bell")
+        assert not report.fully_converged
+        assert len(report.degraded_blocks) >= 1
+        entry = report.degraded_blocks[0]
+        assert entry.target_fidelity == fast_epoc.qoc.fidelity_threshold
+        assert entry.achieved_fidelity < entry.target_fidelity
+        assert entry.deficit > 0.0
+        assert report.fidelity_deficit >= entry.deficit
+        assert report.stats["degraded_blocks"] >= 1.0
+        assert report.schedule.latency > 0.0
+        assert "degraded=" in report.summary_row()
+
+    def test_clean_run_has_empty_ledger(self, fast_epoc):
+        report = EPOCPipeline(fast_epoc).compile(_bell_pair(), name="bell")
+        assert report.fully_converged
+        assert report.degraded_blocks == []
+        assert report.fidelity_deficit == 0.0
+
+
+class TestSynthesisFallback:
+    def test_qsearch_failure_falls_back_to_leap(self, arm_faults):
+        arm_faults("synthesis.qsearch*-1")
+        cnot = np.eye(4, dtype=complex)[[0, 1, 3, 2]]
+        result = synthesize_unitary(cnot, resilience=ResilienceConfig())
+        assert result.method == "leap"
+        assert result.distance < 1e-5
+
+    def test_full_chain_lands_on_kak_for_two_qubits(self, rng, arm_faults):
+        arm_faults("synthesis.qsearch*-1;synthesis.leap*-1")
+        target = random_unitary(4, rng)
+        with telemetry.telemetry_session() as (tracer, registry):
+            result = synthesize_unitary(target, resilience=ResilienceConfig())
+        assert result.method == "kak"
+        assert result.distance < 1e-6
+        counters = registry.flat()
+        assert counters.get("resilience.fallbacks", 0) == 2.0
+
+    def test_full_chain_lands_on_qsd_beyond_two_qubits(self, rng, arm_faults):
+        arm_faults("synthesis.qsearch*-1;synthesis.leap*-1")
+        target = random_unitary(8, rng)
+        result = synthesize_unitary(target, resilience=ResilienceConfig())
+        assert result.method == "qsd"
+        assert result.distance < 1e-6
+
+
+class TestKillAndResume:
+    def test_resumed_library_is_bitwise_identical(self, fast_epoc, tmp_path):
+        """Acceptance: kill mid pulse-generation, resume from the
+        checkpoint, and end with the same library file byte for byte as
+        an uninterrupted run."""
+        serial = fast_epoc.with_updates(parallel=ParallelConfig(workers=0))
+        circuit = _two_blocks()
+        checkpoint = tmp_path / "cp.json"
+
+        set_fault_plan(FaultPlan.parse("pipeline.kill@item=1"))
+        killed = serial.with_updates(
+            resilience=ResilienceConfig(checkpoint_path=str(checkpoint))
+        )
+        with pytest.raises(RuntimeError, match="injected pipeline kill"):
+            EPOCPipeline(killed).compile(circuit, name="job")
+        assert checkpoint.exists()  # item 0 was flushed before the kill
+
+        set_fault_plan(FaultPlan())
+        resumed_config = serial.with_updates(
+            resilience=ResilienceConfig(
+                checkpoint_path=str(checkpoint), resume=True
+            )
+        )
+        report = EPOCPipeline(resumed_config).compile(circuit, name="job")
+        assert report.stats["resumed_entries"] >= 1.0
+        resumed_bytes = checkpoint.read_bytes()
+
+        reference = tmp_path / "reference.json"
+        clean_config = serial.with_updates(
+            resilience=ResilienceConfig(checkpoint_path=str(reference))
+        )
+        clean_report = EPOCPipeline(clean_config).compile(circuit, name="job")
+        assert reference.read_bytes() == resumed_bytes
+        assert report.latency_ns == clean_report.latency_ns
+        assert report.fidelity == clean_report.fidelity
+
+    def test_resume_under_changed_config_is_refused(self, fast_epoc, tmp_path):
+        import dataclasses
+
+        from repro.resilience import JournalError
+
+        serial = fast_epoc.with_updates(parallel=ParallelConfig(workers=0))
+        checkpoint = tmp_path / "cp.json"
+        first = serial.with_updates(
+            resilience=ResilienceConfig(checkpoint_path=str(checkpoint))
+        )
+        EPOCPipeline(first).compile(_bell_pair(), name="job")
+
+        changed = serial.with_updates(
+            qoc=dataclasses.replace(serial.qoc, dt=serial.qoc.dt * 2),
+            resilience=ResilienceConfig(
+                checkpoint_path=str(checkpoint), resume=True
+            ),
+        )
+        with pytest.raises(JournalError):
+            EPOCPipeline(changed).compile(_bell_pair(), name="job")

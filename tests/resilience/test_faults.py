@@ -1,0 +1,84 @@
+"""Unit tests for the fault-injection grammar and plan plumbing."""
+
+import pytest
+
+from repro.resilience import (
+    ENV_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    fault_fires,
+    get_fault_plan,
+    set_fault_plan,
+)
+
+
+class TestParsing:
+    def test_bare_site_is_one_shot(self):
+        spec = FaultSpec.parse("qoc.no_converge")
+        assert spec.site == "qoc.no_converge"
+        assert spec.match == {}
+        assert spec.remaining == 1
+
+    def test_match_and_count(self):
+        spec = FaultSpec.parse("worker.crash@chunk=2,stage=qoc*3")
+        assert spec.site == "worker.crash"
+        assert spec.match == {"chunk": "2", "stage": "qoc"}
+        assert spec.remaining == 3
+
+    def test_unlimited_count(self):
+        assert FaultSpec.parse("synthesis.qsearch*-1").remaining == -1
+
+    def test_multiple_specs(self):
+        plan = FaultPlan.parse("a; b@k=v ;c*2")
+        assert [spec.site for spec in plan.specs] == ["a", "b", "c"]
+
+    def test_empty_text_is_inactive(self):
+        assert not FaultPlan.parse(None).active
+        assert not FaultPlan.parse("  ").active
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("site*lots")
+        with pytest.raises(ValueError):
+            FaultSpec.parse("@k=v")
+        with pytest.raises(ValueError):
+            FaultSpec.parse("site@novalue")
+
+
+class TestFiring:
+    def test_one_shot_consumes(self):
+        plan = FaultPlan.parse("qoc.no_converge")
+        assert plan.fire("qoc.no_converge")
+        assert not plan.fire("qoc.no_converge")
+
+    def test_context_matching(self):
+        plan = FaultPlan.parse("worker.crash@chunk=1*-1")
+        assert not plan.fire("worker.crash", chunk=0)
+        assert plan.fire("worker.crash", chunk=1)
+        assert plan.fire("worker.crash", chunk=1)  # unlimited
+        # a spec key absent from the context never matches
+        assert not plan.fire("worker.crash")
+
+    def test_wrong_site_never_fires(self):
+        plan = FaultPlan.parse("a")
+        assert not plan.fire("b")
+        assert plan.specs[0].remaining == 1
+
+
+class TestGlobalPlan:
+    def test_set_and_fire(self):
+        set_fault_plan(FaultPlan.parse("pipeline.kill@item=3"))
+        assert not fault_fires("pipeline.kill", item=0)
+        assert fault_fires("pipeline.kill", item=3)
+        assert not fault_fires("pipeline.kill", item=3)
+
+    def test_env_is_parsed_lazily(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULTS, "qoc.no_converge@qubits=2")
+        set_fault_plan(None)  # re-arm lazy env parsing
+        plan = get_fault_plan()
+        assert plan.active
+        assert fault_fires("qoc.no_converge", qubits=2)
+
+    def test_inactive_plan_is_cheap_noop(self):
+        set_fault_plan(FaultPlan())
+        assert not fault_fires("anything", key=1)

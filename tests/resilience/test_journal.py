@@ -1,0 +1,121 @@
+"""Checkpoint journal: incremental flushes, fingerprints, resume safety."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import QOCConfig
+from repro.qoc.library import PulseLibrary
+from repro.qoc.pulse import Pulse
+from repro.resilience import CompilationJournal, JournalError
+from repro.resilience.journal import config_fingerprint
+
+
+def _pulse(segments=4):
+    return Pulse(
+        qubits=(0,),
+        controls=np.zeros((2, segments)),
+        dt=1.0,
+        fidelity=0.999,
+        unitary_distance=1e-3,
+    )
+
+
+def _events(journal_path):
+    with open(journal_path) as fh:
+        return [json.loads(line)["event"] for line in fh if line.strip()]
+
+
+class TestFingerprint:
+    def test_stable_for_equal_inputs(self):
+        a = config_fingerprint(QOCConfig(), True)
+        b = config_fingerprint(QOCConfig(), True)
+        assert a == b
+        assert len(a) == 16
+
+    def test_differs_across_configs(self):
+        assert config_fingerprint(QOCConfig(), True) != config_fingerprint(
+            QOCConfig(dt=2.0), True
+        )
+
+
+class TestJournal:
+    def test_flush_interval_and_events(self, tmp_path):
+        library = PulseLibrary()
+        checkpoint = tmp_path / "cp.json"
+        journal = CompilationJournal(str(checkpoint), library, checkpoint_every=2)
+        journal.open("circ", "fp")
+        library._entries[b"\x01k1"] = _pulse()
+        journal.record_block(0, b"\x01k1")
+        assert not checkpoint.exists()  # interval of 2 not reached yet
+        library._entries[b"\x01k2"] = _pulse()
+        journal.record_block(1, b"\x01k2")
+        assert checkpoint.exists()
+        journal.close(complete=True)
+        events = _events(journal.journal_path)
+        assert events[0] == "begin"
+        assert events.count("block") == 2
+        assert "flush" in events
+        assert events[-1] == "done"
+
+    def test_abort_marker_on_incomplete_close(self, tmp_path):
+        journal = CompilationJournal(str(tmp_path / "cp.json"), PulseLibrary())
+        journal.open("circ", "fp")
+        journal.close(complete=False)
+        assert _events(journal.journal_path)[-1] == "abort"
+
+    def test_resume_loads_checkpoint(self, tmp_path):
+        checkpoint = tmp_path / "cp.json"
+        library = PulseLibrary()
+        library._entries[b"\x01k1"] = _pulse()
+        with CompilationJournal(str(checkpoint), library) as journal:
+            journal.open("circ", "fp")
+            journal.record_block(0, b"\x01k1")
+
+        fresh = PulseLibrary()
+        journal2 = CompilationJournal(str(checkpoint), fresh)
+        resumed = journal2.open("circ", "fp", resume=True)
+        journal2.close()
+        assert resumed == 1
+        assert len(fresh) == 1
+
+    def test_resume_refuses_fingerprint_mismatch(self, tmp_path):
+        checkpoint = tmp_path / "cp.json"
+        library = PulseLibrary()
+        with CompilationJournal(str(checkpoint), library) as journal:
+            journal.open("circ", "fp-one")
+            library._entries[b"\x01k1"] = _pulse()
+            journal.record_block(0, b"\x01k1")
+
+        journal2 = CompilationJournal(str(checkpoint), PulseLibrary())
+        with pytest.raises(JournalError, match="different configuration"):
+            journal2.open("circ", "fp-two", resume=True)
+
+    def test_resume_without_checkpoint_is_fresh_start(self, tmp_path):
+        journal = CompilationJournal(str(tmp_path / "never.json"), PulseLibrary())
+        assert journal.open("circ", "fp", resume=True) == 0
+        journal.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = CompilationJournal(str(tmp_path / "cp.json"), PulseLibrary())
+        journal.open("circ", "fp")
+        journal.close()
+        journal.close()  # second close is a no-op
+        assert _events(journal.journal_path).count("done") == 1
+
+
+class TestCanonicalSave:
+    def test_save_order_is_insertion_independent(self, tmp_path):
+        """Resume produces a different insertion order than an
+        uninterrupted run; the saved bytes must not notice."""
+        a, b = PulseLibrary(), PulseLibrary()
+        p1, p2 = _pulse(4), _pulse(6)
+        a._entries[b"\x01k1"] = p1
+        a._entries[b"\x01k2"] = p2
+        b._entries[b"\x01k2"] = p2
+        b._entries[b"\x01k1"] = p1
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        a.save(str(path_a))
+        b.save(str(path_b))
+        assert path_a.read_bytes() == path_b.read_bytes()

@@ -1,0 +1,121 @@
+"""Unit tests for RetryPolicy, Deadline and retry_call."""
+
+import pytest
+
+from repro.config import ResilienceConfig
+from repro.resilience import Deadline, RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_delays_are_geometric_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5,
+            backoff_seconds=1.0,
+            backoff_factor=3.0,
+            max_backoff_seconds=5.0,
+        )
+        assert list(policy.delays()) == [1.0, 3.0, 5.0, 5.0]
+
+    def test_single_attempt_has_no_delays(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_from_config(self):
+        policy = RetryPolicy.from_config(
+            ResilienceConfig(max_retries=3, retry_backoff_seconds=0.25)
+        )
+        assert policy.max_attempts == 4
+        assert policy.backoff_seconds == 0.25
+
+    def test_from_none_means_one_attempt(self):
+        assert RetryPolicy.from_config(None).max_attempts == 1
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.expired
+        assert deadline.remaining() is None
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_generous_budget_not_expired(self):
+        assert not Deadline(3600.0).expired
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestRetryCall:
+    def test_succeeds_after_failures(self):
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 2:
+                raise ValueError("not yet")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3)
+        assert retry_call(flaky, policy, retry_on=(ValueError,)) == "ok"
+        assert attempts == [0, 1, 2]
+
+    def test_exhaustion_raises_last_error(self):
+        def always(attempt):
+            raise ValueError(f"attempt {attempt}")
+
+        with pytest.raises(ValueError, match="attempt 1"):
+            retry_call(always, RetryPolicy(max_attempts=2), retry_on=(ValueError,))
+
+    def test_unmatched_exception_propagates_immediately(self):
+        calls = []
+
+        def boom(attempt):
+            calls.append(attempt)
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            retry_call(boom, RetryPolicy(max_attempts=4), retry_on=(ValueError,))
+        assert calls == [0]
+
+    def test_sleep_is_injectable(self):
+        sleeps = []
+
+        def failing(attempt):
+            if attempt == 0:
+                raise ValueError("x")
+            return attempt
+
+        policy = RetryPolicy(max_attempts=2, backoff_seconds=7.5)
+        result = retry_call(
+            failing, policy, retry_on=(ValueError,), sleep=sleeps.append
+        )
+        assert result == 1
+        assert sleeps == [7.5]
+
+    def test_expired_deadline_stops_retries(self):
+        calls = []
+
+        def failing(attempt):
+            calls.append(attempt)
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            retry_call(
+                failing,
+                RetryPolicy(max_attempts=5),
+                retry_on=(ValueError,),
+                deadline=Deadline(0.0),
+            )
+        assert calls == [0]

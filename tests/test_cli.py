@@ -32,6 +32,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "compile",
+                "x.qasm",
+                "--checkpoint",
+                "cp.json",
+                "--resume",
+                "--checkpoint-every",
+                "3",
+                "--stage-timeout",
+                "12.5",
+                "--max-retries",
+                "2",
+                "--strict-qoc",
+            ]
+        )
+        from repro.cli import _config
+
+        config = _config(args)
+        resilience = config.resilience
+        assert resilience.checkpoint_path == "cp.json"
+        assert resilience.resume is True
+        assert resilience.checkpoint_every == 3
+        assert resilience.qoc_timeout_seconds == 12.5
+        assert resilience.synthesis_timeout_seconds == 12.5
+        assert resilience.max_retries == 2
+        assert resilience.degrade_on_qoc_failure is False
+
+    def test_resume_without_checkpoint_rejected(self):
+        args = build_parser().parse_args(["compile", "x.qasm", "--resume"])
+        from repro.cli import _config
+
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            _config(args)
+
 
 class TestCommands:
     def test_info(self, qasm_file, capsys):

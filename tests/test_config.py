@@ -5,13 +5,20 @@ import dataclasses
 import pytest
 
 from repro import EPOCConfig, __version__
-from repro.config import FAST_TEST_CONFIG, HardwareConfig, QOCConfig, TelemetryConfig
+from repro.config import (
+    FAST_TEST_CONFIG,
+    HardwareConfig,
+    QOCConfig,
+    ResilienceConfig,
+    TelemetryConfig,
+)
 from repro.exceptions import (
     CircuitError,
     PartitionError,
     QasmError,
     QOCError,
     ReproError,
+    ResilienceError,
     ScheduleError,
     SynthesisError,
     ZXError,
@@ -65,6 +72,51 @@ class TestConfigs:
         assert __version__.count(".") == 2
 
 
+class TestQOCConfigValidation:
+    def test_inverted_segment_bracket_rejected(self):
+        """Regression: min > max used to be clamped silently, which made
+        the duration search start at the cap and skip doubling."""
+        with pytest.raises(ValueError, match="non-empty segment bracket"):
+            QOCConfig(min_segments=50, max_segments=10)
+
+    def test_zero_min_segments_rejected(self):
+        with pytest.raises(ValueError, match="min_segments"):
+            QOCConfig(min_segments=0)
+
+    def test_nonpositive_dt_rejected(self):
+        with pytest.raises(ValueError, match="dt"):
+            QOCConfig(dt=0.0)
+
+    def test_valid_bracket_accepted(self):
+        config = QOCConfig(min_segments=2, max_segments=2)
+        assert config.min_segments == config.max_segments == 2
+
+
+class TestResilienceConfig:
+    def test_defaults(self):
+        resilience = ResilienceConfig()
+        assert resilience.max_retries == 1
+        assert resilience.degrade_on_qoc_failure is True
+        assert resilience.checkpoint_path is None
+        assert resilience.resume is False
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            ResilienceConfig(resume=True)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+
+    def test_epoc_config_carries_resilience(self):
+        config = EPOCConfig()
+        assert isinstance(config.resilience, ResilienceConfig)
+        updated = config.with_updates(
+            resilience=ResilienceConfig(max_retries=3)
+        )
+        assert updated.resilience.max_retries == 3
+
+
 class TestExceptions:
     @pytest.mark.parametrize(
         "exc",
@@ -75,6 +127,7 @@ class TestExceptions:
             PartitionError,
             SynthesisError,
             QOCError,
+            ResilienceError,
             ScheduleError,
         ],
     )

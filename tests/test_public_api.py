@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.core",
     "repro.workloads",
+    "repro.resilience",
     "repro.cli",
 ]
 
@@ -42,6 +43,13 @@ def test_headline_api():
     from repro.synthesis import synthesize_unitary  # noqa: F401
     from repro.qoc import PulseLibrary, minimal_latency_pulse  # noqa: F401
     from repro.workloads import benchmark_suite, table1_suite  # noqa: F401
+    from repro.config import ResilienceConfig  # noqa: F401
+    from repro.resilience import (  # noqa: F401
+        CompilationJournal,
+        FaultPlan,
+        FidelityLedger,
+        RetryPolicy,
+    )
 
 
 def test_every_public_module_has_docstring():
