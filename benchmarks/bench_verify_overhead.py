@@ -1,0 +1,118 @@
+"""Verification overhead: warn-mode stage checks vs an unverified compile.
+
+Warn-mode verification re-derives every stage boundary — tensor
+equivalence for ZX/partition/regroup, per-block synthesis infidelity,
+and one propagator recomputation per *unique* pulse-library key (the
+per-key memoization mirrors singleflight, so duplicated work items add
+no verify cost).  All of that is linear algebra on <= 2^qubit_limit
+matrices, while the compile itself runs full GRAPE binary searches per
+unique unitary — so the checks must stay in the noise.  This benchmark
+compiles the same seed workloads with verification off and in warn mode
+(fresh pulse library each, so both sides pay full QOC cost) and asserts
+the wall-clock overhead stays under 15%.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.config import EPOCConfig, QOCConfig, VerifyConfig
+from repro.core import EPOCPipeline
+from repro.qoc import PulseLibrary
+from repro.workloads import ising_trotter, qaoa_maxcut
+
+from _bench_common import save_results
+
+#: QOC settings sized so one compile is seconds while each distinct
+#: unitary still costs a real GRAPE binary search.
+VERIFY_QOC = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.98,
+    max_iterations=60,
+    min_segments=2,
+    max_segments=120,
+)
+
+VERIFY_EPOC = EPOCConfig(
+    partition_qubit_limit=2,
+    partition_gate_limit=8,
+    synthesis_max_layers=6,
+    regroup_qubit_limit=2,
+    regroup_gate_limit=6,
+    qoc=VERIFY_QOC,
+)
+
+WORKLOAD = {
+    "qaoa4": lambda: qaoa_maxcut(4, layers=1, seed=7),
+    "ising3": lambda: ising_trotter(3, steps=2, seed=9),
+}
+
+#: alternating timing rounds per mode; best-of smooths scheduler noise
+ROUNDS = 2
+
+
+def _compile_suite(mode: str) -> Tuple[float, Dict[str, object]]:
+    """Compile the whole workload once at one verify mode, fresh library."""
+    config = VERIFY_EPOC.with_updates(verify=VerifyConfig(mode=mode))
+    pipeline = EPOCPipeline(config, library=PulseLibrary(config=VERIFY_QOC))
+    reports: Dict[str, object] = {}
+    started = time.perf_counter()
+    for name, build in WORKLOAD.items():
+        reports[name] = pipeline.compile(build(), name)
+    return time.perf_counter() - started, reports
+
+
+def test_warn_mode_overhead(benchmark):
+    """Warn-mode verification must cost < 15% wall-clock."""
+
+    def run() -> Dict[str, List[float]]:
+        times: Dict[str, List[float]] = {"off": [], "warn": []}
+        reports = {}
+        for _ in range(ROUNDS):  # interleave modes so drift hits both
+            for mode in ("off", "warn"):
+                elapsed, round_reports = _compile_suite(mode)
+                times[mode].append(elapsed)
+                reports[mode] = round_reports
+        return {"times": times, "reports": reports}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    times, reports = result["times"], result["reports"]
+
+    # the verified run must actually have verified something real
+    checks = 0
+    for name, report in reports["warn"].items():
+        summary = report.verification
+        assert summary is not None and summary.mode == "warn"
+        assert summary.failed == 0, f"{name}: unexpected verify failures"
+        checks += summary.checks
+    assert checks >= 8, f"expected a real check load, got {checks}"
+    for report in reports["off"].values():
+        assert report.verification is None
+
+    base = min(times["off"])
+    verified = min(times["warn"])
+    overhead = (verified - base) / base
+    print(
+        f"\nVerification overhead — {checks} checks across "
+        f"{len(WORKLOAD)} programs"
+    )
+    print(f"{'mode':>8}{'compile (s)':>13}")
+    print(f"{'off':>8}{base:>13.2f}")
+    print(f"{'warn':>8}{verified:>13.2f}")
+    print(f"overhead: {100.0 * overhead:+.1f}%")
+
+    save_results(
+        "verify_overhead",
+        {
+            "times_off_s": times["off"],
+            "times_warn_s": times["warn"],
+            "overhead_fraction": overhead,
+            "checks": checks,
+        },
+    )
+
+    assert overhead < 0.15, (
+        f"warn-mode verification cost {100.0 * overhead:.1f}% wall-clock, "
+        "expected < 15%"
+    )

@@ -27,6 +27,8 @@ from repro.partition.regroup import RegroupedUnitary, blocks_as_unitaries
 from repro.pulse.schedule import PulseSchedule
 from repro.qoc.library import PulseLibrary, unitary_cache_key
 from repro.resilience import FidelityLedger
+from repro.verify import StageVerifier
+from repro.verify.checks import items_as_circuit
 
 __all__ = ["AccQOCFlow"]
 
@@ -58,20 +60,39 @@ class AccQOCFlow:
     ) -> CompilationReport:
         start = time.perf_counter()
         tracer = telemetry.get_tracer()
+        verifier = StageVerifier(
+            self.config.verify,
+            target_fidelity=self.config.qoc.fidelity_threshold,
+            synthesis_threshold=self.config.synthesis_threshold,
+        )
         executor = ParallelExecutor.from_config(
             self.config.parallel, self.config.resilience
         )
         with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="accqoc"
         ):
+            source = circuit.without_pseudo_ops()
             with tracer.span("decompose"):
-                native = decompose_to_cx_u3(circuit.without_pseudo_ops())
+                native = decompose_to_cx_u3(source)
+            if verifier.enabled:
+                verifier.check_circuit_stage(
+                    "decompose", source, native, detail="basis decomposition"
+                )
             with tracer.span("partition") as span:
                 blocks = greedy_partition(
                     native, qubit_limit=2, gate_limit=self.group_gate_limit
                 )
                 items = blocks_as_unitaries(blocks)
                 span.set(groups=len(items))
+            if verifier.enabled:
+                # slice unitaries replayed in order must reproduce the
+                # decomposed circuit (partition + unitary computation)
+                verifier.check_circuit_stage(
+                    "partition",
+                    native,
+                    items_as_circuit(items, circuit.num_qubits),
+                    detail="slice reassembly",
+                )
 
             with tracer.span("mst_order", groups=len(items)):
                 order = self._mst_order(items)
@@ -106,6 +127,15 @@ class AccQOCFlow:
                 schedule.add_pulse(pulse, label=f"acc{item.num_qubits}")
                 distances.append(pulse.unitary_distance)
                 ledger.observe(index, item.qubits, pulse)
+                verifier.check_pulse(
+                    index,
+                    item.qubits,
+                    item.matrix,
+                    pulse,
+                    self.library.hardware_for(item.num_qubits),
+                    key=self.library.key_for(item.matrix, item.num_qubits),
+                )
+            verification = verifier.finalize()
 
         elapsed = time.perf_counter() - start
         return CompilationReport(
@@ -131,6 +161,7 @@ class AccQOCFlow:
                 "degraded_blocks": float(len(ledger.entries)),
             },
             degraded_blocks=ledger.entries,
+            verification=verification,
         )
 
     @staticmethod

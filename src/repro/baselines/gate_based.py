@@ -17,6 +17,7 @@ from repro.circuits.transpile import decompose_to_cx_u3
 from repro.core.metrics import CompilationReport, esp_fidelity
 from repro.pulse.hardware import GateLatencyModel
 from repro.pulse.schedule import PulseSchedule
+from repro.verify import StageVerifier
 
 __all__ = ["GateBasedFlow"]
 
@@ -35,12 +36,24 @@ class GateBasedFlow:
     ) -> CompilationReport:
         start = time.perf_counter()
         tracer = telemetry.get_tracer()
+        verifier = StageVerifier(
+            self.config.verify,
+            target_fidelity=self.config.qoc.fidelity_threshold,
+            synthesis_threshold=self.config.synthesis_threshold,
+        )
         with tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="gate-based"
         ):
+            source = circuit.without_pseudo_ops()
             with tracer.span("decompose") as span:
-                native = decompose_to_cx_u3(circuit.without_pseudo_ops())
+                native = decompose_to_cx_u3(source)
                 span.set(gates=len(native))
+            if verifier.enabled:
+                # the only transform this flow applies; calibrated pulses
+                # per native gate leave nothing further to re-derive
+                verifier.check_circuit_stage(
+                    "decompose", source, native, detail="basis decomposition"
+                )
             schedule = PulseSchedule(circuit.num_qubits)
             errors: List[float] = []
             hw = self.config.hardware
@@ -59,6 +72,7 @@ class GateBasedFlow:
                 len(native),
                 schedule.latency,
             )
+            verification = verifier.finalize()
         elapsed = time.perf_counter() - start
         return CompilationReport(
             method="gate-based",
@@ -73,4 +87,5 @@ class GateBasedFlow:
                 "native_gates": float(len(native)),
                 "native_depth": float(native.depth()),
             },
+            verification=verification,
         )

@@ -33,6 +33,7 @@ from repro.pulse.hardware import GateLatencyModel
 from repro.pulse.schedule import PulseSchedule
 from repro.qoc.library import PulseLibrary, unitary_cache_key
 from repro.resilience import FidelityLedger
+from repro.verify import StageVerifier
 
 __all__ = ["PAQOCFlow"]
 
@@ -70,14 +71,24 @@ class PAQOCFlow:
     ) -> CompilationReport:
         start = time.perf_counter()
         tracer = telemetry.get_tracer()
+        verifier = StageVerifier(
+            self.config.verify,
+            target_fidelity=self.config.qoc.fidelity_threshold,
+            synthesis_threshold=self.config.synthesis_threshold,
+        )
         executor = ParallelExecutor.from_config(
             self.config.parallel, self.config.resilience
         )
         with executor, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="paqoc"
         ):
+            source = circuit.without_pseudo_ops()
             with tracer.span("decompose"):
-                native = decompose_to_cx_u3(circuit.without_pseudo_ops())
+                native = decompose_to_cx_u3(source)
+            if verifier.enabled:
+                verifier.check_circuit_stage(
+                    "decompose", source, native, detail="basis decomposition"
+                )
             with tracer.span("partition") as span:
                 blocks = greedy_partition(
                     native,
@@ -152,6 +163,19 @@ class PAQOCFlow:
                         schedule.add_pulse(pulse, label="pattern")
                         distances.append(pulse.unitary_distance)
                         ledger.observe(block.index, block.qubits, pulse)
+                        # custom-pattern pulses are the only QOC products
+                        # in this flow; calibrated gates have no waveform
+                        # to re-derive a propagator from
+                        verifier.check_pulse(
+                            block.index,
+                            block.qubits,
+                            unitaries[block.index],
+                            pulse,
+                            self.library.hardware_for(block.num_qubits),
+                            key=self.library.key_for(
+                                unitaries[block.index], block.num_qubits
+                            ),
+                        )
                         custom_gates += 1
                     else:
                         for gate in block.circuit.gates:
@@ -168,6 +192,7 @@ class PAQOCFlow:
                                 else hw.two_qubit_gate_error
                             )
                             calibrated_gates += 1
+            verification = verifier.finalize()
 
         elapsed = time.perf_counter() - start
         return CompilationReport(
@@ -190,6 +215,7 @@ class PAQOCFlow:
                 "degraded_blocks": float(len(ledger.entries)),
             },
             degraded_blocks=ledger.entries,
+            verification=verification,
         )
 
     @staticmethod

@@ -24,7 +24,13 @@ from typing import Optional
 from repro import telemetry
 from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
 from repro.circuits import QuantumCircuit
-from repro.config import EPOCConfig, ParallelConfig, QOCConfig, ResilienceConfig
+from repro.config import (
+    EPOCConfig,
+    ParallelConfig,
+    QOCConfig,
+    ResilienceConfig,
+    VerifyConfig,
+)
 from repro.core import EPOCPipeline
 from repro.exceptions import ReproError
 
@@ -159,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
             "of keeping the best-effort pulse and recording the deficit"
         ),
     )
+    compile_cmd.add_argument(
+        "--verify",
+        default=None,
+        choices=["off", "warn", "strict"],
+        help=(
+            "stage-boundary verification: 'warn' measures every stage and "
+            "reports violations, 'strict' fails the compile on the first "
+            "one (default: $REPRO_VERIFY or off)"
+        ),
+    )
+    compile_cmd.add_argument(
+        "--error-budget",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "end-to-end accumulated-infidelity budget checked at the end "
+            "of a verified compile (default: the run's own per-check "
+            "allowance, so an all-checks-pass compile never exceeds it)"
+        ),
+    )
 
     optimize_cmd = sub.add_parser(
         "optimize", help="run only the ZX optimization", parents=[logging_parent]
@@ -198,6 +225,10 @@ def _config(args) -> EPOCConfig:
         qoc=QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity),
         parallel=ParallelConfig(workers=getattr(args, "workers", None)),
         resilience=resilience,
+        verify=VerifyConfig(
+            mode=getattr(args, "verify", None),
+            error_budget=getattr(args, "error_budget", None),
+        ),
     )
 
 
@@ -231,6 +262,23 @@ def _run_compile(args) -> int:
             f"{entry.target_fidelity:.4f} ({entry.reason})",
             file=sys.stderr,
         )
+    if report.verification is not None:
+        summary = report.verification
+        print(
+            f"  verification ({summary.mode}): {summary.checks} checks, "
+            f"{summary.failed} failed, {summary.skipped} skipped, "
+            f"infidelity {summary.total_infidelity:.3e} "
+            f"of budget {summary.error_budget:.3e}"
+        )
+        for record in summary.failures:
+            where = f" block {record.index}" if record.index is not None else ""
+            print(
+                f"  verify FAIL [{record.stage}]{where} "
+                f"qubits={list(record.qubits)}: infidelity "
+                f"{record.infidelity:.3e} > {record.tolerance:.3e}"
+                + (f" ({record.detail})" if record.detail else ""),
+                file=sys.stderr,
+            )
     if args.render:
         from repro.pulse.render import render_schedule
 

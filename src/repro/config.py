@@ -16,6 +16,12 @@ from typing import Optional, Tuple
 #: environment variable consulted when ``ParallelConfig.workers`` is unset.
 ENV_WORKERS = "REPRO_WORKERS"
 
+#: environment variable consulted when ``VerifyConfig.mode`` is unset.
+ENV_VERIFY = "REPRO_VERIFY"
+
+#: accepted stage-boundary verification modes.
+VERIFY_MODES = ("off", "warn", "strict")
+
 
 @dataclass(frozen=True)
 class QOCConfig:
@@ -170,6 +176,81 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class VerifyConfig:
+    """Stage-boundary verification (see README "Verified compilation").
+
+    Every compilation stage is supposed to preserve the circuit's
+    unitary up to global phase; with verification on, the flows *check*
+    that instead of trusting it.  ``warn`` logs failures and counts them
+    on ``verify.*`` metrics while the compilation completes; ``strict``
+    raises :class:`~repro.exceptions.VerificationError` naming the
+    failing stage and block.  Checks are tensor-based (full unitaries)
+    up to ``tensor_width_cutoff`` qubits, fall back to comparing the
+    action on ``sample_states`` random statevectors up to
+    ``state_width_cutoff``, and are skipped (and counted) beyond that.
+    """
+
+    #: "off", "warn" or "strict"; ``None`` consults ``REPRO_VERIFY`` and
+    #: falls back to "off".
+    mode: Optional[str] = None
+    #: end-to-end infidelity budget summed across every verified stage.
+    #: ``None`` derives the budget from the run itself: the sum of the
+    #: per-check tolerances, i.e. the worst total a run whose every
+    #: check passes could honestly accumulate.  An explicit float is a
+    #: hard cap regardless of check count.
+    error_budget: Optional[float] = None
+    #: process-infidelity tolerance for stages that must be exact up to
+    #: global phase (ZX, decompose, partition/regroup reassembly).
+    unitary_atol: float = 1e-9
+    #: synthesized blocks may sit at the synthesis threshold; allow this
+    #: multiple of it before flagging the block.
+    synthesis_slack: float = 2.0
+    #: widest circuit whose full unitary is built for a check.
+    tensor_width_cutoff: int = 10
+    #: widest circuit verified through sampled statevectors; beyond this
+    #: the check is skipped and counted on ``verify.skipped``.
+    state_width_cutoff: int = 20
+    #: random statevectors compared per sampled-state check.
+    sample_states: int = 6
+    #: seed for the sampled-state generator (deterministic by default).
+    seed: int = 97
+
+    def __post_init__(self):
+        if self.mode is not None and self.mode not in VERIFY_MODES:
+            raise ValueError(
+                f"VerifyConfig.mode must be one of {VERIFY_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.error_budget is not None and self.error_budget <= 0.0:
+            raise ValueError("VerifyConfig.error_budget must be positive")
+        if self.tensor_width_cutoff < 1:
+            raise ValueError("VerifyConfig.tensor_width_cutoff must be >= 1")
+        if self.state_width_cutoff < self.tensor_width_cutoff:
+            raise ValueError(
+                "VerifyConfig.state_width_cutoff must be >= tensor_width_cutoff"
+            )
+        if self.sample_states < 1:
+            raise ValueError("VerifyConfig.sample_states must be >= 1")
+
+    def resolved_mode(self) -> str:
+        """The effective mode (explicit > ``REPRO_VERIFY`` > "off")."""
+        if self.mode is not None:
+            return self.mode
+        raw = os.environ.get(ENV_VERIFY, "").strip().lower()
+        if not raw:
+            return "off"
+        if raw not in VERIFY_MODES:
+            raise ValueError(
+                f"{ENV_VERIFY} must be one of {VERIFY_MODES}, got {raw!r}"
+            )
+        return raw
+
+    @property
+    def enabled(self) -> bool:
+        return self.resolved_mode() != "off"
+
+
+@dataclass(frozen=True)
 class TelemetryConfig:
     """Observability knobs (see :mod:`repro.telemetry`).
 
@@ -217,6 +298,7 @@ class EPOCConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    verify: VerifyConfig = field(default_factory=VerifyConfig)
 
     def with_updates(self, **kwargs) -> "EPOCConfig":
         """Functional update helper (the dataclass is frozen)."""

@@ -7,6 +7,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.pulse.schedule import PulseSchedule
 from repro.resilience.ledger import DegradedBlock
+from repro.verify.verifier import VerificationSummary
 
 __all__ = ["esp_fidelity", "CompilationReport"]
 
@@ -44,6 +45,9 @@ class CompilationReport:
     #: fidelity-budget ledger: work items whose best-effort pulse missed
     #: the per-pulse fidelity target (empty for a fully converged run)
     degraded_blocks: List[DegradedBlock] = field(default_factory=list)
+    #: stage-boundary verification summary; ``None`` when verification
+    #: was off for this compilation
+    verification: Optional[VerificationSummary] = None
 
     @property
     def fully_converged(self) -> bool:
@@ -82,9 +86,14 @@ class CompilationReport:
             if self.degraded_blocks
             else ""
         )
+        verified = (
+            f"  verified={self.verification.status}"
+            if self.verification is not None
+            else ""
+        )
         return (
             f"{self.circuit_name:<12} {self.method:<12} "
             f"{self.latency_ns:>10.1f} ns  fidelity={self.fidelity:.4f}  "
             f"compile={self.compile_seconds:.2f}s  pulses={self.pulse_count}  "
-            f"cache={cache}  qoc={qoc}{degraded}"
+            f"cache={cache}  qoc={qoc}{degraded}{verified}"
         )

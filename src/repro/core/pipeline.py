@@ -37,6 +37,8 @@ from repro.resilience.faults import fault_fires
 from repro.resilience.journal import config_fingerprint
 from repro.resilience.policy import Deadline
 from repro.synthesis import synthesize_block
+from repro.verify import StageVerifier
+from repro.verify.checks import items_as_circuit
 from repro.zx.optimize import optimize_circuit
 
 __all__ = ["EPOCPipeline"]
@@ -80,6 +82,11 @@ class EPOCPipeline:
         metrics = telemetry.get_metrics()
         stats = {}
         resilience = config.resilience
+        verifier = StageVerifier(
+            config.verify,
+            target_fidelity=config.qoc.fidelity_threshold,
+            synthesis_threshold=config.synthesis_threshold,
+        )
 
         executor = ParallelExecutor.from_config(config.parallel, resilience)
         with executor, tracer.span(
@@ -90,6 +97,7 @@ class EPOCPipeline:
             depth_input = work.depth()
 
             if config.use_zx:
+                zx_input = work if verifier.enabled else None
                 with tracer.span("zx") as span:
                     zx_result = optimize_circuit(work)
                     span.set(
@@ -98,6 +106,12 @@ class EPOCPipeline:
                         rewrites=zx_result.rewrites,
                     )
                 work = zx_result.circuit
+                if zx_input is not None:
+                    # check (a): ZX rewrite + extraction preserved the
+                    # unitary up to global phase
+                    verifier.check_circuit_stage(
+                        "zx", zx_input, work, detail="zx extraction"
+                    )
                 stats["zx_depth_before"] = float(zx_result.depth_before)
                 stats["zx_depth_after"] = float(zx_result.depth_after)
                 stats["zx_rewrites"] = float(zx_result.rewrites)
@@ -134,6 +148,24 @@ class EPOCPipeline:
                 metrics.observe("partition.block_gates", block.num_gates)
                 metrics.observe("partition.block_qubits", len(block.qubits))
             logger.info("partition: %d blocks from %d gates", len(blocks), len(work))
+
+            if verifier.enabled:
+                # check (b): the blocks, replayed in order on the global
+                # register, must reproduce the partition stage's input
+                verifier.check_circuit_stage(
+                    "partition",
+                    work,
+                    _flatten_blocks(blocks, circuit.num_qubits),
+                    detail="partition reassembly",
+                )
+
+            # check (c) needs each block's pre-synthesis unitary as the
+            # target the synthesized circuit is measured against
+            originals = (
+                {block.index: block.unitary() for block in blocks}
+                if verifier.enabled and config.use_synthesis
+                else {}
+            )
 
             if config.use_synthesis:
                 with tracer.span(
@@ -189,6 +221,14 @@ class EPOCPipeline:
                                     )
                                 )
                         blocks = synthesized
+                for block in blocks:
+                    if block.index in originals:
+                        verifier.check_synthesis(
+                            block.index,
+                            block.qubits,
+                            originals[block.index],
+                            block.unitary(),
+                        )
 
             flat = _flatten_blocks(blocks, circuit.num_qubits)
             stats["post_synthesis_gates"] = float(len(flat))
@@ -217,6 +257,18 @@ class EPOCPipeline:
             stats["unique_qoc_items"] = float(len(set(item_keys)))
             for item in items:
                 metrics.observe("regroup.unitary_qubits", item.num_qubits)
+
+            if verifier.enabled:
+                # check (b): regrouped unitaries replayed in order must
+                # reproduce the flattened circuit — verified *before* any
+                # GRAPE time is spent, so a unitary-bookkeeping bug is
+                # isolated from control error
+                verifier.check_circuit_stage(
+                    "regroup",
+                    flat,
+                    items_as_circuit(items, circuit.num_qubits),
+                    detail="regroup reassembly",
+                )
 
             journal: Optional[CompilationJournal] = None
             if resilience.checkpoint_path is not None:
@@ -286,10 +338,26 @@ class EPOCPipeline:
             ledger = FidelityLedger(target_fidelity=config.qoc.fidelity_threshold)
             for index, (item, pulse) in enumerate(zip(items, pulses)):
                 ledger.observe(index, item.qubits, pulse)
+                # check (d): the pulse's recomputed propagator vs. its
+                # target unitary (memoized per library key)
+                verifier.check_pulse(
+                    index,
+                    item.qubits,
+                    item.matrix,
+                    pulse,
+                    self.library.hardware_for(item.num_qubits),
+                    key=item_keys[index],
+                )
+            verification = verifier.finalize()
             stats["degraded_blocks"] = float(len(ledger.entries))
             stats["cache_hits"] = float(self.library.hits)
             stats["cache_misses"] = float(self.library.misses)
             stats["depth_input"] = float(depth_input)
+            if verification is not None:
+                stats["verify_checks"] = float(verification.checks)
+                stats["verify_failed"] = float(verification.failed)
+                stats["verify_skipped"] = float(verification.skipped)
+                stats["verify_infidelity"] = verification.total_infidelity
             logger.info(
                 "pulse generation: %d items, cache hit rate %.0f%%",
                 len(items),
@@ -313,6 +381,7 @@ class EPOCPipeline:
             pulse_count=len(items),
             stats=stats,
             degraded_blocks=ledger.entries,
+            verification=verification,
         )
 
 

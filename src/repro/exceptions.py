@@ -42,6 +42,13 @@ class ResilienceError(ReproError):
     exhausted retry budgets when no fallback is allowed, ...)."""
 
 
+class VerificationError(ReproError):
+    """Raised in ``strict`` verification mode when a stage-boundary
+    equivalence check fails or the end-to-end error budget is exceeded.
+    The message always names the stage (and block, when one is
+    implicated) so the failure is actionable."""
+
+
 class ScheduleError(ReproError):
     """Raised when a pulse schedule is inconsistent (overlapping pulses on
     one qubit line, negative times, unknown qubits)."""

@@ -15,7 +15,12 @@ from repro.exceptions import ScheduleError
 from repro.pulse.schedule import PulseSchedule, ScheduledPulse
 from repro.qoc.pulse import Pulse
 
-__all__ = ["pulse_to_dict", "pulse_from_dict", "schedule_to_dict"]
+__all__ = [
+    "pulse_to_dict",
+    "pulse_from_dict",
+    "validate_pulse_payload",
+    "schedule_to_dict",
+]
 
 
 def pulse_to_dict(pulse: Pulse) -> Dict[str, Any]:
@@ -29,6 +34,58 @@ def pulse_to_dict(pulse: Pulse) -> Dict[str, Any]:
         "controls_real": pulse.controls.real.tolist(),
         "controls_imag": pulse.controls.imag.tolist(),
     }
+
+
+def validate_pulse_payload(payload: Any) -> list:
+    """Content problems with a serialized pulse (empty list = valid).
+
+    Checks everything :func:`pulse_from_dict` would need *before* any
+    object is built: required fields, rectangular 2-D control arrays of
+    matching shape, finite samples, positive ``dt``, finite fidelity and
+    distance metadata.  Callers that must not crash mid-merge (the pulse
+    library's quarantine path) consult this instead of catching raw
+    ``ValueError``/``KeyError`` from the constructor.
+    """
+    problems = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, not an object"]
+    for field in ("qubits", "dt", "fidelity", "unitary_distance",
+                  "controls_real", "controls_imag"):
+        if field not in payload:
+            problems.append(f"missing field {field!r}")
+    if problems:
+        return problems
+    qubits = payload["qubits"]
+    if not isinstance(qubits, (list, tuple)) or not qubits or not all(
+        isinstance(q, int) and q >= 0 for q in qubits
+    ):
+        problems.append(f"qubits must be non-negative integers, got {qubits!r}")
+    shapes = []
+    for field in ("controls_real", "controls_imag"):
+        try:
+            array = np.asarray(payload[field], dtype=float)
+        except (TypeError, ValueError):
+            problems.append(f"{field} is not numeric")
+            continue
+        if array.ndim != 2 or array.size == 0:
+            problems.append(
+                f"{field} must be a non-empty 2-D array, got shape {array.shape}"
+            )
+        elif not np.all(np.isfinite(array)):
+            problems.append(f"{field} contains non-finite samples")
+        shapes.append(array.shape)
+    if len(shapes) == 2 and shapes[0] != shapes[1]:
+        problems.append(
+            f"control shapes disagree: {shapes[0]} vs {shapes[1]}"
+        )
+    for field in ("dt", "fidelity", "unitary_distance"):
+        value = payload[field]
+        if not isinstance(value, (int, float)) or not np.isfinite(value):
+            problems.append(f"{field} must be a finite number, got {value!r}")
+    dt = payload["dt"]
+    if isinstance(dt, (int, float)) and np.isfinite(dt) and dt <= 0.0:
+        problems.append(f"dt must be positive, got {dt!r}")
+    return problems
 
 
 def pulse_from_dict(payload: Dict[str, Any]) -> Pulse:

@@ -1,7 +1,12 @@
 """Quantum optimal control: hardware models, GRAPE/CRAB, pulse library."""
 
 from repro.qoc.hamiltonian import TransmonChain
-from repro.qoc.grape import GrapeResult, grape_optimize, propagate
+from repro.qoc.grape import (
+    GrapeResult,
+    grape_optimize,
+    propagate,
+    pulse_propagator,
+)
 from repro.qoc.crab import crab_optimize
 from repro.qoc.pulse import Pulse
 from repro.qoc.latency import minimal_latency_pulse, estimate_initial_segments
@@ -27,6 +32,7 @@ __all__ = [
     "GrapeResult",
     "grape_optimize",
     "propagate",
+    "pulse_propagator",
     "crab_optimize",
     "Pulse",
     "minimal_latency_pulse",

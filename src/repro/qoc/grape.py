@@ -22,7 +22,7 @@ from repro.config import QOCConfig
 from repro.exceptions import QOCError
 from repro.qoc.hamiltonian import TransmonChain
 
-__all__ = ["GrapeResult", "grape_optimize", "propagate"]
+__all__ = ["GrapeResult", "grape_optimize", "propagate", "pulse_propagator"]
 
 logger = telemetry.get_logger("qoc.grape")
 
@@ -77,6 +77,25 @@ def propagate(
         props,
         np.eye(drift.shape[0], dtype=complex),
     )
+
+
+def pulse_propagator(pulse, hardware: TransmonChain) -> np.ndarray:
+    """The unitary a stored pulse actually implements on ``hardware``.
+
+    Re-derives the propagator from the raw control samples (the same
+    slot-propagator product GRAPE optimized through), independent of the
+    fidelity metadata the pulse carries — which is what lets the
+    verification layer catch corrupted or stale pulse-library artifacts
+    whose recorded fidelity no longer matches their waveform.
+    """
+    controls_h, _ = hardware.controls()
+    controls = np.asarray(pulse.controls, dtype=float)
+    if controls.shape[0] != len(controls_h):
+        raise QOCError(
+            f"pulse drives {controls.shape[0]} control lines but the "
+            f"{hardware.num_qubits}-qubit hardware model has {len(controls_h)}"
+        )
+    return propagate(hardware.drift(), controls_h, controls, pulse.dt)
 
 
 def _exp_derivative_factor(lams: np.ndarray, dt: float) -> np.ndarray:

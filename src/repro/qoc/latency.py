@@ -29,7 +29,7 @@ from repro import telemetry
 from repro.config import QOCConfig, ResilienceConfig
 from repro.exceptions import QOCError
 from repro.linalg.unitary import global_phase_align
-from repro.qoc.grape import GrapeResult, grape_optimize
+from repro.qoc.grape import GrapeResult, grape_optimize, propagate
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.pulse import Pulse
 from repro.resilience.faults import fault_fires
@@ -163,13 +163,26 @@ def minimal_latency_pulse(
             initial_controls=initial_controls,
         )
         if forced_fail and result.converged:
-            # an injected non-convergence must look like a real one: below
-            # threshold, so the degraded pulse carries a visible deficit
+            # an injected non-convergence must look like a real one all
+            # the way down to the waveform: attenuate the controls and
+            # re-derive what they actually implement, so checks that
+            # recompute the propagator see the same miss the metadata
+            # reports (the clamp keeps the deficit visible even if the
+            # attenuated pulse lands unreasonably close to the target)
+            controls = result.controls * 0.5
+            controls_h, _ = hardware.controls()
+            final = propagate(
+                hardware.drift(), controls_h, controls, probe_config.dt
+            )
+            overlap = np.trace(target.conj().T @ final)
+            achieved = float(abs(overlap) ** 2 / target.shape[0] ** 2)
             result = replace(
                 result,
                 converged=False,
+                controls=controls,
+                final_unitary=final,
                 fidelity=min(
-                    result.fidelity, probe_config.fidelity_threshold - 1e-6
+                    achieved, probe_config.fidelity_threshold - 1e-6
                 ),
             )
         probed[segment_count] = result

@@ -70,6 +70,8 @@ class PulseLibrary:
     _hardware: Dict[int, TransmonChain] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    #: corrupted on-disk entries skipped by :meth:`load` (cumulative).
+    quarantined: int = 0
 
     def hardware_for(self, num_qubits: int) -> TransmonChain:
         if num_qubits not in self._hardware:
@@ -225,13 +227,24 @@ class PulseLibrary:
         import tempfile
 
         from repro.pulse.serialize import pulse_to_dict
+        from repro.verify.artifacts import LIBRARY_SCHEMA_VERSION, pulse_checksum
 
+        entries = []
+        for key in sorted(self._entries):
+            pulse_payload = pulse_to_dict(self._entries[key])
+            entries.append(
+                {
+                    "key": key.hex(),
+                    "pulse": pulse_payload,
+                    # per-entry content checksum: load() quarantines
+                    # entries whose payload no longer hashes to this
+                    "checksum": pulse_checksum(pulse_payload),
+                }
+            )
         payload = {
+            "schema": LIBRARY_SCHEMA_VERSION,
             "match_global_phase": self.match_global_phase,
-            "entries": [
-                {"key": key.hex(), "pulse": pulse_to_dict(self._entries[key])}
-                for key in sorted(self._entries)
-            ],
+            "entries": entries,
         }
         destination = os.path.abspath(path)
         fd, tmp_path = tempfile.mkstemp(
@@ -250,35 +263,97 @@ class PulseLibrary:
                 pass
             raise
 
-    def load(self, path: str, replace: bool = False) -> int:
+    def load(self, path: str, replace: bool = False, strict: bool = False) -> int:
         """Merge (or replace) entries from a saved library; returns the
         number of entries loaded.
 
-        Raises :class:`QOCError` when the stored key mode disagrees with
-        this library's — mixing exact and global-phase keys would corrupt
-        lookups.
+        Raises :class:`QOCError` when the payload is structurally
+        unusable: not a JSON object, an unknown (newer) schema version,
+        or a stored key mode that disagrees with this library's — mixing
+        exact and global-phase keys would corrupt lookups.
+
+        Individual corrupted entries — malformed key hex, checksum
+        mismatches, non-finite waveform samples, bad shapes — are
+        *quarantined*: skipped, counted on ``library.quarantined`` (and
+        :attr:`quarantined`), and logged with the reason, while every
+        healthy entry still loads.  With ``strict=True`` the first bad
+        entry raises :class:`QOCError` instead.  Either way the library
+        is never left half-loaded: all entries are validated and decoded
+        before the first one is merged.
         """
         import json
 
-        from repro.pulse.serialize import pulse_from_dict
+        from repro.pulse.serialize import pulse_from_dict, validate_pulse_payload
+        from repro.verify.artifacts import LIBRARY_SCHEMA_VERSION, validate_entry
 
         with open(path) as fh:
-            payload = json.load(fh)
+            try:
+                payload = json.load(fh)
+            except ValueError as exc:
+                raise QOCError(f"library file {path} is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise QOCError(
+                f"library file {path} holds {type(payload).__name__}, "
+                "not a library payload"
+            )
+        schema = payload.get("schema", 1)
+        if not isinstance(schema, int) or schema < 1 or \
+                schema > LIBRARY_SCHEMA_VERSION:
+            raise QOCError(
+                f"library file {path} uses unsupported schema {schema!r} "
+                f"(this build reads <= {LIBRARY_SCHEMA_VERSION})"
+            )
         if bool(payload.get("match_global_phase")) != self.match_global_phase:
             raise QOCError(
                 "stored library uses a different cache-key mode; refusing to merge"
             )
+        entries = payload.get("entries", [])
+        if not isinstance(entries, list):
+            raise QOCError(
+                f"library file {path} has a non-list 'entries' field"
+            )
+
+        metrics = telemetry.get_metrics()
+        # stage every entry before merging any, so a bad payload can
+        # never leave the library half-loaded
+        staged: Dict[bytes, Pulse] = {}
+        quarantined = 0
+        for position, entry in enumerate(entries):
+            problems = validate_entry(entry)
+            if not problems:
+                problems = validate_pulse_payload(entry["pulse"])
+            if problems:
+                if strict:
+                    raise QOCError(
+                        f"library entry {position} in {path} is invalid: "
+                        + "; ".join(problems)
+                    )
+                quarantined += 1
+                metrics.inc("library.quarantined")
+                logger.warning(
+                    "quarantined library entry %d from %s: %s",
+                    position,
+                    path,
+                    "; ".join(problems),
+                )
+                continue
+            staged[bytes.fromhex(entry["key"])] = pulse_from_dict(entry["pulse"])
+
         if replace:
             self._entries.clear()
             # hit/miss counts described the discarded entries; hit_rate
             # must reflect only the library being loaded now
             self.clear_statistics()
-        count = 0
-        for entry in payload.get("entries", ()):
-            key = bytes.fromhex(entry["key"])
-            self._entries[key] = pulse_from_dict(entry["pulse"])
-            count += 1
-        return count
+        self._entries.update(staged)
+        self.quarantined += quarantined
+        if quarantined:
+            logger.warning(
+                "loaded %d entries from %s; quarantined %d corrupted",
+                len(staged),
+                path,
+                quarantined,
+            )
+        return len(staged)
 
     def invalidate(self) -> None:
         """Drop every cached pulse (e.g. after hardware recalibration)."""
@@ -293,3 +368,4 @@ class PulseLibrary:
     def clear_statistics(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0

@@ -37,8 +37,17 @@ from repro.resilience.faults import (
     get_fault_plan,
     set_fault_plan,
 )
-from repro.resilience.journal import CompilationJournal, JournalError
-from repro.resilience.ledger import DegradedBlock, FidelityLedger
+from repro.resilience.journal import (
+    CompilationJournal,
+    JournalError,
+    journal_records,
+)
+from repro.resilience.ledger import (
+    DegradedBlock,
+    ErrorBudgetLedger,
+    FidelityLedger,
+    VerificationRecord,
+)
 from repro.resilience.policy import Deadline, RetryPolicy, retry_call
 
 __all__ = [
@@ -53,6 +62,9 @@ __all__ = [
     "ENV_FAULTS",
     "DegradedBlock",
     "FidelityLedger",
+    "VerificationRecord",
+    "ErrorBudgetLedger",
     "CompilationJournal",
     "JournalError",
+    "journal_records",
 ]

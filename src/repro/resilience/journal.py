@@ -31,14 +31,60 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro import telemetry
 from repro.exceptions import ResilienceError
 
-__all__ = ["CompilationJournal", "JournalError", "config_fingerprint"]
+__all__ = [
+    "CompilationJournal",
+    "JournalError",
+    "config_fingerprint",
+    "journal_records",
+]
 
 logger = telemetry.get_logger("resilience.journal")
+
+
+def journal_records(path: str) -> Tuple[List[dict], bool]:
+    """Replay a journal file; returns ``(records, truncated_tail)``.
+
+    A crash mid-``_write`` leaves a partial final line (no newline, or
+    invalid JSON).  That tail is *expected* damage: it is reported as
+    ``truncated_tail=True`` and every complete record before it is
+    salvaged, so a resume continues from the last complete record
+    instead of distrusting the whole journal.  Invalid lines elsewhere
+    (hand edits, disk corruption) are skipped with a warning.
+    """
+    records: List[dict] = []
+    truncated = False
+    with open(path) as fh:
+        lines = fh.read().split("\n")
+    # a well-formed journal ends with a newline, i.e. a trailing ''
+    ends_clean = lines and lines[-1] == ""
+    body = lines[:-1] if ends_clean else lines
+    for number, line in enumerate(body):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if number == len(body) - 1 and not ends_clean:
+                truncated = True
+            else:
+                logger.warning(
+                    "skipping invalid journal line %d in %s", number + 1, path
+                )
+            continue
+        if not isinstance(record, dict):
+            continue
+        records.append(record)
+    if not truncated and not ends_clean and body:
+        # final line parsed but the newline never landed: the record is
+        # complete, the file tail still needs repair before appending
+        truncated = True
+    return records, truncated
 
 
 class JournalError(ResilienceError):
@@ -103,6 +149,12 @@ class CompilationJournal:
                 self.path,
             )
         mode = "a" if resume and os.path.exists(self.journal_path) else "w"
+        if mode == "a":
+            # a crash mid-write leaves a partial final line; appending to
+            # it would weld the new 'begin' record onto the partial JSON
+            # and corrupt both.  Salvage every complete record and
+            # rewrite the tail before appending.
+            self._salvage_tail()
         self._fh = open(self.journal_path, mode)
         self._write(
             {
@@ -159,23 +211,42 @@ class CompilationJournal:
         self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()
 
+    def _salvage_tail(self) -> None:
+        """Repair a journal whose final line was cut short by a crash."""
+        if not os.path.exists(self.journal_path):
+            return
+        try:
+            records, truncated = journal_records(self.journal_path)
+        except OSError:
+            return
+        if not truncated:
+            return
+        completed = sum(1 for r in records if r.get("event") == "block")
+        logger.warning(
+            "journal %s ends in a partially written record (crash "
+            "mid-write); salvaging %d complete records (%d block "
+            "completions) and resuming from the last complete one",
+            self.journal_path,
+            len(records),
+            completed,
+        )
+        telemetry.get_metrics().inc("resilience.journal_salvaged")
+        tmp_path = self.journal_path + ".salvage"
+        with open(tmp_path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        os.replace(tmp_path, self.journal_path)
+
     def _stored_fingerprint(self) -> Optional[str]:
         """The fingerprint of the most recent run in the journal, if any."""
         if not os.path.exists(self.journal_path):
             return None
-        fingerprint: Optional[str] = None
         try:
-            with open(self.journal_path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue
-                    if record.get("event") == "begin":
-                        fingerprint = record.get("fingerprint")
+            records, _ = journal_records(self.journal_path)
         except OSError:
             return None
+        fingerprint: Optional[str] = None
+        for record in records:
+            if record.get("event") == "begin":
+                fingerprint = record.get("fingerprint")
         return fingerprint

@@ -1,4 +1,4 @@
-"""The per-block fidelity-budget ledger.
+"""Per-block fidelity and verification-error ledgers.
 
 When GRAPE cannot reach the fidelity threshold for a block (and the
 resilience config allows degradation), the flow keeps the best-effort
@@ -7,16 +7,27 @@ be *visible*.  The ledger records one :class:`DegradedBlock` per work
 item whose pulse missed its target, and the pipeline surfaces the list
 on :class:`~repro.core.metrics.CompilationReport.degraded_blocks` so
 callers can decide whether the aggregate ESP is still acceptable.
+
+:class:`ErrorBudgetLedger` extends that idea to *verified* compilation
+(see :mod:`repro.verify`): every stage-boundary equivalence check lands
+here as a :class:`VerificationRecord`, per-stage infidelity accumulates,
+and the total is compared against an end-to-end error budget.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import telemetry
 
-__all__ = ["DegradedBlock", "FidelityLedger"]
+__all__ = [
+    "DegradedBlock",
+    "FidelityLedger",
+    "VerificationRecord",
+    "ErrorBudgetLedger",
+]
 
 logger = telemetry.get_logger("resilience.ledger")
 
@@ -101,3 +112,117 @@ class FidelityLedger:
     @property
     def total_deficit(self) -> float:
         return sum(entry.deficit for entry in self.entries)
+
+
+@dataclass(frozen=True)
+class VerificationRecord:
+    """Outcome of one stage-boundary equivalence check."""
+
+    #: which stage boundary the check guards ("zx", "partition",
+    #: "synthesis", "regroup", "pulse", "decompose", "budget").
+    stage: str
+    #: the block / work-item index the check covers; ``None`` for
+    #: whole-circuit checks.
+    index: Optional[int]
+    #: global qubit lines involved (empty for whole-circuit checks).
+    qubits: Tuple[int, ...]
+    #: measured process infidelity (1 - |tr(U†V)|²/d²), or the stage's
+    #: own error metric for synthesis/pulse checks.
+    infidelity: float
+    #: the tolerance the check was held to.
+    tolerance: float
+    passed: bool
+    #: how the check was evaluated: "tensor", "state" or "skipped".
+    method: str = "tensor"
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "index": self.index,
+            "qubits": list(self.qubits),
+            "infidelity": self.infidelity,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+            "method": self.method,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ErrorBudgetLedger(FidelityLedger):
+    """A :class:`FidelityLedger` that also accumulates verification error.
+
+    Degraded-pulse accounting is inherited unchanged; on top of it, every
+    stage-boundary check lands as a :class:`VerificationRecord` and its
+    infidelity is charged against ``error_budget``.  Skipped checks
+    (circuits too wide to simulate) are recorded with
+    ``method="skipped"`` and charge nothing, but keep the compilation
+    from claiming it was fully verified.
+    """
+
+    error_budget: float = math.inf
+    records: List[VerificationRecord] = field(default_factory=list)
+
+    def record_check(self, record: VerificationRecord) -> None:
+        self.records.append(record)
+        metrics = telemetry.get_metrics()
+        metrics.inc("verify.checks")
+        if record.method == "skipped":
+            metrics.inc("verify.skipped")
+        elif not record.passed:
+            metrics.inc("verify.failures")
+            logger.warning(
+                "verification failed at stage %r%s: infidelity %.3e > "
+                "tolerance %.3e%s",
+                record.stage,
+                f" (block {record.index})" if record.index is not None else "",
+                record.infidelity,
+                record.tolerance,
+                f" — {record.detail}" if record.detail else "",
+            )
+
+    @property
+    def checks(self) -> int:
+        return len(self.records)
+
+    @property
+    def failures(self) -> List[VerificationRecord]:
+        return [
+            r for r in self.records if not r.passed and r.method != "skipped"
+        ]
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for r in self.records if r.method == "skipped")
+
+    @property
+    def total_infidelity(self) -> float:
+        """Accumulated infidelity across every evaluated check."""
+        return sum(
+            max(0.0, r.infidelity)
+            for r in self.records
+            if r.method != "skipped"
+        )
+
+    @property
+    def allowance(self) -> float:
+        """The worst total an all-checks-pass run could accumulate: the
+        sum of per-check tolerances across evaluated checks.  Used as
+        the derived error budget when none was configured explicitly."""
+        return sum(r.tolerance for r in self.records if r.method != "skipped")
+
+    @property
+    def budget_exceeded(self) -> bool:
+        return self.total_infidelity > self.error_budget
+
+    def stage_infidelity(self) -> Dict[str, float]:
+        """Per-stage accumulated infidelity (evaluated checks only)."""
+        out: Dict[str, float] = {}
+        for record in self.records:
+            if record.method == "skipped":
+                continue
+            out[record.stage] = out.get(record.stage, 0.0) + max(
+                0.0, record.infidelity
+            )
+        return out

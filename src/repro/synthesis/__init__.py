@@ -156,6 +156,12 @@ def synthesize_block(
     )
     synthesized = result.circuit
     best = fallback
-    if (synthesized.depth(), len(synthesized)) < (fallback.depth(), len(fallback)):
+    # never trade accuracy for depth: a search result outside its own
+    # threshold is discarded even when shallower (the stage-boundary
+    # verifier would flag it; refusing it here keeps the flow clean)
+    if result.distance <= max(threshold, 1e-9) and (
+        synthesized.depth(),
+        len(synthesized),
+    ) < (fallback.depth(), len(fallback)):
         best = synthesized
     return CircuitBlock(qubits=block.qubits, circuit=best, index=block.index)

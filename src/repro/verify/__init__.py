@@ -1,0 +1,47 @@
+"""Verified compilation: stage-boundary checks and artifact integrity.
+
+EPOC's value proposition rests on every stage — ZX rewrite,
+partitioning, VUG synthesis, regrouping, GRAPE — preserving the
+circuit's unitary up to global phase.  This package checks that instead
+of trusting it (see README "Verified compilation"):
+
+* :class:`StageVerifier` — threaded through
+  :class:`~repro.core.EPOCPipeline` and all three baselines; runs the
+  four stage-boundary checks and accumulates per-stage infidelity into
+  an :class:`~repro.resilience.ledger.ErrorBudgetLedger` with an
+  end-to-end budget.
+* :mod:`repro.verify.checks` — the equivalence primitives (tensor-based
+  with a sampled-state fallback, propagator recomputation for pulses).
+* :mod:`repro.verify.artifacts` — schema versions and per-entry content
+  checksums for the on-disk pulse library, backing
+  :meth:`~repro.qoc.library.PulseLibrary.load`'s quarantine behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.verify.artifacts import (
+    LIBRARY_SCHEMA_VERSION,
+    pulse_checksum,
+    validate_entry,
+)
+from repro.verify.checks import (
+    CheckOutcome,
+    circuit_equivalence,
+    items_as_circuit,
+    pulse_infidelity,
+    unitary_infidelity,
+)
+from repro.verify.verifier import StageVerifier, VerificationSummary
+
+__all__ = [
+    "LIBRARY_SCHEMA_VERSION",
+    "pulse_checksum",
+    "validate_entry",
+    "CheckOutcome",
+    "circuit_equivalence",
+    "items_as_circuit",
+    "pulse_infidelity",
+    "unitary_infidelity",
+    "StageVerifier",
+    "VerificationSummary",
+]

@@ -1,0 +1,71 @@
+"""On-disk artifact integrity: schema versions and content checksums.
+
+The pulse library is the long-lived artifact of the AccQOC/PAQOC/EPOC
+workflow — hours of GRAPE work reused across programs and sessions — and
+the checkpoint/resume path (PR 3) reloads it after crashes.  A flipped
+bit or a hand-edited entry must not silently corrupt lookups, so saved
+payloads carry a schema version and a per-entry checksum over the
+canonical JSON of the pulse, and :meth:`PulseLibrary.load` quarantines
+entries whose bytes no longer match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "LIBRARY_SCHEMA_VERSION",
+    "pulse_checksum",
+    "validate_entry",
+]
+
+#: current pulse-library payload schema.  Version 1 (implicit) had no
+#: ``schema`` field and no per-entry checksums; version 2 adds both.
+LIBRARY_SCHEMA_VERSION = 2
+
+
+def pulse_checksum(pulse_payload: Dict[str, Any]) -> str:
+    """A short content checksum over a pulse's canonical JSON form."""
+    canonical = json.dumps(pulse_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def validate_entry(entry: Any) -> List[str]:
+    """Structural problems with one saved library entry (empty = valid).
+
+    Checks the key (present, hex, even-length, carries at least the
+    qubit-count byte) and — when the entry has a checksum — that the
+    pulse payload still hashes to it.  Pulse-payload *content* checks
+    (shapes, dtypes, finiteness) live in
+    :func:`repro.pulse.serialize.validate_pulse_payload`, which the
+    library runs next; this function guards the envelope.
+    """
+    problems: List[str] = []
+    if not isinstance(entry, dict):
+        return [f"entry is {type(entry).__name__}, not an object"]
+    key = entry.get("key")
+    if not isinstance(key, str) or not key:
+        problems.append("missing or empty 'key'")
+    elif len(key) % 2 != 0:
+        problems.append(f"odd-length key hex ({len(key)} chars)")
+    else:
+        try:
+            raw = bytes.fromhex(key)
+        except ValueError:
+            problems.append("key is not valid hex")
+        else:
+            if len(raw) < 2:
+                problems.append("key too short to carry a qubit count")
+    pulse = entry.get("pulse")
+    if not isinstance(pulse, dict):
+        problems.append("missing or non-object 'pulse' payload")
+    else:
+        stored = entry.get("checksum")
+        if stored is not None and stored != pulse_checksum(pulse):
+            problems.append(
+                f"checksum mismatch (stored {stored}, "
+                f"recomputed {pulse_checksum(pulse)})"
+            )
+    return problems

@@ -1,0 +1,273 @@
+"""The stage-boundary verifier threaded through every compilation flow.
+
+A :class:`StageVerifier` sits between pipeline stages and measures, per
+the configured :class:`~repro.config.VerifyConfig`:
+
+(a) ZX extraction vs. the input circuit,
+(b) partition/regroup reassembly vs. the stage input,
+(c) each synthesized block vs. its target unitary, and
+(d) each generated pulse's recomputed propagator vs. its unitary,
+
+accumulating every outcome into an
+:class:`~repro.resilience.ledger.ErrorBudgetLedger`.  ``warn`` mode logs
+failures and counts them on ``verify.*`` metrics; ``strict`` raises
+:class:`~repro.exceptions.VerificationError` naming the stage and block
+the moment a check fails (and again at :meth:`finalize` if the summed
+infidelity exceeds the end-to-end budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.config import VerifyConfig
+from repro.exceptions import VerificationError
+from repro.resilience.ledger import ErrorBudgetLedger, VerificationRecord
+from repro.verify.checks import (
+    CheckOutcome,
+    circuit_equivalence,
+    pulse_infidelity,
+    unitary_infidelity,
+)
+
+__all__ = ["StageVerifier", "VerificationSummary"]
+
+logger = telemetry.get_logger("verify")
+
+
+@dataclass(frozen=True)
+class VerificationSummary:
+    """What a flow's verification pass concluded, for the report."""
+
+    mode: str
+    checks: int
+    failed: int
+    skipped: int
+    total_infidelity: float
+    error_budget: float
+    budget_exceeded: bool
+    stage_infidelity: Dict[str, float] = field(default_factory=dict)
+    #: the failing records, so reports can name blocks and deficits.
+    failures: List[VerificationRecord] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        """"yes" when every check ran and passed within budget, else
+        "partial" (some check failed, was skipped, or the budget blew)."""
+        clean = self.failed == 0 and self.skipped == 0
+        return "yes" if clean and not self.budget_exceeded else "partial"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "status": self.status,
+            "checks": self.checks,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "total_infidelity": self.total_infidelity,
+            "error_budget": self.error_budget,
+            "budget_exceeded": self.budget_exceeded,
+            "stage_infidelity": dict(self.stage_infidelity),
+            "failures": [record.to_dict() for record in self.failures],
+        }
+
+
+class StageVerifier:
+    """Runs the stage-boundary checks for one compilation."""
+
+    def __init__(
+        self,
+        config: Optional[VerifyConfig] = None,
+        target_fidelity: float = 0.999,
+        synthesis_threshold: float = 1e-6,
+    ):
+        self.config = config or VerifyConfig()
+        self.mode = self.config.resolved_mode()
+        self.target_fidelity = target_fidelity
+        self.synthesis_threshold = synthesis_threshold
+        self.ledger = ErrorBudgetLedger(target_fidelity=target_fidelity)
+        #: per-library-key verdicts so N occurrences of one unitary cost
+        #: one propagator recomputation (mirrors the cache/singleflight)
+        self._pulse_verdicts: Dict[bytes, Tuple[float, str]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    # -- recording -------------------------------------------------------
+
+    def _record(
+        self,
+        stage: str,
+        outcome: CheckOutcome,
+        tolerance: float,
+        index: Optional[int] = None,
+        qubits: Tuple[int, ...] = (),
+        detail: str = "",
+    ) -> VerificationRecord:
+        passed = outcome.skipped or (outcome.infidelity <= tolerance)
+        record = VerificationRecord(
+            stage=stage,
+            index=index,
+            qubits=tuple(qubits),
+            infidelity=outcome.infidelity,
+            tolerance=tolerance,
+            passed=passed,
+            method=outcome.method,
+            detail=detail,
+        )
+        self.ledger.record_check(record)
+        if not passed and self.mode == "strict":
+            where = f"stage '{stage}'"
+            if index is not None:
+                where += f", block {index}"
+                if qubits:
+                    where += f" on qubits {tuple(qubits)}"
+            raise VerificationError(
+                f"verification failed at {where}: infidelity "
+                f"{outcome.infidelity:.3e} exceeds tolerance {tolerance:.3e}"
+                + (f" ({detail})" if detail else "")
+            )
+        return record
+
+    # -- stage checks ----------------------------------------------------
+
+    def check_circuit_stage(
+        self, stage: str, reference, candidate, detail: str = ""
+    ) -> Optional[VerificationRecord]:
+        """Check (a)/(b): a stage's output circuit vs. its input circuit,
+        equivalent up to global phase."""
+        if not self.enabled:
+            return None
+        outcome = circuit_equivalence(
+            reference,
+            candidate,
+            tensor_width_cutoff=self.config.tensor_width_cutoff,
+            state_width_cutoff=self.config.state_width_cutoff,
+            sample_states=self.config.sample_states,
+            seed=self.config.seed,
+        )
+        return self._record(
+            stage, outcome, tolerance=self.config.unitary_atol, detail=detail
+        )
+
+    def check_synthesis(
+        self,
+        index: int,
+        qubits: Tuple[int, ...],
+        target: np.ndarray,
+        achieved: np.ndarray,
+    ) -> Optional[VerificationRecord]:
+        """Check (c): a synthesized block's unitary vs. its target, held
+        to the synthesis tolerance (with the configured slack)."""
+        if not self.enabled:
+            return None
+        outcome = CheckOutcome(
+            infidelity=unitary_infidelity(target, achieved), method="tensor"
+        )
+        # the search accepts at hs_distance <= threshold; process
+        # infidelity of such a result is bounded by ~2*threshold, so the
+        # slack default of 2 keeps legitimate accepts inside tolerance
+        tolerance = max(
+            self.synthesis_threshold * self.config.synthesis_slack,
+            self.config.unitary_atol,
+        )
+        return self._record(
+            "synthesis", outcome, tolerance, index=index, qubits=qubits
+        )
+
+    def check_pulse(
+        self,
+        index: int,
+        qubits: Tuple[int, ...],
+        target: np.ndarray,
+        pulse,
+        hardware,
+        key: Optional[bytes] = None,
+    ) -> Optional[VerificationRecord]:
+        """Check (d): the pulse's recomputed propagator vs. its unitary.
+
+        ``key`` (the pulse-library cache key) memoizes the propagator
+        recomputation, so duplicated work items cost one check — the
+        same economy the library's singleflight gives pulse generation.
+        """
+        if not self.enabled:
+            return None
+        if key is not None and key in self._pulse_verdicts:
+            infidelity, method = self._pulse_verdicts[key]
+        else:
+            infidelity = pulse_infidelity(target, pulse, hardware)
+            method = "tensor"
+            if key is not None:
+                self._pulse_verdicts[key] = (infidelity, method)
+        tolerance = max(
+            1.0 - self.target_fidelity, self.config.unitary_atol
+        )
+        detail = ""
+        if getattr(pulse, "source", "") == "grape-degraded":
+            detail = "degraded pulse (GRAPE non-convergence)"
+        return self._record(
+            "pulse",
+            CheckOutcome(infidelity=infidelity, method=method),
+            tolerance,
+            index=index,
+            qubits=qubits,
+            detail=detail,
+        )
+
+    # -- wrap-up ---------------------------------------------------------
+
+    def finalize(self) -> Optional[VerificationSummary]:
+        """Compare the accumulated infidelity against the end-to-end
+        budget and return the summary for the report."""
+        if not self.enabled:
+            return None
+        total = self.ledger.total_infidelity
+        # an explicit budget is a hard cap; otherwise derive it from the
+        # run's own per-check tolerances, the worst total an
+        # all-checks-pass compilation could honestly accumulate
+        budget = self.config.error_budget
+        if budget is None:
+            budget = self.ledger.allowance
+        self.ledger.error_budget = budget
+        exceeded = self.ledger.budget_exceeded
+        if exceeded:
+            telemetry.get_metrics().inc("verify.budget_exceeded")
+            logger.warning(
+                "end-to-end error budget exceeded: accumulated infidelity "
+                "%.3e > budget %.3e",
+                total,
+                budget,
+            )
+            if self.mode == "strict":
+                raise VerificationError(
+                    f"verification failed at stage 'budget': accumulated "
+                    f"infidelity {total:.3e} exceeds the end-to-end error "
+                    f"budget {budget:.3e}"
+                )
+        summary = VerificationSummary(
+            mode=self.mode,
+            checks=self.ledger.checks,
+            failed=len(self.ledger.failures),
+            skipped=self.ledger.skipped,
+            total_infidelity=total,
+            error_budget=budget,
+            budget_exceeded=exceeded,
+            stage_infidelity=self.ledger.stage_infidelity(),
+            failures=list(self.ledger.failures),
+        )
+        logger.info(
+            "verification (%s): %d checks, %d failed, %d skipped, "
+            "total infidelity %.3e of budget %.3e",
+            summary.mode,
+            summary.checks,
+            summary.failed,
+            summary.skipped,
+            summary.total_infidelity,
+            summary.error_budget,
+        )
+        return summary

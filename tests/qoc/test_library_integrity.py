@@ -1,0 +1,166 @@
+"""Artifact integrity: schema versions, checksums, quarantine on load."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import gate_matrix
+from repro.exceptions import QOCError
+from repro.qoc import PulseLibrary
+from repro.verify.artifacts import (
+    LIBRARY_SCHEMA_VERSION,
+    pulse_checksum,
+    validate_entry,
+)
+
+
+@pytest.fixture
+def warm_library(fast_qoc):
+    library = PulseLibrary(config=fast_qoc)
+    library.get_pulse(gate_matrix("x"), (0,))
+    library.get_pulse(gate_matrix("h"), (0,))
+    return library
+
+
+def _saved_payload(library, tmp_path):
+    path = str(tmp_path / "lib.json")
+    library.save(path)
+    with open(path) as fh:
+        return path, json.load(fh)
+
+
+def _rewrite(path, payload):
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+class TestSavedEnvelope:
+    def test_payload_carries_schema_and_checksums(self, warm_library, tmp_path):
+        _, payload = _saved_payload(warm_library, tmp_path)
+        assert payload["schema"] == LIBRARY_SCHEMA_VERSION
+        assert len(payload["entries"]) == 2
+        for entry in payload["entries"]:
+            assert entry["checksum"] == pulse_checksum(entry["pulse"])
+            assert validate_entry(entry) == []
+
+    def test_newer_schema_is_refused(self, warm_library, fast_qoc, tmp_path):
+        path, payload = _saved_payload(warm_library, tmp_path)
+        payload["schema"] = LIBRARY_SCHEMA_VERSION + 1
+        _rewrite(path, payload)
+        with pytest.raises(QOCError, match="schema"):
+            PulseLibrary(config=fast_qoc).load(path)
+
+    def test_non_object_payload_is_refused(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.json")
+        with open(path, "w") as fh:
+            json.dump([1, 2, 3], fh)
+        with pytest.raises(QOCError, match="not a library payload"):
+            PulseLibrary(config=fast_qoc).load(path)
+
+    def test_invalid_json_is_refused(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.json")
+        with open(path, "w") as fh:
+            fh.write('{"schema": 2, "entries": [')  # truncated write
+        with pytest.raises(QOCError, match="not valid JSON"):
+            PulseLibrary(config=fast_qoc).load(path)
+
+
+class TestQuarantine:
+    """Acceptance: a hand-corrupted entry is quarantined on load while
+    the rest of the library loads intact."""
+
+    def _load_with_corruption(self, warm_library, fast_qoc, tmp_path, mutate):
+        path, payload = _saved_payload(warm_library, tmp_path)
+        mutate(payload["entries"][0])
+        _rewrite(path, payload)
+        fresh = PulseLibrary(config=fast_qoc)
+        loaded = fresh.load(path)
+        return fresh, loaded
+
+    def test_checksum_mismatch_is_quarantined(
+        self, warm_library, fast_qoc, tmp_path
+    ):
+        def flip_sample(entry):
+            entry["pulse"]["controls_real"][0][0] += 0.25  # the "flipped bit"
+
+        fresh, loaded = self._load_with_corruption(
+            warm_library, fast_qoc, tmp_path, flip_sample
+        )
+        assert loaded == 1
+        assert fresh.quarantined == 1
+        assert len(fresh) == 1  # the healthy entry still serves lookups
+
+    def test_odd_length_key_hex_is_quarantined(
+        self, warm_library, fast_qoc, tmp_path
+    ):
+        fresh, loaded = self._load_with_corruption(
+            warm_library,
+            fast_qoc,
+            tmp_path,
+            lambda entry: entry.update(key=entry["key"][:-1]),
+        )
+        assert loaded == 1
+        assert fresh.quarantined == 1
+
+    def test_missing_key_is_quarantined(self, warm_library, fast_qoc, tmp_path):
+        fresh, loaded = self._load_with_corruption(
+            warm_library, fast_qoc, tmp_path, lambda entry: entry.pop("key")
+        )
+        assert loaded == 1
+        assert fresh.quarantined == 1
+
+    def test_non_finite_samples_are_quarantined(
+        self, warm_library, fast_qoc, tmp_path
+    ):
+        def poison(entry):
+            entry["pulse"]["controls_real"][0][0] = float("nan")
+            entry["checksum"] = pulse_checksum(entry["pulse"])  # checksum "fixed"
+
+        fresh, loaded = self._load_with_corruption(
+            warm_library, fast_qoc, tmp_path, poison
+        )
+        assert loaded == 1
+        assert fresh.quarantined == 1
+
+    def test_strict_load_raises_naming_the_entry(
+        self, warm_library, fast_qoc, tmp_path
+    ):
+        path, payload = _saved_payload(warm_library, tmp_path)
+        payload["entries"][1]["pulse"]["dt"] = -1.0
+        payload["entries"][1]["checksum"] = pulse_checksum(
+            payload["entries"][1]["pulse"]
+        )
+        _rewrite(path, payload)
+        fresh = PulseLibrary(config=fast_qoc)
+        with pytest.raises(QOCError, match="entry 1"):
+            fresh.load(path, strict=True)
+        # strict refusal must not half-load: nothing was merged
+        assert len(fresh) == 0
+
+    def test_no_half_load_on_quarantine(self, warm_library, fast_qoc, tmp_path):
+        """Entries are fully staged before any merge, so a corrupted
+        entry *after* healthy ones never leaves partial state behind on
+        the strict path, and hit/miss counters stay coherent."""
+        path, payload = _saved_payload(warm_library, tmp_path)
+        payload["entries"].append({"key": "zz", "pulse": {}})
+        _rewrite(path, payload)
+        fresh = PulseLibrary(config=fast_qoc)
+        assert fresh.load(path) == 2
+        assert fresh.quarantined == 1
+        # both healthy pulses answer without recomputation
+        fresh.get_pulse(gate_matrix("x"), (0,))
+        fresh.get_pulse(gate_matrix("h"), (0,))
+        assert fresh.misses == 0
+
+    def test_legacy_schema_one_still_loads(self, warm_library, fast_qoc, tmp_path):
+        """A pre-versioning payload (no schema, no checksums) must keep
+        loading — old checkpoints stay resumable."""
+        path, payload = _saved_payload(warm_library, tmp_path)
+        payload.pop("schema")
+        for entry in payload["entries"]:
+            entry.pop("checksum")
+        _rewrite(path, payload)
+        fresh = PulseLibrary(config=fast_qoc)
+        assert fresh.load(path) == 2
+        assert fresh.quarantined == 0

@@ -9,7 +9,7 @@ from repro.config import QOCConfig
 from repro.qoc.library import PulseLibrary
 from repro.qoc.pulse import Pulse
 from repro.resilience import CompilationJournal, JournalError
-from repro.resilience.journal import config_fingerprint
+from repro.resilience.journal import config_fingerprint, journal_records
 
 
 def _pulse(segments=4):
@@ -119,3 +119,70 @@ class TestCanonicalSave:
         a.save(str(path_a))
         b.save(str(path_b))
         assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestTruncatedTailSalvage:
+    """A crash mid-write leaves a partial final JSONL line; resume must
+    salvage every complete record instead of corrupting the journal."""
+
+    def _crashed_journal(self, tmp_path, tail):
+        checkpoint = tmp_path / "cp.json"
+        library = PulseLibrary()
+        journal = CompilationJournal(str(checkpoint), library)
+        journal.open("circ", "fp")
+        library._entries[b"\x01k1"] = _pulse()
+        journal.record_block(0, b"\x01k1")
+        journal._fh.close()  # simulate a crash: no done/abort record
+        journal._fh = None
+        with open(journal.journal_path, "a") as fh:
+            fh.write(tail)  # the partially flushed final record
+        return checkpoint, journal.journal_path
+
+    def test_journal_records_flags_partial_tail(self, tmp_path):
+        checkpoint, journal_path = self._crashed_journal(
+            tmp_path, '{"event": "block", "ind'
+        )
+        records, truncated = journal_records(str(journal_path))
+        assert truncated
+        assert [r["event"] for r in records] == ["begin", "block", "flush"]
+
+    def test_journal_records_clean_file(self, tmp_path):
+        checkpoint, journal_path = self._crashed_journal(tmp_path, "")
+        # the file happens to end on a newline, so nothing was truncated
+        records, truncated = journal_records(str(journal_path))
+        assert not truncated
+        assert [r["event"] for r in records] == ["begin", "block", "flush"]
+
+    def test_journal_records_unterminated_but_parseable_tail(self, tmp_path):
+        checkpoint, journal_path = self._crashed_journal(
+            tmp_path, '{"event": "block", "index": 1, "key": "00"}'
+        )
+        records, truncated = journal_records(str(journal_path))
+        # the record is complete JSON, so it is kept — but the missing
+        # newline still marks the tail for repair before any append
+        assert truncated
+        assert records[-1]["index"] == 1
+
+    def test_resume_salvages_and_continues(self, tmp_path):
+        checkpoint, journal_path = self._crashed_journal(
+            tmp_path, '{"event": "block", "ind'
+        )
+        fresh = PulseLibrary()
+        journal = CompilationJournal(str(checkpoint), fresh)
+        resumed = journal.open("circ", "fp", resume=True)
+        journal.close()
+        assert resumed == 1  # the checkpointed pulse came back
+        # every line in the repaired journal parses; the partial record
+        # is gone and the new run's records follow the salvaged ones
+        with open(journal_path) as fh:
+            events = [json.loads(line)["event"] for line in fh]
+        assert events == ["begin", "block", "flush", "begin", "flush", "done"]
+
+    def test_resume_reads_fingerprint_past_partial_tail(self, tmp_path):
+        checkpoint, journal_path = self._crashed_journal(
+            tmp_path, '{"event": "begin", "fingerprint": "other'
+        )
+        journal = CompilationJournal(str(checkpoint), PulseLibrary())
+        # the partial line must not shadow the stored fingerprint
+        with pytest.raises(JournalError, match="different configuration"):
+            journal.open("circ", "fp-two", resume=True)

@@ -1,0 +1,26 @@
+"""Fixtures for the verification suite: isolated fault plans per test."""
+
+import pytest
+
+from repro.resilience import FaultPlan, set_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    """Every test starts and ends with an inactive fault plan, so an armed
+    fault can never leak into (or in from) a neighbouring test."""
+    previous = set_fault_plan(FaultPlan())
+    yield
+    set_fault_plan(previous)
+
+
+@pytest.fixture
+def arm_faults():
+    """Install a fault plan from the ``REPRO_FAULTS`` grammar."""
+
+    def arm(text: str) -> FaultPlan:
+        plan = FaultPlan.parse(text)
+        set_fault_plan(plan)
+        return plan
+
+    return arm

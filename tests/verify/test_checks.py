@@ -1,0 +1,157 @@
+"""Equivalence primitives, property-style: random unitaries, cache keys,
+tolerance boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.linalg import random_unitary
+from repro.linalg.unitary import equal_up_to_global_phase
+from repro.qoc.library import unitary_cache_key
+from repro.verify.checks import (
+    circuit_equivalence,
+    items_as_circuit,
+    unitary_infidelity,
+)
+
+
+class TestUnitaryInfidelity:
+    def test_zero_for_identical(self, rng):
+        u = random_unitary(4, rng)
+        assert unitary_infidelity(u, u) == 0.0
+
+    def test_global_phase_invariant(self, rng):
+        for _ in range(20):
+            u = random_unitary(4, rng)
+            phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+            assert unitary_infidelity(u, phase * u) < 1e-12
+
+    def test_positive_for_distinct(self, rng):
+        for _ in range(20):
+            u = random_unitary(4, rng)
+            v = random_unitary(4, rng)
+            assert unitary_infidelity(u, v) > 1e-3
+
+
+class TestCacheKeyProperty:
+    """Property: colliding cache keys imply global-phase equivalence."""
+
+    def test_phase_rotations_collide_and_are_equivalent(self, rng):
+        for dim in (2, 4, 8):
+            for _ in range(10):
+                u = random_unitary(dim, rng)
+                phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+                v = phase * u
+                assert unitary_cache_key(u) == unitary_cache_key(v)
+                assert equal_up_to_global_phase(u, v)
+
+    def test_collisions_only_between_equivalent_matrices(self, rng):
+        """Over a batch of random unitaries plus their phase-rotated
+        copies, any two with equal keys must be phase-equivalent; any two
+        phase-inequivalent must have distinct keys."""
+        pool = []
+        for _ in range(12):
+            u = random_unitary(4, rng)
+            phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+            pool.append(u)
+            pool.append(phase * u)
+        for i, a in enumerate(pool):
+            for b in pool[i + 1 :]:
+                if unitary_cache_key(a) == unitary_cache_key(b):
+                    assert unitary_infidelity(a, b) < 1e-9
+                else:
+                    # distinct keys from a sub-rounding perturbation are
+                    # fine; equivalent matrices must never be claimed by
+                    # the inverse direction, which is what lookups rely on
+                    assert not np.allclose(a, b)
+
+    def test_sub_rounding_perturbations_collide(self, rng):
+        """Perturbations below the key's rounding grid (1e-6) collide —
+        and are equivalent to within the grid, so serving the cached
+        pulse is correct."""
+        u = random_unitary(4, rng)
+        v = u + 1e-9 * (rng.standard_normal((4, 4)))
+        assert unitary_cache_key(u) == unitary_cache_key(v)
+        assert unitary_infidelity(u, v) < 1e-6
+
+    def test_distinct_unitaries_do_not_collide(self, rng):
+        keys = {unitary_cache_key(random_unitary(4, rng)).hex() for _ in range(30)}
+        assert len(keys) == 30
+
+
+class TestCircuitEquivalence:
+    def _pair(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.h(0)
+        b.cx(0, 1)
+        return a, b
+
+    def test_tensor_path_accepts_identical(self):
+        a, b = self._pair()
+        outcome = circuit_equivalence(a, b)
+        assert outcome.method == "tensor"
+        assert outcome.infidelity < 1e-12
+
+    def test_tensor_path_rejects_a_changed_gate(self):
+        a, b = self._pair()
+        b.rz(0.5, 1)
+        outcome = circuit_equivalence(a, b)
+        assert outcome.method == "tensor"
+        assert outcome.infidelity > 1e-3
+
+    def test_width_mismatch_is_maximal(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        assert circuit_equivalence(a, b).infidelity == 1.0
+
+    def test_state_path_above_tensor_cutoff(self):
+        a = QuantumCircuit(3)
+        a.h(0)
+        a.cx(0, 1)
+        a.cx(1, 2)
+        b = QuantumCircuit(3)
+        b.h(0)
+        b.cx(0, 1)
+        b.cx(1, 2)
+        outcome = circuit_equivalence(a, b, tensor_width_cutoff=2)
+        assert outcome.method == "state"
+        assert outcome.infidelity < 1e-10
+
+    def test_state_path_detects_divergence(self):
+        a = QuantumCircuit(3)
+        a.h(0)
+        a.cx(0, 1)
+        b = QuantumCircuit(3)
+        b.h(0)
+        b.cx(0, 1)
+        b.x(2)
+        outcome = circuit_equivalence(a, b, tensor_width_cutoff=2)
+        assert outcome.method == "state"
+        assert outcome.infidelity > 0.5
+
+    def test_skipped_beyond_state_cutoff(self):
+        a = QuantumCircuit(5)
+        b = QuantumCircuit(5)
+        outcome = circuit_equivalence(
+            a, b, tensor_width_cutoff=2, state_width_cutoff=4
+        )
+        assert outcome.skipped
+        assert np.isnan(outcome.infidelity)
+
+
+class TestItemsAsCircuit:
+    def test_reproduces_the_source_circuit(self, rng):
+        from repro.partition.greedy import greedy_partition
+        from repro.partition.regroup import regroup_circuit
+
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.rz(0.3, 1)
+        qc.cx(1, 2)
+        items = regroup_circuit(qc, qubit_limit=2, gate_limit=4)
+        rebuilt = items_as_circuit(items, 3)
+        assert circuit_equivalence(qc, rebuilt).infidelity < 1e-9

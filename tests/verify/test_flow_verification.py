@@ -1,0 +1,126 @@
+"""End-to-end verified compilation: every flow, warn and strict modes."""
+
+import pytest
+
+from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
+from repro.circuits import QuantumCircuit
+from repro.config import ResilienceConfig, VerifyConfig
+from repro.core import EPOCPipeline
+from repro.exceptions import VerificationError
+
+
+def _bell_pair():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    return qc
+
+
+def _three_qubit():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.rz(0.3, 1)
+    qc.cx(1, 2)
+    return qc
+
+
+def _verified(config, mode, **kwargs):
+    return config.with_updates(verify=VerifyConfig(mode=mode, **kwargs))
+
+
+class TestCleanRuns:
+    def test_epoc_strict_passes_end_to_end(self, fast_epoc):
+        config = _verified(fast_epoc, "strict")
+        report = EPOCPipeline(config).compile(_three_qubit(), name="clean")
+        summary = report.verification
+        assert summary is not None
+        assert summary.mode == "strict"
+        assert summary.failed == 0
+        assert summary.status == "yes"
+        # one check per stage boundary plus one per block/item
+        assert summary.checks >= 4
+        assert {"zx", "partition", "synthesis", "regroup", "pulse"} <= set(
+            summary.stage_infidelity
+        )
+        assert "verified=yes" in report.summary_row()
+        assert report.stats["verify_checks"] == float(summary.checks)
+
+    def test_off_mode_reports_nothing(self, fast_epoc):
+        # pinned to "off" so the assertion holds even when the suite
+        # runs under REPRO_VERIFY=strict (the CI verification job)
+        config = _verified(fast_epoc, "off")
+        report = EPOCPipeline(config).compile(_bell_pair(), name="off")
+        assert report.verification is None
+        assert "verified=" not in report.summary_row()
+        assert "verify_checks" not in report.stats
+
+    def test_gate_based_strict(self, fast_epoc):
+        config = _verified(fast_epoc, "strict")
+        report = GateBasedFlow(config).compile(_three_qubit(), name="gb")
+        assert report.verification.status == "yes"
+        assert "decompose" in report.verification.stage_infidelity
+
+    def test_accqoc_warn(self, fast_epoc):
+        config = _verified(fast_epoc, "warn")
+        report = AccQOCFlow(config).compile(_bell_pair(), name="acc")
+        summary = report.verification
+        assert summary.failed == 0
+        assert {"decompose", "partition", "pulse"} <= set(summary.stage_infidelity)
+
+    def test_paqoc_warn(self, fast_epoc):
+        config = _verified(fast_epoc, "warn")
+        report = PAQOCFlow(config).compile(_three_qubit(), name="pa")
+        summary = report.verification
+        assert summary.failed == 0
+        assert "decompose" in summary.stage_infidelity
+
+
+class TestInjectedDegradation:
+    """Acceptance: an injected GRAPE non-convergence is caught by the
+    propagator-recomputing pulse check."""
+
+    def test_warn_completes_and_names_the_block(self, fast_epoc, arm_faults):
+        arm_faults("qoc.no_converge*1")
+        config = _verified(fast_epoc, "warn").with_updates(
+            resilience=ResilienceConfig(max_retries=0)
+        )
+        report = EPOCPipeline(config).compile(_bell_pair(), name="faulty")
+        summary = report.verification
+        assert summary.failed >= 1
+        assert summary.status == "partial"
+        failure = summary.failures[0]
+        assert failure.stage == "pulse"
+        assert failure.index is not None
+        assert failure.infidelity > failure.tolerance
+        assert "degraded" in failure.detail
+        # the degraded block also appears on the fidelity ledger
+        assert len(report.degraded_blocks) >= 1
+        assert "verified=partial" in report.summary_row()
+
+    def test_strict_raises_naming_the_block(self, fast_epoc, arm_faults):
+        arm_faults("qoc.no_converge*1")
+        config = _verified(fast_epoc, "strict").with_updates(
+            resilience=ResilienceConfig(max_retries=0)
+        )
+        with pytest.raises(
+            VerificationError, match=r"stage 'pulse', block \d+"
+        ):
+            EPOCPipeline(config).compile(_bell_pair(), name="faulty")
+
+
+class TestErrorBudgetEndToEnd:
+    def test_tight_budget_flags_a_clean_run(self, fast_epoc):
+        """A budget below the honest per-pulse control error trips at
+        finalize time even though every individual check passes."""
+        config = _verified(fast_epoc, "warn", error_budget=1e-12)
+        report = EPOCPipeline(config).compile(_bell_pair(), name="tight")
+        summary = report.verification
+        assert summary.failed == 0
+        assert summary.budget_exceeded
+        assert summary.status == "partial"
+
+    def test_tight_budget_raises_in_strict(self, fast_epoc):
+        config = _verified(fast_epoc, "strict", error_budget=1e-12)
+        with pytest.raises(VerificationError, match="budget"):
+            EPOCPipeline(config).compile(_bell_pair(), name="tight")

@@ -1,0 +1,183 @@
+"""StageVerifier behaviour: modes, tolerance boundaries, ledger, budget."""
+
+import numpy as np
+import pytest
+
+from repro.config import VerifyConfig, ENV_VERIFY
+from repro.exceptions import VerificationError
+from repro.linalg import random_unitary
+from repro.qoc import TransmonChain
+from repro.qoc.latency import minimal_latency_pulse
+from repro.verify import StageVerifier
+from repro.verify.checks import unitary_infidelity
+
+
+def _verifier(mode, **kwargs):
+    return StageVerifier(VerifyConfig(mode=mode, **kwargs))
+
+
+def _perturbed(u, rng, epsilon):
+    """A unitary at a controlled (approximate) infidelity from ``u``."""
+    herm = rng.standard_normal(u.shape) + 1j * rng.standard_normal(u.shape)
+    herm = (herm + herm.conj().T) / 2.0
+    eigvals, eigvecs = np.linalg.eigh(herm)
+    rot = eigvecs @ np.diag(np.exp(1j * epsilon * eigvals)) @ eigvecs.conj().T
+    return rot @ u
+
+
+class TestModes:
+    def test_off_records_nothing(self, rng):
+        verifier = _verifier("off")
+        assert not verifier.enabled
+        u = random_unitary(4, rng)
+        assert verifier.check_synthesis(0, (0, 1), u, random_unitary(4, rng)) is None
+        assert verifier.finalize() is None
+        assert verifier.ledger.checks == 0
+
+    def test_env_var_drives_default_mode(self, monkeypatch):
+        monkeypatch.setenv(ENV_VERIFY, "warn")
+        assert StageVerifier(VerifyConfig()).mode == "warn"
+        monkeypatch.delenv(ENV_VERIFY)
+        assert StageVerifier(VerifyConfig()).mode == "off"
+
+    def test_explicit_mode_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VERIFY, "strict")
+        assert StageVerifier(VerifyConfig(mode="off")).mode == "off"
+
+    def test_warn_records_failure_without_raising(self, rng):
+        verifier = _verifier("warn")
+        u = random_unitary(4, rng)
+        record = verifier.check_synthesis(3, (0, 1), u, random_unitary(4, rng))
+        assert record is not None and not record.passed
+        summary = verifier.finalize()
+        assert summary.failed == 1
+        assert summary.status == "partial"
+        assert summary.failures[0].index == 3
+
+    def test_strict_raises_naming_stage_and_block(self, rng):
+        verifier = _verifier("strict")
+        u = random_unitary(4, rng)
+        with pytest.raises(VerificationError, match=r"stage 'synthesis', block 7"):
+            verifier.check_synthesis(7, (1, 2), u, random_unitary(4, rng))
+
+
+class TestToleranceBoundary:
+    """Property: checks accept at/below tolerance and reject above it,
+    probed with perturbed random unitaries straddling the boundary."""
+
+    def test_accepts_below_and_rejects_above(self, rng):
+        for _ in range(5):
+            u = random_unitary(4, rng)
+            near = _perturbed(u, rng, 1e-7)
+            far = _perturbed(u, rng, 0.3)
+            low = unitary_infidelity(u, near)
+            high = unitary_infidelity(u, far)
+            assert low < high
+            # tolerance strictly between the two measured infidelities:
+            # 'near' must pass, 'far' must fail, at the same setting
+            tolerance = (low + high) / 2.0
+            verifier = StageVerifier(
+                VerifyConfig(mode="warn", synthesis_slack=1.0),
+                synthesis_threshold=tolerance,
+            )
+            assert verifier.check_synthesis(0, (0, 1), u, near).passed
+            assert not verifier.check_synthesis(1, (0, 1), u, far).passed
+
+    def test_exact_boundary_accepts(self, rng):
+        u = random_unitary(4, rng)
+        v = _perturbed(u, rng, 1e-4)
+        infidelity = unitary_infidelity(u, v)
+        verifier = StageVerifier(
+            VerifyConfig(mode="strict", synthesis_slack=1.0),
+            synthesis_threshold=infidelity,  # tolerance == measured value
+        )
+        assert verifier.check_synthesis(0, (0, 1), u, v).passed
+
+
+class TestErrorBudget:
+    def test_accumulation_across_stages(self, rng):
+        verifier = _verifier("warn", error_budget=1.0)
+        u = random_unitary(4, rng)
+        for index in range(3):
+            verifier.check_synthesis(index, (0, 1), u, _perturbed(u, rng, 1e-2))
+        summary = verifier.finalize()
+        assert summary.checks == 3
+        assert summary.total_infidelity == pytest.approx(
+            sum(r.infidelity for r in verifier.ledger.records)
+        )
+        assert summary.stage_infidelity["synthesis"] == pytest.approx(
+            summary.total_infidelity
+        )
+
+    def test_warn_reports_blown_budget(self, rng):
+        verifier = _verifier("warn", error_budget=1e-8, synthesis_slack=1e6)
+        u = random_unitary(4, rng)
+        verifier.check_synthesis(0, (0, 1), u, _perturbed(u, rng, 1e-2))
+        summary = verifier.finalize()
+        assert summary.failed == 0  # the per-check tolerance was generous
+        assert summary.budget_exceeded
+        assert summary.status == "partial"
+
+    def test_strict_raises_on_blown_budget(self, rng):
+        verifier = _verifier("strict", error_budget=1e-8, synthesis_slack=1e6)
+        u = random_unitary(4, rng)
+        verifier.check_synthesis(0, (0, 1), u, _perturbed(u, rng, 1e-2))
+        with pytest.raises(VerificationError, match="error.*budget|budget"):
+            verifier.finalize()
+
+    def test_default_budget_is_derived_from_tolerances(self, rng):
+        """With no explicit budget, the effective budget is the sum of
+        per-check tolerances — so a run where every check passes can
+        never exceed it, regardless of how many checks ran."""
+        verifier = _verifier("strict")  # error_budget defaults to None
+        u = random_unitary(4, rng)
+        for index in range(20):
+            verifier.check_synthesis(
+                index, (0, 1), u, _perturbed(u, rng, 1e-5)
+            )
+        summary = verifier.finalize()  # strict: would raise if exceeded
+        assert summary.failed == 0
+        assert not summary.budget_exceeded
+        assert summary.error_budget == pytest.approx(
+            sum(r.tolerance for r in verifier.ledger.records)
+        )
+        assert summary.total_infidelity <= summary.error_budget
+
+
+class TestPulseCheck:
+    def test_good_pulse_passes_and_memoizes(self, fast_qoc):
+        hadamard = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+        hardware = TransmonChain(1)
+        pulse = minimal_latency_pulse(
+            hadamard, (0,), config=fast_qoc, hardware=hardware
+        )
+        verifier = StageVerifier(
+            VerifyConfig(mode="strict"),
+            target_fidelity=fast_qoc.fidelity_threshold,
+        )
+        first = verifier.check_pulse(0, (0,), hadamard, pulse, hardware, key=b"k")
+        assert first.passed
+        # the memoized verdict is reused for a duplicate work item
+        second = verifier.check_pulse(1, (0,), hadamard, pulse, hardware, key=b"k")
+        assert second.infidelity == first.infidelity
+        assert verifier.ledger.checks == 2
+
+    def test_corrupted_waveform_is_caught(self, fast_qoc):
+        """A pulse whose stored fidelity claims success but whose samples
+        no longer implement the target must fail the propagator check —
+        metadata is not trusted."""
+        from dataclasses import replace
+
+        hadamard = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+        hardware = TransmonChain(1)
+        pulse = minimal_latency_pulse(
+            hadamard, (0,), config=fast_qoc, hardware=hardware
+        )
+        corrupted = replace(pulse, controls=pulse.controls * 0.2)
+        verifier = StageVerifier(
+            VerifyConfig(mode="warn"),
+            target_fidelity=fast_qoc.fidelity_threshold,
+        )
+        record = verifier.check_pulse(0, (0,), hadamard, corrupted, hardware)
+        assert not record.passed
+        assert record.infidelity > 1.0 - fast_qoc.fidelity_threshold
