@@ -1,0 +1,114 @@
+"""Cross-circuit dedup savings: batch vs per-circuit compilation.
+
+The pulse library is a cross-program artifact, and the batch engine's
+claim is that sharing it across a suite pays strictly fewer GRAPE
+duration searches than compiling each program against its own fresh
+library.  This benchmark measures both sides on the Table 1 suite:
+
+* **per-circuit**: every program gets a fresh ``PulseLibrary``; the
+  searches it pays are exactly its own distinct unitaries;
+* **batch**: one ``BatchCompiler`` run over the same suite, where a
+  unitary shared by k programs costs one search.
+
+The gap is reported as ``dedup_savings`` and asserted strictly positive
+— if the suite stopped sharing any unitary across programs, this bench
+is the tripwire.  QOC settings are sized for bench runtime (seconds per
+program), not pulse quality; dedup counts depend only on cache keys,
+which the settings do not affect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.batch import BatchCompiler
+from repro.config import EPOCConfig, QOCConfig
+from repro.core import EPOCPipeline
+from repro.qoc import PulseLibrary
+from repro.workloads import resolve_suite
+
+from _bench_common import save_results
+
+DEDUP_QOC = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.99,
+    max_iterations=60,
+    min_segments=2,
+    max_segments=200,
+)
+
+DEDUP_EPOC = EPOCConfig(
+    partition_qubit_limit=2,
+    partition_gate_limit=12,
+    synthesis_max_layers=6,
+    regroup_qubit_limit=2,
+    regroup_gate_limit=8,
+    qoc=DEDUP_QOC,
+)
+
+
+def _per_circuit_searches() -> Dict[str, int]:
+    """Compile each program with its own fresh library; count searches."""
+    searches: Dict[str, int] = {}
+    for name, circuit in resolve_suite("table1").items():
+        library = PulseLibrary(config=DEDUP_QOC)
+        EPOCPipeline(DEDUP_EPOC, library=library).compile(circuit, name)
+        searches[name] = library.misses
+    return searches
+
+
+def test_batch_dedup(benchmark):
+    report = benchmark.pedantic(
+        lambda: BatchCompiler(config=DEDUP_EPOC).compile_suite(
+            resolve_suite("table1")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    solo = _per_circuit_searches()
+    solo_total = sum(solo.values())
+
+    rows: List[Dict[str, object]] = []
+    print()
+    print(f"{'circuit':<10}{'solo searches':>15}{'batch hit rate':>16}")
+    for outcome in report.outcomes:
+        rate = outcome.hit_rate
+        rows.append(
+            {
+                "circuit": outcome.name,
+                "solo_searches": solo[outcome.name],
+                "qoc_items": outcome.qoc_items,
+                "unique_qoc_items": outcome.unique_qoc_items,
+                "cache_hits": outcome.cache_hits,
+                "cache_misses": outcome.cache_misses,
+            }
+        )
+        shown = f"{100.0 * rate:.1f}%" if rate is not None else "--"
+        print(f"{outcome.name:<10}{solo[outcome.name]:>15}{shown:>16}")
+    print(
+        f"{'total':<10}{solo_total:>15}  batch searches="
+        f"{report.grape_searches}  dedup_savings={report.dedup_savings}"
+    )
+
+    # the headline claim: sharing the library across the suite pays
+    # strictly fewer searches than per-circuit compilation
+    assert report.grape_searches < solo_total, (
+        f"batch paid {report.grape_searches} searches, per-circuit paid "
+        f"{solo_total}; the suite shares no unitaries across programs?"
+    )
+    assert report.dedup_savings > 0
+    # every search the batch ran produced exactly one library entry
+    assert report.library_entries == report.grape_searches
+
+    save_results(
+        "batch_dedup",
+        {
+            "suite": "table1",
+            "per_circuit_searches_total": solo_total,
+            "batch_searches": report.grape_searches,
+            "dedup_savings": report.dedup_savings,
+            "aggregate_hit_rate": report.aggregate_hit_rate,
+            "library_entries": report.library_entries,
+            "rows": rows,
+        },
+    )

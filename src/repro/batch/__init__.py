@@ -1,0 +1,38 @@
+"""Batch compilation: a suite of circuits through one shared pulse library.
+
+The pulse library is the paper's cross-program artifact — built once per
+calibration, reused across circuits — and this package is the machinery
+that exploits it at suite scale:
+
+* :class:`BatchCompiler` compiles a whole suite (a directory of QASM
+  files, or named :mod:`repro.workloads` families) through one shared
+  :class:`~repro.qoc.library.PulseLibrary`, extending singleflight
+  deduplication across circuit boundaries.
+* :class:`SharedLibraryStore` persists that library on disk safely under
+  concurrent invocations (exclusive-lock load-merge-save, fixing the
+  lost-update race of naive load/save).
+* :class:`SuiteJournal` checkpoints suite progress so a killed batch
+  resumes from the last completed circuit.
+
+CLI entry point: ``python -m repro.cli compile-batch``.
+"""
+
+from repro.batch.engine import (
+    BATCH_FLOWS,
+    BatchCompiler,
+    BatchReport,
+    CircuitOutcome,
+)
+from repro.batch.journal import SuiteJournal
+from repro.batch.store import SharedLibraryStore, StoreLockTimeout, StoreSync
+
+__all__ = [
+    "BATCH_FLOWS",
+    "BatchCompiler",
+    "BatchReport",
+    "CircuitOutcome",
+    "SuiteJournal",
+    "SharedLibraryStore",
+    "StoreLockTimeout",
+    "StoreSync",
+]

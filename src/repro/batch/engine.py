@@ -1,0 +1,397 @@
+"""The batch compilation engine: one shared library, many circuits.
+
+The paper's pulse library is a cross-program artifact — it is built once
+per hardware calibration and amortized across every circuit compiled
+against that calibration.  :class:`BatchCompiler` is the engine that
+realizes this at suite scale: every circuit in the batch compiles through
+a **single shared** :class:`~repro.qoc.library.PulseLibrary`, so the
+singleflight deduplication that already collapses duplicate unitaries
+*within* a circuit now extends *across* circuit boundaries — a unitary
+appearing in five programs costs one GRAPE search.
+
+Layered on the prior subsystems:
+
+* one :class:`~repro.parallel.ParallelExecutor` spans the whole suite, so
+  circuits x blocks share a worker pool instead of paying pool setup per
+  circuit;
+* a :class:`~repro.batch.store.SharedLibraryStore` (optional) persists
+  the library across invocations and processes with a locked
+  load-merge-save protocol — the store is pulled once at batch start and
+  synced after every circuit;
+* a :class:`~repro.batch.journal.SuiteJournal` (optional) records each
+  completed circuit so a killed batch resumes where it stopped, with the
+  finished rows reconstructed into the aggregate report;
+* batch-level telemetry: a ``compile_batch`` span wrapping the
+  per-circuit ``compile`` spans, plus ``batch.*`` metrics.
+
+The aggregate :class:`BatchReport` quantifies what sharing bought: its
+``dedup_savings`` is the number of GRAPE searches a per-circuit compile
+of the same suite would have paid minus the searches this batch actually
+ran.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro import telemetry
+from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
+from repro.circuits.circuit import QuantumCircuit
+from repro.config import EPOCConfig
+from repro.core.metrics import CompilationReport
+from repro.core.pipeline import EPOCPipeline
+from repro.exceptions import ReproError
+from repro.parallel import ParallelExecutor
+from repro.qoc.library import PulseLibrary
+from repro.resilience.journal import config_fingerprint
+from repro.batch.journal import SuiteJournal
+from repro.batch.store import SharedLibraryStore
+
+__all__ = ["BatchCompiler", "BatchReport", "CircuitOutcome", "BATCH_FLOWS"]
+
+logger = telemetry.get_logger("batch.engine")
+
+#: flow names accepted by the batch engine (mirrors the CLI choices).
+BATCH_FLOWS = ("epoc", "epoc-nogroup", "accqoc", "paqoc", "gate-based")
+
+#: per-circuit summary statistics journaled for resume.
+_STAT_KEYS = (
+    "latency_ns",
+    "fidelity",
+    "compile_seconds",
+    "pulse_count",
+    "cache_hits",
+    "cache_misses",
+    "qoc_items",
+    "unique_qoc_items",
+    "degraded_blocks",
+)
+
+
+@dataclass(frozen=True)
+class CircuitOutcome:
+    """One suite circuit's result, live or reconstructed from a journal."""
+
+    name: str
+    method: str
+    latency_ns: float
+    fidelity: float
+    compile_seconds: float
+    pulse_count: int
+    #: library hits/misses attributable to *this* circuit (deltas against
+    #: the shared library's counters, not the cumulative totals).
+    cache_hits: int
+    cache_misses: int
+    #: QOC work items this circuit posed, and how many were unique keys.
+    qoc_items: int
+    unique_qoc_items: int
+    degraded_blocks: int = 0
+    #: True when the row was reconstructed from a suite journal instead
+    #: of compiled in this invocation.
+    resumed: bool = False
+    #: the full report for circuits compiled in this invocation.
+    report: Optional[CompilationReport] = None
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else None
+
+    def stats_dict(self) -> dict:
+        return {key: getattr(self, key) for key in _STAT_KEYS}
+
+    @classmethod
+    def from_journal(cls, record: dict) -> "CircuitOutcome":
+        stats = record.get("stats", {})
+        return cls(
+            name=str(record.get("name", "?")),
+            method=str(record.get("method", "?")),
+            latency_ns=float(stats.get("latency_ns", 0.0)),
+            fidelity=float(stats.get("fidelity", 0.0)),
+            compile_seconds=float(stats.get("compile_seconds", 0.0)),
+            pulse_count=int(stats.get("pulse_count", 0)),
+            cache_hits=int(stats.get("cache_hits", 0)),
+            cache_misses=int(stats.get("cache_misses", 0)),
+            qoc_items=int(stats.get("qoc_items", 0)),
+            unique_qoc_items=int(stats.get("unique_qoc_items", 0)),
+            degraded_blocks=int(stats.get("degraded_blocks", 0)),
+            resumed=True,
+        )
+
+    def summary_row(self) -> str:
+        rate = self.hit_rate
+        cache = f"{100.0 * rate:5.1f}%" if rate is not None else "   --"
+        qoc = (
+            f"{self.unique_qoc_items}/{self.qoc_items}"
+            if self.qoc_items
+            else "--"
+        )
+        flags = "  resumed" if self.resumed else ""
+        if self.degraded_blocks:
+            flags += f"  degraded={self.degraded_blocks}"
+        return (
+            f"{self.name:<12} {self.method:<12} "
+            f"{self.latency_ns:>10.1f} ns  fidelity={self.fidelity:.4f}  "
+            f"compile={self.compile_seconds:.2f}s  pulses={self.pulse_count}  "
+            f"cache={cache}  qoc={qoc}{flags}"
+        )
+
+
+@dataclass
+class BatchReport:
+    """Aggregate result of one batch compilation."""
+
+    outcomes: List[CircuitOutcome] = field(default_factory=list)
+    #: GRAPE duration searches this invocation actually ran.
+    grape_searches: int = 0
+    #: searches a per-circuit compile of the same (non-resumed) circuits
+    #: would have paid, minus ``grape_searches``.
+    dedup_savings: int = 0
+    #: shared-library size when the batch finished.
+    library_entries: int = 0
+    #: entries preloaded from the on-disk store before compiling.
+    store_loaded: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def circuits(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def resumed_circuits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.resumed)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(o.cache_hits for o in self.outcomes if not o.resumed)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(o.cache_misses for o in self.outcomes if not o.resumed)
+
+    @property
+    def aggregate_hit_rate(self) -> Optional[float]:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else None
+
+    def summary_table(self) -> str:
+        """Per-circuit rows plus a suite footer, ready to print."""
+        lines = [outcome.summary_row() for outcome in self.outcomes]
+        rate = self.aggregate_hit_rate
+        cache = f"{100.0 * rate:.1f}%" if rate is not None else "--"
+        resumed = (
+            f" ({self.resumed_circuits} resumed)" if self.resumed_circuits else ""
+        )
+        store = (
+            f"  store_loaded={self.store_loaded}" if self.store_loaded else ""
+        )
+        lines.append(
+            f"suite: {self.circuits} circuits{resumed}  "
+            f"wall={self.wall_seconds:.2f}s  searches={self.grape_searches}  "
+            f"dedup_savings={self.dedup_savings}  cache={cache}  "
+            f"library={self.library_entries} entries{store}"
+        )
+        return "\n".join(lines)
+
+
+class BatchCompiler:
+    """Compile a suite of circuits through one shared pulse library."""
+
+    def __init__(
+        self,
+        config: Optional[EPOCConfig] = None,
+        flow: str = "epoc",
+        library: Optional[PulseLibrary] = None,
+        store: Optional[SharedLibraryStore] = None,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+    ):
+        if flow not in BATCH_FLOWS:
+            raise ReproError(
+                f"unknown batch flow {flow!r}; expected one of {BATCH_FLOWS}"
+            )
+        if resume and journal_path is None:
+            raise ReproError("batch resume requires a journal path")
+        self.config = config or EPOCConfig()
+        self.flow = flow
+        if library is None:
+            library = PulseLibrary(
+                config=self.config.qoc,
+                match_global_phase=self.config.cache_global_phase,
+                resilience=self.config.resilience,
+            )
+        self.library = library
+        self.store = store
+        self.journal_path = journal_path
+        self.resume = resume
+
+    # -- flow construction ----------------------------------------------
+
+    def _make_flow(self, executor: Optional[ParallelExecutor]):
+        """A fresh flow object bound to the shared library.
+
+        Returns ``(flow, supports_executor)`` — only the EPOC pipeline
+        accepts an external executor; the baselines manage their own.
+        """
+        if self.flow == "gate-based":
+            return GateBasedFlow(self.config), False
+        if self.flow == "accqoc":
+            return AccQOCFlow(self.config, library=self.library), False
+        if self.flow == "paqoc":
+            return PAQOCFlow(self.config, library=self.library), False
+        return (
+            EPOCPipeline(
+                self.config,
+                library=self.library,
+                use_regrouping=self.flow == "epoc",
+            ),
+            True,
+        )
+
+    def _checkpoint_store(self) -> Optional[SharedLibraryStore]:
+        """The store, when per-pulse checkpoints target the store's file.
+
+        Incremental flushes into the shared library must use the locked
+        merge, or two concurrent batches would reintroduce the exact
+        lost-update race the store exists to fix.
+        """
+        checkpoint = self.config.resilience.checkpoint_path
+        if (
+            self.store is not None
+            and checkpoint is not None
+            and os.path.abspath(checkpoint) == self.store.path
+        ):
+            return self.store
+        return None
+
+    def fingerprint(self) -> str:
+        """The configuration identity a suite journal is bound to."""
+        return config_fingerprint(
+            self.config.qoc, self.config.cache_global_phase, self.flow
+        )
+
+    # -- compilation -----------------------------------------------------
+
+    def compile_suite(
+        self, circuits: Mapping[str, QuantumCircuit]
+    ) -> BatchReport:
+        """Compile every named circuit and return the aggregate report."""
+        items: List[Tuple[str, QuantumCircuit]] = list(circuits.items())
+        if not items:
+            raise ReproError("batch compilation needs at least one circuit")
+        start = time.perf_counter()
+        tracer = telemetry.get_tracer()
+        metrics = telemetry.get_metrics()
+        metrics.inc("batch.suites")
+
+        journal: Optional[SuiteJournal] = None
+        completed: Dict[str, dict] = {}
+        if self.journal_path is not None:
+            journal = SuiteJournal(self.journal_path)
+            completed = journal.open(
+                [name for name, _ in items],
+                self.fingerprint(),
+                resume=self.resume,
+            )
+
+        report = BatchReport()
+        with tracer.span(
+            "compile_batch", circuits=len(items), flow=self.flow
+        ):
+            if self.store is not None:
+                report.store_loaded = self.store.pull(self.library)
+                if report.store_loaded:
+                    logger.info(
+                        "warm start: %d entries from %s",
+                        report.store_loaded,
+                        self.store.path,
+                    )
+            searches_before = self.library.misses
+            executor = ParallelExecutor.from_config(
+                self.config.parallel, self.config.resilience
+            )
+            try:
+                with executor:
+                    for name, circuit in items:
+                        if name in completed:
+                            report.outcomes.append(
+                                CircuitOutcome.from_journal(completed[name])
+                            )
+                            logger.info(
+                                "skipping %s: already compiled (journal)", name
+                            )
+                            continue
+                        report.outcomes.append(
+                            self._compile_one(name, circuit, executor, journal)
+                        )
+                        if self.store is not None:
+                            self.store.sync(self.library)
+            except BaseException:
+                if journal is not None:
+                    journal.close(complete=False)
+                raise
+            else:
+                if journal is not None:
+                    journal.close(complete=True)
+
+        report.grape_searches = self.library.misses - searches_before
+        solo_searches = sum(
+            outcome.unique_qoc_items
+            for outcome in report.outcomes
+            if not outcome.resumed
+        )
+        report.dedup_savings = solo_searches - report.grape_searches
+        report.library_entries = len(self.library)
+        report.wall_seconds = time.perf_counter() - start
+        metrics.inc("batch.circuits", report.circuits - report.resumed_circuits)
+        metrics.gauge("batch.dedup_savings", report.dedup_savings)
+        metrics.gauge("batch.library_entries", report.library_entries)
+        logger.info(
+            "batch: %d circuits, %d GRAPE searches (%d saved by sharing), "
+            "library %d entries",
+            report.circuits,
+            report.grape_searches,
+            report.dedup_savings,
+            report.library_entries,
+        )
+        return report
+
+    def _compile_one(
+        self,
+        name: str,
+        circuit: QuantumCircuit,
+        executor: ParallelExecutor,
+        journal: Optional[SuiteJournal],
+    ) -> CircuitOutcome:
+        flow, supports_executor = self._make_flow(executor)
+        hits_before = self.library.hits
+        misses_before = self.library.misses
+        if supports_executor:
+            compiled = flow.compile(
+                circuit,
+                name=name,
+                executor=executor,
+                checkpoint_store=self._checkpoint_store(),
+            )
+        else:
+            compiled = flow.compile(circuit, name=name)
+        outcome = CircuitOutcome(
+            name=name,
+            method=compiled.method,
+            latency_ns=compiled.latency_ns,
+            fidelity=compiled.fidelity,
+            compile_seconds=compiled.compile_seconds,
+            pulse_count=compiled.pulse_count,
+            cache_hits=self.library.hits - hits_before,
+            cache_misses=self.library.misses - misses_before,
+            qoc_items=int(compiled.stats.get("qoc_items", 0.0)),
+            unique_qoc_items=int(compiled.stats.get("unique_qoc_items", 0.0)),
+            degraded_blocks=len(compiled.degraded_blocks),
+            report=compiled,
+        )
+        if journal is not None:
+            journal.record_circuit(name, outcome.method, outcome.stats_dict())
+        return outcome

@@ -1,0 +1,141 @@
+"""Suite-level journal: checkpoint/resume of a partially compiled batch.
+
+The per-circuit pulse-library checkpoint (PR 3's
+:class:`~repro.resilience.CompilationJournal`) makes a killed *circuit*
+cheap to redo — its solved pulses reload as cache hits.  A killed *suite*
+additionally wants to skip the circuits that already finished, and the
+aggregate report still wants their numbers.  :class:`SuiteJournal` is the
+append-only JSONL log that makes both possible::
+
+    {"event": "begin", "suite": [...], "fingerprint": ..., "resumed": N}
+    {"event": "circuit", "name": "ghz", "method": "epoc", "stats": {...}}
+    {"event": "done", "circuits": 7}
+
+Each ``circuit`` record carries the summary statistics the batch report
+needs (latency, fidelity, pulse count, per-circuit cache deltas), so a
+resumed batch reconstructs completed rows from the journal without
+recompiling — the heavyweight artifacts (the pulses themselves) live in
+the shared library file, not here.
+
+A resume refuses to run under a changed configuration fingerprint, and a
+crash-truncated final line is salvaged with the same tail-repair protocol
+as the compilation journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro import telemetry
+from repro.resilience.journal import (
+    JournalError,
+    journal_records,
+    salvage_journal_tail,
+)
+
+__all__ = ["SuiteJournal"]
+
+logger = telemetry.get_logger("batch.journal")
+
+
+class SuiteJournal:
+    """Append-only record of which suite circuits have been compiled."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        self._fh = None
+        self._circuits = 0
+
+    def open(
+        self,
+        suite: Sequence[str],
+        fingerprint: str,
+        resume: bool = False,
+    ) -> Dict[str, dict]:
+        """Start (or resume) the journal.
+
+        Returns the completed circuits salvaged from a previous run as a
+        ``name -> circuit-record`` map (empty for a fresh start).  With
+        ``resume=True`` the previous run's fingerprint must match —
+        mixing configurations would stitch incomparable rows into one
+        suite report.
+        """
+        completed: Dict[str, dict] = {}
+        if resume and os.path.exists(self.path):
+            salvage_journal_tail(self.path)
+            records, _ = journal_records(self.path)
+            stored = self._last_fingerprint(records)
+            if stored is not None and stored != fingerprint:
+                raise JournalError(
+                    f"suite journal {self.path} was written under a "
+                    f"different configuration (fingerprint {stored} != "
+                    f"{fingerprint}); refusing to resume"
+                )
+            for record in records:
+                if record.get("event") == "circuit" and record.get("name"):
+                    completed[record["name"]] = record
+            if completed:
+                telemetry.get_metrics().inc(
+                    "batch.circuits_resumed", len(completed)
+                )
+                logger.info(
+                    "resuming suite: %d of %d circuits already compiled",
+                    len(completed),
+                    len(suite),
+                )
+        mode = "a" if resume and os.path.exists(self.path) else "w"
+        self._fh = open(self.path, mode)
+        self._circuits = len(completed)
+        self._write(
+            {
+                "event": "begin",
+                "suite": list(suite),
+                "fingerprint": fingerprint,
+                "resumed": len(completed),
+            }
+        )
+        return completed
+
+    def record_circuit(self, name: str, method: str, stats: dict) -> None:
+        """Note one completed circuit with its summary statistics."""
+        self._circuits += 1
+        self._write(
+            {"event": "circuit", "name": name, "method": method, "stats": stats}
+        )
+
+    def close(self, complete: bool = True) -> None:
+        """Seal the journal (idempotent)."""
+        if self._fh is None:
+            return
+        self._write(
+            {
+                "event": "done" if complete else "abort",
+                "circuits": self._circuits,
+            }
+        )
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "SuiteJournal":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.close(complete=exc_type is None)
+
+    # -- internals -------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    @staticmethod
+    def _last_fingerprint(records: List[dict]) -> Optional[str]:
+        fingerprint: Optional[str] = None
+        for record in records:
+            if record.get("event") == "begin":
+                fingerprint = record.get("fingerprint")
+        return fingerprint

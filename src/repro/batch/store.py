@@ -1,0 +1,192 @@
+"""Cross-process persistence for a shared pulse library.
+
+The pulse library is a cross-program artifact — AccQOC builds it once per
+calibration and amortizes it across circuits, and EPOC's global-phase
+keying exists precisely to raise that reuse rate — so concurrent
+compilations routinely point at the *same* library file.  The naive
+protocol (load at start, ``save`` at the end) has a lost-update race:
+
+    process A: load {}          process B: load {}
+    process A: solve k1, save {k1}
+                                process B: solve k2, save {k2}   # k1 gone
+
+:class:`SharedLibraryStore` serializes every disk interaction behind an
+exclusive file lock and replaces blind saves with a **load-merge-save**
+round: under the lock, the on-disk entries are merged into the in-memory
+library by cache key (pulse searches are deterministic, so two processes
+that solved the same key produced the same pulse) and the union is
+written back atomically.  Entry validation — schema version, per-entry
+checksums, quarantine of corrupted payloads — is inherited from
+:meth:`repro.qoc.library.PulseLibrary.load`, which runs
+:func:`repro.verify.artifacts.validate_entry` on every staged entry.
+
+Locking uses ``fcntl.flock`` on a sidecar ``<path>.lock`` file (the data
+file itself cannot be locked because atomic saves replace its inode).
+On platforms without ``fcntl`` an ``O_CREAT | O_EXCL`` spin lockfile is
+used instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro import telemetry
+from repro.exceptions import ReproError
+
+try:  # POSIX; gated so the module imports (degraded) elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["SharedLibraryStore", "StoreSync", "StoreLockTimeout"]
+
+logger = telemetry.get_logger("batch.store")
+
+
+class StoreLockTimeout(ReproError):
+    """The store's file lock could not be acquired within the timeout."""
+
+
+@dataclass(frozen=True)
+class StoreSync:
+    """Accounting for one locked load-merge-save round."""
+
+    #: valid entries read from disk during the round (0 on first sync).
+    loaded_entries: int
+    #: disk entries that were new to the in-memory library.
+    new_entries: int
+    #: library size after the merge (what the save wrote back).
+    total_entries: int
+
+
+class SharedLibraryStore:
+    """Lock-protected load-merge-save persistence for one library file."""
+
+    def __init__(
+        self,
+        path: str,
+        timeout_seconds: float = 60.0,
+        poll_seconds: float = 0.05,
+    ):
+        self.path = os.path.abspath(path)
+        self.lock_path = self.path + ".lock"
+        self.timeout_seconds = float(timeout_seconds)
+        self.poll_seconds = max(0.001, float(poll_seconds))
+        self._lock_fd: Optional[int] = None
+
+    # -- locking ---------------------------------------------------------
+
+    @contextmanager
+    def locked(self) -> Iterator[None]:
+        """Hold the store's exclusive lock for the duration of the block."""
+        waited = self._acquire()
+        metrics = telemetry.get_metrics()
+        metrics.inc("batch.store_locks")
+        metrics.observe("batch.store_lock_wait_seconds", waited)
+        try:
+            yield
+        finally:
+            self._release()
+
+    def _acquire(self) -> float:
+        deadline = time.monotonic() + self.timeout_seconds
+        start = time.monotonic()
+        if fcntl is not None:
+            self._lock_fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            while True:
+                try:
+                    fcntl.flock(self._lock_fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    return time.monotonic() - start
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(self._lock_fd)
+                        self._lock_fd = None
+                        raise StoreLockTimeout(
+                            f"could not lock {self.lock_path} within "
+                            f"{self.timeout_seconds:.1f}s"
+                        )
+                    time.sleep(self.poll_seconds)
+        # fallback: exclusive-create spin lock (best effort, non-POSIX)
+        while True:  # pragma: no cover - exercised only without fcntl
+            try:
+                self._lock_fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
+                )
+                self._spin_lock = True
+                return time.monotonic() - start
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    raise StoreLockTimeout(
+                        f"could not create {self.lock_path} within "
+                        f"{self.timeout_seconds:.1f}s"
+                    )
+                time.sleep(self.poll_seconds)
+
+    def _release(self) -> None:
+        fd = getattr(self, "_lock_fd", None)
+        if fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(fd)
+            try:
+                os.unlink(self.lock_path)
+            except OSError:
+                pass
+        self._lock_fd = None
+
+    # -- synchronization -------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def pull(self, library) -> int:
+        """Merge the on-disk entries into ``library`` under the lock.
+
+        Returns the number of entries that were new to the library.
+        The disk file is not modified — use :meth:`sync` to also publish
+        local entries.
+        """
+        with self.locked():
+            return self._merge_from_disk(library)
+
+    def sync(self, library) -> StoreSync:
+        """One locked load-merge-save round: read the current disk
+        entries into ``library`` (merge by cache key), then atomically
+        write the union back.
+
+        Two processes compiling against the same file can interleave
+        ``sync`` calls freely: each one starts from the latest published
+        union, so neither can drop the other's entries.
+        """
+        metrics = telemetry.get_metrics()
+        with self.locked():
+            before = len(library)
+            loaded = self._merge_from_disk(library)
+            new = len(library) - before
+            library.save(self.path)
+        metrics.inc("batch.store_syncs")
+        metrics.inc("batch.store_merged_entries", new)
+        logger.debug(
+            "store sync: %d loaded, %d new, %d total -> %s",
+            loaded,
+            new,
+            len(library),
+            self.path,
+        )
+        return StoreSync(
+            loaded_entries=loaded,
+            new_entries=new,
+            total_entries=len(library),
+        )
+
+    def _merge_from_disk(self, library) -> int:
+        if not os.path.exists(self.path):
+            return 0
+        return library.load(self.path)

@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli compile circuit.qasm --flow gate-based --render
     python -m repro.cli compile circuit.qasm --trace t.json --metrics m.json
     python -m repro.cli compile circuit.qasm -j 4            # 4 QOC workers
+    python -m repro.cli compile-batch qasm_dir/ --library lib.json -j 4
+    python -m repro.cli compile-batch --suite table1 --library lib.json
     python -m repro.cli optimize circuit.qasm          # ZX pass only
     python -m repro.cli info circuit.qasm              # structure report
 
@@ -187,6 +189,106 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    batch_cmd = sub.add_parser(
+        "compile-batch",
+        help="compile a suite of circuits through one shared pulse library",
+        parents=[logging_parent],
+    )
+    batch_cmd.add_argument(
+        "inputs",
+        nargs="*",
+        help="QASM files and/or directories (scanned for *.qasm)",
+    )
+    batch_cmd.add_argument(
+        "--suite",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "named workload family (table1, figures, full) or "
+            "comma-separated benchmark names (e.g. ghz,qft,grover)"
+        ),
+    )
+    batch_cmd.add_argument(
+        "--flow",
+        default="epoc",
+        choices=["epoc", "epoc-nogroup", "gate-based", "accqoc", "paqoc"],
+        help="compilation flow applied to every circuit (default: epoc)",
+    )
+    batch_cmd.add_argument(
+        "--library",
+        default=None,
+        metavar="FILE",
+        help=(
+            "shared on-disk pulse library; loaded (merge) before compiling "
+            "and re-synced after every circuit under an exclusive file "
+            "lock, so concurrent invocations never drop each other's "
+            "entries"
+        ),
+    )
+    batch_cmd.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="suite journal recording completed circuits (enables --resume)",
+    )
+    batch_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip circuits already completed in --journal",
+    )
+    batch_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "also flush the shared library every N solved pulses inside a "
+            "circuit (locked merge into --library; default: per-circuit "
+            "sync only)"
+        ),
+    )
+    batch_cmd.add_argument(
+        "--qubit-limit", type=int, default=3, help="partition/regroup qubit limit"
+    )
+    batch_cmd.add_argument(
+        "--dt", type=float, default=1.0, help="pulse segment length (ns)"
+    )
+    batch_cmd.add_argument(
+        "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
+    )
+    batch_cmd.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes shared by the whole suite "
+            "(0 = serial, -1 = all cores; default: $REPRO_WORKERS or serial)"
+        ),
+    )
+    batch_cmd.add_argument(
+        "--no-zx", action="store_true", help="skip the ZX optimization stage"
+    )
+    batch_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON covering the whole suite",
+    )
+    batch_cmd.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write counters/gauges/histograms as JSON",
+    )
+    batch_cmd.add_argument(
+        "--verify",
+        default=None,
+        choices=["off", "warn", "strict"],
+        help="stage-boundary verification for every circuit in the suite",
+    )
+
     optimize_cmd = sub.add_parser(
         "optimize", help="run only the ZX optimization", parents=[logging_parent]
     )
@@ -287,6 +389,94 @@ def _run_compile(args) -> int:
     return 0
 
 
+def _collect_batch_circuits(args) -> "dict":
+    """Gather the suite: QASM files/directories plus named families."""
+    import os
+
+    circuits = {}
+
+    def add(name: str, circuit: QuantumCircuit) -> None:
+        # stems can collide across directories; disambiguate, never drop
+        candidate = name
+        serial = 2
+        while candidate in circuits:
+            candidate = f"{name}#{serial}"
+            serial += 1
+        circuits[candidate] = circuit
+
+    for raw in args.inputs:
+        if os.path.isdir(raw):
+            entries = sorted(
+                entry
+                for entry in os.listdir(raw)
+                if entry.endswith(".qasm")
+            )
+            if not entries:
+                raise ReproError(f"directory {raw!r} contains no .qasm files")
+            for entry in entries:
+                path = os.path.join(raw, entry)
+                add(os.path.splitext(entry)[0], _load(path))
+        else:
+            add(os.path.splitext(os.path.basename(raw))[0], _load(raw))
+    if args.suite:
+        from repro.workloads import resolve_suite
+
+        for name, circuit in resolve_suite(args.suite).items():
+            add(name, circuit)
+    if not circuits:
+        raise ReproError(
+            "compile-batch needs at least one circuit: pass QASM files, "
+            "a directory, and/or --suite"
+        )
+    return circuits
+
+
+def _batch_config(args) -> EPOCConfig:
+    if args.checkpoint_every is not None and not args.library:
+        raise ReproError("--checkpoint-every requires --library")
+    resilience = ResilienceConfig(
+        checkpoint_path=(
+            args.library if args.checkpoint_every is not None else None
+        ),
+        checkpoint_every=args.checkpoint_every or 1,
+    )
+    return EPOCConfig(
+        use_zx=not args.no_zx,
+        partition_qubit_limit=args.qubit_limit,
+        regroup_qubit_limit=args.qubit_limit,
+        qoc=QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity),
+        parallel=ParallelConfig(workers=args.workers),
+        resilience=resilience,
+        verify=VerifyConfig(mode=args.verify),
+    )
+
+
+def _run_compile_batch(args) -> int:
+    from repro.batch import BatchCompiler, SharedLibraryStore
+
+    circuits = _collect_batch_circuits(args)
+    config = _batch_config(args)
+    store = SharedLibraryStore(args.library) if args.library else None
+    compiler = BatchCompiler(
+        config=config,
+        flow=args.flow,
+        store=store,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+    if args.trace or args.metrics:
+        with telemetry.telemetry_session() as (tracer, registry):
+            report = compiler.compile_suite(circuits)
+        if args.trace:
+            tracer.export(args.trace)
+        if args.metrics:
+            registry.export(args.metrics)
+    else:
+        report = compiler.compile_suite(circuits)
+    print(report.summary_table())
+    return 0
+
+
 def _run_optimize(args) -> int:
     from repro.zx import optimize_circuit
 
@@ -326,6 +516,8 @@ def main(argv: Optional[list] = None) -> int:
     try:
         if args.command == "compile":
             return _run_compile(args)
+        if args.command == "compile-batch":
+            return _run_compile_batch(args)
         if args.command == "optimize":
             return _run_optimize(args)
         return _run_info(args)

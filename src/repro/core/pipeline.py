@@ -18,6 +18,7 @@ Stages:
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -73,9 +74,22 @@ class EPOCPipeline:
             )
 
     def compile(
-        self, circuit: QuantumCircuit, name: str = "circuit"
+        self,
+        circuit: QuantumCircuit,
+        name: str = "circuit",
+        executor: Optional[ParallelExecutor] = None,
+        checkpoint_store=None,
     ) -> CompilationReport:
-        """Run the full pipeline and return the schedule + metrics."""
+        """Run the full pipeline and return the schedule + metrics.
+
+        ``executor`` lends an external worker pool (the batch engine
+        shares one across a whole suite so circuits x blocks amortize
+        pool setup); when ``None`` the pipeline creates and owns its own.
+        ``checkpoint_store`` routes checkpoint flushes through a
+        :class:`~repro.batch.SharedLibraryStore`'s locked merge so
+        concurrent processes checkpointing into one shared file cannot
+        drop each other's entries.
+        """
         start = time.perf_counter()
         config = self.config
         tracer = telemetry.get_tracer()
@@ -88,8 +102,12 @@ class EPOCPipeline:
             synthesis_threshold=config.synthesis_threshold,
         )
 
-        executor = ParallelExecutor.from_config(config.parallel, resilience)
-        with executor, tracer.span(
+        if executor is None:
+            executor = ParallelExecutor.from_config(config.parallel, resilience)
+            executor_scope = executor  # owned: shut the pool down on exit
+        else:
+            executor_scope = nullcontext(executor)  # borrowed: caller owns it
+        with executor_scope, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="epoc"
         ):
             metrics.inc("pipeline.compiles")
@@ -276,6 +294,7 @@ class EPOCPipeline:
                     resilience.checkpoint_path,
                     self.library,
                     checkpoint_every=resilience.checkpoint_every,
+                    store=checkpoint_store,
                 )
                 resumed = journal.open(
                     name,

@@ -55,6 +55,11 @@ class PulseSchedule:
     ) -> ScheduledPulse:
         """Place an opaque timed interval (used by the gate-based flow)."""
         qubits = tuple(qubits)
+        if not qubits:
+            # a zero-qubit item would land in ``items`` (inflating len and
+            # fidelity_product) while advancing no frontier, silently
+            # under-counting latency
+            raise ScheduleError("scheduled items need at least one qubit")
         if any(q < 0 or q >= self.num_qubits for q in qubits):
             raise ScheduleError(f"qubits {qubits} out of range")
         if duration < 0:

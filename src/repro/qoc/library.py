@@ -12,7 +12,6 @@ lookups are O(1).
 
 from __future__ import annotations
 
-import cmath
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,10 +39,19 @@ def unitary_cache_key(
     with ``False`` the raw matrix is hashed (AccQOC/PAQOC mode).
     """
     matrix = np.asarray(matrix, dtype=complex)
-    if global_phase:
-        flat_index = int(np.argmax(np.abs(matrix)))
-        pivot = matrix.flat[flat_index]
-        if abs(pivot) > 1e-12:
+    if global_phase and matrix.size:
+        # Pivot selection must be deterministic across phase-equivalent
+        # matrices.  A bare argmax is not: multiplying by e^{i*phi}
+        # perturbs entry magnitudes at machine precision, so two entries
+        # whose magnitudes are numerically near-tied can swap order and
+        # canonicalize on *different* pivots, missing the cache.  Break
+        # ties by taking the first flat index whose magnitude is within a
+        # relative tolerance of the maximum.
+        magnitudes = np.abs(matrix).ravel()
+        largest = float(magnitudes.max())
+        if largest > 1e-12:
+            near_max = np.flatnonzero(magnitudes >= largest * (1.0 - 1e-9))
+            pivot = matrix.flat[int(near_max[0])]
             matrix = matrix * (abs(pivot) / pivot)
     rounded = np.round(matrix, decimals)
     # normalize signed zeros (adding +0.0 maps -0.0 to +0.0 componentwise)
@@ -179,7 +187,21 @@ class PulseLibrary:
                     if key not in self._entries:
                         self._entries[key] = pulse
                         if on_pulse is not None:
-                            on_pulse(key, pulse)
+                            # the callback is a checkpoint hook; the pulse
+                            # is already cached, so a callback failure must
+                            # not abort the batch (it would leave the pulse
+                            # cached but unjournaled, and a later resume
+                            # would trust an incomplete checkpoint)
+                            try:
+                                on_pulse(key, pulse)
+                            except Exception:
+                                metrics.inc("library.checkpoint_errors")
+                                logger.warning(
+                                    "pulse checkpoint callback failed for "
+                                    "key %s; continuing the batch",
+                                    key.hex(),
+                                    exc_info=True,
+                                )
 
             if executor is not None:
                 executor.map(tasks, on_chunk=absorb)

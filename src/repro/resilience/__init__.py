@@ -41,6 +41,7 @@ from repro.resilience.journal import (
     CompilationJournal,
     JournalError,
     journal_records,
+    salvage_journal_tail,
 )
 from repro.resilience.ledger import (
     DegradedBlock,
@@ -67,4 +68,5 @@ __all__ = [
     "CompilationJournal",
     "JournalError",
     "journal_records",
+    "salvage_journal_tail",
 ]

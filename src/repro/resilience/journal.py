@@ -41,6 +41,7 @@ __all__ = [
     "JournalError",
     "config_fingerprint",
     "journal_records",
+    "salvage_journal_tail",
 ]
 
 logger = telemetry.get_logger("resilience.journal")
@@ -91,6 +92,40 @@ class JournalError(ResilienceError):
     """Raised when a resume request cannot be honoured safely."""
 
 
+def salvage_journal_tail(path: str) -> bool:
+    """Repair a JSONL journal whose final line was cut short by a crash.
+
+    Every complete record is rewritten in place (atomically) and the
+    partial tail dropped, so a subsequent append cannot weld new records
+    onto broken JSON.  Returns whether a repair was performed.  Shared by
+    :class:`CompilationJournal` and the batch suite journal.
+    """
+    if not os.path.exists(path):
+        return False
+    try:
+        records, truncated = journal_records(path)
+    except OSError:
+        return False
+    if not truncated:
+        return False
+    completed = sum(1 for r in records if r.get("event") == "block")
+    logger.warning(
+        "journal %s ends in a partially written record (crash mid-write); "
+        "salvaging %d complete records (%d block completions) and resuming "
+        "from the last complete one",
+        path,
+        len(records),
+        completed,
+    )
+    telemetry.get_metrics().inc("resilience.journal_salvaged")
+    tmp_path = path + ".salvage"
+    with open(tmp_path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    os.replace(tmp_path, path)
+    return True
+
+
 def config_fingerprint(*parts: object) -> str:
     """A short stable hash of the configuration a checkpoint depends on."""
     digest = hashlib.sha256()
@@ -103,11 +138,17 @@ def config_fingerprint(*parts: object) -> str:
 class CompilationJournal:
     """Incremental checkpointing of one flow's pulse library."""
 
-    def __init__(self, path: str, library, checkpoint_every: int = 1):
+    def __init__(self, path: str, library, checkpoint_every: int = 1, store=None):
         self.path = os.path.abspath(path)
         self.journal_path = self.path + ".journal"
         self.library = library
         self.checkpoint_every = max(1, int(checkpoint_every))
+        #: optional :class:`repro.batch.SharedLibraryStore` for the same
+        #: path; when set, flushes run its locked load-merge-save round
+        #: instead of a blind ``save`` so concurrent processes
+        #: checkpointing into one shared file cannot drop each other's
+        #: entries.
+        self.store = store
         self._fh = None
         self._since_flush = 0
         self._blocks = 0
@@ -198,7 +239,10 @@ class CompilationJournal:
 
     def flush(self) -> None:
         """Write the library checkpoint atomically and log the flush."""
-        self.library.save(self.path)
+        if self.store is not None:
+            self.store.sync(self.library)
+        else:
+            self.library.save(self.path)
         self._since_flush = 0
         self._write({"event": "flush", "entries": len(self.library)})
         telemetry.get_metrics().inc("resilience.checkpoint_flushes")
@@ -213,29 +257,7 @@ class CompilationJournal:
 
     def _salvage_tail(self) -> None:
         """Repair a journal whose final line was cut short by a crash."""
-        if not os.path.exists(self.journal_path):
-            return
-        try:
-            records, truncated = journal_records(self.journal_path)
-        except OSError:
-            return
-        if not truncated:
-            return
-        completed = sum(1 for r in records if r.get("event") == "block")
-        logger.warning(
-            "journal %s ends in a partially written record (crash "
-            "mid-write); salvaging %d complete records (%d block "
-            "completions) and resuming from the last complete one",
-            self.journal_path,
-            len(records),
-            completed,
-        )
-        telemetry.get_metrics().inc("resilience.journal_salvaged")
-        tmp_path = self.journal_path + ".salvage"
-        with open(tmp_path, "w") as fh:
-            for record in records:
-                fh.write(json.dumps(record) + "\n")
-        os.replace(tmp_path, self.journal_path)
+        salvage_journal_tail(self.journal_path)
 
     def _stored_fingerprint(self) -> Optional[str]:
         """The fingerprint of the most recent run in the journal, if any."""

@@ -19,6 +19,7 @@ __all__ = [
     "LIBRARY_SCHEMA_VERSION",
     "pulse_checksum",
     "validate_entry",
+    "library_entry_keys",
 ]
 
 #: current pulse-library payload schema.  Version 1 (implicit) had no
@@ -69,3 +70,22 @@ def validate_entry(entry: Any) -> List[str]:
                 f"recomputed {pulse_checksum(pulse)})"
             )
     return problems
+
+
+def library_entry_keys(path: str) -> frozenset:
+    """The hex cache keys of every structurally valid entry in a saved
+    pulse-library file, without decoding any pulse payloads.
+
+    This is the cheap half of an integrity audit: the concurrent-merge
+    tests (and the CI lock job) compare key sets across processes to
+    prove no entry was lost to a load-save race, which needs the
+    envelope checked but not the waveforms deserialized.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    entries = payload.get("entries", []) if isinstance(payload, dict) else []
+    if not isinstance(entries, list):
+        return frozenset()
+    return frozenset(
+        entry["key"] for entry in entries if not validate_entry(entry)
+    )

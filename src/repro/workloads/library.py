@@ -11,7 +11,7 @@ this).  Every builder is deterministic.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,8 @@ __all__ = [
     "benchmark_suite",
     "table1_suite",
     "get_benchmark",
+    "SUITE_FAMILIES",
+    "resolve_suite",
 ]
 
 
@@ -512,3 +514,31 @@ def benchmark_suite(names: Optional[List[str]] = None) -> Dict[str, QuantumCircu
 def table1_suite() -> Dict[str, QuantumCircuit]:
     """The seven Table 1 circuits."""
     return {name: get_benchmark(name) for name in _TABLE1}
+
+
+#: Named circuit families addressable from the batch compiler
+#: (``repro.cli compile-batch --suite NAME``).
+SUITE_FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "table1": _TABLE1,
+    "figures": _FIGURE_SUITE,
+    "full": tuple(_SUITE),
+}
+
+
+def resolve_suite(spec: str) -> Dict[str, QuantumCircuit]:
+    """Build the circuits a suite specifier names.
+
+    ``spec`` is either a family name from :data:`SUITE_FAMILIES`
+    (``"table1"``, ``"figures"``, ``"full"``) or a comma-separated list
+    of individual benchmark names (``"ghz,qft,grover"``).
+    """
+    if spec in SUITE_FAMILIES:
+        names: Sequence[str] = SUITE_FAMILIES[spec]
+    else:
+        names = [name.strip() for name in spec.split(",") if name.strip()]
+        if not names:
+            raise CircuitError(
+                f"empty suite specifier {spec!r}; expected a family "
+                f"({sorted(SUITE_FAMILIES)}) or comma-separated benchmark names"
+            )
+    return {name: get_benchmark(name) for name in names}

@@ -1,0 +1,124 @@
+"""Tests for the ``compile-batch`` CLI command."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.verify.artifacts import library_entry_keys
+from repro.workloads import benchmark_suite
+
+
+@pytest.fixture
+def suite_dir(tmp_path):
+    suite = tmp_path / "suite"
+    suite.mkdir()
+    for name, circuit in benchmark_suite(["bell", "ghz"]).items():
+        (suite / f"{name}.qasm").write_text(circuit.to_qasm())
+    return str(suite)
+
+
+def _fast_args(*extra):
+    return [
+        "--fidelity",
+        "0.98",
+        "--qubit-limit",
+        "2",
+        *extra,
+    ]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["compile-batch", "dir"])
+        assert args.flow == "epoc"
+        assert args.library is None
+        assert args.journal is None
+        assert args.resume is False
+
+    def test_suite_only_invocation_parses(self):
+        args = build_parser().parse_args(["compile-batch", "--suite", "table1"])
+        assert args.inputs == []
+        assert args.suite == "table1"
+
+
+class TestCompileBatch:
+    def test_directory_suite(self, suite_dir, capsys):
+        assert main(["compile-batch", suite_dir, *_fast_args()]) == 0
+        out = capsys.readouterr().out
+        assert "bell" in out and "ghz" in out
+        assert "dedup_savings=" in out
+
+    def test_named_suite(self, capsys):
+        assert (
+            main(["compile-batch", "--suite", "bell,ghz", *_fast_args()]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "suite: 2 circuits" in out
+
+    def test_shared_library_across_invocations(
+        self, suite_dir, tmp_path, capsys
+    ):
+        library = str(tmp_path / "lib.json")
+        assert (
+            main(
+                ["compile-batch", suite_dir, "--library", library, *_fast_args()]
+            )
+            == 0
+        )
+        first_entries = library_entry_keys(library)
+        assert first_entries
+        capsys.readouterr()
+        # the second invocation compiles entirely from the warm store
+        assert (
+            main(
+                ["compile-batch", suite_dir, "--library", library, *_fast_args()]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "searches=0" in out
+        assert "cache=100.0%" in out
+        assert library_entry_keys(library) == first_entries
+
+    def test_journal_resume(self, suite_dir, tmp_path, capsys):
+        journal = str(tmp_path / "suite.journal")
+        assert (
+            main(
+                ["compile-batch", suite_dir, "--journal", journal, *_fast_args()]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "compile-batch",
+                    suite_dir,
+                    "--journal",
+                    journal,
+                    "--resume",
+                    *_fast_args(),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 resumed" in out
+
+    def test_empty_directory_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["compile-batch", str(empty)]) == 1
+        assert "no .qasm files" in capsys.readouterr().err
+
+    def test_no_circuits_rejected(self, capsys):
+        assert main(["compile-batch"]) == 1
+        assert "at least one circuit" in capsys.readouterr().err
+
+    def test_checkpoint_every_requires_library(self, suite_dir, capsys):
+        assert (
+            main(["compile-batch", suite_dir, "--checkpoint-every", "1"]) == 1
+        )
+        assert "--checkpoint-every requires --library" in capsys.readouterr().err
+
+    def test_unknown_suite_rejected(self, capsys):
+        assert main(["compile-batch", "--suite", "nope"]) == 1

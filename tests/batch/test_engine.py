@@ -1,0 +1,178 @@
+"""Tests for the batch compilation engine."""
+
+import pytest
+
+from repro.batch import (
+    BATCH_FLOWS,
+    BatchCompiler,
+    CircuitOutcome,
+    SharedLibraryStore,
+)
+from repro.exceptions import ReproError
+from repro.resilience.journal import JournalError
+from repro.workloads import benchmark_suite
+
+
+@pytest.fixture
+def small_suite():
+    return benchmark_suite(["bell", "ghz", "cat"])
+
+
+class TestBatchCompiler:
+    def test_shared_library_dedups_across_circuits(
+        self, fast_epoc, small_suite
+    ):
+        report = BatchCompiler(config=fast_epoc).compile_suite(small_suite)
+        assert report.circuits == 3
+        assert report.resumed_circuits == 0
+        # the suite shares unitaries across circuits, so the batch must do
+        # strictly fewer GRAPE searches than per-circuit compiles would
+        solo = sum(o.unique_qoc_items for o in report.outcomes)
+        assert report.grape_searches < solo
+        assert report.dedup_savings == solo - report.grape_searches
+        assert report.dedup_savings > 0
+        # the library holds exactly the searches we paid for
+        assert report.library_entries == report.grape_searches
+        for outcome in report.outcomes:
+            # schedule fidelity is a product over pulses; with the fast
+            # test QOC settings it lands well below 1 but must be sane
+            assert 0.0 < outcome.fidelity <= 1.0
+            assert outcome.pulse_count > 0
+
+    def test_per_circuit_cache_counts_are_deltas(self, fast_epoc, small_suite):
+        compiler = BatchCompiler(config=fast_epoc)
+        report = compiler.compile_suite(small_suite)
+        # deltas must sum to the shared library's cumulative counters
+        assert sum(o.cache_hits for o in report.outcomes) == compiler.library.hits
+        assert (
+            sum(o.cache_misses for o in report.outcomes)
+            == compiler.library.misses
+        )
+
+    def test_warm_store_makes_second_batch_free(
+        self, fast_epoc, small_suite, tmp_path
+    ):
+        path = str(tmp_path / "lib.json")
+        first = BatchCompiler(
+            config=fast_epoc, store=SharedLibraryStore(path)
+        ).compile_suite(small_suite)
+        assert first.store_loaded == 0
+        assert first.grape_searches > 0
+        second = BatchCompiler(
+            config=fast_epoc, store=SharedLibraryStore(path)
+        ).compile_suite(small_suite)
+        assert second.store_loaded == first.library_entries
+        assert second.grape_searches == 0
+        assert second.aggregate_hit_rate == 1.0
+
+    def test_journal_resume_skips_completed(
+        self, fast_epoc, small_suite, tmp_path
+    ):
+        journal = str(tmp_path / "suite.journal")
+        first = BatchCompiler(
+            config=fast_epoc, journal_path=journal
+        ).compile_suite(small_suite)
+        assert first.resumed_circuits == 0
+        resumed = BatchCompiler(
+            config=fast_epoc, journal_path=journal, resume=True
+        ).compile_suite(small_suite)
+        assert resumed.resumed_circuits == 3
+        assert resumed.grape_searches == 0
+        assert resumed.dedup_savings == 0  # nothing was recompiled
+        rows = {o.name: o for o in resumed.outcomes}
+        for name, outcome in rows.items():
+            assert outcome.resumed
+            # journaled stats survive the round trip
+            assert outcome.fidelity == pytest.approx(
+                {o.name: o.fidelity for o in first.outcomes}[name]
+            )
+        assert "resumed" in resumed.summary_table()
+
+    def test_resume_refuses_changed_configuration(
+        self, fast_epoc, small_suite, tmp_path
+    ):
+        journal = str(tmp_path / "suite.journal")
+        BatchCompiler(config=fast_epoc, journal_path=journal).compile_suite(
+            small_suite
+        )
+        other = BatchCompiler(
+            config=fast_epoc,
+            flow="epoc-nogroup",
+            journal_path=journal,
+            resume=True,
+        )
+        with pytest.raises(JournalError):
+            other.compile_suite(small_suite)
+
+    def test_summary_table_reports_savings(self, fast_epoc, small_suite):
+        report = BatchCompiler(config=fast_epoc).compile_suite(small_suite)
+        table = report.summary_table()
+        assert "dedup_savings=" in table
+        assert "searches=" in table
+        for name in small_suite:
+            assert name in table
+
+    def test_gate_based_flow(self, fast_epoc):
+        report = BatchCompiler(config=fast_epoc, flow="gate-based").compile_suite(
+            benchmark_suite(["bell"])
+        )
+        assert report.circuits == 1
+        assert report.grape_searches == 0
+
+    def test_all_flows_are_constructible(self, fast_epoc):
+        for flow in BATCH_FLOWS:
+            compiler = BatchCompiler(config=fast_epoc, flow=flow)
+            assert compiler._make_flow(None)[0] is not None
+
+
+class TestValidation:
+    def test_unknown_flow_rejected(self, fast_epoc):
+        with pytest.raises(ReproError):
+            BatchCompiler(config=fast_epoc, flow="magic")
+
+    def test_resume_requires_journal(self, fast_epoc):
+        with pytest.raises(ReproError):
+            BatchCompiler(config=fast_epoc, resume=True)
+
+    def test_empty_suite_rejected(self, fast_epoc):
+        with pytest.raises(ReproError):
+            BatchCompiler(config=fast_epoc).compile_suite({})
+
+
+class TestCircuitOutcome:
+    def test_journal_round_trip(self):
+        outcome = CircuitOutcome(
+            name="bell",
+            method="epoc",
+            latency_ns=120.0,
+            fidelity=0.99,
+            compile_seconds=0.5,
+            pulse_count=3,
+            cache_hits=2,
+            cache_misses=1,
+            qoc_items=3,
+            unique_qoc_items=2,
+        )
+        record = {"name": "bell", "method": "epoc", "stats": outcome.stats_dict()}
+        restored = CircuitOutcome.from_journal(record)
+        assert restored.resumed
+        assert restored.fidelity == outcome.fidelity
+        assert restored.cache_hits == outcome.cache_hits
+        assert restored.unique_qoc_items == outcome.unique_qoc_items
+        assert "resumed" in restored.summary_row()
+
+    def test_hit_rate_none_when_no_traffic(self):
+        outcome = CircuitOutcome(
+            name="empty",
+            method="epoc",
+            latency_ns=0.0,
+            fidelity=1.0,
+            compile_seconds=0.0,
+            pulse_count=0,
+            cache_hits=0,
+            cache_misses=0,
+            qoc_items=0,
+            unique_qoc_items=0,
+        )
+        assert outcome.hit_rate is None
+        assert "--" in outcome.summary_row()

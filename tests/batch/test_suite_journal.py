@@ -1,0 +1,110 @@
+"""Tests for the suite-level journal (checkpoint/resume of a batch)."""
+
+import json
+
+import pytest
+
+from repro.batch import SuiteJournal
+from repro.resilience.journal import JournalError, journal_records
+
+
+def _events(path):
+    records, _ = journal_records(str(path))
+    return [record.get("event") for record in records]
+
+
+class TestFreshJournal:
+    def test_open_returns_nothing_completed(self, tmp_path):
+        journal = SuiteJournal(str(tmp_path / "suite.journal"))
+        assert journal.open(["bell", "ghz"], "fp-1") == {}
+        journal.close()
+        assert _events(tmp_path / "suite.journal") == ["begin", "done"]
+
+    def test_circuit_records_carry_stats(self, tmp_path):
+        path = tmp_path / "suite.journal"
+        with SuiteJournal(str(path)) as journal:
+            journal.open(["bell"], "fp-1")
+            journal.record_circuit("bell", "epoc", {"fidelity": 0.99})
+        records, _ = journal_records(str(path))
+        circuit = [r for r in records if r["event"] == "circuit"][0]
+        assert circuit["name"] == "bell"
+        assert circuit["method"] == "epoc"
+        assert circuit["stats"]["fidelity"] == 0.99
+        assert records[-1] == {"event": "done", "circuits": 1}
+
+    def test_abort_marker_on_exception(self, tmp_path):
+        path = tmp_path / "suite.journal"
+        with pytest.raises(RuntimeError):
+            with SuiteJournal(str(path)) as journal:
+                journal.open(["bell"], "fp-1")
+                raise RuntimeError("killed")
+        assert _events(path) == ["begin", "abort"]
+
+    def test_close_idempotent(self, tmp_path):
+        journal = SuiteJournal(str(tmp_path / "suite.journal"))
+        journal.open(["bell"], "fp-1")
+        journal.close()
+        journal.close()
+        assert _events(tmp_path / "suite.journal") == ["begin", "done"]
+
+
+class TestResume:
+    def _interrupted(self, path, fingerprint="fp-1"):
+        journal = SuiteJournal(str(path))
+        journal.open(["bell", "ghz", "cat"], fingerprint)
+        journal.record_circuit("bell", "epoc", {"fidelity": 0.99})
+        journal.record_circuit("ghz", "epoc", {"fidelity": 0.98})
+        journal.close(complete=False)
+
+    def test_resume_returns_completed_circuits(self, tmp_path):
+        path = tmp_path / "suite.journal"
+        self._interrupted(path)
+        journal = SuiteJournal(str(path))
+        completed = journal.open(["bell", "ghz", "cat"], "fp-1", resume=True)
+        journal.close()
+        assert sorted(completed) == ["bell", "ghz"]
+        assert completed["bell"]["stats"]["fidelity"] == 0.99
+
+    def test_resume_appends_instead_of_truncating(self, tmp_path):
+        path = tmp_path / "suite.journal"
+        self._interrupted(path)
+        journal = SuiteJournal(str(path))
+        journal.open(["bell", "ghz", "cat"], "fp-1", resume=True)
+        journal.record_circuit("cat", "epoc", {"fidelity": 0.97})
+        journal.close()
+        records, _ = journal_records(str(path))
+        names = [r["name"] for r in records if r["event"] == "circuit"]
+        assert names == ["bell", "ghz", "cat"]
+        # the final done counts resumed + new circuits
+        assert records[-1] == {"event": "done", "circuits": 3}
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "suite.journal"
+        self._interrupted(path, fingerprint="fp-old")
+        journal = SuiteJournal(str(path))
+        with pytest.raises(JournalError):
+            journal.open(["bell", "ghz", "cat"], "fp-new", resume=True)
+
+    def test_fresh_open_overwrites_old_journal(self, tmp_path):
+        path = tmp_path / "suite.journal"
+        self._interrupted(path)
+        journal = SuiteJournal(str(path))
+        assert journal.open(["bell", "ghz", "cat"], "fp-1") == {}
+        journal.close()
+        records, _ = journal_records(str(path))
+        assert [r["event"] for r in records] == ["begin", "done"]
+
+    def test_truncated_tail_salvaged(self, tmp_path):
+        path = tmp_path / "suite.journal"
+        self._interrupted(path)
+        with open(path, "a") as fh:
+            fh.write('{"event": "circuit", "name": "ca')  # crash mid-write
+        journal = SuiteJournal(str(path))
+        completed = journal.open(["bell", "ghz", "cat"], "fp-1", resume=True)
+        journal.close()
+        assert sorted(completed) == ["bell", "ghz"]
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        journal = SuiteJournal(str(tmp_path / "none.journal"))
+        assert journal.open(["bell"], "fp-1", resume=True) == {}
+        journal.close()

@@ -1,0 +1,46 @@
+"""QASM round-trip property test over the whole benchmark suite.
+
+For every builder in the workloads library, emitting QASM and parsing it
+back must reproduce a unitarily equivalent circuit (global phase is not
+observable, so equivalence is measured with the process-fidelity check
+from :mod:`repro.verify.checks`).  This pins the writer and parser to
+each other across every gate the suite exercises.
+"""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.qasm import circuit_to_qasm, parse_qasm
+from repro.verify.checks import circuit_equivalence
+from repro.workloads import SUITE_FAMILIES, get_benchmark
+
+TOLERANCE = 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(SUITE_FAMILIES["full"]))
+def test_benchmark_round_trips(name):
+    original = get_benchmark(name)
+    restored = parse_qasm(circuit_to_qasm(original))
+    assert restored.num_qubits == original.num_qubits
+    outcome = circuit_equivalence(original, restored)
+    assert outcome.method == "tensor"  # suite circuits are small enough
+    assert outcome.infidelity < TOLERANCE
+
+
+def test_round_trip_is_stable():
+    """A second emit/parse round produces identical QASM text."""
+    original = get_benchmark("qft")
+    once = circuit_to_qasm(parse_qasm(circuit_to_qasm(original)))
+    twice = circuit_to_qasm(parse_qasm(once))
+    assert once == twice
+
+
+def test_round_trip_preserves_parameters():
+    qc = QuantumCircuit(2)
+    qc.rx(0.12345, 0)
+    qc.rz(-math.pi / 7, 1)
+    qc.cx(0, 1)
+    restored = parse_qasm(circuit_to_qasm(qc))
+    assert circuit_equivalence(qc, restored).infidelity < TOLERANCE

@@ -66,6 +66,18 @@ class TestSchedule:
         with pytest.raises(ScheduleError):
             PulseSchedule(0)
 
+    def test_empty_qubit_interval_rejected(self):
+        # an interval on no qubits would silently occupy no line and
+        # vanish from the latency/utilization accounting
+        s = PulseSchedule(2)
+        with pytest.raises(ScheduleError):
+            s.add_interval([], 1.0)
+
+    def test_empty_qubit_interval_rejected_any_duration(self):
+        s = PulseSchedule(2)
+        with pytest.raises(ScheduleError):
+            s.add_interval((), 0.0)
+
     def test_line_utilization(self):
         s = PulseSchedule(2)
         s.add_pulse(make_pulse([0], 10))

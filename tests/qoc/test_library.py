@@ -93,6 +93,49 @@ class TestCacheKeyEdgeCases:
         )
 
 
+class TestCacheKeyTieBreak:
+    """Pivot selection must not depend on which near-tied magnitude wins.
+
+    Phase rotation perturbs entry magnitudes at machine precision, so two
+    phase-equivalent matrices with (near-)equal largest magnitudes could
+    canonicalize through *different* pivots under a strict argmax — keyed
+    differently, costing a spurious GRAPE search.  The key must pick the
+    first index within tolerance of the maximum instead.
+    """
+
+    def test_exact_tie_keys_equal_under_phase(self):
+        # both diagonal entries have magnitude exactly 0.8
+        m1 = np.diag([0.8, 0.8 * np.exp(0.3j)]).astype(complex)
+        m2 = np.exp(0.7j) * m1
+        assert unitary_cache_key(m1) == unitary_cache_key(m2)
+
+    def test_near_tie_flipped_argmax_keys_equal(self):
+        # perturb below the tolerance so a strict argmax would flip
+        # pivots between the two phase-equivalent matrices
+        m1 = np.diag([0.8, 0.8 * np.exp(0.3j)]).astype(complex)
+        m2 = np.exp(0.7j) * m1
+        m2[0, 0] *= 1.0 - 5e-13
+        assert unitary_cache_key(m1) == unitary_cache_key(m2)
+
+    def test_near_tie_reversed_perturbation(self):
+        m1 = np.diag([0.8, 0.8 * np.exp(0.3j)]).astype(complex)
+        m1[0, 0] *= 1.0 - 5e-13  # now m1 carries the smaller first entry
+        m2 = np.exp(1.1j) * np.diag([0.8, 0.8 * np.exp(0.3j)]).astype(complex)
+        assert unitary_cache_key(m1) == unitary_cache_key(m2)
+
+    def test_tie_break_does_not_merge_distinct_matrices(self):
+        # equal-magnitude entries but genuinely different phases relative
+        # to the pivot must still key apart
+        m1 = np.diag([0.8, 0.8 * np.exp(0.3j)]).astype(complex)
+        m2 = np.diag([0.8, 0.8 * np.exp(0.9j)]).astype(complex)
+        assert unitary_cache_key(m1) != unitary_cache_key(m2)
+
+    def test_hadamard_like_all_tied(self, rng):
+        # every entry of H has magnitude 1/sqrt(2): the maximal tie
+        h = gate_matrix("h")
+        assert unitary_cache_key(h) == unitary_cache_key(np.exp(1.9j) * h)
+
+
 class TestPulseObject:
     def test_duration(self):
         p = Pulse((0,), np.zeros((2, 7)), dt=0.5, fidelity=1.0, unitary_distance=0.0)

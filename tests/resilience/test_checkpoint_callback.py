@@ -1,0 +1,75 @@
+"""A failing checkpoint callback must not abort the pulse batch.
+
+``PulseLibrary.get_pulses(on_pulse=...)`` is how the compilation journal
+flushes incremental checkpoints.  Checkpointing is an optimization — a
+full disk or an unwritable path must degrade to "no checkpoint", not
+discard the GRAPE work that just finished.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.circuits.gates import gate_matrix
+from repro.qoc import PulseLibrary
+
+
+@pytest.fixture
+def requests():
+    return [
+        (gate_matrix("x"), (0,)),
+        (gate_matrix("h"), (0,)),
+        (gate_matrix("x"), (1,)),  # cache hit via retarget, no callback
+    ]
+
+
+class TestCheckpointCallbackFailure:
+    def test_callback_error_is_non_fatal(self, fast_qoc, requests):
+        library = PulseLibrary(config=fast_qoc)
+
+        def exploding(key, pulse):
+            raise OSError("disk full")
+
+        pulses = library.get_pulses(requests, on_pulse=exploding)
+        # every pulse was still produced and cached
+        assert len(pulses) == 3
+        assert len(library) == 2
+        assert library.misses == 2
+        assert library.hits == 1
+
+    def test_callback_error_counted(self, fast_qoc, requests):
+        library = PulseLibrary(config=fast_qoc)
+
+        def exploding(key, pulse):
+            raise OSError("disk full")
+
+        with telemetry.telemetry_session() as (_, registry):
+            library.get_pulses(requests, on_pulse=exploding)
+        # one failure per freshly solved pulse (hits never fire on_pulse)
+        assert registry.counter("library.checkpoint_errors") == 2
+
+    def test_partial_callback_failure(self, fast_qoc, requests):
+        """Only one key's checkpoint fails; the others still fire."""
+        library = PulseLibrary(config=fast_qoc)
+        seen = []
+
+        def flaky(key, pulse):
+            seen.append(key)
+            if len(seen) == 1:
+                raise ValueError("first write rejected")
+
+        pulses = library.get_pulses(requests, on_pulse=flaky)
+        assert len(pulses) == 3
+        assert len(seen) == 2  # callback invoked for both solved pulses
+
+    def test_solved_pulses_reusable_after_failure(self, fast_qoc, requests):
+        library = PulseLibrary(config=fast_qoc)
+
+        def exploding(key, pulse):
+            raise OSError("disk full")
+
+        library.get_pulses(requests, on_pulse=exploding)
+        # the cache survived: a re-run needs no new searches
+        again = library.get_pulses([(gate_matrix("x"), (0,))])
+        assert library.misses == 2
+        assert np.allclose(again[0].controls.shape, (2, again[0].num_segments))
