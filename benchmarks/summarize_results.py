@@ -3,14 +3,39 @@
 Run after ``pytest benchmarks/ --benchmark-only``:
 
     python benchmarks/summarize_results.py
+
+``--ledger [FILE]`` additionally imports every result file into the run
+ledger (kind="bench", one row per result, the JSON payload under
+``extra``), so benchmark history is queryable next to compile runs:
+
+    PYTHONPATH=src python benchmarks/summarize_results.py --ledger
+    PYTHONPATH=src python -m repro.cli stats list
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 
 RESULTS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: every result file a bench may have written (see the bench_*.py files).
+RESULT_NAMES = (
+    "fig5_zx_depth",
+    "fig5_vqe_extreme",
+    "fig8_latency",
+    "fig9_compile_time",
+    "fig10_fidelity",
+    "table1_comparison",
+    "ablation_cache",
+    "ablation_group_size",
+    "ablation_zx",
+    "batch_dedup",
+    "parallel_scaling",
+    "verify_overhead",
+    "obs_overhead",
+)
 
 
 def _load(name):
@@ -21,7 +46,46 @@ def _load(name):
         return json.load(fh)
 
 
-def main() -> None:
+def import_into_ledger(ledger_path=None) -> int:
+    """Append one kind="bench" ledger row per present result file.
+
+    Returns the number of rows written.  Import is lazy so the summary
+    keeps working without ``src`` on the path.
+    """
+    from repro.obs import RunLedger, RunRecord
+
+    ledger = RunLedger(ledger_path)
+    written = 0
+    for name in RESULT_NAMES:
+        payload = _load(name)
+        if payload is None:
+            continue
+        ledger.record(
+            RunRecord(
+                circuit=name,
+                method="bench",
+                kind="bench",
+                label="summarize_results",
+                extra=payload if isinstance(payload, dict) else {"data": payload},
+            )
+        )
+        written += 1
+    return written
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="FILE",
+        help="also import the results into the run ledger "
+        "(default database unless FILE is given)",
+    )
+    args = parser.parse_args(argv)
+
     fig5 = _load("fig5_zx_depth")
     if fig5:
         print(f"Fig 5  mean depth reduction : {fig5['mean']:.2f}x (paper 1.48x)")
@@ -66,6 +130,17 @@ def main() -> None:
                 f"Cache ablation [{mode:<12}] : hit rate "
                 f"{stats['hit_rate']:.2%} ({stats['entries']:.0f} entries)"
             )
+    obs = _load("obs_overhead")
+    if obs:
+        print(
+            f"Obs overhead (JSONL events) : {obs['overhead_pct']:+.2f}% "
+            f"(budget <{obs['budget_pct']:.0f}%)"
+        )
+
+    if args.ledger:
+        path = args.ledger if isinstance(args.ledger, str) else None
+        rows = import_into_ledger(path)
+        print(f"imported {rows} benchmark result(s) into the run ledger")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 import networkx as nx
 import numpy as np
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
@@ -68,17 +68,20 @@ class AccQOCFlow:
         executor = ParallelExecutor.from_config(
             self.config.parallel, self.config.resilience
         )
-        with executor, tracer.span(
+        observer = obs.observe_run(
+            self.config.obs, circuit=name, method="accqoc"
+        )
+        with executor, observer, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="accqoc"
         ):
             source = circuit.without_pseudo_ops()
-            with tracer.span("decompose"):
+            with observer.stage("decompose"), tracer.span("decompose"):
                 native = decompose_to_cx_u3(source)
             if verifier.enabled:
                 verifier.check_circuit_stage(
                     "decompose", source, native, detail="basis decomposition"
                 )
-            with tracer.span("partition") as span:
+            with observer.stage("partition"), tracer.span("partition") as span:
                 blocks = greedy_partition(
                     native, qubit_limit=2, gate_limit=self.group_gate_limit
                 )
@@ -94,11 +97,13 @@ class AccQOCFlow:
                     detail="slice reassembly",
                 )
 
-            with tracer.span("mst_order", groups=len(items)):
+            with observer.stage("mst_order"), tracer.span(
+                "mst_order", groups=len(items)
+            ):
                 order = self._mst_order(items)
             # generate pulses in MST order (cache fills along similar unitaries)
             pulses = {}
-            with tracer.span(
+            with observer.stage("pulse_generation"), tracer.span(
                 "pulse_generation", items=len(items), workers=executor.workers
             ):
                 if executor.is_parallel:
@@ -111,10 +116,13 @@ class AccQOCFlow:
                     )
                     pulses = dict(zip(order, batch))
                 else:
-                    for index in order:
+                    for position, index in enumerate(order):
                         item = items[index]
                         pulses[index] = self.library.get_pulse(
                             item.matrix, item.qubits
+                        )
+                        observer.block_progress(
+                            "pulse_generation", index, position + 1, len(order)
                         )
 
             schedule = PulseSchedule(circuit.num_qubits)
@@ -138,7 +146,7 @@ class AccQOCFlow:
             verification = verifier.finalize()
 
         elapsed = time.perf_counter() - start
-        return CompilationReport(
+        report = CompilationReport(
             method="accqoc",
             circuit_name=name,
             num_qubits=circuit.num_qubits,
@@ -163,6 +171,8 @@ class AccQOCFlow:
             degraded_blocks=ledger.entries,
             verification=verification,
         )
+        observer.record(report)
+        return report
 
     @staticmethod
     def _mst_order(items: List[RegroupedUnitary]) -> List[int]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
@@ -41,11 +41,14 @@ class GateBasedFlow:
             target_fidelity=self.config.qoc.fidelity_threshold,
             synthesis_threshold=self.config.synthesis_threshold,
         )
-        with tracer.span(
+        observer = obs.observe_run(
+            self.config.obs, circuit=name, method="gate-based"
+        )
+        with observer, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="gate-based"
         ):
             source = circuit.without_pseudo_ops()
-            with tracer.span("decompose") as span:
+            with observer.stage("decompose"), tracer.span("decompose") as span:
                 native = decompose_to_cx_u3(source)
                 span.set(gates=len(native))
             if verifier.enabled:
@@ -57,7 +60,9 @@ class GateBasedFlow:
             schedule = PulseSchedule(circuit.num_qubits)
             errors: List[float] = []
             hw = self.config.hardware
-            with tracer.span("schedule", gates=len(native)):
+            with observer.stage("schedule"), tracer.span(
+                "schedule", gates=len(native)
+            ):
                 for gate in native.gates:
                     duration = self.latency_model.duration(gate)
                     schedule.add_interval(gate.qubits, duration, label=gate.name)
@@ -74,7 +79,7 @@ class GateBasedFlow:
             )
             verification = verifier.finalize()
         elapsed = time.perf_counter() - start
-        return CompilationReport(
+        report = CompilationReport(
             method="gate-based",
             circuit_name=name,
             num_qubits=circuit.num_qubits,
@@ -89,3 +94,5 @@ class GateBasedFlow:
             },
             verification=verification,
         )
+        observer.record(report)
+        return report

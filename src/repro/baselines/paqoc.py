@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDAG
@@ -79,17 +79,20 @@ class PAQOCFlow:
         executor = ParallelExecutor.from_config(
             self.config.parallel, self.config.resilience
         )
-        with executor, tracer.span(
+        observer = obs.observe_run(
+            self.config.obs, circuit=name, method="paqoc"
+        )
+        with executor, observer, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="paqoc"
         ):
             source = circuit.without_pseudo_ops()
-            with tracer.span("decompose"):
+            with observer.stage("decompose"), tracer.span("decompose"):
                 native = decompose_to_cx_u3(source)
             if verifier.enabled:
                 verifier.check_circuit_stage(
                     "decompose", source, native, detail="basis decomposition"
                 )
-            with tracer.span("partition") as span:
+            with observer.stage("partition"), tracer.span("partition") as span:
                 blocks = greedy_partition(
                     native,
                     qubit_limit=self.pattern_qubit_limit,
@@ -98,13 +101,15 @@ class PAQOCFlow:
                 span.set(blocks=len(blocks))
 
             # -- pattern mining: canonical keys over block contents ----------
-            with tracer.span("pattern_mining") as span:
+            with observer.stage("pattern_mining"), tracer.span(
+                "pattern_mining"
+            ) as span:
                 keys = [self._block_key(block) for block in blocks]
                 frequency = Counter(keys)
                 span.set(distinct_patterns=len(frequency))
 
             # -- criticality analysis over the weighted DAG ------------------
-            with tracer.span("criticality"):
+            with observer.stage("criticality"), tracer.span("criticality"):
                 dag = CircuitDAG(native)
                 weights = dag.critical_path_weights(self.latency_model.duration)
                 block_criticality = self._block_criticality(native, blocks, weights)
@@ -138,7 +143,7 @@ class PAQOCFlow:
             hw = self.config.hardware
             custom_indices = {block.index for block in custom_blocks}
             prefetched = {}
-            with tracer.span(
+            with observer.stage("pulse_generation"), tracer.span(
                 "pulse_generation", blocks=len(blocks), workers=executor.workers
             ):
                 if executor.is_parallel and custom_blocks:
@@ -195,7 +200,7 @@ class PAQOCFlow:
             verification = verifier.finalize()
 
         elapsed = time.perf_counter() - start
-        return CompilationReport(
+        report = CompilationReport(
             method="paqoc",
             circuit_name=name,
             num_qubits=circuit.num_qubits,
@@ -217,6 +222,8 @@ class PAQOCFlow:
             degraded_blocks=ledger.entries,
             verification=verification,
         )
+        observer.record(report)
+        return report
 
     @staticmethod
     def _block_key(block: CircuitBlock) -> Tuple:

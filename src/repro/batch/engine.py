@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
 from repro.circuits.circuit import QuantumCircuit
 from repro.config import EPOCConfig
@@ -298,9 +298,19 @@ class BatchCompiler:
             )
 
         report = BatchReport()
-        with tracer.span(
+        # the suite observer owns the user-facing sinks (JSONL/TTY): the
+        # per-circuit observers find the installed bus and reuse it, so a
+        # batch writes one merged event stream, not one file per circuit
+        observer = obs.observe_run(
+            self.config.obs,
+            circuit=f"suite[{len(items)}]",
+            method=self.flow,
+            fingerprint=self.fingerprint(),
+            kind="suite",
+        )
+        with observer, tracer.span(
             "compile_batch", circuits=len(items), flow=self.flow
-        ):
+        ), observer.stage("compile_suite"):
             if self.store is not None:
                 report.store_loaded = self.store.pull(self.library)
                 if report.store_loaded:
@@ -356,6 +366,30 @@ class BatchCompiler:
             report.grape_searches,
             report.dedup_savings,
             report.library_entries,
+        )
+        observer.record_values(
+            circuit=f"suite[{report.circuits}]",
+            method=self.flow,
+            wall_seconds=report.wall_seconds,
+            pulse_count=sum(
+                outcome.pulse_count
+                for outcome in report.outcomes
+                if not outcome.resumed
+            ),
+            cache_hits=report.cache_hits,
+            cache_misses=report.cache_misses,
+            degraded_blocks=sum(
+                outcome.degraded_blocks
+                for outcome in report.outcomes
+                if not outcome.resumed
+            ),
+            extra={
+                "circuits": report.circuits,
+                "resumed_circuits": report.resumed_circuits,
+                "dedup_savings": report.dedup_savings,
+                "library_entries": report.library_entries,
+                "store_loaded": report.store_loaded,
+            },
         )
         return report
 

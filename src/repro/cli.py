@@ -8,13 +8,21 @@ Usage::
     python -m repro.cli compile circuit.qasm -j 4            # 4 QOC workers
     python -m repro.cli compile-batch qasm_dir/ --library lib.json -j 4
     python -m repro.cli compile-batch --suite table1 --library lib.json
+    python -m repro.cli compile circuit.qasm --progress --ledger
+    python -m repro.cli stats list                     # ledger query
+    python -m repro.cli stats compare --against-baseline
     python -m repro.cli optimize circuit.qasm          # ZX pass only
     python -m repro.cli info circuit.qasm              # structure report
 
 Flows: ``epoc`` (default), ``epoc-nogroup``, ``gate-based``, ``accqoc``,
 ``paqoc``.  Every subcommand accepts ``-v``/``--log-level`` and
 ``--log-json``; ``compile`` additionally takes ``--trace FILE`` (Chrome
-trace-event JSON, open in Perfetto) and ``--metrics FILE``.
+trace-event JSON, open in Perfetto), ``--metrics FILE`` and
+``--metrics-prom FILE`` (Prometheus text format).  ``compile`` and
+``compile-batch`` share the observability flags ``--progress``,
+``--progress-events FILE``, ``--ledger [FILE]`` and ``--label``;
+``stats`` queries the resulting run ledger and its ``compare`` exits
+with status 3 when a stage regressed (the CI perf gate).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
 from repro.circuits import QuantumCircuit
 from repro.config import (
     EPOCConfig,
+    ObsConfig,
     ParallelConfig,
     QOCConfig,
     ResilienceConfig,
@@ -65,15 +74,58 @@ def _logging_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags for ``compile`` and ``compile-batch``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live per-stage/per-block progress on stderr",
+    )
+    parent.add_argument(
+        "--progress-events",
+        default=None,
+        metavar="FILE",
+        help="stream typed progress events to FILE, one JSON object per line",
+    )
+    parent.add_argument(
+        "--ledger",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record the run in the SQLite run ledger; with no FILE the "
+            "path comes from $REPRO_LEDGER or ~/.cache/repro/runs.db"
+        ),
+    )
+    parent.add_argument(
+        "--label",
+        default=None,
+        metavar="TAG",
+        help="free-form tag stored on the ledger row",
+    )
+    parent.add_argument(
+        "--metrics-prom",
+        default=None,
+        metavar="FILE",
+        help="write counters/gauges/histograms in Prometheus text format",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EPOC pulse-generation toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
     logging_parent = _logging_parent()
+    obs_parent = _obs_parent()
 
     compile_cmd = sub.add_parser(
-        "compile", help="compile a QASM file to pulses", parents=[logging_parent]
+        "compile",
+        help="compile a QASM file to pulses",
+        parents=[logging_parent, obs_parent],
     )
     compile_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
     compile_cmd.add_argument(
@@ -192,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd = sub.add_parser(
         "compile-batch",
         help="compile a suite of circuits through one shared pulse library",
-        parents=[logging_parent],
+        parents=[logging_parent, obs_parent],
     )
     batch_cmd.add_argument(
         "inputs",
@@ -289,6 +341,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="stage-boundary verification for every circuit in the suite",
     )
 
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="query the run ledger and gate on perf regressions",
+        parents=[logging_parent],
+    )
+    stats_cmd.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        dest="ledger_path",
+        help="ledger database (default: $REPRO_LEDGER or ~/.cache/repro/runs.db)",
+    )
+    stats_sub = stats_cmd.add_subparsers(dest="stats_command", required=True)
+
+    stats_list = stats_sub.add_parser("list", help="recent runs, newest first")
+    stats_list.add_argument(
+        "--limit", type=int, default=20, metavar="N", help="rows to show"
+    )
+    stats_list.add_argument(
+        "--circuit", default=None, help="filter by circuit name"
+    )
+    stats_list.add_argument(
+        "--method", default=None, help="filter by compilation flow"
+    )
+
+    stats_show = stats_sub.add_parser(
+        "show", help="one run in full (stages, resources, workers)"
+    )
+    stats_show.add_argument("run_id", type=int, help="ledger run id")
+
+    stats_compare = stats_sub.add_parser(
+        "compare",
+        help=(
+            "diff two runs stage by stage; exits 3 when a stage (or the "
+            "wall clock) regressed beyond the threshold"
+        ),
+    )
+    stats_compare.add_argument(
+        "run_ids",
+        type=int,
+        nargs="*",
+        metavar="RUN",
+        help=(
+            "BASE NEW run ids; with one id the other side is the baseline "
+            "or the latest run, with none the two most recent runs compare"
+        ),
+    )
+    stats_compare.add_argument(
+        "--against-baseline",
+        action="store_true",
+        help="compare the pinned baseline against NEW (default: latest run)",
+    )
+    stats_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="relative slowdown tolerated per stage (default: 0.25 = +25%%)",
+    )
+    stats_compare.add_argument(
+        "--min-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="absolute slowdown a stage must exceed to count (default: 0.05)",
+    )
+
+    stats_baseline = stats_sub.add_parser(
+        "baseline", help="pin, show or clear the comparison baseline"
+    )
+    stats_baseline.add_argument(
+        "run_id",
+        type=int,
+        nargs="?",
+        default=None,
+        help="run id to pin (omit to show the current baseline)",
+    )
+    stats_baseline.add_argument(
+        "--name",
+        default="default",
+        help="baseline slot name (default: 'default')",
+    )
+    stats_baseline.add_argument(
+        "--clear", action="store_true", help="unpin the named baseline"
+    )
+
     optimize_cmd = sub.add_parser(
         "optimize", help="run only the ZX optimization", parents=[logging_parent]
     )
@@ -307,6 +445,20 @@ def build_parser() -> argparse.ArgumentParser:
 def _load(path: str) -> QuantumCircuit:
     with open(path) as fh:
         return QuantumCircuit.from_qasm(fh.read())
+
+
+def _obs_config(args) -> ObsConfig:
+    ledger = getattr(args, "ledger", None)
+    return ObsConfig(
+        progress=getattr(args, "progress", False),
+        events_path=getattr(args, "progress_events", None),
+        # --ledger alone enables recording (path from env/default);
+        # --ledger FILE also pins the database; absent keeps the env
+        # fallback ($REPRO_LEDGER) working
+        ledger=True if ledger else None,
+        ledger_path=ledger if isinstance(ledger, str) else None,
+        label=getattr(args, "label", None),
+    )
 
 
 def _config(args) -> EPOCConfig:
@@ -331,6 +483,7 @@ def _config(args) -> EPOCConfig:
             mode=getattr(args, "verify", None),
             error_budget=getattr(args, "error_budget", None),
         ),
+        obs=_obs_config(args),
     )
 
 
@@ -345,13 +498,16 @@ def _run_compile(args) -> int:
         flow = PAQOCFlow(config)
     else:
         flow = EPOCPipeline(config, use_regrouping=args.flow == "epoc")
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.metrics_prom:
         with telemetry.telemetry_session() as (tracer, registry):
             report = flow.compile(circuit, name=args.qasm)
         if args.trace:
             tracer.export(args.trace)
         if args.metrics:
             registry.export(args.metrics)
+        if args.metrics_prom:
+            with open(args.metrics_prom, "w") as fh:
+                fh.write(registry.to_prometheus())
     else:
         report = flow.compile(circuit, name=args.qasm)
     print(report.summary_row())
@@ -448,6 +604,7 @@ def _batch_config(args) -> EPOCConfig:
         parallel=ParallelConfig(workers=args.workers),
         resilience=resilience,
         verify=VerifyConfig(mode=args.verify),
+        obs=_obs_config(args),
     )
 
 
@@ -464,17 +621,105 @@ def _run_compile_batch(args) -> int:
         journal_path=args.journal,
         resume=args.resume,
     )
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.metrics_prom:
         with telemetry.telemetry_session() as (tracer, registry):
             report = compiler.compile_suite(circuits)
         if args.trace:
             tracer.export(args.trace)
         if args.metrics:
             registry.export(args.metrics)
+        if args.metrics_prom:
+            with open(args.metrics_prom, "w") as fh:
+                fh.write(registry.to_prometheus())
     else:
         report = compiler.compile_suite(circuits)
     print(report.summary_table())
     return 0
+
+
+def _run_stats(args) -> int:
+    from repro import obs
+
+    ledger = obs.RunLedger(args.ledger_path)
+    if args.stats_command == "list":
+        records = ledger.runs(
+            limit=args.limit, circuit=args.circuit, method=args.method
+        )
+        print(obs.format_run_table(records))
+        return 0
+    if args.stats_command == "show":
+        print(obs.format_run(ledger.run(args.run_id)))
+        return 0
+    if args.stats_command == "baseline":
+        if args.clear:
+            existed = ledger.clear_baseline(args.name)
+            print(
+                f"baseline {args.name!r} cleared"
+                if existed
+                else f"no baseline {args.name!r} to clear"
+            )
+            return 0
+        if args.run_id is not None:
+            ledger.set_baseline(args.run_id, name=args.name)
+            print(f"baseline {args.name!r} -> run {args.run_id}")
+            return 0
+        record = ledger.baseline(args.name)
+        if record is None:
+            print(f"no baseline {args.name!r} pinned")
+            return 1
+        print(obs.format_run(record))
+        return 0
+    # compare
+    base, new = _compare_records(obs, ledger, args)
+    result = obs.compare_runs(
+        base,
+        new,
+        threshold=(
+            args.threshold if args.threshold is not None else 0.25
+        ),
+        min_seconds=(
+            args.min_seconds if args.min_seconds is not None else 0.05
+        ),
+    )
+    print(obs.format_compare(result))
+    return obs.REGRESSION_EXIT_CODE if result.regressed else 0
+
+
+def _compare_records(obs, ledger, args):
+    """Resolve ``repro stats compare``'s (base, new) run records."""
+    ids = list(args.run_ids)
+    if len(ids) > 2:
+        raise ReproError("stats compare takes at most two run ids")
+    if args.against_baseline:
+        base = ledger.baseline()
+        if base is None:
+            raise ReproError(
+                "no baseline pinned; run 'repro stats baseline <id>' first"
+            )
+        if len(ids) == 2:
+            raise ReproError(
+                "--against-baseline supplies BASE; pass at most one run id"
+            )
+        new = ledger.run(ids[0]) if ids else _latest_run(ledger)
+        return base, new
+    if len(ids) == 2:
+        return ledger.run(ids[0]), ledger.run(ids[1])
+    if len(ids) == 1:
+        raise ReproError(
+            "stats compare needs two run ids (or --against-baseline)"
+        )
+    recent = ledger.runs(limit=2)
+    if len(recent) < 2:
+        raise ReproError("the ledger holds fewer than two runs to compare")
+    # runs() is newest-first: the older run is the base
+    return recent[1], recent[0]
+
+
+def _latest_run(ledger):
+    recent = ledger.runs(limit=1)
+    if not recent:
+        raise ReproError("the ledger is empty")
+    return recent[0]
 
 
 def _run_optimize(args) -> int:
@@ -518,6 +763,8 @@ def main(argv: Optional[list] = None) -> int:
             return _run_compile(args)
         if args.command == "compile-batch":
             return _run_compile_batch(args)
+        if args.command == "stats":
+            return _run_stats(args)
         if args.command == "optimize":
             return _run_optimize(args)
         return _run_info(args)

@@ -19,6 +19,11 @@ ENV_WORKERS = "REPRO_WORKERS"
 #: environment variable consulted when ``VerifyConfig.mode`` is unset.
 ENV_VERIFY = "REPRO_VERIFY"
 
+#: environment variable consulted when ``ObsConfig.ledger`` is unset; a
+#: truthy value or a path enables run-ledger recording (see
+#: :mod:`repro.obs.ledger`, which owns path resolution).
+ENV_LEDGER = "REPRO_LEDGER"
+
 #: accepted stage-boundary verification modes.
 VERIFY_MODES = ("off", "warn", "strict")
 
@@ -267,6 +272,49 @@ class TelemetryConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Persistent observability (see README "Observability").
+
+    Everything here defaults to off; an all-default ``ObsConfig`` leaves
+    the compile path byte-identical to an uninstrumented build.  The
+    pieces are independent: progress events can stream without a ledger
+    and vice versa — the run observer wires up exactly what is asked
+    for (:func:`repro.obs.observe_run`).
+    """
+
+    #: render live progress on stderr (the ``--progress`` CLI flag).
+    progress: bool = False
+    #: write one JSON event per line to this file (``--progress-events``).
+    events_path: Optional[str] = None
+    #: append every run to the SQLite run ledger; ``None`` consults
+    #: ``REPRO_LEDGER`` (a path or truthy value enables it).
+    ledger: Optional[bool] = None
+    #: ledger database file; ``None`` uses ``REPRO_LEDGER`` when it holds
+    #: a path, else ``~/.cache/repro/runs.db``.
+    ledger_path: Optional[str] = None
+    #: free-form tag stored on the ledger row (``--label``).
+    label: Optional[str] = None
+    #: measure per-stage / per-worker CPU time and peak RSS whenever an
+    #: observer is active (cheap: two ``getrusage`` calls per stage).
+    profile_resources: bool = True
+    #: also snapshot top Python allocation sites per stage (slow; off).
+    trace_malloc: bool = False
+
+    def ledger_enabled(self) -> bool:
+        """Whether runs should be recorded (explicit > env > off)."""
+        if self.ledger is not None:
+            return self.ledger
+        return bool(os.environ.get(ENV_LEDGER, "").strip())
+
+    @property
+    def active(self) -> bool:
+        """Whether any observability output is switched on."""
+        return bool(
+            self.progress or self.events_path or self.ledger_enabled()
+        )
+
+
+@dataclass(frozen=True)
 class EPOCConfig:
     """Top-level knobs of the EPOC pipeline."""
 
@@ -299,6 +347,7 @@ class EPOCConfig:
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     verify: VerifyConfig = field(default_factory=VerifyConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def with_updates(self, **kwargs) -> "EPOCConfig":
         """Functional update helper (the dataclass is frozen)."""

@@ -22,7 +22,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.config import EPOCConfig
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.transpile import decompose_to_cx_u3
@@ -107,7 +107,14 @@ class EPOCPipeline:
             executor_scope = executor  # owned: shut the pool down on exit
         else:
             executor_scope = nullcontext(executor)  # borrowed: caller owns it
-        with executor_scope, tracer.span(
+        fingerprint = config_fingerprint(config.qoc, config.cache_global_phase)
+        observer = obs.observe_run(
+            config.obs,
+            circuit=name,
+            method="epoc" if self.use_regrouping else "epoc-nogroup",
+            fingerprint=fingerprint,
+        )
+        with executor_scope, observer, tracer.span(
             "compile", circuit=name, qubits=circuit.num_qubits, method="epoc"
         ):
             metrics.inc("pipeline.compiles")
@@ -116,7 +123,7 @@ class EPOCPipeline:
 
             if config.use_zx:
                 zx_input = work if verifier.enabled else None
-                with tracer.span("zx") as span:
+                with observer.stage("zx"), tracer.span("zx") as span:
                     zx_result = optimize_circuit(work)
                     span.set(
                         depth_before=zx_result.depth_before,
@@ -143,7 +150,7 @@ class EPOCPipeline:
             if config.route_to_chain:
                 from repro.circuits.routing import route_to_line
 
-                with tracer.span("route") as span:
+                with observer.stage("route"), tracer.span("route") as span:
                     routed = route_to_line(decompose_to_cx_u3(work))
                     span.set(swaps=routed.swap_count)
                 work = routed.circuit
@@ -154,7 +161,7 @@ class EPOCPipeline:
             if any(g.num_qubits > config.partition_qubit_limit for g in work.gates):
                 work = decompose_to_cx_u3(work)
 
-            with tracer.span("partition") as span:
+            with observer.stage("partition"), tracer.span("partition") as span:
                 blocks = greedy_partition(
                     work,
                     qubit_limit=config.partition_qubit_limit,
@@ -186,7 +193,7 @@ class EPOCPipeline:
             )
 
             if config.use_synthesis:
-                with tracer.span(
+                with observer.stage("synthesis"), tracer.span(
                     "synthesis", blocks=len(blocks), workers=executor.workers
                 ):
                     if executor.is_parallel:
@@ -199,7 +206,10 @@ class EPOCPipeline:
                                     resilience=resilience,
                                 )
                                 for block in blocks
-                            ]
+                            ],
+                            on_chunk=observer.chunk_progress(
+                                "synthesis", len(blocks)
+                            ),
                         )
                     else:
                         stage_deadline = Deadline(
@@ -224,6 +234,12 @@ class EPOCPipeline:
                                         index=block.index,
                                     )
                                 )
+                                observer.block_progress(
+                                    "synthesis",
+                                    block.index,
+                                    len(synthesized),
+                                    len(blocks),
+                                )
                                 continue
                             with tracer.span(
                                 "synthesize_block",
@@ -238,6 +254,12 @@ class EPOCPipeline:
                                         resilience=resilience,
                                     )
                                 )
+                            observer.block_progress(
+                                "synthesis",
+                                block.index,
+                                len(synthesized),
+                                len(blocks),
+                            )
                         blocks = synthesized
                 for block in blocks:
                     if block.index in originals:
@@ -256,7 +278,7 @@ class EPOCPipeline:
             # named gate (e.g. ccx) can reach this point; widen the limit so
             # regrouping can still absorb it as its own unitary.
             widest = max((g.num_qubits for g in flat.gates), default=1)
-            with tracer.span("regroup") as span:
+            with observer.stage("regroup"), tracer.span("regroup") as span:
                 if self.use_regrouping:
                     items = regroup_circuit(
                         flat,
@@ -297,9 +319,7 @@ class EPOCPipeline:
                     store=checkpoint_store,
                 )
                 resumed = journal.open(
-                    name,
-                    config_fingerprint(config.qoc, self.config.cache_global_phase),
-                    resume=resilience.resume,
+                    name, fingerprint, resume=resilience.resume
                 )
                 stats["resumed_entries"] = float(resumed)
 
@@ -312,7 +332,7 @@ class EPOCPipeline:
             schedule = PulseSchedule(circuit.num_qubits)
             distances: List[float] = []
             try:
-                with tracer.span(
+                with observer.stage("pulse_generation"), tracer.span(
                     "pulse_generation", items=len(items), workers=executor.workers
                 ):
                     if executor.is_parallel:
@@ -341,6 +361,9 @@ class EPOCPipeline:
                                 )
                                 span.set(duration_ns=pulse.duration)
                             pulses.append(pulse)
+                            observer.block_progress(
+                                "pulse_generation", index, index + 1, len(items)
+                            )
                             if journal is not None:
                                 journal.record_block(index, item_keys[index])
                     for item, pulse in zip(items, pulses):
@@ -389,7 +412,7 @@ class EPOCPipeline:
             stats.update(metrics.flat())
 
         elapsed = time.perf_counter() - start
-        return CompilationReport(
+        report = CompilationReport(
             method="epoc" if self.use_regrouping else "epoc-nogroup",
             circuit_name=name,
             num_qubits=circuit.num_qubits,
@@ -402,6 +425,8 @@ class EPOCPipeline:
             degraded_blocks=ledger.entries,
             verification=verification,
         )
+        observer.record(report)
+        return report
 
 
 def _flatten_blocks(blocks: List[CircuitBlock], num_qubits: int) -> QuantumCircuit:

@@ -1,0 +1,95 @@
+"""Persistent observability for the compilation pipeline.
+
+:mod:`repro.telemetry` answers "what is this process doing right now";
+:mod:`repro.obs` makes that knowledge survive the process and cross run
+boundaries:
+
+* :mod:`repro.obs.events` — a typed progress-event bus (``run_started``,
+  ``block_progress``, ``grape_iteration``, ...) feeding JSONL files and
+  a live TTY renderer; worker events relay through the parallel
+  executor's merge-back.
+* :mod:`repro.obs.resources` — per-stage and per-worker CPU time and
+  peak RSS via ``getrusage``, with opt-in ``tracemalloc``.
+* :mod:`repro.obs.ledger` — every run appends one schema-versioned row
+  to a SQLite ledger (``~/.cache/repro/runs.db`` by default).
+* :mod:`repro.obs.stats` — queries and the stage-regression compare
+  behind the ``repro stats`` CLI.
+* :mod:`repro.obs.observer` — the per-run object tying it together.
+
+Like the telemetry recorders, the bus and profiler are process-global
+with disabled no-op defaults: ``get_bus()``/``get_profiler()`` always
+return something emittable, and a fully-off configuration costs one
+boolean test per instrumentation point.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    NULL_BUS,
+    TTYRenderer,
+    get_bus,
+    set_bus,
+    validate_event,
+)
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_PATH,
+    ENV_LEDGER,
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    RunLedger,
+    RunRecord,
+    resolve_ledger_path,
+)
+from repro.obs.observer import NULL_OBSERVER, RunObserver, observe_run
+from repro.obs.resources import (
+    NULL_PROFILER,
+    ResourceProfiler,
+    current_rusage,
+    get_profiler,
+    set_profiler,
+)
+from repro.obs.stats import (
+    REGRESSION_EXIT_CODE,
+    CompareResult,
+    StageDelta,
+    compare_runs,
+    format_compare,
+    format_run,
+    format_run_table,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventBus",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_BUS",
+    "TTYRenderer",
+    "get_bus",
+    "set_bus",
+    "validate_event",
+    "DEFAULT_LEDGER_PATH",
+    "ENV_LEDGER",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerError",
+    "RunLedger",
+    "RunRecord",
+    "resolve_ledger_path",
+    "NULL_OBSERVER",
+    "RunObserver",
+    "observe_run",
+    "NULL_PROFILER",
+    "ResourceProfiler",
+    "current_rusage",
+    "get_profiler",
+    "set_profiler",
+    "REGRESSION_EXIT_CODE",
+    "CompareResult",
+    "StageDelta",
+    "compare_runs",
+    "format_compare",
+    "format_run",
+    "format_run_table",
+]

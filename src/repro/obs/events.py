@@ -1,0 +1,281 @@
+"""Typed progress events for the compilation pipeline.
+
+Every flow emits a small, schema'd stream of events while it compiles:
+
+    run_started      -> {circuit, method}
+    stage_started    -> {stage}
+    block_progress   -> {stage, block, completed, total}
+    grape_iteration  -> {iterations, converged}
+    stage_finished   -> {stage, seconds}
+    run_finished     -> {circuit, method, seconds, status}
+
+Events are plain dicts (one JSON object each) carrying ``event``, a wall
+clock ``ts`` and the emitting ``pid`` on top of the kind-specific fields
+above, so the stream is mergeable across processes without rebasing:
+worker processes buffer their events in a :class:`MemorySink` and the
+parallel executor replays them through the parent's bus alongside the
+span-tree merge-back (see DESIGN.md).
+
+The bus is the event source the future compile service will stream to
+clients; today it feeds two sinks — a JSONL file (``--progress-events``)
+and a live TTY renderer (``--progress``) — plus the run ledger's
+internal counters.  A disabled bus costs one truth test per emit, the
+same deal :mod:`repro.telemetry` offers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, IO, List, Optional
+
+from repro import telemetry
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventBus",
+    "JsonlSink",
+    "MemorySink",
+    "TTYRenderer",
+    "NULL_BUS",
+    "validate_event",
+    "get_bus",
+    "set_bus",
+]
+
+logger = telemetry.get_logger("obs.events")
+
+#: kind -> {field: required python type(s)} for every event payload.
+#: ``ts`` (float, wall clock) and ``pid`` (int) are common to all kinds.
+EVENT_TYPES: Dict[str, Dict[str, tuple]] = {
+    "run_started": {"circuit": (str,), "method": (str,)},
+    "stage_started": {"stage": (str,)},
+    "block_progress": {
+        "stage": (str,),
+        "block": (int,),
+        "completed": (int,),
+        "total": (int,),
+    },
+    "grape_iteration": {"iterations": (int,), "converged": (bool,)},
+    "stage_finished": {"stage": (str,), "seconds": (int, float)},
+    "run_finished": {
+        "circuit": (str,),
+        "method": (str,),
+        "seconds": (int, float),
+        "status": (str,),
+    },
+}
+
+
+def validate_event(record: Any) -> List[str]:
+    """Schema-check one event record; returns the list of problems.
+
+    An empty list means the record is a valid event.  Used by the tests
+    and the CI observability job to hold the emitted JSONL stream to the
+    documented schema.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"event is {type(record).__name__}, not an object"]
+    kind = record.get("event")
+    if kind not in EVENT_TYPES:
+        return [f"unknown event kind {kind!r}"]
+    if not isinstance(record.get("ts"), (int, float)):
+        problems.append("missing/non-numeric 'ts'")
+    if not isinstance(record.get("pid"), int):
+        problems.append("missing/non-integer 'pid'")
+    fields = EVENT_TYPES[kind]
+    for name, types in fields.items():
+        value = record.get(name)
+        # bool is an int subclass; reject it where an int is expected
+        if value is None or not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in types
+        ):
+            problems.append(f"field {name!r} missing or not {types}")
+    extras = set(record) - set(fields) - {"event", "ts", "pid"}
+    if extras:
+        problems.append(f"unexpected fields {sorted(extras)}")
+    if kind == "block_progress" and not problems:
+        if not (0 < record["completed"] <= record["total"]):
+            problems.append("completed out of range (0, total]")
+    return problems
+
+
+class JsonlSink:
+    """Append each event as one JSON line to a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w")
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class MemorySink:
+    """Buffer events in memory (worker-side relay, tests)."""
+
+    def __init__(self):
+        self.events: List[Dict[str, Any]] = []
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        return None
+
+
+class TTYRenderer:
+    """Live progress lines on a terminal.
+
+    On a TTY, ``block_progress`` redraws one status line in place
+    (carriage return); on a plain stream only stage boundaries print, so
+    redirected output stays small.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._line_open = False
+
+    def _clear_line(self) -> None:
+        if self._line_open:
+            self.stream.write("\r\x1b[2K" if self._is_tty else "\n")
+            self._line_open = False
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        kind = event.get("event")
+        if kind == "run_started":
+            self._clear_line()
+            self.stream.write(
+                f"compiling {event.get('circuit')} [{event.get('method')}]\n"
+            )
+        elif kind == "stage_started":
+            self._clear_line()
+            self.stream.write(f"  {event.get('stage')} ...")
+            if self._is_tty:
+                self._line_open = True
+            else:
+                self.stream.write("\n")
+        elif kind == "block_progress" and self._is_tty:
+            self.stream.write(
+                f"\r\x1b[2K  {event.get('stage')} "
+                f"{event.get('completed')}/{event.get('total')}"
+            )
+            self._line_open = True
+        elif kind == "stage_finished":
+            if self._is_tty:
+                self.stream.write(
+                    f"\r\x1b[2K  {event.get('stage')} "
+                    f"done in {event.get('seconds', 0.0):.2f}s\n"
+                )
+                self._line_open = False
+            else:
+                self.stream.write(
+                    f"  {event.get('stage')} done in "
+                    f"{event.get('seconds', 0.0):.2f}s\n"
+                )
+        elif kind == "run_finished":
+            self._clear_line()
+            self.stream.write(
+                f"finished {event.get('circuit')} [{event.get('status')}] "
+                f"in {event.get('seconds', 0.0):.2f}s\n"
+            )
+        self.stream.flush()
+
+    def close(self) -> None:
+        self._clear_line()
+        self.stream.flush()
+
+
+class EventBus:
+    """Dispatches progress events to its sinks.
+
+    A bus with no sinks (and ``enabled=True``) still timestamps and
+    validates nothing — emit is a no-op unless someone listens, so the
+    instrumented flows can emit unconditionally.
+    """
+
+    def __init__(self, sinks: Optional[List[Any]] = None, enabled: bool = True):
+        self._enabled = enabled
+        self.sinks: List[Any] = list(sinks) if sinks else []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether emitting is worthwhile: enabled *and* someone listens."""
+        return self._enabled and bool(self.sinks)
+
+    def add_sink(self, sink: Any) -> None:
+        self.sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        if sink in self.sinks:
+            self.sinks.remove(sink)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Build and dispatch one event (no-op when nothing listens)."""
+        if not self.enabled:
+            return
+        if kind not in EVENT_TYPES:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = {"event": kind, "ts": time.time(), "pid": os.getpid(), **fields}
+        self.dispatch(event)
+
+    def dispatch(self, event: Dict[str, Any]) -> None:
+        """Hand an already-built event to every sink.
+
+        Used both by :meth:`emit` and by the executor's merge-back, which
+        replays fully formed worker events (their original ``ts`` and
+        ``pid`` intact) through the parent's sinks.
+        """
+        if not self.enabled:
+            return
+        for sink in self.sinks:
+            try:
+                sink.handle(event)
+            except Exception:
+                # a broken sink must never abort a compilation
+                logger.warning(
+                    "event sink %r failed; continuing", sink, exc_info=True
+                )
+
+    def replay(self, events: List[Dict[str, Any]]) -> None:
+        """Dispatch a batch of worker events in order."""
+        for event in events:
+            self.dispatch(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception:  # pragma: no cover - defensive
+                logger.warning("event sink %r failed to close", sink)
+
+
+#: The installed-by-default bus: permanently disabled, dispatches nothing.
+NULL_BUS = EventBus(enabled=False)
+
+_bus: EventBus = NULL_BUS
+
+
+def get_bus() -> EventBus:
+    """The currently installed event bus (a disabled no-op by default)."""
+    return _bus
+
+
+def set_bus(bus: Optional[EventBus]) -> EventBus:
+    """Install ``bus`` globally; returns the previous one."""
+    global _bus
+    previous = _bus
+    _bus = bus if bus is not None else NULL_BUS
+    return previous

@@ -1,0 +1,326 @@
+"""The persistent run ledger: every compile appends one SQLite row.
+
+Telemetry from a single process evaporates with it; the ledger is the
+durable record that lets ``repro stats`` answer "is this build faster
+than last week's?".  Each :class:`RunRecord` carries the run's identity
+(circuit, flow, config fingerprint), its headline results (latency,
+fidelity, compile seconds), per-stage wall-clock extracted from the
+run's observer, GRAPE search/iteration counts, library hit rate,
+degraded-block and verification outcomes, and peak resource usage.
+
+The database lives at ``~/.cache/repro/runs.db`` by default; override
+with ``ObsConfig.ledger_path`` or the ``REPRO_LEDGER`` environment
+variable (a path enables recording *and* points at the file).  Records
+are schema-versioned: a newer database refuses to open rather than
+silently misreading rows.
+
+Writes use one short-lived connection per operation with SQLite's WAL
+mode and a busy timeout, so concurrent batch invocations appending to
+one ledger do not corrupt or lose rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.config import ENV_LEDGER
+from repro.exceptions import ReproError
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "ENV_LEDGER",
+    "DEFAULT_LEDGER_PATH",
+    "LedgerError",
+    "RunLedger",
+    "RunRecord",
+    "resolve_ledger_path",
+]
+
+#: bump when the ``runs`` table layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+DEFAULT_LEDGER_PATH = os.path.join("~", ".cache", "repro", "runs.db")
+
+#: values of ``REPRO_LEDGER`` that enable recording at the default path
+#: instead of naming a file.
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+class LedgerError(ReproError):
+    """Raised for unusable ledger files or unknown run ids."""
+
+
+def resolve_ledger_path(explicit: Optional[str] = None) -> str:
+    """The ledger file to use: explicit > ``REPRO_LEDGER`` > default."""
+    if explicit:
+        return os.path.expanduser(explicit)
+    raw = os.environ.get(ENV_LEDGER, "").strip()
+    if raw and raw.lower() not in _TRUTHY:
+        return os.path.expanduser(raw)
+    return os.path.expanduser(DEFAULT_LEDGER_PATH)
+
+
+@dataclass
+class RunRecord:
+    """One ledger row; ``id``/``created_at`` are assigned on record."""
+
+    circuit: str
+    method: str
+    kind: str = "run"  # "run" | "suite" | "bench"
+    label: Optional[str] = None
+    fingerprint: Optional[str] = None
+    wall_seconds: float = 0.0
+    latency_ns: float = 0.0
+    fidelity: float = 0.0
+    pulse_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    grape_searches: int = 0
+    grape_iterations: int = 0
+    degraded_blocks: int = 0
+    verification: Optional[str] = None
+    cpu_seconds: float = 0.0
+    peak_rss_kb: float = 0.0
+    #: stage name -> wall seconds, insertion-ordered.
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: full resource-profiler snapshot (may be empty).
+    resources: Dict[str, Any] = field(default_factory=dict)
+    #: free-form extras (benchmark payloads, suite footers, ...).
+    extra: Dict[str, Any] = field(default_factory=dict)
+    id: Optional[int] = None
+    created_at: Optional[float] = None
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else None
+
+
+_COLUMNS = (
+    "schema_version", "created_at", "kind", "label", "circuit", "method",
+    "fingerprint", "wall_seconds", "latency_ns", "fidelity", "pulse_count",
+    "cache_hits", "cache_misses", "grape_searches", "grape_iterations",
+    "degraded_blocks", "verification", "cpu_seconds", "peak_rss_kb",
+    "stages", "resources", "extra",
+)
+
+_CREATE = """
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    schema_version INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    kind TEXT NOT NULL,
+    label TEXT,
+    circuit TEXT NOT NULL,
+    method TEXT NOT NULL,
+    fingerprint TEXT,
+    wall_seconds REAL,
+    latency_ns REAL,
+    fidelity REAL,
+    pulse_count INTEGER,
+    cache_hits INTEGER,
+    cache_misses INTEGER,
+    grape_searches INTEGER,
+    grape_iterations INTEGER,
+    degraded_blocks INTEGER,
+    verification TEXT,
+    cpu_seconds REAL,
+    peak_rss_kb REAL,
+    stages TEXT,
+    resources TEXT,
+    extra TEXT
+);
+CREATE TABLE IF NOT EXISTS baselines (
+    name TEXT PRIMARY KEY,
+    run_id INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT
+);
+CREATE INDEX IF NOT EXISTS runs_circuit ON runs (circuit, method);
+"""
+
+
+class RunLedger:
+    """Append-and-query interface over the SQLite run database."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = resolve_ledger_path(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with self._session() as conn:
+            conn.executescript(_CREATE)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(LEDGER_SCHEMA_VERSION),),
+                )
+            elif int(row[0]) > LEDGER_SCHEMA_VERSION:
+                raise LedgerError(
+                    f"ledger {self.path} uses schema {row[0]}; this build "
+                    f"reads <= {LEDGER_SCHEMA_VERSION}"
+                )
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn
+
+    @contextmanager
+    def _session(self) -> Iterator[sqlite3.Connection]:
+        """One short-lived connection: commit on success, always close."""
+        conn = self._connect()
+        try:
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    # -- writing ---------------------------------------------------------
+
+    def record(self, record: RunRecord) -> int:
+        """Append one run; returns the assigned row id."""
+        record.created_at = (
+            record.created_at if record.created_at is not None else time.time()
+        )
+        values = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "created_at": record.created_at,
+            "kind": record.kind,
+            "label": record.label,
+            "circuit": record.circuit,
+            "method": record.method,
+            "fingerprint": record.fingerprint,
+            "wall_seconds": float(record.wall_seconds),
+            "latency_ns": float(record.latency_ns),
+            "fidelity": float(record.fidelity),
+            "pulse_count": int(record.pulse_count),
+            "cache_hits": int(record.cache_hits),
+            "cache_misses": int(record.cache_misses),
+            "grape_searches": int(record.grape_searches),
+            "grape_iterations": int(record.grape_iterations),
+            "degraded_blocks": int(record.degraded_blocks),
+            "verification": record.verification,
+            "cpu_seconds": float(record.cpu_seconds),
+            "peak_rss_kb": float(record.peak_rss_kb),
+            "stages": json.dumps(record.stages),
+            "resources": json.dumps(record.resources, default=float),
+            "extra": json.dumps(record.extra, default=float),
+        }
+        with self._session() as conn:
+            cursor = conn.execute(
+                f"INSERT INTO runs ({', '.join(_COLUMNS)}) "
+                f"VALUES ({', '.join(':' + c for c in _COLUMNS)})",
+                values,
+            )
+            record.id = int(cursor.lastrowid)
+        return record.id
+
+    # -- reading ---------------------------------------------------------
+
+    @staticmethod
+    def _from_row(row: sqlite3.Row) -> RunRecord:
+        return RunRecord(
+            id=int(row["id"]),
+            created_at=float(row["created_at"]),
+            kind=row["kind"],
+            label=row["label"],
+            circuit=row["circuit"],
+            method=row["method"],
+            fingerprint=row["fingerprint"],
+            wall_seconds=float(row["wall_seconds"]),
+            latency_ns=float(row["latency_ns"]),
+            fidelity=float(row["fidelity"]),
+            pulse_count=int(row["pulse_count"]),
+            cache_hits=int(row["cache_hits"]),
+            cache_misses=int(row["cache_misses"]),
+            grape_searches=int(row["grape_searches"]),
+            grape_iterations=int(row["grape_iterations"]),
+            degraded_blocks=int(row["degraded_blocks"]),
+            verification=row["verification"],
+            cpu_seconds=float(row["cpu_seconds"]),
+            peak_rss_kb=float(row["peak_rss_kb"]),
+            stages=json.loads(row["stages"] or "{}"),
+            resources=json.loads(row["resources"] or "{}"),
+            extra=json.loads(row["extra"] or "{}"),
+        )
+
+    def runs(
+        self,
+        limit: int = 20,
+        circuit: Optional[str] = None,
+        method: Optional[str] = None,
+    ) -> List[RunRecord]:
+        """Most recent runs first, optionally filtered."""
+        query = "SELECT * FROM runs"
+        clauses, params = [], []
+        if circuit is not None:
+            clauses.append("circuit = ?")
+            params.append(circuit)
+        if method is not None:
+            clauses.append("method = ?")
+            params.append(method)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id DESC LIMIT ?"
+        params.append(int(limit))
+        with self._session() as conn:
+            rows = conn.execute(query, params).fetchall()
+        return [self._from_row(row) for row in rows]
+
+    def run(self, run_id: int) -> RunRecord:
+        """Fetch one run by id; raises :class:`LedgerError` when absent."""
+        with self._session() as conn:
+            row = conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (int(run_id),)
+            ).fetchone()
+        if row is None:
+            raise LedgerError(f"no run {run_id} in ledger {self.path}")
+        return self._from_row(row)
+
+    def __len__(self) -> int:
+        with self._session() as conn:
+            return int(conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    # -- baselines -------------------------------------------------------
+
+    def set_baseline(self, run_id: int, name: str = "default") -> None:
+        """Pin ``run_id`` as the named baseline for future compares."""
+        self.run(run_id)  # validates the id exists
+        with self._session() as conn:
+            conn.execute(
+                "INSERT INTO baselines (name, run_id) VALUES (?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET run_id = excluded.run_id",
+                (name, int(run_id)),
+            )
+
+    def baseline(self, name: str = "default") -> Optional[RunRecord]:
+        """The pinned baseline run, or ``None`` when unset."""
+        with self._session() as conn:
+            row = conn.execute(
+                "SELECT run_id FROM baselines WHERE name = ?", (name,)
+            ).fetchone()
+        if row is None:
+            return None
+        return self.run(int(row[0]))
+
+    def clear_baseline(self, name: str = "default") -> bool:
+        """Unpin the named baseline; returns whether one existed."""
+        with self._session() as conn:
+            cursor = conn.execute(
+                "DELETE FROM baselines WHERE name = ?", (name,)
+            )
+            return cursor.rowcount > 0

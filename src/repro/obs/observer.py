@@ -1,0 +1,313 @@
+"""Per-run observation: one object owning events, resources and ledger.
+
+Every flow's ``compile`` builds a :class:`RunObserver` through
+:func:`observe_run` and wraps its work in it.  The observer
+
+* installs the run's event bus and resource profiler globally for the
+  duration (so instrumented leaf code — GRAPE, the pulse library, the
+  parallel workers — reaches them without threading arguments through
+  every call, exactly how :mod:`repro.telemetry` installs its tracer),
+* emits the ``run_started`` / ``run_finished`` envelope and, through
+  :meth:`stage`, the per-stage events plus wall-clock and resource
+  accounting the ledger row needs,
+* counts ``grape_iteration`` events with a private sink so the ledger
+  can report search effort even when no user-facing sink is attached,
+* appends the finished run to the :class:`~repro.obs.ledger.RunLedger`.
+
+When observability is entirely off, :func:`observe_run` returns the
+shared :data:`NULL_OBSERVER` whose every method is a no-op — the
+compile path stays byte-identical to an uninstrumented build.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.obs import events as obs_events
+from repro.obs import resources as obs_resources
+from repro.obs.ledger import RunLedger, RunRecord
+
+__all__ = ["RunObserver", "NULL_OBSERVER", "observe_run"]
+
+
+class _GrapeCounter:
+    """Internal sink tallying GRAPE effort for the ledger row."""
+
+    def __init__(self):
+        self.runs = 0
+        self.iterations = 0
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        if event.get("event") == "grape_iteration":
+            self.runs += 1
+            self.iterations += int(event.get("iterations", 0))
+
+    def close(self) -> None:
+        return None
+
+
+class RunObserver:
+    """Scopes one compilation run's observability.
+
+    Use as a context manager around the run, :meth:`stage` around each
+    stage, and :meth:`record` (after the report exists) to append the
+    ledger row.  Built by :func:`observe_run`; not usually constructed
+    directly.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        circuit: str,
+        method: str,
+        kind: str = "run",
+        label: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        bus: Optional[obs_events.EventBus] = None,
+        own_bus: bool = False,
+        profiler: Optional[obs_resources.ResourceProfiler] = None,
+        ledger: Optional[RunLedger] = None,
+    ):
+        self.circuit = circuit
+        self.method = method
+        self.kind = kind
+        self.label = label
+        self.fingerprint = fingerprint
+        self.bus = bus if bus is not None else obs_events.NULL_BUS
+        self.profiler = (
+            profiler if profiler is not None else obs_resources.NULL_PROFILER
+        )
+        self.ledger = ledger
+        #: stage name -> wall seconds, in execution order.
+        self.stage_seconds: Dict[str, float] = {}
+        self.wall_seconds = 0.0
+        self._own_bus = own_bus
+        self._counter = _GrapeCounter() if ledger is not None else None
+        self._prev_bus: Optional[obs_events.EventBus] = None
+        self._prev_profiler: Optional[obs_resources.ResourceProfiler] = None
+        self._t0 = 0.0
+
+    # -- run envelope ----------------------------------------------------
+
+    def __enter__(self) -> "RunObserver":
+        if self._counter is not None:
+            self.bus.add_sink(self._counter)
+        if self._own_bus:
+            self._prev_bus = obs_events.set_bus(self.bus)
+        self._prev_profiler = obs_resources.set_profiler(self.profiler)
+        self._t0 = time.perf_counter()
+        self.bus.emit("run_started", circuit=self.circuit, method=self.method)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_seconds = time.perf_counter() - self._t0
+        self.bus.emit(
+            "run_finished",
+            circuit=self.circuit,
+            method=self.method,
+            seconds=self.wall_seconds,
+            status="error" if exc_type is not None else "ok",
+        )
+        if self._counter is not None:
+            self.bus.remove_sink(self._counter)
+        obs_resources.set_profiler(self._prev_profiler)
+        self.profiler.close()
+        if self._own_bus:
+            obs_events.set_bus(self._prev_bus)
+            self.bus.close()
+
+    # -- stages ----------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Emit stage events and account wall clock + resources."""
+        self.bus.emit("stage_started", stage=name)
+        wall0 = time.perf_counter()
+        try:
+            with self.profiler.stage(name):
+                yield
+        finally:
+            seconds = time.perf_counter() - wall0
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + seconds
+            )
+            self.bus.emit("stage_finished", stage=name, seconds=seconds)
+
+    def block_progress(
+        self, stage: str, block: int, completed: int, total: int
+    ) -> None:
+        self.bus.emit(
+            "block_progress",
+            stage=stage,
+            block=int(block),
+            completed=int(completed),
+            total=int(total),
+        )
+
+    def chunk_progress(
+        self, stage: str, total: int
+    ) -> Optional[Callable[[int, List[Any]], None]]:
+        """An executor ``on_chunk`` callback emitting one event per block.
+
+        Emission happens parent-side as chunks complete, so the merged
+        stream contains every block exactly once regardless of worker
+        count (returns ``None`` when nothing listens, keeping the
+        executor's fast path untouched).
+        """
+        if not self.bus.enabled or total <= 0:
+            return None
+        state = {"completed": 0}
+
+        def on_chunk(start: int, values: List[Any]) -> None:
+            for offset in range(len(values)):
+                state["completed"] += 1
+                self.block_progress(
+                    stage, start + offset, state["completed"], total
+                )
+
+        return on_chunk
+
+    # -- ledger ----------------------------------------------------------
+
+    def record_values(self, **values: Any) -> Optional[int]:
+        """Append a ledger row from explicit values plus observed state."""
+        if self.ledger is None:
+            return None
+        totals = self.profiler.totals()
+        record = RunRecord(
+            kind=self.kind,
+            label=self.label,
+            fingerprint=self.fingerprint,
+            grape_searches=self._counter.runs if self._counter else 0,
+            grape_iterations=self._counter.iterations if self._counter else 0,
+            cpu_seconds=totals["cpu_seconds"],
+            peak_rss_kb=totals["peak_rss_kb"],
+            stages=dict(self.stage_seconds),
+            resources=self.profiler.snapshot() if self.profiler.enabled else {},
+            **values,
+        )
+        return self.ledger.record(record)
+
+    def record(self, report: Any, extra: Optional[Dict[str, Any]] = None) -> Optional[int]:
+        """Append a :class:`CompilationReport`'s run to the ledger."""
+        if self.ledger is None:
+            return None
+        stats = getattr(report, "stats", {}) or {}
+        verification = getattr(report, "verification", None)
+        return self.record_values(
+            circuit=report.circuit_name,
+            method=report.method,
+            wall_seconds=float(report.compile_seconds),
+            latency_ns=float(report.latency_ns),
+            fidelity=float(report.fidelity),
+            pulse_count=int(report.pulse_count),
+            cache_hits=int(stats.get("cache_hits", 0)),
+            cache_misses=int(stats.get("cache_misses", 0)),
+            degraded_blocks=len(getattr(report, "degraded_blocks", []) or []),
+            verification=(
+                getattr(verification, "status", None) if verification else None
+            ),
+            extra=dict(extra) if extra else {},
+        )
+
+
+class _NullObserver:
+    """The do-nothing observer installed when observability is off."""
+
+    enabled = False
+    bus = obs_events.NULL_BUS
+    profiler = obs_resources.NULL_PROFILER
+    ledger = None
+    stage_seconds: Dict[str, float] = {}
+    wall_seconds = 0.0
+
+    def __enter__(self) -> "_NullObserver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        yield
+
+    def block_progress(self, stage, block, completed, total) -> None:
+        return None
+
+    def chunk_progress(self, stage, total) -> None:
+        return None
+
+    def record_values(self, **values) -> None:
+        return None
+
+    def record(self, report, extra=None) -> None:
+        return None
+
+
+NULL_OBSERVER = _NullObserver()
+
+
+def observe_run(
+    config: Any,
+    *,
+    circuit: str,
+    method: str,
+    fingerprint: Optional[str] = None,
+    kind: str = "run",
+) -> Any:
+    """Build the observer for one run from config + installed globals.
+
+    ``config`` is an :class:`~repro.config.ObsConfig` (or ``None`` for
+    all-off).  An already-installed enabled bus (a batch session's, or a
+    test's) is reused rather than replaced; otherwise a bus is created
+    from the config's sinks and owned — installed on entry, restored and
+    closed on exit.  Returns :data:`NULL_OBSERVER` when nothing at all
+    is switched on.
+    """
+    installed_bus = obs_events.get_bus()
+    sinks: List[Any] = []
+    ledger: Optional[RunLedger] = None
+    profile = False
+    trace_malloc = False
+    label = None
+    if config is not None:
+        if not installed_bus.enabled:
+            if getattr(config, "events_path", None):
+                sinks.append(obs_events.JsonlSink(config.events_path))
+            if getattr(config, "progress", False):
+                sinks.append(obs_events.TTYRenderer())
+        if config.ledger_enabled():
+            ledger = RunLedger(getattr(config, "ledger_path", None))
+        profile = bool(getattr(config, "profile_resources", True))
+        trace_malloc = bool(getattr(config, "trace_malloc", False))
+        label = getattr(config, "label", None)
+
+    if installed_bus.enabled:
+        bus, own_bus = installed_bus, False
+    elif sinks or ledger is not None:
+        bus, own_bus = obs_events.EventBus(sinks), True
+    else:
+        bus, own_bus = obs_events.NULL_BUS, False
+
+    installed_profiler = obs_resources.get_profiler()
+    active = bus is not obs_events.NULL_BUS or installed_profiler.enabled
+    if not active:
+        return NULL_OBSERVER
+
+    profiler = obs_resources.ResourceProfiler(
+        enabled=profile, trace_malloc=trace_malloc
+    )
+    return RunObserver(
+        circuit=circuit,
+        method=method,
+        kind=kind,
+        label=label,
+        fingerprint=fingerprint,
+        bus=bus,
+        own_bus=own_bus,
+        profiler=profiler,
+        ledger=ledger,
+    )

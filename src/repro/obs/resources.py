@@ -1,0 +1,174 @@
+"""Per-stage and per-worker resource profiling.
+
+:class:`ResourceProfiler` measures CPU time (user + system, via
+``resource.getrusage``) and peak RSS around each pipeline stage, and
+accumulates worker-process usage shipped back through the executor's
+merge-back (one record per worker pid, exactly like the span trees).
+
+Peak RSS is a *process-lifetime* high-water mark — the kernel never
+lowers ``ru_maxrss`` — so per-stage values read as "peak observed by the
+end of this stage", not "allocated by this stage".  The opt-in
+``tracemalloc`` mode answers the latter question: it snapshots the top
+allocation sites per stage (Python allocations only, at a real slowdown;
+keep it off in benchmarks).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "ResourceProfiler",
+    "NULL_PROFILER",
+    "current_rusage",
+    "get_profiler",
+    "set_profiler",
+]
+
+#: ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+_RSS_DIVISOR = 1024 if sys.platform == "darwin" else 1
+
+#: allocation sites kept per stage in tracemalloc mode.
+_TOP_ALLOCATIONS = 5
+
+
+def current_rusage() -> Dict[str, float]:
+    """This process's CPU seconds and peak RSS, normalized to KiB."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "cpu_seconds": usage.ru_utime + usage.ru_stime,
+        "peak_rss_kb": usage.ru_maxrss / _RSS_DIVISOR,
+    }
+
+
+class ResourceProfiler:
+    """Accumulates stage and worker resource usage for one session.
+
+    Stage measurements nest under :meth:`stage`; repeated stages (one
+    per circuit in a batch) accumulate CPU and keep the max RSS.  Worker
+    snapshots merge through :meth:`merge_worker_state`, keyed by pid.
+    """
+
+    def __init__(self, enabled: bool = True, trace_malloc: bool = False):
+        self.enabled = enabled
+        self.trace_malloc = trace_malloc and enabled
+        #: stage -> {"cpu_seconds", "peak_rss_kb", "wall_seconds", ...}
+        self.stages: Dict[str, Dict[str, Any]] = {}
+        #: worker pid -> {"cpu_seconds", "peak_rss_kb", "chunks"}
+        self.workers: Dict[int, Dict[str, float]] = {}
+        self._tracing = False
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Measure one stage's CPU delta and RSS high-water mark."""
+        if not self.enabled:
+            yield
+            return
+        import time
+
+        if self.trace_malloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._tracing = True
+        if self.trace_malloc:
+            tracemalloc.clear_traces()
+        before = current_rusage()
+        wall0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            after = current_rusage()
+            entry = self.stages.setdefault(
+                name,
+                {"cpu_seconds": 0.0, "peak_rss_kb": 0.0, "wall_seconds": 0.0},
+            )
+            entry["cpu_seconds"] += after["cpu_seconds"] - before["cpu_seconds"]
+            entry["wall_seconds"] += time.perf_counter() - wall0
+            entry["peak_rss_kb"] = max(entry["peak_rss_kb"], after["peak_rss_kb"])
+            if self.trace_malloc:
+                entry["top_allocations"] = self._top_allocations()
+
+    @staticmethod
+    def _top_allocations() -> List[Dict[str, Any]]:
+        snapshot = tracemalloc.take_snapshot()
+        stats = snapshot.statistics("lineno")[:_TOP_ALLOCATIONS]
+        return [
+            {
+                "site": str(stat.traceback[0]) if stat.traceback else "?",
+                "size_kb": stat.size / 1024.0,
+                "count": stat.count,
+            }
+            for stat in stats
+        ]
+
+    # -- cross-process transfer ------------------------------------------
+
+    def merge_worker_state(self, state: Optional[Dict[str, Any]]) -> None:
+        """Fold one worker chunk's resource snapshot into this profiler.
+
+        The state is the dict built by the worker (see
+        :func:`repro.parallel.worker.run_chunk`): the chunk's CPU delta
+        and the worker process's RSS high-water mark.  CPU deltas sum
+        per pid; RSS takes the max (it is already a high-water mark).
+        """
+        if not self.enabled or not state:
+            return
+        pid = int(state.get("pid", 0))
+        entry = self.workers.setdefault(
+            pid, {"cpu_seconds": 0.0, "peak_rss_kb": 0.0, "chunks": 0.0}
+        )
+        entry["cpu_seconds"] += float(state.get("cpu_seconds", 0.0))
+        entry["peak_rss_kb"] = max(
+            entry["peak_rss_kb"], float(state.get("peak_rss_kb", 0.0))
+        )
+        entry["chunks"] += 1
+
+    # -- reading ---------------------------------------------------------
+
+    def totals(self) -> Dict[str, float]:
+        """Parent + worker CPU seconds and the overall peak RSS."""
+        cpu = sum(s["cpu_seconds"] for s in self.stages.values())
+        cpu += sum(w["cpu_seconds"] for w in self.workers.values())
+        peaks = [s["peak_rss_kb"] for s in self.stages.values()]
+        peaks += [w["peak_rss_kb"] for w in self.workers.values()]
+        return {
+            "cpu_seconds": cpu,
+            "peak_rss_kb": max(peaks, default=0.0),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything measured so far, JSON-ready (ledger ``resources``)."""
+        return {
+            "stages": {name: dict(entry) for name, entry in self.stages.items()},
+            "workers": {
+                str(pid): dict(entry) for pid, entry in self.workers.items()
+            },
+            "totals": self.totals(),
+        }
+
+    def close(self) -> None:
+        if self._tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._tracing = False
+
+
+#: The installed-by-default profiler: permanently disabled.
+NULL_PROFILER = ResourceProfiler(enabled=False)
+
+_profiler: ResourceProfiler = NULL_PROFILER
+
+
+def get_profiler() -> ResourceProfiler:
+    """The currently installed profiler (a disabled no-op by default)."""
+    return _profiler
+
+
+def set_profiler(profiler: Optional[ResourceProfiler]) -> ResourceProfiler:
+    """Install ``profiler`` globally; returns the previous one."""
+    global _profiler
+    previous = _profiler
+    _profiler = profiler if profiler is not None else NULL_PROFILER
+    return previous

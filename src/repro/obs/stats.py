@@ -1,0 +1,230 @@
+"""Query and regression analysis over the run ledger.
+
+``compare_runs`` diffs two ledger records stage by stage and flags
+regressions: a stage regressed when it got slower by more than
+``threshold`` (relative) *and* by more than ``min_seconds`` (absolute —
+a 2 ms stage doubling is scheduler noise, not a regression).  The CLI
+(``repro stats compare``) exits with :data:`REGRESSION_EXIT_CODE` when
+any stage or the total wall clock regresses, which is the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.ledger import RunRecord
+
+__all__ = [
+    "REGRESSION_EXIT_CODE",
+    "StageDelta",
+    "CompareResult",
+    "compare_runs",
+    "format_compare",
+    "format_run",
+    "format_run_table",
+]
+
+#: ``repro stats compare`` exit status when a regression is detected
+#: (distinct from 1/2, the generic error codes).
+REGRESSION_EXIT_CODE = 3
+
+#: default relative slowdown tolerated before a stage counts as regressed.
+DEFAULT_THRESHOLD = 0.25
+
+#: default absolute slowdown (seconds) a stage must exceed to count.
+DEFAULT_MIN_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class StageDelta:
+    """One stage's timing, before vs after."""
+
+    stage: str
+    before: Optional[float]
+    after: Optional[float]
+    regressed: bool
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.before is None or self.after is None or self.before <= 0.0:
+            return None
+        return self.after / self.before
+
+
+@dataclass
+class CompareResult:
+    """Everything ``repro stats compare`` reports."""
+
+    base: RunRecord
+    new: RunRecord
+    threshold: float
+    min_seconds: float
+    stages: List[StageDelta] = field(default_factory=list)
+    wall_delta: Optional[StageDelta] = None
+
+    @property
+    def regressions(self) -> List[StageDelta]:
+        out = [delta for delta in self.stages if delta.regressed]
+        if self.wall_delta is not None and self.wall_delta.regressed:
+            out.append(self.wall_delta)
+        return out
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+
+def _is_regression(
+    before: Optional[float],
+    after: Optional[float],
+    threshold: float,
+    min_seconds: float,
+) -> bool:
+    if before is None or after is None:
+        return False
+    return after > before * (1.0 + threshold) and (after - before) > min_seconds
+
+
+def compare_runs(
+    base: RunRecord,
+    new: RunRecord,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> CompareResult:
+    """Diff two ledger records stage by stage.
+
+    Stages present in only one run show with a ``None`` on the other
+    side and never count as regressions (a pipeline change, not a
+    slowdown) — only stages timed in both runs gate.
+    """
+    result = CompareResult(
+        base=base, new=new, threshold=threshold, min_seconds=min_seconds
+    )
+    names: List[str] = list(base.stages)
+    names.extend(stage for stage in new.stages if stage not in base.stages)
+    for name in names:
+        before = base.stages.get(name)
+        after = new.stages.get(name)
+        result.stages.append(
+            StageDelta(
+                stage=name,
+                before=before,
+                after=after,
+                regressed=_is_regression(before, after, threshold, min_seconds),
+            )
+        )
+    result.wall_delta = StageDelta(
+        stage="(wall clock)",
+        before=base.wall_seconds,
+        after=new.wall_seconds,
+        regressed=_is_regression(
+            base.wall_seconds, new.wall_seconds, threshold, min_seconds
+        ),
+    )
+    return result
+
+
+# -- CLI formatting -------------------------------------------------------
+
+
+def _age(created_at: Optional[float]) -> str:
+    if created_at is None:
+        return "?"
+    seconds = max(0.0, time.time() - created_at)
+    if seconds < 120:
+        return f"{seconds:.0f}s ago"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m ago"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h ago"
+    return f"{seconds / 86400:.1f}d ago"
+
+
+def format_run_table(records: List[RunRecord]) -> str:
+    """``repro stats list`` output: one row per run, newest first."""
+    if not records:
+        return "(ledger is empty)"
+    lines = [
+        f"{'id':>5}  {'when':>9}  {'kind':<5} {'circuit':<16} {'method':<12} "
+        f"{'wall':>8}  {'latency':>10}  {'fidelity':>8}  {'cache':>6}  deg"
+    ]
+    for record in records:
+        rate = record.hit_rate
+        cache = f"{100.0 * rate:5.1f}%" if rate is not None else "    --"
+        lines.append(
+            f"{record.id:>5}  {_age(record.created_at):>9}  "
+            f"{record.kind:<5} {record.circuit:<16.16} {record.method:<12} "
+            f"{record.wall_seconds:>7.2f}s  {record.latency_ns:>8.1f}ns  "
+            f"{record.fidelity:>8.4f}  {cache:>6}  "
+            f"{record.degraded_blocks or ''}"
+        )
+    return "\n".join(lines)
+
+
+def format_run(record: RunRecord) -> str:
+    """``repro stats show`` output: the full record, stages included."""
+    rate = record.hit_rate
+    lines = [
+        f"run {record.id}: {record.circuit} [{record.method}]"
+        + (f"  label={record.label}" if record.label else ""),
+        f"  kind={record.kind}  recorded {_age(record.created_at)}"
+        + (f"  fingerprint={record.fingerprint}" if record.fingerprint else ""),
+        f"  wall={record.wall_seconds:.3f}s  latency={record.latency_ns:.1f}ns  "
+        f"fidelity={record.fidelity:.4f}  pulses={record.pulse_count}",
+        f"  cache: {record.cache_hits} hits / {record.cache_misses} misses"
+        + (f" ({100.0 * rate:.1f}%)" if rate is not None else ""),
+        f"  grape: {record.grape_searches} searches, "
+        f"{record.grape_iterations} iterations",
+        f"  degraded={record.degraded_blocks}  "
+        f"verification={record.verification or '--'}",
+        f"  resources: cpu={record.cpu_seconds:.3f}s  "
+        f"peak_rss={record.peak_rss_kb / 1024.0:.1f} MiB",
+    ]
+    if record.stages:
+        lines.append("  stages:")
+        width = max(len(name) for name in record.stages)
+        for name, seconds in record.stages.items():
+            lines.append(f"    {name:<{width}}  {seconds:>9.4f}s")
+    workers = record.resources.get("workers") or {}
+    if workers:
+        lines.append("  workers:")
+        for pid, usage in workers.items():
+            lines.append(
+                f"    pid {pid}: cpu={usage.get('cpu_seconds', 0.0):.3f}s  "
+                f"peak_rss={usage.get('peak_rss_kb', 0.0) / 1024.0:.1f} MiB  "
+                f"chunks={usage.get('chunks', 0):.0f}"
+            )
+    return "\n".join(lines)
+
+
+def format_compare(result: CompareResult) -> str:
+    """``repro stats compare`` output: per-stage diff plus a verdict."""
+    base, new = result.base, result.new
+    lines = [
+        f"comparing run {base.id} ({base.circuit} [{base.method}]) "
+        f"-> run {new.id} ({new.circuit} [{new.method}])",
+        f"  threshold: +{100.0 * result.threshold:.0f}% and "
+        f"> {result.min_seconds:.3f}s absolute",
+    ]
+    rows = result.stages + (
+        [result.wall_delta] if result.wall_delta is not None else []
+    )
+    width = max((len(delta.stage) for delta in rows), default=5)
+    for delta in rows:
+        before = f"{delta.before:.4f}s" if delta.before is not None else "--"
+        after = f"{delta.after:.4f}s" if delta.after is not None else "--"
+        ratio = delta.ratio
+        trend = f"{ratio:5.2f}x" if ratio is not None else "     "
+        flag = "  REGRESSED" if delta.regressed else ""
+        lines.append(
+            f"  {delta.stage:<{width}}  {before:>10} -> {after:>10}  "
+            f"{trend}{flag}"
+        )
+    if result.regressed:
+        names = ", ".join(delta.stage for delta in result.regressions)
+        lines.append(f"verdict: REGRESSED ({names})")
+    else:
+        lines.append("verdict: ok")
+    return "\n".join(lines)

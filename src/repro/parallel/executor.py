@@ -43,6 +43,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import telemetry
 from repro.config import ParallelConfig, ResilienceConfig
+from repro.obs import events as obs_events
+from repro.obs import resources as obs_resources
 from repro.parallel.worker import ChunkResult, run_chunk
 
 __all__ = ["ParallelExecutor"]
@@ -142,6 +144,9 @@ class ParallelExecutor:
         metrics = telemetry.get_metrics()
         tracer = telemetry.get_tracer()
         collect = metrics.enabled or tracer.enabled
+        collect_obs = (
+            obs_events.get_bus().enabled or obs_resources.get_profiler().enabled
+        )
         chunks = [
             tasks[i : i + self.chunk_size]
             for i in range(0, len(tasks), self.chunk_size)
@@ -166,7 +171,9 @@ class ParallelExecutor:
                 pool = self._ensure_pool()
                 while to_submit:
                     index = to_submit.popleft()
-                    future = pool.submit(run_chunk, chunks[index], collect, index)
+                    future = pool.submit(
+                        run_chunk, chunks[index], collect, index, collect_obs
+                    )
                     future_map[future] = index
             # FIRST_EXCEPTION: a fast-failing late chunk is observed (and
             # recovery/teardown started) without waiting for every earlier
@@ -291,6 +298,11 @@ class ParallelExecutor:
                 tracer.attach(
                     telemetry.span_from_state(state, shift=shift, tid=chunk.pid)
                 )
+        if chunk.events:
+            # worker events carry wall-clock ts + pid: no rebasing needed
+            obs_events.get_bus().replay(chunk.events)
+        if chunk.resource_state is not None:
+            obs_resources.get_profiler().merge_worker_state(chunk.resource_state)
 
     # -- lifecycle -------------------------------------------------------
 

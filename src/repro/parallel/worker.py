@@ -23,6 +23,8 @@ import numpy as np
 
 from repro import telemetry
 from repro.config import QOCConfig, ResilienceConfig
+from repro.obs import events as obs_events
+from repro.obs import resources as obs_resources
 from repro.partition.block import CircuitBlock
 from repro.resilience.faults import fault_fires
 
@@ -82,12 +84,19 @@ class ChunkResult:
     span_states: List[Dict[str, Any]] = field(default_factory=list)
     #: worker-clock instant the chunk started (rebases span timestamps)
     clock_origin: float = 0.0
+    #: progress events emitted inside the worker, in order; they carry
+    #: wall-clock ``ts`` and the worker ``pid``, so the parent replays
+    #: them through its own bus without any rebasing
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: this chunk's CPU delta + the worker's RSS high-water mark
+    resource_state: Optional[Dict[str, Any]] = None
 
 
 def run_chunk(
     tasks: Sequence[Any],
     collect_telemetry: bool = False,
     chunk_index: int = -1,
+    collect_obs: bool = False,
 ) -> ChunkResult:
     """Process-pool entry point: run ``tasks`` in order, in this process.
 
@@ -102,23 +111,53 @@ def run_chunk(
         # parent's serial retry of the same chunk never kills the parent
         if multiprocessing.parent_process() is not None:
             os._exit(43)
-    if not collect_telemetry:
-        # drop any recorders inherited through fork so workers never pay
-        # for (or mutate a copy of) the parent's telemetry state
-        previous_tracer = telemetry.set_tracer(None)
-        previous_metrics = telemetry.set_metrics(None)
-        try:
-            return ChunkResult(values=[task.run() for task in tasks], pid=os.getpid())
-        finally:
-            telemetry.set_tracer(previous_tracer)
-            telemetry.set_metrics(previous_metrics)
-    with telemetry.telemetry_session() as (tracer, registry):
-        origin = tracer._origin
-        values = [task.run() for task in tasks]
-    return ChunkResult(
-        values=values,
-        pid=os.getpid(),
-        metrics_state=registry.state(),
-        span_states=[telemetry.span_to_state(root) for root in tracer.roots],
-        clock_origin=origin,
+    # never keep the parent's bus/profiler inherited through fork — a
+    # forked JSONL sink would interleave writes into the parent's file.
+    # With collect_obs, events buffer in memory and ride home on the
+    # result; the chunk's rusage delta travels the same way.
+    event_sink = obs_events.MemorySink() if collect_obs else None
+    previous_bus = obs_events.set_bus(
+        obs_events.EventBus([event_sink]) if event_sink else None
     )
+    previous_profiler = obs_resources.set_profiler(None)
+    rusage_before = obs_resources.current_rusage() if collect_obs else None
+    try:
+        if not collect_telemetry:
+            # drop any recorders inherited through fork so workers never
+            # pay for (or mutate a copy of) the parent's telemetry state
+            previous_tracer = telemetry.set_tracer(None)
+            previous_metrics = telemetry.set_metrics(None)
+            try:
+                result = ChunkResult(
+                    values=[task.run() for task in tasks], pid=os.getpid()
+                )
+            finally:
+                telemetry.set_tracer(previous_tracer)
+                telemetry.set_metrics(previous_metrics)
+        else:
+            with telemetry.telemetry_session() as (tracer, registry):
+                origin = tracer._origin
+                values = [task.run() for task in tasks]
+            result = ChunkResult(
+                values=values,
+                pid=os.getpid(),
+                metrics_state=registry.state(),
+                span_states=[
+                    telemetry.span_to_state(root) for root in tracer.roots
+                ],
+                clock_origin=origin,
+            )
+    finally:
+        obs_events.set_bus(previous_bus)
+        obs_resources.set_profiler(previous_profiler)
+    if collect_obs:
+        rusage_after = obs_resources.current_rusage()
+        result.events = event_sink.events
+        result.resource_state = {
+            "pid": os.getpid(),
+            "cpu_seconds": (
+                rusage_after["cpu_seconds"] - rusage_before["cpu_seconds"]
+            ),
+            "peak_rss_kb": rusage_after["peak_rss_kb"],
+        }
+    return result

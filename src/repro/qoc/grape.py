@@ -20,6 +20,7 @@ from scipy.optimize import minimize
 from repro import telemetry
 from repro.config import QOCConfig
 from repro.exceptions import QOCError
+from repro.obs import events as obs_events
 from repro.qoc.hamiltonian import TransmonChain
 
 __all__ = ["GrapeResult", "grape_optimize", "propagate", "pulse_propagator"]
@@ -218,6 +219,11 @@ def grape_optimize(
     metrics.inc("grape.runs")
     metrics.inc("grape.converged" if converged else "grape.not_converged")
     metrics.observe("grape.iterations", iteration_count[0])
+    # one event per GRAPE run (not per iteration) keeps the stream small;
+    # in a worker this buffers locally and relays through the merge-back
+    obs_events.get_bus().emit(
+        "grape_iteration", iterations=iteration_count[0], converged=converged
+    )
     logger.debug(
         "grape: %d segments, %d iterations, fidelity %.6f (%s)",
         num_segments,

@@ -20,6 +20,7 @@ import numpy as np
 from repro import telemetry
 from repro.config import QOCConfig, ResilienceConfig
 from repro.exceptions import QOCError
+from repro.obs import events as obs_events
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.latency import minimal_latency_pulse
 from repro.qoc.pulse import Pulse
@@ -178,11 +179,21 @@ class PulseLibrary:
             metrics.inc("library.singleflight_batches")
             metrics.inc("library.singleflight_deduped", len(requests) - len(tasks))
             pending_keys = list(pending)
+            bus = obs_events.get_bus()
+            progress = {"completed": 0}
 
             def absorb(start: int, values: Sequence[Pulse]) -> None:
                 # cache each solved pulse the moment its chunk lands, so
                 # checkpoint flushes cover work completed before a crash
                 for offset, pulse in enumerate(values):
+                    progress["completed"] += 1
+                    bus.emit(
+                        "block_progress",
+                        stage="pulse_generation",
+                        block=start + offset,
+                        completed=progress["completed"],
+                        total=len(pending_keys),
+                    )
                     key = pending_keys[start + offset]
                     if key not in self._entries:
                         self._entries[key] = pulse

@@ -96,8 +96,10 @@ class Histogram:
         return {
             "count": self.count,
             "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            # null, not 0.0: an empty histogram has no extrema, and a fake
+            # 0.0 min is indistinguishable from a real observed zero
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
             "mean": self.mean,
             "buckets": buckets,
         }
@@ -222,6 +224,53 @@ class MetricsRegistry:
                         hist_state["bounds"]
                     )
                 histogram.merge_state(hist_state)
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Render the registry in the Prometheus text exposition format.
+
+        Metric names are sanitized (dots become underscores) and
+        prefixed; counters get the conventional ``_total`` suffix and
+        histograms emit *cumulative* ``_bucket{le=...}`` series plus
+        ``_sum`` / ``_count``, so the output scrapes directly into a
+        Prometheus/OpenMetrics pipeline (or a textfile collector).
+        """
+
+        def name_for(raw: str) -> str:
+            cleaned = "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in raw
+            )
+            return f"{prefix}_{cleaned}" if prefix else cleaned
+
+        def fmt(value: float) -> str:
+            return f"{float(value):g}"
+
+        lines: list = []
+        with self._lock:
+            for raw in sorted(self._counters):
+                name = name_for(raw) + "_total"
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {fmt(self._counters[raw])}")
+            for raw in sorted(self._gauges):
+                name = name_for(raw)
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {fmt(self._gauges[raw])}")
+            for raw in sorted(self._histograms):
+                histogram = self._histograms[raw]
+                name = name_for(raw)
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                for bound, count in zip(
+                    histogram.bounds, histogram.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{fmt(bound)}"}} {cumulative}'
+                    )
+                cumulative += histogram.bucket_counts[-1]
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{name}_sum {fmt(histogram.total)}")
+                lines.append(f"{name}_count {histogram.count}")
+        return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
         """Drop every recorded value (bucket layouts included)."""

@@ -1,0 +1,230 @@
+"""CLI tests for ``repro stats`` and the observability compile flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import ENV_LEDGER
+from repro.obs import REGRESSION_EXIT_CODE, RunLedger, RunRecord
+from repro.workloads import ghz_state
+
+
+@pytest.fixture(autouse=True)
+def _no_env_ledger(monkeypatch):
+    monkeypatch.delenv(ENV_LEDGER, raising=False)
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "ghz.qasm"
+    path.write_text(ghz_state(3).to_qasm())
+    return str(path)
+
+
+@pytest.fixture
+def ledger_path(tmp_path):
+    path = str(tmp_path / "runs.db")
+    ledger = RunLedger(path)
+    ledger.record(
+        RunRecord(
+            circuit="ghz3",
+            method="epoc",
+            wall_seconds=2.0,
+            stages={"zx": 0.2, "synthesis": 1.5},
+        )
+    )
+    ledger.record(
+        RunRecord(
+            circuit="ghz3",
+            method="epoc",
+            wall_seconds=2.1,
+            stages={"zx": 0.21, "synthesis": 1.55},
+        )
+    )
+    return path
+
+
+class TestParser:
+    def test_obs_flags_on_compile(self):
+        args = build_parser().parse_args(
+            [
+                "compile",
+                "x.qasm",
+                "--progress",
+                "--progress-events",
+                "ev.jsonl",
+                "--ledger",
+                "runs.db",
+                "--label",
+                "pr6",
+                "--metrics-prom",
+                "m.prom",
+            ]
+        )
+        from repro.cli import _config
+
+        obs = _config(args).obs
+        assert obs.progress is True
+        assert obs.events_path == "ev.jsonl"
+        assert obs.ledger is True
+        assert obs.ledger_path == "runs.db"
+        assert obs.label == "pr6"
+
+    def test_bare_ledger_flag_enables_default_path(self):
+        args = build_parser().parse_args(["compile", "x.qasm", "--ledger"])
+        from repro.cli import _config
+
+        obs = _config(args).obs
+        assert obs.ledger is True
+        assert obs.ledger_path is None
+
+    def test_obs_defaults_off(self):
+        args = build_parser().parse_args(["compile", "x.qasm"])
+        from repro.cli import _config
+
+        assert not _config(args).obs.active
+
+
+class TestStatsCommands:
+    def test_list(self, ledger_path, capsys):
+        assert main(["stats", "--ledger", ledger_path, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ghz3" in out and "epoc" in out
+
+    def test_show(self, ledger_path, capsys):
+        assert main(["stats", "--ledger", ledger_path, "show", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "run 1" in out and "zx" in out
+
+    def test_show_unknown_run_fails(self, ledger_path, capsys):
+        assert main(["stats", "--ledger", ledger_path, "show", "99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_ok(self, ledger_path, capsys):
+        assert main(["stats", "--ledger", ledger_path, "compare", "1", "2"]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_compare_defaults_to_two_most_recent(self, ledger_path, capsys):
+        assert main(["stats", "--ledger", ledger_path, "compare"]) == 0
+        out = capsys.readouterr().out
+        assert "comparing run 1" in out and "run 2" in out
+
+    def test_compare_detects_regression(self, ledger_path, capsys):
+        RunLedger(ledger_path).record(
+            RunRecord(
+                circuit="ghz3",
+                method="epoc",
+                wall_seconds=4.0,
+                stages={"zx": 0.2, "synthesis": 3.5},
+            )
+        )
+        code = main(["stats", "--ledger", ledger_path, "compare", "1", "3"])
+        assert code == REGRESSION_EXIT_CODE
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "synthesis" in out
+
+    def test_compare_single_id_rejected(self, ledger_path, capsys):
+        assert main(["stats", "--ledger", ledger_path, "compare", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_against_baseline(self, ledger_path, capsys):
+        assert main(["stats", "--ledger", ledger_path, "baseline", "1"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["stats", "--ledger", ledger_path, "compare", "--against-baseline"]
+        )
+        assert code == 0
+        assert "comparing run 1" in capsys.readouterr().out
+
+    def test_compare_against_missing_baseline_fails(self, ledger_path, capsys):
+        code = main(
+            ["stats", "--ledger", ledger_path, "compare", "--against-baseline"]
+        )
+        assert code == 1
+        assert "baseline" in capsys.readouterr().err
+
+    def test_baseline_show_and_clear(self, ledger_path, capsys):
+        main(["stats", "--ledger", ledger_path, "baseline", "2"])
+        capsys.readouterr()
+        assert main(["stats", "--ledger", ledger_path, "baseline"]) == 0
+        assert "run 2" in capsys.readouterr().out
+        assert (
+            main(["stats", "--ledger", ledger_path, "baseline", "--clear"]) == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", "--ledger", ledger_path, "baseline"]) == 1
+
+    def test_empty_ledger_compare_fails(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.db")
+        RunLedger(path)
+        assert main(["stats", "--ledger", path, "compare"]) == 1
+        assert "fewer than two" in capsys.readouterr().err
+
+    def test_threshold_flags(self, ledger_path, capsys):
+        # +5% wall delta trips a 1% threshold with no absolute floor
+        code = main(
+            [
+                "stats",
+                "--ledger",
+                ledger_path,
+                "compare",
+                "1",
+                "2",
+                "--threshold",
+                "0.01",
+                "--min-seconds",
+                "0.0",
+            ]
+        )
+        assert code == REGRESSION_EXIT_CODE
+
+
+class TestCompileWithObs:
+    def test_compile_writes_events_ledger_and_prom(
+        self, qasm_file, tmp_path, capsys
+    ):
+        events = str(tmp_path / "events.jsonl")
+        db = str(tmp_path / "runs.db")
+        prom = str(tmp_path / "metrics.prom")
+        code = main(
+            [
+                "compile",
+                qasm_file,
+                "--qubit-limit",
+                "2",
+                "--dt",
+                "1.0",
+                "--fidelity",
+                "0.98",
+                "--progress-events",
+                events,
+                "--ledger",
+                db,
+                "--label",
+                "cli-test",
+                "--metrics-prom",
+                prom,
+            ]
+        )
+        assert code == 0
+        from repro.obs import validate_event
+
+        lines = [json.loads(line) for line in open(events)]
+        assert lines and all(validate_event(e) == [] for e in lines)
+        assert lines[0]["event"] == "run_started"
+        assert lines[-1]["event"] == "run_finished"
+        (record,) = RunLedger(db).runs(limit=1)
+        assert record.method == "epoc"
+        assert record.label == "cli-test"
+        assert record.grape_searches > 0
+        prom_text = open(prom).read()
+        assert prom_text.startswith("# TYPE")
+
+    def test_progress_renders_to_stderr(self, qasm_file, capsys):
+        code = main(
+            ["compile", qasm_file, "--flow", "gate-based", "--progress"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "compiling" in err and "finished" in err

@@ -1,0 +1,181 @@
+"""Unit tests for the progress event schema, sinks and bus."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    NULL_BUS,
+    TTYRenderer,
+    validate_event,
+)
+from repro.obs.events import get_bus, set_bus
+
+
+def _event(kind, **fields):
+    return {"event": kind, "ts": 1.0, "pid": 42, **fields}
+
+
+class TestValidateEvent:
+    def test_every_kind_has_a_valid_example(self):
+        examples = {
+            "run_started": _event("run_started", circuit="c", method="epoc"),
+            "stage_started": _event("stage_started", stage="zx"),
+            "block_progress": _event(
+                "block_progress", stage="synthesis", block=0, completed=1, total=3
+            ),
+            "grape_iteration": _event(
+                "grape_iteration", iterations=17, converged=True
+            ),
+            "stage_finished": _event("stage_finished", stage="zx", seconds=0.1),
+            "run_finished": _event(
+                "run_finished", circuit="c", method="epoc", seconds=1.5, status="ok"
+            ),
+        }
+        assert set(examples) == set(EVENT_TYPES)
+        for kind, record in examples.items():
+            assert validate_event(record) == [], kind
+
+    def test_non_dict_rejected(self):
+        assert validate_event([1, 2]) != []
+        assert validate_event("run_started") != []
+
+    def test_unknown_kind_rejected(self):
+        assert validate_event(_event("teleport")) != []
+
+    def test_missing_common_fields(self):
+        record = {"event": "stage_started", "stage": "zx"}
+        problems = validate_event(record)
+        assert any("ts" in p for p in problems)
+        assert any("pid" in p for p in problems)
+
+    def test_missing_payload_field(self):
+        record = _event("run_started", circuit="c")  # no method
+        assert any("method" in p for p in validate_event(record))
+
+    def test_bool_rejected_where_int_expected(self):
+        record = _event(
+            "block_progress", stage="s", block=True, completed=1, total=2
+        )
+        assert any("block" in p for p in validate_event(record))
+
+    def test_unexpected_fields_rejected(self):
+        record = _event("stage_started", stage="zx", extra="nope")
+        assert any("extra" in p for p in validate_event(record))
+
+    def test_block_progress_range(self):
+        bad = _event("block_progress", stage="s", block=0, completed=0, total=3)
+        assert any("range" in p for p in validate_event(bad))
+        bad = _event("block_progress", stage="s", block=0, completed=4, total=3)
+        assert any("range" in p for p in validate_event(bad))
+
+
+class TestSinks:
+    def test_jsonl_sink_roundtrip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        sink.handle(_event("stage_started", stage="zx"))
+        sink.handle(_event("stage_finished", stage="zx", seconds=0.5))
+        sink.close()
+        lines = [json.loads(l) for l in open(path)]
+        assert [l["event"] for l in lines] == ["stage_started", "stage_finished"]
+        assert all(validate_event(l) == [] for l in lines)
+
+    def test_jsonl_sink_ignores_after_close(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        sink.close()
+        sink.handle(_event("stage_started", stage="zx"))  # must not raise
+        assert open(path).read() == ""
+
+    def test_memory_sink_buffers(self):
+        sink = MemorySink()
+        sink.handle(_event("stage_started", stage="zx"))
+        assert len(sink.events) == 1
+
+    def test_tty_renderer_plain_stream(self):
+        stream = io.StringIO()
+        renderer = TTYRenderer(stream=stream)
+        renderer.handle(_event("run_started", circuit="ghz", method="epoc"))
+        renderer.handle(_event("stage_started", stage="zx"))
+        renderer.handle(
+            _event("block_progress", stage="zx", block=0, completed=1, total=2)
+        )
+        renderer.handle(_event("stage_finished", stage="zx", seconds=0.25))
+        renderer.handle(
+            _event(
+                "run_finished", circuit="ghz", method="epoc", seconds=1.0,
+                status="ok",
+            )
+        )
+        renderer.close()
+        out = stream.getvalue()
+        assert "compiling ghz [epoc]" in out
+        assert "zx done in 0.25s" in out
+        assert "finished ghz [ok]" in out
+        # non-TTY output must not carry in-place redraw escapes
+        assert "\x1b[2K" not in out
+
+
+class TestEventBus:
+    def test_emit_builds_envelope(self):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        bus.emit("stage_started", stage="zx")
+        (event,) = sink.events
+        assert event["event"] == "stage_started"
+        assert event["pid"] == os.getpid()
+        assert validate_event(event) == []
+
+    def test_unknown_kind_raises(self):
+        bus = EventBus([MemorySink()])
+        with pytest.raises(ValueError):
+            bus.emit("not_a_kind")
+
+    def test_disabled_or_sinkless_bus_is_inert(self):
+        assert not NULL_BUS.enabled
+        assert not EventBus(enabled=True).enabled  # no sinks -> nothing listens
+        sink = MemorySink()
+        bus = EventBus([sink], enabled=False)
+        bus.emit("stage_started", stage="zx")
+        assert sink.events == []
+
+    def test_replay_preserves_worker_identity(self):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        worker_event = _event("grape_iteration", iterations=3, converged=True)
+        worker_event["pid"] = 9999
+        bus.replay([worker_event])
+        assert sink.events[0]["pid"] == 9999  # no rebasing on merge-back
+
+    def test_broken_sink_never_aborts(self):
+        class Broken:
+            def handle(self, event):
+                raise RuntimeError("boom")
+
+            def close(self):
+                raise RuntimeError("boom")
+
+        good = MemorySink()
+        bus = EventBus([Broken(), good])
+        bus.emit("stage_started", stage="zx")  # must not raise
+        assert len(good.events) == 1
+        bus.close()  # must not raise
+
+    def test_set_bus_roundtrip(self):
+        bus = EventBus([MemorySink()])
+        previous = set_bus(bus)
+        try:
+            assert get_bus() is bus
+        finally:
+            set_bus(previous)
+        assert get_bus() is previous
+        assert set_bus(None) is previous  # None -> NULL_BUS
+        assert get_bus() is NULL_BUS
+        set_bus(previous)

@@ -1,0 +1,146 @@
+"""Unit tests for the SQLite run ledger."""
+
+import sqlite3
+
+import pytest
+
+from repro.obs import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    RunLedger,
+    RunRecord,
+    resolve_ledger_path,
+)
+from repro.obs.ledger import DEFAULT_LEDGER_PATH, ENV_LEDGER
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(str(tmp_path / "runs.db"))
+
+
+def _record(**overrides):
+    values = dict(
+        circuit="ghz3",
+        method="epoc",
+        wall_seconds=1.5,
+        latency_ns=96.0,
+        fidelity=0.99,
+        pulse_count=4,
+        cache_hits=3,
+        cache_misses=1,
+        stages={"zx": 0.1, "synthesis": 1.0},
+    )
+    values.update(overrides)
+    return RunRecord(**values)
+
+
+class TestResolveLedgerPath:
+    def test_explicit_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_LEDGER, "/elsewhere/runs.db")
+        explicit = str(tmp_path / "mine.db")
+        assert resolve_ledger_path(explicit) == explicit
+
+    def test_env_path(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "env.db")
+        monkeypatch.setenv(ENV_LEDGER, target)
+        assert resolve_ledger_path() == target
+
+    def test_truthy_env_means_default_path(self, monkeypatch):
+        import os
+
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv(ENV_LEDGER, value)
+            assert resolve_ledger_path() == os.path.expanduser(
+                DEFAULT_LEDGER_PATH
+            )
+
+    def test_unset_env_means_default_path(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(ENV_LEDGER, raising=False)
+        assert resolve_ledger_path() == os.path.expanduser(DEFAULT_LEDGER_PATH)
+
+
+class TestRunLedger:
+    def test_roundtrip(self, ledger):
+        run_id = ledger.record(_record(label="pr6", fingerprint="abc123"))
+        assert run_id == 1
+        loaded = ledger.run(run_id)
+        assert loaded.circuit == "ghz3"
+        assert loaded.method == "epoc"
+        assert loaded.label == "pr6"
+        assert loaded.fingerprint == "abc123"
+        assert loaded.wall_seconds == 1.5
+        assert loaded.stages == {"zx": 0.1, "synthesis": 1.0}
+        assert loaded.created_at is not None
+        assert loaded.hit_rate == pytest.approx(0.75)
+
+    def test_hit_rate_none_without_cache_traffic(self):
+        assert _record(cache_hits=0, cache_misses=0).hit_rate is None
+
+    def test_runs_newest_first_with_filters(self, ledger):
+        ledger.record(_record(circuit="a", method="epoc"))
+        ledger.record(_record(circuit="b", method="accqoc"))
+        ledger.record(_record(circuit="a", method="accqoc"))
+        assert [r.circuit for r in ledger.runs()] == ["a", "b", "a"]
+        assert [r.id for r in ledger.runs(circuit="a")] == [3, 1]
+        assert [r.id for r in ledger.runs(method="accqoc")] == [3, 2]
+        assert [r.id for r in ledger.runs(circuit="a", method="accqoc")] == [3]
+        assert [r.id for r in ledger.runs(limit=1)] == [3]
+        assert len(ledger) == 3
+
+    def test_unknown_run_raises(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.run(99)
+
+    def test_baseline_lifecycle(self, ledger):
+        first = ledger.record(_record())
+        second = ledger.record(_record())
+        assert ledger.baseline() is None
+        ledger.set_baseline(first)
+        assert ledger.baseline().id == first
+        ledger.set_baseline(second)  # re-pin overwrites
+        assert ledger.baseline().id == second
+        ledger.set_baseline(first, name="release")
+        assert ledger.baseline("release").id == first
+        assert ledger.clear_baseline() is True
+        assert ledger.baseline() is None
+        assert ledger.clear_baseline() is False
+
+    def test_baseline_requires_existing_run(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.set_baseline(42)
+
+    def test_reopen_preserves_rows(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunLedger(path).record(_record())
+        assert len(RunLedger(path)) == 1
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunLedger(path)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(LEDGER_SCHEMA_VERSION + 1),),
+            )
+        with pytest.raises(LedgerError):
+            RunLedger(path)
+
+    def test_kind_and_extra_survive(self, ledger):
+        run_id = ledger.record(
+            _record(kind="bench", extra={"benchmark": "table1", "rounds": 3})
+        )
+        loaded = ledger.run(run_id)
+        assert loaded.kind == "bench"
+        assert loaded.extra == {"benchmark": "table1", "rounds": 3}
+
+    def test_concurrent_style_appends(self, tmp_path):
+        # two independent handles (separate connections) appending to the
+        # same file, as concurrent batch invocations would
+        path = str(tmp_path / "runs.db")
+        first, second = RunLedger(path), RunLedger(path)
+        for index in range(4):
+            (first if index % 2 else second).record(_record())
+        assert len(RunLedger(path)) == 4

@@ -1,0 +1,170 @@
+"""Tests for the run observer: lifecycle, ledger rows, off-path purity."""
+
+import numpy as np
+import pytest
+
+from repro.config import EPOCConfig, ObsConfig, ENV_LEDGER
+from repro.core import EPOCPipeline
+from repro.obs import (
+    EventBus,
+    MemorySink,
+    NULL_OBSERVER,
+    RunLedger,
+    observe_run,
+    validate_event,
+)
+from repro.obs.events import get_bus, set_bus
+from repro.qoc import PulseLibrary
+from repro.workloads import ghz_state
+
+
+@pytest.fixture(autouse=True)
+def _no_env_ledger(monkeypatch):
+    monkeypatch.delenv(ENV_LEDGER, raising=False)
+
+
+class TestObserveRunOff:
+    def test_none_config_is_null(self):
+        assert observe_run(None, circuit="c", method="epoc") is NULL_OBSERVER
+
+    def test_default_config_is_null(self):
+        config = ObsConfig()
+        assert not config.active
+        assert observe_run(config, circuit="c", method="epoc") is NULL_OBSERVER
+
+    def test_null_observer_is_inert(self):
+        with NULL_OBSERVER as observer:
+            with observer.stage("zx"):
+                pass
+            observer.block_progress("zx", 0, 1, 1)
+            assert observer.chunk_progress("zx", 3) is None
+            assert observer.record(None) is None
+
+
+class TestRunObserverLifecycle:
+    def test_event_envelope_and_stage_accounting(self, tmp_path):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        prev = set_bus(bus)
+        try:
+            observer = observe_run(
+                ObsConfig(), circuit="ghz", method="epoc"
+            )
+            assert observer is not NULL_OBSERVER  # reuses the installed bus
+            with observer:
+                with observer.stage("zx"):
+                    pass
+                with observer.stage("zx"):  # repeated stages accumulate
+                    pass
+        finally:
+            set_bus(prev)
+        kinds = [e["event"] for e in sink.events]
+        assert kinds == [
+            "run_started",
+            "stage_started",
+            "stage_finished",
+            "stage_started",
+            "stage_finished",
+            "run_finished",
+        ]
+        assert all(validate_event(e) == [] for e in sink.events)
+        assert sink.events[-1]["status"] == "ok"
+        assert list(observer.stage_seconds) == ["zx"]
+        assert observer.wall_seconds > 0.0
+
+    def test_error_status_on_exception(self):
+        sink = MemorySink()
+        prev = set_bus(EventBus([sink]))
+        try:
+            observer = observe_run(ObsConfig(), circuit="c", method="epoc")
+            with pytest.raises(RuntimeError):
+                with observer:
+                    raise RuntimeError("boom")
+        finally:
+            set_bus(prev)
+        assert sink.events[-1]["event"] == "run_finished"
+        assert sink.events[-1]["status"] == "error"
+
+    def test_owned_bus_installed_and_restored(self, tmp_path):
+        config = ObsConfig(events_path=str(tmp_path / "events.jsonl"))
+        observer = observe_run(config, circuit="c", method="epoc")
+        outer = get_bus()
+        with observer:
+            assert get_bus() is observer.bus
+            assert get_bus().enabled
+        assert get_bus() is outer
+
+    def test_chunk_progress_emits_every_block_once(self):
+        sink = MemorySink()
+        prev = set_bus(EventBus([sink]))
+        try:
+            observer = observe_run(ObsConfig(), circuit="c", method="epoc")
+            with observer:
+                on_chunk = observer.chunk_progress("synthesis", 5)
+                on_chunk(0, ["a", "b"])
+                on_chunk(2, ["c", "d", "e"])
+        finally:
+            set_bus(prev)
+        progress = [e for e in sink.events if e["event"] == "block_progress"]
+        assert [e["block"] for e in progress] == [0, 1, 2, 3, 4]
+        assert [e["completed"] for e in progress] == [1, 2, 3, 4, 5]
+        assert all(e["total"] == 5 for e in progress)
+
+
+class TestLedgerRecording:
+    def test_record_values_with_grape_counter(self, tmp_path):
+        config = ObsConfig(ledger=True, ledger_path=str(tmp_path / "runs.db"))
+        observer = observe_run(
+            config, circuit="c", method="epoc", fingerprint="f1"
+        )
+        with observer:
+            with observer.stage("pulse_generation"):
+                # leaf code reaches the bus through the installed global
+                get_bus().emit("grape_iteration", iterations=40, converged=True)
+                get_bus().emit("grape_iteration", iterations=25, converged=False)
+        run_id = observer.record_values(
+            circuit="c", method="epoc", wall_seconds=1.0
+        )
+        record = RunLedger(str(tmp_path / "runs.db")).run(run_id)
+        assert record.grape_searches == 2
+        assert record.grape_iterations == 65
+        assert record.fingerprint == "f1"
+        assert "pulse_generation" in record.stages
+        assert record.cpu_seconds >= 0.0
+        assert record.resources["totals"]["peak_rss_kb"] > 0.0
+
+    def test_ledger_only_config_still_collects_events(self, tmp_path):
+        # no user-facing sink, but the grape counter still needs a live bus
+        config = ObsConfig(ledger=True, ledger_path=str(tmp_path / "runs.db"))
+        observer = observe_run(config, circuit="c", method="epoc")
+        with observer:
+            assert get_bus().enabled
+
+
+class TestOutputUnchanged:
+    def test_observed_compile_is_bitwise_identical(self, tmp_path, fast_epoc, fast_qoc):
+        """Observability must never perturb what the compiler produces."""
+        circuit = ghz_state(3)
+        plain = EPOCPipeline(
+            fast_epoc, library=PulseLibrary(config=fast_qoc)
+        ).compile(circuit, "ghz")
+        observed_config = fast_epoc.with_updates(
+            obs=ObsConfig(
+                events_path=str(tmp_path / "events.jsonl"),
+                ledger=True,
+                ledger_path=str(tmp_path / "runs.db"),
+            )
+        )
+        observed = EPOCPipeline(
+            observed_config, library=PulseLibrary(config=fast_qoc)
+        ).compile(circuit, "ghz")
+        assert observed.latency_ns == plain.latency_ns
+        assert observed.fidelity == plain.fidelity
+        assert len(observed.schedule.items) == len(plain.schedule.items)
+        for a, b in zip(plain.schedule.items, observed.schedule.items):
+            assert a.qubits == b.qubits
+            assert a.start == b.start and a.end == b.end
+            if a.pulse is not None or b.pulse is not None:
+                assert np.array_equal(a.pulse.controls, b.pulse.controls)
+        # and the run actually landed in the ledger
+        assert len(RunLedger(str(tmp_path / "runs.db"))) == 1

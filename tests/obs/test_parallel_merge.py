@@ -1,0 +1,132 @@
+"""The merged observability stream from a parallel compile.
+
+Satellite guarantee: the event stream a parallel run produces contains
+every block exactly once (block progress is emitted parent-side as
+chunks land, worker grape events relay through the merge-back), and the
+recorded resource totals equal the parent stage usage plus the sum of
+the per-worker snapshots.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.config import ENV_LEDGER, ObsConfig, ParallelConfig
+from repro.core import EPOCPipeline
+from repro.obs import RunLedger, validate_event
+from repro.qoc import PulseLibrary
+from repro.workloads import ghz_state
+
+
+@pytest.fixture(autouse=True)
+def _no_env_ledger(monkeypatch):
+    monkeypatch.delenv(ENV_LEDGER, raising=False)
+
+
+@pytest.fixture
+def circuit():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.t(1)
+    qc.cx(1, 2)
+    qc.h(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    return qc
+
+
+class TestParallelMergeBack:
+    def test_merged_stream_and_resource_totals(
+        self, circuit, fast_epoc, fast_qoc, tmp_path
+    ):
+        events_path = str(tmp_path / "events.jsonl")
+        ledger_path = str(tmp_path / "runs.db")
+        config = fast_epoc.with_updates(
+            parallel=ParallelConfig(workers=2, chunk_size=2),
+            obs=ObsConfig(
+                events_path=events_path, ledger=True, ledger_path=ledger_path
+            ),
+        )
+        report = EPOCPipeline(
+            config, library=PulseLibrary(config=fast_qoc)
+        ).compile(circuit, "par")
+        assert report.pulse_count > 0
+
+        events = [json.loads(line) for line in open(events_path)]
+        assert events, "parallel run emitted no events"
+        for event in events:
+            assert validate_event(event) == [], event
+
+        # -- every block exactly once, per stage --------------------------
+        for stage in ("synthesis", "pulse_generation"):
+            progress = [
+                e
+                for e in events
+                if e["event"] == "block_progress" and e["stage"] == stage
+            ]
+            assert progress, f"no block_progress for {stage}"
+            totals = {e["total"] for e in progress}
+            assert len(totals) == 1, f"inconsistent totals for {stage}"
+            (total,) = totals
+            assert len(progress) == total
+            # completion counter is a permutation-free 1..N sequence
+            assert sorted(e["completed"] for e in progress) == list(
+                range(1, total + 1)
+            )
+            # and no block is reported twice
+            blocks = [e["block"] for e in progress]
+            assert len(set(blocks)) == len(blocks)
+
+        # -- worker events relayed with their own identity -----------------
+        parent_pid = os.getpid()
+        grape = [e for e in events if e["event"] == "grape_iteration"]
+        assert grape, "no GRAPE activity reached the merged stream"
+        worker_pids = {e["pid"] for e in grape} - {parent_pid}
+        assert worker_pids, "grape events did not come from worker processes"
+
+        # -- ledger resource totals == parent stages + worker snapshots ----
+        (record,) = RunLedger(ledger_path).runs(limit=1)
+        workers = record.resources["workers"]
+        assert set(map(int, workers)) >= worker_pids
+        stage_entries = record.resources["stages"].values()
+        worker_entries = workers.values()
+        expected_cpu = sum(s["cpu_seconds"] for s in stage_entries) + sum(
+            w["cpu_seconds"] for w in worker_entries
+        )
+        expected_peak = max(
+            [s["peak_rss_kb"] for s in stage_entries]
+            + [w["peak_rss_kb"] for w in worker_entries]
+        )
+        totals = record.resources["totals"]
+        assert totals["cpu_seconds"] == pytest.approx(expected_cpu)
+        assert totals["peak_rss_kb"] == pytest.approx(expected_peak)
+        assert record.cpu_seconds == pytest.approx(expected_cpu)
+        assert record.grape_searches == len(grape)
+
+    def test_serial_stream_covers_every_pulse_item(
+        self, fast_epoc, fast_qoc, tmp_path
+    ):
+        events_path = str(tmp_path / "events.jsonl")
+        config = fast_epoc.with_updates(
+            obs=ObsConfig(events_path=events_path)
+        )
+        EPOCPipeline(config, library=PulseLibrary(config=fast_qoc)).compile(
+            ghz_state(3), "ghz"
+        )
+        events = [json.loads(line) for line in open(events_path)]
+        progress = [
+            e
+            for e in events
+            if e["event"] == "block_progress"
+            and e["stage"] == "pulse_generation"
+        ]
+        assert progress
+        (total,) = {e["total"] for e in progress}
+        assert sorted(e["completed"] for e in progress) == list(
+            range(1, total + 1)
+        )
+        # serial run: single process end to end
+        assert {e["pid"] for e in events} == {os.getpid()}

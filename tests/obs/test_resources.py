@@ -1,0 +1,111 @@
+"""Unit tests for the resource profiler."""
+
+from repro.obs import NULL_PROFILER, ResourceProfiler, current_rusage
+from repro.obs.resources import get_profiler, set_profiler
+
+
+class TestCurrentRusage:
+    def test_reports_positive_usage(self):
+        usage = current_rusage()
+        assert usage["cpu_seconds"] > 0.0
+        assert usage["peak_rss_kb"] > 0.0
+
+
+class TestResourceProfiler:
+    def test_stage_accounting(self):
+        profiler = ResourceProfiler()
+        with profiler.stage("zx"):
+            sum(i * i for i in range(200_000))
+        entry = profiler.stages["zx"]
+        assert entry["wall_seconds"] > 0.0
+        assert entry["peak_rss_kb"] > 0.0
+
+    def test_repeated_stage_accumulates_cpu_and_maxes_rss(self):
+        profiler = ResourceProfiler()
+        for _ in range(2):
+            with profiler.stage("synthesis"):
+                sum(i * i for i in range(100_000))
+        assert len(profiler.stages) == 1
+        entry = profiler.stages["synthesis"]
+        assert entry["cpu_seconds"] >= 0.0
+        assert entry["peak_rss_kb"] == current_rusage()["peak_rss_kb"]
+
+    def test_disabled_profiler_records_nothing(self):
+        profiler = ResourceProfiler(enabled=False)
+        with profiler.stage("zx"):
+            pass
+        assert profiler.stages == {}
+        profiler.merge_worker_state({"pid": 1, "cpu_seconds": 1.0})
+        assert profiler.workers == {}
+
+    def test_merge_worker_state_sums_cpu_maxes_rss(self):
+        profiler = ResourceProfiler()
+        profiler.merge_worker_state(
+            {"pid": 7, "cpu_seconds": 1.0, "peak_rss_kb": 100.0}
+        )
+        profiler.merge_worker_state(
+            {"pid": 7, "cpu_seconds": 0.5, "peak_rss_kb": 80.0}
+        )
+        profiler.merge_worker_state(
+            {"pid": 8, "cpu_seconds": 2.0, "peak_rss_kb": 300.0}
+        )
+        assert profiler.workers[7] == {
+            "cpu_seconds": 1.5,
+            "peak_rss_kb": 100.0,
+            "chunks": 2.0,
+        }
+        assert profiler.workers[8]["chunks"] == 1.0
+        profiler.merge_worker_state(None)  # tolerated
+        totals = profiler.totals()
+        assert totals["cpu_seconds"] == 3.5
+        assert totals["peak_rss_kb"] == 300.0
+
+    def test_totals_combine_stages_and_workers(self):
+        profiler = ResourceProfiler()
+        with profiler.stage("zx"):
+            pass
+        profiler.merge_worker_state(
+            {"pid": 9, "cpu_seconds": 1.0, "peak_rss_kb": 10.0}
+        )
+        totals = profiler.totals()
+        expected_cpu = (
+            sum(s["cpu_seconds"] for s in profiler.stages.values()) + 1.0
+        )
+        assert totals["cpu_seconds"] == expected_cpu
+        assert totals["peak_rss_kb"] == max(
+            s["peak_rss_kb"] for s in profiler.stages.values()
+        )
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        profiler = ResourceProfiler()
+        with profiler.stage("zx"):
+            pass
+        profiler.merge_worker_state(
+            {"pid": 9, "cpu_seconds": 1.0, "peak_rss_kb": 10.0}
+        )
+        snapshot = profiler.snapshot()
+        assert set(snapshot) == {"stages", "workers", "totals"}
+        assert "9" in snapshot["workers"]  # pids stringified for JSON
+        json.dumps(snapshot)
+
+    def test_trace_malloc_captures_sites(self):
+        profiler = ResourceProfiler(trace_malloc=True)
+        with profiler.stage("alloc"):
+            _ = [bytearray(1024) for _ in range(100)]
+        profiler.close()
+        sites = profiler.stages["alloc"]["top_allocations"]
+        assert sites and all("site" in s and "size_kb" in s for s in sites)
+
+    def test_null_profiler_and_globals(self):
+        assert not NULL_PROFILER.enabled
+        profiler = ResourceProfiler()
+        previous = set_profiler(profiler)
+        try:
+            assert get_profiler() is profiler
+        finally:
+            set_profiler(previous)
+        assert set_profiler(None) is previous
+        assert get_profiler() is NULL_PROFILER
+        set_profiler(previous)

@@ -1,0 +1,111 @@
+"""Unit tests for ledger comparison and regression detection."""
+
+from repro.obs import (
+    REGRESSION_EXIT_CODE,
+    RunRecord,
+    compare_runs,
+    format_compare,
+    format_run,
+    format_run_table,
+)
+
+
+def _run(run_id, stages, wall=None, **overrides):
+    values = dict(
+        id=run_id,
+        circuit="ghz3",
+        method="epoc",
+        wall_seconds=wall if wall is not None else sum(stages.values()),
+        stages=dict(stages),
+        created_at=0.0,
+    )
+    values.update(overrides)
+    return RunRecord(**values)
+
+
+class TestCompareRuns:
+    def test_identical_runs_ok(self):
+        base = _run(1, {"zx": 0.5, "synthesis": 2.0})
+        result = compare_runs(base, _run(2, {"zx": 0.5, "synthesis": 2.0}))
+        assert not result.regressed
+        assert [d.stage for d in result.stages] == ["zx", "synthesis"]
+        assert result.wall_delta.ratio == 1.0
+
+    def test_stage_regression_detected(self):
+        base = _run(1, {"zx": 0.5, "synthesis": 2.0})
+        new = _run(2, {"zx": 1.5, "synthesis": 2.0})
+        result = compare_runs(base, new)
+        assert result.regressed
+        regressed = {d.stage for d in result.regressions}
+        assert "zx" in regressed
+        delta = next(d for d in result.stages if d.stage == "zx")
+        assert delta.ratio == 3.0
+
+    def test_small_absolute_slowdowns_ignored(self):
+        # 3x slower but only 2 ms absolute: scheduler noise, not a regression
+        base = _run(1, {"zx": 0.001}, wall=10.0)
+        new = _run(2, {"zx": 0.003}, wall=10.0)
+        assert not compare_runs(base, new).regressed
+
+    def test_min_seconds_tunable(self):
+        base = _run(1, {"zx": 0.001}, wall=10.0)
+        new = _run(2, {"zx": 0.003}, wall=10.0)
+        assert compare_runs(base, new, min_seconds=0.001).regressed
+
+    def test_threshold_tunable(self):
+        base = _run(1, {"zx": 1.0}, wall=10.0)
+        new = _run(2, {"zx": 1.2}, wall=10.0)
+        assert not compare_runs(base, new).regressed  # +20% < default 25%
+        assert compare_runs(base, new, threshold=0.1).regressed
+
+    def test_wall_clock_regression(self):
+        base = _run(1, {"zx": 0.1}, wall=1.0)
+        new = _run(2, {"zx": 0.1}, wall=2.0)
+        result = compare_runs(base, new)
+        assert result.regressed
+        assert result.wall_delta.regressed
+
+    def test_one_sided_stages_never_regress(self):
+        base = _run(1, {"zx": 0.5, "retired": 3.0}, wall=1.0)
+        new = _run(2, {"zx": 0.5, "added": 9.0}, wall=1.0)
+        result = compare_runs(base, new)
+        assert not result.regressed
+        stages = {d.stage: d for d in result.stages}
+        assert stages["retired"].after is None
+        assert stages["added"].before is None
+        assert stages["added"].ratio is None
+
+    def test_improvements_never_regress(self):
+        base = _run(1, {"zx": 2.0})
+        new = _run(2, {"zx": 0.5})
+        assert not compare_runs(base, new).regressed
+
+
+class TestFormatting:
+    def test_exit_code_is_distinct(self):
+        assert REGRESSION_EXIT_CODE == 3
+
+    def test_format_run_table(self):
+        out = format_run_table([_run(1, {"zx": 0.5}, fidelity=0.987)])
+        assert "ghz3" in out and "epoc" in out and "0.9870" in out
+        assert format_run_table([]) == "(ledger is empty)"
+
+    def test_format_run_includes_stages_and_workers(self):
+        record = _run(
+            1,
+            {"zx": 0.5},
+            resources={
+                "workers": {
+                    "99": {"cpu_seconds": 1.0, "peak_rss_kb": 2048.0, "chunks": 2}
+                }
+            },
+        )
+        out = format_run(record)
+        assert "zx" in out and "pid 99" in out
+
+    def test_format_compare_verdicts(self):
+        base = _run(1, {"zx": 0.5})
+        ok = format_compare(compare_runs(base, _run(2, {"zx": 0.5})))
+        assert "verdict: ok" in ok
+        bad = format_compare(compare_runs(base, _run(2, {"zx": 5.0})))
+        assert "REGRESSED" in bad and "zx" in bad

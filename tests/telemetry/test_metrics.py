@@ -101,3 +101,53 @@ class TestDisabledRegistry:
             "gauges": {},
             "histograms": {},
         }
+
+
+class TestEmptyHistogramExtrema:
+    def test_empty_min_max_are_null(self):
+        from repro.telemetry.metrics import Histogram
+
+        rendered = Histogram().to_dict()
+        assert rendered["min"] is None
+        assert rendered["max"] is None
+        assert rendered["count"] == 0
+
+    def test_observed_zero_is_distinguishable(self):
+        from repro.telemetry.metrics import Histogram
+
+        histogram = Histogram()
+        histogram.observe(0.0)
+        rendered = histogram.to_dict()
+        assert rendered["min"] == 0.0
+        assert rendered["max"] == 0.0
+
+
+class TestPrometheusExposition:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("library.hits", 3)
+        registry.gauge("library.size", 7)
+        registry.observe("grape.iters", 3, buckets=(1, 5, 10))
+        registry.observe("grape.iters", 7, buckets=(1, 5, 10))
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE repro_library_hits_total counter" in lines
+        assert "repro_library_hits_total 3" in lines
+        assert "repro_library_size 7" in lines
+        # buckets are cumulative and close with +Inf == count
+        assert 'repro_grape_iters_bucket{le="1"} 0' in lines
+        assert 'repro_grape_iters_bucket{le="5"} 1' in lines
+        assert 'repro_grape_iters_bucket{le="10"} 2' in lines
+        assert 'repro_grape_iters_bucket{le="+Inf"} 2' in lines
+        assert "repro_grape_iters_sum 10" in lines
+        assert "repro_grape_iters_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_name_sanitization_and_prefix(self):
+        registry = MetricsRegistry()
+        registry.inc("zx.rewrites-applied", 1)
+        assert "repro_zx_rewrites_applied_total 1" in registry.to_prometheus()
+        assert "zx_rewrites_applied_total 1" in registry.to_prometheus(prefix="")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == "\n"
