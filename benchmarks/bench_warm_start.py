@@ -1,0 +1,157 @@
+"""Warm-start iteration savings on a suite with near-duplicate blocks.
+
+AccQOC's observation (ISCA'20): QOC problems whose targets are close
+converge dramatically faster when seeded from each other's solutions.
+This benchmark builds a workload shaped like a real compilation tail — a
+few base unitaries already in the library, then a stream of
+near-duplicates (small coherent perturbations, as adjacent Trotter steps
+or re-parameterized ansatz blocks produce) — and runs every duplicate's
+duration search twice:
+
+``cold``
+    ``warm_start=False``: the library answers exact-key lookups only, so
+    each near-duplicate pays a full search from the random seed and the
+    physics-estimate bracket;
+``warm``
+    ``warm_start=True`` (default): the search seeds its controls from
+    the nearest library entry and its duration bracket from that
+    neighbor's recorded length.
+
+Both modes start from byte-identical preloaded libraries.  Each search
+runs inside its own telemetry session, so per-search GRAPE-iteration
+totals come straight off the ``qoc.search_iterations`` histogram.  The
+acceptance gate is a >= 25% median per-search iteration reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+from scipy.linalg import expm
+from scipy.stats import unitary_group
+
+from repro import telemetry
+from repro.config import QOCConfig
+from repro.qoc.library import PulseLibrary
+
+from _bench_common import save_results
+
+WARM_QOC = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.99,
+    max_iterations=80,
+    min_segments=2,
+    max_segments=200,
+)
+COLD_QOC = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.99,
+    max_iterations=80,
+    min_segments=2,
+    max_segments=200,
+    warm_start=False,
+)
+
+NUM_QUBITS = 2
+NUM_BASES = 3
+DUPLICATES_PER_BASE = 3
+PERTURBATION = 0.03
+MIN_MEDIAN_REDUCTION = 0.25
+
+
+def _nearby(matrix: np.ndarray, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    h = rng.normal(size=matrix.shape) + 1j * rng.normal(size=matrix.shape)
+    h = (h + h.conj().T) / 2
+    return expm(1j * PERTURBATION * h) @ matrix
+
+
+def _workload():
+    bases = [
+        unitary_group.rvs(2**NUM_QUBITS, random_state=seed)
+        for seed in range(NUM_BASES)
+    ]
+    duplicates = [
+        _nearby(base, seed=100 + index * DUPLICATES_PER_BASE + copy)
+        for index, base in enumerate(bases)
+        for copy in range(DUPLICATES_PER_BASE)
+    ]
+    return bases, duplicates
+
+
+def _preload(config: QOCConfig, bases) -> PulseLibrary:
+    """A library already holding the base entries (solved identically —
+    base searches see an empty library, so warm/cold preloads match)."""
+    library = PulseLibrary(config=config)
+    for base in bases:
+        library.get_pulse(base, tuple(range(NUM_QUBITS)))
+    return library
+
+
+def _search_iterations(library: PulseLibrary, matrix: np.ndarray) -> int:
+    """Run one duration search and return its total GRAPE iterations."""
+    snapshot = library.warm_snapshot()
+    with telemetry.telemetry_session() as (_, registry):
+        library.get_pulse(matrix, tuple(range(NUM_QUBITS)), warm_entries=snapshot)
+        histogram = registry.state()["histograms"]["qoc.search_iterations"]
+    assert histogram["count"] == 1
+    return int(histogram["sum"])
+
+
+def test_warm_start_iteration_reduction(benchmark):
+    bases, duplicates = _workload()
+    iterations: Dict[str, List[int]] = {}
+    for mode, config in (("cold", COLD_QOC), ("warm", WARM_QOC)):
+        library = _preload(config, bases)
+        preload_size = len(library)
+        iterations[mode] = [
+            _search_iterations(library, duplicate) for duplicate in duplicates
+        ]
+        assert len(library) == preload_size + len(duplicates)
+
+    median_cold = float(np.median(iterations["cold"]))
+    median_warm = float(np.median(iterations["warm"]))
+    reduction = 1.0 - median_warm / median_cold
+
+    print(
+        f"\nWarm-start savings — {len(duplicates)} near-duplicates of "
+        f"{NUM_BASES} bases (dim {2**NUM_QUBITS})"
+    )
+    print(f"{'mode':>6}{'median iters':>14}{'total iters':>13}")
+    for mode in ("cold", "warm"):
+        print(
+            f"{mode:>6}{np.median(iterations[mode]):>14.0f}"
+            f"{sum(iterations[mode]):>13d}"
+        )
+    print(f"median per-search reduction: {100.0 * reduction:.1f}%")
+
+    save_results(
+        "warm_start",
+        {
+            "num_qubits": NUM_QUBITS,
+            "bases": NUM_BASES,
+            "duplicates": len(duplicates),
+            "perturbation": PERTURBATION,
+            "iterations_cold": iterations["cold"],
+            "iterations_warm": iterations["warm"],
+            "median_cold": median_cold,
+            "median_warm": median_warm,
+            "median_reduction": reduction,
+            "total_cold": int(sum(iterations["cold"])),
+            "total_warm": int(sum(iterations["warm"])),
+        },
+        attach_metrics=False,
+    )
+
+    assert reduction >= MIN_MEDIAN_REDUCTION, (
+        f"warm starts cut median search iterations by only "
+        f"{100.0 * reduction:.1f}%; need >= {100.0 * MIN_MEDIAN_REDUCTION:.0f}%"
+    )
+
+    library = _preload(WARM_QOC, bases)
+    benchmark.pedantic(
+        lambda: _search_iterations(library, duplicates[0]),
+        rounds=1,
+        iterations=1,
+    )

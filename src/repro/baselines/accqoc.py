@@ -103,6 +103,9 @@ class AccQOCFlow:
                 order = self._mst_order(items)
             # generate pulses in MST order (cache fills along similar unitaries)
             pulses = {}
+            # freeze warm-start candidates at stage start so serial and
+            # parallel runs seed every search from the same snapshot
+            warm_entries = self.library.warm_snapshot()
             with observer.stage("pulse_generation"), tracer.span(
                 "pulse_generation", items=len(items), workers=executor.workers
             ):
@@ -113,13 +116,14 @@ class AccQOCFlow:
                     batch = self.library.get_pulses(
                         [(items[i].matrix, items[i].qubits) for i in order],
                         executor=executor,
+                        warm_entries=warm_entries,
                     )
                     pulses = dict(zip(order, batch))
                 else:
                     for position, index in enumerate(order):
                         item = items[index]
                         pulses[index] = self.library.get_pulse(
-                            item.matrix, item.qubits
+                            item.matrix, item.qubits, warm_entries=warm_entries
                         )
                         observer.block_progress(
                             "pulse_generation", index, position + 1, len(order)

@@ -143,6 +143,9 @@ class PAQOCFlow:
             hw = self.config.hardware
             custom_indices = {block.index for block in custom_blocks}
             prefetched = {}
+            # freeze warm-start candidates at stage start so serial and
+            # parallel runs seed every search from the same snapshot
+            warm_entries = self.library.warm_snapshot()
             with observer.stage("pulse_generation"), tracer.span(
                 "pulse_generation", blocks=len(blocks), workers=executor.workers
             ):
@@ -153,6 +156,7 @@ class PAQOCFlow:
                             for block in custom_blocks
                         ],
                         executor=executor,
+                        warm_entries=warm_entries,
                     )
                     prefetched = {
                         block.index: pulse
@@ -163,7 +167,9 @@ class PAQOCFlow:
                         pulse = prefetched.get(block.index)
                         if pulse is None:
                             pulse = self.library.get_pulse(
-                                unitaries[block.index], block.qubits
+                                unitaries[block.index],
+                                block.qubits,
+                                warm_entries=warm_entries,
                             )
                         schedule.add_pulse(pulse, label="pattern")
                         distances.append(pulse.unitary_distance)

@@ -154,6 +154,8 @@ class BatchReport:
     library_entries: int = 0
     #: entries preloaded from the on-disk store before compiling.
     store_loaded: int = 0
+    #: searches seeded from a near-neighbor library entry.
+    warm_starts: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -188,11 +190,12 @@ class BatchReport:
         store = (
             f"  store_loaded={self.store_loaded}" if self.store_loaded else ""
         )
+        warm = f"  warm_starts={self.warm_starts}" if self.warm_starts else ""
         lines.append(
             f"suite: {self.circuits} circuits{resumed}  "
             f"wall={self.wall_seconds:.2f}s  searches={self.grape_searches}  "
             f"dedup_savings={self.dedup_savings}  cache={cache}  "
-            f"library={self.library_entries} entries{store}"
+            f"library={self.library_entries} entries{store}{warm}"
         )
         return "\n".join(lines)
 
@@ -320,6 +323,7 @@ class BatchCompiler:
                         self.store.path,
                     )
             searches_before = self.library.misses
+            near_hits_before = self.library.near_hits
             executor = ParallelExecutor.from_config(
                 self.config.parallel, self.config.resilience
             )
@@ -348,6 +352,7 @@ class BatchCompiler:
                     journal.close(complete=True)
 
         report.grape_searches = self.library.misses - searches_before
+        report.warm_starts = self.library.near_hits - near_hits_before
         solo_searches = sum(
             outcome.unique_qoc_items
             for outcome in report.outcomes

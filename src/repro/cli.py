@@ -38,6 +38,7 @@ from repro.config import (
     EPOCConfig,
     ObsConfig,
     ParallelConfig,
+    QOC_KERNELS,
     QOCConfig,
     ResilienceConfig,
     VerifyConfig,
@@ -114,6 +115,48 @@ def _obs_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _add_qoc_tuning_arguments(cmd: argparse.ArgumentParser) -> None:
+    """QOC hot-path knobs shared by ``compile`` and ``compile-batch``."""
+    cmd.add_argument(
+        "--qoc-kernel",
+        default=None,
+        choices=list(QOC_KERNELS),
+        help=(
+            "GRAPE objective kernel: 'fast' (vectorized scan, default) or "
+            "'reference' (bitwise-pinned legacy loops)"
+        ),
+    )
+    cmd.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable nearest-neighbor warm starts from the pulse library",
+    )
+    cmd.add_argument(
+        "--warm-start-distance",
+        type=float,
+        default=None,
+        metavar="D",
+        help=(
+            "max global-phase-invariant distance for a library entry to "
+            "seed a search (default: %(default)s -> config default)"
+        ),
+    )
+
+
+def _qoc_config(args) -> QOCConfig:
+    """Build the QOCConfig shared by the compile/compile-batch commands."""
+    extra = {}
+    kernel = getattr(args, "qoc_kernel", None)
+    if kernel is not None:
+        extra["kernel"] = kernel
+    if getattr(args, "no_warm_start", False):
+        extra["warm_start"] = False
+    distance = getattr(args, "warm_start_distance", None)
+    if distance is not None:
+        extra["warm_start_max_distance"] = distance
+    return QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity, **extra)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EPOC pulse-generation toolkit"
@@ -143,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
     )
+    _add_qoc_tuning_arguments(compile_cmd)
     compile_cmd.add_argument(
         "-j",
         "--workers",
@@ -308,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument(
         "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
     )
+    _add_qoc_tuning_arguments(batch_cmd)
     batch_cmd.add_argument(
         "-j",
         "--workers",
@@ -476,7 +521,7 @@ def _config(args) -> EPOCConfig:
         use_zx=not getattr(args, "no_zx", False),
         partition_qubit_limit=args.qubit_limit,
         regroup_qubit_limit=args.qubit_limit,
-        qoc=QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity),
+        qoc=_qoc_config(args),
         parallel=ParallelConfig(workers=getattr(args, "workers", None)),
         resilience=resilience,
         verify=VerifyConfig(
@@ -600,7 +645,7 @@ def _batch_config(args) -> EPOCConfig:
         use_zx=not args.no_zx,
         partition_qubit_limit=args.qubit_limit,
         regroup_qubit_limit=args.qubit_limit,
-        qoc=QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity),
+        qoc=_qoc_config(args),
         parallel=ParallelConfig(workers=args.workers),
         resilience=resilience,
         verify=VerifyConfig(mode=args.verify),

@@ -27,6 +27,9 @@ ENV_LEDGER = "REPRO_LEDGER"
 #: accepted stage-boundary verification modes.
 VERIFY_MODES = ("off", "warn", "strict")
 
+#: accepted GRAPE objective kernels (see :mod:`repro.qoc.grape`).
+QOC_KERNELS = ("fast", "reference")
+
 
 @dataclass(frozen=True)
 class QOCConfig:
@@ -47,6 +50,18 @@ class QOCConfig:
     max_amplitude: float = 2.0
     #: random seed for pulse initialization (deterministic by default).
     seed: int = 7
+    #: GRAPE objective kernel: "fast" uses log-depth propagator scans and
+    #: a contraction that never materializes the ``(K, T, d, d)``
+    #: control-in-eigenbasis tensor; "reference" keeps the original
+    #: loop-based objective (bitwise-identical to pre-fast-path builds).
+    #: The two agree to ~1e-14 but not bitwise (matmul reassociation).
+    kernel: str = "fast"
+    #: seed each pulse search from the library's nearest same-width entry
+    #: (initial controls + duration bracket) instead of a cold start.
+    warm_start: bool = True
+    #: largest global-phase-invariant unitary distance (``hs_distance``,
+    #: in [0, 1]) at which a library entry still counts as a neighbour.
+    warm_start_max_distance: float = 0.15
 
     def __post_init__(self):
         # an inverted segment bracket used to be clamped silently inside
@@ -65,6 +80,16 @@ class QOCConfig:
             )
         if self.dt <= 0.0:
             raise ValueError(f"QOCConfig.dt must be positive, got {self.dt}")
+        if self.kernel not in QOC_KERNELS:
+            raise ValueError(
+                f"QOCConfig.kernel must be one of {QOC_KERNELS}, "
+                f"got {self.kernel!r}"
+            )
+        if self.warm_start_max_distance < 0.0:
+            raise ValueError(
+                "QOCConfig.warm_start_max_distance must be >= 0, got "
+                f"{self.warm_start_max_distance}"
+            )
 
 
 @dataclass(frozen=True)

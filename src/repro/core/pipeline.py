@@ -310,6 +310,12 @@ class EPOCPipeline:
                     detail="regroup reassembly",
                 )
 
+            # warm-start candidates are frozen *before* the journal opens:
+            # journal.open preloads checkpointed pulses into the library,
+            # and scanning those would make a killed-and-resumed run seed
+            # its remaining searches differently from an uninterrupted one
+            warm_entries = self.library.warm_snapshot()
+
             journal: Optional[CompilationJournal] = None
             if resilience.checkpoint_path is not None:
                 journal = CompilationJournal(
@@ -345,6 +351,7 @@ class EPOCPipeline:
                             [(item.matrix, item.qubits) for item in items],
                             executor=executor,
                             on_pulse=on_pulse,
+                            warm_entries=warm_entries,
                         )
                     else:
                         pulses = []
@@ -357,7 +364,9 @@ class EPOCPipeline:
                                 "pulse", item=index, qubits=list(item.qubits)
                             ) as span:
                                 pulse = self.library.get_pulse(
-                                    item.matrix, item.qubits
+                                    item.matrix,
+                                    item.qubits,
+                                    warm_entries=warm_entries,
                                 )
                                 span.set(duration_ns=pulse.duration)
                             pulses.append(pulse)

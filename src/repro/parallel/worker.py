@@ -45,12 +45,21 @@ class PulseTask:
     num_qubits: int
     config: QOCConfig
     resilience: Optional[ResilienceConfig] = None
+    #: neighbor controls selected by the parent's warm-start scan; the
+    #: worker only consumes them, so serial and parallel runs seed from
+    #: the same stage-start library snapshot
+    warm_controls: Optional[np.ndarray] = None
 
-    def run(self) -> Any:
+    def run(self, first_probe_eig: Optional[Any] = None) -> Any:
         from repro.qoc.latency import pulse_for_unitary
 
         return pulse_for_unitary(
-            self.matrix, self.num_qubits, self.config, resilience=self.resilience
+            self.matrix,
+            self.num_qubits,
+            self.config,
+            resilience=self.resilience,
+            warm_controls=self.warm_controls,
+            first_probe_eig=first_probe_eig,
         )
 
 

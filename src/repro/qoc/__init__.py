@@ -10,7 +10,12 @@ from repro.qoc.grape import (
 from repro.qoc.crab import crab_optimize
 from repro.qoc.pulse import Pulse
 from repro.qoc.latency import minimal_latency_pulse, estimate_initial_segments
-from repro.qoc.library import PulseLibrary, unitary_cache_key
+from repro.qoc.library import (
+    NearNeighbor,
+    PulseLibrary,
+    decode_library_key,
+    unitary_cache_key,
+)
 from repro.qoc.benchmarking import RBResult, randomized_benchmarking, single_qubit_cliffords
 from repro.qoc.state_transfer import StateTransferResult, grape_state_transfer
 from repro.qoc.transmon3 import (
@@ -37,6 +42,8 @@ __all__ = [
     "Pulse",
     "minimal_latency_pulse",
     "estimate_initial_segments",
+    "NearNeighbor",
     "PulseLibrary",
+    "decode_library_key",
     "unitary_cache_key",
 ]

@@ -1,0 +1,107 @@
+"""Batched bracket-probe eigendecomposition for singleflight QOC batches.
+
+Every pulse search opens with one GRAPE evaluation at a known point: the
+starting controls of the duration search's first probe (the "bracket
+probe").  When the pulse library dispatches a batch of pending problems
+inline, those first evaluations are known *before* any optimizer runs —
+so their slot Hamiltonians can be eigendecomposed together, one
+``np.linalg.eigh`` call per ``(num_qubits, segment-count)`` group instead
+of one per problem.
+
+``eigh`` on a stacked ``(B*T, d, d)`` array applies LAPACK per matrix, so
+each problem's eigensystem is bit-for-bit what its own ``eigh`` call
+would have produced; the optimizer additionally refuses the precomputed
+result unless its first evaluation point matches the pre-pass's exactly
+(see ``_GrapeObjective._eigensystem``).  Batched-or-not therefore cannot
+change any pulse, which is what keeps the serial/parallel/inline
+equivalence guarantees of the compilation flows intact.
+
+The pre-pass only covers ``kernel="fast"`` — the reference kernel
+assembles its Hamiltonians through a different (bitwise-pinned) code path
+that the pre-pass does not replicate.  Precomputed eigensystems are not
+shipped to worker processes either: pickling ``(T, d, d)`` complex
+arrays across the pool costs more than the ``eigh`` it would save.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.config import QOCConfig
+from repro.qoc.hamiltonian import TransmonChain
+from repro.qoc.latency import _initial_probe_controls, _search_start_segments
+
+__all__ = ["batched_first_probe_eigs"]
+
+
+def batched_first_probe_eigs(tasks: Sequence) -> List[Optional[Tuple]]:
+    """Precompute each task's first bracket-probe eigendecomposition.
+
+    ``tasks`` are :class:`~repro.parallel.worker.PulseTask`-shaped objects
+    (``matrix``, ``num_qubits``, ``config``, ``warm_controls``).  Returns
+    a list aligned with ``tasks`` holding ``(u0, props, lams, qs)``
+    tuples — the ``first_eig`` argument of
+    :func:`~repro.qoc.grape.grape_optimize` — or ``None`` for tasks that
+    were not batched (singleton groups, non-fast kernels).
+    """
+    results: List[Optional[Tuple]] = [None] * len(tasks)
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    hardware: Dict[int, TransmonChain] = {}
+    for index, task in enumerate(tasks):
+        config = task.config or QOCConfig()
+        if config.kernel != "fast":
+            continue
+        num_qubits = int(task.num_qubits)
+        if num_qubits not in hardware:
+            hardware[num_qubits] = TransmonChain(num_qubits)
+        warm = task.warm_controls
+        start = _search_start_segments(
+            np.asarray(task.matrix, dtype=complex),
+            hardware[num_qubits],
+            config,
+            warm.shape[1] if warm is not None else None,
+        )
+        groups.setdefault((num_qubits, start), []).append(index)
+
+    metrics = telemetry.get_metrics()
+    for (num_qubits, start), members in groups.items():
+        if len(members) < 2:
+            continue  # nothing to batch; the optimizer pays its own eigh
+        chain = hardware[num_qubits]
+        drift = chain.drift()
+        controls_h, _ = chain.controls()
+        stack = np.stack([np.asarray(h, dtype=complex) for h in controls_h])
+        d = drift.shape[0]
+        flat_stack = stack.reshape(len(controls_h), d * d)
+        dt = (tasks[members[0]].config or QOCConfig()).dt
+        u0s = []
+        hams = np.empty((len(members), start, d, d), dtype=complex)
+        for position, index in enumerate(members):
+            task = tasks[index]
+            u0 = _initial_probe_controls(
+                task.config or QOCConfig(),
+                len(controls_h),
+                start,
+                task.warm_controls,
+            )
+            u0s.append(u0)
+            # assemble exactly as _GrapeObjective's fast path does, per
+            # problem — only the eigh itself is shared
+            slot = (u0.T @ flat_stack).reshape(start, d, d)
+            slot += drift
+            hams[position] = slot
+        lams, qs = np.linalg.eigh(hams.reshape(len(members) * start, d, d))
+        lams = lams.reshape(len(members), start, d)
+        qs = qs.reshape(len(members), start, d, d)
+        for position, index in enumerate(members):
+            phases = np.exp(-1j * dt * lams[position])
+            props = (qs[position] * phases[:, None, :]) @ np.conj(
+                np.swapaxes(qs[position], 1, 2)
+            )
+            results[index] = (u0s[position], props, lams[position], qs[position])
+        metrics.inc("qoc.batched_probe_groups")
+        metrics.inc("qoc.batched_probe_problems", len(members))
+    return results

@@ -29,7 +29,12 @@ from repro import telemetry
 from repro.config import QOCConfig, ResilienceConfig
 from repro.exceptions import QOCError
 from repro.linalg.unitary import global_phase_align
-from repro.qoc.grape import GrapeResult, grape_optimize, propagate
+from repro.qoc.grape import (
+    GrapeResult,
+    _resample_controls,
+    grape_optimize,
+    propagate,
+)
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.pulse import Pulse
 from repro.resilience.faults import fault_fires
@@ -66,11 +71,55 @@ def estimate_initial_segments(
     return min(segments, config.max_segments)
 
 
+def _search_start_segments(
+    target: np.ndarray,
+    hardware: TransmonChain,
+    config: QOCConfig,
+    warm_segments: Optional[int] = None,
+) -> int:
+    """Where the doubling phase starts probing.
+
+    A warm-started search trusts the neighbour's recorded duration (its
+    own binary search already certified it as near-minimal for a unitary
+    within ``warm_start_max_distance``); a cold search falls back to the
+    physics estimate.
+    """
+    if warm_segments is not None:
+        segments = max(int(warm_segments), config.min_segments)
+        return min(segments, config.max_segments)
+    return estimate_initial_segments(target, hardware, config)
+
+
+def _initial_probe_controls(
+    config: QOCConfig,
+    num_controls: int,
+    num_segments: int,
+    warm_controls: Optional[np.ndarray],
+) -> np.ndarray:
+    """The exact controls the first bracket probe starts from.
+
+    Mirrors ``grape_optimize``'s seeding bit-for-bit — the batched
+    bracket-probe pre-pass (:mod:`repro.qoc.batched`) reproduces the
+    first evaluation point with this helper, and its precomputed
+    eigendecomposition is only used when the optimizer's own first point
+    matches it exactly.
+    """
+    if warm_controls is not None:
+        warm = np.asarray(warm_controls, dtype=float)
+        if warm.shape == (num_controls, num_segments):
+            return warm.copy()
+        return _resample_controls(warm, num_segments)
+    rng = np.random.default_rng(config.seed)
+    return rng.uniform(-0.1, 0.1, size=(num_controls, num_segments))
+
+
 def pulse_for_unitary(
     matrix: np.ndarray,
     num_qubits: int,
     config: Optional[QOCConfig] = None,
     resilience: Optional[ResilienceConfig] = None,
+    warm_controls: Optional[np.ndarray] = None,
+    first_probe_eig=None,
 ) -> Pulse:
     """Solve one pulse-library-style QOC problem on local wires 0..n-1.
 
@@ -78,6 +127,8 @@ def pulse_for_unitary(
     rebuilds the default :class:`TransmonChain` exactly as
     ``PulseLibrary.hardware_for`` does, so a worker's pulse is
     bit-for-bit identical to the one the serial path would have cached.
+    ``warm_controls`` / ``first_probe_eig`` pass straight through to
+    :func:`minimal_latency_pulse`.
     """
     num_qubits = int(num_qubits)
     return minimal_latency_pulse(
@@ -86,7 +137,27 @@ def pulse_for_unitary(
         config=config,
         hardware=TransmonChain(num_qubits),
         resilience=resilience,
+        warm_controls=warm_controls,
+        first_probe_eig=first_probe_eig,
     )
+
+
+def _observe_search_iterations(
+    metrics, warm_seeded: bool, iterations: int
+) -> None:
+    """Record a whole search's GRAPE iteration total, split by seeding.
+
+    The warm/cold split is what ``bench_warm_start`` (and any dashboard
+    over the run ledger) compares to quantify iterations saved by
+    library-neighbour seeding.
+    """
+    metrics.observe("qoc.search_iterations", iterations)
+    name = (
+        "qoc.search_iterations_warm"
+        if warm_seeded
+        else "qoc.search_iterations_cold"
+    )
+    metrics.observe(name, iterations)
 
 
 def _finish_pulse(
@@ -116,6 +187,8 @@ def minimal_latency_pulse(
     hardware: Optional[TransmonChain] = None,
     resilience: Optional[ResilienceConfig] = None,
     deadline: Optional[Deadline] = None,
+    warm_controls: Optional[np.ndarray] = None,
+    first_probe_eig=None,
 ) -> Pulse:
     """Find the shortest pulse implementing ``target`` on ``qubits``.
 
@@ -127,6 +200,14 @@ def minimal_latency_pulse(
     ``resilience.qoc_timeout_seconds``) bounds the wall-clock spent on
     this one search; probes stop at expiry and the best result so far
     wins.
+
+    ``warm_controls`` — a near-neighbour's solved waveform (see
+    ``PulseLibrary.nearest``) — seeds both the search bracket (the first
+    probe runs at the neighbour's segment count instead of the cold
+    physics estimate) and GRAPE's initial controls (resampled on segment
+    mismatch).  ``first_probe_eig`` optionally carries the first probe's
+    precomputed slot eigendecomposition from the batched pre-pass
+    (:mod:`repro.qoc.batched`).
     """
     config = config or QOCConfig()
     target = np.asarray(target, dtype=complex)
@@ -142,16 +223,22 @@ def minimal_latency_pulse(
             resilience.qoc_timeout_seconds if resilience is not None else None
         )
     forced_fail = fault_fires("qoc.no_converge", qubits=num_qubits)
+    warm_seeded = warm_controls is not None
+    if warm_seeded:
+        warm_controls = np.asarray(warm_controls, dtype=float)
+        metrics.inc("grape.warm_started")
 
     # every probed segment count and its result: the binary search never
     # re-runs GRAPE for a count it has already seen
     probed: Dict[int, GrapeResult] = {}
     best_attempt: Optional[GrapeResult] = None
+    search_iterations = [0]
 
     def probe(
         segment_count: int,
         probe_config: QOCConfig,
         initial_controls: Optional[np.ndarray],
+        first_eig=None,
     ) -> GrapeResult:
         nonlocal best_attempt
         metrics.inc("qoc.search_probes")
@@ -161,7 +248,9 @@ def minimal_latency_pulse(
             segment_count,
             config=probe_config,
             initial_controls=initial_controls,
+            first_eig=first_eig,
         )
+        search_iterations[0] += result.iterations
         if forced_fail and result.converged:
             # an injected non-convergence must look like a real one all
             # the way down to the waveform: attenuate the controls and
@@ -191,17 +280,25 @@ def minimal_latency_pulse(
         return result
 
     with telemetry.get_tracer().span(
-        "qoc.pulse_search", qubits=num_qubits
+        "qoc.pulse_search", qubits=num_qubits, warm=warm_seeded
     ) as search_span:
-        # phase 1: double until success
-        initial = estimate_initial_segments(target, hardware, config)
+        # phase 1: double until success, starting from the neighbour's
+        # segment count when warm-seeded (cold: the physics estimate)
+        initial = _search_start_segments(
+            target,
+            hardware,
+            config,
+            warm_controls.shape[1] if warm_seeded else None,
+        )
         segments = initial
         best: Optional[GrapeResult] = None
         last_fail = 0
-        warm: Optional[np.ndarray] = None
+        warm: Optional[np.ndarray] = warm_controls
+        first_eig = first_probe_eig
         timed_out = False
         while segments <= config.max_segments:
-            result = probe(segments, config, warm)
+            result = probe(segments, config, warm, first_eig=first_eig)
+            first_eig = None
             warm = result.controls
             if result.converged:
                 best = result
@@ -260,6 +357,9 @@ def minimal_latency_pulse(
             )
             if allow_degraded and best_attempt is not None:
                 metrics.inc("resilience.degraded_pulses")
+                _observe_search_iterations(
+                    metrics, warm_seeded, search_iterations[0]
+                )
                 search_span.set(
                     degraded=True, fidelity=round(best_attempt.fidelity, 6)
                 )
@@ -281,11 +381,16 @@ def minimal_latency_pulse(
 
         # phase 2: binary search between last failure and the success
         if last_fail == 0:
-            # The very first probe (the physics-motivated estimate)
-            # converged, so no failing duration brackets the search from
-            # below.  Durations under the estimate are physically
-            # implausible — seed the lower bound there instead of at 0 so
-            # GRAPE probes are not burned on hopeless segment counts.
+            # The very first probe converged, so no failing duration
+            # brackets the search from below.  Cold: durations under the
+            # physics estimate are physically implausible.  Warm: the
+            # neighbour's own search already certified its segment count
+            # as near-minimal, and the target sits within
+            # warm_start_max_distance of it — either way, seed the lower
+            # bound at the start instead of at 0 so GRAPE probes are not
+            # burned on hopeless segment counts.  (A warm search whose
+            # first probe converges therefore ends at the neighbour's
+            # duration: high == low, no refinement below the bracket.)
             low = initial
         else:
             low = last_fail
@@ -326,6 +431,7 @@ def minimal_latency_pulse(
 
     metrics.observe("qoc.pulse_duration_ns", best_result.duration)
     metrics.observe("qoc.pulse_segments", best_result.controls.shape[1])
+    _observe_search_iterations(metrics, warm_seeded, search_iterations[0])
     logger.info(
         "pulse search: %d-qubit target -> %.1f ns at fidelity %.4f",
         num_qubits,

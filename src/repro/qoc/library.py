@@ -20,12 +20,18 @@ import numpy as np
 from repro import telemetry
 from repro.config import QOCConfig, ResilienceConfig
 from repro.exceptions import QOCError
+from repro.linalg.unitary import hs_distance
 from repro.obs import events as obs_events
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.latency import minimal_latency_pulse
 from repro.qoc.pulse import Pulse
 
-__all__ = ["PulseLibrary", "unitary_cache_key"]
+__all__ = [
+    "NearNeighbor",
+    "PulseLibrary",
+    "decode_library_key",
+    "unitary_cache_key",
+]
 
 logger = telemetry.get_logger("qoc.library")
 
@@ -60,6 +66,36 @@ def unitary_cache_key(
     return rounded.tobytes()
 
 
+def decode_library_key(key: bytes) -> Optional[Tuple[int, np.ndarray]]:
+    """Recover ``(num_qubits, canonical_unitary)`` from a library key.
+
+    Keys are ``bytes([num_qubits])`` followed by the canonicalized
+    matrix's raw complex128 buffer (see :meth:`PulseLibrary.key_for`), so
+    the stored unitary — rounded and phase-canonicalized, which is all a
+    distance scan needs — reconstructs without any schema change.
+    Returns ``None`` for keys that do not decode to a square matrix of
+    the advertised width (e.g. foreign entries merged from a corrupted
+    file).
+    """
+    if len(key) < 2:
+        return None
+    num_qubits = key[0]
+    dim = 2**num_qubits
+    if len(key) - 1 != dim * dim * np.dtype(complex).itemsize:
+        return None
+    matrix = np.frombuffer(key, dtype=complex, offset=1).reshape(dim, dim)
+    return num_qubits, matrix
+
+
+@dataclass(frozen=True)
+class NearNeighbor:
+    """A library entry close (but not equal) to a requested unitary."""
+
+    key: bytes
+    pulse: Pulse
+    distance: float
+
+
 @dataclass
 class PulseLibrary:
     """Pulse cache + generator front-end used by every pipeline.
@@ -79,6 +115,10 @@ class PulseLibrary:
     _hardware: Dict[int, TransmonChain] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    #: misses that found a warm-start neighbor / misses that scanned and
+    #: found none (misses with warm starts disabled count in neither).
+    near_hits: int = 0
+    near_misses: int = 0
     #: corrupted on-disk entries skipped by :meth:`load` (cumulative).
     quarantined: int = 0
 
@@ -98,7 +138,88 @@ class PulseLibrary:
             matrix, global_phase=self.match_global_phase
         )
 
-    def get_pulse(self, matrix: np.ndarray, qubits: Tuple[int, ...]) -> Pulse:
+    def warm_snapshot(self) -> Dict[bytes, Pulse]:
+        """A frozen copy of the current entries for warm-start scans.
+
+        Pipelines capture this once at pulse-stage start and pass it to
+        every :meth:`get_pulse` / :meth:`get_pulses` call in the stage.
+        Scanning a fixed snapshot — never the live, mid-stage cache —
+        keeps warm-start selection independent of solve order, so serial,
+        parallel, and checkpoint-resumed runs seed every search
+        identically.
+        """
+        return dict(self._entries)
+
+    def nearest(
+        self,
+        matrix: np.ndarray,
+        num_qubits: int,
+        entries: Optional[Dict[bytes, Pulse]] = None,
+        max_distance: Optional[float] = None,
+    ) -> Optional[NearNeighbor]:
+        """The closest same-width library entry within ``max_distance``.
+
+        Distance is the global-phase-invariant Hilbert-Schmidt distance
+        ``1 - |tr(U†V)|/d`` (the GRAPE infidelity's square root scale),
+        computed against the canonical unitary decoded from each entry's
+        cache key.  Entries of a different qubit count, undecodable keys,
+        and the exact requested key are skipped.  Ties break toward the
+        first entry in iteration order (strict ``<``), which is
+        deterministic because dict order is insertion order and callers
+        scan frozen snapshots.
+        """
+        if max_distance is None:
+            max_distance = self.config.warm_start_max_distance
+        if entries is None:
+            entries = self._entries
+        matrix = np.asarray(matrix, dtype=complex)
+        request_key = self.key_for(matrix, num_qubits)
+        best: Optional[NearNeighbor] = None
+        for key, pulse in entries.items():
+            if key == request_key or not key or key[0] != num_qubits:
+                continue
+            decoded = decode_library_key(key)
+            if decoded is None:
+                continue
+            distance = hs_distance(matrix, decoded[1])
+            if distance > max_distance:
+                continue
+            if best is None or distance < best.distance:
+                best = NearNeighbor(key=key, pulse=pulse, distance=distance)
+        metrics = telemetry.get_metrics()
+        if best is not None:
+            self.near_hits += 1
+            metrics.inc("library.near_hits")
+        else:
+            self.near_misses += 1
+            metrics.inc("library.near_misses")
+        return best
+
+    def _warm_controls(
+        self,
+        matrix: np.ndarray,
+        num_qubits: int,
+        entries: Optional[Dict[bytes, Pulse]],
+    ) -> Optional[np.ndarray]:
+        """Neighbor controls for a cache miss, or ``None``."""
+        if not self.config.warm_start:
+            return None
+        neighbor = self.nearest(matrix, num_qubits, entries=entries)
+        if neighbor is None:
+            return None
+        logger.debug(
+            "warm start: neighbor at distance %.3g with %d segments",
+            neighbor.distance,
+            neighbor.pulse.num_segments,
+        )
+        return neighbor.pulse.controls
+
+    def get_pulse(
+        self,
+        matrix: np.ndarray,
+        qubits: Tuple[int, ...],
+        warm_entries: Optional[Dict[bytes, Pulse]] = None,
+    ) -> Pulse:
         """Fetch (or generate and cache) the pulse for ``matrix``."""
         matrix = np.asarray(matrix, dtype=complex)
         num_qubits = len(qubits)
@@ -118,6 +239,7 @@ class PulseLibrary:
             config=self.config,
             hardware=self.hardware_for(num_qubits),
             resilience=self.resilience,
+            warm_controls=self._warm_controls(matrix, num_qubits, warm_entries),
         )
         self._entries[key] = pulse
         metrics.gauge("library.size", len(self._entries))
@@ -128,6 +250,7 @@ class PulseLibrary:
         requests: Sequence[Tuple[np.ndarray, Tuple[int, ...]]],
         executor=None,
         on_pulse=None,
+        warm_entries: Optional[Dict[bytes, Pulse]] = None,
     ) -> List[Pulse]:
         """Batch :meth:`get_pulse` with singleflight deduplication.
 
@@ -162,12 +285,23 @@ class PulseLibrary:
                 pending[key] = index
         metrics = telemetry.get_metrics()
         if pending:
+            # warm-start candidates come from a snapshot — the caller's
+            # stage-start snapshot when provided, otherwise one taken
+            # now, before any batch member solves — so every miss in the
+            # batch scans the same candidate set a serial loop would
+            if warm_entries is None and self.config.warm_start:
+                warm_entries = self.warm_snapshot()
             tasks = [
                 PulseTask(
                     matrix=requests[index][0],
                     num_qubits=len(requests[index][1]),
                     config=self.config,
                     resilience=self.resilience,
+                    warm_controls=self._warm_controls(
+                        requests[index][0],
+                        len(requests[index][1]),
+                        warm_entries,
+                    ),
                 )
                 for index in pending.values()
             ]
@@ -217,8 +351,16 @@ class PulseLibrary:
             if executor is not None:
                 executor.map(tasks, on_chunk=absorb)
             else:
+                # inline batch: share one eigh across each group of
+                # same-shape first bracket probes (see qoc.batched)
+                from repro.qoc.batched import batched_first_probe_eigs
+
+                probe_eigs = batched_first_probe_eigs(tasks)
                 for position, task in enumerate(tasks):
-                    absorb(position, [task.run()])
+                    absorb(
+                        position,
+                        [task.run(first_probe_eig=probe_eigs[position])],
+                    )
         # replay the request stream for serial-identical hit/miss counts
         fresh = set(pending)
         out: List[Pulse] = []
@@ -401,4 +543,6 @@ class PulseLibrary:
     def clear_statistics(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.near_hits = 0
+        self.near_misses = 0
         self.quarantined = 0

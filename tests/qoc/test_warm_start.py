@@ -1,0 +1,227 @@
+"""Nearest-neighbor warm starts: selection, determinism, and bracket bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+from scipy.stats import unitary_group
+
+from repro import telemetry
+from repro.config import QOCConfig
+from repro.linalg.unitary import hs_distance
+from repro.parallel import ParallelExecutor
+from repro.qoc.grape import GrapeResult
+from repro.qoc.hamiltonian import TransmonChain
+from repro.qoc.library import PulseLibrary, decode_library_key
+from repro.qoc.pulse import Pulse
+
+FAST = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.98,
+    max_iterations=60,
+    min_segments=2,
+    max_segments=120,
+)
+COLD = QOCConfig(
+    dt=1.0,
+    fidelity_threshold=0.98,
+    max_iterations=60,
+    min_segments=2,
+    max_segments=120,
+    warm_start=False,
+)
+
+
+def _nearby(matrix, scale=0.02, seed=0):
+    """A unitary a small (but nonzero) distance from ``matrix``."""
+    rng = np.random.default_rng(seed)
+    h = rng.normal(size=matrix.shape) + 1j * rng.normal(size=matrix.shape)
+    h = (h + h.conj().T) / 2
+    return expm(1j * scale * h) @ matrix
+
+
+def _preloaded(matrix, num_qubits, num_segments, config=FAST):
+    """A library holding one synthetic entry for ``matrix``."""
+    library = PulseLibrary(config=config)
+    key = library.key_for(matrix, num_qubits)
+    library._entries[key] = Pulse(
+        qubits=tuple(range(num_qubits)),
+        controls=np.zeros((2 * num_qubits, num_segments)),
+        dt=config.dt,
+        fidelity=0.999,
+        unitary_distance=0.01,
+    )
+    return library
+
+
+class TestNearest:
+    def test_finds_close_neighbor(self):
+        base = unitary_group.rvs(4, random_state=1)
+        library = _preloaded(base, 2, 10)
+        neighbor = library.nearest(_nearby(base), 2)
+        assert neighbor is not None
+        assert neighbor.distance <= FAST.warm_start_max_distance
+        assert neighbor.pulse.num_segments == 10
+
+    def test_rejects_cross_width_entries(self):
+        base = unitary_group.rvs(2, random_state=2)
+        library = _preloaded(base, 1, 8)
+        # a 2-qubit request must never seed from a 1-qubit entry
+        assert library.nearest(unitary_group.rvs(4, random_state=3), 2) is None
+
+    def test_rejects_over_distance_entries(self):
+        base = unitary_group.rvs(4, random_state=4)
+        library = _preloaded(base, 2, 10)
+        far = unitary_group.rvs(4, random_state=5)
+        assert hs_distance(base, far) > FAST.warm_start_max_distance
+        assert library.nearest(far, 2) is None
+
+    def test_excludes_exact_request_key(self):
+        base = unitary_group.rvs(4, random_state=6)
+        library = _preloaded(base, 2, 10)
+        # the only entry is the request itself: no *neighbor* exists
+        assert library.nearest(base, 2) is None
+
+    def test_picks_closest_of_several(self):
+        base = unitary_group.rvs(4, random_state=7)
+        library = _preloaded(base, 2, 10)
+        closer = _nearby(base, scale=0.005, seed=1)
+        key = library.key_for(closer, 2)
+        library._entries[key] = Pulse(
+            qubits=(0, 1),
+            controls=np.zeros((4, 17)),
+            dt=FAST.dt,
+            fidelity=0.999,
+            unitary_distance=0.01,
+        )
+        neighbor = library.nearest(_nearby(closer, scale=0.001, seed=2), 2)
+        assert neighbor is not None
+        assert neighbor.pulse.num_segments == 17
+
+    def test_accounting(self):
+        base = unitary_group.rvs(4, random_state=8)
+        library = _preloaded(base, 2, 10)
+        library.nearest(_nearby(base), 2)
+        library.nearest(unitary_group.rvs(4, random_state=9), 2)
+        assert library.near_hits == 1
+        assert library.near_misses == 1
+        library.clear_statistics()
+        assert library.near_hits == 0
+        assert library.near_misses == 0
+
+
+class TestKeyDecode:
+    def test_roundtrip(self):
+        library = PulseLibrary(config=FAST)
+        base = unitary_group.rvs(4, random_state=10)
+        key = library.key_for(base, 2)
+        decoded = decode_library_key(key)
+        assert decoded is not None
+        num_qubits, matrix = decoded
+        assert num_qubits == 2
+        # the decoded canonical form is phase/rounding-equivalent
+        assert hs_distance(base, matrix) < 1e-5
+
+    def test_rejects_malformed_keys(self):
+        assert decode_library_key(b"") is None
+        assert decode_library_key(b"\x02shortpayload") is None
+
+
+class TestWarmStartDeterminism:
+    def test_hit_miss_stream_unchanged_vs_cold(self):
+        base = unitary_group.rvs(2, random_state=11)
+        requests = [
+            (base, (0,)),
+            (_nearby(base, seed=3), (0,)),
+            (base, (0,)),
+            (_nearby(base, seed=4), (0,)),
+        ]
+        streams = {}
+        for label, config in (("warm", FAST), ("cold", COLD)):
+            with telemetry.telemetry_session():
+                library = PulseLibrary(config=config)
+                library.get_pulses(requests)
+                streams[label] = (
+                    library.hits,
+                    library.misses,
+                    sorted(library._entries),
+                )
+        # warm starts change the *seed* of each search, never which
+        # searches run or which keys the cache ends up holding
+        assert streams["warm"] == streams["cold"]
+
+    def test_serial_matches_parallel_bitwise(self):
+        base = unitary_group.rvs(2, random_state=12)
+        mats = [_nearby(base, seed=5), _nearby(base, seed=6)]
+        results = {}
+        for mode in ("serial", "parallel"):
+            with telemetry.telemetry_session():
+                library = PulseLibrary(config=FAST)
+                library.get_pulse(base, (0,))  # preload one real entry
+                snapshot = library.warm_snapshot()
+                if mode == "serial":
+                    pulses = [
+                        library.get_pulse(m, (0,), warm_entries=snapshot)
+                        for m in mats
+                    ]
+                else:
+                    with ParallelExecutor(workers=2) as executor:
+                        pulses = library.get_pulses(
+                            [(m, (0,)) for m in mats],
+                            executor=executor,
+                            warm_entries=snapshot,
+                        )
+                results[mode] = (pulses, library.near_hits)
+        for serial_pulse, parallel_pulse in zip(
+            results["serial"][0], results["parallel"][0]
+        ):
+            assert np.array_equal(
+                serial_pulse.controls, parallel_pulse.controls
+            )
+        assert results["serial"][1] == results["parallel"][1]
+
+    def test_warm_started_metric_fires(self):
+        base = unitary_group.rvs(2, random_state=13)
+        with telemetry.telemetry_session() as (_, registry):
+            library = PulseLibrary(config=FAST)
+            library.get_pulse(base, (0,))
+            library.get_pulse(_nearby(base, seed=7), (0,))
+            counters = registry.state()["counters"]
+        assert counters.get("grape.warm_started") == 1.0
+        assert counters.get("library.near_hits") == 1.0
+
+
+class TestWarmBracket:
+    @given(neighbor_segments=st.integers(min_value=2, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_never_longer_than_neighbor_bracket(self, neighbor_segments):
+        """A warm-started search whose first probe converges ends at (or
+        below) the neighbor's recorded duration — the bracket is seeded
+        from the neighbor, and refinement only shrinks it."""
+
+        def always_converges(
+            target,
+            hardware,
+            num_segments,
+            config=None,
+            initial_controls=None,
+            **kwargs,
+        ):
+            return GrapeResult(
+                controls=np.zeros((2 * hardware.num_qubits, num_segments)),
+                fidelity=0.9995,
+                final_unitary=np.eye(target.shape[0], dtype=complex),
+                iterations=1,
+                converged=True,
+                dt=config.dt,
+            )
+
+        base = unitary_group.rvs(4, random_state=14)
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(
+                "repro.qoc.latency.grape_optimize", always_converges
+            )
+            library = _preloaded(base, 2, neighbor_segments)
+            pulse = library.get_pulse(_nearby(base, seed=8), (0, 1))
+        assert pulse.num_segments <= neighbor_segments

@@ -14,7 +14,10 @@ def _stub_grape(record, converge_at):
     """A GRAPE double: converges iff segments >= converge_at, and reports
     a fidelity that grows with the segment count."""
 
-    def stub(target, hardware, num_segments, config=None, initial_controls=None):
+    def stub(
+        target, hardware, num_segments, config=None,
+        initial_controls=None, **kwargs,
+    ):
         record.append(num_segments)
         converged = num_segments >= converge_at
         return GrapeResult(
@@ -123,7 +126,8 @@ class TestDegradation:
         seeds = []
 
         def seed_sensitive(
-            target, hardware, num_segments, config=None, initial_controls=None
+            target, hardware, num_segments, config=None,
+            initial_controls=None, **kwargs,
         ):
             seeds.append(config.seed)
             converged = config.seed != 7  # the default seed always fails
