@@ -87,7 +87,8 @@ def test_batch_dedup(benchmark):
         print(f"{outcome.name:<10}{solo[outcome.name]:>15}{shown:>16}")
     print(
         f"{'total':<10}{solo_total:>15}  batch searches="
-        f"{report.grape_searches}  dedup_savings={report.dedup_savings}"
+        f"{report.grape_searches}  dedup_savings={report.dedup_savings}  "
+        f"equiv_hits={report.equiv_hits}"
     )
 
     # the headline claim: sharing the library across the suite pays
@@ -97,8 +98,12 @@ def test_batch_dedup(benchmark):
         f"{solo_total}; the suite shares no unitaries across programs?"
     )
     assert report.dedup_savings > 0
-    # every search the batch ran produced exactly one library entry
-    assert report.library_entries == report.grape_searches
+    # exact-key sharing alone saved 6 of 37 searches on this suite;
+    # equivalence-class lookup must push dedup strictly past that
+    assert report.equiv_hits > 0, "no cross-circuit equivalence hits fired"
+    assert report.dedup_savings > 6
+    # every library entry is either a GRAPE solve or a derived equiv hit
+    assert report.library_entries == report.grape_searches + report.equiv_hits
 
     save_results(
         "batch_dedup",
@@ -107,6 +112,7 @@ def test_batch_dedup(benchmark):
             "per_circuit_searches_total": solo_total,
             "batch_searches": report.grape_searches,
             "dedup_savings": report.dedup_savings,
+            "equiv_hits": report.equiv_hits,
             "aggregate_hit_rate": report.aggregate_hit_rate,
             "library_entries": report.library_entries,
             "rows": rows,

@@ -1,0 +1,112 @@
+"""Sync cost scaling: SQLite upsert-only merge vs JSON full rewrite.
+
+The JSON store's locked load-merge-save round re-serializes every entry
+on every sync, so a checkpoint against an N-entry library costs O(N)
+regardless of how little changed.  The SQLite store's transactional
+merge writes only the locally-new rows.  This benchmark populates both
+backends with the same synthetic library at increasing sizes, then
+times one *incremental* sync (a single new entry — the steady-state
+checkpoint shape) against each, and asserts the headline claim: at
+10^4 entries the SQLite sync is at least 10x cheaper than the JSON
+rewrite.
+
+Entries are synthetic (fixed-size envelopes under real cache keys):
+sync cost depends on entry count and payload bytes, not on how the
+pulses were found, and GRAPE-solving 10^4 entries would dominate the
+bench for no extra signal.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.batch import SharedLibraryStore
+from repro.db import SqliteLibraryStore
+from repro.qoc import Pulse, PulseLibrary
+
+from _bench_common import save_results
+
+SIZES = (100, 1_000, 10_000)
+HEADLINE_SIZE = 10_000
+HEADLINE_SPEEDUP = 10.0
+
+
+def _filled_library(entries: int) -> PulseLibrary:
+    """A library with ``entries`` distinct synthetic 1-qubit pulses."""
+    library = PulseLibrary()
+    thetas = np.linspace(0.0, 3.0, entries, endpoint=False)
+    controls = np.full((2, 8), 0.25)
+    for theta in thetas:
+        matrix = np.diag([1.0, np.exp(1j * theta)]).astype(complex)
+        key = library.key_for(matrix, 1)
+        library._entries[key] = Pulse(
+            (0,), controls, 1.0, fidelity=1.0, unitary_distance=0.0
+        )
+    return library
+
+
+def _one_new_entry(library: PulseLibrary) -> None:
+    matrix = np.diag([1.0, np.exp(1j * 3.5)]).astype(complex)
+    library._entries[library.key_for(matrix, 1)] = Pulse(
+        (0,), np.full((2, 8), 0.25), 1.0, fidelity=1.0, unitary_distance=0.0
+    )
+
+
+def _timed_incremental_sync(store, library: PulseLibrary) -> float:
+    """Seconds for one sync that publishes exactly one new entry."""
+    store.sync(library)  # populate the file with the base entries
+    _one_new_entry(library)
+    start = time.perf_counter()
+    store.sync(library)
+    return time.perf_counter() - start
+
+
+def test_store_scaling(tmp_path):
+    rows: List[Dict[str, float]] = []
+    print()
+    print(f"{'entries':>8}{'json sync':>12}{'sqlite sync':>13}{'speedup':>9}")
+    for size in SIZES:
+        json_path = str(tmp_path / f"lib_{size}.json")
+        db_path = str(tmp_path / f"lib_{size}.db")
+        json_seconds = _timed_incremental_sync(
+            SharedLibraryStore(json_path), _filled_library(size)
+        )
+        sqlite_seconds = _timed_incremental_sync(
+            SqliteLibraryStore(db_path), _filled_library(size)
+        )
+        speedup = json_seconds / sqlite_seconds
+        rows.append(
+            {
+                "entries": size,
+                "json_sync_seconds": json_seconds,
+                "sqlite_sync_seconds": sqlite_seconds,
+                "speedup": speedup,
+                "json_file_bytes": os.path.getsize(json_path),
+                "sqlite_file_bytes": os.path.getsize(db_path),
+            }
+        )
+        print(
+            f"{size:>8}{json_seconds:>11.4f}s{sqlite_seconds:>12.4f}s"
+            f"{speedup:>8.1f}x"
+        )
+
+    headline = next(r for r in rows if r["entries"] == HEADLINE_SIZE)
+    assert headline["speedup"] >= HEADLINE_SPEEDUP, (
+        f"incremental sync at {HEADLINE_SIZE} entries: sqlite was only "
+        f"{headline['speedup']:.1f}x cheaper than the JSON rewrite "
+        f"(need >= {HEADLINE_SPEEDUP}x)"
+    )
+
+    save_results(
+        "store_scaling",
+        {
+            "workload": "one new entry synced into an N-entry library",
+            "headline_entries": HEADLINE_SIZE,
+            "headline_speedup": headline["speedup"],
+            "rows": rows,
+        },
+    )

@@ -50,6 +50,13 @@ from repro.resilience.journal import config_fingerprint
 from repro.batch.journal import SuiteJournal
 from repro.batch.store import SharedLibraryStore
 
+if False:  # typing only — Union of the two store backends
+    from typing import Union
+
+    from repro.db.store import SqliteLibraryStore
+
+    LibraryStore = Union[SharedLibraryStore, SqliteLibraryStore]
+
 __all__ = ["BatchCompiler", "BatchReport", "CircuitOutcome", "BATCH_FLOWS"]
 
 logger = telemetry.get_logger("batch.engine")
@@ -156,6 +163,9 @@ class BatchReport:
     store_loaded: int = 0
     #: searches seeded from a near-neighbor library entry.
     warm_starts: int = 0
+    #: misses served by equivalence-class derivation (transpose/dagger/
+    #: reverse/tensor) instead of a GRAPE search.
+    equiv_hits: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -191,11 +201,12 @@ class BatchReport:
             f"  store_loaded={self.store_loaded}" if self.store_loaded else ""
         )
         warm = f"  warm_starts={self.warm_starts}" if self.warm_starts else ""
+        equiv = f"  equiv_hits={self.equiv_hits}" if self.equiv_hits else ""
         lines.append(
             f"suite: {self.circuits} circuits{resumed}  "
             f"wall={self.wall_seconds:.2f}s  searches={self.grape_searches}  "
             f"dedup_savings={self.dedup_savings}  cache={cache}  "
-            f"library={self.library_entries} entries{store}{warm}"
+            f"library={self.library_entries} entries{store}{warm}{equiv}"
         )
         return "\n".join(lines)
 
@@ -208,7 +219,7 @@ class BatchCompiler:
         config: Optional[EPOCConfig] = None,
         flow: str = "epoc",
         library: Optional[PulseLibrary] = None,
-        store: Optional[SharedLibraryStore] = None,
+        store: Optional["LibraryStore"] = None,
         journal_path: Optional[str] = None,
         resume: bool = False,
     ):
@@ -254,12 +265,13 @@ class BatchCompiler:
             True,
         )
 
-    def _checkpoint_store(self) -> Optional[SharedLibraryStore]:
+    def _checkpoint_store(self) -> Optional["LibraryStore"]:
         """The store, when per-pulse checkpoints target the store's file.
 
-        Incremental flushes into the shared library must use the locked
-        merge, or two concurrent batches would reintroduce the exact
-        lost-update race the store exists to fix.
+        Incremental flushes into the shared library must use the store's
+        merge (locked load-merge-save for JSON, one upsert transaction
+        for SQLite), or two concurrent batches would reintroduce the
+        exact lost-update race the store exists to fix.
         """
         checkpoint = self.config.resilience.checkpoint_path
         if (
@@ -324,6 +336,7 @@ class BatchCompiler:
                     )
             searches_before = self.library.misses
             near_hits_before = self.library.near_hits
+            equiv_before = self.library.equiv_hits
             executor = ParallelExecutor.from_config(
                 self.config.parallel, self.config.resilience
             )
@@ -353,6 +366,7 @@ class BatchCompiler:
 
         report.grape_searches = self.library.misses - searches_before
         report.warm_starts = self.library.near_hits - near_hits_before
+        report.equiv_hits = self.library.equiv_hits - equiv_before
         solo_searches = sum(
             outcome.unique_qoc_items
             for outcome in report.outcomes
@@ -394,6 +408,7 @@ class BatchCompiler:
                 "dedup_savings": report.dedup_savings,
                 "library_entries": report.library_entries,
                 "store_loaded": report.store_loaded,
+                "equiv_hits": report.equiv_hits,
             },
         )
         return report

@@ -28,6 +28,7 @@ used instead.
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 from contextlib import contextmanager
@@ -45,6 +46,13 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 __all__ = ["SharedLibraryStore", "StoreSync", "StoreLockTimeout"]
 
 logger = telemetry.get_logger("batch.store")
+
+#: errno values that mean "another process holds the lock" — the only
+#: failures worth retrying.  ``EACCES`` is included because POSIX allows
+#: it in place of ``EAGAIN`` for mandatory-locking filesystems.
+_CONTENTION_ERRNOS = frozenset(
+    {errno.EWOULDBLOCK, errno.EAGAIN, errno.EACCES}
+)
 
 
 class StoreLockTimeout(ReproError):
@@ -65,6 +73,11 @@ class StoreSync:
 
 class SharedLibraryStore:
     """Lock-protected load-merge-save persistence for one library file."""
+
+    #: storage backend tag; :class:`repro.db.SqliteLibraryStore` reports
+    #: ``"sqlite"`` — callers that need to branch (the resilience
+    #: journal's resume path) dispatch on this instead of importing both.
+    kind = "json"
 
     def __init__(
         self,
@@ -101,7 +114,15 @@ class SharedLibraryStore:
                 try:
                     fcntl.flock(self._lock_fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
                     return time.monotonic() - start
-                except OSError:
+                except OSError as exc:
+                    if exc.errno not in _CONTENTION_ERRNOS:
+                        # EBADF, ENOLCK (NFS), EINTR storms, ... — not
+                        # contention; spinning until the deadline would
+                        # only bury the real error under a misleading
+                        # StoreLockTimeout.
+                        os.close(self._lock_fd)
+                        self._lock_fd = None
+                        raise
                     if time.monotonic() >= deadline:
                         os.close(self._lock_fd)
                         self._lock_fd = None
@@ -130,16 +151,24 @@ class SharedLibraryStore:
         fd = getattr(self, "_lock_fd", None)
         if fd is None:
             return
-        if fcntl is not None:
-            fcntl.flock(fd, fcntl.LOCK_UN)
-            os.close(fd)
-        else:  # pragma: no cover - non-POSIX fallback
-            os.close(fd)
+        # Whatever unlock does, the fd must be closed and the field
+        # cleared — a stale _lock_fd would make the next _acquire leak
+        # it, and the still-open descriptor would keep the flock held
+        # for the life of the process.
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            self._lock_fd = None
             try:
-                os.unlink(self.lock_path)
-            except OSError:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
                 pass
-        self._lock_fd = None
+            if fcntl is None:  # pragma: no cover - non-POSIX fallback
+                try:
+                    os.unlink(self.lock_path)
+                except OSError:
+                    pass
 
     # -- synchronization -------------------------------------------------
 

@@ -141,6 +141,14 @@ def _add_qoc_tuning_arguments(cmd: argparse.ArgumentParser) -> None:
             "seed a search (default: %(default)s -> config default)"
         ),
     )
+    cmd.add_argument(
+        "--no-equivalence",
+        action="store_true",
+        help=(
+            "disable equivalence-class cache lookup (transpose/dagger/"
+            "reverse/tensor derivation of cached pulses)"
+        ),
+    )
 
 
 def _qoc_config(args) -> QOCConfig:
@@ -154,6 +162,8 @@ def _qoc_config(args) -> QOCConfig:
     distance = getattr(args, "warm_start_distance", None)
     if distance is not None:
         extra["warm_start_max_distance"] = distance
+    if getattr(args, "no_equivalence", False):
+        extra["equivalence_lookup"] = False
     return QOCConfig(dt=args.dt, fidelity_threshold=args.fidelity, **extra)
 
 
@@ -484,6 +494,45 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="report circuit structure", parents=[logging_parent]
     )
     info_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
+
+    library_cmd = sub.add_parser(
+        "library",
+        help="inspect and convert pulse-library files (JSON <-> SQLite)",
+        parents=[logging_parent],
+    )
+    library_sub = library_cmd.add_subparsers(
+        dest="library_command", required=True
+    )
+
+    library_info = library_sub.add_parser(
+        "info", help="format, schema, key mode and per-width entry counts"
+    )
+    library_info.add_argument("library", help="library file (.json or .db)")
+
+    library_import = library_sub.add_parser(
+        "import",
+        help=(
+            "merge SRC's entries into DEST (created if missing); formats "
+            "are autodetected, so this converts JSON->SQLite and back"
+        ),
+    )
+    library_import.add_argument("src", help="source library (.json or .db)")
+    library_import.add_argument(
+        "dest", help="destination library (.json or .db)"
+    )
+
+    library_export = library_sub.add_parser(
+        "export",
+        help=(
+            "write DEST as a fresh canonical copy of SRC (DEST is "
+            "replaced); canonical JSON is the interchange format and a "
+            "JSON->SQLite->JSON round trip is bitwise-identical"
+        ),
+    )
+    library_export.add_argument("src", help="source library (.json or .db)")
+    library_export.add_argument(
+        "dest", help="destination library (.json or .db)"
+    )
     return parser
 
 
@@ -654,11 +703,15 @@ def _batch_config(args) -> EPOCConfig:
 
 
 def _run_compile_batch(args) -> int:
-    from repro.batch import BatchCompiler, SharedLibraryStore
+    from repro.batch import BatchCompiler
+    from repro.db import open_store
 
     circuits = _collect_batch_circuits(args)
     config = _batch_config(args)
-    store = SharedLibraryStore(args.library) if args.library else None
+    # the store backend follows the file: SQLite databases (by header,
+    # or by .db/.sqlite extension for new files) get the transactional
+    # upsert store, everything else the JSON load-merge-save store
+    store = open_store(args.library) if args.library else None
     compiler = BatchCompiler(
         config=config,
         flow=args.flow,
@@ -794,6 +847,111 @@ def _run_info(args) -> int:
     return 0
 
 
+def _library_mode(path: str):
+    """``(is_sqlite, match_global_phase)`` for an existing library file."""
+    import json
+
+    from repro.db import SqliteLibraryStore, is_sqlite_path
+    from repro.exceptions import QOCError
+
+    if is_sqlite_path(path):
+        meta = SqliteLibraryStore(path).meta()
+        return True, meta.get("match_global_phase", "1") == "1"
+    with open(path) as fh:
+        try:
+            payload = json.load(fh)
+        except ValueError as exc:
+            raise QOCError(f"library file {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise QOCError(f"library file {path} is not a library payload")
+    return False, bool(payload.get("match_global_phase"))
+
+
+def _read_library(path: str):
+    """Load any library file (JSON or SQLite) into a fresh PulseLibrary."""
+    from repro.db import SqliteLibraryStore
+    from repro.qoc.library import PulseLibrary
+
+    is_sqlite, mode = _library_mode(path)
+    library = PulseLibrary(match_global_phase=mode)
+    if is_sqlite:
+        SqliteLibraryStore(path).pull(library)
+    else:
+        library.load(path)
+    return library
+
+
+def _write_library(library, path: str, merge: bool) -> None:
+    """Write ``library`` to ``path`` in the format the path selects.
+
+    ``merge=True`` (import) folds entries into an existing destination;
+    ``merge=False`` (export) replaces it with a canonical fresh copy.
+    """
+    import os
+
+    from repro.db import SqliteLibraryStore, is_sqlite_path
+    from repro.exceptions import QOCError
+
+    if os.path.exists(path):
+        if merge:
+            _, dest_mode = _library_mode(path)
+            if dest_mode != library.match_global_phase:
+                raise QOCError(
+                    "source and destination libraries use different "
+                    "cache-key modes; refusing to merge"
+                )
+        else:
+            os.unlink(path)
+            # a stale WAL/novel journal must not resurrect old rows
+            for sidecar in (path + "-wal", path + "-shm"):
+                if os.path.exists(sidecar):
+                    os.unlink(sidecar)
+    if is_sqlite_path(path):
+        # sync() both folds existing rows into the library and publishes
+        # the union; for export the file was just removed, so this
+        # writes a fresh canonical database
+        SqliteLibraryStore(path).sync(library)
+    else:
+        if merge and os.path.exists(path):
+            library.load(path)
+        library.save(path)
+
+
+def _run_library(args) -> int:
+    from repro.db import is_sqlite_path
+
+    if args.library_command == "info":
+        from repro.db import SqliteLibraryStore
+
+        path = args.library
+        is_sqlite, mode = _library_mode(path)
+        library = _read_library(path)
+        widths: dict = {}
+        for key in library.entries():
+            widths[key[0]] = widths.get(key[0], 0) + 1
+        print(f"format : {'sqlite' if is_sqlite else 'json'}")
+        if is_sqlite:
+            meta = SqliteLibraryStore(path).meta()
+            print(f"schema : db={meta.get('schema_version', '?')} "
+                  f"library={meta.get('library_schema', '?')}")
+        print(f"keys   : {'global-phase' if mode else 'exact'}")
+        print(f"entries: {len(library)}")
+        for width in sorted(widths):
+            print(f"  {width}-qubit: {widths[width]}")
+        return 0
+
+    # import / export
+    library = _read_library(args.src)
+    merge = args.library_command == "import"
+    _write_library(library, args.dest, merge=merge)
+    verb = "merged" if merge else "exported"
+    print(
+        f"{verb} {len(library)} entries: {args.src} -> {args.dest} "
+        f"({'sqlite' if is_sqlite_path(args.dest) else 'json'})"
+    )
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -812,6 +970,8 @@ def main(argv: Optional[list] = None) -> int:
             return _run_stats(args)
         if args.command == "optimize":
             return _run_optimize(args)
+        if args.command == "library":
+            return _run_library(args)
         return _run_info(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -62,6 +62,13 @@ class QOCConfig:
     #: largest global-phase-invariant unitary distance (``hs_distance``,
     #: in [0, 1]) at which a library entry still counts as a neighbour.
     warm_start_max_distance: float = 0.15
+    #: widen cache lookups beyond global phase: serve misses whose
+    #: target is an exact transform (transpose, dagger, qubit reversal,
+    #: ...) or tensor product of already-solved unitaries by deriving
+    #: the pulse algebraically instead of re-running GRAPE.  Derived
+    #: pulses are re-simulated and accepted only at
+    #: :attr:`fidelity_threshold` (see :mod:`repro.db.equivalence`).
+    equivalence_lookup: bool = True
 
     def __post_init__(self):
         # an inverted segment bracket used to be clamped silently inside

@@ -1,0 +1,35 @@
+"""Embedded pulse-library database.
+
+``repro.db`` replaces the O(N)-rewrite-per-sync JSON store with an
+embedded SQLite (WAL) store whose merge protocol writes O(new entries)
+per sync, and widens cache reuse with *equivalence-class* lookup —
+turning misses whose target is a known unitary's transpose, dagger,
+mirror image, or tensor product into hits.
+
+Public surface:
+
+* :class:`SqliteLibraryStore` — transactional upsert-only persistence,
+  drop-in for :class:`repro.batch.store.SharedLibraryStore`.
+* :func:`open_store` — pick the backend from the file path/extension.
+* :func:`is_sqlite_path` — the autodetection predicate.
+* :mod:`repro.db.equivalence` — the exact pulse transforms and the
+  tensor-product factorization used by
+  :meth:`repro.qoc.library.PulseLibrary.get_pulse`.
+"""
+
+from repro.db.schema import (
+    DB_SCHEMA_VERSION,
+    SQLITE_MAGIC,
+    SQLITE_SUFFIXES,
+    is_sqlite_path,
+)
+from repro.db.store import SqliteLibraryStore, open_store
+
+__all__ = [
+    "DB_SCHEMA_VERSION",
+    "SQLITE_MAGIC",
+    "SQLITE_SUFFIXES",
+    "SqliteLibraryStore",
+    "is_sqlite_path",
+    "open_store",
+]

@@ -1,0 +1,309 @@
+"""Equivalence classes for pulse-library lookup.
+
+EPOC's cache keys are canonical up to *global phase* only.  This module
+widens reuse to whole equivalence classes of unitaries whose pulses are
+cheap algebraic transforms of an already-solved pulse — every class
+turns what is a GRAPE search today into a cache hit.
+
+All transforms are stated for the library's hardware model
+(:class:`repro.qoc.hamiltonian.TransmonChain`, big-endian qubit order):
+
+    H(t) = H0 + sum_j cx_j(t) * 0.5*sigma_x_j + cy_j(t) * 0.5*sigma_y_j
+    H0   = g * sum_j (sp_j sm_{j+1} + sm_j sp_{j+1})  [+ zz * ZZ terms]
+
+and the propagator is the left-fold product U = P_{T-1} ... P_0 with
+P_t = exp(-i dt H(t)).  The exact identities used (derivations in
+DESIGN.md):
+
+* **transpose** — H0^T = H0, X^T = X, Y^T = -Y, so reversing the
+  segment order and negating every Y channel implements W^T.
+* **conjugate** — with S = Z on every odd site, S H0_hop S = -H0_hop
+  (each hop touches exactly one odd site), so negating X on even sites
+  and Y on odd sites (same time order) implements S W* S.  Exact only
+  when the ZZ crosstalk term is zero (ZZ commutes with S), hence the
+  clean-drift gate.
+* **dagger** = conjugate ∘ transpose — implements S W† S under the same
+  gate.
+* **reverse** — the chain Hamiltonian is mirror-symmetric, so swapping
+  qubit j's channels with qubit (n-1-j)'s implements R W R† where R is
+  the qubit-reversal permutation (R = R† = R^{-1}).
+* compositions of reverse with each of the above.
+
+Because the identities are exact (floating-point exact up to matrix-
+exponential roundoff), a derived pulse implements its target as well as
+the source pulse implemented its own; the library still re-simulates
+every derived candidate (`pulse_propagator`) and accepts it only at the
+configured fidelity threshold, so equivalence can never serve a worse
+pulse than GRAPE would have been required to produce.
+
+**Tensor factorization** is the one inexact class: if the target splits
+as A ⊗ B (detected via the nearest-Kronecker-product SVD) and both
+factors are cached, the factor pulses are laid side by side.  The inter-
+factor coupling of H0 acts during the composite pulse, so this candidate
+frequently *fails* its simulation check at realistic coupling strengths
+— that is by design: the check is the arbiter, the factorization only
+proposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.tensor import permute_qubits
+from repro.linalg.unitary import is_unitary
+
+__all__ = [
+    "EQUIV_CLASSES",
+    "compose_tensor_controls",
+    "derived_controls",
+    "equivalence_probes",
+    "tensor_factorizations",
+]
+
+#: probe order — fixed so serial, parallel, and resumed runs derive from
+#: the same source class deterministically.
+EQUIV_CLASSES = (
+    "transpose",
+    "conjugate",
+    "dagger",
+    "reverse",
+    "reverse-transpose",
+    "reverse-conjugate",
+    "reverse-dagger",
+)
+
+#: classes whose identity needs the hop-only drift (ZZ crosstalk == 0).
+_CLEAN_DRIFT_CLASSES = frozenset(
+    {"conjugate", "dagger", "reverse-conjugate", "reverse-dagger"}
+)
+
+
+def _odd_site_signs(num_qubits: int) -> np.ndarray:
+    """Diagonal of S = ⊗_j (Z if j odd else I), big-endian qubit order."""
+    signs = np.ones(1)
+    for qubit in range(num_qubits):
+        z = np.array([1.0, -1.0]) if qubit % 2 else np.array([1.0, 1.0])
+        signs = np.kron(signs, z)
+    return signs
+
+
+def _conjugate_by_s(matrix: np.ndarray) -> np.ndarray:
+    """S · matrix · S (S is diagonal and involutive)."""
+    signs = _odd_site_signs(_width_of(matrix))
+    return signs[:, None] * matrix * signs[None, :]
+
+
+def _reverse_qubits(matrix: np.ndarray) -> np.ndarray:
+    """R · matrix · R† for the qubit-reversal permutation R."""
+    n = _width_of(matrix)
+    return permute_qubits(matrix, list(range(n - 1, -1, -1)))
+
+
+def _width_of(matrix: np.ndarray) -> int:
+    return int(round(np.log2(matrix.shape[0])))
+
+
+# -- probe directions ------------------------------------------------------
+#
+# A stored pulse for W serves a query U from class ``c`` when
+# U ~ f_c(W), i.e. the library must contain the key of W = f_c^{-1}(U).
+# The probe functions below compute f_c^{-1}(U); global phase is
+# irrelevant because cache keys are phase-canonical.
+
+
+def _probe_transpose(matrix: np.ndarray) -> np.ndarray:
+    # f(W) = W^T is an involution: W = U^T.
+    return matrix.T
+
+
+def _probe_conjugate(matrix: np.ndarray) -> np.ndarray:
+    # f(W) = S W* S  =>  W = S U* S (S real, S² = I).
+    return _conjugate_by_s(np.conj(matrix))
+
+
+def _probe_dagger(matrix: np.ndarray) -> np.ndarray:
+    # f(W) = S W† S  =>  W = S U† S.
+    return _conjugate_by_s(matrix.conj().T)
+
+
+def _probe_reverse(matrix: np.ndarray) -> np.ndarray:
+    # f(W) = R W R† is an involution: W = R U R†.
+    return _reverse_qubits(matrix)
+
+
+_PROBES = {
+    "transpose": _probe_transpose,
+    "conjugate": _probe_conjugate,
+    "dagger": _probe_dagger,
+    "reverse": _probe_reverse,
+    # composition f = f_rev ∘ f_base  =>  f^{-1} = f_base^{-1} ∘ f_rev^{-1}
+    "reverse-transpose": lambda m: _probe_transpose(_probe_reverse(m)),
+    "reverse-conjugate": lambda m: _probe_conjugate(_probe_reverse(m)),
+    "reverse-dagger": lambda m: _probe_dagger(_probe_reverse(m)),
+}
+
+
+def equivalence_probes(
+    matrix: np.ndarray, num_qubits: int, hardware
+) -> Iterator[Tuple[str, np.ndarray]]:
+    """Yield ``(class_name, source_matrix)`` probes in canonical order.
+
+    ``source_matrix`` is the unitary whose cached pulse — if present —
+    can be transformed into a pulse for ``matrix``.  Classes whose
+    identity does not hold on this hardware (ZZ crosstalk with the
+    S-conjugation classes) and degenerate ones (reverse on one qubit)
+    are skipped.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    clean_drift = float(getattr(hardware.config, "zz_crosstalk", 0.0)) == 0.0
+    for name in EQUIV_CLASSES:
+        if name in _CLEAN_DRIFT_CLASSES and not clean_drift:
+            continue
+        if "reverse" in name and num_qubits < 2:
+            continue
+        yield name, _PROBES[name](matrix)
+
+
+# -- control transforms ----------------------------------------------------
+#
+# Channel layout (TransmonChain.controls): channel 2j = X_j, channel
+# 2j+1 = Y_j.  sigma_j below is the parity sign S X_j S = sigma_j X_j:
+# +1 on even sites, -1 on odd sites.
+
+
+def _site_parity(num_qubits: int) -> np.ndarray:
+    return np.array([1.0 if j % 2 == 0 else -1.0 for j in range(num_qubits)])
+
+
+def _controls_transpose(controls: np.ndarray, num_qubits: int) -> np.ndarray:
+    # reverse time; negate Y channels (odd channel indices)
+    out = controls[:, ::-1].copy()
+    out[1::2, :] *= -1.0
+    return out
+
+
+def _controls_conjugate(controls: np.ndarray, num_qubits: int) -> np.ndarray:
+    # same time order; X_j -> -sigma_j X_j, Y_j -> +sigma_j Y_j
+    parity = _site_parity(num_qubits)
+    out = controls.copy()
+    out[0::2, :] *= -parity[:, None]
+    out[1::2, :] *= parity[:, None]
+    return out
+
+
+def _controls_dagger(controls: np.ndarray, num_qubits: int) -> np.ndarray:
+    return _controls_conjugate(
+        _controls_transpose(controls, num_qubits), num_qubits
+    )
+
+
+def _controls_reverse(controls: np.ndarray, num_qubits: int) -> np.ndarray:
+    # qubit j's (X, Y) pair becomes qubit (n-1-j)'s
+    out = np.empty_like(controls)
+    for j in range(num_qubits):
+        mirrored = num_qubits - 1 - j
+        out[2 * j, :] = controls[2 * mirrored, :]
+        out[2 * j + 1, :] = controls[2 * mirrored + 1, :]
+    return out
+
+
+# composition: the *derived pulse* for class f_rev ∘ f_base applies the
+# base transform first (giving a pulse for f_base(W)), then the reverse
+# transform (giving f_rev(f_base(W))) — matching the probe inverses.
+_CONTROL_TRANSFORMS = {
+    "transpose": _controls_transpose,
+    "conjugate": _controls_conjugate,
+    "dagger": _controls_dagger,
+    "reverse": _controls_reverse,
+    "reverse-transpose": lambda c, n: _controls_reverse(
+        _controls_transpose(c, n), n
+    ),
+    "reverse-conjugate": lambda c, n: _controls_reverse(
+        _controls_conjugate(c, n), n
+    ),
+    "reverse-dagger": lambda c, n: _controls_reverse(
+        _controls_dagger(c, n), n
+    ),
+}
+
+
+def derived_controls(
+    name: str, controls: np.ndarray, num_qubits: int
+) -> np.ndarray:
+    """Transform a source pulse's control envelope into class ``name``.
+
+    If the source pulse implements W, the returned envelope implements
+    f_name(W) on the same hardware (exactly, for every class here).
+    """
+    controls = np.asarray(controls)
+    return _CONTROL_TRANSFORMS[name](controls.astype(float, copy=False), num_qubits)
+
+
+# -- tensor-product factorization ------------------------------------------
+
+
+def tensor_factorizations(
+    matrix: np.ndarray,
+    num_qubits: int,
+    tol: float = 1e-7,
+) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+    """Kronecker splits ``matrix ≈ A ⊗ B`` across contiguous cuts.
+
+    For each cut position ``k`` (qubits [0, k) vs [k, n)) the nearest-
+    Kronecker-product rearrangement of ``matrix`` is tested for rank
+    one (Van Loan–Pitsianis); exact products have a single nonzero
+    singular value.  Returns ``(k, A, B)`` triples with both factors
+    normalized to unitaries, in ascending-``k`` order (deterministic).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    splits: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    for k in range(1, num_qubits):
+        da, db = 2**k, 2 ** (num_qubits - k)
+        rearranged = (
+            matrix.reshape(da, db, da, db)
+            .transpose(0, 2, 1, 3)
+            .reshape(da * da, db * db)
+        )
+        u, s, vh = np.linalg.svd(rearranged)
+        if s[0] <= 0.0 or (len(s) > 1 and s[1] > tol * s[0]):
+            continue
+        a = np.sqrt(s[0]) * u[:, 0].reshape(da, da)
+        b = np.sqrt(s[0]) * vh[0, :].reshape(db, db)
+        a_norm = np.linalg.norm(a)
+        b_norm = np.linalg.norm(b)
+        if a_norm == 0.0 or b_norm == 0.0:
+            continue
+        a = a * (np.sqrt(da) / a_norm)
+        b = b * (np.sqrt(db) / b_norm)
+        if not (is_unitary(a, atol=1e-7) and is_unitary(b, atol=1e-7)):
+            continue
+        splits.append((k, a, b))
+    return splits
+
+
+def compose_tensor_controls(
+    controls_a: np.ndarray, controls_b: np.ndarray
+) -> np.ndarray:
+    """Side-by-side composition of two factor pulses' envelopes.
+
+    Factor A drives the top ``k`` qubits, factor B the remaining ones;
+    the shorter envelope is zero-padded at the end (idling drives).
+    The result is only a *candidate* — inter-factor drift coupling acts
+    throughout, so callers must simulation-verify it.
+    """
+    controls_a = np.asarray(controls_a, dtype=float)
+    controls_b = np.asarray(controls_b, dtype=float)
+    segments = max(controls_a.shape[1], controls_b.shape[1])
+    out = np.zeros(
+        (controls_a.shape[0] + controls_b.shape[0], segments), dtype=float
+    )
+    out[: controls_a.shape[0], : controls_a.shape[1]] = controls_a
+    out[controls_a.shape[0] :, : controls_b.shape[1]] = controls_b
+    return out
+
+
+def factor_widths(num_qubits: int) -> List[Tuple[int, int]]:
+    """The (k, n-k) cut widths :func:`tensor_factorizations` can emit."""
+    return [(k, num_qubits - k) for k in range(1, num_qubits)]

@@ -1,0 +1,113 @@
+"""Schema and format detection for the SQLite pulse-library store.
+
+The database holds the same logical content as the canonical JSON
+library file (:meth:`repro.qoc.library.PulseLibrary.save`): one row per
+pulse, content-addressed by the canonical unitary cache key, with the
+entry payload stored as canonical JSON and protected by the same
+per-entry checksum (:func:`repro.verify.artifacts.pulse_checksum`).
+JSON stays the interchange format — ``repro library import/export``
+round-trips between the two bitwise.
+
+Layout::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)
+        schema_version      -- DB_SCHEMA_VERSION, refuse newer
+        library_schema      -- payload schema (artifacts.LIBRARY_SCHEMA_VERSION)
+        match_global_phase  -- "1"/"0"; must agree with the library's mode
+
+    pulses(key BLOB PRIMARY KEY, num_qubits INTEGER, payload TEXT,
+           checksum TEXT)
+        + index on num_qubits (bounds nearest-neighbor width scans)
+
+Rows are immutable once written: keys are content addresses (two
+processes that solved the same key produced the same deterministic
+pulse), so the merge protocol is INSERT-only and a sync costs O(new
+rows), never a full rewrite.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+__all__ = [
+    "DB_SCHEMA_VERSION",
+    "SQLITE_MAGIC",
+    "SQLITE_SUFFIXES",
+    "connect",
+    "ensure_schema",
+    "is_sqlite_path",
+    "read_meta",
+]
+
+#: version of the *database* layout (tables/indexes), independent of the
+#: payload schema carried in ``meta.library_schema``.
+DB_SCHEMA_VERSION = 1
+
+#: first 16 bytes of every SQLite 3 database file.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: extensions that select the SQLite backend for a not-yet-existing path.
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS pulses (
+    key        BLOB PRIMARY KEY,
+    num_qubits INTEGER NOT NULL,
+    payload    TEXT NOT NULL,
+    checksum   TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS pulses_by_width ON pulses (num_qubits);
+"""
+
+
+def is_sqlite_path(path: str) -> bool:
+    """True when ``path`` should be served by the SQLite backend.
+
+    An existing file is sniffed by its 16-byte header (so a ``.json``
+    name never shadows a real database and vice versa); a missing file
+    is judged by extension.
+    """
+    if not path:
+        return False
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except FileNotFoundError:
+        pass
+    except OSError:
+        return False
+    return os.path.splitext(path)[1].lower() in SQLITE_SUFFIXES
+
+
+def connect(path: str, timeout_seconds: float = 60.0) -> sqlite3.Connection:
+    """Open a short-lived connection with the store's pragmas applied.
+
+    WAL keeps readers unblocked during a writer's transaction;
+    ``synchronous=NORMAL`` is durable across process crashes (the WAL
+    is synced at checkpoint), which matches the atomic-replace
+    guarantee the JSON store gave.
+    """
+    conn = sqlite3.connect(path, timeout=timeout_seconds)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute(f"PRAGMA busy_timeout={int(timeout_seconds * 1000)}")
+    return conn
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create tables/indexes if absent (idempotent, safe under WAL)."""
+    conn.executescript(_TABLES)
+
+
+def read_meta(conn: sqlite3.Connection) -> dict:
+    """Return the ``meta`` table as a dict ({} before first write)."""
+    try:
+        rows = conn.execute("SELECT key, value FROM meta").fetchall()
+    except sqlite3.OperationalError:
+        return {}
+    return {key: value for key, value in rows}

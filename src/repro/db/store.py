@@ -1,0 +1,351 @@
+"""Transactional SQLite persistence for the pulse library.
+
+Drop-in replacement for :class:`repro.batch.store.SharedLibraryStore`
+(same ``pull``/``sync``/``exists`` surface, same :class:`StoreSync`
+accounting) with a fundamentally different cost model: the JSON store's
+locked **load-merge-save** round re-reads and re-writes every entry on
+every sync — O(N) per save, O(N²) cumulative over a batch — while this
+store's **upsert-only merge** runs one ``BEGIN IMMEDIATE`` transaction
+that inserts only the locally-new rows and reads back only the
+disk-new rows.  Entries are content-addressed (the canonical unitary
+cache key is the primary key) and pulse searches are deterministic, so
+two processes that solved the same key produced the same pulse and
+``INSERT OR IGNORE`` is a complete conflict resolution policy.
+
+Integrity semantics are inherited unchanged from the JSON artifact
+layer: every row carries the same per-entry checksum
+(:func:`repro.verify.artifacts.pulse_checksum` over the canonical JSON
+payload), rows are validated with the same
+:func:`~repro.verify.artifacts.validate_entry` /
+:func:`repro.pulse.serialize.validate_pulse_payload` pair on the way
+in, and corrupted rows are quarantined — counted, logged, skipped —
+exactly as :meth:`PulseLibrary.load` quarantines JSON entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.exceptions import QOCError
+from repro.db.schema import (
+    DB_SCHEMA_VERSION,
+    connect,
+    ensure_schema,
+    is_sqlite_path,
+    read_meta,
+)
+
+__all__ = ["SqliteLibraryStore", "open_store"]
+
+logger = telemetry.get_logger("db.store")
+
+_FETCH_CHUNK = 512
+
+
+def open_store(path: str, timeout_seconds: float = 60.0):
+    """The right store backend for ``path``.
+
+    SQLite files (by header) and SQLite-suffixed new paths get
+    :class:`SqliteLibraryStore`; everything else keeps the JSON
+    :class:`repro.batch.store.SharedLibraryStore`.
+    """
+    if is_sqlite_path(path):
+        return SqliteLibraryStore(path, timeout_seconds=timeout_seconds)
+    from repro.batch.store import SharedLibraryStore
+
+    return SharedLibraryStore(path, timeout_seconds=timeout_seconds)
+
+
+class SqliteLibraryStore:
+    """Content-addressed pulse-library persistence in one SQLite file."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str, timeout_seconds: float = 60.0):
+        self.path = os.path.abspath(path)
+        self.timeout_seconds = float(timeout_seconds)
+
+    # -- connections -------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = connect(self.path, self.timeout_seconds)
+        conn.isolation_level = None  # explicit BEGIN/COMMIT below
+        return conn
+
+    def _check_meta(
+        self, conn: sqlite3.Connection, library, create: bool
+    ) -> None:
+        """Validate (or, under a write transaction, initialize) ``meta``."""
+        meta = read_meta(conn)
+        if not meta:
+            if not create:
+                return
+            conn.executemany(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                [
+                    ("schema_version", str(DB_SCHEMA_VERSION)),
+                    ("library_schema", str(_library_schema_version())),
+                    (
+                        "match_global_phase",
+                        "1" if library.match_global_phase else "0",
+                    ),
+                ],
+            )
+            meta = read_meta(conn)
+        try:
+            version = int(meta.get("schema_version", "1"))
+        except ValueError:
+            raise QOCError(
+                f"library database {self.path} has a non-integer "
+                f"schema_version {meta.get('schema_version')!r}"
+            )
+        if version < 1 or version > DB_SCHEMA_VERSION:
+            raise QOCError(
+                f"library database {self.path} uses unsupported schema "
+                f"{version} (this build reads <= {DB_SCHEMA_VERSION})"
+            )
+        stored_mode = meta.get("match_global_phase") == "1"
+        if stored_mode != library.match_global_phase:
+            raise QOCError(
+                "stored library uses a different cache-key mode; "
+                "refusing to merge"
+            )
+
+    # -- store surface (SharedLibraryStore-compatible) ---------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def pull(self, library, num_qubits: Optional[int] = None) -> int:
+        """Merge on-disk entries into ``library``; returns the number
+        that were new to it.  The database is not modified.
+
+        ``num_qubits`` narrows the read to one register width via the
+        ``pulses_by_width`` index — useful when only warm-start
+        candidates of a known width are wanted from a huge fleet
+        library.
+        """
+        if not self.exists():
+            return 0
+        conn = self._connect()
+        try:
+            ensure_schema(conn)
+            self._check_meta(conn, library, create=False)
+            staged, quarantined = self._fetch_new(
+                conn, library, num_qubits=num_qubits
+            )
+        finally:
+            conn.close()
+        return library.merge_entries(staged, quarantined=quarantined)
+
+    def sync(self, library) -> "StoreSync":
+        """One transactional merge round, O(new entries) in writes.
+
+        Under a single ``BEGIN IMMEDIATE`` transaction: publish the
+        rows only this process has solved (``INSERT OR IGNORE``), read
+        back only the rows only other processes have solved, and leave
+        every already-shared row untouched.  Concurrent processes can
+        interleave syncs freely — the write lock serializes the rounds
+        and content-addressing makes re-inserts idempotent.
+        """
+        from repro.batch.store import StoreSync
+
+        metrics = telemetry.get_metrics()
+        conn = self._connect()
+        try:
+            ensure_schema(conn)
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._check_meta(conn, library, create=True)
+                disk_keys = {
+                    row[0] for row in conn.execute("SELECT key FROM pulses")
+                }
+                inserted = self._publish_new(conn, library, disk_keys)
+                staged, quarantined = self._fetch_new(
+                    conn, library, disk_keys=disk_keys
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        finally:
+            conn.close()
+        new = library.merge_entries(staged, quarantined=quarantined)
+        metrics.inc("batch.store_syncs")
+        metrics.inc("batch.store_merged_entries", new)
+        metrics.inc("db.rows_inserted", inserted)
+        logger.debug(
+            "sqlite sync: %d rows on disk, %d inserted, %d new locally -> %s",
+            len(disk_keys),
+            inserted,
+            new,
+            self.path,
+        )
+        return StoreSync(
+            loaded_entries=len(disk_keys),
+            new_entries=new,
+            total_entries=len(library),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _publish_new(
+        self, conn: sqlite3.Connection, library, disk_keys
+    ) -> int:
+        """INSERT the library entries the database does not have yet."""
+        from repro.pulse.serialize import pulse_to_dict
+        from repro.verify.artifacts import pulse_checksum
+
+        rows = []
+        entries = library.entries()
+        for key in sorted(entries):
+            if key in disk_keys:
+                continue
+            payload = pulse_to_dict(entries[key])
+            text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            rows.append((key, key[0], text, pulse_checksum(payload)))
+        if rows:
+            conn.executemany(
+                "INSERT OR IGNORE INTO pulses "
+                "(key, num_qubits, payload, checksum) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    def _fetch_new(
+        self,
+        conn: sqlite3.Connection,
+        library,
+        disk_keys=None,
+        num_qubits: Optional[int] = None,
+    ) -> Tuple[Dict[bytes, object], int]:
+        """Read + validate the rows the in-memory library lacks."""
+        from repro.pulse.serialize import (
+            pulse_from_dict,
+            validate_pulse_payload,
+        )
+        from repro.verify.artifacts import validate_entry
+
+        if disk_keys is None:
+            if num_qubits is None:
+                cursor = conn.execute("SELECT key FROM pulses")
+            else:
+                cursor = conn.execute(
+                    "SELECT key FROM pulses WHERE num_qubits = ?",
+                    (int(num_qubits),),
+                )
+            disk_keys = {row[0] for row in cursor}
+        local = library.entries()
+        wanted = sorted(key for key in disk_keys if key not in local)
+        staged: Dict[bytes, object] = {}
+        quarantined = 0
+        metrics = telemetry.get_metrics()
+        for start in range(0, len(wanted), _FETCH_CHUNK):
+            chunk = wanted[start : start + _FETCH_CHUNK]
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                f"SELECT key, payload, checksum FROM pulses "
+                f"WHERE key IN ({marks})",
+                chunk,
+            ).fetchall()
+            for key, payload_text, checksum in rows:
+                problems, payload = _row_problems(key, payload_text, checksum)
+                if not problems:
+                    problems = validate_entry(
+                        {"key": key.hex(), "pulse": payload, "checksum": checksum}
+                    ) or validate_pulse_payload(payload)
+                if problems:
+                    quarantined += 1
+                    metrics.inc("library.quarantined")
+                    logger.warning(
+                        "quarantined library row %s from %s: %s",
+                        key.hex() if isinstance(key, bytes) else key,
+                        self.path,
+                        "; ".join(problems),
+                    )
+                    continue
+                staged[bytes(key)] = pulse_from_dict(payload)
+        return staged, quarantined
+
+    # -- introspection -----------------------------------------------------
+
+    def meta(self) -> Dict[str, str]:
+        if not self.exists():
+            return {}
+        conn = self._connect()
+        try:
+            return read_meta(conn)
+        finally:
+            conn.close()
+
+    def entry_count(self) -> int:
+        if not self.exists():
+            return 0
+        conn = self._connect()
+        try:
+            try:
+                row = conn.execute("SELECT COUNT(*) FROM pulses").fetchone()
+            except sqlite3.OperationalError:
+                return 0
+            return int(row[0])
+        finally:
+            conn.close()
+
+    def width_counts(self) -> Dict[int, int]:
+        """Entries per register width, served by the width index."""
+        if not self.exists():
+            return {}
+        conn = self._connect()
+        try:
+            try:
+                rows = conn.execute(
+                    "SELECT num_qubits, COUNT(*) FROM pulses "
+                    "GROUP BY num_qubits ORDER BY num_qubits"
+                ).fetchall()
+            except sqlite3.OperationalError:
+                return {}
+            return {int(width): int(count) for width, count in rows}
+        finally:
+            conn.close()
+
+    def keys_for_width(self, num_qubits: int) -> List[bytes]:
+        """All cache keys of one register width (index-bounded scan)."""
+        if not self.exists():
+            return []
+        conn = self._connect()
+        try:
+            try:
+                rows = conn.execute(
+                    "SELECT key FROM pulses WHERE num_qubits = ? ORDER BY key",
+                    (int(num_qubits),),
+                ).fetchall()
+            except sqlite3.OperationalError:
+                return []
+            return [bytes(row[0]) for row in rows]
+        finally:
+            conn.close()
+
+
+def _library_schema_version() -> int:
+    from repro.verify.artifacts import LIBRARY_SCHEMA_VERSION
+
+    return LIBRARY_SCHEMA_VERSION
+
+
+def _row_problems(key, payload_text, checksum):
+    """Parse-level problems with one raw row (before envelope checks)."""
+    if not isinstance(key, bytes) or len(key) < 2:
+        return ["key is not a valid cache-key blob"], None
+    try:
+        payload = json.loads(payload_text)
+    except (TypeError, ValueError) as exc:
+        return [f"payload is not valid JSON: {exc}"], None
+    if not isinstance(payload, dict):
+        return ["payload is not an object"], None
+    if not isinstance(checksum, str) or not checksum:
+        return ["missing row checksum"], None
+    return [], payload

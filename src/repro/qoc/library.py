@@ -119,8 +119,19 @@ class PulseLibrary:
     #: found none (misses with warm starts disabled count in neither).
     near_hits: int = 0
     near_misses: int = 0
+    #: hits served by deriving a pulse from an equivalence-class source
+    #: (transpose/dagger/reverse/tensor — see :mod:`repro.db.equivalence`)
+    #: instead of running GRAPE.  Every equivalence hit also counts in
+    #: :attr:`hits`, so ``hit_rate`` semantics are unchanged.
+    equiv_hits: int = 0
     #: corrupted on-disk entries skipped by :meth:`load` (cumulative).
     quarantined: int = 0
+    #: memo of :func:`decode_library_key` results.  Keys are content
+    #: addresses — a key always decodes to the same matrix — so entries
+    #: never go stale; the memo only resets when the cache is dropped.
+    _decoded: Dict[bytes, Optional[Tuple[int, np.ndarray]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def hardware_for(self, num_qubits: int) -> TransmonChain:
         if num_qubits not in self._hardware:
@@ -150,6 +161,42 @@ class PulseLibrary:
         """
         return dict(self._entries)
 
+    def entries(self) -> Dict[bytes, Pulse]:
+        """The live key→pulse mapping (treat as read-only).
+
+        Storage backends (:class:`repro.db.SqliteLibraryStore`) use this
+        to diff local entries against disk rows without a copy; anything
+        that needs a stable view should take :meth:`warm_snapshot`.
+        """
+        return self._entries
+
+    def merge_entries(
+        self, staged: Dict[bytes, Pulse], quarantined: int = 0
+    ) -> int:
+        """Merge pre-validated entries (from a storage backend) by key.
+
+        Returns the number of entries that were new to the library.
+        ``quarantined`` rows rejected by the backend's validation are
+        added to the cumulative :attr:`quarantined` count, mirroring
+        what :meth:`load` does for JSON entries.
+        """
+        before = len(self._entries)
+        self._entries.update(staged)
+        self.quarantined += quarantined
+        if staged or quarantined:
+            telemetry.get_metrics().gauge("library.size", len(self._entries))
+        return len(self._entries) - before
+
+    def _decode_cached(self, key: bytes) -> Optional[Tuple[int, np.ndarray]]:
+        """Memoized :func:`decode_library_key` (keys are content-addressed,
+        so a decode never goes stale and the memo survives snapshots)."""
+        try:
+            return self._decoded[key]
+        except KeyError:
+            decoded = decode_library_key(key)
+            self._decoded[key] = decoded
+            return decoded
+
     def nearest(
         self,
         matrix: np.ndarray,
@@ -178,7 +225,7 @@ class PulseLibrary:
         for key, pulse in entries.items():
             if key == request_key or not key or key[0] != num_qubits:
                 continue
-            decoded = decode_library_key(key)
+            decoded = self._decode_cached(key)
             if decoded is None:
                 continue
             distance = hs_distance(matrix, decoded[1])
@@ -214,6 +261,134 @@ class PulseLibrary:
         )
         return neighbor.pulse.controls
 
+    # -- equivalence-class lookup ----------------------------------------
+
+    def _equiv_source_ok(self, pulse: Pulse) -> bool:
+        """Whether a cached pulse may seed an equivalence derivation.
+
+        Only first-generation, threshold-clean GRAPE solutions qualify:
+        derived pulses deriving from derived pulses (or from degraded
+        non-converged ones) would compound error and — because the
+        transform set is not closed under composition — break the
+        serial/parallel/resume determinism argument.
+        """
+        return (
+            pulse.source == "grape"
+            and pulse.fidelity >= self.config.fidelity_threshold
+        )
+
+    def _accept_derived(
+        self,
+        matrix: np.ndarray,
+        num_qubits: int,
+        controls: np.ndarray,
+        dt: float,
+        name: str,
+    ) -> Optional[Pulse]:
+        """Simulation-verify a derived candidate; None when it fails.
+
+        The candidate's propagator is recomputed from the raw waveform
+        (exactly what :mod:`repro.verify` will later re-check) and the
+        pulse is accepted only at the configured fidelity threshold, so
+        an equivalence hit can never serve a worse pulse than GRAPE
+        would have been required to produce.
+        """
+        from dataclasses import replace
+
+        from repro.linalg.unitary import process_fidelity, unitary_distance
+        from repro.qoc.grape import pulse_propagator
+
+        candidate = Pulse(
+            qubits=tuple(range(num_qubits)),
+            controls=controls,
+            dt=dt,
+            fidelity=0.0,
+            unitary_distance=0.0,
+            source=f"equiv-{name}",
+        )
+        achieved = pulse_propagator(candidate, self.hardware_for(num_qubits))
+        fidelity = float(process_fidelity(matrix, achieved))
+        if fidelity < self.config.fidelity_threshold:
+            telemetry.get_metrics().inc("library.equiv_rejects")
+            logger.debug(
+                "equivalence candidate %s rejected at fidelity %.6f",
+                name,
+                fidelity,
+            )
+            return None
+        return replace(
+            candidate,
+            fidelity=fidelity,
+            unitary_distance=float(unitary_distance(matrix, achieved)),
+        )
+
+    def _equivalent_pulse(
+        self,
+        matrix: np.ndarray,
+        num_qubits: int,
+        sources: Optional[Dict[bytes, Pulse]],
+    ) -> Optional[Tuple[str, Pulse]]:
+        """Derive a pulse for ``matrix`` from an equivalence-class source.
+
+        ``sources`` must be a *snapshot* (stage-start for pipelines):
+        probing a fixed candidate set keeps derivation independent of
+        solve order, the same determinism contract warm starts follow.
+        Probes run in the fixed class order of
+        :data:`repro.db.equivalence.EQUIV_CLASSES`, then tensor
+        factorizations in ascending cut order; the first verified
+        candidate wins.
+        """
+        if not self.config.equivalence_lookup or not sources:
+            return None
+        from repro.db import equivalence as equiv
+
+        hardware = self.hardware_for(num_qubits)
+        for name, source_matrix in equiv.equivalence_probes(
+            matrix, num_qubits, hardware
+        ):
+            source = sources.get(self.key_for(source_matrix, num_qubits))
+            if source is None or not self._equiv_source_ok(source):
+                continue
+            controls = equiv.derived_controls(
+                name, source.controls, num_qubits
+            )
+            pulse = self._accept_derived(
+                matrix, num_qubits, controls, source.dt, name
+            )
+            if pulse is not None:
+                return name, pulse
+        if num_qubits >= 2:
+            for cut, top, bottom in equiv.tensor_factorizations(
+                matrix, num_qubits
+            ):
+                top_pulse = sources.get(self.key_for(top, cut))
+                bottom_pulse = sources.get(
+                    self.key_for(bottom, num_qubits - cut)
+                )
+                if (
+                    top_pulse is None
+                    or bottom_pulse is None
+                    or not self._equiv_source_ok(top_pulse)
+                    or not self._equiv_source_ok(bottom_pulse)
+                    or top_pulse.dt != bottom_pulse.dt
+                ):
+                    continue
+                controls = equiv.compose_tensor_controls(
+                    top_pulse.controls, bottom_pulse.controls
+                )
+                pulse = self._accept_derived(
+                    matrix, num_qubits, controls, top_pulse.dt, "tensor"
+                )
+                if pulse is not None:
+                    return "tensor", pulse
+        return None
+
+    def _record_equiv_hit(self, name: str) -> None:
+        self.equiv_hits += 1
+        metrics = telemetry.get_metrics()
+        metrics.inc("library.equiv_hits")
+        metrics.inc(f"library.equiv_hits.{name}")
+
     def get_pulse(
         self,
         matrix: np.ndarray,
@@ -231,6 +406,25 @@ class PulseLibrary:
             metrics.inc("library.hits")
             logger.debug("cache hit for %d-qubit unitary on %s", num_qubits, qubits)
             return cached.on_qubits(qubits)
+        derived = self._equivalent_pulse(
+            matrix,
+            num_qubits,
+            warm_entries if warm_entries is not None else self._entries,
+        )
+        if derived is not None:
+            name, pulse = derived
+            self._entries[key] = pulse
+            self.hits += 1
+            metrics.inc("library.hits")
+            self._record_equiv_hit(name)
+            metrics.gauge("library.size", len(self._entries))
+            logger.debug(
+                "equivalence hit (%s) for %d-qubit unitary on %s",
+                name,
+                num_qubits,
+                qubits,
+            )
+            return pulse.on_qubits(qubits)
         self.misses += 1
         metrics.inc("library.misses")
         pulse = minimal_latency_pulse(
@@ -284,13 +478,47 @@ class PulseLibrary:
             if key not in self._entries and key not in pending:
                 pending[key] = index
         metrics = telemetry.get_metrics()
+        unique_misses = len(pending)
         if pending:
-            # warm-start candidates come from a snapshot — the caller's
-            # stage-start snapshot when provided, otherwise one taken
-            # now, before any batch member solves — so every miss in the
-            # batch scans the same candidate set a serial loop would
-            if warm_entries is None and self.config.warm_start:
+            # warm-start and equivalence candidates come from a snapshot
+            # — the caller's stage-start snapshot when provided,
+            # otherwise one taken now, before any batch member solves —
+            # so every miss in the batch scans the same candidate set a
+            # serial loop would
+            if warm_entries is None and (
+                self.config.warm_start or self.config.equivalence_lookup
+            ):
                 warm_entries = self.warm_snapshot()
+            # equivalence-class resolution: misses whose target is an
+            # exact transform (or verified tensor product) of a snapshot
+            # entry become derived cache entries here, never GRAPE tasks.
+            # The replay loop below then counts them as hits — exactly
+            # what the serial get_pulse path records.
+            if self.config.equivalence_lookup and warm_entries:
+                for key in list(pending):
+                    index = pending[key]
+                    matrix, qubits = requests[index]
+                    derived = self._equivalent_pulse(
+                        matrix, len(qubits), warm_entries
+                    )
+                    if derived is None:
+                        continue
+                    name, pulse = derived
+                    del pending[key]
+                    self._entries[key] = pulse
+                    self._record_equiv_hit(name)
+                    if on_pulse is not None:
+                        try:
+                            on_pulse(key, pulse)
+                        except Exception:
+                            metrics.inc("library.checkpoint_errors")
+                            logger.warning(
+                                "pulse checkpoint callback failed for "
+                                "key %s; continuing the batch",
+                                key.hex(),
+                                exc_info=True,
+                            )
+        if pending:
             tasks = [
                 PulseTask(
                     matrix=requests[index][0],
@@ -311,7 +539,9 @@ class PulseLibrary:
                 len(requests),
             )
             metrics.inc("library.singleflight_batches")
-            metrics.inc("library.singleflight_deduped", len(requests) - len(tasks))
+            metrics.inc(
+                "library.singleflight_deduped", len(requests) - unique_misses
+            )
             pending_keys = list(pending)
             bus = obs_events.get_bus()
             progress = {"completed": 0}
@@ -516,6 +746,7 @@ class PulseLibrary:
 
         if replace:
             self._entries.clear()
+            self._decoded.clear()
             # hit/miss counts described the discarded entries; hit_rate
             # must reflect only the library being loaded now
             self.clear_statistics()
@@ -533,6 +764,7 @@ class PulseLibrary:
     def invalidate(self) -> None:
         """Drop every cached pulse (e.g. after hardware recalibration)."""
         self._entries.clear()
+        self._decoded.clear()
         self.clear_statistics()
 
     @property
@@ -545,4 +777,5 @@ class PulseLibrary:
         self.misses = 0
         self.near_hits = 0
         self.near_misses = 0
+        self.equiv_hits = 0
         self.quarantined = 0

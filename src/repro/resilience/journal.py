@@ -143,11 +143,21 @@ class CompilationJournal:
         self.journal_path = self.path + ".journal"
         self.library = library
         self.checkpoint_every = max(1, int(checkpoint_every))
-        #: optional :class:`repro.batch.SharedLibraryStore` for the same
-        #: path; when set, flushes run its locked load-merge-save round
-        #: instead of a blind ``save`` so concurrent processes
-        #: checkpointing into one shared file cannot drop each other's
-        #: entries.
+        #: optional store (:class:`repro.batch.SharedLibraryStore` or
+        #: :class:`repro.db.SqliteLibraryStore`) for the same path; when
+        #: set, flushes run its merge round instead of a blind ``save``
+        #: so concurrent processes checkpointing into one shared file
+        #: cannot drop each other's entries.  SQLite checkpoint paths
+        #: get a store automatically — ``PulseLibrary.save`` only
+        #: writes JSON, and the transactional store makes each flush an
+        #: O(new rows) upsert instead of a full rewrite.
+        if store is None:
+            from repro.db import is_sqlite_path
+
+            if is_sqlite_path(self.path):
+                from repro.db import SqliteLibraryStore
+
+                store = SqliteLibraryStore(self.path)
         self.store = store
         self._fh = None
         self._since_flush = 0
@@ -180,7 +190,10 @@ class CompilationJournal:
                     f"configuration (fingerprint {stored} != {fingerprint}); "
                     "refusing to resume"
                 )
-            self.resumed_entries = self.library.load(self.path)
+            if getattr(self.store, "kind", None) == "sqlite":
+                self.resumed_entries = self.store.pull(self.library)
+            else:
+                self.resumed_entries = self.library.load(self.path)
             telemetry.get_metrics().inc(
                 "resilience.resumed_entries", self.resumed_entries
             )

@@ -80,7 +80,15 @@ def library_entry_keys(path: str) -> frozenset:
     tests (and the CI lock job) compare key sets across processes to
     prove no entry was lost to a load-save race, which needs the
     envelope checked but not the waveforms deserialized.
+
+    Works on both library formats: canonical JSON files and the SQLite
+    store (detected by file header), whose rows are held to the same
+    envelope checks — valid key, parseable payload, matching checksum.
     """
+    with open(path, "rb") as fh:
+        header = fh.read(16)
+    if header == b"SQLite format 3\x00":
+        return _sqlite_entry_keys(path)
     with open(path) as fh:
         payload = json.load(fh)
     entries = payload.get("entries", []) if isinstance(payload, dict) else []
@@ -89,3 +97,28 @@ def library_entry_keys(path: str) -> frozenset:
     return frozenset(
         entry["key"] for entry in entries if not validate_entry(entry)
     )
+
+
+def _sqlite_entry_keys(path: str) -> frozenset:
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    try:
+        try:
+            rows = conn.execute(
+                "SELECT key, payload, checksum FROM pulses"
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return frozenset()
+    finally:
+        conn.close()
+    valid = []
+    for key, payload_text, checksum in rows:
+        try:
+            pulse = json.loads(payload_text)
+        except (TypeError, ValueError):
+            continue
+        entry = {"key": bytes(key).hex(), "pulse": pulse, "checksum": checksum}
+        if not validate_entry(entry):
+            valid.append(entry["key"])
+    return frozenset(valid)

@@ -133,6 +133,111 @@ class TestLocking:
             pass
 
 
+class TestLockErrorHandling:
+    """Non-contention flock failures must surface immediately, and
+    release must never leak the lock fd."""
+
+    def test_non_contention_error_raises_immediately(self, tmp_path, monkeypatch):
+        import errno
+        import time
+
+        from repro.batch import store as store_mod
+
+        seen = {"fd": None, "calls": 0}
+
+        def broken_flock(fd, op):
+            seen["fd"] = fd
+            seen["calls"] += 1
+            raise OSError(errno.EBADF, "bad file descriptor")
+
+        monkeypatch.setattr(store_mod.fcntl, "flock", broken_flock)
+        store = SharedLibraryStore(str(tmp_path / "lib.json"), timeout_seconds=30.0)
+        start = time.monotonic()
+        with pytest.raises(OSError) as excinfo:
+            store._acquire()
+        # the old behaviour spun for the full 30 s deadline and raised a
+        # misleading StoreLockTimeout; the real errno must come straight out
+        assert excinfo.value.errno == errno.EBADF
+        assert not isinstance(excinfo.value, StoreLockTimeout)
+        assert time.monotonic() - start < 5.0
+        assert seen["calls"] == 1
+        assert store._lock_fd is None
+        with pytest.raises(OSError):
+            os.fstat(seen["fd"])  # the fd was closed, not leaked
+
+    def test_contention_errno_still_retries(self, tmp_path, monkeypatch):
+        import errno
+
+        from repro.batch import store as store_mod
+
+        attempts = {"n": 0}
+        real_flock = store_mod.fcntl.flock
+
+        def contended_flock(fd, op):
+            if op & store_mod.fcntl.LOCK_UN:
+                return real_flock(fd, op)
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError(errno.EWOULDBLOCK, "resource temporarily unavailable")
+            return real_flock(fd, op)
+
+        monkeypatch.setattr(store_mod.fcntl, "flock", contended_flock)
+        store = SharedLibraryStore(
+            str(tmp_path / "lib.json"), timeout_seconds=10.0, poll_seconds=0.001
+        )
+        with store.locked():
+            assert attempts["n"] == 3
+
+    def test_contention_timeout_still_raises_lock_timeout(self, tmp_path, monkeypatch):
+        import errno
+
+        from repro.batch import store as store_mod
+
+        def always_contended(fd, op):
+            if op & store_mod.fcntl.LOCK_UN:
+                return None
+            raise OSError(errno.EAGAIN, "resource temporarily unavailable")
+
+        monkeypatch.setattr(store_mod.fcntl, "flock", always_contended)
+        store = SharedLibraryStore(
+            str(tmp_path / "lib.json"), timeout_seconds=0.05, poll_seconds=0.005
+        )
+        with pytest.raises(StoreLockTimeout):
+            store._acquire()
+        assert store._lock_fd is None
+
+    def test_release_closes_fd_even_when_unlock_raises(self, tmp_path, monkeypatch):
+        import errno
+
+        from repro.batch import store as store_mod
+
+        store = SharedLibraryStore(str(tmp_path / "lib.json"), timeout_seconds=5.0)
+        store._acquire()
+        fd = store._lock_fd
+        assert fd is not None
+
+        real_flock = store_mod.fcntl.flock
+
+        def broken_unlock(target_fd, op):
+            if op & store_mod.fcntl.LOCK_UN:
+                raise OSError(errno.EIO, "i/o error")
+            return real_flock(target_fd, op)
+
+        monkeypatch.setattr(store_mod.fcntl, "flock", broken_unlock)
+        with pytest.raises(OSError):
+            store._release()
+        monkeypatch.undo()
+        # the fd is closed and the field cleared despite the failed unlock
+        assert store._lock_fd is None
+        with pytest.raises(OSError):
+            os.fstat(fd)
+        # closing the fd dropped the flock: a fresh store can acquire
+        with SharedLibraryStore(
+            str(tmp_path / "lib.json"), timeout_seconds=0.5
+        ).locked():
+            pass
+
+
 class TestConcurrentProcesses:
     def test_no_entry_loss_under_contention(self, tmp_path):
         """Real processes interleaving syncs must preserve the union."""

@@ -1,0 +1,247 @@
+"""Tests for equivalence-class pulse lookup.
+
+Every transform in :data:`repro.db.equivalence.EQUIV_CLASSES` claims an
+*exact* identity on the transmon chain: applying the control transform
+to a pulse's waveform implements the transformed unitary with no new
+error.  These tests check each identity numerically against the real
+propagator, then pin the library-level behaviour: hit accounting,
+snapshot-only sources, simulation gating of tensor candidates, source
+eligibility, and the off-switch.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.circuits.gates import gate_matrix
+from repro.config import HardwareConfig, QOCConfig
+from repro.db import equivalence as equiv
+from repro.qoc import Pulse, PulseLibrary
+from repro.qoc.grape import pulse_propagator
+from repro.qoc.hamiltonian import TransmonChain
+from repro.linalg.unitary import process_fidelity
+
+T_GATE = np.diag([1.0, np.exp(1j * np.pi / 4)]).astype(complex)
+
+
+def _random_pulse(num_qubits: int, rng, segments: int = 6) -> Pulse:
+    controls = rng.uniform(-0.4, 0.4, size=(2 * num_qubits, segments))
+    return Pulse(
+        tuple(range(num_qubits)),
+        controls,
+        1.0,
+        fidelity=1.0,
+        unitary_distance=0.0,
+    )
+
+
+#: the *forward* transform f_name of each class: if a pulse implements W,
+#: derived_controls(name, ...) must implement f_name(W).  Base probes are
+#: involutions, so each doubles as its own forward map; composites apply
+#: base first, then reverse — the order matters on even widths, where the
+#: reversal permutation R and the parity operator S do not commute.
+_FORWARD = {
+    "transpose": equiv._probe_transpose,
+    "conjugate": equiv._probe_conjugate,
+    "dagger": equiv._probe_dagger,
+    "reverse": equiv._probe_reverse,
+    "reverse-transpose": lambda m: equiv._probe_reverse(
+        equiv._probe_transpose(m)
+    ),
+    "reverse-conjugate": lambda m: equiv._probe_reverse(
+        equiv._probe_conjugate(m)
+    ),
+    "reverse-dagger": lambda m: equiv._probe_reverse(equiv._probe_dagger(m)),
+}
+
+
+class TestTransformIdentities:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_every_class_is_exact(self, num_qubits, rng):
+        """derived_controls(name, C) implements f_name(propagator(C))."""
+        hardware = TransmonChain(num_qubits)
+        pulse = _random_pulse(num_qubits, rng)
+        w = pulse_propagator(pulse, hardware)
+        names = []
+        for name, _ in equiv.equivalence_probes(w, num_qubits, hardware):
+            names.append(name)
+            target = _FORWARD[name](w)
+            derived = replace(
+                pulse,
+                controls=equiv.derived_controls(
+                    name, pulse.controls, num_qubits
+                ),
+            )
+            achieved = pulse_propagator(derived, hardware)
+            fidelity = process_fidelity(target, achieved)
+            assert fidelity > 1.0 - 1e-10, f"{name} not exact: {fidelity}"
+        expected = set(equiv.EQUIV_CLASSES)
+        if num_qubits < 2:
+            expected -= {
+                "reverse",
+                "reverse-transpose",
+                "reverse-conjugate",
+                "reverse-dagger",
+            }
+        assert set(names) == expected
+
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_probe_of_target_recovers_source_key(self, num_qubits, rng):
+        """Probing the target f_name(W) returns W's key bitwise.
+
+        This is what makes the lookup work: the probe of the *target* must
+        hash to exactly the key under which the *source* was cached.
+        The composites are not involutions on even widths (R and S do not
+        commute), so this checks probe = f^{-1}, not probe = f.
+        """
+        library = PulseLibrary()
+        hardware = TransmonChain(num_qubits)
+        w = pulse_propagator(_random_pulse(num_qubits, rng), hardware)
+        w_key = library.key_for(w, num_qubits)
+        for name, _ in equiv.equivalence_probes(w, num_qubits, hardware):
+            target = _FORWARD[name](w)
+            back = dict(
+                equiv.equivalence_probes(target, num_qubits, hardware)
+            )[name]
+            assert library.key_for(back, num_qubits) == w_key, name
+
+    def test_zz_crosstalk_gates_conjugation_classes(self, rng):
+        """With ZZ != 0 the S-conjugation identity breaks; those classes
+        must not be probed at all."""
+        hardware = TransmonChain(2, HardwareConfig(zz_crosstalk=0.02))
+        w = pulse_propagator(_random_pulse(2, rng), hardware)
+        names = {name for name, _ in equiv.equivalence_probes(w, 2, hardware)}
+        assert names == {"transpose", "reverse", "reverse-transpose"}
+
+    def test_tensor_factorization_recovers_kron(self):
+        x, h = gate_matrix("x"), gate_matrix("h")
+        target = np.kron(x, h)
+        factors = equiv.tensor_factorizations(target, 2)
+        assert len(factors) == 1
+        cut, top, bottom = factors[0]
+        assert cut == 1
+        # factors carry a phase ambiguity; compare as process channels
+        assert process_fidelity(x, top) > 1.0 - 1e-10
+        assert process_fidelity(h, bottom) > 1.0 - 1e-10
+
+    def test_entangling_unitary_does_not_factor(self):
+        assert equiv.tensor_factorizations(gate_matrix("cx"), 2) == []
+
+
+class TestLibraryLookup:
+    def test_dagger_family_hit_serial(self, fast_qoc):
+        library = PulseLibrary(config=fast_qoc)
+        library.get_pulse(T_GATE, (0,))
+        assert library.misses == 1
+        solved = library.get_pulse(T_GATE.conj().T, (0,))
+        assert library.misses == 1  # no second GRAPE search
+        assert library.hits == 1
+        assert library.equiv_hits == 1
+        assert solved.source.startswith("equiv-")
+        assert solved.fidelity >= fast_qoc.fidelity_threshold
+        assert len(library) == 2  # derived pulse cached under its own key
+        # third request is a plain cache hit, not another derivation
+        library.get_pulse(T_GATE.conj().T, (0,))
+        assert library.equiv_hits == 1
+        assert library.hits == 2
+
+    def test_tensor_hit_serial(self, fast_qoc):
+        library = PulseLibrary(config=fast_qoc)
+        library.get_pulse(gate_matrix("x"), (0,))
+        library.get_pulse(gate_matrix("h"), (0,))
+        assert library.misses == 2
+        pulse = library.get_pulse(np.kron(gate_matrix("x"), gate_matrix("h")), (0, 1))
+        assert library.misses == 2
+        assert library.equiv_hits == 1
+        assert pulse.source == "equiv-tensor"
+        # acceptance was simulation-verified at the configured threshold
+        assert pulse.fidelity >= fast_qoc.fidelity_threshold
+
+    def test_tensor_candidate_rejected_below_threshold(self, rng):
+        """The coupled chain makes tensor composition inexact; a strict
+        threshold must reject it (counted), not serve it."""
+        strict = QOCConfig(fidelity_threshold=1.0 - 1e-12)
+        library = PulseLibrary(config=strict)
+        snapshot = {}
+        propagators = []
+        for _ in range(2):
+            pulse = _random_pulse(1, rng)
+            w = pulse_propagator(pulse, TransmonChain(1))
+            snapshot[library.key_for(w, 1)] = pulse
+            propagators.append(w)
+        target = np.kron(propagators[0], propagators[1])
+        registry = MetricsRegistry()
+        previous = telemetry.set_metrics(registry)
+        try:
+            assert library._equivalent_pulse(target, 2, snapshot) is None
+        finally:
+            telemetry.set_metrics(previous)
+        assert registry.counter("library.equiv_rejects") == 1
+        assert library.equiv_hits == 0
+
+    def test_source_eligibility(self, rng):
+        """Derived-from and degraded pulses must not seed derivations."""
+        library = PulseLibrary()
+        hardware = TransmonChain(1)
+        pulse = _random_pulse(1, rng)
+        w = pulse_propagator(pulse, hardware)
+        target = w.T.copy()
+        key = library.key_for(w, 1)
+        # healthy GRAPE source: derivation succeeds
+        assert library._equivalent_pulse(target, 1, {key: pulse}) is not None
+        # second-generation source: banned
+        derived_src = replace(pulse, source="equiv-transpose")
+        assert library._equivalent_pulse(target, 1, {key: derived_src}) is None
+        # degraded source below threshold: banned
+        degraded = replace(pulse, fidelity=0.5)
+        assert library._equivalent_pulse(target, 1, {key: degraded}) is None
+
+    def test_equivalence_lookup_off_switch(self, fast_qoc):
+        config = replace(fast_qoc, equivalence_lookup=False)
+        library = PulseLibrary(config=config)
+        library.get_pulse(T_GATE, (0,))
+        library.get_pulse(T_GATE.conj().T, (0,))
+        assert library.misses == 2
+        assert library.equiv_hits == 0
+
+
+class TestBatchSemantics:
+    def test_within_batch_misses_do_not_derive(self, fast_qoc):
+        """Snapshot-only sources: a unitary solved earlier in the *same*
+        batch is not a derivation source — that keeps serial, parallel,
+        and resumed runs byte-identical."""
+        library = PulseLibrary(config=fast_qoc)
+        library.get_pulses([(T_GATE, (0,)), (T_GATE.conj().T, (0,))])
+        assert library.equiv_hits == 0
+        assert library.misses == 2
+
+    def test_cross_batch_derivation_fires_checkpoint(self, fast_qoc):
+        library = PulseLibrary(config=fast_qoc)
+        library.get_pulses([(T_GATE, (0,))])
+        flushed = []
+        pulses = library.get_pulses(
+            [(T_GATE.conj().T, (0,))],
+            on_pulse=lambda key, pulse: flushed.append(key),
+        )
+        assert library.equiv_hits == 1
+        assert pulses[0].source.startswith("equiv-")
+        # the derived entry reached the checkpoint callback like any solve
+        assert flushed == [library.key_for(T_GATE.conj().T, 1)]
+
+    def test_serial_and_batch_paths_agree_bitwise(self, fast_qoc):
+        serial = PulseLibrary(config=fast_qoc)
+        serial.get_pulse(T_GATE, (0,))
+        serial.get_pulse(T_GATE.conj().T, (0,))
+        batch = PulseLibrary(config=fast_qoc)
+        batch.get_pulses([(T_GATE, (0,))])
+        batch.get_pulses([(T_GATE.conj().T, (0,))])
+        assert set(serial.entries()) == set(batch.entries())
+        for key, pulse in serial.entries().items():
+            other = batch.entries()[key]
+            np.testing.assert_array_equal(pulse.controls, other.controls)
+            assert pulse.source == other.source
+            assert pulse.fidelity == other.fidelity
+        assert serial.equiv_hits == batch.equiv_hits == 1

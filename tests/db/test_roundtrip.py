@@ -1,0 +1,106 @@
+"""Round-trip and key-decoding robustness tests.
+
+Canonical JSON is the interchange format for the pulse library; the
+SQLite store must neither add nor lose a byte of it.  And
+``decode_library_key`` sits on the merge path for *foreign* files, so it
+must be total: any byte string returns a decoded matrix or ``None``,
+never an exception.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import gate_matrix
+from repro.cli import main
+from repro.qoc import PulseLibrary
+from repro.qoc.library import decode_library_key
+
+
+class TestDecodeLibraryKey:
+    @given(st.binary(min_size=0, max_size=600))
+    @settings(max_examples=300, deadline=None)
+    def test_total_on_arbitrary_bytes(self, blob):
+        decoded = decode_library_key(blob)
+        if decoded is not None:
+            num_qubits, matrix = decoded
+            assert num_qubits == blob[0]
+            assert matrix.shape == (2**num_qubits, 2**num_qubits)
+
+    @given(st.integers(min_value=1, max_value=2), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_truncations_never_decode(self, num_qubits, data):
+        library = PulseLibrary()
+        dim = 2**num_qubits
+        matrix = np.eye(dim, dtype=complex)
+        key = library.key_for(matrix, num_qubits)
+        cut = data.draw(st.integers(min_value=0, max_value=len(key) - 1))
+        assert decode_library_key(key[:cut]) is None
+
+    def test_valid_key_roundtrips(self):
+        library = PulseLibrary()
+        for name, width in (("x", 1), ("h", 1), ("cx", 2)):
+            key = library.key_for(gate_matrix(name), width)
+            num_qubits, matrix = decode_library_key(key)
+            assert num_qubits == width
+            # the decoded canonical matrix re-keys to the same key
+            assert library.key_for(matrix, width) == key
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_foreign_blobs_reject_cleanly(self, blob):
+        # sizes that are not 1 + 16*4**n for n = blob[0] must return None
+        expected_len = 1 + 16 * (4 ** blob[0]) if blob else 0
+        if len(blob) != expected_len:
+            assert decode_library_key(blob) is None
+
+
+@pytest.fixture
+def compiled_json_library(fast_qoc, tmp_path):
+    library = PulseLibrary(config=fast_qoc)
+    library.get_pulse(gate_matrix("x"), (0,))
+    library.get_pulse(gate_matrix("h"), (0,))
+    library.get_pulse(gate_matrix("t"), (0,))
+    path = str(tmp_path / "lib.json")
+    library.save(path)
+    return path
+
+
+class TestBitwiseRoundTrip:
+    def test_json_sqlite_json_is_identity(self, compiled_json_library, tmp_path):
+        db_path = str(tmp_path / "lib.db")
+        back_path = str(tmp_path / "back.json")
+        assert main(["library", "export", compiled_json_library, db_path]) == 0
+        assert main(["library", "export", db_path, back_path]) == 0
+        with open(compiled_json_library, "rb") as fh:
+            original = fh.read()
+        with open(back_path, "rb") as fh:
+            returned = fh.read()
+        assert original == returned
+
+    def test_import_merges_into_existing_db(
+        self, compiled_json_library, fast_qoc, tmp_path
+    ):
+        from repro.db import SqliteLibraryStore
+
+        db_path = str(tmp_path / "lib.db")
+        other = PulseLibrary(config=fast_qoc)
+        other.get_pulse(gate_matrix("s"), (0,))
+        SqliteLibraryStore(db_path).sync(other)
+        assert main(["library", "import", compiled_json_library, db_path]) == 0
+        assert SqliteLibraryStore(db_path).entry_count() == 4
+
+    def test_info_reports_both_formats(
+        self, compiled_json_library, tmp_path, capsys
+    ):
+        assert main(["library", "info", compiled_json_library]) == 0
+        out = capsys.readouterr().out
+        assert "format : json" in out
+        assert "entries: 3" in out
+        db_path = str(tmp_path / "lib.db")
+        main(["library", "export", compiled_json_library, db_path])
+        assert main(["library", "info", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "format : sqlite" in out
+        assert "1-qubit: 3" in out

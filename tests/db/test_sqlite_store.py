@@ -1,0 +1,245 @@
+"""Tests for the embedded SQLite pulse-library store.
+
+The SQLite backend exists to fix a scaling bug: the JSON store rewrites
+the entire library on every sync, so checkpointing N entries costs
+O(N) per flush.  The transactional store publishes only new rows.
+These tests pin the merge semantics, the integrity/quarantine path,
+schema/mode guards, and survival under real concurrent processes.
+"""
+
+import json
+import multiprocessing
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import gate_matrix
+from repro.db import (
+    DB_SCHEMA_VERSION,
+    SqliteLibraryStore,
+    is_sqlite_path,
+    open_store,
+)
+from repro.batch import SharedLibraryStore
+from repro.exceptions import QOCError
+from repro.qoc import Pulse, PulseLibrary
+from repro.verify.artifacts import library_entry_keys
+
+
+def _synthetic_entry(library: PulseLibrary, theta: float, qubits: int = 1) -> bytes:
+    """Install a fake solved pulse for ``diag(1, e^{i theta}) ⊗ I``."""
+    matrix = np.diag([1.0, np.exp(1j * theta)]).astype(complex)
+    for _ in range(qubits - 1):
+        matrix = np.kron(matrix, np.eye(2, dtype=complex))
+    key = library.key_for(matrix, qubits)
+    library._entries[key] = Pulse(
+        tuple(range(qubits)),
+        np.full((2 * qubits, 8), 0.25),
+        1.0,
+        fidelity=1.0,
+        unitary_distance=0.0,
+    )
+    return key
+
+
+def _hammer_worker(path: str, worker_id: int, entries_per_worker: int) -> None:
+    library = PulseLibrary()
+    store = SqliteLibraryStore(path, timeout_seconds=30.0)
+    for j in range(entries_per_worker):
+        _synthetic_entry(library, 0.3 + worker_id + 0.01 * j)
+        store.sync(library)
+
+
+class TestSyncSemantics:
+    def test_first_sync_publishes(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.db")
+        library = PulseLibrary(config=fast_qoc)
+        library.get_pulse(gate_matrix("x"), (0,))
+        result = SqliteLibraryStore(path).sync(library)
+        assert result.loaded_entries == 0
+        assert result.new_entries == 0
+        assert result.total_entries == 1
+        assert os.path.exists(path)
+        assert len(library_entry_keys(path)) == 1
+
+    def test_sync_merges_disk_entries_back(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.db")
+        store = SqliteLibraryStore(path)
+        lib_a = PulseLibrary(config=fast_qoc)
+        lib_a.get_pulse(gate_matrix("x"), (0,))
+        store.sync(lib_a)
+        lib_b = PulseLibrary(config=fast_qoc)
+        lib_b.get_pulse(gate_matrix("h"), (0,))
+        result = store.sync(lib_b)
+        assert result.loaded_entries == 1
+        assert result.new_entries == 1
+        assert result.total_entries == 2
+        assert len(lib_b) == 2
+
+    def test_sync_twice_equals_once(self, fast_qoc, tmp_path):
+        """Idempotence: a second sync publishes nothing and changes nothing."""
+        path = str(tmp_path / "lib.db")
+        store = SqliteLibraryStore(path)
+        library = PulseLibrary(config=fast_qoc)
+        _synthetic_entry(library, 0.4)
+        _synthetic_entry(library, 1.1)
+        store.sync(library)
+        keys_before = library_entry_keys(path)
+        result = store.sync(library)
+        assert result.new_entries == 0
+        assert result.total_entries == 2
+        assert library_entry_keys(path) == keys_before
+        assert store.entry_count() == 2
+
+    def test_pull_does_not_write(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.db")
+        store = SqliteLibraryStore(path)
+        lib_a = PulseLibrary(config=fast_qoc)
+        _synthetic_entry(lib_a, 0.7)
+        store.sync(lib_a)
+        lib_b = PulseLibrary(config=fast_qoc)
+        _synthetic_entry(lib_b, 2.2)
+        assert store.pull(lib_b) == 1
+        assert len(lib_b) == 2
+        # WAL sidecars make mtime comparisons meaningless; assert on the
+        # row set instead: lib_b's local entry must not have been published
+        assert store.entry_count() == 1
+        assert len(library_entry_keys(path)) == 1
+
+    def test_pull_missing_file_is_empty(self, fast_qoc, tmp_path):
+        store = SqliteLibraryStore(str(tmp_path / "absent.db"))
+        library = PulseLibrary(config=fast_qoc)
+        assert store.pull(library) == 0
+        assert len(library) == 0
+        assert not os.path.exists(str(tmp_path / "absent.db"))
+
+    def test_width_index(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.db")
+        store = SqliteLibraryStore(path)
+        library = PulseLibrary(config=fast_qoc)
+        one_q = _synthetic_entry(library, 0.5, qubits=1)
+        two_q = _synthetic_entry(library, 1.5, qubits=2)
+        store.sync(library)
+        assert store.width_counts() == {1: 1, 2: 1}
+        assert store.keys_for_width(1) == [one_q]
+        assert store.keys_for_width(2) == [two_q]
+        # pull restricted to one width only merges that width
+        narrow = PulseLibrary(config=fast_qoc)
+        assert store.pull(narrow, num_qubits=2) == 1
+        assert set(narrow.entries()) == {two_q}
+
+
+class TestIntegrity:
+    def test_corrupted_payload_quarantined(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.db")
+        store = SqliteLibraryStore(path)
+        library = PulseLibrary(config=fast_qoc)
+        good = _synthetic_entry(library, 0.4)
+        bad = _synthetic_entry(library, 1.9)
+        store.sync(library)
+        conn = sqlite3.connect(path)
+        try:
+            conn.execute(
+                "UPDATE pulses SET payload = ? WHERE key = ?",
+                (json.dumps({"mangled": True}), bad),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+        fresh = PulseLibrary(config=fast_qoc)
+        merged = store.pull(fresh)
+        assert merged == 1
+        assert set(fresh.entries()) == {good}
+        assert fresh.quarantined == 1
+        # the audit helper agrees: the mangled row fails the envelope check
+        assert library_entry_keys(path) == {good.hex()}
+
+    def test_future_schema_refused(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.db")
+        store = SqliteLibraryStore(path)
+        library = PulseLibrary(config=fast_qoc)
+        _synthetic_entry(library, 0.4)
+        store.sync(library)
+        conn = sqlite3.connect(path)
+        try:
+            conn.execute(
+                "UPDATE meta SET value = '99' WHERE key = 'schema_version'"
+            )
+            conn.commit()
+        finally:
+            conn.close()
+        with pytest.raises(QOCError, match="schema"):
+            SqliteLibraryStore(path).pull(PulseLibrary(config=fast_qoc))
+
+    def test_phase_mode_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "lib.db")
+        strict = PulseLibrary(match_global_phase=False)
+        _synthetic_entry(strict, 0.4)
+        SqliteLibraryStore(path).sync(strict)
+        relaxed = PulseLibrary(match_global_phase=True)
+        with pytest.raises(QOCError, match="cache-key mode"):
+            SqliteLibraryStore(path).sync(relaxed)
+
+    def test_meta_records_versions(self, fast_qoc, tmp_path):
+        path = str(tmp_path / "lib.db")
+        store = SqliteLibraryStore(path)
+        library = PulseLibrary(config=fast_qoc)
+        _synthetic_entry(library, 0.4)
+        store.sync(library)
+        meta = store.meta()
+        assert meta["schema_version"] == str(DB_SCHEMA_VERSION)
+        assert meta["match_global_phase"] == "1"
+
+
+class TestDispatch:
+    def test_extension_dispatch(self, tmp_path):
+        assert is_sqlite_path(str(tmp_path / "missing.db"))
+        assert is_sqlite_path(str(tmp_path / "missing.sqlite3"))
+        assert not is_sqlite_path(str(tmp_path / "missing.json"))
+        assert isinstance(
+            open_store(str(tmp_path / "a.db")), SqliteLibraryStore
+        )
+        assert isinstance(
+            open_store(str(tmp_path / "a.json")), SharedLibraryStore
+        )
+
+    def test_header_beats_extension(self, fast_qoc, tmp_path):
+        """An existing file is sniffed by content, whatever its name."""
+        path = str(tmp_path / "lib.json")  # misleading extension
+        library = PulseLibrary(config=fast_qoc)
+        _synthetic_entry(library, 0.4)
+        SqliteLibraryStore(path).sync(library)
+        assert is_sqlite_path(path)
+        assert isinstance(open_store(path), SqliteLibraryStore)
+        assert len(library_entry_keys(path)) == 1
+
+
+class TestConcurrentProcesses:
+    def test_no_entry_loss_under_contention(self, tmp_path):
+        """Real processes interleaving syncs must preserve the union."""
+        path = str(tmp_path / "lib.db")
+        workers, per_worker = 4, 3
+        processes = [
+            multiprocessing.Process(
+                target=_hammer_worker, args=(path, wid, per_worker)
+            )
+            for wid in range(workers)
+        ]
+        for proc in processes:
+            proc.start()
+        for proc in processes:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        reference = PulseLibrary()
+        expected = {
+            reference.key_for(
+                np.diag([1.0, np.exp(1j * (0.3 + wid + 0.01 * j))]), 1
+            ).hex()
+            for wid in range(workers)
+            for j in range(per_worker)
+        }
+        on_disk = library_entry_keys(path)
+        assert expected <= on_disk
+        assert len(on_disk) == len(expected)

@@ -1,0 +1,80 @@
+"""Tests for the library's memoized cache-key decoding.
+
+The warm-start scan decodes every candidate key back into its canonical
+unitary.  Keys are content-addressed — a key always decodes to the same
+matrix — so repeated scans over the same entries must decode each key at
+most once, not once per miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qoc import Pulse, PulseLibrary
+from repro.qoc import library as library_mod
+
+
+def _install_entry(library: PulseLibrary, theta: float) -> bytes:
+    matrix = np.diag([1.0, np.exp(1j * theta)]).astype(complex)
+    key = library.key_for(matrix, 1)
+    library._entries[key] = Pulse(
+        (0,), np.full((2, 8), 0.25), 1.0, fidelity=1.0, unitary_distance=0.0
+    )
+    return key
+
+
+@pytest.fixture
+def counting_decode(monkeypatch):
+    calls = {}
+    real = library_mod.decode_library_key
+
+    def counted(key):
+        calls[key] = calls.get(key, 0) + 1
+        return real(key)
+
+    monkeypatch.setattr(library_mod, "decode_library_key", counted)
+    return calls
+
+
+class TestDecodeMemo:
+    def test_repeated_scans_decode_each_key_once(self, counting_decode):
+        library = PulseLibrary()
+        keys = [_install_entry(library, theta) for theta in (0.3, 1.1, 2.4)]
+        snapshot = library.warm_snapshot()
+        probe = np.diag([1.0, np.exp(1j * 0.31)]).astype(complex)
+        other = np.diag([1.0, np.exp(1j * 2.39)]).astype(complex)
+        # two misses scanning the same snapshot
+        assert library.nearest(probe, 1, entries=snapshot) is not None
+        assert library.nearest(other, 1, entries=snapshot) is not None
+        for key in keys:
+            assert counting_decode.get(key, 0) == 1
+
+    def test_memo_ignores_width_mismatches(self, counting_decode):
+        library = PulseLibrary()
+        _install_entry(library, 0.5)
+        probe = np.eye(4, dtype=complex)
+        # a 2-qubit probe never decodes the 1-qubit entry at all
+        library.nearest(probe, 2)
+        assert counting_decode == {}
+
+    def test_invalidate_clears_memo(self, counting_decode):
+        library = PulseLibrary()
+        key = _install_entry(library, 0.7)
+        probe = np.diag([1.0, np.exp(1j * 0.71)]).astype(complex)
+        library.nearest(probe, 1)
+        assert counting_decode[key] == 1
+        library.invalidate()
+        _install_entry(library, 0.7)
+        library.nearest(probe, 1)
+        # dropped cache means the key decodes again, exactly once more
+        assert counting_decode[key] == 2
+
+    def test_undecodable_key_memoized_as_none(self, counting_decode):
+        library = PulseLibrary()
+        bogus = bytes([1]) + b"\x00" * 7  # wrong payload size for 1 qubit
+        library._entries[bogus] = Pulse(
+            (0,), np.full((2, 8), 0.25), 1.0, fidelity=1.0, unitary_distance=0.0
+        )
+        probe = np.diag([1.0, np.exp(1j * 0.2)]).astype(complex)
+        library.nearest(probe, 1)
+        library.nearest(probe, 1)
+        assert counting_decode[bogus] == 1
