@@ -1,0 +1,152 @@
+"""Hedged-racing latency gate: raced synthesis vs serial under a stall.
+
+Times ``synthesize_unitary`` on hard (random SU(4)) blocks while a
+``synthesis.stall`` fault pins the primary QSearch strategy for
+``STALL_SECONDS`` on every attempt — the "one strategy went pathological"
+regime racing exists for:
+
+``serial``
+    the sequential QSearch -> LEAP -> analytic chain sleeps through the
+    whole stall before it can even try the fallbacks, so every block
+    costs at least the stall;
+``raced``
+    the stalled primary times out at ``strategy_timeout_seconds`` while
+    the LEAP hedge (started ``hedge_delay_seconds`` in) solves the block
+    concurrently, so the race resolves at roughly the strategy timeout —
+    independent of how long the stall would have lasted.
+
+The acceptance gate is a >= MIN_SPEEDUP median improvement of the raced
+hard-block latency over serial.  A no-fault preflight also asserts the
+deterministic race returns bitwise-identical circuits to the serial
+chain, so the speedup is not bought with different answers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import RacingConfig
+from repro.linalg import random_unitary
+from repro.racing import set_breaker_board
+from repro.racing.breaker import BreakerBoard
+from repro.resilience.faults import FaultPlan, set_fault_plan
+from repro.synthesis import synthesize_unitary
+
+from _bench_common import save_results
+
+STALL_SECONDS = 1.5  # injected primary-strategy stall per attempt
+STRATEGY_TIMEOUT = 0.3  # raced budget per strategy attempt
+HEDGE_DELAY = 0.05
+TARGET_SEEDS = (3, 11, 29)  # one hard SU(4) block per seed
+MIN_SPEEDUP = 2.0
+
+_STALL_PLAN = f"synthesis.stall@seconds={STALL_SECONDS},strategy=qsearch*-1"
+
+
+def _racing(strategy_timeout: float = 30.0) -> RacingConfig:
+    # the tight timeout is only for the stalled runs; the no-fault
+    # preflight must leave the primary room to finish and win
+    return RacingConfig(
+        enabled=True,
+        mode="deterministic",
+        hedge_delay_seconds=HEDGE_DELAY,
+        strategy_timeout_seconds=strategy_timeout,
+    )
+
+
+def _targets() -> List[np.ndarray]:
+    return [
+        random_unitary(4, np.random.default_rng(seed)) for seed in TARGET_SEEDS
+    ]
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def test_racing_bounds_stalled_block_latency(benchmark):
+    targets = _targets()
+
+    # preflight, no faults: deterministic racing must be output-neutral
+    for target in targets:
+        serial = synthesize_unitary(target)
+        raced = synthesize_unitary(target, racing=_racing())
+        assert raced.method == serial.method
+        assert np.array_equal(raced.circuit.unitary(), serial.circuit.unitary())
+
+    previous_plan = set_fault_plan(FaultPlan.parse(_STALL_PLAN))
+    try:
+        rows: List[Dict[str, float]] = []
+        for seed, target in zip(TARGET_SEEDS, targets):
+            serial_s = _timed(lambda: synthesize_unitary(target))
+            # fresh breaker board per block so every raced round pays the
+            # full timeout instead of riding an already-open breaker
+            set_breaker_board(BreakerBoard())
+            raced_s = _timed(
+                lambda: synthesize_unitary(
+                    target, racing=_racing(STRATEGY_TIMEOUT)
+                )
+            )
+            rows.append(
+                {
+                    "seed": seed,
+                    "serial_s": serial_s,
+                    "raced_s": raced_s,
+                    "speedup": serial_s / raced_s,
+                }
+            )
+    finally:
+        set_fault_plan(previous_plan)
+        set_breaker_board(BreakerBoard())
+
+    serial_median = float(np.median([r["serial_s"] for r in rows]))
+    raced_median = float(np.median([r["raced_s"] for r in rows]))
+    speedup = serial_median / raced_median
+
+    print(
+        f"\nhard-block synthesis under a {STALL_SECONDS}s primary stall"
+        f" ({len(rows)} blocks)"
+    )
+    print(f"{'seed':>6}{'serial (s)':>12}{'raced (s)':>11}{'speedup':>9}")
+    for row in rows:
+        print(
+            f"{row['seed']:>6.0f}{row['serial_s']:>12.3f}"
+            f"{row['raced_s']:>11.3f}{row['speedup']:>8.2f}x"
+        )
+    print(f"median: serial {serial_median:.3f}s, raced {raced_median:.3f}s,"
+          f" {speedup:.2f}x")
+
+    save_results(
+        "racing",
+        {
+            "stall_seconds": STALL_SECONDS,
+            "strategy_timeout_seconds": STRATEGY_TIMEOUT,
+            "hedge_delay_seconds": HEDGE_DELAY,
+            "rows": rows,
+            "serial_median_s": serial_median,
+            "raced_median_s": raced_median,
+            "median_speedup": speedup,
+        },
+        attach_metrics=False,
+    )
+
+    # the serial chain cannot beat the stall it sleeps through, and the
+    # raced chain must stay well under it
+    assert serial_median >= STALL_SECONDS
+    assert speedup >= MIN_SPEEDUP, (
+        f"raced hard-block latency is only {speedup:.2f}x better than "
+        f"serial under a {STALL_SECONDS}s stall; need >= {MIN_SPEEDUP}x"
+    )
+
+    # pytest-benchmark row: the raced path under the no-fault common case
+    benchmark.pedantic(
+        lambda: synthesize_unitary(targets[0], racing=_racing()),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )

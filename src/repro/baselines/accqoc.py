@@ -51,6 +51,7 @@ class AccQOCFlow:
                 config=self.config.qoc,
                 match_global_phase=False,
                 resilience=self.config.resilience,
+                racing=self.config.racing,
             )
         self.library = library
         self.group_gate_limit = group_gate_limit

@@ -58,6 +58,7 @@ class PAQOCFlow:
                 config=self.config.qoc,
                 match_global_phase=False,
                 resilience=self.config.resilience,
+                racing=self.config.racing,
             )
         self.library = library
         self.pattern_qubit_limit = pattern_qubit_limit

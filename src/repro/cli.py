@@ -9,8 +9,10 @@ Usage::
     python -m repro.cli compile-batch qasm_dir/ --library lib.json -j 4
     python -m repro.cli compile-batch --suite table1 --library lib.json
     python -m repro.cli compile circuit.qasm --progress --ledger
+    python -m repro.cli compile circuit.qasm --race    # hedged racing
     python -m repro.cli stats list                     # ledger query
     python -m repro.cli stats compare --against-baseline
+    python -m repro.cli stats strategies               # race win rates
     python -m repro.cli optimize circuit.qasm          # ZX pass only
     python -m repro.cli info circuit.qasm              # structure report
 
@@ -40,6 +42,8 @@ from repro.config import (
     ParallelConfig,
     QOC_KERNELS,
     QOCConfig,
+    RACE_MODES,
+    RacingConfig,
     ResilienceConfig,
     VerifyConfig,
 )
@@ -151,6 +155,70 @@ def _add_qoc_tuning_arguments(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_racing_arguments(cmd: argparse.ArgumentParser) -> None:
+    """Strategy-racing knobs shared by ``compile`` and ``compile-batch``."""
+    race = cmd.add_mutually_exclusive_group()
+    race.add_argument(
+        "--race",
+        dest="race",
+        action="store_true",
+        default=None,
+        help=(
+            "race synthesis strategies and reseeded GRAPE restarts as "
+            "hedged concurrent portfolios (default: $REPRO_RACE, else off)"
+        ),
+    )
+    race.add_argument(
+        "--no-race",
+        dest="race",
+        action="store_false",
+        default=None,
+        help="force the sequential fallback chains even if $REPRO_RACE is set",
+    )
+    cmd.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "delay before each lower-priority racing strategy starts "
+            "(default: %(default)s -> config default 0.25s)"
+        ),
+    )
+    cmd.add_argument(
+        "--race-mode",
+        default=None,
+        choices=list(RACE_MODES),
+        help=(
+            "winner selection: 'deterministic' ranks acceptable results "
+            "by strategy priority (bitwise-stable output, default), "
+            "'latency' takes the first acceptable finisher"
+        ),
+    )
+    cmd.add_argument(
+        "--race-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-strategy wall-clock budget inside a race (default: 30s)",
+    )
+
+
+def _racing_config(args) -> RacingConfig:
+    """Build the RacingConfig shared by the compile/compile-batch commands."""
+    extra = {}
+    hedge_delay = getattr(args, "hedge_delay", None)
+    if hedge_delay is not None:
+        extra["hedge_delay_seconds"] = hedge_delay
+    mode = getattr(args, "race_mode", None)
+    if mode is not None:
+        extra["mode"] = mode
+    timeout = getattr(args, "race_timeout", None)
+    if timeout is not None:
+        extra["strategy_timeout_seconds"] = timeout
+    return RacingConfig(enabled=getattr(args, "race", None), **extra)
+
+
 def _qoc_config(args) -> QOCConfig:
     """Build the QOCConfig shared by the compile/compile-batch commands."""
     extra = {}
@@ -197,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
     )
     _add_qoc_tuning_arguments(compile_cmd)
+    _add_racing_arguments(compile_cmd)
     compile_cmd.add_argument(
         "-j",
         "--workers",
@@ -363,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
     )
     _add_qoc_tuning_arguments(batch_cmd)
+    _add_racing_arguments(batch_cmd)
     batch_cmd.add_argument(
         "-j",
         "--workers",
@@ -461,6 +531,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="S",
         help="absolute slowdown a stage must exceed to count (default: 0.05)",
+    )
+
+    stats_strategies = stats_sub.add_parser(
+        "strategies",
+        help="racing portfolio win rates per block width (see --race)",
+    )
+    stats_strategies.add_argument(
+        "--limit",
+        type=int,
+        default=200,
+        metavar="N",
+        help="most recent runs to aggregate (default: %(default)s)",
+    )
+    stats_strategies.add_argument(
+        "--circuit", default=None, help="filter by circuit name"
+    )
+    stats_strategies.add_argument(
+        "--method", default=None, help="filter by compilation flow"
     )
 
     stats_baseline = stats_sub.add_parser(
@@ -573,6 +661,7 @@ def _config(args) -> EPOCConfig:
         qoc=_qoc_config(args),
         parallel=ParallelConfig(workers=getattr(args, "workers", None)),
         resilience=resilience,
+        racing=_racing_config(args),
         verify=VerifyConfig(
             mode=getattr(args, "verify", None),
             error_budget=getattr(args, "error_budget", None),
@@ -697,6 +786,7 @@ def _batch_config(args) -> EPOCConfig:
         qoc=_qoc_config(args),
         parallel=ParallelConfig(workers=args.workers),
         resilience=resilience,
+        racing=_racing_config(args),
         verify=VerifyConfig(mode=args.verify),
         obs=_obs_config(args),
     )
@@ -747,6 +837,12 @@ def _run_stats(args) -> int:
         return 0
     if args.stats_command == "show":
         print(obs.format_run(ledger.run(args.run_id)))
+        return 0
+    if args.stats_command == "strategies":
+        records = ledger.runs(
+            limit=args.limit, circuit=args.circuit, method=args.method
+        )
+        print(obs.format_strategies(obs.aggregate_strategies(records)))
         return 0
     if args.stats_command == "baseline":
         if args.clear:

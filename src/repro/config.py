@@ -24,8 +24,15 @@ ENV_VERIFY = "REPRO_VERIFY"
 #: :mod:`repro.obs.ledger`, which owns path resolution).
 ENV_LEDGER = "REPRO_LEDGER"
 
+#: environment variable consulted when ``RacingConfig.enabled`` is unset;
+#: a truthy value ("1", "true", ...) turns strategy racing on.
+ENV_RACE = "REPRO_RACE"
+
 #: accepted stage-boundary verification modes.
 VERIFY_MODES = ("off", "warn", "strict")
+
+#: accepted racing winner-selection modes (see :mod:`repro.racing`).
+RACE_MODES = ("deterministic", "latency")
 
 #: accepted GRAPE objective kernels (see :mod:`repro.qoc.grape`).
 QOC_KERNELS = ("fast", "reference")
@@ -213,6 +220,89 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class RacingConfig:
+    """Hedged strategy racing (see :mod:`repro.racing`).
+
+    When enabled, the sequential QSearch → LEAP → analytic fallback chain
+    and the reseeded GRAPE restarts become concurrent *portfolios*: the
+    primary strategy starts immediately, each lower-priority hedge only
+    after ``hedge_delay_seconds`` (so the common fast case costs nothing
+    extra), and a per-``(site, strategy, block-width)`` circuit breaker
+    skips strategies that keep failing.  The default ``deterministic``
+    mode ranks acceptable results by canonical strategy priority so
+    racing changes wall-clock but never output; ``latency`` mode takes
+    the first acceptable finisher.
+    """
+
+    #: turn racing on/off; ``None`` consults ``REPRO_RACE`` (off when
+    #: unset) so batch jobs can opt in without config plumbing.
+    enabled: Optional[bool] = None
+    #: "deterministic" (priority-ranked winner, bitwise-stable output)
+    #: or "latency" (first acceptable finisher wins).
+    mode: str = "deterministic"
+    #: how long a lower-priority hedge waits before starting; each hedge
+    #: rank waits one more multiple of this.
+    hedge_delay_seconds: float = 0.25
+    #: wall-clock budget for one racing strategy attempt; ``None`` means
+    #: the attempt only honours the stage/QOC deadlines it already has.
+    strategy_timeout_seconds: Optional[float] = 30.0
+    #: extra differently-seeded GRAPE restarts raced against the primary
+    #: pulse search for hard QOC blocks (0 races the primary alone).
+    qoc_restarts: int = 2
+    #: consecutive failures that open a strategy's circuit breaker for a
+    #: block signature (0 disables the breaker).
+    breaker_failures: int = 3
+    #: seconds an open breaker waits before letting one half-open probe
+    #: attempt through.
+    breaker_cooldown_seconds: float = 30.0
+    #: after cancelling the losers, how long the race waits for their
+    #: threads to unwind before abandoning them (they are daemonic and
+    #: poll cancellation, so this is a bound, not a sleep).
+    cancel_grace_seconds: float = 2.0
+
+    def __post_init__(self):
+        if self.mode not in RACE_MODES:
+            raise ValueError(
+                f"RacingConfig.mode must be one of {RACE_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.hedge_delay_seconds < 0.0:
+            raise ValueError(
+                "RacingConfig.hedge_delay_seconds must be >= 0"
+            )
+        if (
+            self.strategy_timeout_seconds is not None
+            and self.strategy_timeout_seconds <= 0.0
+        ):
+            raise ValueError(
+                "RacingConfig.strategy_timeout_seconds must be positive"
+            )
+        if self.qoc_restarts < 0:
+            raise ValueError("RacingConfig.qoc_restarts must be >= 0")
+        if self.breaker_failures < 0:
+            raise ValueError("RacingConfig.breaker_failures must be >= 0")
+        if self.breaker_cooldown_seconds < 0.0:
+            raise ValueError(
+                "RacingConfig.breaker_cooldown_seconds must be >= 0"
+            )
+        if self.cancel_grace_seconds < 0.0:
+            raise ValueError(
+                "RacingConfig.cancel_grace_seconds must be >= 0"
+            )
+
+    def resolved_enabled(self) -> bool:
+        """Whether racing is on (explicit > ``REPRO_RACE`` > off)."""
+        if self.enabled is not None:
+            return self.enabled
+        raw = os.environ.get(ENV_RACE, "").strip().lower()
+        return raw not in ("", "0", "false", "no", "off")
+
+    @property
+    def active(self) -> bool:
+        return self.resolved_enabled()
+
+
+@dataclass(frozen=True)
 class VerifyConfig:
     """Stage-boundary verification (see README "Verified compilation").
 
@@ -378,6 +468,7 @@ class EPOCConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    racing: RacingConfig = field(default_factory=RacingConfig)
     verify: VerifyConfig = field(default_factory=VerifyConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
 

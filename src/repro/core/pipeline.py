@@ -64,6 +64,7 @@ class EPOCPipeline:
                 config=self.config.qoc,
                 match_global_phase=self.config.cache_global_phase,
                 resilience=self.config.resilience,
+                racing=self.config.racing,
             )
         self.library = library
         self.use_regrouping = use_regrouping
@@ -204,6 +205,7 @@ class EPOCPipeline:
                                     threshold=config.synthesis_threshold,
                                     max_cnots=config.synthesis_max_layers,
                                     resilience=resilience,
+                                    racing=config.racing,
                                 )
                                 for block in blocks
                             ],
@@ -252,6 +254,7 @@ class EPOCPipeline:
                                         threshold=config.synthesis_threshold,
                                         max_cnots=config.synthesis_max_layers,
                                         resilience=resilience,
+                                        racing=config.racing,
                                     )
                                 )
                             observer.block_progress(

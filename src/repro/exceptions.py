@@ -42,6 +42,16 @@ class ResilienceError(ReproError):
     exhausted retry budgets when no fallback is allowed, ...)."""
 
 
+class RaceCancelled(ReproError):
+    """Raised *inside* a racing strategy thread when its
+    :class:`~repro.racing.cancel.CancelToken` is set: the cooperative
+    loops (QSearch expansion, LEAP level growth, GRAPE probes) poll the
+    token and unwind with this exception so a losing strategy stops
+    burning CPU.  It deliberately does **not** derive from
+    :class:`SynthesisError`/:class:`QOCError` so retry wrappers that
+    catch those let a cancellation propagate immediately."""
+
+
 class VerificationError(ReproError):
     """Raised in ``strict`` verification mode when a stage-boundary
     equivalence check fails or the end-to-end error budget is exceeded.

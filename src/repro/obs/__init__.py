@@ -54,10 +54,14 @@ from repro.obs.stats import (
     REGRESSION_EXIT_CODE,
     CompareResult,
     StageDelta,
+    StrategiesReport,
+    StrategySummary,
+    aggregate_strategies,
     compare_runs,
     format_compare,
     format_run,
     format_run_table,
+    format_strategies,
 )
 
 __all__ = [
@@ -88,8 +92,12 @@ __all__ = [
     "REGRESSION_EXIT_CODE",
     "CompareResult",
     "StageDelta",
+    "StrategiesReport",
+    "StrategySummary",
+    "aggregate_strategies",
     "compare_runs",
     "format_compare",
     "format_run",
     "format_run_table",
+    "format_strategies",
 ]

@@ -43,7 +43,8 @@ __all__ = [
 ]
 
 #: bump when the ``runs`` table layout changes incompatibly.
-LEDGER_SCHEMA_VERSION = 1
+#: v2 adds the ``racing`` column (per-strategy race outcome deltas).
+LEDGER_SCHEMA_VERSION = 2
 
 DEFAULT_LEDGER_PATH = os.path.join("~", ".cache", "repro", "runs.db")
 
@@ -91,6 +92,9 @@ class RunRecord:
     stages: Dict[str, float] = field(default_factory=dict)
     #: full resource-profiler snapshot (may be empty).
     resources: Dict[str, Any] = field(default_factory=dict)
+    #: per-strategy race outcomes accrued during the run (empty when the
+    #: run never raced): ``{"races": N, "strategies": {...}, "breakers"?: {...}}``.
+    racing: Dict[str, Any] = field(default_factory=dict)
     #: free-form extras (benchmark payloads, suite footers, ...).
     extra: Dict[str, Any] = field(default_factory=dict)
     id: Optional[int] = None
@@ -107,7 +111,7 @@ _COLUMNS = (
     "fingerprint", "wall_seconds", "latency_ns", "fidelity", "pulse_count",
     "cache_hits", "cache_misses", "grape_searches", "grape_iterations",
     "degraded_blocks", "verification", "cpu_seconds", "peak_rss_kb",
-    "stages", "resources", "extra",
+    "stages", "resources", "racing", "extra",
 )
 
 _CREATE = """
@@ -134,6 +138,7 @@ CREATE TABLE IF NOT EXISTS runs (
     peak_rss_kb REAL,
     stages TEXT,
     resources TEXT,
+    racing TEXT,
     extra TEXT
 );
 CREATE TABLE IF NOT EXISTS baselines (
@@ -171,6 +176,22 @@ class RunLedger:
                     f"ledger {self.path} uses schema {row[0]}; this build "
                     f"reads <= {LEDGER_SCHEMA_VERSION}"
                 )
+            elif int(row[0]) < LEDGER_SCHEMA_VERSION:
+                self._migrate(conn, int(row[0]))
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection, from_version: int) -> None:
+        """Upgrade an older database in place (v1 -> v2 adds ``racing``)."""
+        if from_version < 2:
+            columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(runs)")
+            }
+            if "racing" not in columns:
+                conn.execute("ALTER TABLE runs ADD COLUMN racing TEXT")
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(LEDGER_SCHEMA_VERSION),),
+        )
 
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path, timeout=30.0)
@@ -218,6 +239,7 @@ class RunLedger:
             "peak_rss_kb": float(record.peak_rss_kb),
             "stages": json.dumps(record.stages),
             "resources": json.dumps(record.resources, default=float),
+            "racing": json.dumps(record.racing, default=float),
             "extra": json.dumps(record.extra, default=float),
         }
         with self._session() as conn:
@@ -255,6 +277,7 @@ class RunLedger:
             peak_rss_kb=float(row["peak_rss_kb"]),
             stages=json.loads(row["stages"] or "{}"),
             resources=json.loads(row["resources"] or "{}"),
+            racing=json.loads(row["racing"] or "{}"),
             extra=json.loads(row["extra"] or "{}"),
         )
 

@@ -28,6 +28,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from repro.obs import events as obs_events
 from repro.obs import resources as obs_resources
 from repro.obs.ledger import RunLedger, RunRecord
+from repro.racing.breaker import get_breaker_board
+from repro.racing.stats import RaceStats, get_race_stats
 
 __all__ = ["RunObserver", "NULL_OBSERVER", "observe_run"]
 
@@ -86,6 +88,9 @@ class RunObserver:
         self.wall_seconds = 0.0
         self._own_bus = own_bus
         self._counter = _GrapeCounter() if ledger is not None else None
+        #: race-stats snapshot taken on entry; the ledger row stores the
+        #: delta so each run reports only its own races.
+        self._race_start: Optional[Dict[str, Any]] = None
         self._prev_bus: Optional[obs_events.EventBus] = None
         self._prev_profiler: Optional[obs_resources.ResourceProfiler] = None
         self._t0 = 0.0
@@ -98,6 +103,8 @@ class RunObserver:
         if self._own_bus:
             self._prev_bus = obs_events.set_bus(self.bus)
         self._prev_profiler = obs_resources.set_profiler(self.profiler)
+        if self.ledger is not None:
+            self._race_start = get_race_stats().snapshot()
         self._t0 = time.perf_counter()
         self.bus.emit("run_started", circuit=self.circuit, method=self.method)
         return self
@@ -177,6 +184,16 @@ class RunObserver:
         if self.ledger is None:
             return None
         totals = self.profiler.totals()
+        racing: Dict[str, Any] = {}
+        if self._race_start is not None:
+            delta = RaceStats.delta(
+                self._race_start, get_race_stats().snapshot()
+            )
+            if delta.get("races") or delta.get("strategies"):
+                racing = delta
+                breakers = get_breaker_board().snapshot()
+                if breakers:
+                    racing["breakers"] = breakers
         record = RunRecord(
             kind=self.kind,
             label=self.label,
@@ -187,6 +204,7 @@ class RunObserver:
             peak_rss_kb=totals["peak_rss_kb"],
             stages=dict(self.stage_seconds),
             resources=self.profiler.snapshot() if self.profiler.enabled else {},
+            racing=racing,
             **values,
         )
         return self.ledger.record(record)

@@ -6,6 +6,11 @@ regressions: a stage regressed when it got slower by more than
 a 2 ms stage doubling is scheduler noise, not a regression).  The CLI
 (``repro stats compare``) exits with :data:`REGRESSION_EXIT_CODE` when
 any stage or the total wall clock regresses, which is the CI perf gate.
+
+``aggregate_strategies`` sums the per-run ``racing`` columns into
+portfolio win rates per block width — the ``repro stats strategies``
+report that shows which synthesis/QOC strategy actually wins races on
+which block sizes.
 """
 
 from __future__ import annotations
@@ -15,15 +20,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.obs.ledger import RunRecord
+from repro.racing.stats import OUTCOME_FIELDS
 
 __all__ = [
     "REGRESSION_EXIT_CODE",
     "StageDelta",
     "CompareResult",
+    "StrategySummary",
+    "StrategiesReport",
+    "aggregate_strategies",
     "compare_runs",
     "format_compare",
     "format_run",
     "format_run_table",
+    "format_strategies",
 ]
 
 #: ``repro stats compare`` exit status when a regression is detected
@@ -124,6 +134,101 @@ def compare_runs(
         ),
     )
     return result
+
+
+# -- strategy racing ------------------------------------------------------
+
+
+@dataclass
+class StrategySummary:
+    """Accumulated race outcomes for one (site, signature, strategy)."""
+
+    site: str
+    signature: str
+    strategy: str
+    attempts: int = 0
+    wins: int = 0
+    cancellations: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    skipped: int = 0
+    abandoned: int = 0
+
+    @property
+    def win_rate(self) -> Optional[float]:
+        return self.wins / self.attempts if self.attempts else None
+
+
+@dataclass
+class StrategiesReport:
+    """Everything ``repro stats strategies`` reports."""
+
+    runs_scanned: int = 0
+    raced_runs: int = 0
+    races: int = 0
+    summaries: List[StrategySummary] = field(default_factory=list)
+
+
+def aggregate_strategies(records: List[RunRecord]) -> StrategiesReport:
+    """Sum the ``racing`` columns of ``records`` into per-strategy totals.
+
+    Keys in the stored JSON flatten to ``site|signature|strategy`` (see
+    :meth:`repro.racing.stats.RaceStats.snapshot`); malformed keys from
+    hand-edited rows are skipped rather than crashing the report.
+    """
+    report = StrategiesReport(runs_scanned=len(records))
+    table: Dict[tuple, StrategySummary] = {}
+    for record in records:
+        racing = record.racing or {}
+        strategies = racing.get("strategies") or {}
+        races = int(racing.get("races", 0) or 0)
+        if not strategies and not races:
+            continue
+        report.raced_runs += 1
+        report.races += races
+        for key, counts in strategies.items():
+            parts = str(key).split("|")
+            if len(parts) != 3:
+                continue
+            summary = table.setdefault(
+                tuple(parts), StrategySummary(*parts)
+            )
+            for outcome in OUTCOME_FIELDS:
+                value = int(counts.get(outcome, 0) or 0)
+                setattr(summary, outcome, getattr(summary, outcome) + value)
+    report.summaries = [
+        table[key]
+        for key in sorted(
+            table, key=lambda k: (k[0], k[1], -table[k].wins, k[2])
+        )
+    ]
+    return report
+
+
+def format_strategies(report: StrategiesReport) -> str:
+    """``repro stats strategies`` output: win rates per block width."""
+    if not report.summaries:
+        return (
+            f"(no raced runs in the last {report.runs_scanned} "
+            "ledger rows — compile with --race to populate)"
+        )
+    lines = [
+        f"{report.races} races across {report.raced_runs} of "
+        f"{report.runs_scanned} runs scanned",
+        f"{'site':<10} {'width':<6} {'strategy':<18} {'attempts':>8} "
+        f"{'wins':>6} {'win%':>7} {'cancel':>7} {'fail':>6} {'t/o':>5} "
+        f"{'skip':>5}",
+    ]
+    for s in report.summaries:
+        rate = s.win_rate
+        win_pct = f"{100.0 * rate:6.1f}%" if rate is not None else "     --"
+        lines.append(
+            f"{s.site:<10} {s.signature:<6} {s.strategy:<18.18} "
+            f"{s.attempts:>8} {s.wins:>6} {win_pct:>7} "
+            f"{s.cancellations:>7} {s.failures:>6} {s.timeouts:>5} "
+            f"{s.skipped:>5}"
+        )
+    return "\n".join(lines)
 
 
 # -- CLI formatting -------------------------------------------------------

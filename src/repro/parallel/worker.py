@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro import telemetry
-from repro.config import QOCConfig, ResilienceConfig
+from repro.config import QOCConfig, RacingConfig, ResilienceConfig
 from repro.obs import events as obs_events
 from repro.obs import resources as obs_resources
 from repro.partition.block import CircuitBlock
@@ -49,6 +49,9 @@ class PulseTask:
     #: worker only consumes them, so serial and parallel runs seed from
     #: the same stage-start library snapshot
     warm_controls: Optional[np.ndarray] = None
+    #: hedged GRAPE-restart racing inside the worker (see repro.racing);
+    #: None or inactive keeps the sequential search
+    racing: Optional[RacingConfig] = None
 
     def run(self, first_probe_eig: Optional[Any] = None) -> Any:
         from repro.qoc.latency import pulse_for_unitary
@@ -60,6 +63,7 @@ class PulseTask:
             resilience=self.resilience,
             warm_controls=self.warm_controls,
             first_probe_eig=first_probe_eig,
+            racing=self.racing,
         )
 
 
@@ -71,6 +75,8 @@ class SynthesisTask:
     threshold: float
     max_cnots: int
     resilience: Optional[ResilienceConfig] = None
+    #: hedged strategy racing inside the worker (see repro.racing).
+    racing: Optional[RacingConfig] = None
 
     def run(self) -> Any:
         from repro.synthesis import synthesize_block
@@ -80,6 +86,7 @@ class SynthesisTask:
             threshold=self.threshold,
             max_cnots=self.max_cnots,
             resilience=self.resilience,
+            racing=self.racing,
         )
 
 

@@ -37,6 +37,7 @@ from repro.qoc.grape import (
 )
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.pulse import Pulse
+from repro.racing.cancel import CancelToken, cooperative_stall
 from repro.resilience.faults import fault_fires
 from repro.resilience.policy import Deadline, RetryPolicy
 
@@ -120,6 +121,7 @@ def pulse_for_unitary(
     resilience: Optional[ResilienceConfig] = None,
     warm_controls: Optional[np.ndarray] = None,
     first_probe_eig=None,
+    racing=None,
 ) -> Pulse:
     """Solve one pulse-library-style QOC problem on local wires 0..n-1.
 
@@ -128,11 +130,27 @@ def pulse_for_unitary(
     ``PulseLibrary.hardware_for`` does, so a worker's pulse is
     bit-for-bit identical to the one the serial path would have cached.
     ``warm_controls`` / ``first_probe_eig`` pass straight through to
-    :func:`minimal_latency_pulse`.
+    :func:`minimal_latency_pulse`.  An *active* ``racing``
+    (:class:`~repro.config.RacingConfig`) routes the search through the
+    hedged GRAPE-restart portfolio instead (see :mod:`repro.racing`).
     """
     num_qubits = int(num_qubits)
+    matrix = np.asarray(matrix, dtype=complex)
+    if racing is not None and racing.active:
+        from repro.racing.portfolios import raced_minimal_latency_pulse
+
+        return raced_minimal_latency_pulse(
+            matrix,
+            tuple(range(num_qubits)),
+            config=config,
+            hardware=TransmonChain(num_qubits),
+            resilience=resilience,
+            racing=racing,
+            warm_controls=warm_controls,
+            first_probe_eig=first_probe_eig,
+        )
     return minimal_latency_pulse(
-        np.asarray(matrix, dtype=complex),
+        matrix,
         tuple(range(num_qubits)),
         config=config,
         hardware=TransmonChain(num_qubits),
@@ -189,6 +207,7 @@ def minimal_latency_pulse(
     deadline: Optional[Deadline] = None,
     warm_controls: Optional[np.ndarray] = None,
     first_probe_eig=None,
+    cancel: Optional[CancelToken] = None,
 ) -> Pulse:
     """Find the shortest pulse implementing ``target`` on ``qubits``.
 
@@ -208,6 +227,11 @@ def minimal_latency_pulse(
     mismatch).  ``first_probe_eig`` optionally carries the first probe's
     precomputed slot eigendecomposition from the batched pre-pass
     (:mod:`repro.qoc.batched`).
+
+    ``cancel`` makes every GRAPE probe a cooperative cancellation point:
+    a raced search that lost unwinds with
+    :class:`~repro.exceptions.RaceCancelled` before its next probe
+    instead of running to completion.
     """
     config = config or QOCConfig()
     target = np.asarray(target, dtype=complex)
@@ -222,6 +246,13 @@ def minimal_latency_pulse(
         deadline = Deadline(
             resilience.qoc_timeout_seconds if resilience is not None else None
         )
+    cooperative_stall(
+        "qoc.stall",
+        cancel=cancel,
+        deadline=deadline,
+        qubits=num_qubits,
+        seed=config.seed,
+    )
     forced_fail = fault_fires("qoc.no_converge", qubits=num_qubits)
     warm_seeded = warm_controls is not None
     if warm_seeded:
@@ -241,6 +272,10 @@ def minimal_latency_pulse(
         first_eig=None,
     ) -> GrapeResult:
         nonlocal best_attempt
+        # cooperative cancellation point: a raced search that lost stops
+        # here, before spending another full GRAPE optimization
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         metrics.inc("qoc.search_probes")
         result = grape_optimize(
             target,

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import telemetry
-from repro.config import QOCConfig, ResilienceConfig
+from repro.config import QOCConfig, RacingConfig, ResilienceConfig
 from repro.exceptions import QOCError
 from repro.linalg.unitary import hs_distance
 from repro.obs import events as obs_events
@@ -111,6 +111,10 @@ class PulseLibrary:
     #: keeps the strict behaviour (non-convergence raises
     #: :class:`~repro.exceptions.QOCError`).
     resilience: Optional[ResilienceConfig] = None
+    #: hedged GRAPE-restart racing for cache misses (see
+    #: :mod:`repro.racing`); ``None`` or an inactive config keeps the
+    #: sequential duration search.
+    racing: Optional[RacingConfig] = None
     _entries: Dict[bytes, Pulse] = field(default_factory=dict)
     _hardware: Dict[int, TransmonChain] = field(default_factory=dict)
     hits: int = 0
@@ -427,17 +431,39 @@ class PulseLibrary:
             return pulse.on_qubits(qubits)
         self.misses += 1
         metrics.inc("library.misses")
-        pulse = minimal_latency_pulse(
+        pulse = self._solve_pulse(matrix, num_qubits, warm_entries)
+        self._entries[key] = pulse
+        metrics.gauge("library.size", len(self._entries))
+        return pulse.on_qubits(qubits)
+
+    def _solve_pulse(
+        self,
+        matrix: np.ndarray,
+        num_qubits: int,
+        warm_entries: Optional[Dict[bytes, Pulse]],
+    ) -> Pulse:
+        """Run one cache-miss QOC search, raced when racing is active."""
+        warm_controls = self._warm_controls(matrix, num_qubits, warm_entries)
+        if self.racing is not None and self.racing.active:
+            from repro.racing.portfolios import raced_minimal_latency_pulse
+
+            return raced_minimal_latency_pulse(
+                matrix,
+                tuple(range(num_qubits)),
+                config=self.config,
+                hardware=self.hardware_for(num_qubits),
+                resilience=self.resilience,
+                racing=self.racing,
+                warm_controls=warm_controls,
+            )
+        return minimal_latency_pulse(
             matrix,
             tuple(range(num_qubits)),
             config=self.config,
             hardware=self.hardware_for(num_qubits),
             resilience=self.resilience,
-            warm_controls=self._warm_controls(matrix, num_qubits, warm_entries),
+            warm_controls=warm_controls,
         )
-        self._entries[key] = pulse
-        metrics.gauge("library.size", len(self._entries))
-        return pulse.on_qubits(qubits)
 
     def get_pulses(
         self,
@@ -530,6 +556,7 @@ class PulseLibrary:
                         len(requests[index][1]),
                         warm_entries,
                     ),
+                    racing=self.racing,
                 )
                 for index in pending.values()
             ]

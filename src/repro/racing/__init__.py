@@ -1,0 +1,64 @@
+"""Hedged strategy racing (see README "Strategy racing").
+
+Instead of paying every fallback timeout in sequence, a raced
+compilation runs its strategy portfolio concurrently:
+
+* :mod:`repro.racing.race` — the :class:`StrategyRace` engine: hedged
+  starts (lower priorities wait ``hedge_delay_seconds`` per rank),
+  cooperative cancellation of losers, deterministic priority-ranked or
+  first-finisher winner selection.
+* :mod:`repro.racing.cancel` — the :class:`CancelToken` polled at the
+  same loop points that poll a :class:`~repro.resilience.policy.Deadline`,
+  plus the ``synthesis.stall``/``qoc.stall`` fault-injection shim.
+* :mod:`repro.racing.breaker` — per-``(site, strategy, block-width)``
+  :class:`CircuitBreaker`\\ s with half-open recovery probes, on a
+  process-global :class:`BreakerBoard`.
+* :mod:`repro.racing.stats` — always-on per-strategy attempt/win
+  counters feeding the run ledger and ``repro stats strategies``.
+* :mod:`repro.racing.portfolios` — the concrete portfolios wired into
+  :func:`repro.synthesis.synthesize_unitary` and
+  :func:`repro.qoc.latency.minimal_latency_pulse`.
+
+Racing is configured by :class:`repro.config.RacingConfig` (CLI:
+``--race``, ``--hedge-delay``, ``--race-mode``) and is off by default;
+the default ``deterministic`` mode changes wall-clock but never output.
+"""
+
+from __future__ import annotations
+
+from repro.racing.breaker import (
+    BreakerBoard,
+    CircuitBreaker,
+    get_breaker_board,
+    set_breaker_board,
+)
+from repro.racing.cancel import CancelToken, cooperative_stall
+from repro.racing.portfolios import (
+    raced_minimal_latency_pulse,
+    raced_synthesize_unitary,
+)
+from repro.racing.race import (
+    AttemptOutcome,
+    RaceResult,
+    StrategyAttempt,
+    StrategyRace,
+)
+from repro.racing.stats import RaceStats, get_race_stats, set_race_stats
+
+__all__ = [
+    "StrategyRace",
+    "StrategyAttempt",
+    "AttemptOutcome",
+    "RaceResult",
+    "CancelToken",
+    "cooperative_stall",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "get_breaker_board",
+    "set_breaker_board",
+    "RaceStats",
+    "get_race_stats",
+    "set_race_stats",
+    "raced_synthesize_unitary",
+    "raced_minimal_latency_pulse",
+]

@@ -1,0 +1,215 @@
+"""Per-strategy circuit breakers for the racing portfolios.
+
+A strategy that keeps failing for a class of targets (e.g. QSearch on
+3-qubit blocks that always exhaust its node budget) should stop being
+launched for every block in that class: each ``(site, strategy,
+signature)`` triple gets a :class:`CircuitBreaker` that opens after a
+configurable run of consecutive failures, rejects further attempts for a
+cooldown period, then lets a single *half-open* probe through — success
+closes the breaker, another failure re-opens it.
+
+Breakers live on a process-global :class:`BreakerBoard` (mirroring the
+fault-plan and metrics globals) so every race in a run shares failure
+history; :meth:`BreakerBoard.snapshot` feeds the run ledger's racing
+column.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "CircuitBreaker",
+    "BreakerBoard",
+    "get_breaker_board",
+    "set_breaker_board",
+]
+
+#: breaker states (also the strings reported by ``snapshot``).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe.
+
+    ``failure_threshold=0`` disables the breaker entirely (always
+    closed).  Thread-safe; the clock is injectable so tests can walk
+    through cooldowns without sleeping.
+    """
+
+    __slots__ = (
+        "failure_threshold",
+        "cooldown_seconds",
+        "_clock",
+        "_lock",
+        "_state",
+        "_consecutive_failures",
+        "_opened_at",
+        "_times_opened",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 0:
+            raise ValueError("CircuitBreaker.failure_threshold must be >= 0")
+        if cooldown_seconds < 0.0:
+            raise ValueError("CircuitBreaker.cooldown_seconds must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._times_opened = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # caller holds the lock; an open breaker past its cooldown reads
+        # as half-open (the transition is committed by ``allow``)
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the next attempt may run (consumes the half-open slot)."""
+        if self.failure_threshold == 0:
+            return True
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and self._state == OPEN:
+                # commit the cooldown transition and hand out the single
+                # probe slot; further calls see HALF_OPEN and are refused
+                self._state = HALF_OPEN
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        if self.failure_threshold == 0:
+            return
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._times_opened += 1
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self._times_opened,
+            }
+
+
+class BreakerBoard:
+    """All breakers of a process, keyed ``(site, strategy, signature)``."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[Tuple[str, str, str], CircuitBreaker] = {}
+
+    def breaker(
+        self, site: str, strategy: str, signature: str
+    ) -> CircuitBreaker:
+        key = (site, strategy, signature)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    cooldown_seconds=self.cooldown_seconds,
+                    clock=self._clock,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """State of every breaker, keyed ``site:strategy:signature``."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {
+            f"{site}:{strategy}:{signature}": breaker.describe()
+            for (site, strategy, signature), breaker in sorted(items)
+        }
+
+
+#: the installed board; built lazily with default thresholds (races built
+#: from a :class:`~repro.config.RacingConfig` re-key thresholds at
+#: construction via :func:`get_breaker_board`).
+_board: Optional[BreakerBoard] = None
+_board_lock = threading.Lock()
+
+
+def get_breaker_board(
+    failure_threshold: Optional[int] = None,
+    cooldown_seconds: Optional[float] = None,
+) -> BreakerBoard:
+    """The process-global board, created on first use.
+
+    The first caller's thresholds win (later thresholds only apply to
+    breakers not yet created, via the board defaults being updated) —
+    in practice every race in a run shares one ``RacingConfig``.
+    """
+    global _board
+    with _board_lock:
+        if _board is None:
+            _board = BreakerBoard(
+                failure_threshold=(
+                    3 if failure_threshold is None else failure_threshold
+                ),
+                cooldown_seconds=(
+                    30.0 if cooldown_seconds is None else cooldown_seconds
+                ),
+            )
+        else:
+            if failure_threshold is not None:
+                _board.failure_threshold = failure_threshold
+            if cooldown_seconds is not None:
+                _board.cooldown_seconds = cooldown_seconds
+        return _board
+
+
+def set_breaker_board(board: Optional[BreakerBoard]) -> Optional[BreakerBoard]:
+    """Install ``board`` globally (``None`` resets); returns the previous one."""
+    global _board
+    with _board_lock:
+        previous = _board
+        _board = board
+        return previous

@@ -1,0 +1,100 @@
+"""Cooperative cancellation for racing strategy threads.
+
+The compilation strategies are CPU-bound library code, so a losing
+strategy cannot be preempted from outside; instead the same loop points
+that already poll a :class:`~repro.resilience.policy.Deadline` (QSearch
+node expansion, LEAP level growth, GRAPE probes) also poll a shared
+:class:`CancelToken` and unwind with
+:class:`~repro.exceptions.RaceCancelled` when it is set.
+
+:func:`cooperative_stall` is the injection shim for the
+``synthesis.stall`` / ``qoc.stall`` fault sites: it sleeps in small
+increments so an injected straggler still honours cancellation and
+deadlines — exactly like a real slow strategy built on the cooperative
+polling contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.exceptions import RaceCancelled
+from repro.resilience.faults import fault_params
+from repro.resilience.policy import Deadline
+
+__all__ = ["CancelToken", "cooperative_stall"]
+
+#: how often an injected stall re-polls its token/deadline.
+_STALL_POLL_SECONDS = 0.01
+
+
+class CancelToken:
+    """A one-way latch telling a strategy thread to stop working.
+
+    Thread-safe (backed by a :class:`threading.Event`); ``cancel`` is
+    idempotent and the first reason sticks.
+    """
+
+    __slots__ = ("_event", "_reason", "_lock")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+        self._lock = threading.Lock()
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> Optional[str]:
+        return self._reason
+
+    def raise_if_cancelled(self) -> None:
+        """Unwind with :class:`RaceCancelled` when the token is set."""
+        if self._event.is_set():
+            raise RaceCancelled(self._reason or "cancelled")
+
+
+def cooperative_stall(
+    site: str,
+    cancel: Optional[CancelToken] = None,
+    deadline: Optional[Deadline] = None,
+    **context: object,
+) -> bool:
+    """Sleep out an injected ``<site>@seconds=N`` straggler fault.
+
+    Returns ``True`` when a stall spec fired (even if cut short).  The
+    sleep is cooperative: it polls ``cancel`` (raising
+    :class:`RaceCancelled`) and ``deadline`` (returning early so the
+    caller's own deadline handling takes over) every few milliseconds,
+    mirroring how a genuinely slow strategy would behave under racing.
+    """
+    params = fault_params(site, ("seconds",), **context)
+    if params is None:
+        return False
+    try:
+        seconds = float(params.get("seconds", "0") or 0.0)
+    except ValueError:
+        raise ValueError(
+            f"fault site {site!r} expects a numeric seconds= parameter, "
+            f"got {params.get('seconds')!r}"
+        ) from None
+    end = time.monotonic() + max(0.0, seconds)
+    while True:
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+        if deadline is not None and deadline.expired:
+            return True
+        remaining = end - time.monotonic()
+        if remaining <= 0.0:
+            return True
+        time.sleep(min(_STALL_POLL_SECONDS, remaining))

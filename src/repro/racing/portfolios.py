@@ -1,0 +1,230 @@
+"""Concrete racing portfolios for synthesis and QOC.
+
+:func:`raced_synthesize_unitary` races the canonical QSearch → LEAP →
+analytic fallback chain; :func:`raced_minimal_latency_pulse` races the
+warm-started pulse duration search against differently-seeded cold
+GRAPE restarts.  Both run the *same* strategy functions as the
+sequential paths (same seeds, same retry policies), so the default
+deterministic winner — the highest-priority acceptable result — is the
+result the sequential chain would have produced whenever it succeeds,
+which is what the serial-vs-raced bitwise equivalence test pins.
+
+The imports of the strategy implementations are deferred to call time:
+``repro.racing`` must stay importable from inside ``repro.synthesis``
+and ``repro.qoc`` (they import :mod:`repro.racing.cancel` for the
+cooperative polling primitives) without a module-level cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.config import QOCConfig, RacingConfig, ResilienceConfig
+from repro.racing.race import StrategyAttempt, StrategyRace
+from repro.resilience.policy import Deadline
+
+__all__ = ["raced_synthesize_unitary", "raced_minimal_latency_pulse"]
+
+logger = telemetry.get_logger("racing.portfolios")
+
+#: seed stride between hedged GRAPE restarts — far from the small
+#: ``seed + attempt`` offsets the in-search retry loop uses, so a hedge
+#: never duplicates a retry's initialization.
+_QOC_RESTART_SEED_STRIDE = 101
+
+
+def _width_signature(dim: int) -> str:
+    """Block-width breaker/stats signature (``"2q"``, ``"3q"``, ...)."""
+    return f"{max(int(dim).bit_length() - 1, 1)}q"
+
+
+def raced_synthesize_unitary(
+    target: np.ndarray,
+    threshold: float,
+    max_cnots: int,
+    qsearch_max_nodes: int,
+    seed: int,
+    couplings: Optional[List[Tuple[int, int]]],
+    resilience: Optional[ResilienceConfig],
+    racing: RacingConfig,
+):
+    """Race QSearch, LEAP and the analytic decomposition for one target.
+
+    Priorities mirror the sequential fallback chain, so the
+    deterministic winner is exactly what
+    :func:`repro.synthesis.synthesize_unitary` would return; hedging
+    only changes *when* the fallbacks start computing.  The analytic
+    attempt is breaker-exempt — it is the guaranteed fallback and must
+    always be available.
+    """
+    from repro.synthesis import (
+        _analytic_strategy,
+        _leap_strategy,
+        _qsearch_strategy,
+    )
+    from repro.resilience.policy import RetryPolicy
+
+    target = np.asarray(target, dtype=complex)
+    metrics = telemetry.get_metrics()
+    policy = RetryPolicy.from_config(resilience)
+    attempts = [
+        StrategyAttempt(
+            name="qsearch",
+            run=lambda cancel, deadline: _qsearch_strategy(
+                target,
+                threshold=threshold,
+                max_cnots=max_cnots,
+                qsearch_max_nodes=qsearch_max_nodes,
+                seed=seed,
+                couplings=couplings,
+                policy=policy,
+                deadline=deadline,
+                cancel=cancel,
+            ),
+        ),
+        StrategyAttempt(
+            name="leap",
+            run=lambda cancel, deadline: _leap_strategy(
+                target,
+                threshold=threshold,
+                max_cnots=max_cnots,
+                seed=seed,
+                couplings=couplings,
+                policy=policy,
+                deadline=deadline,
+                cancel=cancel,
+            ),
+        ),
+        StrategyAttempt(
+            name="analytic",
+            run=lambda cancel, deadline: _analytic_strategy(target),
+            breaker_exempt=True,
+        ),
+    ]
+    race = StrategyRace(racing, site="synthesis")
+    result = race.run(attempts, signature=_width_signature(target.shape[0]))
+    winner = result.winner
+    if winner is None:
+        # every strategy failed or was cancelled — surface the
+        # highest-priority error (the analytic attempt only fails on
+        # genuinely malformed targets, so this is the pathological case)
+        for outcome in result.outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        raise RuntimeError(
+            f"synthesis race at {result.signature} ended with no outcome"
+        )
+    # mirror the sequential chain's fallback accounting so dashboards
+    # read the same counters whether or not racing is on
+    if winner.name != "qsearch":
+        metrics.inc("resilience.fallbacks")
+        metrics.inc("synthesis.fallback_leap")
+    if winner.name == "analytic":
+        metrics.inc("resilience.fallbacks")
+        metrics.inc("synthesis.fallback_analytic")
+    return winner.result
+
+
+def raced_minimal_latency_pulse(
+    target: np.ndarray,
+    qubits: Tuple[int, ...],
+    config: Optional[QOCConfig],
+    hardware,
+    resilience: Optional[ResilienceConfig],
+    racing: RacingConfig,
+    warm_controls: Optional[np.ndarray] = None,
+    first_probe_eig=None,
+):
+    """Race the pulse duration search against reseeded cold restarts.
+
+    The primary attempt is the exact sequential
+    :func:`~repro.qoc.latency.minimal_latency_pulse` call — warm starts,
+    in-search retries, degradation policy and all — so whenever it
+    converges the deterministic winner is bitwise-identical to the
+    serial pulse.  Hedges are cold searches from stride-separated seeds;
+    a converged hedge only ever *wins* when the primary fails to
+    converge (its result is then ``unacceptable``/degraded), which
+    upgrades the output instead of changing it.
+    """
+    from repro.qoc.latency import minimal_latency_pulse
+
+    config = config or QOCConfig()
+    target = np.asarray(target, dtype=complex)
+    qoc_budget = (
+        resilience.qoc_timeout_seconds if resilience is not None else None
+    )
+
+    def _tighten(deadline: Deadline) -> Deadline:
+        # an attempt honours whichever budget is stricter: the race's
+        # per-strategy timeout or the configured QOC search timeout
+        if qoc_budget is None:
+            return deadline
+        remaining = deadline.remaining()
+        if remaining is None or qoc_budget < remaining:
+            return Deadline(qoc_budget)
+        return deadline
+
+    def _acceptable(pulse) -> bool:
+        return getattr(pulse, "source", "") == "grape"
+
+    def _primary(cancel, deadline):
+        return minimal_latency_pulse(
+            target,
+            qubits,
+            config=config,
+            hardware=hardware,
+            resilience=resilience,
+            deadline=_tighten(deadline),
+            warm_controls=warm_controls,
+            first_probe_eig=first_probe_eig,
+            cancel=cancel,
+        )
+
+    def _restart(rank: int):
+        restart_config = replace(
+            config, seed=config.seed + _QOC_RESTART_SEED_STRIDE * rank
+        )
+
+        def _run(cancel, deadline):
+            return minimal_latency_pulse(
+                target,
+                qubits,
+                config=restart_config,
+                hardware=hardware,
+                resilience=resilience,
+                deadline=_tighten(deadline),
+                cancel=cancel,
+            )
+
+        return _run
+
+    attempts = [
+        StrategyAttempt(name="grape", run=_primary, acceptable=_acceptable)
+    ]
+    for rank in range(1, racing.qoc_restarts + 1):
+        attempts.append(
+            StrategyAttempt(
+                name=f"grape-restart-{rank}",
+                run=_restart(rank),
+                acceptable=_acceptable,
+            )
+        )
+    race = StrategyRace(racing, site="qoc")
+    result = race.run(attempts, signature=_width_signature(target.shape[0]))
+    if result.winner is not None:
+        return result.winner.result
+    # nothing converged: fall back to the primary's own outcome so raced
+    # and serial runs degrade (or raise) identically
+    for outcome in result.outcomes:
+        if outcome.status == "unacceptable" and outcome.result is not None:
+            return outcome.result
+    for outcome in result.outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+    raise RuntimeError(
+        f"qoc race at {result.signature} ended with no outcome"
+    )

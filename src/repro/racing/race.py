@@ -1,0 +1,370 @@
+"""The hedged strategy race engine.
+
+A :class:`StrategyRace` runs a priority-ordered portfolio of
+:class:`StrategyAttempt`\\ s concurrently on daemon threads.  The primary
+(priority 0) starts immediately; each lower-priority hedge starts only
+after one more multiple of ``hedge_delay_seconds`` — or immediately once
+every higher-priority attempt has already resolved without an acceptable
+result — so the common fast case pays nothing for the hedges.
+
+Winner selection:
+
+* ``deterministic`` (default) — acceptable results are ranked by
+  canonical strategy priority: the race waits for attempt *i* only
+  until every attempt *j < i* has resolved unacceptably, then declares
+  *i* the winner the moment it resolves acceptably.  The winning result
+  is therefore a pure function of the portfolio and its inputs — never
+  of thread timing — which is what keeps raced runs bitwise-identical
+  to serial ones (see DESIGN.md).
+* ``latency`` — the first acceptable finisher in wall-clock order wins.
+
+Losers are cancelled cooperatively through their
+:class:`~repro.racing.cancel.CancelToken` and joined for a bounded
+grace period; stragglers are abandoned (daemon threads polling a set
+token, so they unwind on their own).  Every attempt outcome feeds the
+per-``(site, strategy, signature)`` circuit breaker and the racing
+stats recorder.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro import telemetry
+from repro.config import RacingConfig
+from repro.exceptions import RaceCancelled
+from repro.racing.breaker import BreakerBoard, get_breaker_board
+from repro.racing.cancel import CancelToken
+from repro.racing.stats import RaceStats, get_race_stats
+from repro.resilience.policy import Deadline
+
+__all__ = ["StrategyAttempt", "AttemptOutcome", "RaceResult", "StrategyRace"]
+
+logger = telemetry.get_logger("racing.race")
+
+#: outcome states an attempt can end in.
+_RESOLVED = ("acceptable", "unacceptable", "failed", "cancelled")
+
+#: how often coordinator waits re-check for stuck threads (a backstop —
+#: resolutions notify the condition immediately).
+_WAIT_SLICE_SECONDS = 0.05
+
+
+@dataclass
+class StrategyAttempt:
+    """One competitor in a race.
+
+    ``run(cancel, deadline)`` does the work, polling both cooperatively;
+    ``acceptable`` classifies a returned result (exceptions are always
+    failures).  ``breaker_exempt`` marks a guaranteed fallback that must
+    never be skipped by an open breaker.
+    """
+
+    name: str
+    run: Callable[[CancelToken, Deadline], object]
+    acceptable: Optional[Callable[[object], bool]] = None
+    breaker_exempt: bool = False
+
+
+@dataclass
+class AttemptOutcome:
+    """What happened to one attempt (also the race's stats record)."""
+
+    name: str
+    priority: int
+    status: str = "pending"
+    result: object = None
+    error: Optional[BaseException] = None
+    seconds: float = 0.0
+    timed_out: bool = False
+    abandoned: bool = False
+    #: wall-clock resolution order among acceptable outcomes (latency mode).
+    arrival: int = -1
+
+
+@dataclass
+class RaceResult:
+    """Winner (``None`` when nothing acceptable) plus every outcome."""
+
+    site: str
+    signature: str
+    winner: Optional[AttemptOutcome]
+    outcomes: List[AttemptOutcome] = field(default_factory=list)
+
+    def outcome(self, name: str) -> Optional[AttemptOutcome]:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        return None
+
+
+class StrategyRace:
+    """Run hedged strategy portfolios under one :class:`RacingConfig`."""
+
+    def __init__(
+        self,
+        config: RacingConfig,
+        site: str,
+        board: Optional[BreakerBoard] = None,
+        stats: Optional[RaceStats] = None,
+    ):
+        self.config = config
+        self.site = site
+        self.board = board if board is not None else get_breaker_board(
+            failure_threshold=config.breaker_failures,
+            cooldown_seconds=config.breaker_cooldown_seconds,
+        )
+        self.stats = stats if stats is not None else get_race_stats()
+
+    # -- the engine ----------------------------------------------------
+
+    def run(
+        self, attempts: Sequence[StrategyAttempt], signature: str = ""
+    ) -> RaceResult:
+        if not attempts:
+            raise ValueError("StrategyRace.run needs at least one attempt")
+        metrics = telemetry.get_metrics()
+        start_time = time.monotonic()
+        outcomes = [
+            AttemptOutcome(name=attempt.name, priority=index)
+            for index, attempt in enumerate(attempts)
+        ]
+        cond = threading.Condition()
+        closed = [False]
+        arrival_counter = [0]
+
+        # breaker gating: skipped attempts never start
+        runnable: List[int] = []
+        breaker_enabled = self.config.breaker_failures > 0
+        for index, attempt in enumerate(attempts):
+            if (
+                breaker_enabled
+                and not attempt.breaker_exempt
+                and not self.board.breaker(
+                    self.site, attempt.name, signature
+                ).allow()
+            ):
+                outcomes[index].status = "skipped"
+                logger.info(
+                    "race %s/%s: breaker open for %s — skipping",
+                    self.site,
+                    signature,
+                    attempt.name,
+                )
+            else:
+                runnable.append(index)
+        if not runnable:
+            # every strategy tripped its breaker; force the lowest-priority
+            # attempt (the guaranteed fallback) rather than returning empty
+            index = len(attempts) - 1
+            outcomes[index].status = "pending"
+            runnable = [index]
+
+        tokens = {index: CancelToken() for index in runnable}
+        threads: dict = {}
+        timers: List[threading.Timer] = []
+
+        def _spawn_locked(index: int) -> None:
+            # caller holds ``cond``
+            if closed[0] or outcomes[index].status != "pending":
+                return
+            outcomes[index].status = "running"
+            thread = threading.Thread(
+                target=_body,
+                args=(index,),
+                name=f"race-{self.site}-{attempts[index].name}",
+                daemon=True,
+            )
+            threads[index] = thread
+            thread.start()
+
+        def _spawn_from_timer(index: int) -> None:
+            with cond:
+                _spawn_locked(index)
+
+        def _body(index: int) -> None:
+            attempt = attempts[index]
+            token = tokens[index]
+            deadline = Deadline(self.config.strategy_timeout_seconds)
+            began = time.monotonic()
+            status = "failed"
+            result: object = None
+            error: Optional[BaseException] = None
+            try:
+                result = attempt.run(token, deadline)
+                ok = (
+                    attempt.acceptable(result)
+                    if attempt.acceptable is not None
+                    else True
+                )
+                status = "acceptable" if ok else "unacceptable"
+            except RaceCancelled as exc:
+                status = "cancelled"
+                error = exc
+            except Exception as exc:  # noqa: BLE001 — a failure, not a crash
+                status = "failed"
+                error = exc
+            with cond:
+                outcome = outcomes[index]
+                outcome.status = status
+                outcome.result = result
+                outcome.error = error
+                outcome.seconds = time.monotonic() - began
+                outcome.timed_out = status == "failed" and deadline.expired
+                if status == "acceptable":
+                    outcome.arrival = arrival_counter[0]
+                    arrival_counter[0] += 1
+                cond.notify_all()
+
+        hedge_delay = self.config.hedge_delay_seconds
+        with cond:
+            for rank, index in enumerate(runnable):
+                delay = rank * hedge_delay
+                if delay <= 0.0:
+                    _spawn_locked(index)
+                else:
+                    timer = threading.Timer(
+                        delay, _spawn_from_timer, args=(index,)
+                    )
+                    timer.daemon = True
+                    timers.append(timer)
+                    timer.start()
+
+            if self.config.mode == "latency":
+                winner = self._await_latency_winner(
+                    cond, outcomes, runnable, _spawn_locked
+                )
+            else:
+                winner = self._await_deterministic_winner(
+                    cond, outcomes, runnable, _spawn_locked
+                )
+            closed[0] = True
+
+        for timer in timers:
+            timer.cancel()
+        # cancel the losers (and, with no winner, nothing is left running)
+        for index, token in tokens.items():
+            outcome = outcomes[index]
+            if outcome.status == "running" and (
+                winner is None or index != winner.priority
+            ):
+                token.cancel(
+                    f"lost race {self.site}/{signature or '-'} to "
+                    f"{winner.name if winner else 'nobody'}"
+                )
+        grace = Deadline(self.config.cancel_grace_seconds)
+        for index, thread in threads.items():
+            remaining = grace.remaining()
+            thread.join(timeout=remaining if remaining is not None else None)
+            if thread.is_alive():
+                with cond:
+                    outcomes[index].abandoned = True
+
+        with cond:
+            self._record(metrics, outcomes, winner, signature)
+            metrics.observe(
+                f"racing.{self.site}.seconds", time.monotonic() - start_time
+            )
+            # unstarted hedges stay "pending": the hedge was never needed
+            return RaceResult(
+                site=self.site,
+                signature=signature,
+                winner=winner,
+                outcomes=outcomes,
+            )
+
+    # -- winner selection ----------------------------------------------
+
+    def _await_deterministic_winner(
+        self, cond, outcomes, runnable, spawn_locked
+    ) -> Optional[AttemptOutcome]:
+        """Priority-ranked selection (caller holds ``cond``).
+
+        Visits runnable attempts in priority order, waiting for each to
+        resolve; the first acceptable one wins.  An attempt whose turn
+        arrives while still unstarted (its hedge timer has not fired but
+        every higher priority already failed) is started immediately.
+        """
+        for index in runnable:
+            while True:
+                status = outcomes[index].status
+                if status in _RESOLVED:
+                    break
+                if status == "pending":
+                    spawn_locked(index)
+                cond.wait(timeout=_WAIT_SLICE_SECONDS)
+            if outcomes[index].status == "acceptable":
+                return outcomes[index]
+        return None
+
+    def _await_latency_winner(
+        self, cond, outcomes, runnable, spawn_locked
+    ) -> Optional[AttemptOutcome]:
+        """First-acceptable-finisher selection (caller holds ``cond``)."""
+        while True:
+            acceptable = [
+                outcomes[index]
+                for index in runnable
+                if outcomes[index].status == "acceptable"
+            ]
+            if acceptable:
+                return min(acceptable, key=lambda outcome: outcome.arrival)
+            unresolved = [
+                index
+                for index in runnable
+                if outcomes[index].status not in _RESOLVED
+            ]
+            if not unresolved:
+                return None
+            if all(
+                outcomes[index].status == "pending" for index in unresolved
+            ):
+                # nothing running and nothing acceptable: pull the next
+                # hedge forward instead of idling out its timer
+                spawn_locked(unresolved[0])
+            cond.wait(timeout=_WAIT_SLICE_SECONDS)
+
+    # -- accounting ----------------------------------------------------
+
+    def _record(self, metrics, outcomes, winner, signature: str) -> None:
+        self.stats.record_race()
+        metrics.inc("racing.races")
+        breaker_enabled = self.config.breaker_failures > 0
+        for outcome in outcomes:
+            name = outcome.name
+            prefix = f"racing.{self.site}.{name}"
+            if outcome.status == "pending":
+                continue  # hedge that was never needed
+            if outcome.status == "skipped":
+                self.stats.record(self.site, signature, name, "skipped")
+                metrics.inc(f"{prefix}.skipped")
+                continue
+            self.stats.record(self.site, signature, name, "attempts")
+            metrics.inc(f"{prefix}.attempts")
+            if outcome.status == "cancelled" or outcome.status == "running":
+                self.stats.record(self.site, signature, name, "cancellations")
+                metrics.inc(f"{prefix}.cancellations")
+            elif outcome.status == "failed":
+                self.stats.record(self.site, signature, name, "failures")
+                metrics.inc(f"{prefix}.failures")
+                if outcome.timed_out:
+                    self.stats.record(self.site, signature, name, "timeouts")
+                    metrics.inc(f"{prefix}.timeouts")
+                if breaker_enabled:
+                    self.board.breaker(
+                        self.site, name, signature
+                    ).record_failure()
+            else:  # acceptable / unacceptable: the strategy functioned
+                if breaker_enabled:
+                    self.board.breaker(
+                        self.site, name, signature
+                    ).record_success()
+            if outcome.abandoned:
+                self.stats.record(self.site, signature, name, "abandoned")
+                metrics.inc(f"{prefix}.abandoned")
+        if winner is not None:
+            self.stats.record(self.site, signature, winner.name, "wins")
+            metrics.inc(f"racing.{self.site}.{winner.name}.wins")

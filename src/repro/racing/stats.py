@@ -1,0 +1,126 @@
+"""Per-strategy racing statistics, independent of the metrics registry.
+
+The telemetry :class:`~repro.telemetry.metrics.MetricsRegistry` is a
+disabled no-op unless a session installs one, but the run ledger needs
+racing columns for *every* observed run — so the race engine records
+into this always-on, thread-safe recorder as well.  Counters are keyed
+``(site, signature, strategy)``; ``signature`` is the block-width class
+(``"2q"``, ``"3q"``, ...) so ``repro stats strategies`` can report
+portfolio win rates per block width.
+
+The recorder is process-global (like the fault plan and breaker board);
+:class:`~repro.obs.observer.RunObserver` snapshots it at run start and
+stores the per-run delta.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+__all__ = ["RaceStats", "get_race_stats", "set_race_stats"]
+
+#: counter names recorded per (site, signature, strategy).
+OUTCOME_FIELDS = (
+    "attempts",
+    "wins",
+    "cancellations",
+    "failures",
+    "timeouts",
+    "skipped",
+    "abandoned",
+)
+
+
+class RaceStats:
+    """Thread-safe nested counters for race outcomes."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts: Dict[Tuple[str, str, str], Dict[str, int]] = {}
+        self._races = 0
+
+    def record_race(self) -> None:
+        with self._lock:
+            self._races += 1
+
+    def record(
+        self, site: str, signature: str, strategy: str, outcome: str, n: int = 1
+    ) -> None:
+        if outcome not in OUTCOME_FIELDS:
+            raise ValueError(
+                f"unknown race outcome {outcome!r} "
+                f"(expected one of {OUTCOME_FIELDS})"
+            )
+        key = (site, signature, strategy)
+        with self._lock:
+            counts = self._counts.setdefault(
+                key, {field: 0 for field in OUTCOME_FIELDS}
+            )
+            counts[outcome] += n
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-JSON view: ``{"races": N, "strategies": {key: {...}}}``.
+
+        Strategy keys flatten to ``site|signature|strategy`` so the
+        structure survives a JSON round-trip through the ledger intact.
+        """
+        with self._lock:
+            return {
+                "races": self._races,
+                "strategies": {
+                    f"{site}|{signature}|{strategy}": dict(counts)
+                    for (site, signature, strategy), counts in sorted(
+                        self._counts.items()
+                    )
+                },
+            }
+
+    @staticmethod
+    def delta(
+        start: Dict[str, object], end: Dict[str, object]
+    ) -> Dict[str, object]:
+        """The counts accrued between two :meth:`snapshot` calls.
+
+        Zero-delta strategies are dropped so an unraced run stores an
+        empty racing column.
+        """
+        start_strategies: Dict[str, Dict[str, int]] = dict(
+            start.get("strategies", {})  # type: ignore[arg-type]
+        )
+        strategies: Dict[str, Dict[str, int]] = {}
+        for key, counts in end.get("strategies", {}).items():  # type: ignore[union-attr]
+            base = start_strategies.get(key, {})
+            diff = {
+                field: counts[field] - base.get(field, 0)
+                for field in OUTCOME_FIELDS
+                if counts[field] - base.get(field, 0)
+            }
+            if diff:
+                strategies[key] = diff
+        return {
+            "races": int(end.get("races", 0)) - int(start.get("races", 0)),
+            "strategies": strategies,
+        }
+
+
+_stats: Optional[RaceStats] = None
+_stats_lock = threading.Lock()
+
+
+def get_race_stats() -> RaceStats:
+    """The process-global recorder, created on first use."""
+    global _stats
+    with _stats_lock:
+        if _stats is None:
+            _stats = RaceStats()
+        return _stats
+
+
+def set_race_stats(stats: Optional[RaceStats]) -> Optional[RaceStats]:
+    """Install ``stats`` globally (``None`` resets); returns the previous one."""
+    global _stats
+    with _stats_lock:
+        previous = _stats
+        _stats = stats
+        return previous

@@ -34,6 +34,7 @@ from repro.resilience.faults import (
     FaultPlan,
     FaultSpec,
     fault_fires,
+    fault_params,
     get_fault_plan,
     set_fault_plan,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "fault_fires",
+    "fault_params",
     "get_fault_plan",
     "set_fault_plan",
     "ENV_FAULTS",

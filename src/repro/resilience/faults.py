@@ -27,14 +27,28 @@ Sites instrumented across the codebase:
                      ``chunk``); ignored outside worker processes
 ``pipeline.kill``    the pipeline raises mid pulse-generation (context:
                      ``item``) — simulates a killed run for resume tests
+``synthesis.stall``  a synthesis strategy sleeps cooperatively before
+                     running (parameter: ``seconds``; context:
+                     ``strategy``, ``qubits``) — injects a straggler for
+                     racing/hedging tests
+``qoc.stall``        the pulse search sleeps cooperatively before its
+                     first probe (parameter: ``seconds``; context:
+                     ``qubits``)
 ==================  =====================================================
+
+Some sites carry *parameters* rather than match keys: ``seconds`` in
+``synthesis.stall@seconds=5`` configures how long the stall lasts instead
+of filtering where it fires.  Instrumented code retrieves parameters with
+:func:`fault_params`, naming which keys are parameters; all other keys
+still behave as context matchers.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "ENV_FAULTS",
@@ -43,6 +57,7 @@ __all__ = [
     "get_fault_plan",
     "set_fault_plan",
     "fault_fires",
+    "fault_params",
 ]
 
 #: environment variable holding the default fault plan.
@@ -58,11 +73,17 @@ class FaultSpec:
     #: how many more times this spec fires; -1 means unlimited.
     remaining: int = 1
 
-    def matches(self, site: str, context: Dict[str, object]) -> bool:
+    def matches(
+        self,
+        site: str,
+        context: Dict[str, object],
+        param_keys: Sequence[str] = (),
+    ) -> bool:
         if self.remaining == 0 or site != self.site:
             return False
         return all(
-            key in context and str(context[key]) == value
+            key in param_keys
+            or (key in context and str(context[key]) == value)
             for key, value in self.match.items()
         )
 
@@ -95,10 +116,16 @@ class FaultSpec:
 
 
 class FaultPlan:
-    """A set of armed :class:`FaultSpec`\\ s consulted by :func:`fault_fires`."""
+    """A set of armed :class:`FaultSpec`\\ s consulted by :func:`fault_fires`.
+
+    Fire paths are serialized by an internal lock: once strategies race on
+    concurrent threads, an unguarded ``remaining -= 1`` would let a
+    one-shot spec fire twice (or never decrement).
+    """
 
     def __init__(self, specs: Optional[List[FaultSpec]] = None):
         self.specs: List[FaultSpec] = list(specs or [])
+        self._lock = threading.Lock()
 
     @classmethod
     def parse(cls, text: Optional[str]) -> "FaultPlan":
@@ -117,12 +144,35 @@ class FaultPlan:
 
     def fire(self, site: str, **context: object) -> bool:
         """True (and consume one shot) when an armed spec matches."""
-        for spec in self.specs:
-            if spec.matches(site, context):
-                if spec.remaining > 0:
-                    spec.remaining -= 1
-                return True
+        with self._lock:
+            for spec in self.specs:
+                if spec.matches(site, context):
+                    if spec.remaining > 0:
+                        spec.remaining -= 1
+                    return True
         return False
+
+    def fire_params(
+        self, site: str, param_keys: Sequence[str], **context: object
+    ) -> Optional[Dict[str, str]]:
+        """Fire a parameterized site, returning its parameter values.
+
+        Keys listed in ``param_keys`` are extracted from the matching
+        spec instead of being compared against the context; every other
+        spec key must still match.  Returns the (possibly empty)
+        parameter dict when a spec fires, ``None`` otherwise.
+        """
+        with self._lock:
+            for spec in self.specs:
+                if spec.matches(site, context, param_keys=param_keys):
+                    if spec.remaining > 0:
+                        spec.remaining -= 1
+                    return {
+                        key: spec.match[key]
+                        for key in param_keys
+                        if key in spec.match
+                    }
+        return None
 
 
 #: the installed plan; ``None`` means "lazily parse the environment".
@@ -155,3 +205,13 @@ def fault_fires(site: str, **context: object) -> bool:
     if not plan.specs:
         return False
     return plan.fire(site, **context)
+
+
+def fault_params(
+    site: str, param_keys: Sequence[str], **context: object
+) -> Optional[Dict[str, str]]:
+    """Global check for a parameterized site (see :meth:`FaultPlan.fire_params`)."""
+    plan = get_fault_plan()
+    if not plan.specs:
+        return None
+    return plan.fire_params(site, param_keys, **context)

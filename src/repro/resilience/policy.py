@@ -67,17 +67,24 @@ class Deadline:
 
     ``Deadline(None)`` is unlimited: it never expires and costs one
     attribute check per poll, so hot loops can poll unconditionally.
+    ``clock`` (defaulting to :func:`time.monotonic`) is injectable so
+    tests can expire a deadline without waiting.
     """
 
-    __slots__ = ("_expires_at",)
+    __slots__ = ("_expires_at", "_clock")
 
-    def __init__(self, budget_seconds: Optional[float] = None):
+    def __init__(
+        self,
+        budget_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._clock = clock
         if budget_seconds is None:
             self._expires_at = None
         else:
             if budget_seconds < 0.0:
                 raise ValueError("Deadline budget must be >= 0 seconds")
-            self._expires_at = time.monotonic() + budget_seconds
+            self._expires_at = clock() + budget_seconds
 
     @classmethod
     def unlimited(cls) -> "Deadline":
@@ -85,13 +92,13 @@ class Deadline:
 
     @property
     def expired(self) -> bool:
-        return self._expires_at is not None and time.monotonic() >= self._expires_at
+        return self._expires_at is not None and self._clock() >= self._expires_at
 
     def remaining(self) -> Optional[float]:
         """Seconds left, or ``None`` when unlimited (never negative)."""
         if self._expires_at is None:
             return None
-        return max(0.0, self._expires_at - time.monotonic())
+        return max(0.0, self._expires_at - self._clock())
 
 
 def retry_call(
@@ -107,8 +114,10 @@ def retry_call(
     ``fn`` receives the zero-based attempt index so callers can vary the
     seed per attempt.  Exceptions outside ``retry_on`` propagate
     immediately; when the ``deadline`` expires between attempts, the last
-    failure propagates rather than starting another try.  Each retry
-    increments the ``resilience.retries`` counter.
+    failure propagates rather than starting another try, and backoff
+    sleeps are clamped to ``deadline.remaining()`` so a retry never
+    sleeps past the budget it is meant to honour.  Each retry increments
+    the ``resilience.retries`` counter.
     """
     metrics = telemetry.get_metrics()
     delays = policy.delays()
@@ -121,8 +130,12 @@ def retry_call(
                 delay = next(delays)
             except StopIteration:
                 raise exc
-            if deadline is not None and deadline.expired:
-                raise exc
+            if deadline is not None:
+                if deadline.expired:
+                    raise exc
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    delay = min(delay, remaining)
             metrics.inc("resilience.retries")
             logger.warning(
                 "%s failed (attempt %d/%d): %s — retrying",

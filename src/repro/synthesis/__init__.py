@@ -12,10 +12,11 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro import telemetry
-from repro.config import ResilienceConfig
+from repro.config import RacingConfig, ResilienceConfig
 from repro.exceptions import SynthesisError
 from repro.linalg.unitary import hs_distance
 from repro.partition.block import CircuitBlock
+from repro.racing.cancel import cooperative_stall
 from repro.resilience.faults import fault_fires
 from repro.resilience.policy import RetryPolicy, retry_call
 from repro.synthesis.vug import VUGTemplate, u3_gradients
@@ -48,66 +49,86 @@ __all__ = [
 ]
 
 
-def synthesize_unitary(
+def _qsearch_strategy(
     target: np.ndarray,
-    threshold: float = 1e-6,
-    max_cnots: int = 14,
-    qsearch_max_nodes: int = 60,
-    seed: int = 11,
-    couplings: Optional[List[Tuple[int, int]]] = None,
-    resilience: Optional[ResilienceConfig] = None,
+    threshold: float,
+    max_cnots: int,
+    qsearch_max_nodes: int,
+    seed: int,
+    couplings: Optional[List[Tuple[int, int]]],
+    policy: RetryPolicy,
+    deadline=None,
+    cancel=None,
 ) -> SynthesisResult:
-    """Synthesize ``target`` into a VUG+CNOT circuit, never failing.
+    """The QSearch leg of the fallback chain (shared serial/raced body)."""
+    num_qubits = max(int(target.shape[0]).bit_length() - 1, 1)
+    cooperative_stall(
+        "synthesis.stall",
+        cancel=cancel,
+        deadline=deadline,
+        strategy="qsearch",
+        qubits=num_qubits,
+    )
+    if fault_fires("synthesis.qsearch"):
+        raise SynthesisError("injected qsearch fault")
+    return retry_call(
+        lambda attempt: qsearch_synthesize(
+            target,
+            threshold=threshold,
+            max_cnots=min(max_cnots, 8),
+            max_nodes=qsearch_max_nodes,
+            seed=seed + attempt,
+            couplings=couplings,
+            deadline=deadline,
+            cancel=cancel,
+        ),
+        policy,
+        retry_on=(SynthesisError,),
+        deadline=deadline,
+        site="qsearch",
+    )
 
-    The fallback chain is QSearch (optimal-leaning A*), then LEAP (greedy
-    prefix growth), then a guaranteed analytic decomposition — KAK for
-    two-qubit targets (<= 3 CNOTs), quantum Shannon decomposition
-    otherwise — which always succeeds with distance ~0 at a higher CNOT
-    cost.  With a ``resilience`` config, each heuristic stage re-attempts
-    with a fresh seed before falling through, and every fallback hop is
-    counted on ``resilience.fallbacks``.
-    """
-    target = np.asarray(target, dtype=complex)
-    metrics = telemetry.get_metrics()
-    policy = RetryPolicy.from_config(resilience)
-    try:
-        if fault_fires("synthesis.qsearch"):
-            raise SynthesisError("injected qsearch fault")
-        return retry_call(
-            lambda attempt: qsearch_synthesize(
-                target,
-                threshold=threshold,
-                max_cnots=min(max_cnots, 8),
-                max_nodes=qsearch_max_nodes,
-                seed=seed + attempt,
-                couplings=couplings,
-            ),
-            policy,
-            retry_on=(SynthesisError,),
-            site="qsearch",
-        )
-    except SynthesisError:
-        metrics.inc("resilience.fallbacks")
-        metrics.inc("synthesis.fallback_leap")
-    try:
-        if fault_fires("synthesis.leap"):
-            raise SynthesisError("injected leap fault")
-        return retry_call(
-            lambda attempt: leap_synthesize(
-                target,
-                threshold=threshold,
-                max_cnots=max_cnots,
-                seed=seed + attempt,
-                couplings=couplings,
-            ),
-            policy,
-            retry_on=(SynthesisError,),
-            site="leap",
-        )
-    except SynthesisError:
-        metrics.inc("resilience.fallbacks")
-        metrics.inc("synthesis.fallback_analytic")
-    # guaranteed decomposition: KAK for two-qubit targets, QSD beyond
+
+def _leap_strategy(
+    target: np.ndarray,
+    threshold: float,
+    max_cnots: int,
+    seed: int,
+    couplings: Optional[List[Tuple[int, int]]],
+    policy: RetryPolicy,
+    deadline=None,
+    cancel=None,
+) -> SynthesisResult:
+    """The LEAP leg of the fallback chain (shared serial/raced body)."""
+    num_qubits = max(int(target.shape[0]).bit_length() - 1, 1)
+    cooperative_stall(
+        "synthesis.stall",
+        cancel=cancel,
+        deadline=deadline,
+        strategy="leap",
+        qubits=num_qubits,
+    )
+    if fault_fires("synthesis.leap"):
+        raise SynthesisError("injected leap fault")
+    return retry_call(
+        lambda attempt: leap_synthesize(
+            target,
+            threshold=threshold,
+            max_cnots=max_cnots,
+            seed=seed + attempt,
+            couplings=couplings,
+            deadline=deadline,
+            cancel=cancel,
+        ),
+        policy,
+        retry_on=(SynthesisError,),
+        deadline=deadline,
+        site="leap",
+    )
+
+
+def _analytic_strategy(target: np.ndarray) -> SynthesisResult:
+    """The guaranteed analytic leg: KAK for two qubits, QSD beyond."""
     if target.shape[0] == 4:
         circuit = kak_synthesize(target)
         method = "kak"
@@ -123,12 +144,83 @@ def synthesize_unitary(
     )
 
 
+def synthesize_unitary(
+    target: np.ndarray,
+    threshold: float = 1e-6,
+    max_cnots: int = 14,
+    qsearch_max_nodes: int = 60,
+    seed: int = 11,
+    couplings: Optional[List[Tuple[int, int]]] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    racing: Optional[RacingConfig] = None,
+) -> SynthesisResult:
+    """Synthesize ``target`` into a VUG+CNOT circuit, never failing.
+
+    The fallback chain is QSearch (optimal-leaning A*), then LEAP (greedy
+    prefix growth), then a guaranteed analytic decomposition — KAK for
+    two-qubit targets (<= 3 CNOTs), quantum Shannon decomposition
+    otherwise — which always succeeds with distance ~0 at a higher CNOT
+    cost.  With a ``resilience`` config, each heuristic stage re-attempts
+    with a fresh seed before falling through, and every fallback hop is
+    counted on ``resilience.fallbacks``.
+
+    With an *active* ``racing`` config the same three strategies run as
+    a hedged concurrent portfolio (see :mod:`repro.racing`); in the
+    default deterministic mode the returned result is identical to the
+    sequential chain's whenever it succeeds — racing only changes
+    wall-clock.
+    """
+    target = np.asarray(target, dtype=complex)
+    if racing is not None and racing.active:
+        from repro.racing.portfolios import raced_synthesize_unitary
+
+        return raced_synthesize_unitary(
+            target,
+            threshold=threshold,
+            max_cnots=max_cnots,
+            qsearch_max_nodes=qsearch_max_nodes,
+            seed=seed,
+            couplings=couplings,
+            resilience=resilience,
+            racing=racing,
+        )
+    metrics = telemetry.get_metrics()
+    policy = RetryPolicy.from_config(resilience)
+    try:
+        return _qsearch_strategy(
+            target,
+            threshold=threshold,
+            max_cnots=max_cnots,
+            qsearch_max_nodes=qsearch_max_nodes,
+            seed=seed,
+            couplings=couplings,
+            policy=policy,
+        )
+    except SynthesisError:
+        metrics.inc("resilience.fallbacks")
+        metrics.inc("synthesis.fallback_leap")
+    try:
+        return _leap_strategy(
+            target,
+            threshold=threshold,
+            max_cnots=max_cnots,
+            seed=seed,
+            couplings=couplings,
+            policy=policy,
+        )
+    except SynthesisError:
+        metrics.inc("resilience.fallbacks")
+        metrics.inc("synthesis.fallback_analytic")
+    return _analytic_strategy(target)
+
+
 def synthesize_block(
     block: CircuitBlock,
     threshold: float = 1e-6,
     max_cnots: int = 14,
     seed: int = 11,
     resilience: Optional[ResilienceConfig] = None,
+    racing: Optional[RacingConfig] = None,
 ) -> CircuitBlock:
     """Synthesize a partition block's unitary into a VUG+CNOT circuit.
 
@@ -153,6 +245,7 @@ def synthesize_block(
         max_cnots=budget,
         seed=seed,
         resilience=resilience,
+        racing=racing,
     )
     synthesized = result.circuit
     best = fallback

@@ -30,11 +30,17 @@ def leap_synthesize(
     seed: int = 11,
     couplings: Optional[List[Tuple[int, int]]] = None,
     stall_limit: int = 4,
+    deadline=None,
+    cancel=None,
 ) -> SynthesisResult:
     """Greedy prefix-growth synthesis; raises when the budget is exhausted.
 
     ``stall_limit`` bounds the number of consecutive levels with no
-    meaningful distance improvement before giving up early.
+    meaningful distance improvement before giving up early.  Each level
+    is a cooperative cancellation point: an expired ``deadline`` raises
+    :class:`SynthesisError`, a set ``cancel`` token raises
+    :class:`~repro.exceptions.RaceCancelled` (see
+    :mod:`repro.racing.cancel`).
     """
     target = np.asarray(target, dtype=complex)
     dim = target.shape[0]
@@ -50,6 +56,13 @@ def leap_synthesize(
     stalls = 0
 
     while fit.distance >= threshold:
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+        if deadline is not None and deadline.expired:
+            raise SynthesisError(
+                f"leap deadline expired at {template.cnot_count} CNOTs; "
+                f"best distance {fit.distance:.3e}"
+            )
         if template.cnot_count >= max_cnots or stalls >= stall_limit:
             raise SynthesisError(
                 f"leap exhausted its budget at {template.cnot_count} CNOTs; "

@@ -71,6 +71,8 @@ def qsearch_synthesize(
     restarts: int = 2,
     seed: int = 11,
     couplings: Optional[List[Tuple[int, int]]] = None,
+    deadline=None,
+    cancel=None,
 ) -> SynthesisResult:
     """Synthesize ``target`` into VUGs + CNOTs by heuristic A* search.
 
@@ -78,6 +80,14 @@ def qsearch_synthesize(
     ``threshold`` (callers fall back to :func:`repro.synthesis.qsd.
     qsd_synthesize`).  ``couplings`` restricts CNOT placement (defaults to
     all ordered pairs — all-to-all connectivity).
+
+    The expansion loop is a cooperative cancellation point: an expired
+    ``deadline`` (:class:`~repro.resilience.policy.Deadline`) raises
+    :class:`SynthesisError` before the next node is expanded, and a set
+    ``cancel`` token (:class:`~repro.racing.cancel.CancelToken`) unwinds
+    with :class:`~repro.exceptions.RaceCancelled` — neither affects the
+    search result when they never trigger, so racing keeps QSearch
+    bitwise-deterministic.
     """
     target = np.asarray(target, dtype=complex)
     with telemetry.get_tracer().span("qsearch", dim=target.shape[0]) as span:
@@ -91,6 +101,8 @@ def qsearch_synthesize(
                 restarts=restarts,
                 seed=seed,
                 couplings=couplings,
+                deadline=deadline,
+                cancel=cancel,
             )
         except SynthesisError:
             telemetry.get_metrics().inc("synthesis.qsearch.failures")
@@ -108,6 +120,8 @@ def _qsearch_search(
     restarts: int,
     seed: int,
     couplings: Optional[List[Tuple[int, int]]],
+    deadline=None,
+    cancel=None,
 ) -> SynthesisResult:
     dim = target.shape[0]
     num_qubits = int(dim).bit_length() - 1
@@ -143,6 +157,17 @@ def _qsearch_search(
     expanded = 0
 
     while heap:
+        # cooperative cancellation point: one check per popped node, so a
+        # raced/timed-out search stops within a single node expansion
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+        if deadline is not None and deadline.expired:
+            assert best is not None
+            raise SynthesisError(
+                f"qsearch deadline expired after {expanded} nodes; best "
+                f"distance {best.distance:.3e} with "
+                f"{best.template.cnot_count} CNOTs"
+            )
         node = heapq.heappop(heap)
         if node.distance < threshold:
             return SynthesisResult(

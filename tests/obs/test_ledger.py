@@ -144,3 +144,72 @@ class TestRunLedger:
         for index in range(4):
             (first if index % 2 else second).record(_record())
         assert len(RunLedger(path)) == 4
+
+
+class TestRacingColumn:
+    def test_racing_roundtrip(self, ledger):
+        racing = {
+            "races": 3,
+            "strategies": {
+                "synthesis|2q|qsearch": {"attempts": 3, "wins": 2},
+                "synthesis|2q|leap": {"attempts": 1, "wins": 1},
+            },
+            "breakers": {"synthesis:qsearch:2q": {"state": "closed"}},
+        }
+        run_id = ledger.record(_record(racing=racing))
+        assert ledger.run(run_id).racing == racing
+
+    def test_racing_defaults_empty(self, ledger):
+        run_id = ledger.record(_record())
+        assert ledger.run(run_id).racing == {}
+
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        # build a schema-1 ledger by hand: the runs table without the
+        # racing column and a meta row claiming version 1
+        path = str(tmp_path / "v1.db")
+        v1_columns = [c for c in __import__(
+            "repro.obs.ledger", fromlist=["_COLUMNS"]
+        )._COLUMNS if c != "racing"]
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE runs (
+                id INTEGER PRIMARY KEY AUTOINCREMENT,
+                schema_version INTEGER NOT NULL,
+                created_at REAL NOT NULL,
+                kind TEXT NOT NULL, label TEXT,
+                circuit TEXT NOT NULL, method TEXT NOT NULL,
+                fingerprint TEXT, wall_seconds REAL, latency_ns REAL,
+                fidelity REAL, pulse_count INTEGER, cache_hits INTEGER,
+                cache_misses INTEGER, grape_searches INTEGER,
+                grape_iterations INTEGER, degraded_blocks INTEGER,
+                verification TEXT, cpu_seconds REAL, peak_rss_kb REAL,
+                stages TEXT, resources TEXT, extra TEXT
+            );
+            CREATE TABLE baselines (name TEXT PRIMARY KEY, run_id INTEGER NOT NULL);
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT);
+            INSERT INTO meta (key, value) VALUES ('schema_version', '1');
+            """
+        )
+        conn.execute(
+            f"INSERT INTO runs ({', '.join(v1_columns)}) VALUES "
+            f"({', '.join('?' for _ in v1_columns)})",
+            [
+                1, 123.0, "run", None, "old", "epoc", None, 1.0, 50.0,
+                0.99, 1, 0, 0, 0, 0, 0, None, 0.0, 0.0, "{}", "{}", "{}",
+            ],
+        )
+        conn.commit()
+        conn.close()
+
+        ledger = RunLedger(path)  # opens and migrates
+        old = ledger.runs(limit=5)[0]
+        assert old.circuit == "old"
+        assert old.racing == {}
+        run_id = ledger.record(_record(racing={"races": 1, "strategies": {}}))
+        assert ledger.run(run_id).racing == {"races": 1, "strategies": {}}
+        with sqlite3.connect(path) as conn:
+            version = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()[0]
+        assert int(version) == LEDGER_SCHEMA_VERSION

@@ -10,6 +10,7 @@ from repro.obs import (
     MemorySink,
     NULL_OBSERVER,
     RunLedger,
+    RunObserver,
     observe_run,
     validate_event,
 )
@@ -168,3 +169,47 @@ class TestOutputUnchanged:
                 assert np.array_equal(a.pulse.controls, b.pulse.controls)
         # and the run actually landed in the ledger
         assert len(RunLedger(str(tmp_path / "runs.db"))) == 1
+
+
+class TestRacingDelta:
+    def test_ledger_row_carries_only_this_runs_races(self, tmp_path):
+        from repro.racing import RaceStats, set_race_stats
+
+        stats = RaceStats()
+        previous = set_race_stats(stats)
+        try:
+            # races recorded before the run must not leak into its row
+            stats.record_race()
+            stats.record("synthesis", "2q", "leap", "attempts")
+            ledger = RunLedger(str(tmp_path / "runs.db"))
+            observer = RunObserver(
+                circuit="raced", method="epoc", ledger=ledger
+            )
+            with observer:
+                stats.record_race()
+                stats.record("synthesis", "2q", "qsearch", "attempts")
+                stats.record("synthesis", "2q", "qsearch", "wins")
+            run_id = observer.record_values(circuit="raced", method="epoc")
+            racing = ledger.run(run_id).racing
+            assert racing["races"] == 1
+            assert racing["strategies"] == {
+                "synthesis|2q|qsearch": {"attempts": 1, "wins": 1}
+            }
+        finally:
+            set_race_stats(previous)
+
+    def test_unraced_run_stores_empty_racing(self, tmp_path):
+        from repro.racing import RaceStats, set_race_stats
+
+        previous = set_race_stats(RaceStats())
+        try:
+            ledger = RunLedger(str(tmp_path / "runs.db"))
+            observer = RunObserver(
+                circuit="plain", method="epoc", ledger=ledger
+            )
+            with observer:
+                pass
+            run_id = observer.record_values(circuit="plain", method="epoc")
+            assert ledger.run(run_id).racing == {}
+        finally:
+            set_race_stats(previous)

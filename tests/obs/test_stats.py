@@ -109,3 +109,82 @@ class TestFormatting:
         assert "verdict: ok" in ok
         bad = format_compare(compare_runs(base, _run(2, {"zx": 5.0})))
         assert "REGRESSED" in bad and "zx" in bad
+
+
+class TestAggregateStrategies:
+    def _raced_run(self, run_id, racing):
+        return _run(run_id, {"zx": 0.1}, racing=racing)
+
+    def test_sums_across_runs(self):
+        from repro.obs import aggregate_strategies
+
+        records = [
+            self._raced_run(
+                1,
+                {
+                    "races": 2,
+                    "strategies": {
+                        "synthesis|2q|qsearch": {"attempts": 2, "wins": 1},
+                        "synthesis|2q|leap": {"attempts": 1, "wins": 1},
+                    },
+                },
+            ),
+            self._raced_run(
+                2,
+                {
+                    "races": 1,
+                    "strategies": {
+                        "synthesis|2q|qsearch": {"attempts": 1, "wins": 1},
+                    },
+                },
+            ),
+            _run(3, {"zx": 0.1}),  # unraced run is scanned but not counted
+        ]
+        report = aggregate_strategies(records)
+        assert report.runs_scanned == 3
+        assert report.raced_runs == 2
+        assert report.races == 3
+        by_key = {
+            (s.site, s.signature, s.strategy): s for s in report.summaries
+        }
+        qsearch = by_key[("synthesis", "2q", "qsearch")]
+        assert qsearch.attempts == 3
+        assert qsearch.wins == 2
+        assert qsearch.win_rate == 2 / 3
+        assert by_key[("synthesis", "2q", "leap")].win_rate == 1.0
+
+    def test_malformed_keys_skipped(self):
+        from repro.obs import aggregate_strategies
+
+        report = aggregate_strategies(
+            [
+                self._raced_run(
+                    1, {"races": 1, "strategies": {"not-a-triple": {"wins": 9}}}
+                )
+            ]
+        )
+        assert report.summaries == []
+        assert report.raced_runs == 1
+
+    def test_format_empty_and_populated(self):
+        from repro.obs import aggregate_strategies, format_strategies
+
+        empty = format_strategies(aggregate_strategies([_run(1, {"zx": 0.1})]))
+        assert "no raced runs" in empty
+        populated = format_strategies(
+            aggregate_strategies(
+                [
+                    self._raced_run(
+                        1,
+                        {
+                            "races": 1,
+                            "strategies": {
+                                "qoc|2q|grape": {"attempts": 4, "wins": 3}
+                            },
+                        },
+                    )
+                ]
+            )
+        )
+        assert "qoc" in populated and "grape" in populated
+        assert "75.0%" in populated

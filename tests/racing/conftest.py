@@ -1,0 +1,46 @@
+"""Fixtures for the racing suite: isolated process-global recorders.
+
+Races record into the process-global breaker board, race-stats recorder
+and fault plan; every test gets fresh ones so breaker state or armed
+faults can never leak between tests.
+"""
+
+import pytest
+
+from repro.config import RacingConfig
+from repro.racing import BreakerBoard, RaceStats, set_breaker_board, set_race_stats
+from repro.resilience import FaultPlan, set_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_racing_globals():
+    previous_plan = set_fault_plan(FaultPlan())
+    previous_board = set_breaker_board(BreakerBoard())
+    previous_stats = set_race_stats(RaceStats())
+    yield
+    set_fault_plan(previous_plan)
+    set_breaker_board(previous_board)
+    set_race_stats(previous_stats)
+
+
+@pytest.fixture
+def arm_faults():
+    """Install a fault plan from the ``REPRO_FAULTS`` grammar."""
+
+    def arm(text: str) -> FaultPlan:
+        plan = FaultPlan.parse(text)
+        set_fault_plan(plan)
+        return plan
+
+    return arm
+
+
+@pytest.fixture
+def fast_racing():
+    """Racing settings tuned for test speed: tiny hedge delay, short budgets."""
+    return RacingConfig(
+        enabled=True,
+        hedge_delay_seconds=0.02,
+        strategy_timeout_seconds=10.0,
+        cancel_grace_seconds=2.0,
+    )

@@ -1,0 +1,116 @@
+"""Unit tests for the per-strategy circuit breakers."""
+
+import pytest
+
+from repro.racing import BreakerBoard, CircuitBreaker
+from repro.racing.breaker import get_breaker_board
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_closed_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_after_cooldown(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the single probe slot
+        assert not breaker.allow()  # a second caller is refused
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=5, cooldown_seconds=10.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one half-open failure re-opens immediately
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.describe()["times_opened"] == 2
+
+    def test_zero_threshold_disables(self, clock):
+        breaker = CircuitBreaker(failure_threshold=0, clock=clock)
+        for _ in range(100):
+            breaker.record_failure()
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1.0)
+
+
+class TestBreakerBoard:
+    def test_same_key_same_breaker(self):
+        board = BreakerBoard()
+        first = board.breaker("synthesis", "qsearch", "2q")
+        assert board.breaker("synthesis", "qsearch", "2q") is first
+        assert board.breaker("synthesis", "qsearch", "3q") is not first
+
+    def test_snapshot_keys_and_states(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.breaker("synthesis", "qsearch", "2q").record_failure()
+        board.breaker("qoc", "grape", "2q")
+        snapshot = board.snapshot()
+        assert set(snapshot) == {"synthesis:qsearch:2q", "qoc:grape:2q"}
+        assert snapshot["synthesis:qsearch:2q"]["state"] == "open"
+        assert snapshot["qoc:grape:2q"]["state"] == "closed"
+
+    def test_global_board_updates_defaults(self):
+        board = get_breaker_board(failure_threshold=7, cooldown_seconds=1.5)
+        assert get_breaker_board() is board
+        assert board.failure_threshold == 7
+        assert board.breaker("x", "y", "z").failure_threshold == 7

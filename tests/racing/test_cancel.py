@@ -1,0 +1,70 @@
+"""Unit tests for CancelToken and the cooperative stall fault shim."""
+
+import time
+
+import pytest
+
+from repro.exceptions import RaceCancelled
+from repro.racing import CancelToken, cooperative_stall
+from repro.resilience import Deadline
+
+
+class TestCancelToken:
+    def test_starts_uncancelled(self):
+        token = CancelToken()
+        assert not token.cancelled
+        assert token.reason is None
+        token.raise_if_cancelled()  # no-op
+
+    def test_cancel_sets_and_raises(self):
+        token = CancelToken()
+        token.cancel("lost the race")
+        assert token.cancelled
+        assert token.reason == "lost the race"
+        with pytest.raises(RaceCancelled, match="lost the race"):
+            token.raise_if_cancelled()
+
+    def test_first_reason_sticks(self):
+        token = CancelToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+
+class TestCooperativeStall:
+    def test_no_armed_fault_is_a_noop(self):
+        t0 = time.monotonic()
+        assert cooperative_stall("synthesis.stall", strategy="qsearch") is False
+        assert time.monotonic() - t0 < 0.5
+
+    def test_armed_stall_sleeps_then_fires(self, arm_faults):
+        arm_faults("synthesis.stall@seconds=0.05,strategy=qsearch")
+        t0 = time.monotonic()
+        fired = cooperative_stall("synthesis.stall", strategy="qsearch")
+        assert fired is True
+        assert time.monotonic() - t0 >= 0.05
+
+    def test_context_keys_still_filter(self, arm_faults):
+        arm_faults("synthesis.stall@seconds=5,strategy=leap")
+        assert cooperative_stall("synthesis.stall", strategy="qsearch") is False
+
+    def test_cancel_cuts_the_stall_short(self, arm_faults):
+        arm_faults("qoc.stall@seconds=30")
+        token = CancelToken()
+        token.cancel("loser")
+        t0 = time.monotonic()
+        with pytest.raises(RaceCancelled):
+            cooperative_stall("qoc.stall", cancel=token, qubits=2)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_expired_deadline_cuts_the_stall_short(self, arm_faults):
+        arm_faults("qoc.stall@seconds=30")
+        t0 = time.monotonic()
+        fired = cooperative_stall("qoc.stall", deadline=Deadline(0.0), qubits=2)
+        assert fired is True
+        assert time.monotonic() - t0 < 5.0
+
+    def test_bad_seconds_rejected(self, arm_faults):
+        arm_faults("synthesis.stall@seconds=soon")
+        with pytest.raises(ValueError, match="numeric seconds"):
+            cooperative_stall("synthesis.stall")

@@ -1,0 +1,59 @@
+"""Serial-vs-raced bitwise equivalence of a full pipeline compile.
+
+The acceptance property for deterministic racing: with no faults
+injected, a raced compile produces exactly the schedule a serial compile
+does — same latency, same fidelity, and bitwise-identical pulse
+waveforms — because the deterministic winner is always the result the
+sequential fallback chain would have returned.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.config import RacingConfig
+from repro.core import EPOCPipeline
+
+
+def _small_circuit():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.t(1)
+    qc.cx(1, 2)
+    qc.h(2)
+    return qc
+
+
+def _schedules_bitwise_equal(a, b):
+    assert len(a.items) == len(b.items)
+    for left, right in zip(a.items, b.items):
+        assert left.qubits == right.qubits
+        assert left.start == right.start
+        assert left.duration == right.duration
+        if left.pulse is not None or right.pulse is not None:
+            assert left.pulse.source == right.pulse.source
+            assert left.pulse.dt == right.pulse.dt
+            assert np.array_equal(left.pulse.controls, right.pulse.controls)
+
+
+def test_raced_compile_is_bitwise_identical_to_serial(fast_epoc):
+    serial_config = replace(fast_epoc, racing=RacingConfig(enabled=False))
+    raced_config = replace(
+        fast_epoc,
+        racing=RacingConfig(
+            enabled=True,
+            mode="deterministic",
+            hedge_delay_seconds=0.02,
+            strategy_timeout_seconds=30.0,
+            qoc_restarts=1,
+        ),
+    )
+    serial = EPOCPipeline(serial_config).compile(_small_circuit(), "eq")
+    raced = EPOCPipeline(raced_config).compile(_small_circuit(), "eq")
+    assert raced.latency_ns == serial.latency_ns
+    assert raced.fidelity == serial.fidelity
+    assert raced.pulse_count == serial.pulse_count
+    assert raced.degraded_blocks == serial.degraded_blocks
+    _schedules_bitwise_equal(raced.schedule, serial.schedule)

@@ -1,0 +1,134 @@
+"""Raced synthesis/QOC portfolios: bitwise equivalence and hedging.
+
+The acceptance-critical properties live here:
+
+* deterministic-mode racing returns results bitwise-identical to the
+  sequential fallback chains (same strategies, same seeds), and
+* an injected ``synthesis.stall`` straggler on the primary strategy is
+  hedged around — the race completes far inside the stall, bounded by
+  the hedge delay plus the fallback's own runtime.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import QOCConfig, RacingConfig
+from repro.linalg import random_unitary
+from repro.qoc import minimal_latency_pulse
+from repro.qoc.hamiltonian import TransmonChain
+from repro.racing import get_race_stats
+from repro.racing.portfolios import raced_minimal_latency_pulse
+from repro.synthesis import synthesize_unitary
+
+
+def _racing(**overrides):
+    values = dict(
+        enabled=True,
+        hedge_delay_seconds=0.05,
+        strategy_timeout_seconds=30.0,
+    )
+    values.update(overrides)
+    return RacingConfig(**values)
+
+
+class TestRacedSynthesis:
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_bitwise_identical_to_serial(self, seed):
+        target = random_unitary(4, np.random.default_rng(seed))
+        serial = synthesize_unitary(target)
+        raced = synthesize_unitary(target, racing=_racing())
+        assert raced.method == serial.method
+        assert raced.distance == serial.distance
+        assert raced.cnot_count == serial.cnot_count
+        assert np.array_equal(
+            raced.circuit.unitary(), serial.circuit.unitary()
+        )
+
+    def test_identity_fast_path_matches(self):
+        serial = synthesize_unitary(np.eye(4))
+        raced = synthesize_unitary(np.eye(4), racing=_racing())
+        assert raced.method == serial.method == "qsearch"
+        assert np.array_equal(
+            raced.circuit.unitary(), serial.circuit.unitary()
+        )
+
+    def test_stalled_primary_is_hedged_around(self, arm_faults):
+        # the primary strategy stalls for 30s on every block; the hedge
+        # bound is strategy_timeout (the stalled primary times out) plus
+        # the fallback's own runtime — far inside the stall, which is
+        # what the sequential chain would have slept through
+        arm_faults("synthesis.stall@seconds=30,strategy=qsearch*-1")
+        target = random_unitary(4, np.random.default_rng(5))
+        t0 = time.monotonic()
+        result = synthesize_unitary(
+            target,
+            racing=_racing(
+                hedge_delay_seconds=0.05, strategy_timeout_seconds=1.0
+            ),
+        )
+        elapsed = time.monotonic() - t0
+        assert elapsed < 20.0
+        assert result.method in ("leap", "kak")
+        stats = get_race_stats().snapshot()["strategies"]
+        assert stats["synthesis|2q|qsearch"]["timeouts"] == 1
+
+    def test_inactive_racing_config_stays_serial(self):
+        # enabled=False must not touch the race machinery at all
+        result = synthesize_unitary(
+            np.eye(4), racing=RacingConfig(enabled=False)
+        )
+        assert result.method == "qsearch"
+        assert get_race_stats().snapshot()["races"] == 0
+
+
+class TestRacedQOC:
+    @pytest.fixture
+    def qoc(self):
+        return QOCConfig(
+            dt=1.0,
+            fidelity_threshold=0.95,
+            max_iterations=40,
+            min_segments=2,
+            max_segments=60,
+        )
+
+    def test_bitwise_identical_to_serial(self, qoc):
+        target = random_unitary(2, np.random.default_rng(7))
+        hardware = TransmonChain(1)
+        serial = minimal_latency_pulse(target, (0,), config=qoc, hardware=hardware)
+        raced = raced_minimal_latency_pulse(
+            target,
+            (0,),
+            config=qoc,
+            hardware=hardware,
+            resilience=None,
+            racing=_racing(qoc_restarts=1),
+        )
+        assert raced.source == serial.source == "grape"
+        assert raced.dt == serial.dt
+        assert raced.fidelity == serial.fidelity
+        assert np.array_equal(raced.controls, serial.controls)
+
+    def test_stalled_search_is_hedged(self, qoc, arm_faults):
+        # the primary pulse search stalls once (consuming the one-shot
+        # spec); it times out at the strategy budget while a reseeded
+        # restart hedge converges, so the race completes inside the stall
+        arm_faults("qoc.stall@seconds=30*1")
+        target = random_unitary(2, np.random.default_rng(7))
+        t0 = time.monotonic()
+        pulse = raced_minimal_latency_pulse(
+            target,
+            (0,),
+            config=qoc,
+            hardware=TransmonChain(1),
+            resilience=None,
+            racing=_racing(
+                hedge_delay_seconds=0.05,
+                strategy_timeout_seconds=1.0,
+                qoc_restarts=1,
+            ),
+        )
+        assert time.monotonic() - t0 < 20.0
+        assert pulse.source == "grape"

@@ -1,0 +1,250 @@
+"""Unit tests for the hedged strategy race engine."""
+
+import time
+
+import pytest
+
+from repro.config import RacingConfig
+from repro.exceptions import SynthesisError
+from repro.racing import StrategyAttempt, StrategyRace, get_breaker_board, get_race_stats
+
+
+def _config(**overrides):
+    values = dict(
+        enabled=True,
+        hedge_delay_seconds=0.02,
+        strategy_timeout_seconds=10.0,
+        cancel_grace_seconds=2.0,
+    )
+    values.update(overrides)
+    return RacingConfig(**values)
+
+
+def instant(value):
+    """An attempt body returning ``value`` immediately."""
+
+    def run(cancel, deadline):
+        return value
+
+    return run
+
+
+def cooperative_sleep(seconds, value, step=0.005):
+    """An attempt body sleeping cooperatively, polling cancel/deadline."""
+
+    def run(cancel, deadline):
+        end = time.monotonic() + seconds
+        while time.monotonic() < end:
+            cancel.raise_if_cancelled()
+            if deadline.expired:
+                raise SynthesisError("deadline expired")
+            time.sleep(step)
+        return value
+
+    return run
+
+
+def failing(message="boom"):
+    def run(cancel, deadline):
+        raise SynthesisError(message)
+
+    return run
+
+
+class TestDeterministicMode:
+    def test_fast_primary_never_starts_the_hedge(self):
+        race = StrategyRace(_config(hedge_delay_seconds=60.0), site="t")
+        result = race.run(
+            [
+                StrategyAttempt("primary", instant("a")),
+                StrategyAttempt("hedge", instant("b")),
+            ],
+            signature="2q",
+        )
+        assert result.winner.name == "primary"
+        assert result.winner.result == "a"
+        # the hedge timer never fired: no attempt, no cancellation
+        assert result.outcome("hedge").status == "pending"
+        stats = get_race_stats().snapshot()["strategies"]
+        assert "t|2q|hedge" not in stats
+        assert stats["t|2q|primary"]["wins"] == 1
+
+    def test_hedge_wins_when_primary_fails(self):
+        race = StrategyRace(_config(), site="t")
+        result = race.run(
+            [
+                StrategyAttempt("primary", failing()),
+                StrategyAttempt("hedge", instant("b")),
+            ]
+        )
+        assert result.winner.name == "hedge"
+        assert result.outcome("primary").status == "failed"
+        assert isinstance(result.outcome("primary").error, SynthesisError)
+
+    def test_priority_beats_arrival(self):
+        # the hedge resolves acceptably long before the primary, but the
+        # deterministic winner is still the primary
+        race = StrategyRace(_config(hedge_delay_seconds=0.0), site="t")
+        result = race.run(
+            [
+                StrategyAttempt("primary", cooperative_sleep(0.15, "slow")),
+                StrategyAttempt("hedge", instant("fast")),
+            ]
+        )
+        assert result.winner.name == "primary"
+        assert result.winner.result == "slow"
+        assert result.outcome("hedge").status == "acceptable"
+
+    def test_unacceptable_results_lose_to_lower_priority(self):
+        race = StrategyRace(_config(), site="t")
+        result = race.run(
+            [
+                StrategyAttempt(
+                    "primary", instant("bad"), acceptable=lambda r: r != "bad"
+                ),
+                StrategyAttempt("hedge", instant("good")),
+            ]
+        )
+        assert result.winner.name == "hedge"
+        assert result.outcome("primary").status == "unacceptable"
+
+    def test_no_winner_when_everything_fails(self):
+        race = StrategyRace(_config(), site="t")
+        result = race.run(
+            [
+                StrategyAttempt("a", failing("first")),
+                StrategyAttempt("b", failing("second")),
+            ]
+        )
+        assert result.winner is None
+        assert {o.status for o in result.outcomes} == {"failed"}
+
+    def test_losers_are_cancelled(self):
+        race = StrategyRace(_config(hedge_delay_seconds=0.0), site="t")
+        result = race.run(
+            [
+                StrategyAttempt("primary", cooperative_sleep(0.05, "win")),
+                StrategyAttempt("straggler", cooperative_sleep(30.0, "slow")),
+            ],
+            signature="2q",
+        )
+        assert result.winner.name == "primary"
+        straggler = result.outcome("straggler")
+        assert straggler.status in ("cancelled", "running")
+        assert not straggler.abandoned
+        stats = get_race_stats().snapshot()["strategies"]
+        assert stats["t|2q|straggler"]["cancellations"] == 1
+
+    def test_timeout_classified(self):
+        race = StrategyRace(
+            _config(strategy_timeout_seconds=0.05), site="t"
+        )
+        result = race.run(
+            [StrategyAttempt("only", cooperative_sleep(30.0, "late"))],
+            signature="2q",
+        )
+        assert result.winner is None
+        outcome = result.outcome("only")
+        assert outcome.status == "failed"
+        assert outcome.timed_out
+        stats = get_race_stats().snapshot()["strategies"]["t|2q|only"]
+        assert stats["failures"] == 1 and stats["timeouts"] == 1
+
+
+class TestLatencyMode:
+    def test_first_acceptable_finisher_wins(self):
+        race = StrategyRace(
+            _config(mode="latency", hedge_delay_seconds=0.0), site="t"
+        )
+        result = race.run(
+            [
+                StrategyAttempt("primary", cooperative_sleep(0.2, "slow")),
+                StrategyAttempt("hedge", instant("fast")),
+            ]
+        )
+        assert result.winner.name == "hedge"
+        assert result.winner.result == "fast"
+
+    def test_pending_hedge_pulled_forward_when_primary_fails(self):
+        race = StrategyRace(
+            _config(mode="latency", hedge_delay_seconds=60.0), site="t"
+        )
+        t0 = time.monotonic()
+        result = race.run(
+            [
+                StrategyAttempt("primary", failing()),
+                StrategyAttempt("hedge", instant("b")),
+            ]
+        )
+        assert result.winner.name == "hedge"
+        assert time.monotonic() - t0 < 30.0
+
+
+class TestBreakerIntegration:
+    def test_open_breaker_skips_the_strategy(self):
+        config = _config(breaker_failures=2)
+        board = get_breaker_board(failure_threshold=2)
+        breaker = board.breaker("t", "primary", "2q")
+        breaker.record_failure()
+        breaker.record_failure()
+        race = StrategyRace(config, site="t")
+        result = race.run(
+            [
+                StrategyAttempt("primary", instant("a")),
+                StrategyAttempt("hedge", instant("b")),
+            ],
+            signature="2q",
+        )
+        assert result.winner.name == "hedge"
+        assert result.outcome("primary").status == "skipped"
+        stats = get_race_stats().snapshot()["strategies"]["t|2q|primary"]
+        assert stats["skipped"] == 1 and stats["attempts"] == 0
+
+    def test_failures_open_the_breaker_through_races(self):
+        config = _config(breaker_failures=2)
+        race = StrategyRace(config, site="t")
+        attempts = [
+            StrategyAttempt("primary", failing()),
+            StrategyAttempt("fallback", instant("ok"), breaker_exempt=True),
+        ]
+        race.run(attempts, signature="2q")
+        race.run(attempts, signature="2q")
+        result = race.run(attempts, signature="2q")
+        assert result.outcome("primary").status == "skipped"
+        assert (
+            get_breaker_board().breaker("t", "primary", "2q").state == "open"
+        )
+
+    def test_all_skipped_forces_the_last_attempt(self):
+        config = _config(breaker_failures=1)
+        board = get_breaker_board(failure_threshold=1)
+        board.breaker("t", "a", "").record_failure()
+        board.breaker("t", "b", "").record_failure()
+        race = StrategyRace(config, site="t")
+        result = race.run(
+            [
+                StrategyAttempt("a", instant("first")),
+                StrategyAttempt("b", instant("second")),
+            ]
+        )
+        assert result.winner.name == "b"
+
+    def test_breaker_exempt_always_runs(self):
+        config = _config(breaker_failures=1)
+        board = get_breaker_board(failure_threshold=1)
+        board.breaker("t", "fallback", "").record_failure()
+        race = StrategyRace(config, site="t")
+        result = race.run(
+            [
+                StrategyAttempt("primary", failing()),
+                StrategyAttempt(
+                    "fallback", instant("safe"), breaker_exempt=True
+                ),
+            ]
+        )
+        assert result.winner.name == "fallback"
+
+
+def test_empty_portfolio_rejected():
+    with pytest.raises(ValueError):
+        StrategyRace(_config(), site="t").run([])

@@ -1,0 +1,91 @@
+"""Cooperative deadline/cancellation responsiveness of the hot loops.
+
+Racing is only as responsive as its cancellation points: these tests pin
+that an already-expired deadline aborts QSearch within a bounded number
+of node expansions, LEAP before growing a layer, and the pulse search
+within one GRAPE probe — and that a set CancelToken unwinds each with
+:class:`~repro.exceptions.RaceCancelled`.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.config import QOCConfig
+from repro.exceptions import QOCError, RaceCancelled, SynthesisError
+from repro.linalg import random_unitary
+from repro.qoc import minimal_latency_pulse
+from repro.racing import CancelToken
+from repro.resilience import Deadline
+from repro.synthesis import leap_synthesize, qsearch_synthesize
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture
+def target():
+    return random_unitary(4, np.random.default_rng(21))
+
+
+class TestQSearchResponsiveness:
+    def test_expired_deadline_aborts_within_bounded_expansions(self, target):
+        with pytest.raises(SynthesisError) as excinfo:
+            qsearch_synthesize(target, deadline=Deadline(0.0))
+        match = re.search(r"after (\d+) nodes", str(excinfo.value))
+        assert match is not None
+        assert int(match.group(1)) == 0  # aborted before the first expansion
+
+    def test_cancel_unwinds_with_race_cancelled(self, target):
+        token = CancelToken()
+        token.cancel("lost")
+        with pytest.raises(RaceCancelled):
+            qsearch_synthesize(target, cancel=token)
+
+
+class TestLeapResponsiveness:
+    def test_expired_deadline_aborts_before_layer_growth(self, target):
+        with pytest.raises(SynthesisError, match="deadline"):
+            leap_synthesize(target, deadline=Deadline(0.0))
+
+    def test_cancel_unwinds_with_race_cancelled(self, target):
+        token = CancelToken()
+        token.cancel("lost")
+        with pytest.raises(RaceCancelled):
+            leap_synthesize(target, cancel=token)
+
+
+class TestGrapeResponsiveness:
+    @pytest.fixture
+    def qoc(self):
+        return QOCConfig(
+            dt=1.0,
+            fidelity_threshold=0.999,
+            max_iterations=5,
+            min_segments=2,
+            max_segments=64,
+        )
+
+    def test_expired_deadline_stops_within_one_probe(self, qoc):
+        target = random_unitary(2, np.random.default_rng(9))
+        registry = MetricsRegistry()
+        previous = telemetry.set_metrics(registry)
+        try:
+            try:
+                minimal_latency_pulse(
+                    target, (0,), config=qoc, deadline=Deadline(0.0)
+                )
+            except QOCError:
+                pass  # no convergence inside the (empty) budget is fine
+        finally:
+            telemetry.set_metrics(previous)
+        # one doubling-phase probe runs, then the expiry check stops the
+        # search before the second
+        assert registry.counter("qoc.search_probes") <= 1.0
+
+    def test_cancel_unwinds_before_the_first_probe(self, qoc):
+        target = random_unitary(2, np.random.default_rng(9))
+        token = CancelToken()
+        token.cancel("lost")
+        with pytest.raises(RaceCancelled):
+            minimal_latency_pulse(target, (0,), config=qoc, cancel=token)

@@ -1,0 +1,61 @@
+"""Unit tests for the always-on race-stats recorder and its ledger delta."""
+
+import pytest
+
+from repro.racing import RaceStats, get_race_stats, set_race_stats
+
+
+class TestRaceStats:
+    def test_empty_snapshot(self):
+        stats = RaceStats()
+        assert stats.snapshot() == {"races": 0, "strategies": {}}
+
+    def test_record_and_snapshot_keys_flatten(self):
+        stats = RaceStats()
+        stats.record_race()
+        stats.record("synthesis", "2q", "qsearch", "attempts")
+        stats.record("synthesis", "2q", "qsearch", "wins")
+        stats.record("qoc", "3q", "grape", "attempts", n=2)
+        snapshot = stats.snapshot()
+        assert snapshot["races"] == 1
+        assert snapshot["strategies"]["synthesis|2q|qsearch"]["attempts"] == 1
+        assert snapshot["strategies"]["synthesis|2q|qsearch"]["wins"] == 1
+        assert snapshot["strategies"]["qoc|3q|grape"]["attempts"] == 2
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError, match="unknown race outcome"):
+            RaceStats().record("s", "2q", "x", "victories")
+
+    def test_delta_drops_untouched_strategies(self):
+        stats = RaceStats()
+        stats.record("synthesis", "2q", "qsearch", "attempts")
+        start = stats.snapshot()
+        stats.record_race()
+        stats.record("synthesis", "2q", "leap", "attempts")
+        stats.record("synthesis", "2q", "leap", "wins")
+        delta = RaceStats.delta(start, stats.snapshot())
+        assert delta["races"] == 1
+        assert delta["strategies"] == {
+            "synthesis|2q|leap": {"attempts": 1, "wins": 1}
+        }
+
+    def test_delta_of_identical_snapshots_is_empty(self):
+        stats = RaceStats()
+        stats.record("s", "2q", "x", "attempts")
+        snapshot = stats.snapshot()
+        delta = RaceStats.delta(snapshot, snapshot)
+        assert delta == {"races": 0, "strategies": {}}
+
+
+class TestGlobalRecorder:
+    def test_get_creates_once(self):
+        first = get_race_stats()
+        assert get_race_stats() is first
+
+    def test_set_replaces(self):
+        mine = RaceStats()
+        previous = set_race_stats(mine)
+        try:
+            assert get_race_stats() is mine
+        finally:
+            set_race_stats(previous)

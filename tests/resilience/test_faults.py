@@ -82,3 +82,67 @@ class TestGlobalPlan:
     def test_inactive_plan_is_cheap_noop(self):
         set_fault_plan(FaultPlan())
         assert not fault_fires("anything", key=1)
+
+
+class TestThreadSafety:
+    def test_one_shot_fires_exactly_once_under_contention(self):
+        import threading
+
+        for _ in range(10):  # repeat to give a lost race a chance to show
+            plan = FaultPlan.parse("synthesis.stall*1")
+            workers = 16
+            barrier = threading.Barrier(workers)
+            fired = []
+            lock = threading.Lock()
+
+            def hammer():
+                barrier.wait()
+                result = plan.fire("synthesis.stall")
+                with lock:
+                    fired.append(result)
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert sum(fired) == 1
+            assert plan.specs[0].remaining == 0
+
+
+class TestFireParams:
+    def test_params_extracted_not_matched(self):
+        plan = FaultPlan.parse("synthesis.stall@seconds=5,strategy=qsearch")
+        params = plan.fire_params(
+            "synthesis.stall", ("seconds",), strategy="qsearch"
+        )
+        assert params == {"seconds": "5"}
+
+    def test_context_keys_still_filter(self):
+        plan = FaultPlan.parse("synthesis.stall@seconds=5,strategy=qsearch")
+        assert (
+            plan.fire_params(
+                "synthesis.stall", ("seconds",), strategy="leap"
+            )
+            is None
+        )
+
+    def test_consumes_a_shot(self):
+        plan = FaultPlan.parse("qoc.stall@seconds=1*1")
+        assert plan.fire_params("qoc.stall", ("seconds",)) == {"seconds": "1"}
+        assert plan.fire_params("qoc.stall", ("seconds",)) is None
+
+    def test_missing_param_yields_empty_dict(self):
+        plan = FaultPlan.parse("qoc.stall")
+        assert plan.fire_params("qoc.stall", ("seconds",)) == {}
+
+    def test_global_helper(self):
+        from repro.resilience import fault_params
+
+        set_fault_plan(FaultPlan.parse("qoc.stall@seconds=2,qubits=2*-1"))
+        assert fault_params("qoc.stall", ("seconds",), qubits=2) == {
+            "seconds": "2"
+        }
+        assert fault_params("qoc.stall", ("seconds",), qubits=3) is None

@@ -119,3 +119,57 @@ class TestRetryCall:
                 deadline=Deadline(0.0),
             )
         assert calls == [0]
+
+    def test_backoff_clamped_to_deadline_remaining(self):
+        # regression: a 30s backoff used to sleep straight through a 5s
+        # deadline; the sleep must be clamped to what remains
+        clock_now = [0.0]
+        sleeps = []
+
+        def failing(attempt):
+            raise ValueError("x")
+
+        deadline = Deadline(5.0, clock=lambda: clock_now[0])
+        with pytest.raises(ValueError):
+            retry_call(
+                failing,
+                RetryPolicy(max_attempts=3, backoff_seconds=30.0),
+                retry_on=(ValueError,),
+                deadline=deadline,
+                sleep=sleeps.append,
+            )
+        assert sleeps == [5.0, 5.0]
+
+    def test_deadline_expiring_mid_run_skips_the_sleep(self):
+        clock_now = [0.0]
+        sleeps = []
+        calls = []
+
+        def failing(attempt):
+            calls.append(attempt)
+            # the first attempt burns the whole budget
+            clock_now[0] = 10.0
+            raise ValueError("x")
+
+        deadline = Deadline(5.0, clock=lambda: clock_now[0])
+        with pytest.raises(ValueError):
+            retry_call(
+                failing,
+                RetryPolicy(max_attempts=5, backoff_seconds=30.0),
+                retry_on=(ValueError,),
+                deadline=deadline,
+                sleep=sleeps.append,
+            )
+        assert calls == [0]
+        assert sleeps == []
+
+    def test_deadline_clock_is_injectable(self):
+        clock_now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: clock_now[0])
+        assert not deadline.expired
+        assert deadline.remaining() == 5.0
+        clock_now[0] = 4.0
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock_now[0] = 6.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0

@@ -142,3 +142,51 @@ class TestExceptions:
                 raise ZXError("zx")
             except QasmError:  # pragma: no cover - must not trigger
                 pytest.fail("wrong handler caught the error")
+
+
+class TestRacingConfig:
+    def test_defaults(self):
+        from repro.config import RacingConfig
+
+        racing = RacingConfig()
+        assert racing.enabled is None
+        assert racing.mode == "deterministic"
+        assert racing.hedge_delay_seconds == 0.25
+        assert racing.qoc_restarts == 2
+
+    def test_validation(self):
+        from repro.config import RacingConfig
+
+        with pytest.raises(ValueError):
+            RacingConfig(mode="fastest")
+        with pytest.raises(ValueError):
+            RacingConfig(hedge_delay_seconds=-1.0)
+        with pytest.raises(ValueError):
+            RacingConfig(strategy_timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            RacingConfig(qoc_restarts=-1)
+        with pytest.raises(ValueError):
+            RacingConfig(breaker_failures=-1)
+
+    def test_env_resolution(self, monkeypatch):
+        from repro.config import ENV_RACE, RacingConfig
+
+        monkeypatch.delenv(ENV_RACE, raising=False)
+        assert not RacingConfig().active
+        monkeypatch.setenv(ENV_RACE, "1")
+        assert RacingConfig().active
+        for falsy in ("0", "false", "no", "off", ""):
+            monkeypatch.setenv(ENV_RACE, falsy)
+            assert not RacingConfig().active
+        # explicit beats the environment in both directions
+        monkeypatch.setenv(ENV_RACE, "1")
+        assert not RacingConfig(enabled=False).active
+        monkeypatch.setenv(ENV_RACE, "0")
+        assert RacingConfig(enabled=True).active
+
+    def test_epoc_config_carries_racing(self):
+        from repro.config import EPOCConfig, RacingConfig
+
+        config = EPOCConfig(racing=RacingConfig(enabled=True, mode="latency"))
+        assert config.racing.active
+        assert config.racing.mode == "latency"

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.workloads",
     "repro.resilience",
+    "repro.racing",
     "repro.cli",
 ]
 
