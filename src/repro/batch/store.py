@@ -36,16 +36,44 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro import telemetry
-from repro.exceptions import ReproError
+from repro.exceptions import StoreBusyError
 
 try:  # POSIX; gated so the module imports (degraded) elsewhere
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-__all__ = ["SharedLibraryStore", "StoreSync", "StoreLockTimeout"]
+__all__ = [
+    "SharedLibraryStore",
+    "StoreSync",
+    "StoreLockTimeout",
+    "ENV_STORE_TIMEOUT",
+    "DEFAULT_STORE_TIMEOUT",
+    "resolve_store_timeout",
+]
 
 logger = telemetry.get_logger("batch.store")
+
+#: environment override for every store timeout (flock wait on the JSON
+#: backend, busy-timeout on SQLite); an explicit argument always wins.
+ENV_STORE_TIMEOUT = "REPRO_STORE_TIMEOUT"
+
+DEFAULT_STORE_TIMEOUT = 60.0
+
+
+def resolve_store_timeout(timeout_seconds: Optional[float]) -> float:
+    """Explicit argument > ``REPRO_STORE_TIMEOUT`` > 60s default."""
+    if timeout_seconds is not None:
+        return float(timeout_seconds)
+    raw = os.environ.get(ENV_STORE_TIMEOUT)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            logger.warning(
+                "ignoring non-numeric %s=%r", ENV_STORE_TIMEOUT, raw
+            )
+    return DEFAULT_STORE_TIMEOUT
 
 #: errno values that mean "another process holds the lock" — the only
 #: failures worth retrying.  ``EACCES`` is included because POSIX allows
@@ -55,8 +83,13 @@ _CONTENTION_ERRNOS = frozenset(
 )
 
 
-class StoreLockTimeout(ReproError):
-    """The store's file lock could not be acquired within the timeout."""
+class StoreLockTimeout(StoreBusyError):
+    """The store's file lock could not be acquired within the timeout.
+
+    A :class:`~repro.exceptions.StoreBusyError` specialization kept for
+    backward compatibility with existing ``except StoreLockTimeout``
+    call sites; new code should catch ``StoreBusyError``.
+    """
 
 
 @dataclass(frozen=True)
@@ -82,12 +115,12 @@ class SharedLibraryStore:
     def __init__(
         self,
         path: str,
-        timeout_seconds: float = 60.0,
+        timeout_seconds: Optional[float] = None,
         poll_seconds: float = 0.05,
     ):
         self.path = os.path.abspath(path)
         self.lock_path = self.path + ".lock"
-        self.timeout_seconds = float(timeout_seconds)
+        self.timeout_seconds = resolve_store_timeout(timeout_seconds)
         self.poll_seconds = max(0.001, float(poll_seconds))
         self._lock_fd: Optional[int] = None
 
@@ -113,6 +146,7 @@ class SharedLibraryStore:
             while True:
                 try:
                     fcntl.flock(self._lock_fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._write_holder_pid(self._lock_fd)
                     return time.monotonic() - start
                 except OSError as exc:
                     if exc.errno not in _CONTENTION_ERRNOS:
@@ -126,10 +160,7 @@ class SharedLibraryStore:
                     if time.monotonic() >= deadline:
                         os.close(self._lock_fd)
                         self._lock_fd = None
-                        raise StoreLockTimeout(
-                            f"could not lock {self.lock_path} within "
-                            f"{self.timeout_seconds:.1f}s"
-                        )
+                        raise self._timeout_error()
                     time.sleep(self.poll_seconds)
         # fallback: exclusive-create spin lock (best effort, non-POSIX)
         while True:  # pragma: no cover - exercised only without fcntl
@@ -138,14 +169,39 @@ class SharedLibraryStore:
                     self.lock_path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
                 )
                 self._spin_lock = True
+                self._write_holder_pid(self._lock_fd)
                 return time.monotonic() - start
             except FileExistsError:
                 if time.monotonic() >= deadline:
-                    raise StoreLockTimeout(
-                        f"could not create {self.lock_path} within "
-                        f"{self.timeout_seconds:.1f}s"
-                    )
+                    raise self._timeout_error()
                 time.sleep(self.poll_seconds)
+
+    def _write_holder_pid(self, fd: int) -> None:
+        """Record our pid in the lock file for StoreBusyError diagnostics."""
+        try:
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, str(os.getpid()).encode(), 0)
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+
+    def holder_pid(self) -> Optional[int]:
+        """The pid recorded by the current/last lock holder (best effort)."""
+        try:
+            with open(self.lock_path, "rb") as fh:
+                return int(fh.read(32).strip() or 0) or None
+        except (OSError, ValueError):
+            return None
+
+    def _timeout_error(self) -> StoreLockTimeout:
+        holder = self.holder_pid()
+        held_by = f" (held by pid {holder})" if holder else ""
+        return StoreLockTimeout(
+            f"could not lock {self.lock_path} within "
+            f"{self.timeout_seconds:.1f}s{held_by}",
+            path=self.path,
+            holder_pid=holder,
+            timeout_seconds=self.timeout_seconds,
+        )
 
     def _release(self) -> None:
         fd = getattr(self, "_lock_fd", None)

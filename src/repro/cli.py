@@ -401,6 +401,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch_cmd.add_argument(
+        "--store-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "how long a --library sync waits for a contended store lock "
+            "before failing with the holder's pid (default: "
+            "$REPRO_STORE_TIMEOUT or 60s)"
+        ),
+    )
+    batch_cmd.add_argument(
         "--journal",
         default=None,
         metavar="FILE",
@@ -621,6 +632,217 @@ def build_parser() -> argparse.ArgumentParser:
     library_export.add_argument(
         "dest", help="destination library (.json or .db)"
     )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help=(
+            "run the resident compile daemon: one warm pulse library "
+            "serving queued jobs over a local socket"
+        ),
+        parents=[logging_parent],
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=7411,
+        help="bind port; 0 picks an ephemeral one (default: %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--library",
+        default=None,
+        metavar="FILE",
+        help=(
+            "on-disk pulse library (.json or .db) warmed at startup and "
+            "re-synced after every job and on drain"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--store-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "how long a --library sync waits for a contended store lock "
+            "(default: $REPRO_STORE_TIMEOUT or 60s)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker processes in the shared executor jobs borrow "
+            "(0 = serial; default: %(default)s)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--max-jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent compilations (runner threads; default: %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--jobs-per-minute",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-tenant submission rate limit (0 = unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-tenant queued-job limit (0 = unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--max-running-per-tenant",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-tenant concurrent-job limit (0 = unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--ledger",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record every job (and every quota rejection) in the run "
+            "ledger; with no FILE the path comes from $REPRO_LEDGER"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "how long SIGTERM waits for cancelled jobs to unwind before "
+            "the final library sync (default: %(default)ss)"
+        ),
+    )
+
+    service_parent = argparse.ArgumentParser(add_help=False)
+    service_parent.add_argument(
+        "--host", default="127.0.0.1", help="daemon address (default: %(default)s)"
+    )
+    service_parent.add_argument(
+        "--port", type=int, default=7411, help="daemon port (default: %(default)s)"
+    )
+    service_parent.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request socket timeout (default: %(default)ss)",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit",
+        help="submit a QASM file to a running `repro serve` daemon",
+        parents=[logging_parent, service_parent],
+    )
+    submit_cmd.add_argument("qasm", help="path to an OpenQASM 2.0 file")
+    submit_cmd.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="job/circuit name (default: the QASM path)",
+    )
+    submit_cmd.add_argument(
+        "--flow",
+        default="epoc",
+        choices=["epoc", "epoc-nogroup", "gate-based", "accqoc", "paqoc"],
+        help="compilation flow (default: epoc)",
+    )
+    submit_cmd.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="N",
+        help="queue priority; lower runs first (default: %(default)s)",
+    )
+    submit_cmd.add_argument(
+        "--tenant",
+        default="default",
+        metavar="NAME",
+        help="quota-accounting tenant (default: %(default)s)",
+    )
+    submit_cmd.add_argument(
+        "--qubit-limit", type=int, default=3, help="partition/regroup qubit limit"
+    )
+    submit_cmd.add_argument(
+        "--dt", type=float, default=1.0, help="pulse segment length (ns)"
+    )
+    submit_cmd.add_argument(
+        "--fidelity", type=float, default=0.995, help="per-pulse fidelity target"
+    )
+    submit_cmd.add_argument(
+        "--no-zx", action="store_true", help="skip the ZX optimization stage"
+    )
+    submit_cmd.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help=(
+            "server-side pulse-library checkpoint path (same semantics as "
+            "`repro compile --checkpoint`, flushed by the daemon)"
+        ),
+    )
+    submit_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="flush the checkpoint every N solved pulses (default: 1)",
+    )
+    submit_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint (skips already-solved pulses)",
+    )
+    submit_cmd.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    submit_cmd.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "stream the job's progress events to stdout while it runs "
+            "(implies --wait)"
+        ),
+    )
+
+    status_cmd = sub.add_parser(
+        "status",
+        help="list a daemon's jobs, or show one job in detail",
+        parents=[logging_parent, service_parent],
+    )
+    status_cmd.add_argument(
+        "job", nargs="?", default=None, help="job id (omit to list all jobs)"
+    )
+    status_cmd.add_argument(
+        "--events",
+        action="store_true",
+        help="also print the job's buffered progress events",
+    )
+
+    cancel_cmd = sub.add_parser(
+        "cancel",
+        help="cancel a queued or running daemon job",
+        parents=[logging_parent, service_parent],
+    )
+    cancel_cmd.add_argument("job", help="job id to cancel")
     return parser
 
 
@@ -801,7 +1023,11 @@ def _run_compile_batch(args) -> int:
     # the store backend follows the file: SQLite databases (by header,
     # or by .db/.sqlite extension for new files) get the transactional
     # upsert store, everything else the JSON load-merge-save store
-    store = open_store(args.library) if args.library else None
+    store = (
+        open_store(args.library, timeout_seconds=args.store_timeout)
+        if args.library
+        else None
+    )
     compiler = BatchCompiler(
         config=config,
         flow=args.flow,
@@ -1048,6 +1274,119 @@ def _run_library(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    # late import: the service pulls in asyncio plumbing the other
+    # commands never need
+    from repro.service import CompileService, QuotaPolicy
+
+    service = CompileService(
+        host=args.host,
+        port=args.port,
+        library_path=args.library,
+        store_timeout=args.store_timeout,
+        workers=args.workers,
+        max_jobs=args.max_jobs,
+        quota=QuotaPolicy(
+            jobs_per_minute=args.jobs_per_minute,
+            max_pending=args.max_pending,
+            max_running_per_tenant=args.max_running_per_tenant,
+        ),
+        ledger=bool(args.ledger),
+        ledger_path=args.ledger if isinstance(args.ledger, str) else None,
+        drain_grace_seconds=args.drain_grace,
+    )
+    service.serve_forever()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+
+
+def _print_job_result(result: dict) -> int:
+    state = result["state"]
+    if state == "done":
+        print(result["result"]["summary"])
+        return 0
+    print(f"job {result['job']} {state}: {result.get('error', '')}",
+          file=sys.stderr)
+    return 1
+
+
+def _run_submit(args) -> int:
+    import json
+
+    client = _service_client(args)
+    with open(args.qasm) as fh:
+        qasm = fh.read()
+    options = {
+        "qubit_limit": args.qubit_limit,
+        "dt": args.dt,
+        "fidelity": args.fidelity,
+    }
+    if args.no_zx:
+        options["no_zx"] = True
+    if args.checkpoint:
+        options["checkpoint"] = args.checkpoint
+        options["checkpoint_every"] = args.checkpoint_every
+        if args.resume:
+            options["resume"] = True
+    job = client.submit(
+        name=args.name or args.qasm,
+        qasm=qasm,
+        flow=args.flow,
+        priority=args.priority,
+        tenant=args.tenant,
+        options=options,
+    )
+    if args.follow:
+        for event in client.events(job, follow=True):
+            print(json.dumps(event, sort_keys=True))
+        return _print_job_result(client.result(job))
+    if args.wait:
+        return _print_job_result(client.wait(job))
+    print(job)
+    return 0
+
+
+def _run_status(args) -> int:
+    import json
+
+    client = _service_client(args)
+    if args.job is None:
+        jobs = client.status()["jobs"]
+        if not jobs:
+            print("no jobs")
+            return 0
+        for view in jobs:
+            print(
+                f"{view['job']}  {view['state']:<9}  "
+                f"prio={view['priority']:<3} tenant={view['tenant']:<10} "
+                f"{view['name']}"
+            )
+        return 0
+    view = client.status(args.job)
+    for key in (
+        "job", "name", "flow", "tenant", "priority", "state",
+        "created_at", "started_at", "finished_at", "events",
+    ):
+        print(f"{key:<12}: {view.get(key)}")
+    if view.get("error"):
+        print(f"{'error':<12}: {view['error']}")
+    if args.events:
+        for event in client.events(args.job):
+            print(json.dumps(event, sort_keys=True))
+    return 0
+
+
+def _run_cancel(args) -> int:
+    response = _service_client(args).cancel(args.job)
+    print(f"{response['job']} -> {response['state']}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -1068,6 +1407,14 @@ def main(argv: Optional[list] = None) -> int:
             return _run_optimize(args)
         if args.command == "library":
             return _run_library(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "submit":
+            return _run_submit(args)
+        if args.command == "status":
+            return _run_status(args)
+        if args.command == "cancel":
+            return _run_cancel(args)
         return _run_info(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

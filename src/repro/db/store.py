@@ -27,10 +27,11 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import telemetry
-from repro.exceptions import QOCError
+from repro.exceptions import QOCError, StoreBusyError
 from repro.db.schema import (
     DB_SCHEMA_VERSION,
     connect,
@@ -46,12 +47,20 @@ logger = telemetry.get_logger("db.store")
 _FETCH_CHUNK = 512
 
 
-def open_store(path: str, timeout_seconds: float = 60.0):
+def open_store(path: str, timeout_seconds: Optional[float] = None):
     """The right store backend for ``path``.
 
     SQLite files (by header) and SQLite-suffixed new paths get
     :class:`SqliteLibraryStore`; everything else keeps the JSON
     :class:`repro.batch.store.SharedLibraryStore`.
+
+    ``timeout_seconds`` bounds how long a sync waits for a contended
+    store (the SQLite busy-timeout / the flock wait).  ``None`` defers
+    to the ``REPRO_STORE_TIMEOUT`` environment variable and then to the
+    60s default (see :func:`repro.batch.store.resolve_store_timeout`);
+    the CLI exposes it as ``--store-timeout``.  An exhausted timeout
+    raises :class:`repro.exceptions.StoreBusyError` carrying the
+    best-effort pid of the lock holder.
     """
     if is_sqlite_path(path):
         return SqliteLibraryStore(path, timeout_seconds=timeout_seconds)
@@ -60,14 +69,23 @@ def open_store(path: str, timeout_seconds: float = 60.0):
     return SharedLibraryStore(path, timeout_seconds=timeout_seconds)
 
 
+#: OperationalError fragments that mean "another writer holds the lock".
+_BUSY_MARKERS = ("database is locked", "database is busy")
+
+
 class SqliteLibraryStore:
     """Content-addressed pulse-library persistence in one SQLite file."""
 
     kind = "sqlite"
 
-    def __init__(self, path: str, timeout_seconds: float = 60.0):
+    def __init__(self, path: str, timeout_seconds: Optional[float] = None):
+        from repro.batch.store import resolve_store_timeout
+
         self.path = os.path.abspath(path)
-        self.timeout_seconds = float(timeout_seconds)
+        #: pid marker maintained by the current write-transaction holder
+        #: so a StoreBusyError can name who is sitting on the lock.
+        self.holder_path = self.path + ".holder"
+        self.timeout_seconds = resolve_store_timeout(timeout_seconds)
 
     # -- connections -------------------------------------------------------
 
@@ -75,6 +93,46 @@ class SqliteLibraryStore:
         conn = connect(self.path, self.timeout_seconds)
         conn.isolation_level = None  # explicit BEGIN/COMMIT below
         return conn
+
+    @contextmanager
+    def _busy_guard(self) -> Iterator[None]:
+        """Translate an exhausted busy-timeout into a typed error."""
+        try:
+            yield
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if not any(marker in message for marker in _BUSY_MARKERS):
+                raise
+            holder = self.holder_pid()
+            held_by = f" (held by pid {holder})" if holder else ""
+            raise StoreBusyError(
+                f"library database {self.path} stayed locked past "
+                f"{self.timeout_seconds:.1f}s{held_by}",
+                path=self.path,
+                holder_pid=holder,
+                timeout_seconds=self.timeout_seconds,
+            ) from exc
+
+    def holder_pid(self) -> Optional[int]:
+        """The pid recorded by the current write holder (best effort)."""
+        try:
+            with open(self.holder_path, "rb") as fh:
+                return int(fh.read(32).strip() or 0) or None
+        except (OSError, ValueError):
+            return None
+
+    def _mark_holder(self) -> None:
+        try:
+            with open(self.holder_path, "w") as fh:
+                fh.write(str(os.getpid()))
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+
+    def _clear_holder(self) -> None:
+        try:
+            os.unlink(self.holder_path)
+        except OSError:
+            pass
 
     def _check_meta(
         self, conn: sqlite3.Connection, library, create: bool
@@ -133,11 +191,12 @@ class SqliteLibraryStore:
             return 0
         conn = self._connect()
         try:
-            ensure_schema(conn)
-            self._check_meta(conn, library, create=False)
-            staged, quarantined = self._fetch_new(
-                conn, library, num_qubits=num_qubits
-            )
+            with self._busy_guard():
+                ensure_schema(conn)
+                self._check_meta(conn, library, create=False)
+                staged, quarantined = self._fetch_new(
+                    conn, library, num_qubits=num_qubits
+                )
         finally:
             conn.close()
         return library.merge_entries(staged, quarantined=quarantined)
@@ -157,21 +216,26 @@ class SqliteLibraryStore:
         metrics = telemetry.get_metrics()
         conn = self._connect()
         try:
-            ensure_schema(conn)
-            conn.execute("BEGIN IMMEDIATE")
+            with self._busy_guard():
+                ensure_schema(conn)
+                conn.execute("BEGIN IMMEDIATE")
+            self._mark_holder()
             try:
-                self._check_meta(conn, library, create=True)
-                disk_keys = {
-                    row[0] for row in conn.execute("SELECT key FROM pulses")
-                }
-                inserted = self._publish_new(conn, library, disk_keys)
-                staged, quarantined = self._fetch_new(
-                    conn, library, disk_keys=disk_keys
-                )
-                conn.execute("COMMIT")
+                with self._busy_guard():
+                    self._check_meta(conn, library, create=True)
+                    disk_keys = {
+                        row[0] for row in conn.execute("SELECT key FROM pulses")
+                    }
+                    inserted = self._publish_new(conn, library, disk_keys)
+                    staged, quarantined = self._fetch_new(
+                        conn, library, disk_keys=disk_keys
+                    )
+                    conn.execute("COMMIT")
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
+            finally:
+                self._clear_holder()
         finally:
             conn.close()
         new = library.merge_entries(staged, quarantined=quarantined)

@@ -52,6 +52,29 @@ class RaceCancelled(ReproError):
     catch those let a cancellation propagate immediately."""
 
 
+class StoreBusyError(ReproError):
+    """A shared pulse-library store stayed locked past the caller's
+    timeout (flock contention on the JSON backend, ``database is
+    locked`` on SQLite).  Carries the best-effort pid of the holder so a
+    stuck service operator knows *which* process to look at.
+
+    The timeout is configurable per call site (``--store-timeout`` /
+    ``REPRO_STORE_TIMEOUT``); see :func:`repro.db.open_store`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str = "",
+        holder_pid: "int | None" = None,
+        timeout_seconds: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.path = path
+        self.holder_pid = holder_pid
+        self.timeout_seconds = timeout_seconds
+
+
 class VerificationError(ReproError):
     """Raised in ``strict`` verification mode when a stage-boundary
     equivalence check fails or the end-to-end error budget is exceeded.

@@ -16,15 +16,18 @@ worker processes buffer their events in a :class:`MemorySink` and the
 parallel executor replays them through the parent's bus alongside the
 span-tree merge-back (see DESIGN.md).
 
-The bus is the event source the future compile service will stream to
-clients; today it feeds two sinks — a JSONL file (``--progress-events``)
-and a live TTY renderer (``--progress``) — plus the run ledger's
-internal counters.  A disabled bus costs one truth test per emit, the
-same deal :mod:`repro.telemetry` offers.
+The bus is the event source the compile service streams to clients
+(:mod:`repro.service` installs one bus per job); it also feeds two local
+sinks — a JSONL file (``--progress-events``) and a live TTY renderer
+(``--progress``) — plus the run ledger's internal counters.  A disabled
+bus costs one truth test per emit, the same deal :mod:`repro.telemetry`
+offers.  The *installed* bus is context-scoped (see :func:`get_bus`), so
+concurrent jobs in one process keep disjoint streams.
 """
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import sys
@@ -265,17 +268,33 @@ class EventBus:
 #: The installed-by-default bus: permanently disabled, dispatches nothing.
 NULL_BUS = EventBus(enabled=False)
 
-_bus: EventBus = NULL_BUS
+#: The installed bus is *context-scoped*, not process-global: each job in a
+#: multi-job process (the ``repro.service`` daemon) installs its bus inside
+#: its own :mod:`contextvars` context, so two concurrent jobs can never
+#: interleave each other's streams or clobber each other's ``set_bus``.
+#: Single-job processes see the old semantics unchanged.  Fork-started
+#: workers inherit the forking thread's context, and
+#: :func:`repro.parallel.worker.run_chunk` still drops the inherited bus
+#: explicitly; fresh threads start from an *empty* context (ContextVars do
+#: not follow ``threading.Thread``), which is why
+#: :class:`repro.racing.race.StrategyRace` copies the caller's context into
+#: every strategy thread it spawns.
+_bus: contextvars.ContextVar[EventBus] = contextvars.ContextVar(
+    "repro_obs_bus", default=NULL_BUS
+)
 
 
 def get_bus() -> EventBus:
-    """The currently installed event bus (a disabled no-op by default)."""
-    return _bus
+    """The bus installed in the current context (a disabled no-op by default)."""
+    return _bus.get()
 
 
 def set_bus(bus: Optional[EventBus]) -> EventBus:
-    """Install ``bus`` globally; returns the previous one."""
-    global _bus
-    previous = _bus
-    _bus = bus if bus is not None else NULL_BUS
+    """Install ``bus`` in the current context; returns the previous one.
+
+    ``None`` restores :data:`NULL_BUS` (the reset idiom used by fork-safe
+    workers and test teardown).
+    """
+    previous = _bus.get()
+    _bus.set(bus if bus is not None else NULL_BUS)
     return previous

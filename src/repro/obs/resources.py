@@ -15,6 +15,7 @@ keep it off in benchmarks).
 
 from __future__ import annotations
 
+import contextvars
 import resource
 import sys
 import tracemalloc
@@ -158,17 +159,21 @@ class ResourceProfiler:
 #: The installed-by-default profiler: permanently disabled.
 NULL_PROFILER = ResourceProfiler(enabled=False)
 
-_profiler: ResourceProfiler = NULL_PROFILER
+#: Context-scoped like the event bus (see :mod:`repro.obs.events`):
+#: concurrent service jobs each install their own profiler without
+#: clobbering each other; single-job processes behave as before.
+_profiler: contextvars.ContextVar[ResourceProfiler] = contextvars.ContextVar(
+    "repro_obs_profiler", default=NULL_PROFILER
+)
 
 
 def get_profiler() -> ResourceProfiler:
-    """The currently installed profiler (a disabled no-op by default)."""
-    return _profiler
+    """The profiler installed in the current context (no-op by default)."""
+    return _profiler.get()
 
 
 def set_profiler(profiler: Optional[ResourceProfiler]) -> ResourceProfiler:
-    """Install ``profiler`` globally; returns the previous one."""
-    global _profiler
-    previous = _profiler
-    _profiler = profiler if profiler is not None else NULL_PROFILER
+    """Install ``profiler`` in the current context; returns the previous one."""
+    previous = _profiler.get()
+    _profiler.set(profiler if profiler is not None else NULL_PROFILER)
     return previous

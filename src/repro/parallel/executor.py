@@ -34,6 +34,7 @@ result.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
@@ -79,6 +80,10 @@ class ParallelExecutor:
         self.min_tasks = max(1, int(min_tasks))
         self.crash_retries = max(0, int(crash_retries))
         self._pool: Optional[ProcessPoolExecutor] = None
+        # guards _pool hand-offs: shutdown() is called from the context
+        # manager, from three crash-recovery paths, and (in the service)
+        # from a signal-drain thread — all potentially concurrent
+        self._pool_lock = threading.Lock()
 
     @classmethod
     def from_config(
@@ -273,15 +278,16 @@ class ParallelExecutor:
         self.shutdown()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=get_context(_start_method()),
-            )
-            logger.debug(
-                "started %d-worker pool (%s)", self.workers, _start_method()
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=get_context(_start_method()),
+                )
+                logger.debug(
+                    "started %d-worker pool (%s)", self.workers, _start_method()
+                )
+            return self._pool
 
     @staticmethod
     def _merge_telemetry(chunk: ChunkResult, submitted_at: float) -> None:
@@ -307,10 +313,27 @@ class ParallelExecutor:
     # -- lifecycle -------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop the worker pool (idempotent; serial executors are no-ops)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Stop the worker pool — idempotent and exception-safe.
+
+        Called from the context manager *and* from the crash-recovery
+        paths in :meth:`_map_parallel` / :meth:`_run_chunk_serially` /
+        :meth:`_abort`, often with the pool already broken.  The pool
+        reference is detached under the lock first, so a double shutdown
+        (or a concurrent one from the service's signal drain) is a no-op,
+        and a pool whose own ``shutdown`` raises (a crashed
+        ``BrokenProcessPool`` mid-teardown) never masks the original
+        error or leaves ``_pool`` pointing at a dead pool.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            logger.warning(
+                "worker pool raised during shutdown; continuing", exc_info=True
+            )
 
     def __enter__(self) -> "ParallelExecutor":
         return self

@@ -37,7 +37,7 @@ from repro.qoc.grape import (
 )
 from repro.qoc.hamiltonian import TransmonChain
 from repro.qoc.pulse import Pulse
-from repro.racing.cancel import CancelToken, cooperative_stall
+from repro.racing.cancel import CancelToken, cooperative_stall, poll_cancellation
 from repro.resilience.faults import fault_fires
 from repro.resilience.policy import Deadline, RetryPolicy
 
@@ -272,10 +272,10 @@ def minimal_latency_pulse(
         first_eig=None,
     ) -> GrapeResult:
         nonlocal best_attempt
-        # cooperative cancellation point: a raced search that lost stops
-        # here, before spending another full GRAPE optimization
-        if cancel is not None:
-            cancel.raise_if_cancelled()
+        # cooperative cancellation point: a raced search that lost (or a
+        # cancelled service job) stops here, before spending another full
+        # GRAPE optimization
+        poll_cancellation(cancel)
         metrics.inc("qoc.search_probes")
         result = grape_optimize(
             target,

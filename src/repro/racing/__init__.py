@@ -9,10 +9,12 @@ compilation runs its strategy portfolio concurrently:
   first-finisher winner selection.
 * :mod:`repro.racing.cancel` — the :class:`CancelToken` polled at the
   same loop points that poll a :class:`~repro.resilience.policy.Deadline`,
-  plus the ``synthesis.stall``/``qoc.stall`` fault-injection shim.
+  the ambient per-job :func:`cancel_scope` the compile service uses for
+  client-initiated cancellation, plus the ``synthesis.stall``/
+  ``qoc.stall`` fault-injection shim.
 * :mod:`repro.racing.breaker` — per-``(site, strategy, block-width)``
   :class:`CircuitBreaker`\\ s with half-open recovery probes, on a
-  process-global :class:`BreakerBoard`.
+  context-scoped :class:`BreakerBoard`.
 * :mod:`repro.racing.stats` — always-on per-strategy attempt/win
   counters feeding the run ledger and ``repro stats strategies``.
 * :mod:`repro.racing.portfolios` — the concrete portfolios wired into
@@ -32,7 +34,13 @@ from repro.racing.breaker import (
     get_breaker_board,
     set_breaker_board,
 )
-from repro.racing.cancel import CancelToken, cooperative_stall
+from repro.racing.cancel import (
+    CancelToken,
+    cancel_scope,
+    cooperative_stall,
+    current_token,
+    poll_cancellation,
+)
 from repro.racing.portfolios import (
     raced_minimal_latency_pulse,
     raced_synthesize_unitary,
@@ -51,6 +59,9 @@ __all__ = [
     "AttemptOutcome",
     "RaceResult",
     "CancelToken",
+    "cancel_scope",
+    "current_token",
+    "poll_cancellation",
     "cooperative_stall",
     "CircuitBreaker",
     "BreakerBoard",

@@ -8,14 +8,15 @@ configurable run of consecutive failures, rejects further attempts for a
 cooldown period, then lets a single *half-open* probe through — success
 closes the breaker, another failure re-opens it.
 
-Breakers live on a process-global :class:`BreakerBoard` (mirroring the
-fault-plan and metrics globals) so every race in a run shares failure
-history; :meth:`BreakerBoard.snapshot` feeds the run ledger's racing
-column.
+Breakers live on a context-scoped :class:`BreakerBoard` (mirroring the
+installed bus and metrics) so every race in a run shares failure
+history while concurrent service jobs stay isolated;
+:meth:`BreakerBoard.snapshot` feeds the run ledger's racing column.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from typing import Callable, Dict, Optional, Tuple
@@ -172,8 +173,13 @@ class BreakerBoard:
 
 #: the installed board; built lazily with default thresholds (races built
 #: from a :class:`~repro.config.RacingConfig` re-key thresholds at
-#: construction via :func:`get_breaker_board`).
-_board: Optional[BreakerBoard] = None
+#: construction via :func:`get_breaker_board`).  Context-scoped like the
+#: event bus: concurrent service jobs accumulate failure history on their
+#: own boards instead of polluting each other's breaker state, while a
+#: single-job process still shares one board across every race in the run.
+_board: contextvars.ContextVar[Optional[BreakerBoard]] = contextvars.ContextVar(
+    "repro_breaker_board", default=None
+)
 _board_lock = threading.Lock()
 
 
@@ -181,16 +187,16 @@ def get_breaker_board(
     failure_threshold: Optional[int] = None,
     cooldown_seconds: Optional[float] = None,
 ) -> BreakerBoard:
-    """The process-global board, created on first use.
+    """The current context's board, created on first use.
 
     The first caller's thresholds win (later thresholds only apply to
     breakers not yet created, via the board defaults being updated) —
     in practice every race in a run shares one ``RacingConfig``.
     """
-    global _board
     with _board_lock:
-        if _board is None:
-            _board = BreakerBoard(
+        board = _board.get()
+        if board is None:
+            board = BreakerBoard(
                 failure_threshold=(
                     3 if failure_threshold is None else failure_threshold
                 ),
@@ -198,18 +204,19 @@ def get_breaker_board(
                     30.0 if cooldown_seconds is None else cooldown_seconds
                 ),
             )
+            _board.set(board)
         else:
             if failure_threshold is not None:
-                _board.failure_threshold = failure_threshold
+                board.failure_threshold = failure_threshold
             if cooldown_seconds is not None:
-                _board.cooldown_seconds = cooldown_seconds
-        return _board
+                board.cooldown_seconds = cooldown_seconds
+        return board
 
 
 def set_breaker_board(board: Optional[BreakerBoard]) -> Optional[BreakerBoard]:
-    """Install ``board`` globally (``None`` resets); returns the previous one."""
-    global _board
+    """Install ``board`` in the current context (``None`` resets); returns
+    the previous one."""
     with _board_lock:
-        previous = _board
-        _board = board
+        previous = _board.get()
+        _board.set(board)
         return previous

@@ -16,15 +16,23 @@ polling contract.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.exceptions import RaceCancelled
 from repro.resilience.faults import fault_params
 from repro.resilience.policy import Deadline
 
-__all__ = ["CancelToken", "cooperative_stall"]
+__all__ = [
+    "CancelToken",
+    "cancel_scope",
+    "cooperative_stall",
+    "current_token",
+    "poll_cancellation",
+]
 
 #: how often an injected stall re-polls its token/deadline.
 _STALL_POLL_SECONDS = 0.01
@@ -64,6 +72,48 @@ class CancelToken:
             raise RaceCancelled(self._reason or "cancelled")
 
 
+#: The ambient cancel token of the current context.  The compile service
+#: installs one per job (via :func:`cancel_scope`) so *every* cooperative
+#: poll point inside that job — GRAPE probes, QSearch expansion, LEAP
+#: level growth — honours a client's ``cancel`` request without the token
+#: having to be threaded through every call signature.  Racing threads
+#: inherit it through ``StrategyRace``'s context copy, so a job cancel
+#: also stops in-flight racing strategies.
+_current: contextvars.ContextVar[Optional[CancelToken]] = contextvars.ContextVar(
+    "repro_cancel_token", default=None
+)
+
+
+def current_token() -> Optional[CancelToken]:
+    """The ambient cancel token installed in the current context, if any."""
+    return _current.get()
+
+
+@contextmanager
+def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
+    """Make ``token`` the ambient cancel token for the duration of the block."""
+    handle = _current.set(token)
+    try:
+        yield token
+    finally:
+        _current.reset(handle)
+
+
+def poll_cancellation(cancel: Optional[CancelToken] = None) -> None:
+    """Raise :class:`RaceCancelled` if ``cancel`` *or* the ambient token is set.
+
+    This is the single poll primitive the cooperative loop points call:
+    an explicit token (a racing strategy's own) and the ambient job-level
+    token are both honoured, so losing a race and a service-side job
+    cancel use the same unwind path.
+    """
+    if cancel is not None:
+        cancel.raise_if_cancelled()
+    ambient = _current.get()
+    if ambient is not None and ambient is not cancel:
+        ambient.raise_if_cancelled()
+
+
 def cooperative_stall(
     site: str,
     cancel: Optional[CancelToken] = None,
@@ -90,8 +140,7 @@ def cooperative_stall(
         ) from None
     end = time.monotonic() + max(0.0, seconds)
     while True:
-        if cancel is not None:
-            cancel.raise_if_cancelled()
+        poll_cancellation(cancel)
         if deadline is not None and deadline.expired:
             return True
         remaining = end - time.monotonic()

@@ -28,6 +28,7 @@ stats recorder.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from dataclasses import dataclass, field
@@ -135,6 +136,13 @@ class StrategyRace:
         cond = threading.Condition()
         closed = [False]
         arrival_counter = [0]
+        # Fresh threads start from an *empty* contextvars context, which
+        # would hide the caller's installed bus / metrics / breaker board /
+        # cancel scope from the strategy bodies.  Capture the caller's
+        # context once, before any thread or hedge timer spawns, and run
+        # each body inside its own copy (a single Context object cannot be
+        # entered by two threads at once).
+        base_ctx = contextvars.copy_context()
 
         # breaker gating: skipped attempts never start
         runnable: List[int] = []
@@ -172,9 +180,12 @@ class StrategyRace:
             if closed[0] or outcomes[index].status != "pending":
                 return
             outcomes[index].status = "running"
+            # every _spawn_locked call holds ``cond``, so entering
+            # ``base_ctx`` to copy it is serialized even from timer threads
+            ctx = base_ctx.run(contextvars.copy_context)
             thread = threading.Thread(
-                target=_body,
-                args=(index,),
+                target=ctx.run,
+                args=(_body, index),
                 name=f"race-{self.site}-{attempts[index].name}",
                 daemon=True,
             )

@@ -8,13 +8,15 @@ into this always-on, thread-safe recorder as well.  Counters are keyed
 (``"2q"``, ``"3q"``, ...) so ``repro stats strategies`` can report
 portfolio win rates per block width.
 
-The recorder is process-global (like the fault plan and breaker board);
+The recorder is context-scoped (like the installed bus and breaker
+board), so concurrent service jobs keep disjoint counters;
 :class:`~repro.obs.observer.RunObserver` snapshots it at run start and
 stores the per-run delta.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from typing import Dict, Optional, Tuple
 
@@ -104,23 +106,28 @@ class RaceStats:
         }
 
 
-_stats: Optional[RaceStats] = None
+#: context-scoped like the breaker board: each service job keeps its own
+#: recorder, so per-run ledger deltas never mix two jobs' outcomes.
+_stats: contextvars.ContextVar[Optional[RaceStats]] = contextvars.ContextVar(
+    "repro_race_stats", default=None
+)
 _stats_lock = threading.Lock()
 
 
 def get_race_stats() -> RaceStats:
-    """The process-global recorder, created on first use."""
-    global _stats
+    """The current context's recorder, created on first use."""
     with _stats_lock:
-        if _stats is None:
-            _stats = RaceStats()
-        return _stats
+        stats = _stats.get()
+        if stats is None:
+            stats = RaceStats()
+            _stats.set(stats)
+        return stats
 
 
 def set_race_stats(stats: Optional[RaceStats]) -> Optional[RaceStats]:
-    """Install ``stats`` globally (``None`` resets); returns the previous one."""
-    global _stats
+    """Install ``stats`` in the current context (``None`` resets); returns
+    the previous one."""
     with _stats_lock:
-        previous = _stats
-        _stats = stats
+        previous = _stats.get()
+        _stats.set(stats)
         return previous

@@ -1,0 +1,56 @@
+"""The resident compile daemon (see README "Compilation service").
+
+``repro.service`` turns the one-shot CLI pipeline into a long-lived
+process so EPOC's amortization story — one warm
+:class:`~repro.qoc.library.PulseLibrary` serving many circuits — pays
+off across *jobs*, not just across the circuits of a single batch:
+
+* :mod:`repro.service.protocol` — the line-delimited JSON wire protocol
+  (one request/response object per line over a local TCP socket) plus a
+  thin HTTP/JSON shim (``GET /jobs``, ``POST /jobs``, ...) served on the
+  same port by sniffing the first request line.
+* :mod:`repro.service.jobs` — job specs, per-job state machines with
+  buffered event streams, and the priority queue the runner threads
+  drain.
+* :mod:`repro.service.quota` — per-tenant sliding-window admission
+  control; every decision (accept or reject) is recorded in the run
+  ledger.
+* :mod:`repro.service.server` — :class:`CompileService`: the asyncio
+  front-end, the job-runner threads that execute compilations inside
+  per-job :mod:`contextvars` contexts (own event bus, own cancel scope,
+  own race stats), the shared warm library, and SIGTERM/SIGINT graceful
+  drain.
+* :mod:`repro.service.client` — the blocking socket client behind
+  ``repro submit`` / ``repro status`` / ``repro cancel``.
+
+CLI: ``repro serve`` starts the daemon; ``repro submit circuit.qasm
+--wait`` round-trips a job through it.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobQueue, JobSpec, build_job_config
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+from repro.service.quota import QuotaLedger, QuotaPolicy
+from repro.service.server import CompileService
+
+__all__ = [
+    "CompileService",
+    "ServiceClient",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "QuotaLedger",
+    "QuotaPolicy",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "build_job_config",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,160 @@
+"""Blocking socket client for the compile service.
+
+One short-lived connection per request (the daemon is local; connect is
+cheap) except :meth:`ServiceClient.events` with ``follow=True``, which
+keeps its connection open and yields events as the daemon streams them.
+This is the client behind ``repro submit`` / ``repro status`` /
+``repro cancel``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+from repro.exceptions import ReproError
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """The daemon answered ``ok: false``; carries the machine code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.CompileService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7411, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach compile service at {self.host}:{self.port} "
+                f"({exc}); is `repro serve` running?"
+            )
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises :class:`ServiceError`
+        on ``ok: false`` responses."""
+        with self._connect() as sock:
+            sock.sendall(protocol.encode_message(payload))
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        if not line:
+            raise ReproError("compile service closed the connection")
+        response = protocol.decode_message(line)
+        if not response.get("ok", False):
+            raise ServiceError(
+                str(response.get("code", "error")),
+                str(response.get("error", "service request failed")),
+            )
+        return response
+
+    # -- op helpers -------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        name: str,
+        qasm: str,
+        flow: str = "epoc",
+        priority: int = 0,
+        tenant: str = "default",
+        options: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Submit one circuit; returns the job id."""
+        response = self.request(
+            {
+                "op": "submit",
+                "name": name,
+                "qasm": qasm,
+                "flow": flow,
+                "priority": priority,
+                "tenant": tenant,
+                "options": dict(options or {}),
+            }
+        )
+        return response["job"]
+
+    def status(self, job: Optional[str] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "status"}
+        if job is not None:
+            payload["job"] = job
+        return self.request(payload)
+
+    def result(self, job: str) -> Dict[str, Any]:
+        return self.request({"op": "result", "job": job})
+
+    def cancel(self, job: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "job": job})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def events(
+        self, job: str, after: int = 0, follow: bool = False
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield a job's buffered events; with ``follow=True`` keep the
+        connection open and stream until the job finishes.  The terminal
+        ``{"done": true, ...}`` line is consumed, not yielded."""
+        with self._connect() as sock:
+            if follow:
+                # a followed stream outlives the request timeout by design
+                sock.settimeout(None)
+            sock.sendall(
+                protocol.encode_message(
+                    {"op": "events", "job": job, "after": after,
+                     "follow": follow}
+                )
+            )
+            with sock.makefile("rb") as stream:
+                for line in stream:
+                    message = protocol.decode_message(line)
+                    if message.get("ok") is False:
+                        raise ServiceError(
+                            str(message.get("code", "error")),
+                            str(message.get("error", "event stream failed")),
+                        )
+                    if message.get("done"):
+                        return
+                    yield message
+
+    def wait(
+        self, job: str, timeout: Optional[float] = None, poll: float = 0.2
+    ) -> Dict[str, Any]:
+        """Block until ``job`` reaches a terminal state; returns its
+        result view.  Polls status (cheap, local) rather than holding a
+        streaming connection."""
+        import time
+
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            view = self.status(job)
+            if view["state"] in ("done", "failed", "cancelled", "rejected"):
+                return self.result(job)
+            if deadline is not None and time.monotonic() > deadline:
+                raise ReproError(
+                    f"job {job} still {view['state']} after {timeout:g}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,296 @@
+"""Job state for the compile service.
+
+A submitted circuit becomes a :class:`Job`: a :class:`JobSpec` (what to
+compile), a small state machine (``queued -> running -> done | failed |
+cancelled``), a :class:`~repro.racing.cancel.CancelToken`, and a
+buffered, sequence-numbered event stream.  Runner threads drain a
+priority :class:`JobQueue`; clients tail a job's events through
+:meth:`Job.wait_events` without ever touching the runner's context.
+
+The event buffer is the bridge between the process-global-free
+observability layer and the wire: each job runs with its *own*
+:class:`~repro.obs.events.EventBus` (installed in the job's copied
+``contextvars`` context) whose only sink is a :class:`JobEventSink`
+appending here.  Two concurrent jobs therefore produce two disjoint
+streams by construction — the regression the service tests pin down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.racing.cancel import CancelToken
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobEventSink",
+    "JobQueue",
+    "JobSpec",
+    "QueueClosed",
+    "build_job_config",
+]
+
+#: every state a job can be in.  ``rejected`` jobs (quota) are recorded
+#: in the ledger but never enter the queue.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "rejected")
+
+_TERMINAL = frozenset({"done", "failed", "cancelled", "rejected"})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one job compiles: a circuit plus the knobs ``repro compile``
+    would have taken on the command line (in ``options``)."""
+
+    name: str
+    qasm: str
+    flow: str = "epoc"
+    priority: int = 0
+    tenant: str = "default"
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+class Job:
+    """One submission's full lifetime: spec, state, cancel token, events.
+
+    All mutation happens under ``_cond``; readers get consistent
+    snapshots via :meth:`view` and blocking tails via
+    :meth:`wait_events`.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.cancel = CancelToken()
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._cond = threading.Condition()
+        self._state = "queued"
+        self._events: List[Dict[str, Any]] = []
+        self._result: Optional[Dict[str, Any]] = None
+        self._error: Optional[str] = None
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._cond:
+            return self._state
+
+    @property
+    def finished(self) -> bool:
+        with self._cond:
+            return self._state in _TERMINAL
+
+    def mark_running(self) -> bool:
+        """Transition queued -> running; ``False`` when the job was
+        cancelled while still queued (the runner must skip it)."""
+        with self._cond:
+            if self._state != "queued":
+                return False
+            self._state = "running"
+            self.started_at = time.time()
+            self._cond.notify_all()
+            return True
+
+    def finish(
+        self,
+        state: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if state not in _TERMINAL:
+            raise ValueError(f"{state!r} is not a terminal job state")
+        with self._cond:
+            if self._state in _TERMINAL:
+                return
+            self._state = state
+            self._result = result
+            self._error = error
+            self.finished_at = time.time()
+            self._cond.notify_all()
+
+    def request_cancel(self) -> bool:
+        """Cancel the job; ``True`` when the request changed anything.
+
+        A queued job finishes ``cancelled`` immediately; a running job
+        gets its token fired and finishes when the compilation unwinds
+        through the next cooperative poll point.
+        """
+        with self._cond:
+            if self._state in _TERMINAL:
+                return False
+            self.cancel.cancel()
+            if self._state == "queued":
+                self._state = "cancelled"
+                self.finished_at = time.time()
+            self._cond.notify_all()
+            return True
+
+    # -- events -----------------------------------------------------------
+
+    def append_event(self, event: Dict[str, Any]) -> None:
+        """Buffer one observability event, stamped with this job's id and
+        a per-job sequence number (clients resume tails with ``after``)."""
+        with self._cond:
+            stamped = dict(event)
+            stamped["job"] = self.id
+            stamped["seq"] = len(self._events) + 1
+            self._events.append(stamped)
+            self._cond.notify_all()
+
+    def wait_events(
+        self, after: int = 0, timeout: float = 0.5
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Events with ``seq > after``; blocks up to ``timeout`` when
+        there are none yet.  Returns ``(batch, finished)`` where
+        ``finished`` means no further events will ever arrive."""
+        deadline = time.monotonic() + max(timeout, 0.0)
+        with self._cond:
+            while (
+                len(self._events) <= after
+                and self._state not in _TERMINAL
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = list(self._events[after:])
+            finished = (
+                self._state in _TERMINAL
+                and after + len(batch) == len(self._events)
+            )
+            return batch, finished
+
+    # -- snapshots --------------------------------------------------------
+
+    def view(self) -> Dict[str, Any]:
+        with self._cond:
+            payload: Dict[str, Any] = {
+                "job": self.id,
+                "name": self.spec.name,
+                "flow": self.spec.flow,
+                "tenant": self.spec.tenant,
+                "priority": self.spec.priority,
+                "state": self._state,
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "events": len(self._events),
+            }
+            if self._error is not None:
+                payload["error"] = self._error
+            return payload
+
+    def result_view(self) -> Dict[str, Any]:
+        with self._cond:
+            payload = {"job": self.id, "state": self._state}
+            if self._result is not None:
+                payload["result"] = self._result
+            if self._error is not None:
+                payload["error"] = self._error
+            return payload
+
+
+class JobEventSink:
+    """An :class:`~repro.obs.events.EventBus` sink feeding one job's
+    buffer.  Duck-typed: the bus only needs ``handle``/``close``."""
+
+    def __init__(self, job: Job) -> None:
+        self._job = job
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self._job.append_event(event)
+
+    def close(self) -> None:  # nothing to flush; buffer lives on the job
+        pass
+
+
+class QueueClosed(Exception):
+    """Raised by :meth:`JobQueue.push` after the queue is closed."""
+
+
+class JobQueue:
+    """Priority queue of jobs (lower ``priority`` first, FIFO within a
+    priority).  ``pop`` blocks; ``close`` wakes every popper with
+    ``None`` so runner threads can drain and exit."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("job queue is closed")
+            heapq.heappush(
+                self._heap, (job.spec.priority, next(self._seq), job)
+            )
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Next job by priority, or ``None`` on timeout / closed-empty."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+
+# -- config construction --------------------------------------------------
+
+#: the fields :func:`repro.cli._config` reads via *direct* attribute
+#: access (everything else goes through ``getattr`` with the same
+#: defaults argparse would supply).  These values mirror the ``repro
+#: compile`` argument defaults — keeping them equal is what makes a
+#: daemon job bitwise-identical to the CLI run (asserted in CI).
+_DEFAULTS: Dict[str, Any] = {
+    "qubit_limit": 3,
+    "dt": 1.0,
+    "fidelity": 0.995,
+}
+
+
+def build_job_config(options: Optional[Dict[str, Any]] = None):
+    """An :class:`~repro.config.EPOCConfig` for one job.
+
+    ``options`` uses the CLI's ``args`` attribute names (``workers``,
+    ``checkpoint``, ``race``, ...).  The namespace is handed to the same
+    :func:`repro.cli._config` the ``compile`` command uses, so a daemon
+    job and ``repro compile`` with equal flags produce *identical*
+    configs by construction — there is no second config builder to
+    drift.
+    """
+    from repro import cli  # late: cli imports are heavyweight
+
+    merged = {**_DEFAULTS, **dict(options or {})}
+    return cli._config(SimpleNamespace(**merged))

@@ -1,0 +1,263 @@
+"""The compile service's wire protocol.
+
+Native transport is **NDJSON over TCP**: every request and every
+response is one JSON object on one line.  A connection may issue any
+number of requests; the ``events`` op streams one response line per
+event before its terminal ``{"done": true}`` line.  The same port also
+answers a minimal **HTTP/1.1 JSON shim** — the server sniffs the first
+bytes of a connection for an HTTP method and, if found, parses one
+request, maps it onto the native op table and answers with a single
+JSON body (connection close).  The shim exists so ``curl`` works
+against a running daemon; scripted clients should prefer the native
+protocol (it can stream).
+
+Requests::
+
+    {"op": "ping"}
+    {"op": "submit", "name": ..., "qasm": ..., "flow": ..., "priority": ...,
+     "tenant": ..., "options": {...}}
+    {"op": "status"}                 # all jobs
+    {"op": "status", "job": ID}
+    {"op": "events", "job": ID, "after": SEQ, "follow": BOOL}
+    {"op": "result", "job": ID}
+    {"op": "cancel", "job": ID}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Responses carry ``"ok": true`` plus op-specific fields, or ``"ok":
+false`` with ``error`` (human text) and ``code`` (machine tag:
+``bad-request``, ``not-found``, ``quota``, ``conflict``,
+``shutting-down``, ``internal``).
+
+HTTP mapping::
+
+    GET  /healthz            -> ping          GET  /stats -> stats
+    GET  /jobs               -> status (all)
+    GET  /jobs/ID            -> status        GET  /jobs/ID/events -> events
+    POST /jobs   (JSON body) -> submit        POST /jobs/ID/cancel -> cancel
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "validate_request",
+    "error_response",
+    "ok_response",
+    "looks_like_http",
+    "parse_http_request",
+    "http_response",
+]
+
+PROTOCOL_VERSION = 1
+
+#: every native op and the fields it accepts beyond ``op``.
+OPS: Dict[str, Tuple[str, ...]] = {
+    "ping": (),
+    "submit": ("name", "qasm", "flow", "priority", "tenant", "options"),
+    "status": ("job",),
+    "events": ("job", "after", "follow"),
+    "result": ("job",),
+    "cancel": ("job",),
+    "stats": (),
+    "shutdown": (),
+}
+
+#: ops that require a ``job`` field.
+_JOB_REQUIRED = frozenset({"events", "result", "cancel"})
+
+#: request size guard: a million-character "line" is not a protocol
+#: message, it is a client bug or an attack.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ", b"OPTIONS ")
+
+
+class ProtocolError(ReproError):
+    """A malformed or invalid protocol message."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One NDJSON line (UTF-8, trailing newline) for ``message``."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: "bytes | str") -> Dict[str, Any]:
+    """Parse one NDJSON line; raises :class:`ProtocolError` when invalid."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_MESSAGE_BYTES:
+            raise ProtocolError(
+                f"message exceeds {MAX_MESSAGE_BYTES} bytes"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not valid UTF-8: {exc}")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Check a decoded request against the op table; returns it cleaned.
+
+    Unknown fields are rejected rather than ignored — silently dropping
+    a misspelled ``prioriy`` would change behaviour without any signal.
+    """
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {sorted(OPS)})"
+        )
+    allowed = OPS[op]
+    extras = sorted(set(message) - {"op"} - set(allowed))
+    if extras:
+        raise ProtocolError(f"op {op!r} does not accept fields {extras}")
+    if op in _JOB_REQUIRED and not isinstance(message.get("job"), str):
+        raise ProtocolError(f"op {op!r} requires a string 'job' field")
+    if op == "submit":
+        qasm = message.get("qasm")
+        if not isinstance(qasm, str) or not qasm.strip():
+            raise ProtocolError("submit requires non-empty 'qasm' text")
+        if "priority" in message and not isinstance(
+            message["priority"], int
+        ):
+            raise ProtocolError("submit 'priority' must be an integer")
+        if "options" in message and not isinstance(message["options"], dict):
+            raise ProtocolError("submit 'options' must be an object")
+        for field in ("name", "flow", "tenant"):
+            if field in message and not isinstance(message[field], str):
+                raise ProtocolError(f"submit {field!r} must be a string")
+    if op == "events":
+        if "after" in message and not isinstance(message["after"], int):
+            raise ProtocolError("events 'after' must be an integer")
+        if "follow" in message and not isinstance(message["follow"], bool):
+            raise ProtocolError("events 'follow' must be a boolean")
+    if op == "status" and "job" in message and not isinstance(
+        message["job"], str
+    ):
+        raise ProtocolError("status 'job' must be a string")
+    return message
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    return {"ok": True, **fields}
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "code": code, "error": message}
+
+
+# -- the HTTP shim --------------------------------------------------------
+
+
+def looks_like_http(first_bytes: bytes) -> bool:
+    """Whether a connection opened with an HTTP request line."""
+    return first_bytes.startswith(_HTTP_METHODS)
+
+
+def parse_http_request(
+    request_line: str, body: Optional[bytes]
+) -> Dict[str, Any]:
+    """Map one HTTP request onto a native protocol request.
+
+    Raises :class:`ProtocolError` for unroutable paths; the caller turns
+    that into a 404/400.
+    """
+    parts = request_line.split()
+    if len(parts) < 2:
+        raise ProtocolError(f"malformed HTTP request line {request_line!r}")
+    method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+    segments = [segment for segment in path.split("/") if segment]
+    if method == "GET":
+        if segments == ["healthz"]:
+            return {"op": "ping"}
+        if segments == ["stats"]:
+            return {"op": "stats"}
+        if segments == ["jobs"]:
+            return {"op": "status"}
+        if len(segments) == 2 and segments[0] == "jobs":
+            return {"op": "status", "job": segments[1]}
+        if (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "events"
+        ):
+            return {"op": "events", "job": segments[1]}
+        if (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "result"
+        ):
+            return {"op": "result", "job": segments[1]}
+    elif method == "POST":
+        if segments == ["jobs"]:
+            if not body:
+                raise ProtocolError("POST /jobs requires a JSON body")
+            payload = decode_message(body)
+            payload["op"] = "submit"
+            return payload
+        if (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "cancel"
+        ):
+            return {"op": "cancel", "job": segments[1]}
+        if segments == ["shutdown"]:
+            return {"op": "shutdown"}
+    raise ProtocolError(f"no route for {method} {path}")
+
+
+_HTTP_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+#: protocol error codes -> HTTP status.
+_CODE_STATUS = {
+    "bad-request": 400,
+    "not-found": 404,
+    "conflict": 409,
+    "quota": 429,
+    "shutting-down": 503,
+    "internal": 500,
+}
+
+
+def http_response(payload: Dict[str, Any]) -> bytes:
+    """One complete ``HTTP/1.1`` response (connection close) for a
+    native response object."""
+    if payload.get("ok", False):
+        status = 200
+    else:
+        status = _CODE_STATUS.get(str(payload.get("code")), 400)
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    head = (
+        f"HTTP/1.1 {status} {_HTTP_STATUS_TEXT.get(status, 'Error')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    return head + body

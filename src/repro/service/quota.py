@@ -1,0 +1,135 @@
+"""Per-tenant admission control for the compile service.
+
+A :class:`QuotaPolicy` bounds three things per tenant: submission rate
+(sliding one-minute window), queue depth, and concurrent running jobs.
+:class:`QuotaLedger` applies the policy and keeps the counters the
+``stats`` op and the run ledger report.  Every decision — accept or
+reject — is observable: the server records rejections as ``service``
+rows in the :mod:`repro.obs.ledger` run ledger so capacity pressure
+shows up in ``repro stats`` history, not just in client error strings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+__all__ = ["QuotaLedger", "QuotaPolicy"]
+
+_WINDOW_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-tenant limits; ``0`` disables a limit."""
+
+    jobs_per_minute: int = 0
+    max_pending: int = 0
+    max_running_per_tenant: int = 0
+
+
+class _TenantState:
+    __slots__ = ("submissions", "pending", "running", "accepted", "rejected")
+
+    def __init__(self) -> None:
+        self.submissions: Deque[float] = deque()
+        self.pending = 0
+        self.running = 0
+        self.accepted = 0
+        self.rejected = 0
+
+
+class QuotaLedger:
+    """Thread-safe quota accounting keyed by tenant name."""
+
+    def __init__(self, policy: Optional[QuotaPolicy] = None) -> None:
+        self.policy = policy or QuotaPolicy()
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        return state
+
+    def admit(self, tenant: str, now: Optional[float] = None) -> Optional[str]:
+        """Try to admit one submission; returns ``None`` on success or a
+        human-readable rejection reason (and counts the rejection)."""
+        now = time.time() if now is None else now
+        policy = self.policy
+        with self._lock:
+            state = self._state(tenant)
+            window = state.submissions
+            while window and window[0] <= now - _WINDOW_SECONDS:
+                window.popleft()
+            reason = None
+            if (
+                policy.jobs_per_minute
+                and len(window) >= policy.jobs_per_minute
+            ):
+                reason = (
+                    f"tenant {tenant!r} exceeded {policy.jobs_per_minute} "
+                    f"submissions per minute"
+                )
+            elif policy.max_pending and state.pending >= policy.max_pending:
+                reason = (
+                    f"tenant {tenant!r} already has {state.pending} queued "
+                    f"jobs (limit {policy.max_pending})"
+                )
+            elif (
+                policy.max_running_per_tenant
+                and state.running >= policy.max_running_per_tenant
+            ):
+                reason = (
+                    f"tenant {tenant!r} already has {state.running} running "
+                    f"jobs (limit {policy.max_running_per_tenant})"
+                )
+            if reason is not None:
+                state.rejected += 1
+                return reason
+            window.append(now)
+            state.pending += 1
+            state.accepted += 1
+            return None
+
+    def record_start(self, tenant: str) -> None:
+        """A queued job began running."""
+        with self._lock:
+            state = self._state(tenant)
+            state.pending = max(0, state.pending - 1)
+            state.running += 1
+
+    def record_finish(self, tenant: str, started: bool = True) -> None:
+        """A job left the system (any terminal state).  ``started=False``
+        for jobs cancelled while still queued."""
+        with self._lock:
+            state = self._state(tenant)
+            if started:
+                state.running = max(0, state.running - 1)
+            else:
+                state.pending = max(0, state.pending - 1)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "policy": {
+                    "jobs_per_minute": self.policy.jobs_per_minute,
+                    "max_pending": self.policy.max_pending,
+                    "max_running_per_tenant": (
+                        self.policy.max_running_per_tenant
+                    ),
+                },
+                "tenants": {
+                    tenant: {
+                        "pending": state.pending,
+                        "running": state.running,
+                        "accepted": state.accepted,
+                        "rejected": state.rejected,
+                    }
+                    for tenant, state in sorted(self._tenants.items())
+                },
+            }

@@ -1,0 +1,756 @@
+"""`repro serve`: the resident compile daemon.
+
+:class:`CompileService` keeps one warm :class:`~repro.qoc.library.
+PulseLibrary` and one :class:`~repro.parallel.ParallelExecutor` alive
+across jobs so EPOC's cache-amortization story pays off between
+submissions, not just within a batch.  Three kinds of threads cooperate:
+
+* the **asyncio front-end** (``asyncio.start_server``) speaks the
+  NDJSON protocol of :mod:`repro.service.protocol` (plus its HTTP shim)
+  and never blocks on compilation — event tails run through
+  ``asyncio.to_thread``;
+* **runner threads** drain the priority :class:`~repro.service.jobs.
+  JobQueue`.  Each job executes inside ``contextvars.copy_context()``,
+  so its event bus, resource profiler, race stats, breaker board and
+  ambient cancel scope are all job-private — the process-global-free
+  contract the rest of this package relies on;
+* the **drain path** (SIGTERM/SIGINT or the ``shutdown`` op) fires every
+  job's :class:`~repro.racing.cancel.CancelToken`, which unwinds running
+  compilations at their next cooperative poll point.  The pipeline's
+  own ``except BaseException`` handler flushes checkpoint journals
+  incomplete, so ``repro compile --resume`` picks up exactly where the
+  daemon stopped — the same guarantee a ``kill -9`` mid-batch already
+  had.
+
+Compilation configs come from :func:`~repro.service.jobs.
+build_job_config`, which routes job options through the CLI's own
+``_config`` — a daemon job with default options is bitwise-identical to
+``repro compile`` (CI asserts this on checkpoint files).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import dataclasses
+import signal
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro import telemetry
+from repro.circuits import QuantumCircuit
+from repro.exceptions import RaceCancelled, ReproError
+from repro.obs.events import EventBus, set_bus
+from repro.obs.ledger import RunLedger, RunRecord, resolve_ledger_path
+from repro.parallel import ParallelExecutor
+from repro.qoc.library import PulseLibrary
+from repro.racing.cancel import cancel_scope
+from repro.service import protocol
+from repro.service.jobs import (
+    Job,
+    JobEventSink,
+    JobQueue,
+    JobSpec,
+    QueueClosed,
+    build_job_config,
+)
+from repro.service.quota import QuotaLedger, QuotaPolicy
+
+__all__ = ["CompileService"]
+
+logger = telemetry.get_logger("service.server")
+
+_FLOWS = ("epoc", "epoc-nogroup", "gate-based", "accqoc", "paqoc")
+
+#: options a submission may set; names are the CLI ``args`` attributes
+#: :func:`build_job_config` forwards.  Anything else is rejected so a
+#: typo cannot silently fall back to a default.
+_ALLOWED_OPTIONS = frozenset(
+    {
+        "qubit_limit",
+        "dt",
+        "fidelity",
+        "no_zx",
+        "workers",
+        "qoc_kernel",
+        "no_warm_start",
+        "warm_start_distance",
+        "no_equivalence",
+        "race",
+        "hedge_delay",
+        "race_mode",
+        "race_timeout",
+        "max_retries",
+        "stage_timeout",
+        "strict_qoc",
+        "checkpoint",
+        "checkpoint_every",
+        "resume",
+        "verify",
+        "error_budget",
+    }
+)
+
+
+class CompileService:
+    """The resident compile daemon (see module docstring).
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` (tests do).  ``max_jobs`` is the number of runner
+    threads, i.e. how many compilations run concurrently; each runner
+    may additionally fan out to ``workers`` processes via the shared
+    executor.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        library_path: Optional[str] = None,
+        store_timeout: Optional[float] = None,
+        workers: int = 0,
+        max_jobs: int = 2,
+        quota: Optional[QuotaPolicy] = None,
+        ledger: bool = False,
+        ledger_path: Optional[str] = None,
+        drain_grace_seconds: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.drain_grace_seconds = drain_grace_seconds
+        self.max_jobs = max(1, int(max_jobs))
+
+        # the shared warm state every job reads from / merges back into
+        self.library = PulseLibrary()
+        self._library_lock = threading.Lock()
+        self.store = None
+        if library_path:
+            from repro.db import open_store
+
+            self.store = open_store(
+                library_path, timeout_seconds=store_timeout
+            )
+            merged = self.store.pull(self.library)
+            logger.info(
+                "service: warmed library with %d entries from %s",
+                merged,
+                library_path,
+            )
+        self.executor = ParallelExecutor(workers=max(0, int(workers)))
+
+        self.queue = JobQueue()
+        self.quota = QuotaLedger(quota)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_serial = 0
+
+        self._ledger_enabled = ledger or ledger_path is not None
+        self._ledger_path = ledger_path
+        self._ledger_lock = threading.Lock()
+
+        self._draining = threading.Event()
+        self._drain_reason = ""
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._runners: List[threading.Thread] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drain_async: Optional[asyncio.Event] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        self.started_at = time.time()
+
+    # -- store helpers ----------------------------------------------------
+
+    def _sync_store(self) -> None:
+        if self.store is None:
+            return
+        try:
+            with self._library_lock:
+                self.store.sync(self.library)
+        except Exception:
+            logger.warning(
+                "service: library sync failed during drain", exc_info=True
+            )
+
+    # -- ledger -----------------------------------------------------------
+
+    def _record_service_row(self, record: RunRecord) -> None:
+        if not self._ledger_enabled:
+            return
+        try:
+            with self._ledger_lock:
+                RunLedger(resolve_ledger_path(self._ledger_path)).record(
+                    record
+                )
+        except Exception:
+            logger.warning("service: ledger write failed", exc_info=True)
+
+    # -- job bookkeeping --------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """Admit and enqueue one job; protocol-shaped response dict."""
+        if self._draining.is_set():
+            return protocol.error_response(
+                "shutting-down", "service is draining; try another instance"
+            )
+        if spec.flow not in _FLOWS:
+            return protocol.error_response(
+                "bad-request",
+                f"unknown flow {spec.flow!r} (expected one of {_FLOWS})",
+            )
+        unknown = sorted(set(spec.options) - _ALLOWED_OPTIONS)
+        if unknown:
+            return protocol.error_response(
+                "bad-request", f"unknown options {unknown}"
+            )
+        reason = self.quota.admit(spec.tenant)
+        if reason is not None:
+            self._record_service_row(
+                RunRecord(
+                    circuit=spec.name,
+                    method="service.reject",
+                    kind="service",
+                    label=spec.tenant,
+                    extra={"reason": reason},
+                )
+            )
+            return protocol.error_response("quota", reason)
+        with self._jobs_lock:
+            self._job_serial += 1
+            job = Job(f"j-{self._job_serial:06d}", spec)
+            self._jobs[job.id] = job
+        try:
+            self.queue.push(job)
+        except QueueClosed:
+            job.finish("rejected", error="service is draining")
+            self.quota.record_finish(spec.tenant, started=False)
+            return protocol.error_response(
+                "shutting-down", "service is draining; try another instance"
+            )
+        logger.info(
+            "service: queued %s (%s, tenant=%s, priority=%d)",
+            job.id,
+            spec.name,
+            spec.tenant,
+            spec.priority,
+        )
+        return protocol.ok_response(job=job.id, state=job.state)
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs_view(self) -> List[Dict[str, Any]]:
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        return [job.view() for job in jobs]
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        job = self.get_job(job_id)
+        if job is None:
+            return protocol.error_response(
+                "not-found", f"no job {job_id!r}"
+            )
+        was_queued = job.state == "queued"
+        if not job.request_cancel():
+            return protocol.error_response(
+                "conflict", f"job {job_id} already {job.state}"
+            )
+        if was_queued and job.state == "cancelled":
+            self.quota.record_finish(job.spec.tenant, started=False)
+        logger.info("service: cancel requested for %s", job_id)
+        return protocol.ok_response(job=job_id, state=job.state)
+
+    def stats_view(self) -> Dict[str, Any]:
+        with self._jobs_lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        with self._library_lock:
+            library = {
+                "entries": len(self.library.entries()),
+                "hits": self.library.hits,
+                "misses": self.library.misses,
+                "equiv_hits": self.library.equiv_hits,
+            }
+        return protocol.ok_response(
+            protocol=protocol.PROTOCOL_VERSION,
+            uptime_seconds=time.time() - self.started_at,
+            draining=self._draining.is_set(),
+            jobs=states,
+            queue_depth=len(self.queue),
+            library=library,
+            quota=self.quota.snapshot(),
+        )
+
+    # -- job execution (runner threads) -----------------------------------
+
+    def _runner_loop(self) -> None:
+        while True:
+            job = self.queue.pop(timeout=0.2)
+            if job is None:
+                if self._draining.is_set():
+                    return
+                continue
+            # a fresh context per job: the bus/profiler/stats/breaker
+            # ContextVars set below live and die with this job only
+            contextvars.copy_context().run(self._execute_job, job)
+
+    def _execute_job(self, job: Job) -> None:
+        if not job.mark_running():
+            # cancelled while queued; quota already settled by cancel_job
+            return
+        self.quota.record_start(job.spec.tenant)
+        spec = job.spec
+        bus = EventBus([JobEventSink(job)], enabled=True)
+        set_bus(bus)
+        started = time.perf_counter()
+        try:
+            report = self._compile(job)
+        except RaceCancelled:
+            job.finish("cancelled", error="cancelled by client")
+            logger.info("service: %s cancelled", job.id)
+        except ReproError as exc:
+            job.finish("failed", error=str(exc))
+            logger.warning("service: %s failed: %s", job.id, exc)
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            job.finish("failed", error=f"{type(exc).__name__}: {exc}")
+            logger.warning("service: %s crashed", job.id, exc_info=True)
+        else:
+            job.finish(
+                "done",
+                result={
+                    "summary": report.summary_row(),
+                    "latency_ns": report.latency_ns,
+                    "fidelity": report.fidelity,
+                    "pulse_count": report.pulse_count,
+                    "compile_seconds": report.compile_seconds,
+                    "wall_seconds": time.perf_counter() - started,
+                    "cache_hits": int(report.stats.get("cache_hits", 0)),
+                    "cache_misses": int(report.stats.get("cache_misses", 0)),
+                },
+            )
+            logger.info("service: %s done (%s)", job.id, spec.name)
+        finally:
+            set_bus(None)
+            bus.close()
+            self.quota.record_finish(spec.tenant)
+
+    def _compile(self, job: Job):
+        """Run one job's compilation in the runner's (job-scoped) context."""
+        spec = job.spec
+        circuit = QuantumCircuit.from_qasm(spec.qasm)
+        config = build_job_config(spec.options)
+        # tag the run's ledger row with the tenant so `repro stats` can
+        # slice service traffic per client (configs are frozen; replace)
+        obs_updates: Dict[str, Any] = {}
+        if config.obs.label is None:
+            obs_updates["label"] = spec.tenant
+        if self._ledger_enabled and config.obs.ledger is None:
+            obs_updates["ledger"] = True
+            if config.obs.ledger_path is None and self._ledger_path:
+                obs_updates["ledger_path"] = self._ledger_path
+        if obs_updates:
+            config = dataclasses.replace(
+                config, obs=dataclasses.replace(config.obs, **obs_updates)
+            )
+
+        if spec.flow in ("epoc", "epoc-nogroup"):
+            # per-job clone of the shared warm library: jobs get warm
+            # hits without sharing mutable state mid-flight, and per-job
+            # hit/miss counters stay meaningful
+            with self._library_lock:
+                seed = dict(self.library.entries())
+            job_library = PulseLibrary(
+                config=config.qoc,
+                match_global_phase=config.cache_global_phase,
+                resilience=config.resilience,
+                racing=config.racing,
+            )
+            job_library.merge_entries(seed)
+            from repro.core import EPOCPipeline
+
+            flow = EPOCPipeline(
+                config,
+                library=job_library,
+                use_regrouping=spec.flow == "epoc",
+            )
+            with cancel_scope(job.cancel):
+                report = flow.compile(
+                    circuit, name=spec.name, executor=self.executor
+                )
+            with self._library_lock:
+                self.library.merge_entries(dict(job_library.entries()))
+                if self.store is not None:
+                    try:
+                        self.store.sync(self.library)
+                    except Exception:
+                        logger.warning(
+                            "service: post-job library sync failed",
+                            exc_info=True,
+                        )
+            return report
+
+        from repro.baselines import AccQOCFlow, GateBasedFlow, PAQOCFlow
+
+        flow_cls = {
+            "gate-based": GateBasedFlow,
+            "accqoc": AccQOCFlow,
+            "paqoc": PAQOCFlow,
+        }[spec.flow]
+        with cancel_scope(job.cancel):
+            return flow_cls(config).compile(circuit, name=spec.name)
+
+    # -- drain ------------------------------------------------------------
+
+    def request_drain(self, reason: str) -> None:
+        """Begin graceful shutdown; safe from any thread or a signal
+        handler.  Idempotent."""
+        if self._draining.is_set():
+            return
+        self._drain_reason = reason
+        self._draining.set()
+        logger.info("service: draining (%s)", reason)
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if job.request_cancel() and job.state == "cancelled":
+                # was still queued; settle its quota slot
+                self.quota.record_finish(job.spec.tenant, started=False)
+        self.queue.close()
+        loop, drain_async = self._loop, self._drain_async
+        if loop is not None and drain_async is not None:
+            loop.call_soon_threadsafe(drain_async.set)
+
+    # -- asyncio front-end ------------------------------------------------
+
+    async def _handle_native(
+        self,
+        request: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Answer one validated native request.  Returns ``False`` when
+        the connection should close afterwards."""
+        op = request["op"]
+        if op == "ping":
+            writer.write(
+                protocol.encode_message(
+                    protocol.ok_response(
+                        protocol=protocol.PROTOCOL_VERSION,
+                        draining=self._draining.is_set(),
+                    )
+                )
+            )
+        elif op == "submit":
+            spec = JobSpec(
+                name=request.get("name", "circuit"),
+                qasm=request["qasm"],
+                flow=request.get("flow", "epoc"),
+                priority=int(request.get("priority", 0)),
+                tenant=request.get("tenant", "default"),
+                options=dict(request.get("options", {})),
+            )
+            writer.write(protocol.encode_message(self.submit(spec)))
+        elif op == "status":
+            job_id = request.get("job")
+            if job_id is None:
+                writer.write(
+                    protocol.encode_message(
+                        protocol.ok_response(jobs=self.jobs_view())
+                    )
+                )
+            else:
+                job = self.get_job(job_id)
+                if job is None:
+                    writer.write(
+                        protocol.encode_message(
+                            protocol.error_response(
+                                "not-found", f"no job {job_id!r}"
+                            )
+                        )
+                    )
+                else:
+                    writer.write(
+                        protocol.encode_message(
+                            protocol.ok_response(**job.view())
+                        )
+                    )
+        elif op == "events":
+            await self._stream_events(request, writer)
+        elif op == "result":
+            job = self.get_job(request["job"])
+            if job is None:
+                writer.write(
+                    protocol.encode_message(
+                        protocol.error_response(
+                            "not-found", f"no job {request['job']!r}"
+                        )
+                    )
+                )
+            else:
+                writer.write(
+                    protocol.encode_message(
+                        protocol.ok_response(**job.result_view())
+                    )
+                )
+        elif op == "cancel":
+            writer.write(
+                protocol.encode_message(self.cancel_job(request["job"]))
+            )
+        elif op == "stats":
+            writer.write(protocol.encode_message(self.stats_view()))
+        elif op == "shutdown":
+            writer.write(
+                protocol.encode_message(
+                    protocol.ok_response(draining=True)
+                )
+            )
+            await writer.drain()
+            self.request_drain("shutdown op")
+            return False
+        await writer.drain()
+        return True
+
+    async def _stream_events(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.get_job(request["job"])
+        if job is None:
+            writer.write(
+                protocol.encode_message(
+                    protocol.error_response(
+                        "not-found", f"no job {request['job']!r}"
+                    )
+                )
+            )
+            return
+        after = int(request.get("after", 0))
+        follow = bool(request.get("follow", False))
+        while True:
+            batch, finished = await asyncio.to_thread(
+                job.wait_events, after, 0.5 if follow else 0.0
+            )
+            if writer.is_closing():
+                return  # the client hung up mid-stream
+            for event in batch:
+                writer.write(protocol.encode_message(event))
+            after += len(batch)
+            await writer.drain()
+            if finished or not follow:
+                writer.write(
+                    protocol.encode_message(
+                        {"done": True, "job": job.id, "state": job.state}
+                    )
+                )
+                return
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if protocol.looks_like_http(first):
+                await self._handle_http(first, reader, writer)
+                return
+            line: Optional[bytes] = first
+            while line:
+                try:
+                    request = protocol.validate_request(
+                        protocol.decode_message(line)
+                    )
+                except protocol.ProtocolError as exc:
+                    writer.write(
+                        protocol.encode_message(
+                            protocol.error_response("bad-request", str(exc))
+                        )
+                    )
+                    await writer.drain()
+                else:
+                    if not await self._handle_native(request, writer):
+                        break
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            # server closing mid-connection during drain — not an error
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                pass
+
+    async def _handle_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        # one request per connection; read headers, then any body
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else None
+        )
+        try:
+            request = protocol.validate_request(
+                protocol.parse_http_request(
+                    first.decode("latin-1").strip(), body
+                )
+            )
+        except protocol.ProtocolError as exc:
+            payload = protocol.error_response("bad-request", str(exc))
+            if "no route" in str(exc):
+                payload = protocol.error_response("not-found", str(exc))
+            writer.write(protocol.http_response(payload))
+            await writer.drain()
+            return
+        op = request["op"]
+        if op == "ping":
+            payload = protocol.ok_response(
+                protocol=protocol.PROTOCOL_VERSION,
+                draining=self._draining.is_set(),
+            )
+        elif op == "submit":
+            payload = self.submit(
+                JobSpec(
+                    name=request.get("name", "circuit"),
+                    qasm=request["qasm"],
+                    flow=request.get("flow", "epoc"),
+                    priority=int(request.get("priority", 0)),
+                    tenant=request.get("tenant", "default"),
+                    options=dict(request.get("options", {})),
+                )
+            )
+        elif op == "status":
+            job_id = request.get("job")
+            if job_id is None:
+                payload = protocol.ok_response(jobs=self.jobs_view())
+            else:
+                job = self.get_job(job_id)
+                payload = (
+                    protocol.ok_response(**job.view())
+                    if job is not None
+                    else protocol.error_response(
+                        "not-found", f"no job {job_id!r}"
+                    )
+                )
+        elif op == "events":
+            job = self.get_job(request["job"])
+            if job is None:
+                payload = protocol.error_response(
+                    "not-found", f"no job {request['job']!r}"
+                )
+            else:
+                batch, _ = job.wait_events(0, timeout=0.0)
+                payload = protocol.ok_response(job=job.id, events=batch)
+        elif op == "result":
+            job = self.get_job(request["job"])
+            payload = (
+                protocol.ok_response(**job.result_view())
+                if job is not None
+                else protocol.error_response(
+                    "not-found", f"no job {request['job']!r}"
+                )
+            )
+        elif op == "cancel":
+            payload = self.cancel_job(request["job"])
+        elif op == "stats":
+            payload = self.stats_view()
+        elif op == "shutdown":
+            payload = protocol.ok_response(draining=True)
+            self.request_drain("http shutdown")
+        else:  # pragma: no cover — parse_http_request only emits the above
+            payload = protocol.error_response("bad-request", f"op {op!r}")
+        writer.write(protocol.http_response(payload))
+        await writer.drain()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._drain_async = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    self.request_drain,
+                    signal.Signals(signum).name,
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # non-main thread (tests) or unsupported platform; the
+                # shutdown op and stop() still drain cleanly
+                pass
+
+        for index in range(self.max_jobs):
+            runner = threading.Thread(
+                target=self._runner_loop,
+                name=f"service-runner-{index}",
+                daemon=True,
+            )
+            runner.start()
+            self._runners.append(runner)
+
+        server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        logger.info(
+            "service: listening on %s:%d (%d runners, %d workers)",
+            self.host,
+            self.port,
+            self.max_jobs,
+            self.executor.workers,
+        )
+        self._ready.set()
+        try:
+            async with server:
+                await self._drain_async.wait()
+        finally:
+            self._ready.set()  # never leave start() hanging on a crash
+            deadline = time.monotonic() + self.drain_grace_seconds
+            for runner in self._runners:
+                runner.join(max(0.1, deadline - time.monotonic()))
+            self._sync_store()
+            self.executor.shutdown()
+            self._stopped.set()
+            logger.info(
+                "service: stopped (%s)", self._drain_reason or "drained"
+            )
+
+    def serve_forever(self) -> None:
+        """Run the daemon in the calling thread until drained."""
+        asyncio.run(self._main())
+
+    def start(self, timeout: float = 10.0) -> "CompileService":
+        """Run the daemon on a background thread; returns once the
+        socket is bound (used by tests and ``repro serve --check``)."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="service-main", daemon=True
+        )
+        self._serve_thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("compile service failed to start in time")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and wait for full shutdown (background-thread mode)."""
+        self.request_drain("stop()")
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout)
+        self._stopped.wait(1.0)

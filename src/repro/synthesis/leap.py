@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import SynthesisError
+from repro.racing.cancel import poll_cancellation
 from repro.synthesis.instantiate import instantiate
 from repro.synthesis.qsearch import SynthesisResult
 from repro.synthesis.vug import VUGTemplate
@@ -56,8 +57,9 @@ def leap_synthesize(
     stalls = 0
 
     while fit.distance >= threshold:
-        if cancel is not None:
-            cancel.raise_if_cancelled()
+        # polls the explicit racing token *and* the ambient job token so a
+        # service-side cancel stops an in-flight synthesis too
+        poll_cancellation(cancel)
         if deadline is not None and deadline.expired:
             raise SynthesisError(
                 f"leap deadline expired at {template.cnot_count} CNOTs; "

@@ -20,6 +20,7 @@ from repro import telemetry
 from repro.exceptions import SynthesisError
 from repro.circuits.circuit import QuantumCircuit
 from repro.linalg.decompose import euler_decompose_u3
+from repro.racing.cancel import poll_cancellation
 from repro.synthesis.instantiate import instantiate
 from repro.synthesis.vug import VUGTemplate
 
@@ -158,9 +159,9 @@ def _qsearch_search(
 
     while heap:
         # cooperative cancellation point: one check per popped node, so a
-        # raced/timed-out search stops within a single node expansion
-        if cancel is not None:
-            cancel.raise_if_cancelled()
+        # raced/timed-out search (or a cancelled service job) stops within
+        # a single node expansion
+        poll_cancellation(cancel)
         if deadline is not None and deadline.expired:
             assert best is not None
             raise SynthesisError(

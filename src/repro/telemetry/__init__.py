@@ -22,6 +22,7 @@ opts in::
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import Iterator, Optional, Tuple
 
@@ -68,33 +69,41 @@ __all__ = [
     "span_from_state",
 ]
 
-_tracer: Tracer = NULL_TRACER
-_metrics: MetricsRegistry = NULL_METRICS
+#: The installed recorders are context-scoped (:mod:`contextvars`), not
+#: process-global: concurrent jobs in one process (the ``repro.service``
+#: daemon) each install their own session without clobbering the others.
+#: Plain threads start from an empty context — code that fans work out to
+#: threads and wants telemetry from inside them must copy the caller's
+#: context into each thread (see ``repro.racing.race.StrategyRace``).
+_tracer: "contextvars.ContextVar[Tracer]" = contextvars.ContextVar(
+    "repro_telemetry_tracer", default=NULL_TRACER
+)
+_metrics: "contextvars.ContextVar[MetricsRegistry]" = contextvars.ContextVar(
+    "repro_telemetry_metrics", default=NULL_METRICS
+)
 
 
 def get_tracer() -> Tracer:
-    """The currently installed tracer (a disabled no-op by default)."""
-    return _tracer
+    """The tracer installed in the current context (no-op by default)."""
+    return _tracer.get()
 
 
 def get_metrics() -> MetricsRegistry:
-    """The currently installed metrics registry (disabled by default)."""
-    return _metrics
+    """The metrics registry installed in the current context."""
+    return _metrics.get()
 
 
 def set_tracer(tracer: Optional[Tracer]) -> Tracer:
-    """Install ``tracer`` globally; returns the previous one."""
-    global _tracer
-    previous = _tracer
-    _tracer = tracer if tracer is not None else NULL_TRACER
+    """Install ``tracer`` in the current context; returns the previous one."""
+    previous = _tracer.get()
+    _tracer.set(tracer if tracer is not None else NULL_TRACER)
     return previous
 
 
 def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
-    """Install ``registry`` globally; returns the previous one."""
-    global _metrics
-    previous = _metrics
-    _metrics = registry if registry is not None else NULL_METRICS
+    """Install ``registry`` in the current context; returns the previous one."""
+    previous = _metrics.get()
+    _metrics.set(registry if registry is not None else NULL_METRICS)
     return previous
 
 

@@ -1,0 +1,92 @@
+"""Configurable store timeouts and busy diagnostics (JSON/flock backend)."""
+
+import os
+
+import pytest
+
+from repro.batch.store import (
+    DEFAULT_STORE_TIMEOUT,
+    ENV_STORE_TIMEOUT,
+    SharedLibraryStore,
+    StoreLockTimeout,
+    resolve_store_timeout,
+)
+from repro.exceptions import ReproError, StoreBusyError
+from repro.qoc.library import PulseLibrary
+
+fcntl = pytest.importorskip("fcntl")
+
+
+class TestTimeoutResolution:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_STORE_TIMEOUT, "5")
+        assert resolve_store_timeout(1.5) == 1.5
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_STORE_TIMEOUT, "7.25")
+        assert resolve_store_timeout(None) == 7.25
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_STORE_TIMEOUT, raising=False)
+        assert resolve_store_timeout(None) == DEFAULT_STORE_TIMEOUT
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(ENV_STORE_TIMEOUT, "soon")
+        assert resolve_store_timeout(None) == DEFAULT_STORE_TIMEOUT
+
+    def test_store_resolves_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_STORE_TIMEOUT, "3.5")
+        store = SharedLibraryStore(str(tmp_path / "lib.json"))
+        assert store.timeout_seconds == 3.5
+
+    def test_open_store_forwards_timeout(self, tmp_path):
+        from repro.db import open_store
+
+        store = open_store(str(tmp_path / "lib.json"), timeout_seconds=2.0)
+        assert store.timeout_seconds == 2.0
+
+
+class TestBusyDiagnostics:
+    def _hold_lock(self, store, pid=4242):
+        """Take the store's flock from a second fd, posing as ``pid``."""
+        fd = os.open(store.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        os.ftruncate(fd, 0)
+        os.pwrite(fd, str(pid).encode(), 0)
+        return fd
+
+    def test_contended_sync_raises_typed_error_with_holder(self, tmp_path):
+        store = SharedLibraryStore(
+            str(tmp_path / "lib.json"), timeout_seconds=0.2
+        )
+        fd = self._hold_lock(store, pid=4242)
+        try:
+            with pytest.raises(StoreLockTimeout) as err:
+                store.sync(PulseLibrary())
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        assert err.value.path == store.path
+        assert err.value.holder_pid == 4242
+        assert err.value.timeout_seconds == 0.2
+        assert "pid 4242" in str(err.value)
+
+    def test_lock_timeout_is_a_store_busy_error(self, tmp_path):
+        """Back-compat: existing `except StoreLockTimeout` sites keep
+        working, new code can catch the broader StoreBusyError."""
+        assert issubclass(StoreLockTimeout, StoreBusyError)
+        assert issubclass(StoreBusyError, ReproError)
+
+    def test_holder_pid_recorded_while_locked(self, tmp_path):
+        store = SharedLibraryStore(str(tmp_path / "lib.json"))
+        library = PulseLibrary()
+        store.sync(library)
+        # after a successful sync our own pid is the last recorded holder
+        assert store.holder_pid() == os.getpid()
+
+    def test_uncontended_sync_unaffected_by_short_timeout(self, tmp_path):
+        store = SharedLibraryStore(
+            str(tmp_path / "lib.json"), timeout_seconds=0.05
+        )
+        result = store.sync(PulseLibrary())
+        assert result.total_entries == 0

@@ -1,0 +1,75 @@
+"""SQLite store busy-timeout diagnostics (`StoreBusyError` + holder pid)."""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.db import SqliteLibraryStore, open_store
+from repro.exceptions import StoreBusyError
+from repro.qoc.library import PulseLibrary
+
+
+@pytest.fixture
+def store(tmp_path):
+    path = str(tmp_path / "lib.db")
+    store = SqliteLibraryStore(path, timeout_seconds=0.2)
+    store.sync(PulseLibrary())  # create the schema
+    return store
+
+
+class TestBusyTranslation:
+    def test_timeout_configuration(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "4.5")
+        assert SqliteLibraryStore(str(tmp_path / "a.db")).timeout_seconds == 4.5
+        assert (
+            SqliteLibraryStore(
+                str(tmp_path / "b.db"), timeout_seconds=1.0
+            ).timeout_seconds
+            == 1.0
+        )
+
+    def test_open_store_forwards_timeout(self, tmp_path):
+        opened = open_store(str(tmp_path / "lib.db"), timeout_seconds=2.5)
+        assert isinstance(opened, SqliteLibraryStore)
+        assert opened.timeout_seconds == 2.5
+
+    def test_locked_database_raises_typed_error(self, store):
+        blocker = sqlite3.connect(store.path)
+        blocker.isolation_level = None
+        blocker.execute("BEGIN IMMEDIATE")
+        # the writer publishes its pid while holding the transaction
+        with open(store.holder_path, "w") as fh:
+            fh.write("31337")
+        try:
+            with pytest.raises(StoreBusyError) as err:
+                store.sync(PulseLibrary())
+        finally:
+            blocker.execute("ROLLBACK")
+            blocker.close()
+        assert err.value.path == store.path
+        assert err.value.holder_pid == 31337
+        assert err.value.timeout_seconds == 0.2
+        assert "pid 31337" in str(err.value)
+
+    def test_holder_marker_lifecycle(self, store):
+        """The pid sidecar exists only while a write transaction runs."""
+        assert not os.path.exists(store.holder_path)
+        store.sync(PulseLibrary())
+        assert not os.path.exists(store.holder_path)
+
+    def test_unrelated_operational_errors_pass_through(self, store):
+        with store._busy_guard():
+            pass  # no error: nothing raised, nothing translated
+        with pytest.raises(sqlite3.OperationalError):
+            with store._busy_guard():
+                raise sqlite3.OperationalError("no such table: nope")
+
+    def test_contention_resolves_after_release(self, store):
+        blocker = sqlite3.connect(store.path)
+        blocker.isolation_level = None
+        blocker.execute("BEGIN IMMEDIATE")
+        blocker.execute("ROLLBACK")
+        blocker.close()
+        result = store.sync(PulseLibrary())
+        assert result.new_entries == 0

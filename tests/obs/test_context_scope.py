@@ -1,0 +1,134 @@
+"""Regression tests: run-state globals are context-scoped, not
+process-global.
+
+These pin the bugfix this PR ships: two threads (the compile service's
+concurrent jobs) installing their own event bus / profiler / telemetry /
+breaker board must never see each other's state, and a fresh thread
+starts from the library defaults instead of inheriting whatever another
+job installed.
+"""
+
+import threading
+
+from repro import telemetry
+from repro.obs.events import NULL_BUS, EventBus, MemorySink, get_bus, set_bus
+from repro.obs.resources import NULL_PROFILER, get_profiler
+from repro.racing.breaker import BreakerBoard, get_breaker_board, set_breaker_board
+from repro.racing.stats import RaceStats, get_race_stats, set_race_stats
+
+
+class TestBusScoping:
+    def test_default_is_null_bus(self):
+        assert get_bus() is NULL_BUS
+
+    def test_set_bus_returns_previous(self):
+        bus = EventBus([MemorySink()])
+        try:
+            assert set_bus(bus) is NULL_BUS
+            assert get_bus() is bus
+        finally:
+            set_bus(None)
+        assert get_bus() is NULL_BUS
+
+    def test_threads_with_own_buses_stay_disjoint(self):
+        """Two 'jobs' emit concurrently into their own buses; each sink
+        sees only its own stream.  With a process-global bus the second
+        install clobbered the first and one sink got both streams."""
+        barrier = threading.Barrier(2)
+        sinks = {}
+        errors = []
+
+        def job(name):
+            sink = MemorySink()
+            sinks[name] = sink
+            set_bus(EventBus([sink]))
+            barrier.wait(timeout=10)  # both buses installed before emitting
+            try:
+                for _ in range(25):
+                    get_bus().emit("stage_started", stage=name)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=job, args=(name,))
+            for name in ("alpha", "beta")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert not errors
+        for name in ("alpha", "beta"):
+            events = sinks[name].events
+            assert len(events) == 25
+            assert {event["stage"] for event in events} == {name}
+
+    def test_install_does_not_leak_into_new_threads(self):
+        set_bus(EventBus([MemorySink()]))
+        try:
+            seen = []
+            thread = threading.Thread(
+                target=lambda: seen.append(get_bus())
+            )
+            thread.start()
+            thread.join(10)
+            # a fresh thread gets the default, not this thread's bus
+            assert seen == [NULL_BUS]
+        finally:
+            set_bus(None)
+
+
+class TestProfilerAndTelemetryScoping:
+    def test_profiler_default_per_thread(self):
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(get_profiler()))
+        thread.start()
+        thread.join(10)
+        assert seen == [NULL_PROFILER]
+
+    def test_telemetry_session_is_thread_local(self):
+        with telemetry.telemetry_session() as (tracer, registry):
+            seen = []
+            thread = threading.Thread(
+                target=lambda: seen.append(
+                    (telemetry.get_tracer(), telemetry.get_metrics())
+                )
+            )
+            thread.start()
+            thread.join(10)
+            (other_tracer, other_metrics), = seen
+            assert other_tracer is not tracer
+            assert other_metrics is not registry
+            assert telemetry.get_tracer() is tracer
+
+
+class TestBoardAndStatsScoping:
+    def test_breaker_board_is_context_scoped(self):
+        board = BreakerBoard()
+        previous = set_breaker_board(board)
+        try:
+            assert get_breaker_board() is board
+            seen = []
+            thread = threading.Thread(
+                target=lambda: seen.append(get_breaker_board())
+            )
+            thread.start()
+            thread.join(10)
+            assert seen[0] is not board  # fresh thread, fresh board
+        finally:
+            set_breaker_board(previous)
+
+    def test_race_stats_are_context_scoped(self):
+        stats = RaceStats()
+        previous = set_race_stats(stats)
+        try:
+            assert get_race_stats() is stats
+            seen = []
+            thread = threading.Thread(
+                target=lambda: seen.append(get_race_stats())
+            )
+            thread.start()
+            thread.join(10)
+            assert seen[0] is not stats
+        finally:
+            set_race_stats(previous)

@@ -1,0 +1,76 @@
+"""Regression: `ParallelExecutor.shutdown` is idempotent and
+exception-safe (the service's drain path calls it concurrently with
+crash-recovery paths)."""
+
+import threading
+
+from repro.parallel import ParallelExecutor
+
+
+class _BrokenPool:
+    """A pool whose shutdown always raises (a worker died mid-teardown)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.calls += 1
+        raise RuntimeError("pool already broken")
+
+
+class TestShutdown:
+    def test_shutdown_without_pool_is_noop(self):
+        executor = ParallelExecutor(workers=0)
+        executor.shutdown()
+        executor.shutdown()
+
+    def test_double_shutdown_tears_down_once(self):
+        executor = ParallelExecutor(workers=2)
+        pool = _BrokenPool.__new__(_BrokenPool)  # placeholder object
+        pool.calls = 0
+        pool.shutdown = lambda wait=True, cancel_futures=False: (
+            setattr(pool, "calls", pool.calls + 1)
+        )
+        executor._pool = pool
+        executor.shutdown()
+        executor.shutdown()
+        assert pool.calls == 1
+        assert executor._pool is None
+
+    def test_shutdown_swallows_pool_errors(self):
+        executor = ParallelExecutor(workers=2)
+        broken = _BrokenPool()
+        executor._pool = broken
+        executor.shutdown()  # must not raise
+        assert broken.calls == 1
+        assert executor._pool is None
+        executor.shutdown()  # and stays idempotent afterwards
+        assert broken.calls == 1
+
+    def test_concurrent_shutdown_is_single_teardown(self):
+        executor = ParallelExecutor(workers=2)
+        calls = []
+        gate = threading.Event()
+
+        class _SlowPool:
+            def shutdown(self, wait=True, cancel_futures=False):
+                calls.append(threading.current_thread().name)
+                gate.wait(1.0)
+
+        executor._pool = _SlowPool()
+        threads = [
+            threading.Thread(target=executor.shutdown, name=f"t{i}")
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join(5)
+        assert len(calls) == 1
+        assert executor._pool is None
+
+    def test_context_manager_still_shuts_down(self):
+        with ParallelExecutor(workers=0) as executor:
+            assert not executor.is_parallel
+        assert executor._pool is None

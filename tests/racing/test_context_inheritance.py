@@ -1,0 +1,104 @@
+"""Regression: racing strategy threads inherit the caller's context.
+
+`threading.Thread` targets start from an *empty* contextvars context, so
+without the explicit context capture in `StrategyRace.run` a strategy
+body would see the default bus / no ambient cancel token even while the
+submitting job had both installed.  These tests pin the capture.
+"""
+
+from repro.config import RacingConfig
+from repro.exceptions import RaceCancelled
+from repro.obs.events import EventBus, MemorySink, set_bus
+from repro.racing import (
+    CancelToken,
+    StrategyAttempt,
+    StrategyRace,
+    cancel_scope,
+    current_token,
+    poll_cancellation,
+)
+
+
+def _race(**overrides):
+    config = RacingConfig(
+        enabled=True, mode="latency", hedge_delay_seconds=0.0, **overrides
+    )
+    return StrategyRace(config, site="synthesis")
+
+
+class TestContextInheritance:
+    def test_strategy_threads_see_the_callers_bus(self):
+        sink = MemorySink()
+        set_bus(EventBus([sink]))
+        try:
+            from repro.obs.events import get_bus
+
+            def body(cancel, deadline):
+                get_bus().emit("stage_started", stage="raced")
+                return "ok"
+
+            result = _race().run(
+                [StrategyAttempt(name="only", run=body)]
+            )
+            assert result.winner is not None
+            assert result.winner.result == "ok"
+        finally:
+            set_bus(None)
+        assert [event["stage"] for event in sink.events] == ["raced"]
+
+    def test_strategy_threads_see_the_ambient_cancel_token(self):
+        token = CancelToken()
+        observed = []
+
+        def body(cancel, deadline):
+            observed.append(current_token())
+            return "ok"
+
+        with cancel_scope(token):
+            _race().run([StrategyAttempt(name="only", run=body)])
+        assert observed == [token]
+
+    def test_job_cancel_unwinds_a_racing_strategy(self):
+        """The service's job-level cancel: the ambient token (not the
+        race's own per-attempt token) stops an in-flight strategy."""
+        import threading
+        import time
+
+        token = CancelToken()
+
+        def body(cancel, deadline):
+            # a cooperative strategy loop polling both tokens
+            while True:
+                poll_cancellation(cancel)
+                time.sleep(0.005)
+
+        def fire():
+            time.sleep(0.1)
+            token.cancel("job cancelled")
+
+        threading.Thread(target=fire, daemon=True).start()
+        with cancel_scope(token):
+            result = _race().run([StrategyAttempt(name="only", run=body)])
+        assert result.winner is None
+        (outcome,) = result.outcomes
+        assert outcome.status in ("failed", "cancelled")
+
+    def test_poll_cancellation_honours_both_tokens(self):
+        explicit = CancelToken()
+        ambient = CancelToken()
+        with cancel_scope(ambient):
+            poll_cancellation(explicit)  # neither set: no raise
+            ambient.cancel("ambient")
+            try:
+                poll_cancellation(explicit)
+                raised = False
+            except RaceCancelled:
+                raised = True
+            assert raised
+        explicit.cancel("explicit")
+        try:
+            poll_cancellation(explicit)
+            raised = False
+        except RaceCancelled:
+            raised = True
+        assert raised

@@ -1,0 +1,64 @@
+"""Shared fixtures for the compile-service tests.
+
+Services run in-process on ephemeral ports (`port=0`), so tests can
+reach into the daemon (fault plans, the shared library) while clients
+exercise the real socket protocol.
+"""
+
+import pytest
+
+from repro.resilience.faults import set_fault_plan
+from repro.service import CompileService, ServiceClient
+
+#: a 2-qubit circuit whose single block needs one 2-qubit pulse.
+BELL_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+"""
+
+#: a different 2-qubit circuit (distinct cache keys from BELL_QASM).
+SWAP_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+cx q[0],q[1];
+cx q[1],q[0];
+cx q[0],q[1];
+"""
+
+#: partitions into a 1-qubit block ([x q0]) then a 2-qubit block
+#: ([cx q1,q2]) — the shape the drain/resume test needs (the 1q pulse
+#: checkpoints before a stalled 2q search is cancelled).
+TWO_BLOCK_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+x q[0];
+cx q[1],q[2];
+"""
+
+
+@pytest.fixture
+def service():
+    """A fresh in-process daemon on an ephemeral port; stopped after."""
+    created = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("port", 0)
+        svc = CompileService(**kwargs).start()
+        created.append(svc)
+        return svc
+
+    yield factory
+    for svc in created:
+        svc.stop()
+    # tests arm fault plans to create long-running jobs; never leak one
+    set_fault_plan(None)
+
+
+@pytest.fixture
+def client_for():
+    def factory(svc, timeout=60.0):
+        return ServiceClient(port=svc.port, timeout=timeout)
+
+    return factory

@@ -1,0 +1,64 @@
+"""`repro submit` / `repro status` / `repro cancel` against a live daemon."""
+
+import time
+
+from repro import cli
+from repro.resilience.faults import FaultPlan, set_fault_plan
+
+from tests.service.conftest import BELL_QASM
+
+
+def _args(svc, *rest):
+    return [*rest, "--port", str(svc.port)]
+
+
+class TestServiceCli:
+    def test_submit_wait_and_status(self, service, tmp_path, capsys):
+        svc = service()
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text(BELL_QASM)
+
+        code = cli.main(_args(svc, "submit", str(qasm), "--wait"))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "epoc" in out and "pulses=1" in out
+
+        assert cli.main(_args(svc, "status")) == 0
+        listing = capsys.readouterr().out
+        assert "j-000001" in listing and "done" in listing
+
+        assert cli.main(_args(svc, "status", "j-000001")) == 0
+        detail = capsys.readouterr().out
+        assert "state       : done" in detail
+
+    def test_submit_fire_and_forget_prints_job_id(
+        self, service, tmp_path, capsys
+    ):
+        svc = service()
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text(BELL_QASM)
+        assert cli.main(_args(svc, "submit", str(qasm))) == 0
+        job = capsys.readouterr().out.strip()
+        assert job.startswith("j-")
+
+    def test_cancel_via_cli(self, service, tmp_path, capsys):
+        set_fault_plan(FaultPlan.parse("qoc.stall@qubits=2,seconds=60*-1"))
+        svc = service(max_jobs=1)
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text(BELL_QASM)
+        assert cli.main(_args(svc, "submit", str(qasm))) == 0
+        job = capsys.readouterr().out.strip()
+        deadline = time.monotonic() + 30
+        from repro.service import ServiceClient
+
+        client = ServiceClient(port=svc.port)
+        while client.status(job)["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        assert cli.main(_args(svc, "cancel", job)) == 0
+        assert job in capsys.readouterr().out
+
+    def test_client_error_against_dead_daemon(self, capsys):
+        # nothing listens on this port; the CLI reports a clean error
+        assert cli.main(["status", "--port", "1", "--timeout", "0.5"]) == 1
+        assert "error:" in capsys.readouterr().err

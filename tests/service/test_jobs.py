@@ -1,0 +1,179 @@
+"""Job state machine, queue ordering, and the config-identity bridge."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobs import (
+    Job,
+    JobEventSink,
+    JobQueue,
+    JobSpec,
+    QueueClosed,
+    build_job_config,
+)
+
+
+def _job(job_id="j-000001", **spec_kwargs):
+    spec_kwargs.setdefault("name", "t")
+    spec_kwargs.setdefault("qasm", "qreg q[1];")
+    return Job(job_id, JobSpec(**spec_kwargs))
+
+
+class TestJobStates:
+    def test_lifecycle(self):
+        job = _job()
+        assert job.state == "queued"
+        assert job.mark_running()
+        assert job.state == "running"
+        job.finish("done", result={"x": 1})
+        assert job.finished
+        assert job.result_view()["result"] == {"x": 1}
+
+    def test_terminal_state_sticks(self):
+        job = _job()
+        job.finish("failed", error="boom")
+        job.finish("done", result={})
+        assert job.state == "failed"
+        assert job.result_view()["error"] == "boom"
+
+    def test_finish_rejects_non_terminal(self):
+        with pytest.raises(ValueError):
+            _job().finish("running")
+
+    def test_cancel_while_queued_is_immediate(self):
+        job = _job()
+        assert job.request_cancel()
+        assert job.state == "cancelled"
+        assert job.cancel.cancelled
+        # the runner must then skip it
+        assert not job.mark_running()
+
+    def test_cancel_while_running_fires_token_only(self):
+        job = _job()
+        job.mark_running()
+        assert job.request_cancel()
+        assert job.state == "running"  # unwinds cooperatively
+        assert job.cancel.cancelled
+
+    def test_cancel_after_terminal_is_noop(self):
+        job = _job()
+        job.finish("done")
+        assert not job.request_cancel()
+
+
+class TestJobEvents:
+    def test_events_are_stamped_and_sequenced(self):
+        job = _job()
+        sink = JobEventSink(job)
+        sink.handle({"event": "stage_started", "stage": "zx"})
+        sink.handle({"event": "stage_finished", "stage": "zx", "seconds": 0.1})
+        batch, finished = job.wait_events(0, timeout=0)
+        assert [e["seq"] for e in batch] == [1, 2]
+        assert all(e["job"] == job.id for e in batch)
+        assert not finished
+
+    def test_wait_events_resumes_after_cursor(self):
+        job = _job()
+        for index in range(5):
+            job.append_event({"event": "grape_iteration", "iterations": index})
+        batch, _ = job.wait_events(3, timeout=0)
+        assert [e["seq"] for e in batch] == [4, 5]
+
+    def test_wait_events_blocks_until_append(self):
+        job = _job()
+        job.mark_running()
+
+        def feed():
+            time.sleep(0.05)
+            job.append_event({"event": "stage_started", "stage": "qoc"})
+
+        threading.Thread(target=feed, daemon=True).start()
+        batch, finished = job.wait_events(0, timeout=5.0)
+        assert len(batch) == 1
+        assert not finished
+
+    def test_finished_only_when_tail_consumed(self):
+        job = _job()
+        job.append_event({"event": "stage_started", "stage": "qoc"})
+        job.finish("done")
+        batch, finished = job.wait_events(0, timeout=0)
+        assert len(batch) == 1 and finished
+        _, finished_at_tail = job.wait_events(1, timeout=0)
+        assert finished_at_tail
+
+
+class TestJobQueue:
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue()
+        first = _job("j-1", priority=5)
+        second = _job("j-2", priority=0)
+        third = _job("j-3", priority=5)
+        for job in (first, second, third):
+            queue.push(job)
+        assert queue.pop(0).id == "j-2"  # lowest priority value first
+        assert queue.pop(0).id == "j-1"  # FIFO within a priority
+        assert queue.pop(0).id == "j-3"
+
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+    def test_close_wakes_blocked_poppers(self):
+        queue = JobQueue()
+        results = []
+
+        def popper():
+            results.append(queue.pop(timeout=10.0))
+
+        thread = threading.Thread(target=popper, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(2.0)
+        assert results == [None]
+
+    def test_push_after_close_raises(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.push(_job())
+
+    def test_close_drains_remaining_jobs(self):
+        queue = JobQueue()
+        queue.push(_job("j-1"))
+        queue.close()
+        assert queue.pop(0).id == "j-1"
+        assert queue.pop(0) is None
+
+
+class TestBuildJobConfig:
+    def test_defaults_match_the_cli(self):
+        """A daemon job with no options must equal `repro compile` with no
+        flags — this is the bitwise-identity contract's foundation."""
+        from repro.cli import build_parser, _config
+
+        cli_config = _config(
+            build_parser().parse_args(["compile", "unused.qasm"])
+        )
+        job_config = build_job_config({})
+        assert job_config == cli_config
+
+    def test_options_flow_through(self):
+        config = build_job_config(
+            {"dt": 0.25, "fidelity": 0.9, "qubit_limit": 2, "no_zx": True}
+        )
+        assert config.qoc.dt == 0.25
+        assert config.qoc.fidelity_threshold == 0.9
+        assert config.partition_qubit_limit == 2
+        assert config.regroup_qubit_limit == 2
+        assert not config.use_zx
+
+    def test_checkpoint_options(self):
+        config = build_job_config(
+            {"checkpoint": "/tmp/x.json", "checkpoint_every": 3,
+             "resume": True}
+        )
+        assert config.resilience.checkpoint_path == "/tmp/x.json"
+        assert config.resilience.checkpoint_every == 3
+        assert config.resilience.resume

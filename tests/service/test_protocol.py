@@ -1,0 +1,190 @@
+"""Wire-protocol unit tests: NDJSON round trips and the HTTP shim."""
+
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+    http_response,
+    looks_like_http,
+    parse_http_request,
+    validate_request,
+)
+
+
+class TestRoundTrip:
+    def test_encode_is_one_line(self):
+        blob = encode_message({"op": "ping", "nested": {"a": [1, 2]}})
+        assert blob.endswith(b"\n")
+        assert blob.count(b"\n") == 1
+
+    def test_decode_inverts_encode(self):
+        payload = {
+            "op": "submit",
+            "qasm": "OPENQASM 2.0;\nqreg q[1];\n",
+            "options": {"dt": 0.5, "no_zx": True},
+            "priority": -3,
+        }
+        assert decode_message(encode_message(payload)) == payload
+
+    def test_every_op_round_trips_validation(self):
+        requests = [
+            {"op": "ping"},
+            {"op": "submit", "qasm": "qreg q[1];", "name": "x",
+             "flow": "epoc", "priority": 1, "tenant": "t", "options": {}},
+            {"op": "status"},
+            {"op": "status", "job": "j-000001"},
+            {"op": "events", "job": "j-000001", "after": 4, "follow": True},
+            {"op": "result", "job": "j-000001"},
+            {"op": "cancel", "job": "j-000001"},
+            {"op": "stats"},
+            {"op": "shutdown"},
+        ]
+        for request in requests:
+            wire = decode_message(encode_message(request))
+            assert validate_request(wire) == request
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert decode_message('{"op": "ping"}') == {"op": "ping"}
+        assert decode_message(b'{"op": "ping"}\n') == {"op": "ping"}
+
+
+class TestDecodeErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [b"", b"   \n", b"not json\n", b"[1, 2]\n", b'"just a string"\n'],
+    )
+    def test_rejects_malformed(self, line):
+        with pytest.raises(ProtocolError):
+            decode_message(line)
+
+    def test_rejects_oversized_message(self):
+        blob = b'{"op": "ping", "pad": "' + b"x" * protocol.MAX_MESSAGE_BYTES
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message(blob)
+
+    def test_rejects_invalid_utf8(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_message(b'{"op": "\xff"}')
+
+
+class TestValidation:
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "frobnicate"})
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"job": "j-1"})
+
+    def test_unknown_field_rejected_not_dropped(self):
+        with pytest.raises(ProtocolError, match="prioriy"):
+            validate_request(
+                {"op": "submit", "qasm": "qreg q[1];", "prioriy": 5}
+            )
+
+    def test_job_required(self):
+        for op in ("events", "result", "cancel"):
+            with pytest.raises(ProtocolError, match="requires a string"):
+                validate_request({"op": op})
+
+    def test_submit_requires_qasm(self):
+        with pytest.raises(ProtocolError, match="qasm"):
+            validate_request({"op": "submit"})
+        with pytest.raises(ProtocolError, match="qasm"):
+            validate_request({"op": "submit", "qasm": "   "})
+
+    def test_submit_field_types(self):
+        base = {"op": "submit", "qasm": "qreg q[1];"}
+        with pytest.raises(ProtocolError, match="priority"):
+            validate_request({**base, "priority": "high"})
+        with pytest.raises(ProtocolError, match="options"):
+            validate_request({**base, "options": ["--fast"]})
+        with pytest.raises(ProtocolError, match="tenant"):
+            validate_request({**base, "tenant": 7})
+
+    def test_events_field_types(self):
+        with pytest.raises(ProtocolError, match="after"):
+            validate_request(
+                {"op": "events", "job": "j-1", "after": "yes"}
+            )
+        with pytest.raises(ProtocolError, match="follow"):
+            validate_request(
+                {"op": "events", "job": "j-1", "follow": "yes"}
+            )
+
+
+class TestResponses:
+    def test_ok_and_error_shapes(self):
+        assert protocol.ok_response(x=1) == {"ok": True, "x": 1}
+        err = protocol.error_response("quota", "too many")
+        assert err == {"ok": False, "code": "quota", "error": "too many"}
+
+
+class TestHttpShim:
+    def test_sniffs_http_methods(self):
+        assert looks_like_http(b"GET /healthz HTTP/1.1\r\n")
+        assert looks_like_http(b"POST /jobs HTTP/1.1\r\n")
+        assert not looks_like_http(b'{"op": "ping"}\n')
+
+    @pytest.mark.parametrize(
+        "line,expected",
+        [
+            ("GET /healthz HTTP/1.1", {"op": "ping"}),
+            ("GET /stats HTTP/1.1", {"op": "stats"}),
+            ("GET /jobs HTTP/1.1", {"op": "status"}),
+            ("GET /jobs/j-000002 HTTP/1.1",
+             {"op": "status", "job": "j-000002"}),
+            ("GET /jobs/j-000002/events HTTP/1.1",
+             {"op": "events", "job": "j-000002"}),
+            ("GET /jobs/j-000002/result HTTP/1.1",
+             {"op": "result", "job": "j-000002"}),
+            ("POST /jobs/j-000002/cancel HTTP/1.1",
+             {"op": "cancel", "job": "j-000002"}),
+            ("POST /shutdown HTTP/1.1", {"op": "shutdown"}),
+        ],
+    )
+    def test_routes(self, line, expected):
+        assert parse_http_request(line, None) == expected
+
+    def test_post_jobs_maps_body_to_submit(self):
+        body = json.dumps({"qasm": "qreg q[1];", "name": "x"}).encode()
+        request = parse_http_request("POST /jobs HTTP/1.1", body)
+        assert request["op"] == "submit"
+        assert request["name"] == "x"
+
+    def test_post_jobs_without_body_rejected(self):
+        with pytest.raises(ProtocolError, match="body"):
+            parse_http_request("POST /jobs HTTP/1.1", None)
+
+    def test_unroutable_path(self):
+        with pytest.raises(ProtocolError, match="no route"):
+            parse_http_request("GET /nope HTTP/1.1", None)
+        with pytest.raises(ProtocolError, match="no route"):
+            parse_http_request("DELETE /jobs/j-1 HTTP/1.1", None)
+
+    def test_query_strings_are_stripped(self):
+        assert parse_http_request("GET /stats?pretty=1 HTTP/1.1", None) == {
+            "op": "stats"
+        }
+
+    @pytest.mark.parametrize(
+        "payload,status",
+        [
+            ({"ok": True}, b"200"),
+            ({"ok": False, "code": "bad-request", "error": "x"}, b"400"),
+            ({"ok": False, "code": "not-found", "error": "x"}, b"404"),
+            ({"ok": False, "code": "quota", "error": "x"}, b"429"),
+            ({"ok": False, "code": "shutting-down", "error": "x"}, b"503"),
+        ],
+    )
+    def test_http_response_status_mapping(self, payload, status):
+        raw = http_response(payload)
+        assert raw.startswith(b"HTTP/1.1 " + status)
+        head, body = raw.split(b"\r\n\r\n", 1)
+        assert json.loads(body) == payload
+        assert f"Content-Length: {len(body)}".encode() in head

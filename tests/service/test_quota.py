@@ -1,0 +1,70 @@
+"""Per-tenant quota accounting unit tests."""
+
+from repro.service.quota import QuotaLedger, QuotaPolicy
+
+
+class TestAdmission:
+    def test_unlimited_by_default(self):
+        ledger = QuotaLedger()
+        for _ in range(100):
+            assert ledger.admit("t") is None
+
+    def test_rate_limit_sliding_window(self):
+        ledger = QuotaLedger(QuotaPolicy(jobs_per_minute=2))
+        assert ledger.admit("t", now=100.0) is None
+        assert ledger.admit("t", now=110.0) is None
+        reason = ledger.admit("t", now=120.0)
+        assert reason is not None and "per minute" in reason
+        # the first submission ages out of the 60s window
+        assert ledger.admit("t", now=161.0) is None
+
+    def test_rate_limit_is_per_tenant(self):
+        ledger = QuotaLedger(QuotaPolicy(jobs_per_minute=1))
+        assert ledger.admit("a", now=100.0) is None
+        assert ledger.admit("b", now=100.0) is None
+        assert ledger.admit("a", now=101.0) is not None
+
+    def test_max_pending(self):
+        ledger = QuotaLedger(QuotaPolicy(max_pending=1))
+        assert ledger.admit("t") is None
+        assert "queued" in ledger.admit("t")
+        ledger.record_start("t")  # pending -> running frees a slot
+        assert ledger.admit("t") is None
+
+    def test_max_running(self):
+        ledger = QuotaLedger(QuotaPolicy(max_running_per_tenant=1))
+        assert ledger.admit("t") is None
+        ledger.record_start("t")
+        assert "running" in ledger.admit("t")
+        ledger.record_finish("t")
+        assert ledger.admit("t") is None
+
+    def test_rejections_do_not_consume_window_slots(self):
+        ledger = QuotaLedger(QuotaPolicy(jobs_per_minute=1, max_pending=1))
+        assert ledger.admit("t", now=100.0) is None
+        # rejected on max_pending — must not burn a rate-window slot
+        assert ledger.admit("t", now=130.0) is not None
+        ledger.record_start("t")
+        ledger.record_finish("t")
+        assert ledger.admit("t", now=161.0) is None
+
+
+class TestAccounting:
+    def test_queued_cancel_settles_pending(self):
+        ledger = QuotaLedger(QuotaPolicy(max_pending=1))
+        assert ledger.admit("t") is None
+        ledger.record_finish("t", started=False)
+        assert ledger.admit("t") is None
+
+    def test_snapshot(self):
+        ledger = QuotaLedger(QuotaPolicy(jobs_per_minute=1))
+        ledger.admit("t")
+        ledger.admit("t")  # rejected
+        snap = ledger.snapshot()
+        assert snap["policy"]["jobs_per_minute"] == 1
+        assert snap["tenants"]["t"] == {
+            "pending": 1,
+            "running": 0,
+            "accepted": 1,
+            "rejected": 1,
+        }

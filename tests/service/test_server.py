@@ -1,0 +1,324 @@
+"""End-to-end daemon tests over the real socket protocol.
+
+These cover the PR's two acceptance assertions:
+
+* a daemon-compiled job's checkpoint is **bitwise-identical** to the one
+  ``repro compile`` writes for the same circuit and flags;
+* two concurrent jobs emit **schema-valid, non-interleaved** per-job
+  event streams (the regression pinning the context-scoped event bus).
+"""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro import cli
+from repro.obs.events import validate_event
+from repro.resilience.faults import FaultPlan, set_fault_plan
+from repro.service import QuotaPolicy
+from repro.service.client import ServiceError
+
+from tests.service.conftest import BELL_QASM, SWAP_QASM, TWO_BLOCK_QASM
+
+
+def _strip_envelope(event):
+    """Drop the service's per-job envelope, leaving the bus event."""
+    payload = dict(event)
+    payload.pop("job", None)
+    payload.pop("seq", None)
+    return payload
+
+
+def _assert_valid_stream(events, job_id):
+    assert events, f"job {job_id} produced no events"
+    for event in events:
+        assert event["job"] == job_id
+        problems = validate_event(_strip_envelope(event))
+        assert not problems, f"{event}: {problems}"
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "run_started"
+    assert kinds[-1] == "run_finished"
+    assert [event["seq"] for event in events] == list(
+        range(1, len(events) + 1)
+    )
+
+
+class TestSingleJob:
+    def test_compile_round_trip(self, service, client_for):
+        svc = service()
+        client = client_for(svc)
+        assert client.ping()["protocol"] == 1
+        job = client.submit("bell", BELL_QASM)
+        result = client.wait(job, timeout=120)
+        assert result["state"] == "done"
+        assert result["result"]["pulse_count"] == 1
+        assert result["result"]["fidelity"] > 0
+        _assert_valid_stream(list(client.events(job)), job)
+
+    def test_warm_library_hits_across_jobs(self, service, client_for):
+        """The amortization the daemon exists for: job 2 of the same
+        circuit is served from the shared warm library."""
+        svc = service(max_jobs=1)
+        client = client_for(svc)
+        first = client.submit("bell", BELL_QASM)
+        assert client.wait(first, timeout=120)["state"] == "done"
+        second = client.submit("bell-again", BELL_QASM)
+        result = client.wait(second, timeout=120)
+        assert result["state"] == "done"
+        assert result["result"]["cache_hits"] >= 1
+        assert result["result"]["cache_misses"] == 0
+
+    def test_unknown_job_and_bad_flow(self, service, client_for):
+        client = client_for(service())
+        with pytest.raises(ServiceError) as err:
+            client.status("j-999999")
+        assert err.value.code == "not-found"
+        with pytest.raises(ServiceError) as err:
+            client.submit("x", BELL_QASM, flow="magic")
+        assert err.value.code == "bad-request"
+        with pytest.raises(ServiceError) as err:
+            client.submit("x", BELL_QASM, options={"turbo": True})
+        assert err.value.code == "bad-request"
+
+
+class TestConcurrentJobs:
+    def test_two_jobs_emit_disjoint_valid_streams(self, service, client_for):
+        """Two overlapping jobs -> two schema-valid per-job streams with
+        no cross-talk.  Before the bus became context-scoped, both jobs
+        wrote into one process-global stream."""
+        # stall every 2q pulse search briefly so the jobs overlap
+        set_fault_plan(
+            FaultPlan.parse("qoc.stall@qubits=2,seconds=0.5*-1")
+        )
+        svc = service(max_jobs=2)
+        client = client_for(svc)
+        first = client.submit("bell", BELL_QASM)
+        second = client.submit("swap", SWAP_QASM)
+        first_result = client.wait(first, timeout=120)
+        second_result = client.wait(second, timeout=120)
+        assert first_result["state"] == "done"
+        assert second_result["state"] == "done"
+
+        first_events = list(client.events(first))
+        second_events = list(client.events(second))
+        _assert_valid_stream(first_events, first)
+        _assert_valid_stream(second_events, second)
+        # the streams really overlapped in time (else this test proves
+        # nothing about isolation)
+        first_span = (first_events[0]["ts"], first_events[-1]["ts"])
+        second_span = (second_events[0]["ts"], second_events[-1]["ts"])
+        assert first_span[0] < second_span[1]
+        assert second_span[0] < first_span[1]
+        # distinct circuits -> distinct run_started payloads
+        assert first_events[0]["circuit"] == "bell"
+        assert second_events[0]["circuit"] == "swap"
+
+
+class TestCancellation:
+    def test_cancel_mid_grape(self, service, client_for):
+        """A running job stalls inside the pulse search; cancel unwinds
+        it through the ambient token within the poll interval."""
+        set_fault_plan(
+            FaultPlan.parse("qoc.stall@qubits=2,seconds=60*-1")
+        )
+        svc = service(max_jobs=1)
+        client = client_for(svc)
+        job = client.submit("bell", BELL_QASM)
+        deadline = time.monotonic() + 30
+        while client.status(job)["state"] == "queued":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.05)
+        cancelled_at = time.monotonic()
+        client.cancel(job)
+        result = client.wait(job, timeout=30)
+        assert result["state"] == "cancelled"
+        # cooperative, but prompt: nowhere near the 60s stall
+        assert time.monotonic() - cancelled_at < 10
+
+    def test_cancel_queued_job(self, service, client_for):
+        set_fault_plan(
+            FaultPlan.parse("qoc.stall@qubits=2,seconds=60*-1")
+        )
+        svc = service(max_jobs=1)
+        client = client_for(svc)
+        running = client.submit("bell", BELL_QASM)
+        queued = client.submit("swap", SWAP_QASM)
+        deadline = time.monotonic() + 30
+        while client.status(running)["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        assert client.status(queued)["state"] == "queued"
+        client.cancel(queued)
+        assert client.status(queued)["state"] == "cancelled"
+        client.cancel(running)
+
+    def test_cancel_finished_job_conflicts(self, service, client_for):
+        client = client_for(service())
+        job = client.submit("bell", BELL_QASM)
+        client.wait(job, timeout=120)
+        with pytest.raises(ServiceError) as err:
+            client.cancel(job)
+        assert err.value.code == "conflict"
+
+
+class TestQuota:
+    def test_rate_limit_rejection_over_the_wire(self, service, client_for):
+        svc = service(quota=QuotaPolicy(jobs_per_minute=1))
+        client = client_for(svc)
+        job = client.submit("bell", BELL_QASM)
+        with pytest.raises(ServiceError) as err:
+            client.submit("bell-2", BELL_QASM)
+        assert err.value.code == "quota"
+        # other tenants are unaffected
+        other = client.submit("bell-3", BELL_QASM, tenant="other")
+        stats = client.stats()
+        assert stats["quota"]["tenants"]["default"]["rejected"] == 1
+        assert stats["quota"]["tenants"]["other"]["rejected"] == 0
+        client.wait(job, timeout=120)
+        client.wait(other, timeout=120)
+
+
+class TestHttpShim:
+    def test_healthz_jobs_and_stats(self, service, client_for):
+        svc = service()
+        client = client_for(svc)
+        job = client.submit("bell", BELL_QASM)
+        client.wait(job, timeout=120)
+        base = f"http://127.0.0.1:{svc.port}"
+
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as rsp:
+            health = json.load(rsp)
+        assert health["ok"] and health["protocol"] == 1
+
+        with urllib.request.urlopen(f"{base}/jobs/{job}", timeout=10) as rsp:
+            view = json.load(rsp)
+        assert view["state"] == "done"
+
+        with urllib.request.urlopen(f"{base}/stats", timeout=10) as rsp:
+            stats = json.load(rsp)
+        assert stats["library"]["entries"] >= 1
+
+    def test_http_submit_and_404(self, service, client_for):
+        svc = service()
+        base = f"http://127.0.0.1:{svc.port}"
+        body = json.dumps({"name": "bell", "qasm": BELL_QASM}).encode()
+        request = urllib.request.Request(
+            f"{base}/jobs", data=body, method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=10) as rsp:
+            submitted = json.load(rsp)
+        assert submitted["ok"] and submitted["job"].startswith("j-")
+        client_for(svc).wait(submitted["job"], timeout=120)
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base}/jobs/j-999999", timeout=10)
+        assert err.value.code == 404
+
+
+class TestBitwiseIdentity:
+    def test_daemon_checkpoint_matches_cli_compile(
+        self, service, client_for, tmp_path
+    ):
+        """Acceptance: a cold daemon job and `repro compile` write
+        byte-identical pulse-library checkpoints."""
+        qasm_path = tmp_path / "bell.qasm"
+        qasm_path.write_text(BELL_QASM)
+        cli_ckpt = tmp_path / "cli.json"
+        svc_ckpt = tmp_path / "svc.json"
+
+        assert (
+            cli.main(
+                ["compile", str(qasm_path), "--checkpoint", str(cli_ckpt)]
+            )
+            == 0
+        )
+
+        svc = service()  # fresh: an empty library, like the CLI run
+        client = client_for(svc)
+        job = client.submit(
+            str(qasm_path),
+            BELL_QASM,
+            options={"checkpoint": str(svc_ckpt)},
+        )
+        assert client.wait(job, timeout=120)["state"] == "done"
+        assert svc_ckpt.read_bytes() == cli_ckpt.read_bytes()
+
+
+class TestDrainAndResume:
+    def test_sigterm_style_drain_then_resume_bitwise(
+        self, service, client_for, tmp_path
+    ):
+        """Drain mid-job (what the SIGTERM handler triggers), then
+        `repro compile --resume` finishes from the flushed checkpoint;
+        the final library equals an uninterrupted run's, bitwise."""
+        qasm_path = tmp_path / "two_block.qasm"
+        qasm_path.write_text(TWO_BLOCK_QASM)
+        ref_ckpt = tmp_path / "ref.json"
+        svc_ckpt = tmp_path / "svc.json"
+
+        # uninterrupted reference run
+        assert (
+            cli.main(
+                ["compile", str(qasm_path), "--checkpoint", str(ref_ckpt)]
+            )
+            == 0
+        )
+
+        # daemon run: the 1q pulse checkpoints, the 2q search stalls
+        set_fault_plan(
+            FaultPlan.parse("qoc.stall@qubits=2,seconds=120*-1")
+        )
+        svc = service(max_jobs=1)
+        client = client_for(svc)
+        job = client.submit(
+            str(qasm_path),
+            TWO_BLOCK_QASM,
+            options={"checkpoint": str(svc_ckpt), "checkpoint_every": 1},
+        )
+        deadline = time.monotonic() + 60
+        while not svc_ckpt.exists():
+            assert time.monotonic() < deadline, "no checkpoint flushed"
+            time.sleep(0.1)
+        partial = json.loads(svc_ckpt.read_text())
+        assert partial["entries"], "expected the solved 1q pulse on disk"
+
+        svc.stop()  # the same drain path the SIGTERM handler invokes
+        job_view = svc.get_job(job).view()
+        assert job_view["state"] == "cancelled"
+        journal = tmp_path / "svc.json.journal"
+        assert journal.exists()
+        assert '"event": "abort"' in journal.read_text()
+
+        # resume serially and compare bitwise against the reference
+        set_fault_plan(None)
+        assert (
+            cli.main(
+                [
+                    "compile",
+                    str(qasm_path),
+                    "--checkpoint",
+                    str(svc_ckpt),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        assert svc_ckpt.read_bytes() == ref_ckpt.read_bytes()
+
+
+class TestDrainBehaviour:
+    def test_submit_during_drain_is_rejected(self, service, client_for):
+        svc = service()
+        client = client_for(svc)
+        client.shutdown()
+        deadline = time.monotonic() + 10
+        while not svc._stopped.is_set():
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        from repro.service.jobs import JobSpec
+
+        response = svc.submit(JobSpec(name="late", qasm=BELL_QASM))
+        assert not response["ok"]
+        assert response["code"] == "shutting-down"
